@@ -1,0 +1,106 @@
+//===- bench/bench_fig5.cpp - Reproduces Figure 5 --------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 5 of the paper: inversion time on the 14 coders under the
+/// optimization ablation — all optimizations, only auxiliary-function
+/// inversion (only-aux), only grammar mining + variable reduction
+/// (only-mining), and none. The paper reports 13 programs inverted with
+/// all optimizations, 9 with only-aux, 5 with only-mining or none.
+///
+/// A fifth configuration, no-slice, disables this implementation's
+/// bit-slice strategy (all paper optimizations on): it isolates the one
+/// departure from the original solver and reproduces the paper's UTF-8
+/// failure mode.
+///
+/// Output: a cactus-style table — per program and configuration, the
+/// inversion time, or TIMEOUT/FAIL when not all rules inverted within the
+/// per-call budget.
+///
+//===----------------------------------------------------------------------===//
+
+#include "coders/Corpus.h"
+#include "genic/Genic.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace genic;
+
+namespace {
+
+struct Config {
+  const char *Name;
+  bool Aux, Mining, Slice;
+};
+
+const Config Configs[] = {
+    {"all", true, true, true},
+    {"only-aux", true, false, true},
+    {"only-mining", false, true, true},
+    {"none", false, false, true},
+    {"no-slice", true, true, false},
+};
+
+} // namespace
+
+int main() {
+  std::printf("Figure 5: inversion time under the optimization ablation\n");
+  std::printf("(per-rule synthesis budget ~12s; FAIL(k/n) = k of n rules "
+              "inverted)\n\n");
+
+  Table T;
+  T.setHeader({"program", "all", "only-aux", "only-mining", "none",
+               "no-slice"});
+  unsigned Solved[5] = {0, 0, 0, 0, 0};
+
+  for (const CoderSpec &Spec : coderCorpus()) {
+    std::vector<std::string> Row{Spec.name()};
+    for (unsigned C = 0; C < 5; ++C) {
+      InverterOptions Opts;
+      Opts.UseAuxInversion = Configs[C].Aux;
+      Opts.UseMining = Configs[C].Mining;
+      Opts.Engine.EnableBitSlice = Configs[C].Slice;
+      // Tight budgets keep the failing configurations from dominating the
+      // bench's wall clock; a rule counts as failed when its recovery is
+      // not found within them (the paper used a 20-minute timeout on a
+      // 4 GHz machine; the ordering, not the cutoff, is the result).
+      Opts.Engine.EnumTimeoutSeconds = 4;
+      Opts.Engine.MaxCegisIterations = 6;
+      GenicTool Tool(Opts);
+      std::string Source = Spec.Source;
+      size_t Pos = Source.find("isInjective");
+      if (Pos != std::string::npos)
+        Source.erase(Pos, Source.find('\n', Pos) - Pos + 1);
+      Result<GenicReport> Report = Tool.run(Source);
+      if (!Report) {
+        Row.push_back("error");
+        continue;
+      }
+      unsigned Done = 0;
+      for (const RuleInversionRecord &R : Report->Inversion->Records)
+        Done += R.Inverted ? 1 : 0;
+      if (Report->Inversion->complete()) {
+        ++Solved[C];
+        Row.push_back(formatSeconds(Report->InversionSeconds));
+      } else {
+        Row.push_back("FAIL(" + std::to_string(Done) + "/" +
+                      std::to_string(Report->Inversion->Records.size()) +
+                      ")");
+      }
+    }
+    T.addRow(std::move(Row));
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("programs fully inverted: all=%u, only-aux=%u, "
+              "only-mining=%u, none=%u, no-slice=%u (of 14)\n",
+              Solved[0], Solved[1], Solved[2], Solved[3], Solved[4]);
+  std::printf("paper (of 14): all=13, only-aux=9, only-mining=5, none=5\n");
+  std::printf("expected shape: all >= only-aux > only-mining ~ none; "
+              "auxiliary-function inversion is the crucial optimization.\n");
+  return 0;
+}

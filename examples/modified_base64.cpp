@@ -1,0 +1,91 @@
+//===- examples/modified_base64.cpp - The §2 motivating scenario ----------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 2's motivating example: a small change to the encoder (the XML
+/// token variant maps 62/63 to '.'/'-' and drops padding) triggers
+/// non-trivial changes in the decoder — new mapping table, new end-of-input
+/// handling, different rule patterns. Instead of hand-porting the decoder,
+/// re-run the inverter on the modified encoder and diff the results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "coders/Corpus.h"
+#include "genic/Genic.h"
+
+#include <cstdio>
+
+using namespace genic;
+
+namespace {
+
+/// Runs the full pipeline on one encoder and reports shape facts.
+Result<GenicReport> invertCoder(const CoderSpec &Spec) {
+  std::printf("=== %s ===\n", Spec.name().c_str());
+  GenicTool Tool;
+  Result<GenicReport> Report = Tool.run(Spec.Source);
+  if (!Report)
+    return Report;
+  std::printf("  injective %s in %.2fs; inverse synthesized in %.2fs\n",
+              Report->Injectivity->Injective ? "proved" : "refuted",
+              Report->InjectivitySeconds, Report->InversionSeconds);
+  unsigned Finalizers = 0;
+  for (const SeftTransition &T : Report->InverseMachine->transitions())
+    Finalizers += T.To == Seft::FinalState ? 1 : 0;
+  std::printf("  inverse: %zu rules (%u finalizers), lookahead %u, "
+              "%zu bytes of source\n",
+              Report->InverseMachine->transitions().size(), Finalizers,
+              Report->InverseMachine->lookahead(),
+              Report->InverseSourceBytes);
+  return Report;
+}
+
+} // namespace
+
+int main() {
+  // The standard BASE64 encoder and the XML-token variant differ in 4
+  // source lines; their decoders differ structurally.
+  Result<GenicReport> Standard = invertCoder(coderCorpus()[0]);
+  if (!Standard) {
+    std::fprintf(stderr, "error: %s\n", Standard.status().message().c_str());
+    return 1;
+  }
+  Result<GenicReport> Modified = invertCoder(coderCorpus()[2]);
+  if (!Modified) {
+    std::fprintf(stderr, "error: %s\n", Modified.status().message().c_str());
+    return 1;
+  }
+
+  // The derived decoders handle end-of-input differently: the padded one
+  // always consumes 4 trailing characters, the unpadded one 2 or 3.
+  auto Lookaheads = [](const Seft &M) {
+    std::string Out;
+    for (const SeftTransition &T : M.transitions())
+      if (T.To == Seft::FinalState)
+        Out += (Out.empty() ? "" : ", ") + std::to_string(T.Lookahead);
+    return Out;
+  };
+  std::printf("\nfinalizer lookaheads of the two synthesized decoders:\n");
+  std::printf("  standard BASE64: %s\n",
+              Lookaheads(*Standard->InverseMachine).c_str());
+  std::printf("  modified BASE64: %s\n",
+              Lookaheads(*Modified->InverseMachine).c_str());
+
+  // And of course both round-trip their own dialect.
+  ValueList Input;
+  for (unsigned char C : std::string("Sound & complete!"))
+    Input.push_back(Value::bitVecVal(C, 8));
+  for (const auto *R : {&*Standard, &*Modified}) {
+    auto Enc = R->Machine->transduceFunctional(Input);
+    auto Dec = R->InverseMachine->transduce(*Enc, 2);
+    if (Dec.size() != 1 || Dec[0] != Input) {
+      std::fprintf(stderr, "round-trip failed\n");
+      return 1;
+    }
+  }
+  std::printf("\nboth dialects round-trip: OK\n");
+  return 0;
+}

@@ -1,0 +1,529 @@
+//===- automata/Ambiguity.cpp ----------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the Lemma 4.14 ambiguity check. The pipeline:
+///
+///   1. trim            — drop unsatisfiable transitions and dead states
+///   2. expand          — split lookahead-k transitions into k lookahead-1
+///                        "pieces" through fresh chain states; lookahead-0
+///                        transitions become epsilon edges / finalizers
+///   3. epsilon cycles  — a reachable, co-reachable epsilon cycle accepts
+///                        some list by unboundedly many paths: ambiguous
+///   4. epsilon removal — compose epsilon edges (reverse-topological order)
+///                        and fold "piece; epsilon-finalizer" into
+///                        lookahead-1 finalizer pieces
+///   5. product search  — BFS over (p, q, diverged) configurations; a
+///                        diverged accepting configuration is a witness
+///
+/// Path identity follows Definition 3.4: two runs are distinct iff they fire
+/// a different rule (piece) at some step, so the product tracks piece
+/// identity, and compositions get fresh identities.
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/Ambiguity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace genic;
+
+namespace {
+
+/// Caches per-guard and per-guard-pair satisfiability.
+class GuardOracle {
+public:
+  GuardOracle(Solver &S) : S(S) {}
+
+  Result<bool> isSat(TermRef G) {
+    auto It = Unary.find(G);
+    if (It != Unary.end())
+      return It->second;
+    Result<bool> R = S.isSat(G);
+    if (R)
+      Unary.emplace(G, *R);
+    return R;
+  }
+
+  Result<bool> overlap(TermRef A, TermRef B) {
+    if (A == B)
+      return isSat(A);
+    auto Key = std::minmax(A, B);
+    auto It = Pairs.find(Key);
+    if (It != Pairs.end())
+      return It->second;
+    Result<bool> R = S.isSat(S.factory().mkAnd(A, B));
+    if (R)
+      Pairs.emplace(Key, *R);
+    return R;
+  }
+
+  Solver &S;
+
+private:
+  std::unordered_map<TermRef, bool> Unary;
+  std::map<std::pair<TermRef, TermRef>, bool> Pairs;
+};
+
+/// A value satisfying \p Guard (a unary predicate over Var(0)).
+Result<Value> guardModel(Solver &S, TermRef Guard, const Type &InputType) {
+  Result<std::vector<Value>> M = S.getModel(Guard, {InputType});
+  if (!M)
+    return M.status();
+  return (*M)[0];
+}
+
+} // namespace
+
+Result<CartesianSefa> genic::trim(const CartesianSefa &A, Solver &S) {
+  GuardOracle Oracle(S);
+  const auto &Ts = A.transitions();
+
+  // A transition is traversable iff each of its unary guards is satisfiable
+  // (guards at different positions are independent in a Cartesian s-EFA).
+  std::vector<bool> Traversable(Ts.size(), true);
+  for (size_t I = 0, E = Ts.size(); I != E; ++I)
+    for (TermRef G : Ts[I].Guards) {
+      Result<bool> Sat = Oracle.isSat(G);
+      if (!Sat)
+        return Sat.status();
+      if (!*Sat) {
+        Traversable[I] = false;
+        break;
+      }
+    }
+
+  // Forward reachability.
+  std::vector<bool> Reached(A.numStates(), false);
+  std::deque<unsigned> Work{A.initial()};
+  Reached[A.initial()] = true;
+  while (!Work.empty()) {
+    unsigned P = Work.front();
+    Work.pop_front();
+    for (size_t I = 0, E = Ts.size(); I != E; ++I) {
+      if (!Traversable[I] || Ts[I].From != P)
+        continue;
+      if (Ts[I].To != CartesianSefa::FinalState && !Reached[Ts[I].To]) {
+        Reached[Ts[I].To] = true;
+        Work.push_back(Ts[I].To);
+      }
+    }
+  }
+
+  // Backward reachability from finalizers.
+  std::vector<bool> CoReached(A.numStates(), false);
+  for (size_t I = 0, E = Ts.size(); I != E; ++I)
+    if (Traversable[I] && Ts[I].To == CartesianSefa::FinalState &&
+        !CoReached[Ts[I].From]) {
+      CoReached[Ts[I].From] = true;
+      Work.push_back(Ts[I].From);
+    }
+  while (!Work.empty()) {
+    unsigned Q = Work.front();
+    Work.pop_front();
+    for (size_t I = 0, E = Ts.size(); I != E; ++I) {
+      if (!Traversable[I] || Ts[I].To != Q)
+        continue;
+      if (!CoReached[Ts[I].From]) {
+        CoReached[Ts[I].From] = true;
+        Work.push_back(Ts[I].From);
+      }
+    }
+  }
+
+  // Renumber live states; always keep the initial state.
+  std::vector<unsigned> NewIndex(A.numStates(), ~0u);
+  unsigned Count = 0;
+  for (unsigned P = 0; P < A.numStates(); ++P)
+    if ((Reached[P] && CoReached[P]) || P == A.initial())
+      NewIndex[P] = Count++;
+  CartesianSefa Out(Count, NewIndex[A.initial()], A.inputType());
+  for (size_t I = 0, E = Ts.size(); I != E; ++I) {
+    const SefaTransition &T = Ts[I];
+    if (!Traversable[I] || NewIndex[T.From] == ~0u ||
+        !(Reached[T.From] && CoReached[T.From]))
+      continue;
+    if (T.To != CartesianSefa::FinalState &&
+        (NewIndex[T.To] == ~0u || !(Reached[T.To] && CoReached[T.To])))
+      continue;
+    SefaTransition NT = T;
+    NT.From = NewIndex[T.From];
+    if (T.To != CartesianSefa::FinalState)
+      NT.To = NewIndex[T.To];
+    Out.addTransition(std::move(NT));
+  }
+  return Out;
+}
+
+Result<ValueList> genic::sampleAcceptedVia(const CartesianSefa &A, Solver &S,
+                                           unsigned ViaState) {
+  const auto &Ts = A.transitions();
+  // BFS forward from the initial state, recording the word so far.
+  std::vector<std::optional<ValueList>> Forward(A.numStates());
+  Forward[A.initial()] = ValueList{};
+  std::deque<unsigned> Work{A.initial()};
+  auto Extend = [&](const ValueList &Prefix,
+                    const SefaTransition &T) -> Result<ValueList> {
+    ValueList Word = Prefix;
+    for (TermRef G : T.Guards) {
+      Result<Value> V = guardModel(S, G, A.inputType());
+      if (!V)
+        return V.status();
+      Word.push_back(*V);
+    }
+    return Word;
+  };
+  while (!Work.empty()) {
+    unsigned P = Work.front();
+    Work.pop_front();
+    for (const SefaTransition &T : Ts) {
+      if (T.From != P || T.To == CartesianSefa::FinalState ||
+          Forward[T.To].has_value())
+        continue;
+      Result<ValueList> W = Extend(*Forward[P], T);
+      if (!W)
+        return W;
+      Forward[T.To] = *W;
+      Work.push_back(T.To);
+    }
+  }
+  if (!Forward[ViaState])
+    return Status::error("sampleAcceptedVia: state unreachable");
+
+  // BFS backward from finalizers, recording the suffix.
+  std::vector<std::optional<ValueList>> Backward(A.numStates());
+  for (const SefaTransition &T : Ts) {
+    if (T.To != CartesianSefa::FinalState || Backward[T.From])
+      continue;
+    Result<ValueList> W = Extend(ValueList{}, T);
+    if (!W)
+      return W;
+    Backward[T.From] = *W;
+    Work.push_back(T.From);
+  }
+  while (!Work.empty()) {
+    unsigned Q = Work.front();
+    Work.pop_front();
+    for (const SefaTransition &T : Ts) {
+      if (T.To != Q || Backward[T.From])
+        continue;
+      Result<ValueList> Middle = Extend(ValueList{}, T);
+      if (!Middle)
+        return Middle;
+      ValueList W = *Middle;
+      W.insert(W.end(), Backward[Q]->begin(), Backward[Q]->end());
+      Backward[T.From] = W;
+      Work.push_back(T.From);
+    }
+  }
+  if (!Backward[ViaState])
+    return Status::error("sampleAcceptedVia: state cannot reach a finalizer");
+  ValueList Out = *Forward[ViaState];
+  Out.insert(Out.end(), Backward[ViaState]->begin(),
+             Backward[ViaState]->end());
+  return Out;
+}
+
+namespace {
+
+/// A lookahead-1 fragment of an expanded transition.
+struct Piece {
+  unsigned From;
+  unsigned To; // CartesianSefa::FinalState for finalizer pieces.
+  TermRef Guard;
+  unsigned Id;
+  /// Original transition ids (SefaTransition::Id) completed by taking this
+  /// piece; compositions concatenate, so walking a product path and
+  /// concatenating Completed reconstructs the original path.
+  std::vector<unsigned> Completed;
+};
+
+/// A lookahead-0 finalizer: accept immediately at state At.
+struct Fin0Entry {
+  unsigned At;
+  unsigned Id;
+  std::vector<unsigned> Completed;
+};
+
+/// The expanded, epsilon-free form used by the product search.
+struct Expanded {
+  unsigned NumStates = 0;
+  unsigned Initial = 0;
+  std::vector<Piece> Steps;      // To != FinalState, consume one symbol.
+  std::vector<Piece> Finishers;  // To == FinalState, consume one symbol.
+  std::vector<Fin0Entry> Fin0;   // Accept with zero remaining symbols.
+};
+
+struct EpsEdge {
+  unsigned From;
+  unsigned To;
+  unsigned OrigId;
+};
+
+} // namespace
+
+Result<std::optional<AmbiguityWitness>>
+genic::checkAmbiguity(const CartesianSefa &Input, Solver &S) {
+  Result<CartesianSefa> Trimmed = trim(Input, S);
+  if (!Trimmed)
+    return Trimmed.status();
+  const CartesianSefa &A = *Trimmed;
+  GuardOracle Oracle(S);
+
+  // --- Step 2: expansion into pieces --------------------------------------
+  Expanded X;
+  X.NumStates = A.numStates();
+  X.Initial = A.initial();
+  std::vector<EpsEdge> Eps;
+  unsigned NextId = 0;
+  for (const SefaTransition &T : A.transitions()) {
+    if (T.lookahead() == 0) {
+      if (T.To == CartesianSefa::FinalState)
+        X.Fin0.push_back({T.From, NextId++, {T.Id}});
+      else
+        Eps.push_back({T.From, T.To, T.Id});
+      continue;
+    }
+    unsigned Prev = T.From;
+    for (unsigned I = 0, L = T.lookahead(); I != L; ++I) {
+      bool Last = I + 1 == L;
+      unsigned Next = Last ? T.To : X.NumStates++;
+      Piece P{Prev, Next, T.Guards[I], NextId++, {}};
+      if (Last)
+        P.Completed = {T.Id};
+      if (Last && T.To == CartesianSefa::FinalState)
+        X.Finishers.push_back(P);
+      else
+        X.Steps.push_back(P);
+      Prev = Next;
+    }
+  }
+
+  // --- Step 3: epsilon cycles ----------------------------------------------
+  // After trimming every remaining original state is reachable and
+  // co-reachable, so an epsilon cycle means some accepted list has
+  // unboundedly many accepting paths.
+  {
+    std::vector<std::vector<unsigned>> Adjacent(X.NumStates);
+    for (size_t I = 0, E = Eps.size(); I != E; ++I)
+      Adjacent[Eps[I].From].push_back(Eps[I].To);
+    std::vector<int> Color(X.NumStates, 0);
+    std::vector<unsigned> CycleState;
+    auto Dfs = [&](auto &&Self, unsigned P) -> bool {
+      Color[P] = 1;
+      for (unsigned Q : Adjacent[P]) {
+        if (Color[Q] == 1) {
+          CycleState.push_back(Q);
+          return true;
+        }
+        if (Color[Q] == 0 && Self(Self, Q))
+          return true;
+      }
+      Color[P] = 2;
+      return false;
+    };
+    for (unsigned P = 0; P < A.numStates(); ++P)
+      if (Color[P] == 0 && Dfs(Dfs, P)) {
+        Result<ValueList> W = sampleAcceptedVia(A, S, CycleState.front());
+        if (!W)
+          return W.status();
+        return std::optional<AmbiguityWitness>(AmbiguityWitness{*W, {}, {}});
+      }
+  }
+
+  // --- Step 4: epsilon elimination -----------------------------------------
+  // Process epsilon edges in reverse topological order so that the target's
+  // outgoing sets are complete when an edge is folded away. Compositions get
+  // fresh identities: a path through an epsilon edge differs from the direct
+  // path.
+  {
+    std::vector<std::vector<size_t>> Out(X.NumStates);
+    std::vector<unsigned> InDegree(X.NumStates, 0);
+    for (size_t I = 0, E = Eps.size(); I != E; ++I) {
+      Out[Eps[I].From].push_back(I);
+      ++InDegree[Eps[I].To];
+    }
+    // Kahn's algorithm gives topological order; fold edges from the last
+    // state backwards (targets before sources).
+    std::vector<unsigned> Order;
+    std::deque<unsigned> Ready;
+    for (unsigned P = 0; P < X.NumStates; ++P)
+      if (InDegree[P] == 0)
+        Ready.push_back(P);
+    while (!Ready.empty()) {
+      unsigned P = Ready.front();
+      Ready.pop_front();
+      Order.push_back(P);
+      for (size_t I : Out[P])
+        if (--InDegree[Eps[I].To] == 0)
+          Ready.push_back(Eps[I].To);
+    }
+    assert(Order.size() == X.NumStates && "epsilon cycle missed");
+    for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+      unsigned P = *It;
+      for (size_t I : Out[P]) {
+        unsigned Q = Eps[I].To;
+        // Copy Q's outgoing behaviour onto P with fresh identities.
+        unsigned ViaId = Eps[I].OrigId;
+        auto Prepend = [ViaId](const std::vector<unsigned> &Tail) {
+          std::vector<unsigned> Ids{ViaId};
+          Ids.insert(Ids.end(), Tail.begin(), Tail.end());
+          return Ids;
+        };
+        size_t NumSteps = X.Steps.size(), NumFin = X.Finishers.size(),
+               NumFin0 = X.Fin0.size();
+        for (size_t J = 0; J < NumSteps; ++J)
+          if (X.Steps[J].From == Q)
+            X.Steps.push_back({P, X.Steps[J].To, X.Steps[J].Guard, NextId++,
+                               Prepend(X.Steps[J].Completed)});
+        for (size_t J = 0; J < NumFin; ++J)
+          if (X.Finishers[J].From == Q)
+            X.Finishers.push_back(
+                {P, CartesianSefa::FinalState, X.Finishers[J].Guard,
+                 NextId++, Prepend(X.Finishers[J].Completed)});
+        for (size_t J = 0; J < NumFin0; ++J)
+          if (X.Fin0[J].At == Q)
+            X.Fin0.push_back({P, NextId++, Prepend(X.Fin0[J].Completed)});
+      }
+    }
+  }
+
+  // Fold "step to q; epsilon-finalizer at q" into lookahead-1 finishers.
+  {
+    std::vector<std::vector<size_t>> Fin0At(X.NumStates);
+    for (size_t J = 0, E = X.Fin0.size(); J != E; ++J)
+      Fin0At[X.Fin0[J].At].push_back(J);
+    size_t NumSteps = X.Steps.size();
+    for (size_t J = 0; J < NumSteps; ++J) {
+      const Piece &T = X.Steps[J];
+      for (size_t K : Fin0At[T.To]) {
+        std::vector<unsigned> Ids = T.Completed;
+        Ids.insert(Ids.end(), X.Fin0[K].Completed.begin(),
+                   X.Fin0[K].Completed.end());
+        X.Finishers.push_back({T.From, CartesianSefa::FinalState, T.Guard,
+                               NextId++, std::move(Ids)});
+      }
+    }
+  }
+
+  // --- Step 6: empty word ---------------------------------------------------
+  std::vector<size_t> InitialFin0;
+  for (size_t J = 0, E = X.Fin0.size(); J != E; ++J)
+    if (X.Fin0[J].At == X.Initial)
+      InitialFin0.push_back(J);
+  if (InitialFin0.size() >= 2)
+    return std::optional<AmbiguityWitness>(
+        AmbiguityWitness{ValueList{}, X.Fin0[InitialFin0[0]].Completed,
+                         X.Fin0[InitialFin0[1]].Completed});
+
+  // --- Step 7: product search ----------------------------------------------
+  std::vector<std::vector<size_t>> StepsFrom(X.NumStates);
+  std::vector<std::vector<size_t>> FinishersFrom(X.NumStates);
+  for (size_t I = 0, E = X.Steps.size(); I != E; ++I)
+    StepsFrom[X.Steps[I].From].push_back(I);
+  for (size_t I = 0, E = X.Finishers.size(); I != E; ++I)
+    FinishersFrom[X.Finishers[I].From].push_back(I);
+
+  auto Key = [&](unsigned P, unsigned Q, bool D) -> uint64_t {
+    return (static_cast<uint64_t>(P) * X.NumStates + Q) * 2 + (D ? 1 : 0);
+  };
+  struct Parent {
+    uint64_t PrevKey;
+    size_t Step1, Step2; // Indices into X.Steps.
+  };
+  std::unordered_map<uint64_t, Parent> Visited;
+  std::deque<std::tuple<unsigned, unsigned, bool>> Work;
+  uint64_t Root = Key(X.Initial, X.Initial, false);
+  Visited.emplace(Root, Parent{Root, SIZE_MAX, SIZE_MAX});
+  Work.push_back({X.Initial, X.Initial, false});
+
+  auto BuildWitness =
+      [&](uint64_t EndKey, const Piece &Final1,
+          const Piece &Final2) -> Result<std::optional<AmbiguityWitness>> {
+    // Walk the parent chain to the root, collecting guard pairs and the two
+    // original paths.
+    std::vector<std::pair<size_t, size_t>> StepPairs;
+    uint64_t K = EndKey;
+    while (true) {
+      const Parent &Par = Visited.at(K);
+      if (Par.Step1 == SIZE_MAX)
+        break;
+      StepPairs.push_back({Par.Step1, Par.Step2});
+      K = Par.PrevKey;
+    }
+    std::reverse(StepPairs.begin(), StepPairs.end());
+    ValueList Word;
+    std::vector<unsigned> PathA, PathB;
+    for (const auto &[I1, I2] : StepPairs) {
+      Result<Value> V = guardModel(
+          S, S.factory().mkAnd(X.Steps[I1].Guard, X.Steps[I2].Guard),
+          A.inputType());
+      if (!V)
+        return V.status();
+      Word.push_back(*V);
+      PathA.insert(PathA.end(), X.Steps[I1].Completed.begin(),
+                   X.Steps[I1].Completed.end());
+      PathB.insert(PathB.end(), X.Steps[I2].Completed.begin(),
+                   X.Steps[I2].Completed.end());
+    }
+    Result<Value> V =
+        guardModel(S, S.factory().mkAnd(Final1.Guard, Final2.Guard),
+                   A.inputType());
+    if (!V)
+      return V.status();
+    Word.push_back(*V);
+    PathA.insert(PathA.end(), Final1.Completed.begin(),
+                 Final1.Completed.end());
+    PathB.insert(PathB.end(), Final2.Completed.begin(),
+                 Final2.Completed.end());
+    return std::optional<AmbiguityWitness>(
+        AmbiguityWitness{Word, std::move(PathA), std::move(PathB)});
+  };
+
+  while (!Work.empty()) {
+    auto [P, Q, D] = Work.front();
+    Work.pop_front();
+    uint64_t K = Key(P, Q, D);
+
+    // Accepting check: two finishers firing on the same final symbol.
+    for (size_t I1 : FinishersFrom[P])
+      for (size_t I2 : FinishersFrom[Q]) {
+        const Piece &F1 = X.Finishers[I1];
+        const Piece &F2 = X.Finishers[I2];
+        if (!D && F1.Id == F2.Id)
+          continue;
+        Result<bool> Olap = Oracle.overlap(F1.Guard, F2.Guard);
+        if (!Olap)
+          return Olap.status();
+        if (*Olap)
+          return BuildWitness(K, F1, F2);
+      }
+
+    // Synchronous step on one symbol.
+    for (size_t I1 : StepsFrom[P])
+      for (size_t I2 : StepsFrom[Q]) {
+        const Piece &T1 = X.Steps[I1];
+        const Piece &T2 = X.Steps[I2];
+        bool NextD = D || T1.Id != T2.Id;
+        uint64_t NK = Key(T1.To, T2.To, NextD);
+        if (Visited.count(NK))
+          continue;
+        Result<bool> Olap = Oracle.overlap(T1.Guard, T2.Guard);
+        if (!Olap)
+          return Olap.status();
+        if (!*Olap)
+          continue;
+        Visited.emplace(NK, Parent{K, I1, I2});
+        Work.push_back({T1.To, T2.To, NextD});
+      }
+  }
+  return std::optional<AmbiguityWitness>(std::nullopt);
+}

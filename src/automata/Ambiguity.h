@@ -1,0 +1,59 @@
+//===- automata/Ambiguity.h - Ambiguity check for Cartesian s-EFAs --------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision procedure of Lemma 4.14: whether a Cartesian s-EFA is
+/// unambiguous, i.e. no list is accepted by two distinct paths. The paper's
+/// construction expands each lookahead-k transition into k lookahead-1
+/// transitions and runs a product construction tracking whether the two
+/// simulated runs have diverged; a reachable diverged configuration that can
+/// accept proves ambiguity, and a concrete witness list is extracted from
+/// the models of the guards along the product path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_AUTOMATA_AMBIGUITY_H
+#define GENIC_AUTOMATA_AMBIGUITY_H
+
+#include "automata/Sefa.h"
+#include "solver/Solver.h"
+#include "support/Result.h"
+
+#include <optional>
+
+namespace genic {
+
+/// A list accepted by at least two distinct paths.
+struct AmbiguityWitness {
+  ValueList Word;
+  /// The two distinct accepting paths, as sequences of transition ids
+  /// (SefaTransition::Id). When the ambiguity stems from an epsilon cycle
+  /// (unboundedly many paths), the sequences are left empty.
+  std::vector<unsigned> PathA;
+  std::vector<unsigned> PathB;
+};
+
+/// Decides ambiguity of \p A (Lemma 4.14). Returns a witness list if \p A is
+/// ambiguous, std::nullopt if it is unambiguous, or an error if the solver
+/// cannot decide a guard query.
+Result<std::optional<AmbiguityWitness>> checkAmbiguity(const CartesianSefa &A,
+                                                       Solver &S);
+
+/// Removes transitions with unsatisfiable guards and states that are not
+/// both reachable from the initial state and able to reach a finalizer.
+/// States are renumbered; the initial state is kept even if dead (yielding
+/// an automaton with no transitions).
+Result<CartesianSefa> trim(const CartesianSefa &A, Solver &S);
+
+/// A shortest-ish accepted list passing through \p ViaState (which must be
+/// reachable and co-reachable), built from guard models. Used for witness
+/// extraction and by tests.
+Result<ValueList> sampleAcceptedVia(const CartesianSefa &A, Solver &S,
+                                    unsigned ViaState);
+
+} // namespace genic
+
+#endif // GENIC_AUTOMATA_AMBIGUITY_H

@@ -1,0 +1,107 @@
+//===- automata/Sefa.cpp ---------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Sefa.h"
+
+#include "term/Eval.h"
+#include "term/Printer.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace genic;
+
+void CartesianSefa::addTransition(SefaTransition T) {
+  assert(T.From < NumStates && "transition from unknown state");
+  assert((T.To == FinalState || T.To < NumStates) &&
+         "transition to unknown state");
+  Transitions.push_back(std::move(T));
+}
+
+unsigned CartesianSefa::lookahead() const {
+  unsigned L = 0;
+  for (const SefaTransition &T : Transitions)
+    L = std::max(L, T.lookahead());
+  return L;
+}
+
+namespace {
+
+/// Whether transition \p T fires on the symbols starting at \p Pos.
+bool fires(const SefaTransition &T, const ValueList &Word, size_t Pos) {
+  if (Pos + T.lookahead() > Word.size())
+    return false;
+  for (unsigned I = 0, E = T.lookahead(); I != E; ++I) {
+    std::vector<Value> Env{Word[Pos + I]};
+    if (!evalBool(T.Guards[I], Env))
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool CartesianSefa::accepts(const ValueList &Word) const {
+  return countAcceptingPaths(Word, 1) >= 1;
+}
+
+unsigned CartesianSefa::countAcceptingPaths(const ValueList &Word,
+                                            unsigned Cap) const {
+  // Count paths from (state, position) by memoized recursion. Lookahead-0
+  // cycles would make the count infinite; the OnStack guard saturates them
+  // at Cap instead, which is the right answer for ambiguity testing (a
+  // reachable, co-reachable epsilon cycle yields unboundedly many paths).
+  const unsigned N = Word.size();
+  std::vector<std::vector<int>> Memo(NumStates,
+                                     std::vector<int>(N + 1, -1));
+  std::vector<std::vector<bool>> OnStack(NumStates,
+                                         std::vector<bool>(N + 1, false));
+  std::function<unsigned(unsigned, size_t)> Count =
+      [&](unsigned State, size_t Pos) -> unsigned {
+    if (Memo[State][Pos] >= 0)
+      return Memo[State][Pos];
+    if (OnStack[State][Pos])
+      return Cap; // Saturate epsilon cycles.
+    OnStack[State][Pos] = true;
+    unsigned Total = 0;
+    for (const SefaTransition &T : Transitions) {
+      if (T.From != State || !fires(T, Word, Pos))
+        continue;
+      size_t Next = Pos + T.lookahead();
+      if (T.To == FinalState) {
+        if (Next == N)
+          ++Total;
+        continue;
+      }
+      Total += Count(T.To, Next);
+      if (Total >= Cap) {
+        Total = Cap;
+        break;
+      }
+    }
+    OnStack[State][Pos] = false;
+    Memo[State][Pos] = Total;
+    return Total;
+  };
+  return Count(Initial, 0);
+}
+
+std::string CartesianSefa::str() const {
+  std::string Out = "s-EFA(states=" + std::to_string(NumStates) +
+                    ", initial=" + std::to_string(Initial) + ")\n";
+  for (const SefaTransition &T : Transitions) {
+    Out += "  q" + std::to_string(T.From) + " --[";
+    for (unsigned I = 0, E = T.lookahead(); I != E; ++I) {
+      if (I)
+        Out += ", ";
+      Out += printTerm(T.Guards[I]);
+    }
+    Out += "]/" + std::to_string(T.lookahead()) + "--> ";
+    Out += T.To == FinalState ? "FINAL" : "q" + std::to_string(T.To);
+    Out += "  (id " + std::to_string(T.Id) + ")\n";
+  }
+  return Out;
+}

@@ -1,0 +1,517 @@
+//===- coders/Corpus.cpp - GENIC sources for the 14 coders -----------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GENIC programs follow Figure 2's style: a character-mapping function
+/// E/D, the generic bit-extraction helper B (B h l x = bits h..l of x), and
+/// for decoders a digit predicate. Decoders are strict canonical decoders.
+///
+/// The UTF-8 pair is the RFC 3629 definition (overlongs, surrogates, and
+/// values beyond 0x10FFFF all rejected), with the 3- and 4-byte classes
+/// split along byte-aligned boundaries so that every rule's output
+/// predicate is Cartesian — the decidable fragment of Theorem 4.16 requires
+/// it, and the unsplit rules' predicates are genuinely non-Cartesian (the
+/// overlong/surrogate boundaries cut through the continuation-byte box).
+/// The paper's 4-transition UTF-8 encoder must have glossed this; see
+/// EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "coders/Corpus.h"
+
+using namespace genic;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// BASE64 (Figure 2) and its strict decoder (Figure 3's shape).
+// --------------------------------------------------------------------------
+
+const char *Base64EncoderSrc = R"(// BASE64 encoder, Figure 2 of the paper.
+fun E (x : (BitVec 8) when x <= #x3f) :=
+  (ite (x <= #x19) (x + #x41)
+    (ite (x <= #x33) (x + #x47)
+      (ite (x <= #x3d) (x - #x04)
+        (ite (x == #x3e) #x2b #x2f))))
+fun B (h : (BitVec 8)) (l : (BitVec 8)) (x : (BitVec 8)) :=
+  (x << (#x07 - h)) >> ((#x07 - h) + l)
+trans B64E (l : (BitVec 8) list) : (BitVec 8) :=
+  match l with
+  | x::y::z::tail when true ->
+    (E (B 7 2 x)) ::
+    (E (((B 1 0 x) << 4) | (B 7 4 y))) ::
+    (E (((B 3 0 y) << 2) | (B 7 6 z))) ::
+    (E (B 5 0 z)) ::
+    B64E(tail)
+  | x::y::[] when true ->
+    (E (B 7 2 x)) ::
+    (E (((B 1 0 x) << 4) | (B 7 4 y))) ::
+    (E ((B 3 0 y) << 2)) ::
+    #x3d :: []
+  | x::[] when true ->
+    (E (B 7 2 x)) :: (E ((B 1 0 x) << 4)) :: #x3d :: #x3d :: []
+  | [] when true -> []
+isInjective B64E
+invert B64E
+)";
+
+const char *Base64DecoderSrc = R"(// BASE64 decoder, strict canonical form.
+fun D (x : (BitVec 8) when (or (and (#x41 <= x) (x <= #x5a))
+                               (and (#x61 <= x) (x <= #x7a))
+                               (and (#x30 <= x) (x <= #x39))
+                               (x == #x2b) (x == #x2f))) :=
+  (ite (x == #x2b) #x3e
+    (ite (x == #x2f) #x3f
+      (ite (x <= #x39) (x + #x04)
+        (ite (x <= #x5a) (x - #x41) (x - #x47)))))
+fun B (h : (BitVec 8)) (l : (BitVec 8)) (x : (BitVec 8)) :=
+  (x << (#x07 - h)) >> ((#x07 - h) + l)
+fun isD (x : (BitVec 8)) :=
+  (or (and (#x41 <= x) (x <= #x5a)) (and (#x61 <= x) (x <= #x7a))
+      (and (#x30 <= x) (x <= #x39)) (x == #x2b) (x == #x2f))
+trans B64D (l : (BitVec 8) list) : (BitVec 8) :=
+  match l with
+  | a::b::c::d::tail when (and (isD a) (isD b) (isD c) (isD d)) ->
+    (((D a) << 2) | (B 5 4 (D b))) ::
+    (((B 3 0 (D b)) << 4) | (B 5 2 (D c))) ::
+    (((B 1 0 (D c)) << 6) | (D d)) ::
+    B64D(tail)
+  | a::b::c::d::[] when (and (isD a) (isD b)
+                             ((B 3 0 (D b)) == #x00)
+                             (c == #x3d) (d == #x3d)) ->
+    (((D a) << 2) | (B 5 4 (D b))) :: []
+  | a::b::c::d::[] when (and (isD a) (isD b) (isD c)
+                             ((B 1 0 (D c)) == #x00) (d == #x3d)) ->
+    (((D a) << 2) | (B 5 4 (D b))) ::
+    (((B 3 0 (D b)) << 4) | (B 5 2 (D c))) :: []
+  | [] when true -> []
+isInjective B64D
+invert B64D
+)";
+
+// --------------------------------------------------------------------------
+// Modified BASE64 for XML tokens (§2): '.', '-' for 62/63 and no padding.
+// --------------------------------------------------------------------------
+
+const char *ModBase64EncoderSrc = R"(// Modified BASE64 (XML tokens, §2).
+fun E (x : (BitVec 8) when x <= #x3f) :=
+  (ite (x <= #x19) (x + #x41)
+    (ite (x <= #x33) (x + #x47)
+      (ite (x <= #x3d) (x - #x04)
+        (ite (x == #x3e) #x2e #x2d))))
+fun B (h : (BitVec 8)) (l : (BitVec 8)) (x : (BitVec 8)) :=
+  (x << (#x07 - h)) >> ((#x07 - h) + l)
+trans MB64E (l : (BitVec 8) list) : (BitVec 8) :=
+  match l with
+  | x::y::z::tail when true ->
+    (E (B 7 2 x)) ::
+    (E (((B 1 0 x) << 4) | (B 7 4 y))) ::
+    (E (((B 3 0 y) << 2) | (B 7 6 z))) ::
+    (E (B 5 0 z)) ::
+    MB64E(tail)
+  | x::y::[] when true ->
+    (E (B 7 2 x)) ::
+    (E (((B 1 0 x) << 4) | (B 7 4 y))) ::
+    (E ((B 3 0 y) << 2)) :: []
+  | x::[] when true ->
+    (E (B 7 2 x)) :: (E ((B 1 0 x) << 4)) :: []
+  | [] when true -> []
+isInjective MB64E
+invert MB64E
+)";
+
+const char *ModBase64DecoderSrc = R"(// Modified BASE64 decoder (§2), strict.
+fun D (x : (BitVec 8) when (or (and (#x41 <= x) (x <= #x5a))
+                               (and (#x61 <= x) (x <= #x7a))
+                               (and (#x30 <= x) (x <= #x39))
+                               (x == #x2e) (x == #x2d))) :=
+  (ite (x == #x2d) #x3f
+    (ite (x == #x2e) #x3e
+      (ite (x <= #x39) (x + #x04)
+        (ite (x <= #x5a) (x - #x41) (x - #x47)))))
+fun B (h : (BitVec 8)) (l : (BitVec 8)) (x : (BitVec 8)) :=
+  (x << (#x07 - h)) >> ((#x07 - h) + l)
+fun isD (x : (BitVec 8)) :=
+  (or (and (#x41 <= x) (x <= #x5a)) (and (#x61 <= x) (x <= #x7a))
+      (and (#x30 <= x) (x <= #x39)) (x == #x2e) (x == #x2d))
+trans MB64D (l : (BitVec 8) list) : (BitVec 8) :=
+  match l with
+  | a::b::c::d::tail when (and (isD a) (isD b) (isD c) (isD d)) ->
+    (((D a) << 2) | (B 5 4 (D b))) ::
+    (((B 3 0 (D b)) << 4) | (B 5 2 (D c))) ::
+    (((B 1 0 (D c)) << 6) | (D d)) ::
+    MB64D(tail)
+  | a::b::[] when (and (isD a) (isD b) ((B 3 0 (D b)) == #x00)) ->
+    (((D a) << 2) | (B 5 4 (D b))) :: []
+  | a::b::c::[] when (and (isD a) (isD b) (isD c)
+                          ((B 1 0 (D c)) == #x00)) ->
+    (((D a) << 2) | (B 5 4 (D b))) ::
+    (((B 3 0 (D b)) << 4) | (B 5 2 (D c))) :: []
+  | [] when true -> []
+isInjective MB64D
+invert MB64D
+)";
+
+// --------------------------------------------------------------------------
+// BASE32 (RFC 4648): 5 bytes <-> 8 five-bit digits, '=' padding.
+// --------------------------------------------------------------------------
+
+const char *Base32EncoderSrc = R"(// BASE32 encoder (RFC 4648).
+fun E (x : (BitVec 8) when x <= #x1f) :=
+  (ite (x <= #x19) (x + #x41) (x + #x18))
+fun B (h : (BitVec 8)) (l : (BitVec 8)) (x : (BitVec 8)) :=
+  (x << (#x07 - h)) >> ((#x07 - h) + l)
+trans B32E (l : (BitVec 8) list) : (BitVec 8) :=
+  match l with
+  | x0::x1::x2::x3::x4::tail when true ->
+    (E (B 7 3 x0)) ::
+    (E (((B 2 0 x0) << 2) | (B 7 6 x1))) ::
+    (E (B 5 1 x1)) ::
+    (E (((B 0 0 x1) << 4) | (B 7 4 x2))) ::
+    (E (((B 3 0 x2) << 1) | (B 7 7 x3))) ::
+    (E (B 6 2 x3)) ::
+    (E (((B 1 0 x3) << 3) | (B 7 5 x4))) ::
+    (E (B 4 0 x4)) ::
+    B32E(tail)
+  | x0::[] when true ->
+    (E (B 7 3 x0)) :: (E ((B 2 0 x0) << 2)) ::
+    #x3d :: #x3d :: #x3d :: #x3d :: #x3d :: #x3d :: []
+  | x0::x1::[] when true ->
+    (E (B 7 3 x0)) ::
+    (E (((B 2 0 x0) << 2) | (B 7 6 x1))) ::
+    (E (B 5 1 x1)) ::
+    (E ((B 0 0 x1) << 4)) ::
+    #x3d :: #x3d :: #x3d :: #x3d :: []
+  | x0::x1::x2::[] when true ->
+    (E (B 7 3 x0)) ::
+    (E (((B 2 0 x0) << 2) | (B 7 6 x1))) ::
+    (E (B 5 1 x1)) ::
+    (E (((B 0 0 x1) << 4) | (B 7 4 x2))) ::
+    (E ((B 3 0 x2) << 1)) ::
+    #x3d :: #x3d :: #x3d :: []
+  | x0::x1::x2::x3::[] when true ->
+    (E (B 7 3 x0)) ::
+    (E (((B 2 0 x0) << 2) | (B 7 6 x1))) ::
+    (E (B 5 1 x1)) ::
+    (E (((B 0 0 x1) << 4) | (B 7 4 x2))) ::
+    (E (((B 3 0 x2) << 1) | (B 7 7 x3))) ::
+    (E (B 6 2 x3)) ::
+    (E ((B 1 0 x3) << 3)) ::
+    #x3d :: []
+  | [] when true -> []
+isInjective B32E
+invert B32E
+)";
+
+const char *Base32DecoderSrc = R"(// BASE32 decoder (RFC 4648), strict.
+fun D (x : (BitVec 8) when (or (and (#x41 <= x) (x <= #x5a))
+                               (and (#x32 <= x) (x <= #x37)))) :=
+  (ite (x <= #x37) (x - #x18) (x - #x41))
+fun B (h : (BitVec 8)) (l : (BitVec 8)) (x : (BitVec 8)) :=
+  (x << (#x07 - h)) >> ((#x07 - h) + l)
+fun isD (x : (BitVec 8)) :=
+  (or (and (#x41 <= x) (x <= #x5a)) (and (#x32 <= x) (x <= #x37)))
+trans B32D (l : (BitVec 8) list) : (BitVec 8) :=
+  match l with
+  | a0::a1::a2::a3::a4::a5::a6::a7::tail when
+      (and (isD a0) (isD a1) (isD a2) (isD a3)
+           (isD a4) (isD a5) (isD a6) (isD a7)) ->
+    (((D a0) << 3) | (B 4 2 (D a1))) ::
+    (((B 1 0 (D a1)) << 6) | ((D a2) << 1) | (B 4 4 (D a3))) ::
+    (((B 3 0 (D a3)) << 4) | (B 4 1 (D a4))) ::
+    (((B 0 0 (D a4)) << 7) | ((D a5) << 2) | (B 4 3 (D a6))) ::
+    (((B 2 0 (D a6)) << 5) | (D a7)) ::
+    B32D(tail)
+  | a0::a1::p0::p1::p2::p3::p4::p5::[] when
+      (and (isD a0) (isD a1) ((B 1 0 (D a1)) == #x00)
+           (p0 == #x3d) (p1 == #x3d) (p2 == #x3d)
+           (p3 == #x3d) (p4 == #x3d) (p5 == #x3d)) ->
+    (((D a0) << 3) | (B 4 2 (D a1))) :: []
+  | a0::a1::a2::a3::p0::p1::p2::p3::[] when
+      (and (isD a0) (isD a1) (isD a2) (isD a3)
+           ((B 3 0 (D a3)) == #x00)
+           (p0 == #x3d) (p1 == #x3d) (p2 == #x3d) (p3 == #x3d)) ->
+    (((D a0) << 3) | (B 4 2 (D a1))) ::
+    (((B 1 0 (D a1)) << 6) | ((D a2) << 1) | (B 4 4 (D a3))) :: []
+  | a0::a1::a2::a3::a4::p0::p1::p2::[] when
+      (and (isD a0) (isD a1) (isD a2) (isD a3) (isD a4)
+           ((B 0 0 (D a4)) == #x00)
+           (p0 == #x3d) (p1 == #x3d) (p2 == #x3d)) ->
+    (((D a0) << 3) | (B 4 2 (D a1))) ::
+    (((B 1 0 (D a1)) << 6) | ((D a2) << 1) | (B 4 4 (D a3))) ::
+    (((B 3 0 (D a3)) << 4) | (B 4 1 (D a4))) :: []
+  | a0::a1::a2::a3::a4::a5::a6::p0::[] when
+      (and (isD a0) (isD a1) (isD a2) (isD a3)
+           (isD a4) (isD a5) (isD a6)
+           ((B 2 0 (D a6)) == #x00) (p0 == #x3d)) ->
+    (((D a0) << 3) | (B 4 2 (D a1))) ::
+    (((B 1 0 (D a1)) << 6) | ((D a2) << 1) | (B 4 4 (D a3))) ::
+    (((B 3 0 (D a3)) << 4) | (B 4 1 (D a4))) ::
+    (((B 0 0 (D a4)) << 7) | ((D a5) << 2) | (B 4 3 (D a6))) :: []
+  | [] when true -> []
+isInjective B32D
+invert B32D
+)";
+
+// --------------------------------------------------------------------------
+// BASE16 (uppercase hex).
+// --------------------------------------------------------------------------
+
+const char *Base16EncoderSrc = R"(// BASE16 (hex) encoder.
+fun E (x : (BitVec 8) when x <= #x0f) :=
+  (ite (x <= #x09) (x + #x30) (x + #x37))
+fun B (h : (BitVec 8)) (l : (BitVec 8)) (x : (BitVec 8)) :=
+  (x << (#x07 - h)) >> ((#x07 - h) + l)
+trans B16E (l : (BitVec 8) list) : (BitVec 8) :=
+  match l with
+  | x::tail when true ->
+    (E (B 7 4 x)) :: (E (B 3 0 x)) :: B16E(tail)
+  | [] when true -> []
+isInjective B16E
+invert B16E
+)";
+
+const char *Base16DecoderSrc = R"(// BASE16 (hex) decoder, strict uppercase.
+fun D (x : (BitVec 8) when (or (and (#x30 <= x) (x <= #x39))
+                               (and (#x41 <= x) (x <= #x46)))) :=
+  (ite (x <= #x39) (x - #x30) (x - #x37))
+fun B (h : (BitVec 8)) (l : (BitVec 8)) (x : (BitVec 8)) :=
+  (x << (#x07 - h)) >> ((#x07 - h) + l)
+fun isD (x : (BitVec 8)) :=
+  (or (and (#x30 <= x) (x <= #x39)) (and (#x41 <= x) (x <= #x46)))
+trans B16D (l : (BitVec 8) list) : (BitVec 8) :=
+  match l with
+  | a::b::tail when (and (isD a) (isD b)) ->
+    (((D a) << 4) | (D b)) :: B16D(tail)
+  | [] when true -> []
+isInjective B16D
+invert B16D
+)";
+
+// --------------------------------------------------------------------------
+// UU body encoding (space variant, no length prefix, no padding chars).
+// --------------------------------------------------------------------------
+
+const char *UuEncoderSrc = R"(// UU body encoder (space variant).
+fun E (x : (BitVec 8) when x <= #x3f) := x + #x20
+fun B (h : (BitVec 8)) (l : (BitVec 8)) (x : (BitVec 8)) :=
+  (x << (#x07 - h)) >> ((#x07 - h) + l)
+trans UUE (l : (BitVec 8) list) : (BitVec 8) :=
+  match l with
+  | x::y::z::tail when true ->
+    (E (B 7 2 x)) ::
+    (E (((B 1 0 x) << 4) | (B 7 4 y))) ::
+    (E (((B 3 0 y) << 2) | (B 7 6 z))) ::
+    (E (B 5 0 z)) ::
+    UUE(tail)
+  | x::y::[] when true ->
+    (E (B 7 2 x)) ::
+    (E (((B 1 0 x) << 4) | (B 7 4 y))) ::
+    (E ((B 3 0 y) << 2)) :: []
+  | x::[] when true ->
+    (E (B 7 2 x)) :: (E ((B 1 0 x) << 4)) :: []
+  | [] when true -> []
+isInjective UUE
+invert UUE
+)";
+
+const char *UuDecoderSrc = R"(// UU body decoder (space variant), strict.
+fun D (x : (BitVec 8) when (and (#x20 <= x) (x <= #x5f))) := x - #x20
+fun B (h : (BitVec 8)) (l : (BitVec 8)) (x : (BitVec 8)) :=
+  (x << (#x07 - h)) >> ((#x07 - h) + l)
+fun isD (x : (BitVec 8)) := (and (#x20 <= x) (x <= #x5f))
+trans UUD (l : (BitVec 8) list) : (BitVec 8) :=
+  match l with
+  | a::b::c::d::tail when (and (isD a) (isD b) (isD c) (isD d)) ->
+    (((D a) << 2) | (B 5 4 (D b))) ::
+    (((B 3 0 (D b)) << 4) | (B 5 2 (D c))) ::
+    (((B 1 0 (D c)) << 6) | (D d)) ::
+    UUD(tail)
+  | a::b::[] when (and (isD a) (isD b) ((B 3 0 (D b)) == #x00)) ->
+    (((D a) << 2) | (B 5 4 (D b))) :: []
+  | a::b::c::[] when (and (isD a) (isD b) (isD c)
+                          ((B 1 0 (D c)) == #x00)) ->
+    (((D a) << 2) | (B 5 4 (D b))) ::
+    (((B 3 0 (D b)) << 4) | (B 5 2 (D c))) :: []
+  | [] when true -> []
+isInjective UUD
+invert UUD
+)";
+
+// --------------------------------------------------------------------------
+// UTF-8 (RFC 3629), 3- and 4-byte classes split on byte-aligned boundaries
+// so every rule's output predicate is Cartesian (see file comment).
+// --------------------------------------------------------------------------
+
+const char *Utf8EncoderSrc = R"(// UTF-8 encoder (RFC 3629, Cartesian-split).
+fun cont (x : (BitVec 32)) := #x00000080 | (x & #x0000003f)
+trans U8E (l : (BitVec 32) list) : (BitVec 32) :=
+  match l with
+  | x::tail when x <= #x0000007f -> x :: U8E(tail)
+  | x::tail when (and (#x00000080 <= x) (x <= #x000007ff)) ->
+    (#x000000c0 | (x >> 6)) :: (cont x) :: U8E(tail)
+  | x::tail when (and (#x00000800 <= x) (x <= #x00000fff)) ->
+    #x000000e0 :: (cont (x >> 6)) :: (cont x) :: U8E(tail)
+  | x::tail when (and (#x00001000 <= x) (x <= #x0000cfff)) ->
+    (#x000000e0 | (x >> 12)) :: (cont (x >> 6)) :: (cont x) :: U8E(tail)
+  | x::tail when (and (#x0000d000 <= x) (x <= #x0000d7ff)) ->
+    #x000000ed :: (cont (x >> 6)) :: (cont x) :: U8E(tail)
+  | x::tail when (and (#x0000e000 <= x) (x <= #x0000ffff)) ->
+    (#x000000e0 | (x >> 12)) :: (cont (x >> 6)) :: (cont x) :: U8E(tail)
+  | x::tail when (and (#x00010000 <= x) (x <= #x0003ffff)) ->
+    #x000000f0 :: (cont (x >> 12)) :: (cont (x >> 6)) :: (cont x) :: U8E(tail)
+  | x::tail when (and (#x00040000 <= x) (x <= #x000fffff)) ->
+    (#x000000f0 | (x >> 18)) :: (cont (x >> 12)) :: (cont (x >> 6)) ::
+    (cont x) :: U8E(tail)
+  | x::tail when (and (#x00100000 <= x) (x <= #x0010ffff)) ->
+    #x000000f4 :: (cont (x >> 12)) :: (cont (x >> 6)) :: (cont x) :: U8E(tail)
+  | [] when true -> []
+isInjective U8E
+invert U8E
+)";
+
+const char *Utf8DecoderSrc = R"(// UTF-8 decoder (RFC 3629, strict), Cartesian-split.
+fun isCont (x : (BitVec 32)) := (and (#x00000080 <= x) (x <= #x000000bf))
+trans U8D (l : (BitVec 32) list) : (BitVec 32) :=
+  match l with
+  | a::tail when a <= #x0000007f -> a :: U8D(tail)
+  | a::b::tail when (and (#x000000c2 <= a) (a <= #x000000df) (isCont b)) ->
+    (((a & #x0000001f) << 6) | (b & #x0000003f)) :: U8D(tail)
+  | a::b::c::tail when (and (a == #x000000e0)
+                            (#x000000a0 <= b) (b <= #x000000bf)
+                            (isCont c)) ->
+    (((b & #x0000003f) << 6) | (c & #x0000003f)) :: U8D(tail)
+  | a::b::c::tail when (and (#x000000e1 <= a) (a <= #x000000ec)
+                            (isCont b) (isCont c)) ->
+    (((a & #x0000000f) << 12) | ((b & #x0000003f) << 6) |
+     (c & #x0000003f)) :: U8D(tail)
+  | a::b::c::tail when (and (a == #x000000ed)
+                            (#x00000080 <= b) (b <= #x0000009f)
+                            (isCont c)) ->
+    (#x0000d000 | ((b & #x0000003f) << 6) | (c & #x0000003f)) :: U8D(tail)
+  | a::b::c::tail when (and (#x000000ee <= a) (a <= #x000000ef)
+                            (isCont b) (isCont c)) ->
+    (((a & #x0000000f) << 12) | ((b & #x0000003f) << 6) |
+     (c & #x0000003f)) :: U8D(tail)
+  | a::b::c::d::tail when (and (a == #x000000f0)
+                               (#x00000090 <= b) (b <= #x000000bf)
+                               (isCont c) (isCont d)) ->
+    (((b & #x0000003f) << 12) | ((c & #x0000003f) << 6) |
+     (d & #x0000003f)) :: U8D(tail)
+  | a::b::c::d::tail when (and (#x000000f1 <= a) (a <= #x000000f3)
+                               (isCont b) (isCont c) (isCont d)) ->
+    (((a & #x00000007) << 18) | ((b & #x0000003f) << 12) |
+     ((c & #x0000003f) << 6) | (d & #x0000003f)) :: U8D(tail)
+  | a::b::c::d::tail when (and (a == #x000000f4)
+                               (#x00000080 <= b) (b <= #x0000008f)
+                               (isCont c) (isCont d)) ->
+    (#x00100000 | ((b & #x0000003f) << 12) | ((c & #x0000003f) << 6) |
+     (d & #x0000003f)) :: U8D(tail)
+  | [] when true -> []
+isInjective U8D
+invert U8D
+)";
+
+// --------------------------------------------------------------------------
+// UTF-16.
+// --------------------------------------------------------------------------
+
+const char *Utf16EncoderSrc = R"(// UTF-16 encoder.
+trans U16E (l : (BitVec 32) list) : (BitVec 32) :=
+  match l with
+  | x::tail when (and (x <= #x0000ffff)
+                      (not (and (#x0000d800 <= x) (x <= #x0000dfff)))) ->
+    x :: U16E(tail)
+  | x::tail when (and (#x00010000 <= x) (x <= #x0010ffff)) ->
+    (#x0000d800 | ((x - #x00010000) >> 10)) ::
+    (#x0000dc00 | ((x - #x00010000) & #x000003ff)) ::
+    U16E(tail)
+  | [] when true -> []
+isInjective U16E
+invert U16E
+)";
+
+const char *Utf16DecoderSrc = R"(// UTF-16 decoder, strict.
+trans U16D (l : (BitVec 32) list) : (BitVec 32) :=
+  match l with
+  | u::tail when (and (u <= #x0000ffff)
+                      (not (and (#x0000d800 <= u) (u <= #x0000dfff)))) ->
+    u :: U16D(tail)
+  | hi::lo::tail when (and (#x0000d800 <= hi) (hi <= #x0000dbff)
+                           (#x0000dc00 <= lo) (lo <= #x0000dfff)) ->
+    ((((hi & #x000003ff) << 10) | (lo & #x000003ff)) + #x00010000) ::
+    U16D(tail)
+  | [] when true -> []
+isInjective U16D
+invert U16D
+)";
+
+// --------------------------------------------------------------------------
+// Input samplers.
+// --------------------------------------------------------------------------
+
+Symbols randomBytes(std::mt19937_64 &Rng, unsigned Length) {
+  Symbols Out;
+  for (unsigned I = 0; I < Length; ++I)
+    Out.push_back(Rng() & 0xFF);
+  return Out;
+}
+
+Symbols randomScalars(std::mt19937_64 &Rng, unsigned Length) {
+  Symbols Out;
+  while (Out.size() < Length) {
+    uint64_t C = Rng() % 0x110000;
+    if (C >= 0xD800 && C <= 0xDFFF)
+      continue;
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+template <MaybeSymbols (*Encode)(const Symbols &)>
+Symbols encodedBytes(std::mt19937_64 &Rng, unsigned Length) {
+  return *Encode(randomBytes(Rng, Length));
+}
+
+template <MaybeSymbols (*Encode)(const Symbols &)>
+Symbols encodedScalars(std::mt19937_64 &Rng, unsigned Length) {
+  return *Encode(randomScalars(Rng, Length));
+}
+
+} // namespace
+
+const std::vector<CoderSpec> &genic::coderCorpus() {
+  static const std::vector<CoderSpec> Corpus = {
+      {"BASE64", "encoder", Base64EncoderSrc, 8, base64Encode, base64Decode,
+       randomBytes},
+      {"BASE64", "decoder", Base64DecoderSrc, 8, base64Decode, base64Encode,
+       encodedBytes<base64Encode>},
+      {"mod BASE64", "encoder", ModBase64EncoderSrc, 8, modifiedBase64Encode,
+       modifiedBase64Decode, randomBytes},
+      {"mod BASE64", "decoder", ModBase64DecoderSrc, 8, modifiedBase64Decode,
+       modifiedBase64Encode, encodedBytes<modifiedBase64Encode>},
+      {"BASE32", "encoder", Base32EncoderSrc, 8, base32Encode, base32Decode,
+       randomBytes},
+      {"BASE32", "decoder", Base32DecoderSrc, 8, base32Decode, base32Encode,
+       encodedBytes<base32Encode>},
+      {"BASE16", "encoder", Base16EncoderSrc, 8, base16Encode, base16Decode,
+       randomBytes},
+      {"BASE16", "decoder", Base16DecoderSrc, 8, base16Decode, base16Encode,
+       encodedBytes<base16Encode>},
+      {"UTF-8", "encoder", Utf8EncoderSrc, 32, utf8Encode, utf8Decode,
+       randomScalars},
+      {"UTF-8", "decoder", Utf8DecoderSrc, 32, utf8Decode, utf8Encode,
+       encodedScalars<utf8Encode>},
+      {"UTF-16", "encoder", Utf16EncoderSrc, 32, utf16Encode, utf16Decode,
+       randomScalars},
+      {"UTF-16", "decoder", Utf16DecoderSrc, 32, utf16Decode, utf16Encode,
+       encodedScalars<utf16Encode>},
+      {"UU", "encoder", UuEncoderSrc, 8, uuEncode, uuDecode, randomBytes},
+      {"UU", "decoder", UuDecoderSrc, 8, uuDecode, uuEncode,
+       encodedBytes<uuEncode>},
+  };
+  return Corpus;
+}

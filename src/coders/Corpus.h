@@ -1,0 +1,55 @@
+//===- coders/Corpus.h - The 14 coders of Table 1 --------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark corpus of §7.1: GENIC source programs for the 7 coder
+/// families (BASE64, modified BASE64, BASE32, BASE16, UTF-8, UTF-16, UU),
+/// encoder and decoder each, paired with native oracles and valid-input
+/// samplers for testing.
+///
+/// Decoders are strict canonical decoders (non-canonical padding bits
+/// rejected); this is what makes them injective and hence invertible. The
+/// UTF-8 programs do not exclude surrogate code points (WTF-8 style): the
+/// exclusion hole would make the 3-byte rule's output predicate
+/// non-Cartesian, putting the program outside the decidable injectivity
+/// fragment — the original evaluation's programs must have made the same
+/// choice, since all 14 were proved injective.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_CODERS_CORPUS_H
+#define GENIC_CODERS_CORPUS_H
+
+#include "coders/Reference.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace genic {
+
+struct CoderSpec {
+  std::string Family;  // e.g. "BASE64"
+  std::string Variant; // "encoder" or "decoder"
+  std::string Source;  // GENIC program text
+  unsigned SymbolBits; // 8 or 32
+
+  /// The forward transformation (what the GENIC program computes).
+  MaybeSymbols (*Oracle)(const Symbols &);
+  /// The opposite direction (what the inverted program must compute).
+  MaybeSymbols (*InverseOracle)(const Symbols &);
+  /// Generates a valid input of roughly \p Length symbols.
+  Symbols (*MakeInput)(std::mt19937_64 &Rng, unsigned Length);
+
+  std::string name() const { return Family + " " + Variant; }
+};
+
+/// The 14 coders, in Table 1 order.
+const std::vector<CoderSpec> &coderCorpus();
+
+} // namespace genic
+
+#endif // GENIC_CODERS_CORPUS_H

@@ -1,0 +1,487 @@
+//===- coders/Reference.cpp ------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coders/Reference.h"
+
+#include <array>
+
+using namespace genic;
+
+namespace {
+
+constexpr const char *Base64Alphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+constexpr const char *ModBase64Alphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789.-";
+constexpr const char *Base32Alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+constexpr const char *Base16Alphabet = "0123456789ABCDEF";
+
+/// value -> character table; -1 entries for invalid characters.
+std::array<int, 256> reverseTable(const char *Alphabet, unsigned Size) {
+  std::array<int, 256> T;
+  T.fill(-1);
+  for (unsigned I = 0; I < Size; ++I)
+    T[static_cast<unsigned char>(Alphabet[I])] = static_cast<int>(I);
+  return T;
+}
+
+/// Generic base-64-style encoder over a 64-character alphabet.
+Symbols encode64ish(const Symbols &Bytes, const char *Alphabet,
+                    bool Padding) {
+  Symbols Out;
+  size_t I = 0, N = Bytes.size();
+  for (; I + 3 <= N; I += 3) {
+    uint64_t X = Bytes[I], Y = Bytes[I + 1], Z = Bytes[I + 2];
+    Out.push_back(Alphabet[X >> 2]);
+    Out.push_back(Alphabet[((X & 3) << 4) | (Y >> 4)]);
+    Out.push_back(Alphabet[((Y & 0xF) << 2) | (Z >> 6)]);
+    Out.push_back(Alphabet[Z & 0x3F]);
+  }
+  size_t Left = N - I;
+  if (Left == 1) {
+    uint64_t X = Bytes[I];
+    Out.push_back(Alphabet[X >> 2]);
+    Out.push_back(Alphabet[(X & 3) << 4]);
+    if (Padding) {
+      Out.push_back('=');
+      Out.push_back('=');
+    }
+  } else if (Left == 2) {
+    uint64_t X = Bytes[I], Y = Bytes[I + 1];
+    Out.push_back(Alphabet[X >> 2]);
+    Out.push_back(Alphabet[((X & 3) << 4) | (Y >> 4)]);
+    Out.push_back(Alphabet[(Y & 0xF) << 2]);
+    if (Padding)
+      Out.push_back('=');
+  }
+  return Out;
+}
+
+MaybeSymbols decode64ish(const Symbols &Chars, const char *Alphabet,
+                         bool Padding) {
+  static thread_local std::array<int, 256> Table;
+  Table = reverseTable(Alphabet, 64);
+  auto Digit = [&](uint64_t C) -> int {
+    return C < 256 ? Table[C] : -1;
+  };
+  Symbols Out;
+  size_t I = 0, N = Chars.size();
+  auto TailLen = [&] { return N - I; };
+  while (true) {
+    size_t Left = TailLen();
+    if (Left == 0)
+      return Out;
+    if (Padding) {
+      if (Left < 4)
+        return std::nullopt;
+      int A = Digit(Chars[I]), B = Digit(Chars[I + 1]);
+      if (A < 0 || B < 0)
+        return std::nullopt;
+      bool Pad3 = Chars[I + 2] == '=', Pad4 = Chars[I + 3] == '=';
+      if (Left == 4 && Pad3 && Pad4) {
+        if (B & 0xF)
+          return std::nullopt; // Non-canonical.
+        Out.push_back((A << 2) | (B >> 4));
+        return Out;
+      }
+      int C = Digit(Chars[I + 2]);
+      if (Left == 4 && C >= 0 && Pad4) {
+        if (C & 0x3)
+          return std::nullopt;
+        Out.push_back((A << 2) | (B >> 4));
+        Out.push_back(((B & 0xF) << 4) | (C >> 2));
+        return Out;
+      }
+      int D = Digit(Chars[I + 3]);
+      if (C < 0 || D < 0)
+        return std::nullopt;
+      Out.push_back((A << 2) | (B >> 4));
+      Out.push_back(((B & 0xF) << 4) | (C >> 2));
+      Out.push_back(((C & 0x3) << 6) | D);
+      I += 4;
+      continue;
+    }
+    // Unpadded: leftovers of 2 or 3 characters.
+    if (Left == 1)
+      return std::nullopt;
+    int A = Digit(Chars[I]), B = Digit(Chars[I + 1]);
+    if (A < 0 || B < 0)
+      return std::nullopt;
+    if (Left == 2) {
+      if (B & 0xF)
+        return std::nullopt;
+      Out.push_back((A << 2) | (B >> 4));
+      return Out;
+    }
+    int C = Digit(Chars[I + 2]);
+    if (C < 0)
+      return std::nullopt;
+    if (Left == 3) {
+      if (C & 0x3)
+        return std::nullopt;
+      Out.push_back((A << 2) | (B >> 4));
+      Out.push_back(((B & 0xF) << 4) | (C >> 2));
+      return Out;
+    }
+    int D = Digit(Chars[I + 3]);
+    if (D < 0)
+      return std::nullopt;
+    Out.push_back((A << 2) | (B >> 4));
+    Out.push_back(((B & 0xF) << 4) | (C >> 2));
+    Out.push_back(((C & 0x3) << 6) | D);
+    I += 4;
+  }
+}
+
+} // namespace
+
+MaybeSymbols genic::base64Encode(const Symbols &Bytes) {
+  return encode64ish(Bytes, Base64Alphabet, /*Padding=*/true);
+}
+MaybeSymbols genic::base64Decode(const Symbols &Chars) {
+  return decode64ish(Chars, Base64Alphabet, /*Padding=*/true);
+}
+MaybeSymbols genic::modifiedBase64Encode(const Symbols &Bytes) {
+  return encode64ish(Bytes, ModBase64Alphabet, /*Padding=*/false);
+}
+MaybeSymbols genic::modifiedBase64Decode(const Symbols &Chars) {
+  return decode64ish(Chars, ModBase64Alphabet, /*Padding=*/false);
+}
+
+MaybeSymbols genic::uuEncode(const Symbols &Bytes) {
+  // v + 0x20 mapping, no padding characters.
+  Symbols Out;
+  size_t I = 0, N = Bytes.size();
+  auto Put = [&](uint64_t V) { Out.push_back(V + 0x20); };
+  for (; I + 3 <= N; I += 3) {
+    uint64_t X = Bytes[I], Y = Bytes[I + 1], Z = Bytes[I + 2];
+    Put(X >> 2);
+    Put(((X & 3) << 4) | (Y >> 4));
+    Put(((Y & 0xF) << 2) | (Z >> 6));
+    Put(Z & 0x3F);
+  }
+  size_t Left = N - I;
+  if (Left == 1) {
+    Put(Bytes[I] >> 2);
+    Put((Bytes[I] & 3) << 4);
+  } else if (Left == 2) {
+    Put(Bytes[I] >> 2);
+    Put(((Bytes[I] & 3) << 4) | (Bytes[I + 1] >> 4));
+    Put((Bytes[I + 1] & 0xF) << 2);
+  }
+  return Out;
+}
+
+MaybeSymbols genic::uuDecode(const Symbols &Chars) {
+  auto Digit = [](uint64_t C) -> int {
+    return C >= 0x20 && C <= 0x5F ? static_cast<int>(C - 0x20) : -1;
+  };
+  Symbols Out;
+  size_t I = 0, N = Chars.size();
+  while (I != N) {
+    size_t Left = N - I;
+    if (Left == 1)
+      return std::nullopt;
+    int A = Digit(Chars[I]), B = Digit(Chars[I + 1]);
+    if (A < 0 || B < 0)
+      return std::nullopt;
+    if (Left == 2) {
+      if (B & 0xF)
+        return std::nullopt;
+      Out.push_back((A << 2) | (B >> 4));
+      return Out;
+    }
+    int C = Digit(Chars[I + 2]);
+    if (C < 0)
+      return std::nullopt;
+    if (Left == 3) {
+      if (C & 0x3)
+        return std::nullopt;
+      Out.push_back((A << 2) | (B >> 4));
+      Out.push_back(((B & 0xF) << 4) | (C >> 2));
+      return Out;
+    }
+    int D = Digit(Chars[I + 3]);
+    if (D < 0)
+      return std::nullopt;
+    Out.push_back((A << 2) | (B >> 4));
+    Out.push_back(((B & 0xF) << 4) | (C >> 2));
+    Out.push_back(((C & 0x3) << 6) | D);
+    I += 4;
+  }
+  return Out;
+}
+
+MaybeSymbols genic::base32Encode(const Symbols &Bytes) {
+  Symbols Out;
+  size_t I = 0, N = Bytes.size();
+  auto A = [&](uint64_t V) { return Base32Alphabet[V & 0x1F]; };
+  for (; I + 5 <= N; I += 5) {
+    uint64_t B0 = Bytes[I], B1 = Bytes[I + 1], B2 = Bytes[I + 2],
+             B3 = Bytes[I + 3], B4 = Bytes[I + 4];
+    Out.push_back(A(B0 >> 3));
+    Out.push_back(A(((B0 & 7) << 2) | (B1 >> 6)));
+    Out.push_back(A((B1 >> 1) & 0x1F));
+    Out.push_back(A(((B1 & 1) << 4) | (B2 >> 4)));
+    Out.push_back(A(((B2 & 0xF) << 1) | (B3 >> 7)));
+    Out.push_back(A((B3 >> 2) & 0x1F));
+    Out.push_back(A(((B3 & 3) << 3) | (B4 >> 5)));
+    Out.push_back(A(B4 & 0x1F));
+  }
+  size_t Left = N - I;
+  auto Pad = [&](unsigned K) {
+    for (unsigned J = 0; J < K; ++J)
+      Out.push_back('=');
+  };
+  if (Left == 1) {
+    Out.push_back(A(Bytes[I] >> 3));
+    Out.push_back(A((Bytes[I] & 7) << 2));
+    Pad(6);
+  } else if (Left == 2) {
+    uint64_t B0 = Bytes[I], B1 = Bytes[I + 1];
+    Out.push_back(A(B0 >> 3));
+    Out.push_back(A(((B0 & 7) << 2) | (B1 >> 6)));
+    Out.push_back(A((B1 >> 1) & 0x1F));
+    Out.push_back(A((B1 & 1) << 4));
+    Pad(4);
+  } else if (Left == 3) {
+    uint64_t B0 = Bytes[I], B1 = Bytes[I + 1], B2 = Bytes[I + 2];
+    Out.push_back(A(B0 >> 3));
+    Out.push_back(A(((B0 & 7) << 2) | (B1 >> 6)));
+    Out.push_back(A((B1 >> 1) & 0x1F));
+    Out.push_back(A(((B1 & 1) << 4) | (B2 >> 4)));
+    Out.push_back(A((B2 & 0xF) << 1));
+    Pad(3);
+  } else if (Left == 4) {
+    uint64_t B0 = Bytes[I], B1 = Bytes[I + 1], B2 = Bytes[I + 2],
+             B3 = Bytes[I + 3];
+    Out.push_back(A(B0 >> 3));
+    Out.push_back(A(((B0 & 7) << 2) | (B1 >> 6)));
+    Out.push_back(A((B1 >> 1) & 0x1F));
+    Out.push_back(A(((B1 & 1) << 4) | (B2 >> 4)));
+    Out.push_back(A(((B2 & 0xF) << 1) | (B3 >> 7)));
+    Out.push_back(A((B3 >> 2) & 0x1F));
+    Out.push_back(A((B3 & 3) << 3));
+    Pad(1);
+  }
+  return Out;
+}
+
+MaybeSymbols genic::base32Decode(const Symbols &Chars) {
+  static thread_local std::array<int, 256> Table;
+  Table = reverseTable(Base32Alphabet, 32);
+  auto Digit = [&](uint64_t C) -> int {
+    return C < 256 ? Table[C] : -1;
+  };
+  if (Chars.size() % 8 != 0)
+    return std::nullopt;
+  Symbols Out;
+  for (size_t I = 0, N = Chars.size(); I != N; I += 8) {
+    bool Last = I + 8 == N;
+    unsigned NumPad = 0;
+    for (size_t J = I; J != I + 8; ++J)
+      if (Chars[J] == '=')
+        ++NumPad;
+    int D[8];
+    unsigned NumDigits = 8 - NumPad;
+    // Padding must be a suffix.
+    for (unsigned J = 0; J < NumDigits; ++J) {
+      D[J] = Digit(Chars[I + J]);
+      if (D[J] < 0)
+        return std::nullopt;
+    }
+    for (unsigned J = NumDigits; J < 8; ++J)
+      if (Chars[I + J] != '=')
+        return std::nullopt;
+    if (NumPad != 0 && !Last)
+      return std::nullopt;
+    switch (NumPad) {
+    case 0:
+      Out.push_back((D[0] << 3) | (D[1] >> 2));
+      Out.push_back(((D[1] & 3) << 6) | (D[2] << 1) | (D[3] >> 4));
+      Out.push_back(((D[3] & 0xF) << 4) | (D[4] >> 1));
+      Out.push_back(((D[4] & 1) << 7) | (D[5] << 2) | (D[6] >> 3));
+      Out.push_back(((D[6] & 7) << 5) | D[7]);
+      break;
+    case 6:
+      if (D[1] & 3)
+        return std::nullopt;
+      Out.push_back((D[0] << 3) | (D[1] >> 2));
+      break;
+    case 4:
+      if (D[3] & 0xF)
+        return std::nullopt;
+      Out.push_back((D[0] << 3) | (D[1] >> 2));
+      Out.push_back(((D[1] & 3) << 6) | (D[2] << 1) | (D[3] >> 4));
+      break;
+    case 3:
+      if (D[4] & 1)
+        return std::nullopt;
+      Out.push_back((D[0] << 3) | (D[1] >> 2));
+      Out.push_back(((D[1] & 3) << 6) | (D[2] << 1) | (D[3] >> 4));
+      Out.push_back(((D[3] & 0xF) << 4) | (D[4] >> 1));
+      break;
+    case 1:
+      if (D[6] & 7)
+        return std::nullopt;
+      Out.push_back((D[0] << 3) | (D[1] >> 2));
+      Out.push_back(((D[1] & 3) << 6) | (D[2] << 1) | (D[3] >> 4));
+      Out.push_back(((D[3] & 0xF) << 4) | (D[4] >> 1));
+      Out.push_back(((D[4] & 1) << 7) | (D[5] << 2) | (D[6] >> 3));
+      break;
+    default:
+      return std::nullopt;
+    }
+  }
+  return Out;
+}
+
+MaybeSymbols genic::base16Encode(const Symbols &Bytes) {
+  Symbols Out;
+  for (uint64_t B : Bytes) {
+    Out.push_back(Base16Alphabet[B >> 4]);
+    Out.push_back(Base16Alphabet[B & 0xF]);
+  }
+  return Out;
+}
+
+MaybeSymbols genic::base16Decode(const Symbols &Chars) {
+  auto Digit = [](uint64_t C) -> int {
+    if (C >= '0' && C <= '9')
+      return static_cast<int>(C - '0');
+    if (C >= 'A' && C <= 'F')
+      return static_cast<int>(C - 'A' + 10);
+    return -1;
+  };
+  if (Chars.size() % 2 != 0)
+    return std::nullopt;
+  Symbols Out;
+  for (size_t I = 0, N = Chars.size(); I != N; I += 2) {
+    int Hi = Digit(Chars[I]), Lo = Digit(Chars[I + 1]);
+    if (Hi < 0 || Lo < 0)
+      return std::nullopt;
+    Out.push_back((Hi << 4) | Lo);
+  }
+  return Out;
+}
+
+namespace {
+bool isScalar(uint64_t C) {
+  return C <= 0x10FFFF && !(C >= 0xD800 && C <= 0xDFFF);
+}
+} // namespace
+
+MaybeSymbols genic::utf8Encode(const Symbols &CodePoints) {
+  Symbols Out;
+  for (uint64_t C : CodePoints) {
+    if (!isScalar(C))
+      return std::nullopt;
+    if (C <= 0x7F) {
+      Out.push_back(C);
+    } else if (C <= 0x7FF) {
+      Out.push_back(0xC0 | (C >> 6));
+      Out.push_back(0x80 | (C & 0x3F));
+    } else if (C <= 0xFFFF) {
+      Out.push_back(0xE0 | (C >> 12));
+      Out.push_back(0x80 | ((C >> 6) & 0x3F));
+      Out.push_back(0x80 | (C & 0x3F));
+    } else {
+      Out.push_back(0xF0 | (C >> 18));
+      Out.push_back(0x80 | ((C >> 12) & 0x3F));
+      Out.push_back(0x80 | ((C >> 6) & 0x3F));
+      Out.push_back(0x80 | (C & 0x3F));
+    }
+  }
+  return Out;
+}
+
+MaybeSymbols genic::utf8Decode(const Symbols &Bytes) {
+  Symbols Out;
+  size_t I = 0, N = Bytes.size();
+  auto Cont = [&](size_t J) {
+    return J < N && Bytes[J] >= 0x80 && Bytes[J] <= 0xBF;
+  };
+  while (I != N) {
+    uint64_t B = Bytes[I];
+    if (B <= 0x7F) {
+      Out.push_back(B);
+      I += 1;
+      continue;
+    }
+    if (B >= 0xC0 && B <= 0xDF) {
+      if (!Cont(I + 1))
+        return std::nullopt;
+      uint64_t C = ((B & 0x1F) << 6) | (Bytes[I + 1] & 0x3F);
+      if (C < 0x80)
+        return std::nullopt; // Overlong.
+      Out.push_back(C);
+      I += 2;
+      continue;
+    }
+    if (B >= 0xE0 && B <= 0xEF) {
+      if (!Cont(I + 1) || !Cont(I + 2))
+        return std::nullopt;
+      uint64_t C = ((B & 0x0F) << 12) | ((Bytes[I + 1] & 0x3F) << 6) |
+                   (Bytes[I + 2] & 0x3F);
+      if (C < 0x800 || (C >= 0xD800 && C <= 0xDFFF))
+        return std::nullopt;
+      Out.push_back(C);
+      I += 3;
+      continue;
+    }
+    if (B >= 0xF0 && B <= 0xF4) {
+      if (!Cont(I + 1) || !Cont(I + 2) || !Cont(I + 3))
+        return std::nullopt;
+      uint64_t C = ((B & 0x07) << 18) | ((Bytes[I + 1] & 0x3F) << 12) |
+                   ((Bytes[I + 2] & 0x3F) << 6) | (Bytes[I + 3] & 0x3F);
+      if (C < 0x10000 || C > 0x10FFFF)
+        return std::nullopt;
+      Out.push_back(C);
+      I += 4;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return Out;
+}
+
+MaybeSymbols genic::utf16Encode(const Symbols &CodePoints) {
+  Symbols Out;
+  for (uint64_t C : CodePoints) {
+    if (!isScalar(C))
+      return std::nullopt;
+    if (C <= 0xFFFF) {
+      Out.push_back(C);
+    } else {
+      uint64_t V = C - 0x10000;
+      Out.push_back(0xD800 | (V >> 10));
+      Out.push_back(0xDC00 | (V & 0x3FF));
+    }
+  }
+  return Out;
+}
+
+MaybeSymbols genic::utf16Decode(const Symbols &Units) {
+  Symbols Out;
+  size_t I = 0, N = Units.size();
+  while (I != N) {
+    uint64_t U = Units[I];
+    if (U <= 0xFFFF && !(U >= 0xD800 && U <= 0xDFFF)) {
+      Out.push_back(U);
+      I += 1;
+      continue;
+    }
+    if (U >= 0xD800 && U <= 0xDBFF) {
+      if (I + 1 == N || Units[I + 1] < 0xDC00 || Units[I + 1] > 0xDFFF)
+        return std::nullopt;
+      Out.push_back((((U & 0x3FF) << 10) | (Units[I + 1] & 0x3FF)) + 0x10000);
+      I += 2;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- coders/Reference.h - Native oracle implementations -----------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Straightforward C++ implementations of the 14 coders of Table 1, used as
+/// oracles: the GENIC programs must agree with them symbol-for-symbol, and
+/// inverted programs must realize the opposite direction.
+///
+/// All functions work on symbol vectors (each symbol a zero-extended
+/// uint64_t: bytes for the BASE-family and UU, code points / code units for
+/// UTF-8 and UTF-16). Decoders (and the partial encoders UTF-8/UTF-16)
+/// return std::nullopt on invalid input; the decoders are strict canonical
+/// decoders — non-canonical padding bits are rejected, which is what makes
+/// the corresponding GENIC decoders injective.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_CODERS_REFERENCE_H
+#define GENIC_CODERS_REFERENCE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace genic {
+
+using Symbols = std::vector<uint64_t>;
+using MaybeSymbols = std::optional<Symbols>;
+
+MaybeSymbols base64Encode(const Symbols &Bytes);
+MaybeSymbols base64Decode(const Symbols &Chars);
+
+/// The §2 "modified BASE64 for XML tokens": 62 -> '.', 63 -> '-', and no
+/// padding (a 1-byte leftover emits 2 characters, a 2-byte leftover 3).
+MaybeSymbols modifiedBase64Encode(const Symbols &Bytes);
+MaybeSymbols modifiedBase64Decode(const Symbols &Chars);
+
+MaybeSymbols base32Encode(const Symbols &Bytes);
+MaybeSymbols base32Decode(const Symbols &Chars);
+
+MaybeSymbols base16Encode(const Symbols &Bytes);
+MaybeSymbols base16Decode(const Symbols &Chars);
+
+/// UU body encoding (space variant, v + 0x20), without the historical
+/// length prefix; leftovers emit length-implied shorter groups.
+MaybeSymbols uuEncode(const Symbols &Bytes);
+MaybeSymbols uuDecode(const Symbols &Chars);
+
+/// Code points (excluding surrogates, <= 0x10FFFF) <-> UTF-8 bytes. Symbols
+/// are 32-bit values on both sides, matching the GENIC programs.
+MaybeSymbols utf8Encode(const Symbols &CodePoints);
+MaybeSymbols utf8Decode(const Symbols &Bytes);
+
+/// Code points <-> UTF-16 code units (32-bit symbols on both sides).
+MaybeSymbols utf16Encode(const Symbols &CodePoints);
+MaybeSymbols utf16Decode(const Symbols &Units);
+
+} // namespace genic
+
+#endif // GENIC_CODERS_REFERENCE_H

@@ -1,0 +1,68 @@
+//===- coders/Synthetic.cpp ------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coders/Synthetic.h"
+
+#include <random>
+
+using namespace genic;
+
+std::string genic::makeStProgram(unsigned K) {
+  std::string Out = "// Synthetic ST program S_" + std::to_string(K) +
+                    " (paper §7.2).\n";
+  for (unsigned I = 0; I <= K; ++I) {
+    long C = static_cast<long>(I) + 1;
+    long D = 2 * static_cast<long>(I) + 3;
+    Out += "trans S" + std::to_string(I) + " (l : Int list) : Int :=\n";
+    Out += "  match l with\n";
+    if (I < K) {
+      Out += "  | x1::x2::x3::tail when x1 == 0 -> x1 :: (x2 + " +
+             std::to_string(C) + ") :: (x3 + " + std::to_string(D) +
+             ") :: S" + std::to_string(I) + "(tail)\n";
+      Out += "  | x1::x2::x3::tail when x1 == 1 -> x1 :: (x2 + " +
+             std::to_string(C) + ") :: (x3 + " + std::to_string(D) +
+             ") :: S" + std::to_string(I + 1) + "(tail)\n";
+    }
+    Out += "  | [] when true -> []\n";
+  }
+  Out += "isInjective S0\n";
+  Out += "invert S0\n";
+  return Out;
+}
+
+std::string genic::makeRandomLiaProgram(uint64_t Seed, unsigned NumStates) {
+  std::mt19937_64 Rng(Seed * 0x9E3779B97F4A7C15ULL + 1);
+  std::string Out = "// Random injective LIA transducer, seed " +
+                    std::to_string(Seed) + ".\n";
+  for (unsigned I = 0; I < NumStates; ++I) {
+    Out += "trans R" + std::to_string(I) + " (l : Int list) : Int :=\n";
+    Out += "  match l with\n";
+    // 1 or 2 rules with disjoint guard intervals on x1; the first output is
+    // x1 itself, which keeps the program path-injective (the output word
+    // pins the rule fired at every step).
+    unsigned NumRules = 1 + Rng() % 2;
+    long Split = 10 + static_cast<long>(Rng() % 80);
+    for (unsigned R = 0; R < NumRules; ++R) {
+      long Lo = R == 0 ? 0 : Split;
+      long Hi = (NumRules == 1 || R == 1) ? 100 : Split;
+      long C = static_cast<long>(Rng() % 41) - 20;
+      long D = static_cast<long>(Rng() % 41) - 20;
+      unsigned Target = Rng() % NumStates;
+      std::string CTxt = C < 0 ? "- " + std::to_string(-C)
+                               : "+ " + std::to_string(C);
+      std::string DTxt = D < 0 ? "- " + std::to_string(-D)
+                               : "+ " + std::to_string(D);
+      Out += "  | x1::x2::x3::tail when (and (" + std::to_string(Lo) +
+             " <= x1) (x1 < " + std::to_string(Hi) + ")) -> x1 :: (x2 " +
+             CTxt + ") :: (x3 " + DTxt + ") :: R" + std::to_string(Target) +
+             "(tail)\n";
+    }
+    Out += "  | [] when true -> []\n";
+  }
+  Out += "isInjective R0\n";
+  Out += "invert R0\n";
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===- coders/Synthetic.h - Synthetic LIA benchmark generators ------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for the synthetic linear-integer-arithmetic benchmarks of
+/// §7.2:
+///
+///  - the ST family {S_2, ..., S_18}: program S_k has k+1 states and 2k
+///    three-lookahead transitions of the form
+///        q_i --x1=0 / [x1, x2+c_i, x3+d_i]--> q_i
+///        q_i --x1=1 / [x1, x2+c_i, x3+d_i]--> q_{i+1}
+///    (plus an empty finalizer per state), used for the scaling study of
+///    Figure 7;
+///
+///  - a family of randomized deterministic, injective affine transducers
+///    (per-state disjoint guard intervals on the first symbol, identity
+///    first output), standing in for the paper's 40-program synthetic
+///    corpus in the property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_CODERS_SYNTHETIC_H
+#define GENIC_CODERS_SYNTHETIC_H
+
+#include <string>
+
+namespace genic {
+
+/// GENIC source of S_k (k >= 1). Entry transformation "S0"; asks for both
+/// isInjective and invert.
+std::string makeStProgram(unsigned K);
+
+/// GENIC source of a randomized deterministic injective LIA transducer with
+/// \p NumStates states (>= 1), derived deterministically from \p Seed.
+std::string makeRandomLiaProgram(uint64_t Seed, unsigned NumStates);
+
+} // namespace genic
+
+#endif // GENIC_CODERS_SYNTHETIC_H

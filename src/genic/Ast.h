@@ -1,0 +1,116 @@
+//===- genic/Ast.h - Surface syntax of the GENIC language -----------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax of GENIC programs (§3, Figure 2). A program is a list of
+/// auxiliary function definitions, list transformations, and operations
+/// (isInjective / invert). Expressions are a small mixed infix/prefix
+/// language; they are resolved to alphabet-theory terms by the lowering
+/// pass (genic/Lower.h).
+///
+/// Deviation from Figure 2 (documented in DESIGN.md): parameter types are
+/// always written explicitly — `fun E (x : (BitVec 8) when x <= #x40) :=
+/// ...` — instead of being inferred; the original paper elides types in
+/// some auxiliary definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_GENIC_AST_H
+#define GENIC_GENIC_AST_H
+
+#include "term/Type.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace genic {
+
+/// A surface expression.
+struct Expr {
+  enum class Kind {
+    IntLit,  // 42, -7
+    BvLit,   // #x3d (width = 4 * number of hex digits)
+    BoolLit, // true / false
+    Ident,   // variable or zero-argument reference
+    Apply,   // f a b / (ite c a b) / (and p q) — callee in Name
+    Binary,  // infix: + - * << >> & | ^ <= < >= > == !=
+    Unary,   // prefix: - ~
+  };
+
+  Kind K = Kind::IntLit;
+  int Line = 0;
+
+  int64_t IntValue = 0;     // IntLit
+  uint64_t BvValue = 0;     // BvLit
+  unsigned BvWidth = 0;     // BvLit
+  bool BoolValue = false;   // BoolLit
+  std::string Name;         // Ident / Apply callee / Binary, Unary op spelling
+  std::vector<std::unique_ptr<Expr>> Args; // Apply args / Binary lhs,rhs / Unary operand
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One formal parameter of an auxiliary function.
+struct AstParam {
+  std::string Name;
+  Type Ty;
+  ExprPtr Domain; // Optional "when" predicate over this parameter.
+  int Line = 0;
+};
+
+/// fun NAME (p : ty [when pred])+ [: ty] := expr
+struct AstFun {
+  std::string Name;
+  std::vector<AstParam> Params;
+  ExprPtr Body;
+  int Line = 0;
+};
+
+/// One match rule of a transformation.
+struct AstRule {
+  /// Bound element variables, in order. Empty for the `[]` pattern.
+  std::vector<std::string> Vars;
+  /// Name of the tail variable; empty when the pattern ends in `[]`
+  /// (a finalizer rule).
+  std::string TailVar;
+  ExprPtr Guard; // The "when" expression.
+  /// Output expressions, in order.
+  std::vector<ExprPtr> Outputs;
+  /// Continuation: name of the transformation applied to the tail; empty
+  /// for finalizer rules (the rhs then ends in `[]`).
+  std::string Continue;
+  int Line = 0;
+};
+
+/// trans NAME (l : ty list) : ty := match l with rules
+struct AstTrans {
+  std::string Name;
+  std::string ListVar;
+  Type InputType;
+  Type OutputType;
+  std::vector<AstRule> Rules;
+  int Line = 0;
+};
+
+/// isInjective NAME / invert NAME
+struct AstOp {
+  enum class Kind { IsInjective, Invert };
+  Kind K = Kind::Invert;
+  std::string Target;
+  int Line = 0;
+};
+
+struct AstProgram {
+  std::vector<AstFun> Funs;
+  std::vector<AstTrans> Transes;
+  std::vector<AstOp> Ops;
+};
+
+} // namespace genic
+
+#endif // GENIC_GENIC_AST_H

@@ -1,0 +1,87 @@
+//===- genic/Genic.cpp -------------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "genic/Genic.h"
+
+#include "genic/Parser.h"
+#include "genic/ProgramPrinter.h"
+#include "support/Timer.h"
+
+using namespace genic;
+
+GenicTool::GenicTool(InverterOptions Options)
+    : Factory(), Slv(Factory), Options(Options) {}
+
+GenicTool::~GenicTool() = default;
+
+Result<GenicReport> GenicTool::run(const std::string &Source,
+                                   bool ForceInjectivity, bool ForceInvert) {
+  Result<AstProgram> Ast = parseGenic(Source);
+  if (!Ast)
+    return Ast.status();
+  Result<LoweredProgram> Lowered = lowerProgram(Factory, *Ast);
+  if (!Lowered)
+    return Lowered.status();
+  LoweredProgram &P = *Lowered;
+
+  GenicReport Report;
+  Report.EntryName = P.EntryName;
+  Report.NumStates = P.Machine.numStates();
+  Report.NumTransitions = P.Machine.transitions().size();
+  Report.NumAuxFuncs = P.AuxFuncs.size();
+  Report.MaxLookahead = P.Machine.lookahead();
+  Report.SourceBytes = Source.size();
+  Report.Theory = P.Machine.inputType().str();
+  Report.Machine = P.Machine;
+
+  // GENIC requires programs to be deterministic (§3.3): the determinism
+  // check always runs.
+  {
+    Timer T;
+    Result<std::optional<DeterminismViolation>> Det =
+        checkDeterminism(P.Machine, Slv);
+    Report.DeterminismSeconds = T.seconds();
+    if (!Det)
+      return Det.status();
+    Report.Deterministic = !Det->has_value();
+    if (Det->has_value())
+      Report.DeterminismDetail =
+          "rules " + std::to_string((*Det)->TransitionA) + " and " +
+          std::to_string((*Det)->TransitionB) + " overlap on " +
+          toString((*Det)->Symbols) + ": " + (*Det)->Reason;
+  }
+
+  if (P.WantsInjective || ForceInjectivity) {
+    Timer T;
+    Result<InjectivityResult> Inj = checkInjectivity(P.Machine, Slv);
+    Report.InjectivitySeconds = T.seconds();
+    if (!Inj)
+      return Inj.status();
+    Report.Injectivity = *Inj;
+  }
+
+  if (P.WantsInvert || ForceInvert) {
+    Timer T;
+    Inverter Inv(Slv, Options);
+    Result<InversionOutcome> Out = Inv.invert(P.Machine, P.AuxFuncs);
+    Report.InversionSeconds = T.seconds();
+    if (!Out)
+      return Out.status();
+    Report.Inversion = *Out;
+    Report.InverseMachine = Out->Inverse;
+    Report.SygusCalls = Inv.engine().calls();
+
+    // Emit the inverse as GENIC source (Figure 3). The synthesized inverse
+    // auxiliary functions print first, making the program read naturally.
+    PrintOptions PO;
+    for (const std::string &Name : P.StateNames)
+      PO.StateNames.push_back(Name + "_inv");
+    std::vector<const FuncDef *> Aux = Inv.synthesizedAux();
+    Report.InverseSource = printGenicProgram(Out->Inverse, Aux, PO);
+    Report.InverseSourceBytes = Report.InverseSource.size();
+  }
+  return Report;
+}

@@ -1,0 +1,90 @@
+//===- genic/Genic.h - The GENIC tool driver --------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level entry point mirroring the GENIC tool: load a program,
+/// check determinism (required of all GENIC programs, §3.3), run the
+/// isInjective and invert operations (§3.4), and report everything the
+/// paper's evaluation measures — per-phase wall-clock times, per-rule
+/// inversion times, SyGuS call records, and the emitted inverse program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_GENIC_GENIC_H
+#define GENIC_GENIC_GENIC_H
+
+#include "genic/Lower.h"
+#include "solver/Solver.h"
+#include "support/Result.h"
+#include "sygus/Inverter.h"
+#include "transducer/Determinism.h"
+#include "transducer/Injectivity.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace genic {
+
+/// Everything measured for one program (one Table 1 row).
+struct GenicReport {
+  // Program shape (Table 1's states/trans/auxFun/max-l/size columns).
+  std::string EntryName;
+  unsigned NumStates = 0;
+  unsigned NumTransitions = 0;
+  unsigned NumAuxFuncs = 0;
+  unsigned MaxLookahead = 0;
+  size_t SourceBytes = 0;
+  std::string Theory; // "Int" or "BitVec n"
+
+  // isDet column.
+  bool Deterministic = false;
+  double DeterminismSeconds = 0;
+  std::string DeterminismDetail;
+
+  // isInj column (present when the program asked for it).
+  std::optional<InjectivityResult> Injectivity;
+  double InjectivitySeconds = 0;
+
+  // inversion columns (present when the program asked for it).
+  std::optional<InversionOutcome> Inversion;
+  double InversionSeconds = 0;
+  std::string InverseSource;
+  size_t InverseSourceBytes = 0;
+  std::vector<SygusEngine::CallRecord> SygusCalls;
+
+  // The machines, for round-trip testing by callers.
+  std::optional<Seft> Machine;
+  std::optional<Seft> InverseMachine;
+};
+
+/// One program analysis session. Owns the term factory and the solver, so
+/// reports and machines must not outlive the tool.
+class GenicTool {
+public:
+  explicit GenicTool() : GenicTool(InverterOptions()) {}
+  explicit GenicTool(InverterOptions Options);
+  ~GenicTool();
+
+  /// Parses, lowers, checks determinism, and runs the program's operations.
+  /// Operations can be forced regardless of the program text via
+  /// \p ForceInjectivity / \p ForceInvert.
+  Result<GenicReport> run(const std::string &Source,
+                          bool ForceInjectivity = false,
+                          bool ForceInvert = false);
+
+  TermFactory &factory() { return Factory; }
+  Solver &solver() { return Slv; }
+
+private:
+  TermFactory Factory;
+  Solver Slv;
+  InverterOptions Options;
+};
+
+} // namespace genic
+
+#endif // GENIC_GENIC_GENIC_H

@@ -1,0 +1,284 @@
+//===- genic/Lexer.cpp -----------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "genic/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace genic;
+
+const char *genic::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::BvLit:
+    return "bit-vector literal";
+  case TokenKind::KwFun:
+    return "'fun'";
+  case TokenKind::KwTrans:
+    return "'trans'";
+  case TokenKind::KwMatch:
+    return "'match'";
+  case TokenKind::KwWith:
+    return "'with'";
+  case TokenKind::KwWhen:
+    return "'when'";
+  case TokenKind::KwList:
+    return "'list'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwIsInjective:
+    return "'isInjective'";
+  case TokenKind::KwInvert:
+    return "'invert'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::ColonColon:
+    return "'::'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Shl:
+    return "'<<'";
+  case TokenKind::Lshr:
+    return "'>>'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::End:
+    return "end of input";
+  }
+  return "<invalid>";
+}
+
+Result<std::vector<Token>> genic::lex(const std::string &Source) {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"fun", TokenKind::KwFun},       {"trans", TokenKind::KwTrans},
+      {"match", TokenKind::KwMatch},   {"with", TokenKind::KwWith},
+      {"when", TokenKind::KwWhen},     {"list", TokenKind::KwList},
+      {"true", TokenKind::KwTrue},     {"false", TokenKind::KwFalse},
+      {"isInjective", TokenKind::KwIsInjective},
+      {"invert", TokenKind::KwInvert},
+  };
+
+  std::vector<Token> Tokens;
+  int Line = 1;
+  size_t I = 0, N = Source.size();
+  auto Push = [&](TokenKind K) {
+    Token T;
+    T.K = K;
+    T.Line = Line;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      std::string Word = Source.substr(Start, I - Start);
+      auto It = Keywords.find(Word);
+      if (It != Keywords.end()) {
+        Push(It->second);
+      } else {
+        Token T;
+        T.K = TokenKind::Ident;
+        T.Text = std::move(Word);
+        T.Line = Line;
+        Tokens.push_back(std::move(T));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I])))
+        ++I;
+      Token T;
+      T.K = TokenKind::Number;
+      T.Number = std::stoll(Source.substr(Start, I - Start));
+      T.Line = Line;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    if (C == '#') {
+      if (I + 2 >= N || Source[I + 1] != 'x')
+        return Status::error("line " + std::to_string(Line) +
+                             ": expected #x.. bit-vector literal");
+      size_t Start = I + 2;
+      size_t J = Start;
+      while (J < N && std::isxdigit(static_cast<unsigned char>(Source[J])))
+        ++J;
+      if (J == Start)
+        return Status::error("line " + std::to_string(Line) +
+                             ": empty bit-vector literal");
+      unsigned Digits = J - Start;
+      if (Digits > 16)
+        return Status::error("line " + std::to_string(Line) +
+                             ": bit-vector literal wider than 64 bits");
+      Token T;
+      T.K = TokenKind::BvLit;
+      T.BvValue = std::stoull(Source.substr(Start, Digits), nullptr, 16);
+      T.BvWidth = Digits * 4;
+      T.Line = Line;
+      Tokens.push_back(std::move(T));
+      I = J;
+      continue;
+    }
+
+    auto Two = [&](char A, char B) {
+      return C == A && I + 1 < N && Source[I + 1] == B;
+    };
+    if (Two(':', '=')) {
+      Push(TokenKind::Assign);
+      I += 2;
+      continue;
+    }
+    if (Two(':', ':')) {
+      Push(TokenKind::ColonColon);
+      I += 2;
+      continue;
+    }
+    if (Two('-', '>')) {
+      Push(TokenKind::Arrow);
+      I += 2;
+      continue;
+    }
+    if (Two('<', '<')) {
+      Push(TokenKind::Shl);
+      I += 2;
+      continue;
+    }
+    if (Two('>', '>')) {
+      Push(TokenKind::Lshr);
+      I += 2;
+      continue;
+    }
+    if (Two('<', '=')) {
+      Push(TokenKind::Le);
+      I += 2;
+      continue;
+    }
+    if (Two('>', '=')) {
+      Push(TokenKind::Ge);
+      I += 2;
+      continue;
+    }
+    if (Two('=', '=')) {
+      Push(TokenKind::EqEq);
+      I += 2;
+      continue;
+    }
+    if (Two('!', '=')) {
+      Push(TokenKind::NotEq);
+      I += 2;
+      continue;
+    }
+    switch (C) {
+    case '(':
+      Push(TokenKind::LParen);
+      break;
+    case ')':
+      Push(TokenKind::RParen);
+      break;
+    case ':':
+      Push(TokenKind::Colon);
+      break;
+    case '|':
+      Push(TokenKind::Pipe);
+      break;
+    case '[':
+      Push(TokenKind::LBracket);
+      break;
+    case ']':
+      Push(TokenKind::RBracket);
+      break;
+    case '+':
+      Push(TokenKind::Plus);
+      break;
+    case '-':
+      Push(TokenKind::Minus);
+      break;
+    case '*':
+      Push(TokenKind::Star);
+      break;
+    case '&':
+      Push(TokenKind::Amp);
+      break;
+    case '^':
+      Push(TokenKind::Caret);
+      break;
+    case '~':
+      Push(TokenKind::Tilde);
+      break;
+    case '<':
+      Push(TokenKind::Lt);
+      break;
+    case '>':
+      Push(TokenKind::Gt);
+      break;
+    default:
+      return Status::error("line " + std::to_string(Line) +
+                           ": unexpected character '" + std::string(1, C) +
+                           "'");
+    }
+    ++I;
+  }
+  Push(TokenKind::End);
+  return Tokens;
+}

@@ -1,0 +1,79 @@
+//===- genic/Lexer.h - Tokenizer for GENIC source --------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_GENIC_LEXER_H
+#define GENIC_GENIC_LEXER_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace genic {
+
+enum class TokenKind : unsigned char {
+  Ident,
+  Number, // decimal integer literal (non-negative; '-' is an operator)
+  BvLit,  // #x.. hexadecimal bit-vector literal
+  // Keywords.
+  KwFun,
+  KwTrans,
+  KwMatch,
+  KwWith,
+  KwWhen,
+  KwList,
+  KwTrue,
+  KwFalse,
+  KwIsInjective,
+  KwInvert,
+  // Punctuation.
+  LParen,
+  RParen,
+  Colon,      // :
+  Assign,     // :=
+  ColonColon, // ::
+  Pipe,       // |
+  Arrow,      // ->
+  LBracket,   // [
+  RBracket,   // ]
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Shl,   // <<
+  Lshr,  // >>
+  Amp,   // &
+  Caret, // ^
+  Tilde, // ~
+  Le,
+  Lt,
+  Ge,
+  Gt,
+  EqEq,
+  NotEq,
+  End,
+};
+
+struct Token {
+  TokenKind K = TokenKind::End;
+  std::string Text;    // Ident spelling
+  int64_t Number = 0;  // Number value
+  uint64_t BvValue = 0;
+  unsigned BvWidth = 0;
+  int Line = 1;
+};
+
+/// Tokenizes \p Source; `//` comments run to end of line. Errors carry the
+/// line number.
+Result<std::vector<Token>> lex(const std::string &Source);
+
+/// Human-readable token kind for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+} // namespace genic
+
+#endif // GENIC_GENIC_LEXER_H

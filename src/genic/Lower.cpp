@@ -1,0 +1,385 @@
+//===- genic/Lower.cpp -----------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "genic/Lower.h"
+
+#include <map>
+
+using namespace genic;
+
+namespace {
+
+Status errAt(int Line, const std::string &Message) {
+  return Status::error("line " + std::to_string(Line) + ": " + Message);
+}
+
+/// Maps a surface binary operator spelling and operand type to a theory
+/// operator. Comparisons on bit-vectors are unsigned (§3.1 coders use
+/// unsigned byte comparisons); signed variants are reachable through the
+/// prefix builtins bvsle/bvslt/bvsge/bvsgt.
+Result<Op> binaryOp(const std::string &Spelling, const Type &OperandTy,
+                    int Line) {
+  bool IsInt = OperandTy.isInt();
+  bool IsBv = OperandTy.isBitVec();
+  auto Mismatch = [&]() {
+    return errAt(Line, "operator '" + Spelling + "' is not defined on " +
+                           OperandTy.str());
+  };
+  if (Spelling == "+")
+    return IsInt ? Result<Op>(Op::IntAdd)
+                 : IsBv ? Result<Op>(Op::BvAdd) : Result<Op>(Mismatch());
+  if (Spelling == "-")
+    return IsInt ? Result<Op>(Op::IntSub)
+                 : IsBv ? Result<Op>(Op::BvSub) : Result<Op>(Mismatch());
+  if (Spelling == "*")
+    return IsInt ? Result<Op>(Op::IntMul)
+                 : IsBv ? Result<Op>(Op::BvMul) : Result<Op>(Mismatch());
+  if (Spelling == "<=")
+    return IsInt ? Result<Op>(Op::IntLe)
+                 : IsBv ? Result<Op>(Op::BvUle) : Result<Op>(Mismatch());
+  if (Spelling == "<")
+    return IsInt ? Result<Op>(Op::IntLt)
+                 : IsBv ? Result<Op>(Op::BvUlt) : Result<Op>(Mismatch());
+  if (Spelling == ">=")
+    return IsInt ? Result<Op>(Op::IntGe)
+                 : IsBv ? Result<Op>(Op::BvUge) : Result<Op>(Mismatch());
+  if (Spelling == ">")
+    return IsInt ? Result<Op>(Op::IntGt)
+                 : IsBv ? Result<Op>(Op::BvUgt) : Result<Op>(Mismatch());
+  if (!IsBv)
+    return Mismatch();
+  if (Spelling == "<<")
+    return Op::BvShl;
+  if (Spelling == ">>")
+    return Op::BvLshr;
+  if (Spelling == "&")
+    return Op::BvAnd;
+  if (Spelling == "|")
+    return Op::BvOr;
+  if (Spelling == "^")
+    return Op::BvXor;
+  return Mismatch();
+}
+
+/// Prefix builtins usable in application position.
+std::optional<Op> prefixBuiltin(const std::string &Name) {
+  if (Name == "bvsle")
+    return Op::BvSle;
+  if (Name == "bvslt")
+    return Op::BvSlt;
+  if (Name == "bvsge")
+    return Op::BvSge;
+  if (Name == "bvsgt")
+    return Op::BvSgt;
+  return std::nullopt;
+}
+
+} // namespace
+
+Result<TermRef> genic::lowerExpr(const Expr &E, const LowerEnv &Env,
+                                 const std::optional<Type> &Hint) {
+  TermFactory &F = *Env.F;
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    if (Hint && Hint->isBitVec()) {
+      if (E.IntValue < 0)
+        return errAt(E.Line, "negative bit-vector literal");
+      return F.mkBv(static_cast<uint64_t>(E.IntValue), Hint->width());
+    }
+    return F.mkInt(E.IntValue);
+  case Expr::Kind::BvLit: {
+    unsigned Width = E.BvWidth;
+    // A #x literal narrower than the context widens (Figure 2 writes #x04
+    // for a byte); wider literals are an error.
+    if (Hint && Hint->isBitVec()) {
+      if (Hint->width() < Width && (E.BvValue >> Hint->width()) != 0)
+        return errAt(E.Line, "bit-vector literal does not fit the context");
+      Width = Hint->width();
+    }
+    return F.mkBv(E.BvValue, Width);
+  }
+  case Expr::Kind::BoolLit:
+    return F.mkBool(E.BoolValue);
+  case Expr::Kind::Ident: {
+    for (const auto &[Name, Binding] : Env.Vars)
+      if (Name == E.Name)
+        return F.mkVar(Binding.first, Binding.second, Name);
+    return errAt(E.Line, "unknown identifier '" + E.Name + "'");
+  }
+  case Expr::Kind::Unary: {
+    Result<TermRef> Operand = lowerExpr(*E.Args[0], Env, Hint);
+    if (!Operand)
+      return Operand;
+    const Type &Ty = (*Operand)->type();
+    if (E.Name == "-") {
+      if (Ty.isInt())
+        return F.mkIntOp(Op::IntNeg, *Operand);
+      if (Ty.isBitVec())
+        return F.mkBvOp(Op::BvNeg, *Operand);
+      return errAt(E.Line, "unary '-' on " + Ty.str());
+    }
+    if (Ty.isBitVec())
+      return F.mkBvOp(Op::BvNot, *Operand);
+    return errAt(E.Line, "'~' on " + Ty.str());
+  }
+  case Expr::Kind::Binary: {
+    bool IsComparison = E.Name == "==" || E.Name == "!=" || E.Name == "<=" ||
+                        E.Name == "<" || E.Name == ">=" || E.Name == ">";
+    std::optional<Type> ChildHint = IsComparison ? std::nullopt : Hint;
+    Result<TermRef> L = lowerExpr(*E.Args[0], Env, ChildHint);
+    if (!L)
+      return L;
+    Result<TermRef> R = lowerExpr(*E.Args[1], Env,
+                                  ChildHint ? ChildHint
+                                            : std::optional<Type>(
+                                                  (*L)->type()));
+    if (!R)
+      return R;
+    // Coerce a decimal literal operand to the other side's bit-vector type.
+    auto Recoerce = [&](Result<TermRef> &Side, const Expr &Ast,
+                        const Type &Want) -> Status {
+      if ((*Side)->type() == Want)
+        return Status::ok();
+      if (Ast.K == Expr::Kind::IntLit && Want.isBitVec()) {
+        Result<TermRef> Again = lowerExpr(Ast, Env, Want);
+        if (!Again)
+          return Again.status();
+        Side = Again;
+        return Status::ok();
+      }
+      return errAt(E.Line, "operand types " + (*L)->type().str() + " and " +
+                               (*R)->type().str() + " do not match");
+    };
+    if ((*L)->type() != (*R)->type()) {
+      if (Status St = Recoerce(L, *E.Args[0], (*R)->type()); !St.isOk())
+        return St;
+      if (Status St = Recoerce(R, *E.Args[1], (*L)->type()); !St.isOk())
+        return St;
+    }
+    const Type &Ty = (*L)->type();
+    if (E.Name == "==" || E.Name == "!=") {
+      TermRef Eq = Ty.isBool() ? F.mkIff(*L, *R) : F.mkEq(*L, *R);
+      return E.Name == "==" ? Eq : F.mkNot(Eq);
+    }
+    Result<Op> O = binaryOp(E.Name, Ty, E.Line);
+    if (!O)
+      return O.status();
+    return Ty.isInt() ? F.mkIntOp(*O, *L, *R) : F.mkBvOp(*O, *L, *R);
+  }
+  case Expr::Kind::Apply: {
+    // Boolean structure builtins.
+    if (E.Name == "and" || E.Name == "or") {
+      std::vector<TermRef> Parts;
+      for (const ExprPtr &A : E.Args) {
+        Result<TermRef> P = lowerExpr(*A, Env, Type::boolTy());
+        if (!P)
+          return P;
+        if (!(*P)->type().isBool())
+          return errAt(E.Line, "'" + E.Name + "' needs boolean operands");
+        Parts.push_back(*P);
+      }
+      return E.Name == "and" ? F.mkAnd(std::move(Parts))
+                             : F.mkOr(std::move(Parts));
+    }
+    if (E.Name == "not") {
+      if (E.Args.size() != 1)
+        return errAt(E.Line, "'not' takes one operand");
+      Result<TermRef> P = lowerExpr(*E.Args[0], Env, Type::boolTy());
+      if (!P)
+        return P;
+      if (!(*P)->type().isBool())
+        return errAt(E.Line, "'not' needs a boolean operand");
+      return F.mkNot(*P);
+    }
+    if (E.Name == "ite") {
+      if (E.Args.size() != 3)
+        return errAt(E.Line, "'ite' takes three operands");
+      Result<TermRef> C = lowerExpr(*E.Args[0], Env, Type::boolTy());
+      if (!C)
+        return C;
+      if (!(*C)->type().isBool())
+        return errAt(E.Line, "'ite' condition must be boolean");
+      Result<TermRef> T = lowerExpr(*E.Args[1], Env, Hint);
+      if (!T)
+        return T;
+      Result<TermRef> El =
+          lowerExpr(*E.Args[2], Env, std::optional<Type>((*T)->type()));
+      if (!El)
+        return El;
+      if ((*T)->type() != (*El)->type())
+        return errAt(E.Line, "'ite' branches have different types");
+      return F.mkIte(*C, *T, *El);
+    }
+    if (std::optional<Op> O = prefixBuiltin(E.Name)) {
+      if (E.Args.size() != 2)
+        return errAt(E.Line, "'" + E.Name + "' takes two operands");
+      Result<TermRef> L = lowerExpr(*E.Args[0], Env, std::nullopt);
+      if (!L)
+        return L;
+      Result<TermRef> R =
+          lowerExpr(*E.Args[1], Env, std::optional<Type>((*L)->type()));
+      if (!R)
+        return R;
+      if (!(*L)->type().isBitVec() || (*L)->type() != (*R)->type())
+        return errAt(E.Line, "'" + E.Name + "' needs same-width bit-vectors");
+      return F.mkBvOp(*O, *L, *R);
+    }
+    const FuncDef *Fn = F.lookupFunc(E.Name);
+    if (!Fn)
+      return errAt(E.Line, "unknown function '" + E.Name + "'");
+    if (E.Args.size() != Fn->arity())
+      return errAt(E.Line, "'" + E.Name + "' expects " +
+                               std::to_string(Fn->arity()) + " arguments");
+    std::vector<TermRef> Args;
+    for (size_t I = 0, N = E.Args.size(); I != N; ++I) {
+      Result<TermRef> A =
+          lowerExpr(*E.Args[I], Env, std::optional<Type>(Fn->ParamTypes[I]));
+      if (!A)
+        return A;
+      if ((*A)->type() != Fn->ParamTypes[I])
+        return errAt(E.Line, "argument " + std::to_string(I) + " of '" +
+                                 E.Name + "' has type " +
+                                 (*A)->type().str() + ", expected " +
+                                 Fn->ParamTypes[I].str());
+      Args.push_back(*A);
+    }
+    return F.mkCall(Fn, std::move(Args));
+  }
+  }
+  return Status::error("unhandled expression kind");
+}
+
+Result<LoweredProgram> genic::lowerProgram(TermFactory &F,
+                                           const AstProgram &P,
+                                           const std::string &Entry) {
+  // Auxiliary functions first (they may reference earlier ones).
+  std::vector<const FuncDef *> Aux;
+  for (const AstFun &Fun : P.Funs) {
+    if (F.lookupFunc(Fun.Name))
+      return errAt(Fun.Line, "duplicate function '" + Fun.Name + "'");
+    LowerEnv Env;
+    Env.F = &F;
+    std::vector<Type> ParamTypes;
+    for (unsigned I = 0; I < Fun.Params.size(); ++I) {
+      Env.Vars.push_back(
+          {Fun.Params[I].Name, {I, Fun.Params[I].Ty}});
+      ParamTypes.push_back(Fun.Params[I].Ty);
+    }
+    std::vector<TermRef> Domains;
+    for (const AstParam &Param : Fun.Params) {
+      if (!Param.Domain)
+        continue;
+      Result<TermRef> D = lowerExpr(*Param.Domain, Env, Type::boolTy());
+      if (!D)
+        return D.status();
+      if (!(*D)->type().isBool())
+        return errAt(Param.Line, "parameter domain must be boolean");
+      Domains.push_back(*D);
+    }
+    Result<TermRef> Body = lowerExpr(*Fun.Body, Env, std::nullopt);
+    if (!Body)
+      return Body.status();
+    TermRef Domain =
+        Domains.empty() ? nullptr : F.mkAnd(std::move(Domains));
+    Aux.push_back(F.makeFunc(Fun.Name, std::move(ParamTypes),
+                             (*Body)->type(), *Body, Domain));
+  }
+
+  if (P.Transes.empty())
+    return Status::error("program has no transformations");
+
+  // Determine the entry transformation.
+  std::string EntryName = Entry;
+  bool WantsInjective = false, WantsInvert = false;
+  for (const AstOp &O : P.Ops) {
+    if (EntryName.empty())
+      EntryName = O.Target;
+    if (O.Target != EntryName && Entry.empty())
+      return errAt(O.Line, "operations target different transformations");
+    if (O.K == AstOp::Kind::IsInjective)
+      WantsInjective = true;
+    else
+      WantsInvert = true;
+  }
+  if (EntryName.empty())
+    EntryName = P.Transes.front().Name;
+
+  // State numbering and shared types.
+  std::map<std::string, unsigned> StateOf;
+  for (const AstTrans &T : P.Transes) {
+    if (StateOf.count(T.Name))
+      return errAt(T.Line, "duplicate transformation '" + T.Name + "'");
+    StateOf[T.Name] = StateOf.size();
+  }
+  if (!StateOf.count(EntryName))
+    return Status::error("unknown entry transformation '" + EntryName + "'");
+  Type InputType = P.Transes.front().InputType;
+  Type OutputType = P.Transes.front().OutputType;
+  for (const AstTrans &T : P.Transes)
+    if (T.InputType != InputType || T.OutputType != OutputType)
+      return errAt(T.Line,
+                   "all transformations must share input/output types");
+
+  LoweredProgram Out{
+      Seft(P.Transes.size(), StateOf[EntryName], InputType, OutputType),
+      std::move(Aux),
+      {},
+      EntryName,
+      WantsInjective,
+      WantsInvert};
+  Out.StateNames.resize(P.Transes.size());
+  for (const auto &[Name, Index] : StateOf)
+    Out.StateNames[Index] = Name;
+
+  for (const AstTrans &T : P.Transes) {
+    for (const AstRule &R : T.Rules) {
+      LowerEnv Env;
+      Env.F = &F;
+      for (unsigned I = 0; I < R.Vars.size(); ++I) {
+        for (const auto &[Seen, Binding] : Env.Vars) {
+          (void)Binding;
+          if (Seen == R.Vars[I])
+            return errAt(R.Line, "duplicate pattern variable '" + Seen + "'");
+        }
+        Env.Vars.push_back({R.Vars[I], {I, InputType}});
+      }
+      Result<TermRef> Guard = lowerExpr(*R.Guard, Env, Type::boolTy());
+      if (!Guard)
+        return Guard.status();
+      if (!(*Guard)->type().isBool())
+        return errAt(R.Line, "rule guard must be boolean");
+
+      SeftTransition NT;
+      NT.From = StateOf[T.Name];
+      NT.Lookahead = R.Vars.size();
+      std::vector<TermRef> GuardParts{*Guard, F.calleeDomains(*Guard)};
+      for (const ExprPtr &O : R.Outputs) {
+        Result<TermRef> OutTerm =
+            lowerExpr(*O, Env, std::optional<Type>(OutputType));
+        if (!OutTerm)
+          return OutTerm.status();
+        if ((*OutTerm)->type() != OutputType)
+          return errAt(R.Line, "rule output has type " +
+                                   (*OutTerm)->type().str() + ", expected " +
+                                   OutputType.str());
+        GuardParts.push_back(F.calleeDomains(*OutTerm));
+        NT.Outputs.push_back(*OutTerm);
+      }
+      NT.Guard = F.mkAnd(std::move(GuardParts));
+      if (R.Continue.empty()) {
+        NT.To = Seft::FinalState;
+      } else {
+        auto It = StateOf.find(R.Continue);
+        if (It == StateOf.end())
+          return errAt(R.Line, "unknown transformation '" + R.Continue +
+                                   "' in recursive call");
+        NT.To = It->second;
+      }
+      Out.Machine.addTransition(std::move(NT));
+    }
+  }
+  return Out;
+}

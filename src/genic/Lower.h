@@ -1,0 +1,70 @@
+//===- genic/Lower.h - Typecheck and lower GENIC to s-EFTs ----------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantics of GENIC is given by translation to s-EFTs (§3.3): each
+/// `trans` declaration becomes a state, each match rule a transition (rules
+/// binding a tail variable continue to the state of the called
+/// transformation; rules matching a fixed-length list become finalizers).
+///
+/// Lowering also performs type checking: every expression is resolved to a
+/// well-typed alphabet-theory term, with decimal literals coerced to the
+/// bit-vector width expected by their context (Figure 2 writes
+/// `(B 4 0 y) << 2` over bytes).
+///
+/// Definedness: the domain predicates of partial auxiliary functions used
+/// in a rule's guard or outputs are conjoined into the transition guard, so
+/// a firing transition always has defined outputs (matching the
+/// non-symbolic rule semantics of §3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_GENIC_LOWER_H
+#define GENIC_GENIC_LOWER_H
+
+#include "genic/Ast.h"
+#include "support/Result.h"
+#include "term/TermFactory.h"
+#include "transducer/Seft.h"
+
+#include <string>
+#include <vector>
+
+namespace genic {
+
+/// A lowered program: the machine plus everything the printers and the
+/// driver need.
+struct LoweredProgram {
+  Seft Machine;
+  /// The program's auxiliary functions, in declaration order.
+  std::vector<const FuncDef *> AuxFuncs;
+  /// State index -> transformation name.
+  std::vector<std::string> StateNames;
+  /// The transformation the operations target (the machine's initial state).
+  std::string EntryName;
+  bool WantsInjective = false;
+  bool WantsInvert = false;
+};
+
+/// Lowers \p P into \p F. \p Entry overrides the entry transformation; when
+/// empty, the target of the program's operations is used (or the first
+/// transformation if the program has no operations).
+Result<LoweredProgram> lowerProgram(TermFactory &F, const AstProgram &P,
+                                    const std::string &Entry = "");
+
+/// Lowers one expression in an environment mapping names to variables.
+/// Exposed for tests.
+struct LowerEnv {
+  /// Name -> (variable index, type).
+  std::vector<std::pair<std::string, std::pair<unsigned, Type>>> Vars;
+  TermFactory *F = nullptr;
+};
+Result<TermRef> lowerExpr(const Expr &E, const LowerEnv &Env,
+                          const std::optional<Type> &Hint);
+
+} // namespace genic
+
+#endif // GENIC_GENIC_LOWER_H

@@ -1,0 +1,485 @@
+//===- genic/Parser.cpp ----------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "genic/Parser.h"
+
+#include "genic/Lexer.h"
+
+using namespace genic;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  Result<AstProgram> run() {
+    AstProgram P;
+    while (!at(TokenKind::End)) {
+      if (at(TokenKind::KwFun)) {
+        Result<AstFun> F = parseFun();
+        if (!F)
+          return F.status();
+        P.Funs.push_back(std::move(*F));
+      } else if (at(TokenKind::KwTrans)) {
+        Result<AstTrans> T = parseTrans();
+        if (!T)
+          return T.status();
+        P.Transes.push_back(std::move(*T));
+      } else if (at(TokenKind::KwIsInjective) || at(TokenKind::KwInvert)) {
+        AstOp O;
+        O.K = at(TokenKind::KwIsInjective) ? AstOp::Kind::IsInjective
+                                           : AstOp::Kind::Invert;
+        O.Line = peek().Line;
+        advance();
+        Result<std::string> Name = expectIdent("operation target");
+        if (!Name)
+          return Name.status();
+        O.Target = *Name;
+        P.Ops.push_back(std::move(O));
+      } else {
+        return err("expected 'fun', 'trans', 'isInjective' or 'invert'");
+      }
+    }
+    return P;
+  }
+
+private:
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokenKind K, size_t Ahead = 0) const { return peek(Ahead).K == K; }
+  void advance() {
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+  }
+  bool accept(TokenKind K) {
+    if (!at(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  Status err(const std::string &Message) const {
+    return Status::error("line " + std::to_string(peek().Line) +
+                         ": " + Message + " (found " +
+                         tokenKindName(peek().K) + ")");
+  }
+
+  Result<bool> expect(TokenKind K, const char *What) {
+    if (!at(K))
+      return Status(err(std::string("expected ") + tokenKindName(K) +
+                        " in " + What));
+    advance();
+    return true;
+  }
+
+  Result<std::string> expectIdent(const char *What) {
+    if (!at(TokenKind::Ident))
+      return Status(err(std::string("expected identifier in ") + What));
+    std::string Name = peek().Text;
+    advance();
+    return Name;
+  }
+
+  // -- Types -----------------------------------------------------------------
+
+  Result<Type> parseType() {
+    if (at(TokenKind::Ident) && peek().Text == "Int") {
+      advance();
+      return Type::intTy();
+    }
+    if (at(TokenKind::Ident) && peek().Text == "Bool") {
+      advance();
+      return Type::boolTy();
+    }
+    if (accept(TokenKind::LParen)) {
+      if (!(at(TokenKind::Ident) && peek().Text == "BitVec"))
+        return Status(err("expected 'BitVec' in type"));
+      advance();
+      if (!at(TokenKind::Number))
+        return Status(err("expected bit width"));
+      int64_t W = peek().Number;
+      advance();
+      if (W < 1 || W > 64)
+        return Status(err("bit width must be in [1, 64]"));
+      if (Result<bool> R = expect(TokenKind::RParen, "type"); !R)
+        return R.status();
+      return Type::bitVecTy(static_cast<unsigned>(W));
+    }
+    return Status(err("expected a type (Int, Bool, or (BitVec n))"));
+  }
+
+  // -- Expressions -------------------------------------------------------------
+
+  /// Whether the current token can begin an atom (application argument).
+  bool atAtomStart() const {
+    switch (peek().K) {
+    case TokenKind::Ident:
+    case TokenKind::Number:
+    case TokenKind::BvLit:
+    case TokenKind::KwTrue:
+    case TokenKind::KwFalse:
+    case TokenKind::LParen:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  ExprPtr mkBinary(const std::string &Op, ExprPtr L, ExprPtr R, int Line) {
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Binary;
+    E->Name = Op;
+    E->Line = Line;
+    E->Args.push_back(std::move(L));
+    E->Args.push_back(std::move(R));
+    return E;
+  }
+
+  Result<ExprPtr> parsePrimary() {
+    int Line = peek().Line;
+    if (at(TokenKind::Number)) {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::IntLit;
+      E->IntValue = peek().Number;
+      E->Line = Line;
+      advance();
+      return ExprPtr(std::move(E));
+    }
+    if (at(TokenKind::BvLit)) {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::BvLit;
+      E->BvValue = peek().BvValue;
+      E->BvWidth = peek().BvWidth;
+      E->Line = Line;
+      advance();
+      return ExprPtr(std::move(E));
+    }
+    if (at(TokenKind::KwTrue) || at(TokenKind::KwFalse)) {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::BoolLit;
+      E->BoolValue = at(TokenKind::KwTrue);
+      E->Line = Line;
+      advance();
+      return ExprPtr(std::move(E));
+    }
+    if (at(TokenKind::Ident)) {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Ident;
+      E->Name = peek().Text;
+      E->Line = Line;
+      advance();
+      return ExprPtr(std::move(E));
+    }
+    if (accept(TokenKind::LParen)) {
+      Result<ExprPtr> Inner = parseExpr(/*AllowPipe=*/true);
+      if (!Inner)
+        return Inner;
+      if (Result<bool> R = expect(TokenKind::RParen, "expression"); !R)
+        return R.status();
+      return Inner;
+    }
+    return Status(err("expected an expression"));
+  }
+
+  Result<ExprPtr> parseUnary() {
+    int Line = peek().Line;
+    if (accept(TokenKind::Minus)) {
+      Result<ExprPtr> Operand = parseUnary();
+      if (!Operand)
+        return Operand;
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Unary;
+      E->Name = "-";
+      E->Line = Line;
+      E->Args.push_back(std::move(*Operand));
+      return ExprPtr(std::move(E));
+    }
+    if (accept(TokenKind::Tilde)) {
+      Result<ExprPtr> Operand = parseUnary();
+      if (!Operand)
+        return Operand;
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Unary;
+      E->Name = "~";
+      E->Line = Line;
+      E->Args.push_back(std::move(*Operand));
+      return ExprPtr(std::move(E));
+    }
+    // Application by juxtaposition: f a b.
+    Result<ExprPtr> Head = parsePrimary();
+    if (!Head)
+      return Head;
+    if ((*Head)->K == Expr::Kind::Ident && atAtomStart()) {
+      auto App = std::make_unique<Expr>();
+      App->K = Expr::Kind::Apply;
+      App->Name = (*Head)->Name;
+      App->Line = (*Head)->Line;
+      while (atAtomStart()) {
+        Result<ExprPtr> Arg = parsePrimary();
+        if (!Arg)
+          return Arg;
+        App->Args.push_back(std::move(*Arg));
+      }
+      return ExprPtr(std::move(App));
+    }
+    return Head;
+  }
+
+  struct Level {
+    std::vector<std::pair<TokenKind, const char *>> Ops;
+    bool NonAssoc = false;
+  };
+
+  Result<ExprPtr> parseLevel(unsigned LevelIndex, bool AllowPipe) {
+    // Levels from loosest to tightest; index 0 is entered first.
+    static const Level Levels[] = {
+        {{{TokenKind::EqEq, "=="},
+          {TokenKind::NotEq, "!="},
+          {TokenKind::Le, "<="},
+          {TokenKind::Lt, "<"},
+          {TokenKind::Ge, ">="},
+          {TokenKind::Gt, ">"}},
+         /*NonAssoc=*/true},
+        {{{TokenKind::Pipe, "|"}}, false},
+        {{{TokenKind::Caret, "^"}}, false},
+        {{{TokenKind::Amp, "&"}}, false},
+        {{{TokenKind::Shl, "<<"}, {TokenKind::Lshr, ">>"}}, false},
+        {{{TokenKind::Plus, "+"}, {TokenKind::Minus, "-"}}, false},
+        {{{TokenKind::Star, "*"}}, false},
+    };
+    constexpr unsigned NumLevels = sizeof(Levels) / sizeof(Levels[0]);
+    if (LevelIndex >= NumLevels)
+      return parseUnary();
+
+    Result<ExprPtr> Lhs = parseLevel(LevelIndex + 1, AllowPipe);
+    if (!Lhs)
+      return Lhs;
+    ExprPtr Acc = std::move(*Lhs);
+    while (true) {
+      const char *Spelling = nullptr;
+      for (const auto &[K, Sp] : Levels[LevelIndex].Ops)
+        if (at(K)) {
+          if (K == TokenKind::Pipe && !AllowPipe)
+            break; // Rule-separator context: stop here.
+          Spelling = Sp;
+          break;
+        }
+      if (!Spelling)
+        return ExprPtr(std::move(Acc));
+      int Line = peek().Line;
+      advance();
+      Result<ExprPtr> Rhs = parseLevel(LevelIndex + 1, AllowPipe);
+      if (!Rhs)
+        return Rhs;
+      Acc = mkBinary(Spelling, std::move(Acc), std::move(*Rhs), Line);
+      if (Levels[LevelIndex].NonAssoc)
+        return ExprPtr(std::move(Acc));
+    }
+  }
+
+  Result<ExprPtr> parseExpr(bool AllowPipe) {
+    return parseLevel(0, AllowPipe);
+  }
+
+  // -- Declarations ---------------------------------------------------------
+
+  Result<AstFun> parseFun() {
+    AstFun F;
+    F.Line = peek().Line;
+    advance(); // fun
+    Result<std::string> Name = expectIdent("function definition");
+    if (!Name)
+      return Name.status();
+    F.Name = *Name;
+    // Parameters: one or more '(' name ':' type [when expr] ')'.
+    while (at(TokenKind::LParen)) {
+      advance();
+      AstParam P;
+      P.Line = peek().Line;
+      Result<std::string> PName = expectIdent("parameter");
+      if (!PName)
+        return PName.status();
+      P.Name = *PName;
+      if (Result<bool> R = expect(TokenKind::Colon, "parameter"); !R)
+        return R.status();
+      Result<Type> Ty = parseType();
+      if (!Ty)
+        return Ty.status();
+      P.Ty = *Ty;
+      if (accept(TokenKind::KwWhen)) {
+        Result<ExprPtr> D = parseExpr(true);
+        if (!D)
+          return D.status();
+        P.Domain = std::move(*D);
+      }
+      if (Result<bool> R = expect(TokenKind::RParen, "parameter"); !R)
+        return R.status();
+      F.Params.push_back(std::move(P));
+    }
+    if (F.Params.empty())
+      return Status(err("function needs at least one parameter"));
+    if (Result<bool> R = expect(TokenKind::Assign, "function definition"); !R)
+      return R.status();
+    Result<ExprPtr> Body = parseExpr(true);
+    if (!Body)
+      return Body.status();
+    F.Body = std::move(*Body);
+    return F;
+  }
+
+  Result<AstTrans> parseTrans() {
+    AstTrans T;
+    T.Line = peek().Line;
+    advance(); // trans
+    Result<std::string> Name = expectIdent("transformation");
+    if (!Name)
+      return Name.status();
+    T.Name = *Name;
+    if (Result<bool> R = expect(TokenKind::LParen, "transformation"); !R)
+      return R.status();
+    Result<std::string> LV = expectIdent("list parameter");
+    if (!LV)
+      return LV.status();
+    T.ListVar = *LV;
+    if (Result<bool> R = expect(TokenKind::Colon, "list parameter"); !R)
+      return R.status();
+    Result<Type> In = parseType();
+    if (!In)
+      return In.status();
+    T.InputType = *In;
+    if (Result<bool> R = expect(TokenKind::KwList, "list parameter"); !R)
+      return R.status();
+    if (Result<bool> R = expect(TokenKind::RParen, "transformation"); !R)
+      return R.status();
+    if (Result<bool> R = expect(TokenKind::Colon, "transformation"); !R)
+      return R.status();
+    Result<Type> Out = parseType();
+    if (!Out)
+      return Out.status();
+    T.OutputType = *Out;
+    if (Result<bool> R = expect(TokenKind::Assign, "transformation"); !R)
+      return R.status();
+    if (Result<bool> R = expect(TokenKind::KwMatch, "transformation"); !R)
+      return R.status();
+    Result<std::string> MV = expectIdent("match");
+    if (!MV)
+      return MV.status();
+    if (*MV != T.ListVar)
+      return Status(err("match subject must be the list parameter '" +
+                        T.ListVar + "'"));
+    if (Result<bool> R = expect(TokenKind::KwWith, "match"); !R)
+      return R.status();
+    while (at(TokenKind::Pipe)) {
+      Result<AstRule> Rule = parseRule();
+      if (!Rule)
+        return Rule.status();
+      T.Rules.push_back(std::move(*Rule));
+    }
+    if (T.Rules.empty())
+      return Status(err("transformation needs at least one rule"));
+    return T;
+  }
+
+  Result<AstRule> parseRule() {
+    AstRule R;
+    R.Line = peek().Line;
+    advance(); // |
+
+    // Pattern.
+    if (accept(TokenKind::LBracket)) {
+      if (Result<bool> E = expect(TokenKind::RBracket, "pattern"); !E)
+        return E.status();
+    } else {
+      Result<std::string> First = expectIdent("pattern");
+      if (!First)
+        return First.status();
+      std::vector<std::string> Names{*First};
+      bool EndsEmpty = false;
+      while (accept(TokenKind::ColonColon)) {
+        if (accept(TokenKind::LBracket)) {
+          if (Result<bool> E = expect(TokenKind::RBracket, "pattern"); !E)
+            return E.status();
+          EndsEmpty = true;
+          break;
+        }
+        Result<std::string> Next = expectIdent("pattern");
+        if (!Next)
+          return Next.status();
+        Names.push_back(*Next);
+      }
+      if (EndsEmpty) {
+        R.Vars = std::move(Names);
+      } else {
+        if (Names.size() < 2)
+          return Status(
+              err("pattern must end in '::[]' or bind a tail variable"));
+        R.TailVar = Names.back();
+        Names.pop_back();
+        R.Vars = std::move(Names);
+      }
+    }
+
+    if (Result<bool> E = expect(TokenKind::KwWhen, "rule"); !E)
+      return E.status();
+    Result<ExprPtr> Guard = parseExpr(/*AllowPipe=*/false);
+    if (!Guard)
+      return Guard.status();
+    R.Guard = std::move(*Guard);
+    if (Result<bool> E = expect(TokenKind::Arrow, "rule"); !E)
+      return E.status();
+
+    // Right-hand side: expr :: expr :: ... :: ([] | Trans(tail)).
+    while (true) {
+      if (accept(TokenKind::LBracket)) {
+        if (Result<bool> E = expect(TokenKind::RBracket, "rule output"); !E)
+          return E.status();
+        break; // Finalizer: output list ends here.
+      }
+      Result<ExprPtr> Element = parseExpr(/*AllowPipe=*/false);
+      if (!Element)
+        return Element.status();
+      if (accept(TokenKind::ColonColon)) {
+        R.Outputs.push_back(std::move(*Element));
+        continue;
+      }
+      // Last element without '::': must be the continuation Trans(tail).
+      Expr *E = Element->get();
+      if (E->K != Expr::Kind::Apply || E->Args.size() != 1 ||
+          E->Args[0]->K != Expr::Kind::Ident)
+        return Status(err("rule must end in '[]' or a recursive call "
+                          "'Trans(tail)'"));
+      if (R.TailVar.empty() || E->Args[0]->Name != R.TailVar)
+        return Status(err("recursive call must be applied to the tail "
+                          "variable '" +
+                          (R.TailVar.empty() ? std::string("<none>")
+                                             : R.TailVar) +
+                          "'"));
+      R.Continue = E->Name;
+      break;
+    }
+    if (R.TailVar.empty() && !R.Continue.empty())
+      return Status(err("a '::[]' pattern cannot recurse"));
+    if (!R.TailVar.empty() && R.Continue.empty())
+      return Status(err("a pattern with a tail variable must recurse on it"));
+    return R;
+  }
+};
+
+} // namespace
+
+Result<AstProgram> genic::parseGenic(const std::string &Source) {
+  Result<std::vector<Token>> Tokens = lex(Source);
+  if (!Tokens)
+    return Tokens.status();
+  Parser P(std::move(*Tokens));
+  return P.run();
+}

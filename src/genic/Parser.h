@@ -1,0 +1,35 @@
+//===- genic/Parser.h - Recursive-descent parser for GENIC ----------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the GENIC surface syntax of Figure 2 into the AST of Ast.h.
+///
+/// Expression precedence, loosest to tightest (documented in README.md):
+///   comparisons (== != <= < >= >, non-associative)
+///   |    ^    &    << >>    + -    *    unary - ~    application/atoms
+///
+/// Inside rule guards and outputs, an unparenthesized top-level `|` would
+/// be ambiguous with the rule separator, so it must be parenthesized there
+/// (as the paper's own programs do).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_GENIC_PARSER_H
+#define GENIC_GENIC_PARSER_H
+
+#include "genic/Ast.h"
+#include "support/Result.h"
+
+#include <string>
+
+namespace genic {
+
+/// Parses a whole program; errors carry line numbers.
+Result<AstProgram> parseGenic(const std::string &Source);
+
+} // namespace genic
+
+#endif // GENIC_GENIC_PARSER_H

@@ -1,0 +1,277 @@
+//===- genic/ProgramPrinter.cpp --------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "genic/ProgramPrinter.h"
+
+#include "support/StringUtils.h"
+
+#include <set>
+#include <unordered_set>
+
+using namespace genic;
+
+namespace {
+
+/// Infix spelling for operators that have one in the surface syntax.
+const char *infixSpelling(Op O) {
+  switch (O) {
+  case Op::IntAdd:
+  case Op::BvAdd:
+    return "+";
+  case Op::IntSub:
+  case Op::BvSub:
+    return "-";
+  case Op::IntMul:
+  case Op::BvMul:
+    return "*";
+  case Op::IntLe:
+  case Op::BvUle:
+    return "<=";
+  case Op::IntLt:
+  case Op::BvUlt:
+    return "<";
+  case Op::IntGe:
+  case Op::BvUge:
+    return ">=";
+  case Op::IntGt:
+  case Op::BvUgt:
+    return ">";
+  case Op::BvShl:
+    return "<<";
+  case Op::BvLshr:
+    return ">>";
+  case Op::BvAnd:
+    return "&";
+  case Op::BvOr:
+    return "|";
+  case Op::BvXor:
+    return "^";
+  case Op::Eq:
+    return "==";
+  default:
+    return nullptr;
+  }
+}
+
+void print(TermRef T, const std::vector<std::string> &VarNames,
+           std::string &Out) {
+  switch (T->op()) {
+  case Op::Const:
+    Out += T->constValue().str();
+    return;
+  case Op::Var:
+    if (T->varIndex() < VarNames.size())
+      Out += VarNames[T->varIndex()];
+    else
+      Out += T->varName();
+    return;
+  case Op::Call: {
+    Out += "(" + T->callee()->Name;
+    for (TermRef C : T->children()) {
+      Out += " ";
+      print(C, VarNames, Out);
+    }
+    Out += ")";
+    return;
+  }
+  case Op::And:
+  case Op::Or: {
+    Out += T->op() == Op::And ? "(and" : "(or";
+    for (TermRef C : T->children()) {
+      Out += " ";
+      print(C, VarNames, Out);
+    }
+    Out += ")";
+    return;
+  }
+  case Op::Not:
+    Out += "(not ";
+    print(T->child(0), VarNames, Out);
+    Out += ")";
+    return;
+  case Op::Ite:
+    Out += "(ite ";
+    print(T->child(0), VarNames, Out);
+    Out += " ";
+    print(T->child(1), VarNames, Out);
+    Out += " ";
+    print(T->child(2), VarNames, Out);
+    Out += ")";
+    return;
+  case Op::Implies:
+    // No surface form: print as (or (not a) b).
+    Out += "(or (not ";
+    print(T->child(0), VarNames, Out);
+    Out += ") ";
+    print(T->child(1), VarNames, Out);
+    Out += ")";
+    return;
+  case Op::Iff:
+    Out += "(";
+    print(T->child(0), VarNames, Out);
+    Out += " == ";
+    print(T->child(1), VarNames, Out);
+    Out += ")";
+    return;
+  case Op::IntNeg:
+  case Op::BvNeg:
+    Out += "(-";
+    print(T->child(0), VarNames, Out);
+    Out += ")";
+    return;
+  case Op::BvNot:
+    Out += "(~";
+    print(T->child(0), VarNames, Out);
+    Out += ")";
+    return;
+  case Op::BvSle:
+  case Op::BvSlt:
+  case Op::BvSge:
+  case Op::BvSgt:
+    // Prefix builtins (re-parseable).
+    Out += std::string("(") + opName(T->op()) + " ";
+    print(T->child(0), VarNames, Out);
+    Out += " ";
+    print(T->child(1), VarNames, Out);
+    Out += ")";
+    return;
+  default: {
+    const char *Sp = infixSpelling(T->op());
+    Out += "(";
+    print(T->child(0), VarNames, Out);
+    Out += " ";
+    Out += Sp ? Sp : opName(T->op());
+    Out += " ";
+    print(T->child(1), VarNames, Out);
+    Out += ")";
+    return;
+  }
+  }
+}
+
+/// Collects the auxiliary functions referenced from \p T (recursively
+/// through bodies and domains).
+void collectCallees(TermRef T, std::set<const FuncDef *> &Out) {
+  std::unordered_set<TermRef> Visited;
+  auto Go = [&](auto &&Self, TermRef Node) -> void {
+    if (!Visited.insert(Node).second)
+      return;
+    if (Node->op() == Op::Call && Out.insert(Node->callee()).second) {
+      Self(Self, Node->callee()->Body);
+      if (Node->callee()->Domain)
+        Self(Self, Node->callee()->Domain);
+    }
+    for (TermRef C : Node->children())
+      Self(Self, C);
+  };
+  Go(Go, T);
+}
+
+} // namespace
+
+std::string genic::printGenicExpr(TermRef T,
+                                  const std::vector<std::string> &VarNames) {
+  std::string Out;
+  print(T, VarNames, Out);
+  return Out;
+}
+
+std::string
+genic::printGenicProgram(const Seft &Machine,
+                         const std::vector<const FuncDef *> &AuxFuncs,
+                         const PrintOptions &Options) {
+  std::string Out;
+
+  // State names.
+  std::vector<std::string> Names = Options.StateNames;
+  if (Names.size() < Machine.numStates()) {
+    Names.resize(Machine.numStates());
+    for (unsigned I = 0; I < Machine.numStates(); ++I)
+      if (Names[I].empty())
+        Names[I] = "T" + std::to_string(I);
+  }
+
+  // Emit the requested auxiliary functions plus any referenced transitively
+  // from the machine, in a stable order: requested first, then discovered.
+  std::set<const FuncDef *> Referenced;
+  for (const SeftTransition &T : Machine.transitions()) {
+    collectCallees(T.Guard, Referenced);
+    for (TermRef O : T.Outputs)
+      collectCallees(O, Referenced);
+  }
+  std::vector<const FuncDef *> Order;
+  for (const FuncDef *Fn : AuxFuncs) {
+    Order.push_back(Fn);
+    Referenced.erase(Fn);
+  }
+  for (const FuncDef *Fn : Referenced)
+    Order.push_back(Fn);
+
+  for (const FuncDef *Fn : Order) {
+    std::vector<std::string> ParamNames;
+    for (unsigned I = 0; I < Fn->arity(); ++I)
+      ParamNames.push_back("p" + std::to_string(I));
+    Out += "fun " + Fn->Name;
+    for (unsigned I = 0; I < Fn->arity(); ++I) {
+      Out += " (" + ParamNames[I] + " : " + Fn->ParamTypes[I].str();
+      if (Fn->Domain && Fn->arity() == 1)
+        Out += " when " + printGenicExpr(Fn->Domain, ParamNames);
+      Out += ")";
+    }
+    Out += " := " + printGenicExpr(Fn->Body, ParamNames) + "\n";
+  }
+  if (!Order.empty())
+    Out += "\n";
+
+  // Emit one trans per state, entry first so the program reads top-down.
+  std::vector<unsigned> StateOrder{Machine.initial()};
+  for (unsigned I = 0; I < Machine.numStates(); ++I)
+    if (I != Machine.initial())
+      StateOrder.push_back(I);
+
+  for (unsigned State : StateOrder) {
+    Out += "trans " + Names[State] + " (l : " + Machine.inputType().str() +
+           " list) : " + Machine.outputType().str() + " :=\n";
+    Out += "  match l with\n";
+    bool Any = false;
+    for (const SeftTransition &T : Machine.transitions()) {
+      if (T.From != State)
+        continue;
+      Any = true;
+      std::vector<std::string> VarNames;
+      for (unsigned I = 0; I < T.Lookahead; ++I)
+        VarNames.push_back("x" + std::to_string(I));
+      Out += "  | ";
+      if (T.Lookahead == 0) {
+        Out += "[]";
+      } else {
+        for (unsigned I = 0; I < T.Lookahead; ++I)
+          Out += VarNames[I] + "::";
+        Out += T.To == Seft::FinalState ? "[]" : "tail";
+      }
+      Out += " when " + printGenicExpr(T.Guard, VarNames) + " ->\n    ";
+      for (TermRef O : T.Outputs)
+        Out += printGenicExpr(O, VarNames) + " :: ";
+      if (T.To == Seft::FinalState)
+        Out += "[]";
+      else
+        Out += Names[T.To] + "(tail)";
+      Out += "\n";
+    }
+    if (!Any) {
+      // A state with no rules still needs one to be syntactically valid; an
+      // unsatisfiable rule preserves the (empty) semantics.
+      Out += "  | x0::[] when false -> []\n";
+    }
+    Out += "\n";
+  }
+
+  if (Options.EmitOps) {
+    Out += "isInjective " + Names[Machine.initial()] + "\n";
+    Out += "invert " + Names[Machine.initial()] + "\n";
+  }
+  return Out;
+}

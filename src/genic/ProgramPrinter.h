@@ -1,0 +1,48 @@
+//===- genic/ProgramPrinter.h - Emit s-EFTs as GENIC source ---------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an s-EFT (plus auxiliary function definitions) as a GENIC
+/// program — this is how inverted programs are delivered to the user
+/// (Figure 3). The emitted text re-parses and re-lowers to an equivalent
+/// machine, which the round-trip tests check, and its byte size is the
+/// metric of Figure 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_GENIC_PROGRAMPRINTER_H
+#define GENIC_GENIC_PROGRAMPRINTER_H
+
+#include "term/Term.h"
+#include "transducer/Seft.h"
+
+#include <string>
+#include <vector>
+
+namespace genic {
+
+/// Renders \p T as a GENIC surface expression with Var(i) shown as
+/// \p VarNames[i]. Boolean structure prints prefix ("(and a b)"), the rest
+/// infix, fully parenthesized.
+std::string printGenicExpr(TermRef T, const std::vector<std::string> &VarNames);
+
+/// Options for program emission.
+struct PrintOptions {
+  /// Names for the machine's states; generated names are used if empty.
+  std::vector<std::string> StateNames;
+  /// Emit `isInjective`/`invert` operations for the entry transformation.
+  bool EmitOps = false;
+};
+
+/// Renders the machine (and the auxiliary functions it uses) as a complete
+/// GENIC program whose entry transformation is the machine's initial state.
+std::string printGenicProgram(const Seft &Machine,
+                              const std::vector<const FuncDef *> &AuxFuncs,
+                              const PrintOptions &Options = PrintOptions());
+
+} // namespace genic
+
+#endif // GENIC_GENIC_PROGRAMPRINTER_H

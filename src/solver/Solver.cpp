@@ -1,0 +1,979 @@
+//===- solver/Solver.cpp - Z3-backed decision procedures -------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the Solver over the Z3 C++ API. The structure:
+///
+///  - translate():     Term -> z3::expr (auxiliary calls inlined first)
+///  - backTranslate(): z3::expr -> Term, for QE results; fails cleanly on
+///                     operators outside our term language, triggering the
+///                     fallbacks below
+///  - eliminateExists(): tactic cascade qe_lite -> qe -> qe2
+///  - project():       strategy chain — exact model enumeration (capped for
+///                     wide bit-vectors), QE for integers, exact interval
+///                     learning with one-alternation containment queries,
+///                     and an optional [min, max] hull by quantifier-free
+///                     binary search for callers that validate downstream
+///  - isCartesian():   the §4.3 check, phrased as "the conjunction of the
+///                     unary projections implies the image predicate"
+///                     (the converse holds by construction of projections);
+///                     kept for the API — the injectivity pipeline avoids
+///                     its Sigma_2 query (see transducer/Injectivity.cpp)
+///
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+
+#include "term/Eval.h"
+#include "term/Printer.h"
+
+#include <z3++.h>
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace genic;
+
+namespace {
+
+/// A closed interval of bit-vector values, used by the interval-learning
+/// fallback of project().
+struct Interval {
+  uint64_t Lo;
+  uint64_t Hi;
+};
+
+bool hasQuantifier(const z3::expr &E) {
+  if (E.is_quantifier())
+    return true;
+  if (!E.is_app())
+    return false;
+  for (unsigned I = 0, N = E.num_args(); I != N; ++I)
+    if (hasQuantifier(E.arg(I)))
+      return true;
+  return false;
+}
+
+} // namespace
+
+class Solver::Impl {
+public:
+  explicit Impl(TermFactory &Factory) : Factory(Factory), Ctx() {}
+
+  TermFactory &Factory;
+  z3::context Ctx;
+  Stats TheStats;
+  unsigned TimeoutMs = 20000;
+
+  // -- Translation ---------------------------------------------------------
+
+  z3::sort sortOf(const Type &Ty) {
+    if (Ty.isBool())
+      return Ctx.bool_sort();
+    if (Ty.isInt())
+      return Ctx.int_sort();
+    return Ctx.bv_sort(Ty.width());
+  }
+
+  z3::expr varExpr(unsigned Index, const Type &Ty) {
+    std::string Name = "v" + std::to_string(Index);
+    return Ctx.constant(Name.c_str(), sortOf(Ty));
+  }
+
+  z3::expr valueExpr(const Value &V) {
+    if (V.type().isBool())
+      return Ctx.bool_val(V.getBool());
+    if (V.type().isInt())
+      return Ctx.int_val(static_cast<int64_t>(V.getInt()));
+    return Ctx.bv_val(V.getBits(), V.type().width());
+  }
+
+  /// Translates \p T (auxiliary calls inlined) to a Z3 expression.
+  z3::expr translate(TermRef T) {
+    TermRef Inlined = Factory.inlineCalls(T);
+    std::unordered_map<TermRef, z3::expr> Memo;
+    return translateRec(Inlined, Memo);
+  }
+
+  z3::expr translateRec(TermRef T,
+                        std::unordered_map<TermRef, z3::expr> &Memo) {
+    auto It = Memo.find(T);
+    if (It != Memo.end())
+      return It->second;
+    z3::expr E = translateNode(T, Memo);
+    Memo.emplace(T, E);
+    return E;
+  }
+
+  z3::expr translateNode(TermRef T,
+                         std::unordered_map<TermRef, z3::expr> &Memo) {
+    auto Arg = [&](size_t I) { return translateRec(T->child(I), Memo); };
+    switch (T->op()) {
+    case Op::Const:
+      return valueExpr(T->constValue());
+    case Op::Var:
+      return varExpr(T->varIndex(), T->type());
+    case Op::Not:
+      return !Arg(0);
+    case Op::And: {
+      z3::expr_vector V(Ctx);
+      for (size_t I = 0, E = T->arity(); I != E; ++I)
+        V.push_back(Arg(I));
+      return z3::mk_and(V);
+    }
+    case Op::Or: {
+      z3::expr_vector V(Ctx);
+      for (size_t I = 0, E = T->arity(); I != E; ++I)
+        V.push_back(Arg(I));
+      return z3::mk_or(V);
+    }
+    case Op::Implies:
+      return z3::implies(Arg(0), Arg(1));
+    case Op::Iff:
+    case Op::Eq:
+      return Arg(0) == Arg(1);
+    case Op::Ite:
+      return z3::ite(Arg(0), Arg(1), Arg(2));
+    case Op::IntAdd:
+      return Arg(0) + Arg(1);
+    case Op::IntSub:
+      return Arg(0) - Arg(1);
+    case Op::IntNeg:
+      return -Arg(0);
+    case Op::IntMul:
+      return Arg(0) * Arg(1);
+    case Op::IntLe:
+      return Arg(0) <= Arg(1);
+    case Op::IntLt:
+      return Arg(0) < Arg(1);
+    case Op::IntGe:
+      return Arg(0) >= Arg(1);
+    case Op::IntGt:
+      return Arg(0) > Arg(1);
+    case Op::BvAdd:
+      return Arg(0) + Arg(1);
+    case Op::BvSub:
+      return Arg(0) - Arg(1);
+    case Op::BvNeg:
+      return -Arg(0);
+    case Op::BvMul:
+      return Arg(0) * Arg(1);
+    case Op::BvAnd:
+      return Arg(0) & Arg(1);
+    case Op::BvOr:
+      return Arg(0) | Arg(1);
+    case Op::BvXor:
+      return Arg(0) ^ Arg(1);
+    case Op::BvNot:
+      return ~Arg(0);
+    case Op::BvShl:
+      return z3::shl(Arg(0), Arg(1));
+    case Op::BvLshr:
+      return z3::lshr(Arg(0), Arg(1));
+    case Op::BvAshr:
+      return z3::ashr(Arg(0), Arg(1));
+    case Op::BvUle:
+      return z3::ule(Arg(0), Arg(1));
+    case Op::BvUlt:
+      return z3::ult(Arg(0), Arg(1));
+    case Op::BvUge:
+      return z3::uge(Arg(0), Arg(1));
+    case Op::BvUgt:
+      return z3::ugt(Arg(0), Arg(1));
+    case Op::BvSle:
+      return Arg(0) <= Arg(1); // Signed on bit-vector operands in z3++.
+    case Op::BvSlt:
+      return Arg(0) < Arg(1);
+    case Op::BvSge:
+      return Arg(0) >= Arg(1);
+    case Op::BvSgt:
+      return Arg(0) > Arg(1);
+    case Op::Call:
+      unreachable("calls survived inlining before translation");
+    }
+    unreachable("unhandled operator in translation");
+  }
+
+  // -- Back-translation ------------------------------------------------------
+
+  /// Converts a Z3 expression produced by QE back into a Term. Variables are
+  /// recognized by their "v<index>" names; \p VarTypes records the expected
+  /// index->type mapping (entries may be missing for unused indices and are
+  /// then derived from the Z3 sort).
+  Result<TermRef> backTranslate(const z3::expr &E) {
+    if (E.is_quantifier())
+      return Status::error("back-translation: residual quantifier");
+    if (!E.is_app())
+      return Status::error("back-translation: non-application node");
+
+    if (E.is_numeral())
+      return backTranslateNumeral(E);
+
+    Z3_decl_kind K = E.decl().decl_kind();
+    if (K == Z3_OP_TRUE)
+      return Factory.mkTrue();
+    if (K == Z3_OP_FALSE)
+      return Factory.mkFalse();
+
+    if (K == Z3_OP_UNINTERPRETED && E.num_args() == 0) {
+      std::string Name = E.decl().name().str();
+      if (Name.size() < 2 || Name[0] != 'v')
+        return Status::error("back-translation: foreign constant " + Name);
+      unsigned Index = std::strtoul(Name.c_str() + 1, nullptr, 10);
+      Result<Type> Ty = typeOfSort(E.get_sort());
+      if (!Ty)
+        return Ty.status();
+      return Factory.mkVar(Index, *Ty);
+    }
+
+    std::vector<TermRef> Args;
+    Args.reserve(E.num_args());
+    for (unsigned I = 0, N = E.num_args(); I != N; ++I) {
+      Result<TermRef> A = backTranslate(E.arg(I));
+      if (!A)
+        return A;
+      Args.push_back(*A);
+    }
+    return backTranslateApp(E, K, Args);
+  }
+
+  Result<Type> typeOfSort(const z3::sort &S) {
+    if (S.is_bool())
+      return Type::boolTy();
+    if (S.is_int())
+      return Type::intTy();
+    if (S.is_bv() && S.bv_size() <= 64)
+      return Type::bitVecTy(S.bv_size());
+    return Status::error("back-translation: unsupported sort");
+  }
+
+  Result<TermRef> backTranslateNumeral(const z3::expr &E) {
+    if (E.get_sort().is_int()) {
+      int64_t V;
+      if (!E.is_numeral_i64(V))
+        return Status::error("back-translation: integer numeral overflow");
+      return Factory.mkInt(V);
+    }
+    if (E.get_sort().is_bv()) {
+      if (E.get_sort().bv_size() > 64)
+        return Status::error("back-translation: bit-vector wider than 64");
+      uint64_t V;
+      if (!E.is_numeral_u64(V))
+        return Status::error("back-translation: bit-vector numeral overflow");
+      return Factory.mkBv(V, E.get_sort().bv_size());
+    }
+    return Status::error("back-translation: unsupported numeral sort");
+  }
+
+  Result<TermRef> backTranslateApp(const z3::expr &E, Z3_decl_kind K,
+                                   std::vector<TermRef> &Args) {
+    auto FoldLeft = [&](Op O) {
+      TermRef Acc = Args[0];
+      for (size_t I = 1; I < Args.size(); ++I)
+        Acc = Args[I]->type().isInt() ? Factory.mkIntOp(O, Acc, Args[I])
+                                      : Factory.mkBvOp(O, Acc, Args[I]);
+      return Acc;
+    };
+    switch (K) {
+    case Z3_OP_AND:
+      return Factory.mkAnd(std::move(Args));
+    case Z3_OP_OR:
+      return Factory.mkOr(std::move(Args));
+    case Z3_OP_NOT:
+      return Factory.mkNot(Args[0]);
+    case Z3_OP_IMPLIES:
+      return Factory.mkImplies(Args[0], Args[1]);
+    case Z3_OP_IFF:
+      return Factory.mkIff(Args[0], Args[1]);
+    case Z3_OP_EQ:
+      if (Args[0]->type().isBool())
+        return Factory.mkIff(Args[0], Args[1]);
+      return Factory.mkEq(Args[0], Args[1]);
+    case Z3_OP_DISTINCT:
+      if (Args.size() != 2 || Args[0]->type().isBool())
+        return Status::error("back-translation: n-ary distinct");
+      return Factory.mkDistinct(Args[0], Args[1]);
+    case Z3_OP_ITE:
+      return Factory.mkIte(Args[0], Args[1], Args[2]);
+    case Z3_OP_LE:
+      return Factory.mkIntOp(Op::IntLe, Args[0], Args[1]);
+    case Z3_OP_LT:
+      return Factory.mkIntOp(Op::IntLt, Args[0], Args[1]);
+    case Z3_OP_GE:
+      return Factory.mkIntOp(Op::IntGe, Args[0], Args[1]);
+    case Z3_OP_GT:
+      return Factory.mkIntOp(Op::IntGt, Args[0], Args[1]);
+    case Z3_OP_ADD:
+      return FoldLeft(Op::IntAdd);
+    case Z3_OP_SUB:
+      return FoldLeft(Op::IntSub);
+    case Z3_OP_MUL:
+      return FoldLeft(Op::IntMul);
+    case Z3_OP_UMINUS:
+      return Factory.mkIntOp(Op::IntNeg, Args[0]);
+    case Z3_OP_BADD:
+      return FoldLeft(Op::BvAdd);
+    case Z3_OP_BSUB:
+      return FoldLeft(Op::BvSub);
+    case Z3_OP_BMUL:
+      return FoldLeft(Op::BvMul);
+    case Z3_OP_BNEG:
+      return Factory.mkBvOp(Op::BvNeg, Args[0]);
+    case Z3_OP_BAND:
+      return FoldLeft(Op::BvAnd);
+    case Z3_OP_BOR:
+      return FoldLeft(Op::BvOr);
+    case Z3_OP_BXOR:
+      return FoldLeft(Op::BvXor);
+    case Z3_OP_BNOT:
+      return Factory.mkBvOp(Op::BvNot, Args[0]);
+    case Z3_OP_BSHL:
+      return Factory.mkBvOp(Op::BvShl, Args[0], Args[1]);
+    case Z3_OP_BLSHR:
+      return Factory.mkBvOp(Op::BvLshr, Args[0], Args[1]);
+    case Z3_OP_BASHR:
+      return Factory.mkBvOp(Op::BvAshr, Args[0], Args[1]);
+    case Z3_OP_ULEQ:
+      return Factory.mkBvOp(Op::BvUle, Args[0], Args[1]);
+    case Z3_OP_ULT:
+      return Factory.mkBvOp(Op::BvUlt, Args[0], Args[1]);
+    case Z3_OP_UGEQ:
+      return Factory.mkBvOp(Op::BvUge, Args[0], Args[1]);
+    case Z3_OP_UGT:
+      return Factory.mkBvOp(Op::BvUgt, Args[0], Args[1]);
+    case Z3_OP_SLEQ:
+      return Factory.mkBvOp(Op::BvSle, Args[0], Args[1]);
+    case Z3_OP_SLT:
+      return Factory.mkBvOp(Op::BvSlt, Args[0], Args[1]);
+    case Z3_OP_SGEQ:
+      return Factory.mkBvOp(Op::BvSge, Args[0], Args[1]);
+    case Z3_OP_SGT:
+      return Factory.mkBvOp(Op::BvSgt, Args[0], Args[1]);
+    default:
+      return Status::error(std::string("back-translation: operator ") +
+                           E.decl().name().str() + " outside term language");
+    }
+  }
+
+  // -- Queries -----------------------------------------------------------------
+
+  z3::solver makeSolver() {
+    z3::solver S(Ctx);
+    if (TimeoutMs != 0) {
+      z3::params P(Ctx);
+      P.set("timeout", TimeoutMs);
+      S.set(P);
+    }
+    return S;
+  }
+
+  SatResult checkExpr(const z3::expr &E) {
+    ++TheStats.SatQueries;
+    z3::solver S = makeSolver();
+    S.add(E);
+    switch (S.check()) {
+    case z3::sat:
+      return SatResult::Sat;
+    case z3::unsat:
+      return SatResult::Unsat;
+    default:
+      return SatResult::Unknown;
+    }
+  }
+
+  Result<bool> isSatExpr(const z3::expr &E, const char *What) {
+    switch (checkExpr(E)) {
+    case SatResult::Sat:
+      return true;
+    case SatResult::Unsat:
+      return false;
+    default:
+      return Status::error(std::string("solver returned unknown for ") + What);
+    }
+  }
+
+  Value valueFromModelExpr(const z3::expr &E, const Type &Ty) {
+    if (Ty.isBool())
+      return Value::boolVal(E.is_true());
+    if (Ty.isInt()) {
+      int64_t V = 0;
+      E.is_numeral_i64(V);
+      return Value::intVal(V);
+    }
+    uint64_t V = 0;
+    E.is_numeral_u64(V);
+    return Value::bitVecVal(V, Ty.width());
+  }
+
+  // -- Quantifier elimination ------------------------------------------------
+
+  /// Collects the types of variables occurring in \p T.
+  std::map<unsigned, Type> varTypes(TermRef T) {
+    std::map<unsigned, Type> Types;
+    std::unordered_set<TermRef> Visited;
+    auto Go = [&](auto &&Self, TermRef Node) -> void {
+      if (!Visited.insert(Node).second)
+        return;
+      if (Node->isVar())
+        Types.emplace(Node->varIndex(), Node->type());
+      for (TermRef C : Node->children())
+        Self(Self, C);
+    };
+    Go(Go, Factory.inlineCalls(T));
+    return Types;
+  }
+
+  Result<TermRef> eliminateExists(TermRef Phi, unsigned NumEliminate) {
+    ++TheStats.QeCalls;
+    std::map<unsigned, Type> Types = varTypes(Phi);
+    z3::expr Body = translate(Phi);
+    z3::expr_vector Bound(Ctx);
+    for (const auto &[Index, Ty] : Types)
+      if (Index < NumEliminate)
+        Bound.push_back(varExpr(Index, Ty));
+    z3::expr Quantified =
+        Bound.empty() ? Body : z3::exists(Bound, Body);
+
+    const char *Tactics[] = {"qe_lite", "qe", "qe2"};
+    for (const char *Name : Tactics) {
+      z3::expr Eliminated(Ctx);
+      try {
+        z3::tactic T = z3::try_for(
+            z3::tactic(Ctx, Name) & z3::tactic(Ctx, "simplify"),
+            TimeoutMs ? TimeoutMs : 60000);
+        z3::goal G(Ctx);
+        G.add(Quantified);
+        z3::apply_result R = T(G);
+        if (R.size() == 0) {
+          Eliminated = Ctx.bool_val(false);
+        } else {
+          z3::expr_vector Goals(Ctx);
+          for (unsigned I = 0, N = R.size(); I != N; ++I)
+            Goals.push_back(R[I].as_expr());
+          Eliminated = Goals.size() == 1 ? Goals[0] : z3::mk_or(Goals);
+        }
+      } catch (const z3::exception &) {
+        continue; // Tactic failed or timed out; try the next one.
+      }
+      if (hasQuantifier(Eliminated))
+        continue;
+      Result<TermRef> Back = backTranslate(Eliminated);
+      if (!Back)
+        continue;
+      return shiftDown(*Back, NumEliminate);
+    }
+    ++TheStats.QeFallbacks;
+    return Status::error("quantifier elimination failed");
+  }
+
+  /// Re-indexes Var(i) to Var(i - Delta). No variable below Delta may occur.
+  Result<TermRef> shiftDown(TermRef T, unsigned Delta) {
+    if (Delta == 0)
+      return T;
+    std::map<unsigned, Type> Types = varTypes(T);
+    if (Types.empty())
+      return T;
+    unsigned MaxIndex = Types.rbegin()->first;
+    for (const auto &[Index, Ty] : Types) {
+      (void)Ty;
+      if (Index < Delta)
+        return Status::error("eliminated variable survived QE");
+    }
+    std::vector<TermRef> Replacements(MaxIndex + 1, nullptr);
+    for (const auto &[Index, Ty] : Types)
+      Replacements[Index] = Factory.mkVar(Index - Delta, Ty);
+    return Factory.substitute(T, Replacements);
+  }
+
+  // -- Image predicates -----------------------------------------------------
+
+  /// Guard /\ /\_j y_j = f_j(x), with y_j mapped to Var(NumInputs + j).
+  TermRef imageFormula(const ImagePredicate &P) {
+    std::vector<TermRef> Conjuncts{P.Guard};
+    for (unsigned J = 0, E = P.arity(); J != E; ++J) {
+      TermRef Y = Factory.mkVar(P.NumInputs + J, P.Outputs[J]->type());
+      Conjuncts.push_back(Factory.mkEq(Y, P.Outputs[J]));
+    }
+    return Factory.mkAnd(std::move(Conjuncts));
+  }
+
+  /// forall x. not (Guard /\ /\_j y_j = f_j(x)), over free y_j.
+  z3::expr negatedImage(const ImagePredicate &P) {
+    z3::expr Body = translate(imageFormula(P));
+    std::map<unsigned, Type> Types = varTypes(P.Guard);
+    for (TermRef Out : P.Outputs)
+      for (const auto &[Index, Ty] : varTypes(Out))
+        Types.emplace(Index, Ty);
+    z3::expr_vector Bound(Ctx);
+    for (const auto &[Index, Ty] : Types)
+      if (Index < P.NumInputs)
+        Bound.push_back(varExpr(Index, Ty));
+    return Bound.empty() ? !Body : z3::forall(Bound, !Body);
+  }
+
+  Result<TermRef> project(const ImagePredicate &P, unsigned I,
+                          bool AllowHull) {
+    assert(I < P.arity() && "projection index out of range");
+    const Type &OutTy = P.Outputs[I]->type();
+    // Bit-vectors: exact model enumeration first. It beats quantifier
+    // elimination both in speed and in the readability of the result
+    // (coalesced intervals instead of Z3's pointwise disjunctions), and is
+    // exhaustive for narrow widths; for wide ones a cap bails out to the
+    // strategies below.
+    if (OutTy.isBitVec()) {
+      unsigned Cap = OutTy.width() <= 9 ? 0 /*unbounded*/ : 600;
+      Result<TermRef> Enumerated = enumerateBvImage(P, I, Cap);
+      if (Enumerated || OutTy.width() <= 9)
+        return Enumerated;
+    }
+    if (OutTy.isBitVec()) {
+      // Z3's qe tactics rarely finish on wide bit-vector images in useful
+      // time (and on narrow ones enumeration already won), so bit-vectors
+      // go straight to the dedicated strategies.
+      // Over-approximating [min, max] hull via binary search — sound where
+      // the caller validates downstream (the ambiguity check does). Purely
+      // quantifier-free queries, so it always terminates quickly.
+      if (AllowHull)
+        return bvImageHull(P, I);
+      // Exact interval learning with one-alternation containment queries.
+      return learnUnaryBvImage(P, I);
+    }
+    // Integers: real quantifier elimination on
+    //   exists x . Guard /\ y = f_I(x)      (y at index NumInputs).
+    TermRef Y = Factory.mkVar(P.NumInputs, OutTy);
+    TermRef Phi = Factory.mkAnd(P.Guard, Factory.mkEq(Y, P.Outputs[I]));
+    return eliminateExists(Phi, P.NumInputs);
+  }
+
+  /// Exact image by model enumeration; \p Cap = 0 means the full domain
+  /// (only for widths <= 9). Fails when the cap is exceeded.
+  Result<TermRef> enumerateBvImage(const ImagePredicate &P, unsigned I,
+                                   unsigned Cap) {
+    const unsigned Width = P.Outputs[I]->type().width();
+    z3::expr Y = Ctx.constant("img_y", Ctx.bv_sort(Width));
+    z3::expr Member = translate(P.Guard) && Y == translate(P.Outputs[I]);
+    z3::solver S = makeSolver();
+    S.add(Member);
+    std::vector<uint64_t> Values;
+    unsigned Limit = Cap == 0 ? (1u << Width) + 1 : Cap;
+    while (Values.size() < Limit) {
+      ++TheStats.SatQueries;
+      z3::check_result CR = S.check();
+      if (CR == z3::unsat)
+        break;
+      if (CR != z3::sat)
+        return Status::error("image enumeration: solver returned unknown");
+      uint64_t V = 0;
+      S.get_model().eval(Y, true).is_numeral_u64(V);
+      Values.push_back(V);
+      S.add(Y != Ctx.bv_val(V, Width));
+    }
+    if (Values.size() >= Limit)
+      return Status::error("image enumeration: cap exceeded");
+    std::sort(Values.begin(), Values.end());
+    std::vector<Interval> Runs;
+    for (uint64_t V : Values) {
+      if (!Runs.empty() && Runs.back().Hi + 1 == V)
+        Runs.back().Hi = V;
+      else
+        Runs.push_back({V, V});
+    }
+    return intervalsToTerm(Runs, Width);
+  }
+
+  /// The [min, max] hull of the image, by binary search with
+  /// quantifier-free queries only. Over-approximates fragmented images.
+  Result<TermRef> bvImageHull(const ImagePredicate &P, unsigned I) {
+    const unsigned Width = P.Outputs[I]->type().width();
+    const uint64_t Max = Value::maskOf(Width);
+    z3::expr Y = Ctx.constant("img_y", Ctx.bv_sort(Width));
+    z3::expr Member = translate(P.Guard) && Y == translate(P.Outputs[I]);
+    Result<bool> Any = isSatExpr(Member, "image hull seed");
+    if (!Any)
+      return Any.status();
+    if (!*Any)
+      return Factory.mkFalse();
+    // Largest member: binary search on "exists a member >= m".
+    auto Bound = [&](bool FindMax) -> Result<uint64_t> {
+      uint64_t Lo = 0, Hi = Max;
+      while (Lo < Hi) {
+        uint64_t Mid = FindMax ? Lo + (Hi - Lo + 1) / 2 : Lo + (Hi - Lo) / 2;
+        z3::expr Q = Member && (FindMax ? z3::uge(Y, Ctx.bv_val(Mid, Width))
+                                        : z3::ule(Y, Ctx.bv_val(Mid, Width)));
+        Result<bool> Sat = isSatExpr(Q, "image hull bound");
+        if (!Sat)
+          return Sat.status();
+        if (FindMax) {
+          if (*Sat)
+            Lo = Mid;
+          else
+            Hi = Mid - 1;
+        } else {
+          if (*Sat)
+            Hi = Mid;
+          else
+            Lo = Mid + 1;
+        }
+      }
+      return Lo;
+    };
+    Result<uint64_t> HullMax = Bound(true);
+    if (!HullMax)
+      return HullMax.status();
+    Result<uint64_t> HullMin = Bound(false);
+    if (!HullMin)
+      return HullMin.status();
+    return intervalsToTerm({{*HullMin, *HullMax}}, Width);
+  }
+
+  /// Interval-learning fallback: computes the set of feasible values of
+  /// f_I(x) under Guard as a union of maximal closed intervals, verified
+  /// hole-free, and returns it as a term over Var(0).
+  Result<TermRef> learnUnaryBvImage(const ImagePredicate &P, unsigned I) {
+    const unsigned Width = P.Outputs[I]->type().width();
+    const uint64_t Max = Value::maskOf(Width);
+    z3::expr Y = Ctx.constant("img_y", Ctx.bv_sort(Width));
+    z3::expr Member =
+        translate(P.Guard) && Y == translate(P.Outputs[I]);
+
+    // Membership of a single concrete value.
+    auto IsMember = [&](uint64_t V) -> Result<bool> {
+      z3::expr Q = Member && Y == Ctx.bv_val(V, Width);
+      return isSatExpr(Q, "interval-learning membership");
+    };
+    // Whole-interval containment: no hole in [Lo, Hi]. One quantifier
+    // alternation; falls back to pointwise scanning on unknown.
+    auto IntervalContained = [&](uint64_t Lo, uint64_t Hi) -> Result<bool> {
+      std::map<unsigned, Type> Types = varTypes(P.Guard);
+      for (const auto &[Index, Ty] : varTypes(P.Outputs[I]))
+        Types.emplace(Index, Ty);
+      z3::expr_vector Bound(Ctx);
+      for (const auto &[Index, Ty] : Types)
+        if (Index < P.NumInputs)
+          Bound.push_back(varExpr(Index, Ty));
+      z3::expr NoWitness = Bound.empty() ? !Member : z3::forall(Bound, !Member);
+      z3::expr Hole = z3::uge(Y, Ctx.bv_val(Lo, Width)) &&
+                      z3::ule(Y, Ctx.bv_val(Hi, Width)) && NoWitness;
+      SatResult R = checkExpr(Hole);
+      if (R == SatResult::Unknown) {
+        // Pointwise fallback; only viable for short intervals.
+        if (Hi - Lo > 4096)
+          return Status::error("interval-learning: containment unknown");
+        for (uint64_t V = Lo; V <= Hi; ++V) {
+          Result<bool> M = IsMember(V);
+          if (!M)
+            return M;
+          if (!*M)
+            return false;
+          if (V == Hi)
+            break;
+        }
+        return true;
+      }
+      return R == SatResult::Unsat;
+    };
+
+    std::vector<Interval> Intervals;
+    auto InHypothesis = [&](const z3::expr &E) {
+      z3::expr Any = Ctx.bool_val(false);
+      for (const Interval &Iv : Intervals)
+        Any = Any || (z3::uge(E, Ctx.bv_val(Iv.Lo, Width)) &&
+                      z3::ule(E, Ctx.bv_val(Iv.Hi, Width)));
+      return Any;
+    };
+
+    const unsigned MaxIntervals = 256;
+    while (Intervals.size() <= MaxIntervals) {
+      // Find a member outside the hypothesis.
+      z3::expr Q = Member && !InHypothesis(Y);
+      ++TheStats.SatQueries;
+      z3::solver S = makeSolver();
+      S.add(Q);
+      z3::check_result CR = S.check();
+      if (CR == z3::unsat)
+        break; // Hypothesis covers the image exactly.
+      if (CR != z3::sat)
+        return Status::error("interval-learning: seed query unknown");
+      uint64_t Seed = 0;
+      S.get_model().eval(Y, true).is_numeral_u64(Seed);
+
+      // Grow [Seed, Seed] to a maximal contained interval by binary search.
+      uint64_t Lo = Seed, Hi = Seed;
+      uint64_t Step = 1;
+      // Exponential probe upward, then binary refine.
+      while (Hi < Max) {
+        uint64_t Probe = Hi + std::min(Step, Max - Hi);
+        Result<bool> C = IntervalContained(Hi + 1, Probe);
+        if (!C)
+          return C.status();
+        if (!*C)
+          break;
+        Hi = Probe;
+        Step *= 2;
+      }
+      if (Hi < Max) {
+        uint64_t BadHigh = std::min(Hi + Step, Max);
+        // Invariant: [Seed, Hi] contained; (Hi, BadHigh] has a hole.
+        while (Hi + 1 < BadHigh) {
+          uint64_t Mid = Hi + (BadHigh - Hi) / 2;
+          Result<bool> C = IntervalContained(Hi + 1, Mid);
+          if (!C)
+            return C.status();
+          if (*C)
+            Hi = Mid;
+          else
+            BadHigh = Mid;
+        }
+      }
+      Step = 1;
+      while (Lo > 0) {
+        uint64_t Probe = Lo - std::min(Step, Lo);
+        Result<bool> C = IntervalContained(Probe, Lo - 1);
+        if (!C)
+          return C.status();
+        if (!*C)
+          break;
+        Lo = Probe;
+        Step *= 2;
+      }
+      if (Lo > 0) {
+        uint64_t BadLow = Lo >= Step ? Lo - Step : 0;
+        while (BadLow + 1 < Lo) {
+          uint64_t Mid = BadLow + (Lo - BadLow) / 2;
+          Result<bool> C = IntervalContained(Mid, Lo - 1);
+          if (!C)
+            return C.status();
+          if (*C)
+            Lo = Mid;
+          else
+            BadLow = Mid;
+        }
+      }
+      Intervals.push_back({Lo, Hi});
+    }
+    if (Intervals.size() > MaxIntervals)
+      return Status::error("interval-learning: image too fragmented");
+
+    // Coalesce adjacent intervals and emit the predicate over Var(0).
+    std::sort(Intervals.begin(), Intervals.end(),
+              [](const Interval &A, const Interval &B) { return A.Lo < B.Lo; });
+    std::vector<Interval> Merged;
+    for (const Interval &Iv : Intervals) {
+      if (!Merged.empty() && Iv.Lo <= Merged.back().Hi + 1 &&
+          Merged.back().Hi >= Iv.Lo - 1)
+        Merged.back().Hi = std::max(Merged.back().Hi, Iv.Hi);
+      else
+        Merged.push_back(Iv);
+    }
+    return intervalsToTerm(Merged, Width);
+  }
+
+  /// Emits a sorted, disjoint interval union as a predicate over Var(0).
+  TermRef intervalsToTerm(const std::vector<Interval> &Merged,
+                          unsigned Width) {
+    const uint64_t Max = Value::maskOf(Width);
+    TermRef V = Factory.mkVar(0, Type::bitVecTy(Width));
+    std::vector<TermRef> Disjuncts;
+    for (const Interval &Iv : Merged) {
+      if (Iv.Lo == Iv.Hi) {
+        Disjuncts.push_back(Factory.mkEq(V, Factory.mkBv(Iv.Lo, Width)));
+        continue;
+      }
+      std::vector<TermRef> Bounds;
+      if (Iv.Lo != 0)
+        Bounds.push_back(
+            Factory.mkBvOp(Op::BvUge, V, Factory.mkBv(Iv.Lo, Width)));
+      if (Iv.Hi != Max)
+        Bounds.push_back(
+            Factory.mkBvOp(Op::BvUle, V, Factory.mkBv(Iv.Hi, Width)));
+      Disjuncts.push_back(Factory.mkAnd(std::move(Bounds)));
+    }
+    return Factory.mkOr(std::move(Disjuncts));
+  }
+
+  Result<bool> isCartesian(const ImagePredicate &P) {
+    if (P.arity() <= 1)
+      return true;
+    // psi -> /\ psi_i holds by construction of the projections; Cartesian
+    // iff the converse holds: unsat( /\ psi_i(y_i)  /\  not psi(y) ).
+    z3::expr Conj = Ctx.bool_val(true);
+    for (unsigned I = 0, E = P.arity(); I != E; ++I) {
+      Result<TermRef> Psi = project(P, I, /*AllowHull=*/false);
+      if (!Psi)
+        return Psi.status();
+      // psi_I is over Var(0); re-index to the shared y_i = Var(NumInputs+I).
+      std::vector<TermRef> Repl{
+          Factory.mkVar(P.NumInputs + I, P.Outputs[I]->type())};
+      Conj = Conj && translate(Factory.substitute(*Psi, Repl));
+    }
+    z3::expr Query = Conj && negatedImage(P);
+    SatResult R = checkExpr(Query);
+    if (R == SatResult::Unknown)
+      return Status::error("Cartesian check: solver returned unknown");
+    return R == SatResult::Unsat;
+  }
+
+  Result<TermRef> imageToTerm(const ImagePredicate &P) {
+    if (P.arity() == 0) {
+      Result<bool> S = isSatExpr(translate(P.Guard), "empty-output image");
+      if (!S)
+        return S.status();
+      return *S ? Factory.mkTrue() : Factory.mkFalse();
+    }
+    Result<bool> Cart = isCartesian(P);
+    if (Cart && *Cart) {
+      std::vector<TermRef> Conjuncts;
+      for (unsigned I = 0, E = P.arity(); I != E; ++I) {
+        Result<TermRef> Psi = project(P, I, /*AllowHull=*/false);
+        if (!Psi)
+          return Psi;
+        std::vector<TermRef> Repl{Factory.mkVar(I, P.Outputs[I]->type())};
+        Conjuncts.push_back(Factory.substitute(*Psi, Repl));
+      }
+      return Factory.mkAnd(std::move(Conjuncts));
+    }
+    // Non-Cartesian (or undecided): try to eliminate the inputs directly.
+    return eliminateExists(imageFormula(P), P.NumInputs);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Public forwarding layer: every method catches z3::exception and converts it
+// into a Status, keeping the no-exceptions discipline for callers.
+// ---------------------------------------------------------------------------
+
+Solver::Solver(TermFactory &Factory)
+    : TheImpl(std::make_unique<Impl>(Factory)) {}
+
+Solver::~Solver() = default;
+
+void Solver::setTimeoutMs(unsigned Milliseconds) {
+  TheImpl->TimeoutMs = Milliseconds;
+}
+
+SatResult Solver::checkSat(TermRef Formula) {
+  try {
+    return TheImpl->checkExpr(TheImpl->translate(Formula));
+  } catch (const z3::exception &) {
+    return SatResult::Unknown;
+  }
+}
+
+Result<bool> Solver::isSat(TermRef Formula) {
+  switch (checkSat(Formula)) {
+  case SatResult::Sat:
+    return true;
+  case SatResult::Unsat:
+    return false;
+  default:
+    return Status::error("isSat: solver returned unknown for " +
+                         printTerm(Formula));
+  }
+}
+
+Result<bool> Solver::isValid(TermRef Formula) {
+  Result<bool> NegSat = isSat(TheImpl->Factory.mkNot(Formula));
+  if (!NegSat)
+    return NegSat;
+  return !*NegSat;
+}
+
+Result<std::vector<Value>>
+Solver::getModel(TermRef Formula, const std::vector<Type> &VarTypes) {
+  try {
+    ++TheImpl->TheStats.SatQueries;
+    z3::solver S = TheImpl->makeSolver();
+    S.add(TheImpl->translate(Formula));
+    z3::check_result R = S.check();
+    if (R == z3::unsat)
+      return Status::error("getModel: formula is unsatisfiable");
+    if (R != z3::sat)
+      return Status::error("getModel: solver returned unknown");
+    z3::model M = S.get_model();
+    std::vector<Value> Values;
+    Values.reserve(VarTypes.size());
+    for (unsigned I = 0, E = VarTypes.size(); I != E; ++I) {
+      z3::expr V = M.eval(TheImpl->varExpr(I, VarTypes[I]), true);
+      Values.push_back(TheImpl->valueFromModelExpr(V, VarTypes[I]));
+    }
+    return Values;
+  } catch (const z3::exception &Ex) {
+    return Status::error(std::string("getModel: ") + Ex.msg());
+  }
+}
+
+Result<bool> Solver::equivalentUnder(TermRef Guard, TermRef F, TermRef G) {
+  TermFactory &Factory = TheImpl->Factory;
+  assert(F->type() == G->type() && "equivalence over mismatched types");
+  TermRef Same = F->type().isBool() ? Factory.mkIff(F, G) : Factory.mkEq(F, G);
+  return isValid(Factory.mkImplies(Guard, Same));
+}
+
+Result<TermRef> Solver::eliminateExists(TermRef Phi, unsigned NumEliminate) {
+  try {
+    return TheImpl->eliminateExists(Phi, NumEliminate);
+  } catch (const z3::exception &Ex) {
+    return Status::error(std::string("eliminateExists: ") + Ex.msg());
+  }
+}
+
+Result<bool> Solver::imageIsSat(const ImagePredicate &P) {
+  try {
+    return TheImpl->isSatExpr(TheImpl->translate(P.Guard), "image guard");
+  } catch (const z3::exception &Ex) {
+    return Status::error(std::string("imageIsSat: ") + Ex.msg());
+  }
+}
+
+Result<std::vector<Value>> Solver::imageModel(const ImagePredicate &P) {
+  try {
+    std::vector<Type> Types;
+    for (unsigned I = 0; I < P.NumInputs; ++I)
+      Types.push_back(Type::boolTy()); // Placeholder; overwritten below.
+    // Build the model query over the y variables only.
+    TermRef Formula = TheImpl->imageFormula(P);
+    std::vector<Type> AllTypes(P.NumInputs + P.arity(), Type::boolTy());
+    for (const auto &[Index, Ty] : TheImpl->varTypes(Formula))
+      if (Index < AllTypes.size())
+        AllTypes[Index] = Ty;
+    Result<std::vector<Value>> All = getModel(Formula, AllTypes);
+    if (!All)
+      return All;
+    return std::vector<Value>(All->begin() + P.NumInputs, All->end());
+  } catch (const z3::exception &Ex) {
+    return Status::error(std::string("imageModel: ") + Ex.msg());
+  }
+}
+
+Result<TermRef> Solver::project(const ImagePredicate &P, unsigned I,
+                                bool AllowHull) {
+  try {
+    return TheImpl->project(P, I, AllowHull);
+  } catch (const z3::exception &Ex) {
+    return Status::error(std::string("project: ") + Ex.msg());
+  }
+}
+
+Result<bool> Solver::isCartesian(const ImagePredicate &P) {
+  try {
+    return TheImpl->isCartesian(P);
+  } catch (const z3::exception &Ex) {
+    return Status::error(std::string("isCartesian: ") + Ex.msg());
+  }
+}
+
+Result<TermRef> Solver::imageToTerm(const ImagePredicate &P) {
+  try {
+    return TheImpl->imageToTerm(P);
+  } catch (const z3::exception &Ex) {
+    return Status::error(std::string("imageToTerm: ") + Ex.msg());
+  }
+}
+
+const Solver::Stats &Solver::stats() const { return TheImpl->TheStats; }
+
+TermFactory &Solver::factory() { return TheImpl->Factory; }

@@ -1,0 +1,126 @@
+//===- solver/Solver.h - Decision procedures over the alphabet theory -----===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision-procedure layer: satisfiability, validity, models,
+/// equivalence-modulo-guard, quantifier elimination, and the image-predicate
+/// operations (projection, Cartesian check) of §4.3 and §5-6.
+///
+/// The implementation delegates base SMT queries to Z3 — the same solver the
+/// original GENIC used — through a pimpl so that Z3 types never appear in
+/// public headers. All terms passed in must be quantifier-free; auxiliary
+/// function calls are inlined on translation. Callers must conjoin domain
+/// predicates of partial auxiliary functions themselves where partiality
+/// matters (see TermFactory::calleeDomains).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SOLVER_SOLVER_H
+#define GENIC_SOLVER_SOLVER_H
+
+#include "solver/ImagePredicate.h"
+#include "support/Result.h"
+#include "term/TermFactory.h"
+
+#include <memory>
+#include <vector>
+
+namespace genic {
+
+/// Outcome of a satisfiability query.
+enum class SatResult { Sat, Unsat, Unknown };
+
+/// A session with the underlying SMT solver. Not thread-safe.
+class Solver {
+public:
+  /// Creates a solver whose answers are terms built in \p Factory.
+  explicit Solver(TermFactory &Factory);
+  ~Solver();
+  Solver(const Solver &) = delete;
+  Solver &operator=(const Solver &) = delete;
+
+  /// Per-query timeout; 0 disables. Defaults to 20 seconds.
+  void setTimeoutMs(unsigned Milliseconds);
+
+  // Base queries ------------------------------------------------------------
+
+  /// Satisfiability of \p Formula with its free variables existential.
+  SatResult checkSat(TermRef Formula);
+
+  /// IsSat(phi) of §3.1; Unknown becomes an error.
+  Result<bool> isSat(TermRef Formula);
+
+  /// IsValid(phi) of §3.1; Unknown becomes an error.
+  Result<bool> isValid(TermRef Formula);
+
+  /// A model of \p Formula for Var(0..NumVars-1). Variables that do not
+  /// occur in the formula get an arbitrary value of their type in
+  /// \p VarTypes. Errors if unsatisfiable or unknown.
+  Result<std::vector<Value>> getModel(TermRef Formula,
+                                      const std::vector<Type> &VarTypes);
+
+  /// f ==_guard g (§3.3): valid(guard -> f = g). \p F and \p G must have the
+  /// same non-boolean type.
+  Result<bool> equivalentUnder(TermRef Guard, TermRef F, TermRef G);
+
+  // Quantifier elimination ----------------------------------------------------
+
+  /// Computes a quantifier-free term equivalent to
+  ///   exists Var(0)..Var(NumEliminate-1) . Phi
+  /// over the remaining variables, re-indexed downward by \p NumEliminate.
+  /// Tries Z3's qe tactic cascade; fails if elimination or back-translation
+  /// is impossible (callers then use the image-predicate fallbacks).
+  Result<TermRef> eliminateExists(TermRef Phi, unsigned NumEliminate);
+
+  // Image predicates (Definition 4.9, §4.3) -------------------------------------
+
+  /// Whether some input produces an output: sat(Guard).
+  Result<bool> imageIsSat(const ImagePredicate &P);
+
+  /// A concrete output tuple in the image.
+  Result<std::vector<Value>> imageModel(const ImagePredicate &P);
+
+  /// The unary projection psi_I(y) = exists x. Guard /\ y = Outputs[I](x),
+  /// as a quantifier-free term over Var(0). Strategy chain: exact model
+  /// enumeration (capped for wide bit-vectors), the QE cascade, then either
+  /// exact interval learning or — when \p AllowHull is set — a [min, max]
+  /// hull computed with quantifier-free binary search, which may
+  /// over-approximate fragmented images. Pass AllowHull only where an
+  /// over-approximation is sound (the ambiguity check validates its
+  /// witnesses, so it qualifies).
+  Result<TermRef> project(const ImagePredicate &P, unsigned I,
+                          bool AllowHull = false);
+
+  /// Whether psi is Cartesian (§4.3): equivalent to the conjunction of its
+  /// unary projections. Projections are computed internally; the exactness
+  /// check discharges one quantified query per predicate.
+  Result<bool> isCartesian(const ImagePredicate &P);
+
+  /// A quantifier-free term over Var(0..arity-1) equivalent to psi. For
+  /// Cartesian predicates this is the conjunction of the projections (the
+  /// readable form used in inverted programs); otherwise falls back to
+  /// direct quantifier elimination.
+  Result<TermRef> imageToTerm(const ImagePredicate &P);
+
+  // Introspection -------------------------------------------------------------
+
+  struct Stats {
+    uint64_t SatQueries = 0;
+    uint64_t QeCalls = 0;
+    uint64_t QeFallbacks = 0;
+  };
+  const Stats &stats() const;
+
+  TermFactory &factory();
+
+private:
+  class Impl;
+  std::unique_ptr<Impl> TheImpl;
+};
+
+} // namespace genic
+
+#endif // GENIC_SOLVER_SOLVER_H

@@ -1,0 +1,59 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace genic;
+
+std::vector<std::string> genic::split(const std::string &Text,
+                                      char Separator) {
+  std::vector<std::string> Pieces;
+  std::string Current;
+  for (char C : Text) {
+    if (C == Separator) {
+      Pieces.push_back(Current);
+      Current.clear();
+      continue;
+    }
+    Current.push_back(C);
+  }
+  Pieces.push_back(Current);
+  return Pieces;
+}
+
+std::string genic::join(const std::vector<std::string> &Pieces,
+                        const std::string &Separator) {
+  std::string Out;
+  for (size_t I = 0, E = Pieces.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Separator;
+    Out += Pieces[I];
+  }
+  return Out;
+}
+
+std::string genic::toHexLiteral(uint64_t Value, unsigned Width) {
+  unsigned Digits = (Width + 3) / 4;
+  if (Digits == 0)
+    Digits = 1;
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "#x%0*llx", static_cast<int>(Digits),
+                static_cast<unsigned long long>(Value));
+  return Buffer;
+}
+
+std::string genic::formatSeconds(double Seconds) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%.2fs", Seconds);
+  return Buffer;
+}
+
+bool genic::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}

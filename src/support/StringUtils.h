@@ -1,0 +1,41 @@
+//===- support/StringUtils.h - Small string helpers -----------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting helpers shared by printers, diagnostics, and benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SUPPORT_STRINGUTILS_H
+#define GENIC_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace genic {
+
+/// Splits \p Text on \p Separator. Empty pieces are kept.
+std::vector<std::string> split(const std::string &Text, char Separator);
+
+/// Joins \p Pieces with \p Separator between adjacent elements.
+std::string join(const std::vector<std::string> &Pieces,
+                 const std::string &Separator);
+
+/// Formats \p Value as a GENIC hex literal of \p Width bits, e.g. #x3d for
+/// (0x3d, 8). Width is rounded up to a whole number of hex digits.
+std::string toHexLiteral(uint64_t Value, unsigned Width);
+
+/// Formats \p Seconds as a compact human-readable duration, e.g. "2.20s"
+/// or "0.05s".
+std::string formatSeconds(double Seconds);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+} // namespace genic
+
+#endif // GENIC_SUPPORT_STRINGUTILS_H

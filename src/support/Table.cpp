@@ -1,0 +1,54 @@
+//===- support/Table.cpp ---------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace genic;
+
+void Table::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::render() const {
+  // Compute the width of every column over the header and all rows.
+  std::vector<size_t> Widths;
+  auto Accumulate = [&Widths](const std::vector<std::string> &Row) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Accumulate(Header);
+  for (const auto &Row : Rows)
+    Accumulate(Row);
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0, E = Row.size(); I != E; ++I) {
+      Out += Row[I];
+      if (I + 1 != E)
+        Out.append(Widths[I] - Row[I].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+  if (!Header.empty()) {
+    Emit(Header);
+    size_t Total = 0;
+    for (size_t W : Widths)
+      Total += W + 2;
+    Out.append(Total > 2 ? Total - 2 : Total, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- support/Table.h - Aligned text tables -------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A column-aligned text table used by the benchmark binaries to print rows
+/// in the same layout the paper's tables use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SUPPORT_TABLE_H
+#define GENIC_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace genic {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class Table {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table, one row per line, columns padded to equal width.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace genic
+
+#endif // GENIC_SUPPORT_TABLE_H

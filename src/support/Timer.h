@@ -1,0 +1,39 @@
+//===- support/Timer.h - Wall-clock timing ---------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A steady-clock stopwatch used by the experiment harness to reproduce the
+/// timing columns of the paper's Table 1 and Figures 4-7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SUPPORT_TIMER_H
+#define GENIC_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace genic {
+
+/// A stopwatch that starts on construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  void restart() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace genic
+
+#endif // GENIC_SUPPORT_TIMER_H

@@ -1,0 +1,46 @@
+//===- sygus/AuxInvert.h - Inverting auxiliary functions ------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GENIC's first optimization (§6): before inverting transitions, invert
+/// the program's auxiliary functions and add the inverses to the grammar.
+/// Figure 5 shows this is what makes most real coders invertible at all —
+/// the BASE64 decoder's D function (Figure 3) is exactly such a synthesized
+/// inverse.
+///
+/// For an injective unary function E with domain delta, the inverse D has
+/// domain psi = image of E and body satisfying
+///     forall x . delta(x) -> D(E(x)) = x.
+/// When E's body is an ite chain (the common shape for character mappings),
+/// the inversion is piecewise: each branch is inverted separately (a small
+/// synthesis problem) and reassembled under the branch images, which are
+/// disjoint because E is injective.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SYGUS_AUXINVERT_H
+#define GENIC_SYGUS_AUXINVERT_H
+
+#include "support/Result.h"
+#include "sygus/Sygus.h"
+
+#include <string>
+
+namespace genic {
+
+/// Whether unary \p Fn is injective on its domain (one solver query).
+Result<bool> isAuxInjective(Solver &S, const FuncDef *Fn);
+
+/// Synthesizes and registers the inverse of injective unary \p Fn under the
+/// name \p InverseName. The inverse's domain is the (quantifier-free) image
+/// of Fn. Errors if Fn is not unary, not injective, or synthesis fails.
+Result<const FuncDef *> invertAuxFunction(SygusEngine &Engine,
+                                          const FuncDef *Fn,
+                                          const std::string &InverseName);
+
+} // namespace genic
+
+#endif // GENIC_SYGUS_AUXINVERT_H

@@ -1,0 +1,230 @@
+//===- sygus/BitSlice.cpp --------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sygus/BitSlice.h"
+
+#include "term/Eval.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace genic;
+
+namespace {
+
+/// Where one target bit comes from.
+struct BitSource {
+  enum class Kind { Zero, One, Wire } K = Kind::Zero;
+  unsigned View = 0; // Wire: which view
+  unsigned Bit = 0;  // Wire: which bit of it
+};
+
+/// Infers a consistent source for target bit \p B, preferring a wire that
+/// continues the previous bit's run (same view, consecutive bits) so the
+/// emitted term has few pieces.
+std::optional<BitSource> sourceForBit(const std::vector<SliceView> &Views,
+                                      const std::vector<uint64_t> &Shifted,
+                                      unsigned B,
+                                      const std::optional<BitSource> &Previous) {
+  size_t NumEx = Shifted.size();
+  auto TargetBit = [&](size_t E) { return (Shifted[E] >> B) & 1; };
+
+  auto WireMatches = [&](unsigned J, unsigned C) {
+    for (size_t E = 0; E != NumEx; ++E)
+      if (((Views[J].Values[E].getBits() >> C) & 1) != TargetBit(E))
+        return false;
+    return true;
+  };
+
+  // Run continuation first.
+  if (Previous && Previous->K == BitSource::Kind::Wire) {
+    unsigned J = Previous->View;
+    unsigned C = Previous->Bit + 1;
+    if (C < Views[J].Values[0].type().width() && WireMatches(J, C))
+      return BitSource{BitSource::Kind::Wire, J, C};
+  }
+
+  bool AllZero = true, AllOne = true;
+  for (size_t E = 0; E != NumEx; ++E) {
+    AllZero &= TargetBit(E) == 0;
+    AllOne &= TargetBit(E) == 1;
+  }
+  if (AllZero)
+    return BitSource{BitSource::Kind::Zero, 0, 0};
+  if (AllOne)
+    return BitSource{BitSource::Kind::One, 0, 0};
+
+  for (unsigned J = 0, K = Views.size(); J != K; ++J)
+    for (unsigned C = 0, W = Views[J].Values[0].type().width(); C != W; ++C)
+      if (WireMatches(J, C))
+        return BitSource{BitSource::Kind::Wire, J, C};
+  return std::nullopt;
+}
+
+/// The slices-plus-offset layer (no component wrapping).
+std::optional<TermRef> directGuess(TermFactory &F,
+                                   const std::vector<SliceView> &Views,
+                                   const std::vector<uint64_t> &TargetBits,
+                                   unsigned TargetWidth,
+                                   const std::vector<Value> &Offsets) {
+  const uint64_t Mask = Value::maskOf(TargetWidth);
+
+  std::vector<uint64_t> OffsetPool{0};
+  for (const Value &O : Offsets)
+    if (O.type().isBitVec() && O.type().width() == TargetWidth &&
+        O.getBits() != 0)
+      OffsetPool.push_back(O.getBits());
+
+  for (uint64_t Offset : OffsetPool) {
+    std::vector<uint64_t> Shifted;
+    Shifted.reserve(TargetBits.size());
+    for (uint64_t T : TargetBits)
+      Shifted.push_back((T - Offset) & Mask);
+
+    std::vector<BitSource> Wiring;
+    std::optional<BitSource> Previous;
+    bool Ok = true;
+    for (unsigned B = 0; B != TargetWidth; ++B) {
+      std::optional<BitSource> Src =
+          sourceForBit(Views, Shifted, B, Previous);
+      if (!Src) {
+        Ok = false;
+        break;
+      }
+      Wiring.push_back(*Src);
+      Previous = Src;
+    }
+    if (!Ok)
+      continue;
+
+    // Group consecutive wire bits of one view into runs; each run becomes
+    // ((view >> srcStart) & maskLen) << dstStart.
+    std::vector<TermRef> Pieces;
+    uint64_t OneBits = 0;
+    unsigned B = 0;
+    while (B != TargetWidth) {
+      const BitSource &S = Wiring[B];
+      if (S.K == BitSource::Kind::Zero) {
+        ++B;
+        continue;
+      }
+      if (S.K == BitSource::Kind::One) {
+        OneBits |= uint64_t{1} << B;
+        ++B;
+        continue;
+      }
+      unsigned Len = 1;
+      while (B + Len != TargetWidth) {
+        const BitSource &N = Wiring[B + Len];
+        if (N.K != BitSource::Kind::Wire || N.View != S.View ||
+            N.Bit != S.Bit + Len)
+          break;
+        ++Len;
+      }
+      unsigned SrcWidth = Views[S.View].Values[0].type().width();
+      if (SrcWidth != TargetWidth)
+        return std::nullopt; // Mixed widths are outside this strategy.
+      TermRef Piece = Views[S.View].Term;
+      if (S.Bit != 0)
+        Piece = F.mkBvOp(Op::BvLshr, Piece, F.mkBv(S.Bit, SrcWidth));
+      if (S.Bit + Len < SrcWidth)
+        Piece = F.mkBvOp(Op::BvAnd, Piece,
+                         F.mkBv(Value::maskOf(Len), SrcWidth));
+      if (B != 0)
+        Piece = F.mkBvOp(Op::BvShl, Piece, F.mkBv(B, TargetWidth));
+      Pieces.push_back(Piece);
+      B += Len;
+    }
+    if (OneBits != 0)
+      Pieces.push_back(F.mkBv(OneBits, TargetWidth));
+    TermRef Term = Pieces.empty() ? F.mkBv(0, TargetWidth) : Pieces[0];
+    for (size_t I = 1; I < Pieces.size(); ++I)
+      Term = F.mkBvOp(Op::BvOr, Term, Pieces[I]);
+    if (Offset != 0)
+      Term = F.mkBvOp(Op::BvAdd, Term, F.mkBv(Offset, TargetWidth));
+    return Term;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<SliceWrapper> genic::buildSliceWrapper(const FuncDef *Fn) {
+  if (Fn->arity() != 1 || !Fn->ParamTypes[0].isBitVec() ||
+      !Fn->ReturnType.isBitVec() || Fn->ParamTypes[0].width() > 16)
+    return std::nullopt;
+  unsigned W = Fn->ParamTypes[0].width();
+  SliceWrapper Wrapper;
+  Wrapper.Func = Fn;
+  for (uint64_t X = 0; X <= Value::maskOf(W); ++X) {
+    std::vector<Value> In{Value::bitVecVal(X, W)};
+    if (Fn->Domain && !evalBool(Fn->Domain, In))
+      continue;
+    std::optional<Value> Out = eval(Fn->Body, In);
+    if (!Out)
+      continue;
+    Wrapper.Preimages.push_back({*Out, In[0]});
+  }
+  std::sort(Wrapper.Preimages.begin(), Wrapper.Preimages.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  // Require injectivity: duplicate outputs make the preimage ambiguous.
+  for (size_t I = 1; I < Wrapper.Preimages.size(); ++I)
+    if (Wrapper.Preimages[I].first == Wrapper.Preimages[I - 1].first)
+      return std::nullopt;
+  if (Wrapper.Preimages.empty())
+    return std::nullopt;
+  return Wrapper;
+}
+
+std::optional<TermRef>
+genic::bitSliceGuess(TermFactory &F, const std::vector<SliceView> &Views,
+                     const std::vector<Value> &Targets,
+                     const std::vector<Value> &Offsets,
+                     const std::vector<SliceWrapper> &Wrappers) {
+  if (Views.empty() || Targets.empty() || !Targets[0].type().isBitVec())
+    return std::nullopt;
+  for (const SliceView &V : Views)
+    if (V.Values.size() != Targets.size() || !V.Values[0].type().isBitVec())
+      return std::nullopt;
+
+  const unsigned TargetWidth = Targets[0].type().width();
+  std::vector<uint64_t> Raw;
+  Raw.reserve(Targets.size());
+  for (const Value &T : Targets)
+    Raw.push_back(T.getBits());
+
+  if (std::optional<TermRef> Direct =
+          directGuess(F, Views, Raw, TargetWidth, Offsets))
+    return Direct;
+
+  // Component-wrapped: target == Wrapper(u); recover u by slicing.
+  for (const SliceWrapper &W : Wrappers) {
+    if (!(W.Func->ReturnType == Targets[0].type()))
+      continue;
+    std::vector<uint64_t> Pre;
+    Pre.reserve(Targets.size());
+    bool Ok = true;
+    for (const Value &T : Targets) {
+      auto It = std::lower_bound(
+          W.Preimages.begin(), W.Preimages.end(), T,
+          [](const auto &P, const Value &V) { return P.first < V; });
+      if (It == W.Preimages.end() || !(It->first == T)) {
+        Ok = false;
+        break;
+      }
+      Pre.push_back(It->second.getBits());
+    }
+    if (!Ok)
+      continue;
+    unsigned PreWidth = W.Func->ParamTypes[0].width();
+    if (PreWidth != TargetWidth)
+      continue; // The coders keep widths uniform; stay simple.
+    if (std::optional<TermRef> Inner =
+            directGuess(F, Views, Pre, PreWidth, Offsets))
+      return F.mkCall(W.Func, {*Inner});
+  }
+  return std::nullopt;
+}

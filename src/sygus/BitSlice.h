@@ -1,0 +1,71 @@
+//===- sygus/BitSlice.h - Bit-slice candidate generation ------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A domain-specific synthesis strategy for the bit-regrouping functions
+/// that dominate string coders. The hypothesis space is
+///
+///     g(y)  =  C( slices )  or  slices + offset
+///     slices = OR of ((view >> s) & mask) << d pieces and constant bits
+///     view   = some y_j, or A(y_j) for a unary auxiliary component A
+///
+/// i.e. every bit of the (possibly component-wrapped, offset-shifted)
+/// target is a fixed bit of some view. The wiring is inferred from the
+/// example set and emitted as a compact term; the CEGIS driver verifies it
+/// like any enumerated candidate, so unsound guesses are refuted by
+/// counterexamples.
+///
+/// This plays the role of the divide-and-conquer heuristics in enumerative
+/// SyGuS solvers; without it, targets like the UTF-8 byte regrouping
+/// (~15-25 operators) exceed plain bottom-up enumeration — exactly the
+/// failure mode §7.3 reports for the original solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SYGUS_BITSLICE_H
+#define GENIC_SYGUS_BITSLICE_H
+
+#include "term/TermFactory.h"
+#include "term/Value.h"
+
+#include <optional>
+#include <vector>
+
+namespace genic {
+
+/// A bit-vector expression usable as a wiring source: a variable y_j or a
+/// component application A(y_j), together with its values on the examples.
+struct SliceView {
+  TermRef Term = nullptr;
+  std::vector<Value> Values;
+};
+
+/// A component usable to wrap the slice result: target == Wrapper(u) where
+/// u is recovered by slicing. Preimages holds the (value -> unique preimage)
+/// table of the (injective) component over its domain.
+struct SliceWrapper {
+  const FuncDef *Func = nullptr;
+  std::vector<std::pair<Value, Value>> Preimages; // sorted by first
+};
+
+/// Guesses a term g over the views with g == Targets on every example; see
+/// the file comment for the hypothesis space. \p Offsets are candidate
+/// constant offsets (0 is always tried). Returns std::nullopt when no
+/// consistent wiring exists.
+std::optional<TermRef> bitSliceGuess(TermFactory &F,
+                                     const std::vector<SliceView> &Views,
+                                     const std::vector<Value> &Targets,
+                                     const std::vector<Value> &Offsets,
+                                     const std::vector<SliceWrapper> &Wrappers);
+
+/// Builds the preimage table of unary \p Fn by enumerating its domain.
+/// Fails (nullopt) when the parameter is wider than 16 bits, the function
+/// is not injective on its domain, or the type is not a bit-vector.
+std::optional<SliceWrapper> buildSliceWrapper(const FuncDef *Fn);
+
+} // namespace genic
+
+#endif // GENIC_SYGUS_BITSLICE_H

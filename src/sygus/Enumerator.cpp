@@ -1,0 +1,361 @@
+//===- sygus/Enumerator.cpp ------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sygus/Enumerator.h"
+
+#include "support/Timer.h"
+#include "term/Eval.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+using namespace genic;
+
+namespace {
+
+/// A packed value vector over the example set: Raw[e] is meaningful iff bit
+/// e of Defined is set. Observational equivalence is signature equality.
+struct Sig {
+  std::vector<uint64_t> Raw;
+  uint64_t Defined = 0;
+
+  bool operator==(const Sig &O) const {
+    return Defined == O.Defined && Raw == O.Raw;
+  }
+};
+
+struct SigHash {
+  size_t operator()(const Sig &S) const {
+    size_t H = S.Defined;
+    for (uint64_t R : S.Raw)
+      H = H * 1000003u + R;
+    return H;
+  }
+};
+
+uint64_t rawOf(const Value &V) {
+  if (V.type().isBool())
+    return V.getBool() ? 1 : 0;
+  if (V.type().isInt())
+    return static_cast<uint64_t>(V.getInt());
+  return V.getBits();
+}
+
+Value valueOf(uint64_t Raw, const Type &Ty) {
+  if (Ty.isBool())
+    return Value::boolVal(Raw != 0);
+  if (Ty.isInt())
+    return Value::intVal(static_cast<int64_t>(Raw));
+  return Value::bitVecVal(Raw, Ty.width());
+}
+
+struct Entry {
+  TermRef T;
+  Sig S;
+};
+
+/// Bank of enumerated terms of one type, grouped by size, deduplicated by
+/// signature.
+struct TypeBank {
+  Type Ty;
+  std::vector<std::vector<Entry>> BySize; // BySize[s] = entries of size s
+  std::unordered_set<Sig, SigHash> Seen;
+};
+
+} // namespace
+
+Enumerator::Enumerator(TermFactory &F, const Grammar &G,
+                       std::vector<std::vector<Value>> Examples, Config C)
+    : Factory(F), G(G), Examples(std::move(Examples)), Cfg(C) {
+  if (this->Examples.size() > 64)
+    this->Examples.resize(64);
+}
+
+std::optional<TermRef>
+Enumerator::findMatching(const std::vector<Value> &Target) {
+  assert(Target.size() == Examples.size() &&
+         "one target output per example");
+  LastStats = Stats();
+  Timer Clock;
+  const size_t NumEx = Examples.size();
+
+  Sig TargetSig;
+  TargetSig.Raw.reserve(NumEx);
+  for (const Value &V : Target) {
+    TargetSig.Raw.push_back(rawOf(V));
+    TargetSig.Defined = (TargetSig.Defined << 1) | 1;
+  }
+  // Recompute mask without shifting order dependence: all-defined mask.
+  TargetSig.Defined = NumEx == 64 ? ~uint64_t{0}
+                                  : ((uint64_t{1} << NumEx) - 1);
+
+  // Banks live in a deque and are all registered up front, and each bank's
+  // size-indexed slots are pre-allocated, so no reference into the bank
+  // structure is invalidated while enumeration loops iterate over it (only
+  // the slot currently being filled grows, and nothing holds references
+  // into it).
+  std::deque<TypeBank> Banks;
+  auto BankOf = [&](const Type &Ty) -> TypeBank & {
+    for (TypeBank &B : Banks)
+      if (B.Ty == Ty)
+        return B;
+    Banks.push_back(TypeBank{Ty, {}, {}});
+    Banks.back().BySize.resize(Cfg.MaxSize + 2);
+    return Banks.back();
+  };
+  BankOf(G.ResultType);
+  for (const Type &Ty : G.VarTypes)
+    BankOf(Ty);
+  for (const Value &C : G.Constants)
+    BankOf(C.type());
+  for (const FuncDef *Fn : G.Funcs) {
+    BankOf(Fn->ReturnType);
+    for (const Type &Ty : Fn->ParamTypes)
+      BankOf(Ty);
+  }
+  if (G.EnableIte)
+    BankOf(Type::boolTy());
+
+  std::optional<TermRef> Found;
+  size_t TotalKept = 0;
+
+  // Inserts a term with signature S into its bank (unless observationally
+  // equivalent to an existing one) and checks it against the target.
+  auto Insert = [&](TermRef T, const Type &Ty, Sig S, unsigned Size) {
+    TypeBank &B = BankOf(Ty);
+    if (!B.Seen.insert(S).second)
+      return;
+    assert(B.BySize.size() > Size && "bank slots pre-allocated");
+    if (Ty == G.ResultType && S == TargetSig && !Found)
+      Found = T;
+    B.BySize[Size].push_back(Entry{T, std::move(S)});
+    ++TotalKept;
+  };
+
+  // --- Size 1: variables and constants -------------------------------------
+  for (unsigned I : G.UsableVars) {
+    Sig S;
+    S.Raw.reserve(NumEx);
+    for (size_t E = 0; E != NumEx; ++E)
+      S.Raw.push_back(rawOf(Examples[E][I]));
+    S.Defined = TargetSig.Defined;
+    Insert(Factory.mkVar(I, G.VarTypes[I]), G.VarTypes[I], std::move(S), 1);
+  }
+  for (const Value &C : G.Constants) {
+    Sig S;
+    S.Raw.assign(NumEx, rawOf(C));
+    S.Defined = TargetSig.Defined;
+    Insert(Factory.mkConst(C), C.type(), std::move(S), 1);
+  }
+  if (Found)
+    return Found;
+
+  // Evaluates one combination and inserts it.
+  auto Combine = [&](auto MakeTerm, std::span<const Entry *const> Children,
+                     std::span<const Type> ChildTypes, const Type &ResultTy,
+                     unsigned Size,
+                     auto EvalOne) { // EvalOne(span<Value>) -> optional<Value>
+    ++LastStats.CandidatesTried;
+    Sig S;
+    S.Raw.assign(NumEx, 0);
+    std::vector<Value> Args(Children.size(), Value());
+    for (size_t E = 0; E != NumEx; ++E) {
+      bool AllDefined = true;
+      for (size_t C = 0; C != Children.size(); ++C) {
+        if (!(Children[C]->S.Defined >> E & 1)) {
+          AllDefined = false;
+          break;
+        }
+        Args[C] = valueOf(Children[C]->S.Raw[E], ChildTypes[C]);
+      }
+      if (!AllDefined)
+        continue;
+      std::optional<Value> V = EvalOne(std::span<const Value>(Args));
+      if (!V)
+        continue;
+      S.Raw[E] = rawOf(*V);
+      S.Defined |= uint64_t{1} << E;
+    }
+    // Fully-undefined combinations are useless.
+    if (S.Defined == 0)
+      return;
+    TypeBank &B = BankOf(ResultTy);
+    if (B.Seen.count(S))
+      return; // Skip building the term for observational duplicates.
+    Insert(MakeTerm(), ResultTy, std::move(S), Size);
+  };
+
+  auto IsCommutative = [](Op O) {
+    return O == Op::IntAdd || O == Op::IntMul || O == Op::BvAdd ||
+           O == Op::BvAnd || O == Op::BvOr || O == Op::BvXor;
+  };
+
+  // --- Sizes 2..MaxSize ------------------------------------------------------
+  for (unsigned Size = 2; Size <= Cfg.MaxSize; ++Size) {
+    LastStats.SizeReached = Size;
+    if (Clock.seconds() > Cfg.TimeoutSeconds || TotalKept > Cfg.MaxTerms) {
+      LastStats.TimedOut = Clock.seconds() > Cfg.TimeoutSeconds;
+      break;
+    }
+
+    for (Op O : G.Ops) {
+      bool IsInt = O >= Op::IntAdd && O <= Op::IntGt;
+      bool Unary = O == Op::IntNeg || O == Op::BvNeg || O == Op::BvNot;
+      bool IsCompare = O == Op::IntLe || O == Op::IntLt || O == Op::IntGe ||
+                       O == Op::IntGt || O == Op::BvUle || O == Op::BvUlt ||
+                       O == Op::BvUge || O == Op::BvUgt;
+      if (IsCompare && !G.EnableIte)
+        continue;
+      for (TypeBank &B : Banks) {
+        // Iterate over a stable copy of the bank list: Insert may grow it.
+        if (IsInt != B.Ty.isInt())
+          continue;
+        if (!IsInt && !B.Ty.isBitVec())
+          continue;
+        Type OperandTy = B.Ty;
+        Type ResultTy = IsCompare ? Type::boolTy() : OperandTy;
+        Type ChildTypes[2] = {OperandTy, OperandTy};
+        if (Unary) {
+          unsigned CS = Size - 1;
+          if (B.BySize.size() <= CS)
+            continue;
+          for (const Entry &C : B.BySize[CS]) {
+            const Entry *Cs[1] = {&C};
+            Combine(
+                [&] {
+                  return IsInt ? Factory.mkIntOp(O, C.T)
+                               : Factory.mkBvOp(O, C.T);
+                },
+                Cs, std::span<const Type>(ChildTypes, 1), ResultTy, Size,
+                [&](std::span<const Value> A) { return applyOp(O, A); });
+          }
+          continue;
+        }
+        for (unsigned LS = 1; LS + 1 < Size; ++LS) {
+          unsigned RS = Size - 1 - LS;
+          if (IsCommutative(O) && LS > RS)
+            continue;
+          if (B.BySize.size() <= LS || B.BySize.size() <= RS)
+            continue;
+          const auto &Ls = B.BySize[LS];
+          const auto &Rs = B.BySize[RS];
+          for (size_t I = 0; I != Ls.size(); ++I) {
+            size_t JBegin = (IsCommutative(O) && LS == RS) ? I : 0;
+            for (size_t J = JBegin; J != Rs.size(); ++J) {
+              const Entry *Cs[2] = {&Ls[I], &Rs[J]};
+              Combine(
+                  [&] {
+                    return IsInt ? Factory.mkIntOp(O, Ls[I].T, Rs[J].T)
+                                 : Factory.mkBvOp(O, Ls[I].T, Rs[J].T);
+                  },
+                  Cs, std::span<const Type>(ChildTypes, 2), ResultTy, Size,
+                  [&](std::span<const Value> A) { return applyOp(O, A); });
+            }
+          }
+          if (Clock.seconds() > Cfg.TimeoutSeconds ||
+              TotalKept > Cfg.MaxTerms)
+            break;
+        }
+      }
+    }
+
+    // Auxiliary function components.
+    for (const FuncDef *Fn : G.Funcs) {
+      unsigned A = Fn->arity();
+      if (A == 0 || A > 3 || Size < A + 1)
+        continue;
+      // Enumerate operand size compositions summing to Size - 1.
+      std::vector<const Entry *> Chosen(A);
+      std::vector<unsigned> Sizes(A, 1);
+      auto Recurse = [&](auto &&Self, unsigned Pos,
+                         unsigned Remaining) -> void {
+        if (Found)
+          return;
+        if (Pos + 1 == A) {
+          Sizes[Pos] = Remaining;
+          // All operand sizes fixed; iterate entries.
+          auto Iterate = [&](auto &&Me, unsigned P) -> void {
+            if (Found)
+              return;
+            if (P == A) {
+              Combine(
+                  [&] {
+                    std::vector<TermRef> Args;
+                    for (const Entry *C : Chosen)
+                      Args.push_back(C->T);
+                    return Factory.mkCall(Fn, std::move(Args));
+                  },
+                  std::span<const Entry *const>(Chosen.data(), A),
+                  std::span<const Type>(Fn->ParamTypes.data(), A),
+                  Fn->ReturnType, Size, [&](std::span<const Value> Vals) {
+                    std::optional<Value> Out;
+                    if (!Fn->Domain ||
+                        evalBool(Fn->Domain,
+                                 std::span<const Value>(Vals)))
+                      Out = eval(Fn->Body, Vals);
+                    return Out;
+                  });
+              return;
+            }
+            TypeBank &B = BankOf(Fn->ParamTypes[P]);
+            if (B.BySize.size() <= Sizes[P])
+              return;
+            // Take a copy of the slot: Insert may reallocate BySize.
+            std::vector<Entry> Slot = B.BySize[Sizes[P]];
+            for (const Entry &C : Slot) {
+              Chosen[P] = &C;
+              Me(Me, P + 1);
+            }
+          };
+          Iterate(Iterate, 0);
+          return;
+        }
+        for (unsigned S = 1; S + (A - Pos - 1) <= Remaining; ++S) {
+          Sizes[Pos] = S;
+          Self(Self, Pos + 1, Remaining - S);
+        }
+      };
+      Recurse(Recurse, 0, Size - 1);
+    }
+
+    // ite(cond, then, else) over comparisons, when enabled.
+    if (G.EnableIte && Size >= 4) {
+      TypeBank &BoolBank = BankOf(Type::boolTy());
+      for (unsigned CS = 1; CS + 2 < Size; ++CS) {
+        if (BoolBank.BySize.size() <= CS)
+          continue;
+        std::vector<Entry> Conds = BoolBank.BySize[CS];
+        for (unsigned TS = 1; CS + TS + 1 < Size; ++TS) {
+          unsigned ES = Size - 1 - CS - TS;
+          TypeBank &RB = BankOf(G.ResultType);
+          if (RB.BySize.size() <= TS || RB.BySize.size() <= ES)
+            continue;
+          std::vector<Entry> Thens = RB.BySize[TS];
+          std::vector<Entry> Elses = RB.BySize[ES];
+          Type ChildTypes[3] = {Type::boolTy(), G.ResultType, G.ResultType};
+          for (const Entry &C : Conds)
+            for (const Entry &T : Thens)
+              for (const Entry &E : Elses) {
+                const Entry *Cs[3] = {&C, &T, &E};
+                Combine(
+                    [&] { return Factory.mkIte(C.T, T.T, E.T); }, Cs,
+                    std::span<const Type>(ChildTypes, 3), G.ResultType, Size,
+                    [&](std::span<const Value> A) {
+                      return applyOp(Op::Ite, A);
+                    });
+              }
+        }
+      }
+    }
+
+    if (Found)
+      break;
+  }
+
+  LastStats.TermsKept = TotalKept;
+  return Found;
+}

@@ -1,0 +1,76 @@
+//===- sygus/Enumerator.h - Bottom-up enumeration with OE pruning ---------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The enumerative core of the SyGuS engine, modeled after the Enumerative
+/// CEGIS solver the paper uses (the SyGuS-comp 2014 winner): terms are
+/// enumerated bottom-up in order of size, and two terms that evaluate
+/// identically on the current example set are observationally equivalent —
+/// only the first is kept. The CEGIS driver asks for a term matching the
+/// target outputs on the examples; enumeration by size means the first
+/// match is a smallest one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SYGUS_ENUMERATOR_H
+#define GENIC_SYGUS_ENUMERATOR_H
+
+#include "sygus/Grammar.h"
+#include "term/Value.h"
+
+#include <optional>
+#include <vector>
+
+namespace genic {
+
+/// One bottom-up enumeration session over a fixed example set.
+class Enumerator {
+public:
+  struct Config {
+    /// Largest term size to enumerate. The paper reports that functions
+    /// beyond ~25 operators are out of reach of existing solvers (§7.2/7.3).
+    unsigned MaxSize = 25;
+    /// Total bank-entry budget across all sizes and types.
+    size_t MaxTerms = 400000;
+    /// Wall-clock budget for one findMatching call.
+    double TimeoutSeconds = 30;
+  };
+
+  /// \p Examples are environments for the grammar's variables: Examples[e]
+  /// binds Var(i) to Examples[e][i]. At most 64 examples are supported
+  /// (signatures are bitmask-packed); extras are ignored.
+  Enumerator(TermFactory &F, const Grammar &G,
+             std::vector<std::vector<Value>> Examples)
+      : Enumerator(F, G, std::move(Examples), Config()) {}
+  Enumerator(TermFactory &F, const Grammar &G,
+             std::vector<std::vector<Value>> Examples, Config C);
+
+  /// Searches for a term of the grammar's result type whose value on every
+  /// example equals \p Target. Returns std::nullopt when the budget is
+  /// exhausted first. \p Target must have one entry per example.
+  std::optional<TermRef> findMatching(const std::vector<Value> &Target);
+
+  /// Statistics of the last findMatching call.
+  struct Stats {
+    size_t TermsKept = 0;       // distinct signatures retained
+    size_t CandidatesTried = 0; // combinations evaluated
+    unsigned SizeReached = 0;
+    bool TimedOut = false;
+  };
+  const Stats &stats() const { return LastStats; }
+
+private:
+  struct Impl;
+  TermFactory &Factory;
+  const Grammar &G;
+  std::vector<std::vector<Value>> Examples;
+  Config Cfg;
+  Stats LastStats;
+};
+
+} // namespace genic
+
+#endif // GENIC_SYGUS_ENUMERATOR_H

@@ -1,0 +1,72 @@
+//===- sygus/Grammar.cpp ---------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sygus/Grammar.h"
+
+#include <algorithm>
+
+using namespace genic;
+
+Grammar Grammar::standard(Type ResultType, std::vector<Type> VarTypes) {
+  Grammar G;
+  G.ResultType = ResultType;
+  G.VarTypes = std::move(VarTypes);
+  for (unsigned I = 0, E = G.VarTypes.size(); I != E; ++I)
+    G.UsableVars.push_back(I);
+
+  bool AnyInt = ResultType.isInt();
+  bool AnyBv = ResultType.isBitVec();
+  for (const Type &T : G.VarTypes) {
+    AnyInt |= T.isInt();
+    AnyBv |= T.isBitVec();
+  }
+  if (AnyInt) {
+    // Comparisons participate only when EnableIte is set (the enumerator
+    // skips them otherwise); listing them here keeps conditional synthesis
+    // a one-flag switch.
+    for (Op O : {Op::IntAdd, Op::IntSub, Op::IntNeg, Op::IntMul, Op::IntLe,
+                 Op::IntLt})
+      G.Ops.push_back(O);
+    G.Constants.push_back(Value::intVal(0));
+    G.Constants.push_back(Value::intVal(1));
+  }
+  if (AnyBv) {
+    for (Op O : {Op::BvAdd, Op::BvSub, Op::BvNeg, Op::BvAnd, Op::BvOr,
+                 Op::BvXor, Op::BvNot, Op::BvShl, Op::BvLshr, Op::BvAshr,
+                 Op::BvUle, Op::BvUlt})
+      G.Ops.push_back(O);
+    // One width per distinct bit-vector type in play.
+    std::vector<unsigned> Widths;
+    auto NoteWidth = [&](const Type &T) {
+      if (T.isBitVec() &&
+          std::find(Widths.begin(), Widths.end(), T.width()) == Widths.end())
+        Widths.push_back(T.width());
+    };
+    NoteWidth(ResultType);
+    for (const Type &T : G.VarTypes)
+      NoteWidth(T);
+    for (unsigned W : Widths) {
+      G.Constants.push_back(Value::bitVecVal(0, W));
+      G.Constants.push_back(Value::bitVecVal(1, W));
+    }
+  }
+  return G;
+}
+
+void Grammar::addConstant(const Value &C) {
+  if (std::find(Constants.begin(), Constants.end(), C) == Constants.end())
+    Constants.push_back(C);
+}
+
+void Grammar::addOp(Op O) {
+  if (std::find(Ops.begin(), Ops.end(), O) == Ops.end())
+    Ops.push_back(O);
+}
+
+void Grammar::addFunc(const FuncDef *F) {
+  if (std::find(Funcs.begin(), Funcs.end(), F) == Funcs.end())
+    Funcs.push_back(F);
+}

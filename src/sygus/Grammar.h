@@ -1,0 +1,62 @@
+//===- sygus/Grammar.h - Syntactic constraints for synthesis --------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The syntactic constraint of a SyGuS problem (§6): which operators,
+/// auxiliary functions, constants, and variables the enumerator may combine.
+/// GENIC's two optimizations both act here: grammar mining shrinks the
+/// operator and constant pools to those relevant to the transition being
+/// inverted, and auxiliary-function inversion enriches the grammar with the
+/// program's auxiliary functions and their synthesized inverses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SYGUS_GRAMMAR_H
+#define GENIC_SYGUS_GRAMMAR_H
+
+#include "term/Term.h"
+#include "term/TermFactory.h"
+
+#include <vector>
+
+namespace genic {
+
+/// The term pool a synthesis call may draw from.
+struct Grammar {
+  /// Types of the function's formal parameters Var(0..n-1).
+  std::vector<Type> VarTypes;
+  /// Indices of parameters the enumerator may actually reference. The
+  /// variable-reduction optimization (§6, equations (1)-(2)) shrinks this
+  /// from "all parameters".
+  std::vector<unsigned> UsableVars;
+  /// Result type of the synthesized function.
+  Type ResultType;
+  /// Built-in operators (arithmetic/bit-vector ops; comparisons and ite are
+  /// included only when EnableIte is set, since conditional synthesis
+  /// multiplies the search space).
+  std::vector<Op> Ops;
+  /// Auxiliary functions usable as components (original program functions
+  /// and inverses synthesized for them).
+  std::vector<const FuncDef *> Funcs;
+  /// Literal pool. The paper adds every constant of the input program plus
+  /// the theory's 0 and 1 (§6, footnote).
+  std::vector<Value> Constants;
+  /// Whether ite (with comparison conditions) may be synthesized directly.
+  bool EnableIte = false;
+
+  /// The unrestricted grammar of the alphabet theory: all operators of the
+  /// variable/result types, constants 0 and 1, every parameter usable.
+  static Grammar standard(Type ResultType, std::vector<Type> VarTypes);
+
+  /// Adds \p C if not already present.
+  void addConstant(const Value &C);
+  void addOp(Op O);
+  void addFunc(const FuncDef *F);
+};
+
+} // namespace genic
+
+#endif // GENIC_SYGUS_GRAMMAR_H

@@ -1,0 +1,81 @@
+//===- sygus/Inverter.cpp --------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sygus/Inverter.h"
+
+#include "sygus/AuxInvert.h"
+#include "sygus/Mining.h"
+
+using namespace genic;
+
+Inverter::Inverter(Solver &S, InverterOptions O)
+    : S(S), Opts(O), Engine(S, O.Engine) {}
+
+Result<InversionOutcome>
+Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
+  TermFactory &F = S.factory();
+  SynthesizedAux.clear();
+
+  // Optimization 1: invert the auxiliary functions and build the component
+  // pool. Non-invertible auxiliaries are skipped silently: they can still
+  // appear as forward components.
+  std::vector<const FuncDef *> Components;
+  if (Opts.UseAuxInversion) {
+    for (const FuncDef *Fn : AuxFuncs) {
+      Components.push_back(Fn);
+      if (Fn->arity() != 1)
+        continue;
+      std::string InvName = "inv_" + Fn->Name;
+      if (F.lookupFunc(InvName)) {
+        Components.push_back(F.lookupFunc(InvName));
+        continue;
+      }
+      Result<const FuncDef *> Inv = invertAuxFunction(Engine, Fn, InvName);
+      if (!Inv)
+        continue;
+      Components.push_back(*Inv);
+      SynthesizedAux.push_back(*Inv);
+    }
+  }
+
+  RecoverySynthesizer Hook = [this, &Components, &F](
+                                 const ImagePredicate &P, unsigned XIndex,
+                                 Type InputType) -> Result<TermRef> {
+    SynthesisSpec Spec{P, F.mkVar(XIndex, InputType)};
+
+    // Optimization 2a: variable reduction.
+    std::vector<unsigned> Usable;
+    if (Opts.UseMining && P.arity() > 1) {
+      Result<std::vector<unsigned>> Subset =
+          sufficientOutputSubset(S, P, XIndex, InputType);
+      if (Subset)
+        Usable = *Subset;
+    }
+
+    // Optimization 2b: operator/constant mining.
+    Grammar Mined =
+        mineTransitionGrammar(F, P, InputType, Components, Opts.UseMining);
+    if (!Usable.empty())
+      Mined.UsableVars = Usable;
+    Result<TermRef> G = Engine.synthesize(Spec, Mined);
+    if (G)
+      return G;
+
+    // The reductions are incomplete in principle (§6: "reducing the SyGuS
+    // grammar may prevent the existence of inverse functions"); the paper
+    // runs the unrestricted search in parallel, we run it as a fallback.
+    if (Opts.UseMining) {
+      Grammar Full = mineTransitionGrammar(F, P, InputType, Components,
+                                           /*MineOps=*/false);
+      Result<TermRef> Retry = Engine.synthesize(Spec, Full);
+      if (Retry)
+        return Retry;
+    }
+    return G;
+  };
+
+  return invertSeft(A, S, Hook);
+}

@@ -1,0 +1,67 @@
+//===- sygus/Inverter.h - The full inversion pipeline ----------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties Theorem 5.4's per-rule inversion (transducer/Invert.h) to the SyGuS
+/// machinery: auxiliary-function inversion, grammar mining, variable
+/// reduction, and the CEGIS engine. The two §6 optimizations are
+/// independently switchable, which is exactly the ablation Figure 5 runs
+/// (all / only-aux / only-mining / none).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SYGUS_INVERTER_H
+#define GENIC_SYGUS_INVERTER_H
+
+#include "support/Result.h"
+#include "sygus/Sygus.h"
+#include "transducer/Invert.h"
+
+#include <string>
+#include <vector>
+
+namespace genic {
+
+struct InverterOptions {
+  /// §6 optimization 1: invert auxiliary functions first and enrich the
+  /// grammar with both the originals and the inverses.
+  bool UseAuxInversion = true;
+  /// §6 optimization 2: operator mining and variable reduction.
+  bool UseMining = true;
+  SygusEngine::Options Engine;
+};
+
+/// One inversion session; owns the CEGIS engine so call records accumulate
+/// across rules (Figure 4's data set).
+class Inverter {
+public:
+  explicit Inverter(Solver &S) : Inverter(S, InverterOptions()) {}
+  Inverter(Solver &S, InverterOptions O);
+
+  /// Inverts \p A. \p AuxFuncs are the program's auxiliary functions (§3.2);
+  /// they participate in the grammar when aux inversion is enabled.
+  Result<InversionOutcome>
+  invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs);
+
+  /// Inverses synthesized for auxiliary functions during the last invert()
+  /// call (for the program printer, which emits them as definitions).
+  const std::vector<const FuncDef *> &synthesizedAux() const {
+    return SynthesizedAux;
+  }
+
+  SygusEngine &engine() { return Engine; }
+  const InverterOptions &options() const { return Opts; }
+
+private:
+  Solver &S;
+  InverterOptions Opts;
+  SygusEngine Engine;
+  std::vector<const FuncDef *> SynthesizedAux;
+};
+
+} // namespace genic
+
+#endif // GENIC_SYGUS_INVERTER_H

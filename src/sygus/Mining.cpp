@@ -1,0 +1,175 @@
+//===- sygus/Mining.cpp ----------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sygus/Mining.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace genic;
+
+void genic::collectOpsAndConstants(TermFactory &F, TermRef T,
+                                   std::vector<Op> &Ops,
+                                   std::vector<Value> &Consts) {
+  TermRef Inlined = F.inlineCalls(T);
+  std::unordered_set<TermRef> Visited;
+  auto Go = [&](auto &&Self, TermRef Node) -> void {
+    if (!Visited.insert(Node).second)
+      return;
+    if (Node->isConst()) {
+      if (std::find(Consts.begin(), Consts.end(), Node->constValue()) ==
+          Consts.end())
+        Consts.push_back(Node->constValue());
+    } else if (!Node->isVar()) {
+      if (std::find(Ops.begin(), Ops.end(), Node->op()) == Ops.end())
+        Ops.push_back(Node->op());
+    }
+    for (TermRef C : Node->children())
+      Self(Self, C);
+  };
+  Go(Go, Inlined);
+}
+
+namespace {
+
+/// Operators plausibly needed to invert a function using \p O.
+std::vector<Op> inverseRelevant(Op O) {
+  switch (O) {
+  case Op::IntAdd:
+  case Op::IntSub:
+    return {Op::IntAdd, Op::IntSub};
+  case Op::IntNeg:
+    return {Op::IntNeg};
+  case Op::IntMul:
+    return {Op::IntMul};
+  case Op::BvAdd:
+  case Op::BvSub:
+    return {Op::BvAdd, Op::BvSub};
+  case Op::BvNeg:
+    return {Op::BvNeg};
+  case Op::BvMul:
+    return {Op::BvMul};
+  // Bit regrouping: shifts scatter bits, masks and ors gather them back.
+  case Op::BvShl:
+  case Op::BvLshr:
+  case Op::BvAshr:
+  case Op::BvOr:
+  case Op::BvAnd:
+    return {Op::BvShl, Op::BvLshr, Op::BvOr, Op::BvAnd};
+  case Op::BvXor:
+    return {Op::BvXor};
+  case Op::BvNot:
+    return {Op::BvNot};
+  default:
+    return {}; // Comparisons, ite, boolean structure: no operator to add.
+  }
+}
+
+} // namespace
+
+Grammar genic::mineTransitionGrammar(
+    TermFactory &F, const ImagePredicate &P, Type InputType,
+    const std::vector<const FuncDef *> &Components, bool MineOps) {
+  std::vector<Type> VarTypes;
+  for (TermRef O : P.Outputs)
+    VarTypes.push_back(O->type());
+  Grammar G = Grammar::standard(InputType, std::move(VarTypes));
+
+  // Constants are always mined from the transition (guard and outputs).
+  std::vector<Op> SeenOps;
+  std::vector<Value> Consts;
+  collectOpsAndConstants(F, P.Guard, SeenOps, Consts);
+  for (TermRef O : P.Outputs)
+    collectOpsAndConstants(F, O, SeenOps, Consts);
+  for (const Value &C : Consts)
+    if (!C.type().isBool())
+      G.addConstant(C);
+
+  if (MineOps) {
+    std::vector<Op> Mined;
+    for (Op O : SeenOps)
+      for (Op R : inverseRelevant(O))
+        if (std::find(Mined.begin(), Mined.end(), R) == Mined.end())
+          Mined.push_back(R);
+    G.Ops = std::move(Mined);
+  }
+
+  for (const FuncDef *Fn : Components)
+    G.addFunc(Fn);
+  return G;
+}
+
+Result<std::vector<unsigned>>
+genic::sufficientOutputSubset(Solver &S, const ImagePredicate &P,
+                              unsigned XIndex, Type InputType) {
+  TermFactory &F = S.factory();
+  const unsigned N = P.NumInputs;
+  const unsigned K = P.arity();
+
+  // Infer the input variable types from the terms (fall back to InputType).
+  std::vector<Type> Types(N, InputType);
+  {
+    std::unordered_set<TermRef> Visited;
+    auto Note = [&](auto &&Self, TermRef T) -> void {
+      if (!Visited.insert(T).second)
+        return;
+      if (T->isVar() && T->varIndex() < N)
+        Types[T->varIndex()] = T->type();
+      for (TermRef C : T->children())
+        Self(Self, C);
+    };
+    Note(Note, F.inlineCalls(P.Guard));
+    for (TermRef O : P.Outputs)
+      Note(Note, F.inlineCalls(O));
+  }
+
+  auto Shift = [&](TermRef T) {
+    std::vector<TermRef> Repl(N);
+    for (unsigned I = 0; I < N; ++I)
+      Repl[I] = F.mkVar(N + I, Types[I]);
+    return F.substitute(T, Repl);
+  };
+
+  // Determination check for a subset of output indices.
+  auto Determines = [&](const std::vector<unsigned> &Subset) -> Result<bool> {
+    std::vector<TermRef> Conjuncts{P.Guard, Shift(P.Guard)};
+    for (unsigned J : Subset)
+      Conjuncts.push_back(F.mkEq(P.Outputs[J], Shift(P.Outputs[J])));
+    Conjuncts.push_back(F.mkDistinct(F.mkVar(XIndex, Types[XIndex]),
+                                     F.mkVar(N + XIndex, Types[XIndex])));
+    Result<bool> Sat = S.isSat(F.mkAnd(std::move(Conjuncts)));
+    if (!Sat)
+      return Sat;
+    return !*Sat;
+  };
+
+  std::vector<unsigned> Subset;
+  for (unsigned J = 0; J < K; ++J)
+    Subset.push_back(J);
+  Result<bool> Full = Determines(Subset);
+  if (!Full)
+    return Full.status();
+  if (!*Full)
+    return Status::error("the outputs do not determine input " +
+                         std::to_string(XIndex) +
+                         " (the transition is not injective on it)");
+
+  // Greedy elimination: drop any output whose removal keeps determination.
+  for (unsigned J = K; J-- > 0;) {
+    std::vector<unsigned> Without;
+    for (unsigned M : Subset)
+      if (M != J)
+        Without.push_back(M);
+    if (Without.size() == Subset.size())
+      continue;
+    Result<bool> Ok = Determines(Without);
+    if (!Ok)
+      return Ok.status();
+    if (*Ok)
+      Subset = std::move(Without);
+  }
+  return Subset;
+}

@@ -1,0 +1,98 @@
+//===- sygus/Sygus.h - CEGIS synthesis of recovery functions --------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SyGuS engine (§6): given a transition's image predicate (guard phi
+/// and output functions f over inputs x) and a target expression t(x) —
+/// usually a single input variable x_i — synthesize g over the outputs y
+/// such that
+///
+///     forall x . phi(x)  ->  g(f(x)) = t(x).
+///
+/// The engine is counterexample-guided: it samples inputs satisfying phi,
+/// asks the bottom-up enumerator for a term matching the target values on
+/// the induced (y, t) examples, verifies the candidate with the SMT solver,
+/// and turns verification failures into new examples.
+///
+/// Every call is recorded with its duration and the size of the synthesized
+/// term; Figure 4 plots exactly this data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SYGUS_SYGUS_H
+#define GENIC_SYGUS_SYGUS_H
+
+#include "solver/Solver.h"
+#include "support/Result.h"
+#include "sygus/BitSlice.h"
+#include "sygus/Grammar.h"
+
+#include <map>
+#include <vector>
+
+namespace genic {
+
+/// One synthesis obligation; see file comment.
+struct SynthesisSpec {
+  /// Guard and outputs over Var(0..NumInputs-1). The guard must already
+  /// entail definedness of the outputs (callers conjoin aux-function
+  /// domains).
+  ImagePredicate Image;
+  /// What to recover, over the same input variables.
+  TermRef Target = nullptr;
+};
+
+/// The CEGIS driver.
+class SygusEngine {
+public:
+  struct Options {
+    unsigned MaxTermSize = 25;
+    double EnumTimeoutSeconds = 30;
+    unsigned MaxCegisIterations = 16;
+    unsigned NumExamples = 24;
+    uint64_t Seed = 0x5eed5eed;
+    /// Try the bit-slice candidate generator (sygus/BitSlice.h) before
+    /// enumeration. Disable to reproduce the plain Enumerative-CEGIS
+    /// behaviour of the original paper, including its UTF-8 failure.
+    bool EnableBitSlice = true;
+  };
+
+  explicit SygusEngine(Solver &S) : SygusEngine(S, Options()) {}
+  SygusEngine(Solver &S, Options O);
+
+  /// Synthesizes g with forall x . phi(x) -> g(f(x)) = Target(x), as a term
+  /// over Var(0..Image.arity()-1) drawn from \p G.
+  Result<TermRef> synthesize(const SynthesisSpec &Spec, const Grammar &G);
+
+  /// Record of one synthesize() call (success or failure) — Figure 4 data.
+  struct CallRecord {
+    double Seconds = 0;
+    unsigned ResultSize = 0;
+    bool Success = false;
+    unsigned CegisIterations = 0;
+  };
+  const std::vector<CallRecord> &calls() const { return Calls; }
+  void clearCalls() { Calls.clear(); }
+
+  Solver &solver() { return S; }
+  const Options &options() const { return Opts; }
+
+private:
+  /// Input assignments satisfying the guard (outputs defined), mixing
+  /// native random sampling with solver models for narrow guards.
+  Result<std::vector<std::vector<Value>>>
+  sampleInputs(const SynthesisSpec &Spec, unsigned Want);
+
+  Solver &S;
+  Options Opts;
+  std::vector<CallRecord> Calls;
+  /// Preimage tables for unary components, built on first use.
+  std::map<const FuncDef *, std::optional<SliceWrapper>> WrapperCache;
+};
+
+} // namespace genic
+
+#endif // GENIC_SYGUS_SYGUS_H

@@ -1,0 +1,225 @@
+//===- term/Eval.cpp -------------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Eval.h"
+
+#include "support/Result.h"
+
+#include <vector>
+
+using namespace genic;
+
+namespace {
+
+/// Reduces an n-ary boolean connective.
+std::optional<Value> foldBool(Op O, std::span<const Value> Args) {
+  bool IsAnd = O == Op::And;
+  for (const Value &V : Args) {
+    if (!V.type().isBool())
+      return std::nullopt;
+    if (V.getBool() != IsAnd)
+      return Value::boolVal(!IsAnd);
+  }
+  return Value::boolVal(IsAnd);
+}
+
+std::optional<Value> applyIntOp(Op O, std::span<const Value> Args) {
+  // Unary first.
+  if (O == Op::IntNeg)
+    return Value::intVal(-Args[0].getInt());
+  int64_t A = Args[0].getInt(), B = Args[1].getInt();
+  switch (O) {
+  case Op::IntAdd:
+    return Value::intVal(A + B);
+  case Op::IntSub:
+    return Value::intVal(A - B);
+  case Op::IntMul:
+    return Value::intVal(A * B);
+  case Op::IntLe:
+    return Value::boolVal(A <= B);
+  case Op::IntLt:
+    return Value::boolVal(A < B);
+  case Op::IntGe:
+    return Value::boolVal(A >= B);
+  case Op::IntGt:
+    return Value::boolVal(A > B);
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<Value> applyBvOp(Op O, std::span<const Value> Args) {
+  unsigned W = Args[0].type().width();
+  uint64_t Mask = Value::maskOf(W);
+  uint64_t A = Args[0].getBits();
+  if (O == Op::BvNeg)
+    return Value::bitVecVal((~A + 1) & Mask, W);
+  if (O == Op::BvNot)
+    return Value::bitVecVal(~A & Mask, W);
+  if (Args.size() < 2 || Args[1].type() != Args[0].type())
+    return std::nullopt;
+  uint64_t B = Args[1].getBits();
+  switch (O) {
+  case Op::BvAdd:
+    return Value::bitVecVal(A + B, W);
+  case Op::BvSub:
+    return Value::bitVecVal(A - B, W);
+  case Op::BvMul:
+    return Value::bitVecVal(A * B, W);
+  case Op::BvAnd:
+    return Value::bitVecVal(A & B, W);
+  case Op::BvOr:
+    return Value::bitVecVal(A | B, W);
+  case Op::BvXor:
+    return Value::bitVecVal(A ^ B, W);
+  case Op::BvShl:
+    // SMT-LIB semantics: shifting by >= width yields zero.
+    return Value::bitVecVal(B >= W ? 0 : (A << B), W);
+  case Op::BvLshr:
+    return Value::bitVecVal(B >= W ? 0 : (A >> B), W);
+  case Op::BvAshr: {
+    // Arithmetic shift replicates the sign bit; saturates for shifts >= W.
+    bool Sign = (A >> (W - 1)) & 1;
+    if (B >= W)
+      return Value::bitVecVal(Sign ? Mask : 0, W);
+    uint64_t Shifted = A >> B;
+    if (Sign)
+      Shifted |= Mask & ~(Mask >> B);
+    return Value::bitVecVal(Shifted, W);
+  }
+  case Op::BvUle:
+    return Value::boolVal(A <= B);
+  case Op::BvUlt:
+    return Value::boolVal(A < B);
+  case Op::BvUge:
+    return Value::boolVal(A >= B);
+  case Op::BvUgt:
+    return Value::boolVal(A > B);
+  case Op::BvSle:
+  case Op::BvSlt:
+  case Op::BvSge:
+  case Op::BvSgt: {
+    // Compare the sign-extended patterns.
+    auto SignExtend = [W](uint64_t X) {
+      if (W == 64)
+        return static_cast<int64_t>(X);
+      uint64_t SignBit = uint64_t{1} << (W - 1);
+      return static_cast<int64_t>((X ^ SignBit) - SignBit);
+    };
+    int64_t SA = SignExtend(A), SB = SignExtend(B);
+    if (O == Op::BvSle)
+      return Value::boolVal(SA <= SB);
+    if (O == Op::BvSlt)
+      return Value::boolVal(SA < SB);
+    if (O == Op::BvSge)
+      return Value::boolVal(SA >= SB);
+    return Value::boolVal(SA > SB);
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+} // namespace
+
+std::optional<Value> genic::applyOp(Op O, std::span<const Value> Args) {
+  switch (O) {
+  case Op::Var:
+  case Op::Const:
+  case Op::Call:
+    return std::nullopt; // Leaves and calls are handled by eval().
+  case Op::Eq:
+    return Value::boolVal(Args[0] == Args[1]);
+  case Op::Ite:
+    return Args[0].getBool() ? Args[1] : Args[2];
+  case Op::Not:
+    return Value::boolVal(!Args[0].getBool());
+  case Op::And:
+  case Op::Or:
+    return foldBool(O, Args);
+  case Op::Implies:
+    return Value::boolVal(!Args[0].getBool() || Args[1].getBool());
+  case Op::Iff:
+    return Value::boolVal(Args[0].getBool() == Args[1].getBool());
+  case Op::IntAdd:
+  case Op::IntSub:
+  case Op::IntNeg:
+  case Op::IntMul:
+  case Op::IntLe:
+  case Op::IntLt:
+  case Op::IntGe:
+  case Op::IntGt:
+    return applyIntOp(O, Args);
+  default:
+    return applyBvOp(O, Args);
+  }
+}
+
+std::optional<Value> genic::eval(TermRef T, Env Environment) {
+  switch (T->op()) {
+  case Op::Const:
+    return T->constValue();
+  case Op::Var: {
+    if (T->varIndex() >= Environment.size())
+      return std::nullopt;
+    const Value &V = Environment[T->varIndex()];
+    if (V.type() != T->type())
+      return std::nullopt;
+    return V;
+  }
+  case Op::Ite: {
+    // Short-circuit so that the untaken branch may be undefined.
+    std::optional<Value> Cond = eval(T->child(0), Environment);
+    if (!Cond)
+      return std::nullopt;
+    return eval(T->child(Cond->getBool() ? 1 : 2), Environment);
+  }
+  case Op::And:
+  case Op::Or: {
+    // Short-circuit: an early deciding operand hides later undefinedness,
+    // matching the left-to-right semantics of GENIC guards.
+    bool IsAnd = T->op() == Op::And;
+    for (TermRef C : T->children()) {
+      std::optional<Value> V = eval(C, Environment);
+      if (!V)
+        return std::nullopt;
+      if (V->getBool() != IsAnd)
+        return Value::boolVal(!IsAnd);
+    }
+    return Value::boolVal(IsAnd);
+  }
+  case Op::Call: {
+    const FuncDef *F = T->callee();
+    std::vector<Value> Args;
+    Args.reserve(T->arity());
+    for (TermRef C : T->children()) {
+      std::optional<Value> V = eval(C, Environment);
+      if (!V)
+        return std::nullopt;
+      Args.push_back(*V);
+    }
+    if (F->Domain && !evalBool(F->Domain, Args))
+      return std::nullopt; // Partial function applied outside its domain.
+    return eval(F->Body, Args);
+  }
+  default: {
+    std::vector<Value> Args;
+    Args.reserve(T->arity());
+    for (TermRef C : T->children()) {
+      std::optional<Value> V = eval(C, Environment);
+      if (!V)
+        return std::nullopt;
+      Args.push_back(*V);
+    }
+    return applyOp(T->op(), Args);
+  }
+  }
+}
+
+bool genic::evalBool(TermRef T, Env Environment) {
+  std::optional<Value> V = eval(T, Environment);
+  return V && V->type().isBool() && V->getBool();
+}

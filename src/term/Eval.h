@@ -1,0 +1,45 @@
+//===- term/Eval.h - Native evaluation of terms ----------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete evaluation of terms over an environment binding the variables
+/// x0..x(n-1) to values. This is the semantics [[f]](a) of §3.3 and the hot
+/// path of the enumerative SyGuS engine, so it stays SMT-free.
+///
+/// Evaluation is partial: applying an auxiliary function outside its domain
+/// yields "undefined", which propagates upward (a guard evaluating to
+/// undefined is treated as false by the transducer semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_TERM_EVAL_H
+#define GENIC_TERM_EVAL_H
+
+#include "term/Term.h"
+
+#include <optional>
+#include <span>
+
+namespace genic {
+
+/// An environment: Env[i] is the value bound to Var(i).
+using Env = std::span<const Value>;
+
+/// Applies a non-leaf, non-Call operator to already-evaluated operands.
+/// Returns std::nullopt only for arity or type mismatches, which indicate a
+/// malformed term (well-typed terms always evaluate).
+std::optional<Value> applyOp(Op O, std::span<const Value> Args);
+
+/// Evaluates \p T under \p Environment. Returns std::nullopt if an auxiliary
+/// function is applied outside its domain or a variable is unbound.
+std::optional<Value> eval(TermRef T, Env Environment);
+
+/// Evaluates a boolean term, mapping "undefined" to false.
+bool evalBool(TermRef T, Env Environment);
+
+} // namespace genic
+
+#endif // GENIC_TERM_EVAL_H

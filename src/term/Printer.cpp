@@ -1,0 +1,58 @@
+//===- term/Printer.cpp ----------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Printer.h"
+
+using namespace genic;
+
+namespace {
+
+void print(TermRef T, const std::vector<std::string> *VarNames,
+           std::string &Out) {
+  switch (T->op()) {
+  case Op::Const:
+    Out += T->constValue().str();
+    return;
+  case Op::Var:
+    if (VarNames && T->varIndex() < VarNames->size())
+      Out += (*VarNames)[T->varIndex()];
+    else
+      Out += T->varName();
+    return;
+  case Op::Call:
+    Out += "(" + T->callee()->Name;
+    for (TermRef C : T->children()) {
+      Out += " ";
+      print(C, VarNames, Out);
+    }
+    Out += ")";
+    return;
+  default:
+    Out += "(";
+    Out += opName(T->op());
+    for (TermRef C : T->children()) {
+      Out += " ";
+      print(C, VarNames, Out);
+    }
+    Out += ")";
+    return;
+  }
+}
+
+} // namespace
+
+std::string genic::printTerm(TermRef T) {
+  std::string Out;
+  print(T, nullptr, Out);
+  return Out;
+}
+
+std::string genic::printTerm(TermRef T,
+                             const std::vector<std::string> &VarNames) {
+  std::string Out;
+  print(T, &VarNames, Out);
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- term/Printer.h - S-expression rendering of terms --------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders terms in the SMT-LIB-flavoured s-expression syntax GENIC uses in
+/// guards and outputs, e.g. "(and (bvule x0 #x40) (= x1 #x3d))". The GENIC
+/// program printer (src/genic/ProgramPrinter) builds on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_TERM_PRINTER_H
+#define GENIC_TERM_PRINTER_H
+
+#include "term/Term.h"
+
+#include <string>
+
+namespace genic {
+
+/// Renders \p T as an s-expression. Variables print as their display name.
+std::string printTerm(TermRef T);
+
+/// Renders \p T with each Var(i) printed as \p VarNames[i]; indices beyond
+/// the vector fall back to the variable's own display name.
+std::string printTerm(TermRef T, const std::vector<std::string> &VarNames);
+
+} // namespace genic
+
+#endif // GENIC_TERM_PRINTER_H

@@ -1,0 +1,149 @@
+//===- term/Term.h - Hash-consed terms of the alphabet theory -------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The term language of the alphabet theory (§3.1): predicates and functions
+/// appearing on s-EFT transitions are terms over variables x0..x(l-1). Terms
+/// are immutable, hash-consed nodes owned by a TermFactory, so structural
+/// equality is pointer equality and sharing is maximal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_TERM_TERM_H
+#define GENIC_TERM_TERM_H
+
+#include "term/Type.h"
+#include "term/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace genic {
+
+class Term;
+/// Terms are referenced by pointer into their owning factory; two terms from
+/// the same factory are structurally equal iff the pointers are equal.
+using TermRef = const Term *;
+
+/// Operators of the supported alphabet theories.
+enum class Op : unsigned char {
+  // Leaves.
+  Var,
+  Const,
+  // Polymorphic.
+  Eq,
+  Ite,
+  // Booleans. And/Or are n-ary and kept flattened.
+  Not,
+  And,
+  Or,
+  Implies,
+  Iff,
+  // Linear integer arithmetic.
+  IntAdd,
+  IntSub,
+  IntNeg,
+  IntMul,
+  IntLe,
+  IntLt,
+  IntGe,
+  IntGt,
+  // Bit-vector arithmetic (unsigned comparisons, logical shifts).
+  BvAdd,
+  BvSub,
+  BvNeg,
+  BvMul,
+  BvAnd,
+  BvOr,
+  BvXor,
+  BvNot,
+  BvShl,
+  BvLshr,
+  BvAshr,
+  BvUle,
+  BvUlt,
+  BvUge,
+  BvUgt,
+  // Signed comparisons; not exposed in GENIC surface syntax, but Z3's
+  // quantifier elimination can produce them, so the term language and the
+  // back-translator support them.
+  BvSle,
+  BvSlt,
+  BvSge,
+  BvSgt,
+  // Application of a named auxiliary function (§3.2).
+  Call,
+};
+
+/// Returns the mnemonic used by the printers, e.g. "and", "bvadd".
+const char *opName(Op O);
+
+/// A named auxiliary function (§3.2): a lambda-term over parameters
+/// Var(0..arity-1) with an optional domain predicate making it partial.
+struct FuncDef {
+  std::string Name;
+  std::vector<Type> ParamTypes;
+  Type ReturnType;
+  /// Body over Var(i), i < ParamTypes.size(). Never null.
+  TermRef Body = nullptr;
+  /// Domain predicate over the parameters; null means total.
+  TermRef Domain = nullptr;
+
+  unsigned arity() const { return ParamTypes.size(); }
+};
+
+/// An immutable term node. Construct via TermFactory only.
+class Term {
+public:
+  Op op() const { return TheOp; }
+  const Type &type() const { return Ty; }
+
+  /// Unique, factory-local id; assigned in creation order. Usable as a
+  /// deterministic ordering key.
+  uint32_t id() const { return Id; }
+
+  const std::vector<TermRef> &children() const { return Children; }
+  size_t arity() const { return Children.size(); }
+  TermRef child(size_t I) const { return Children[I]; }
+
+  bool isVar() const { return TheOp == Op::Var; }
+  bool isConst() const { return TheOp == Op::Const; }
+
+  /// Variable index; valid only for Var terms.
+  unsigned varIndex() const { return VarIdx; }
+  /// Display name of a Var term; may be empty.
+  const std::string &varName() const { return *VarName; }
+
+  /// Constant payload; valid only for Const terms.
+  const Value &constValue() const { return ConstVal; }
+
+  /// Callee; valid only for Call terms.
+  const FuncDef *callee() const { return Callee; }
+
+  /// Number of operator/leaf nodes in the term, counting a Call as one
+  /// operator plus its arguments. This is the size metric of Figure 4.
+  unsigned size() const { return Size; }
+
+private:
+  friend class TermFactory;
+  Term() = default;
+
+  Op TheOp = Op::Const;
+  Type Ty;
+  uint32_t Id = 0;
+  unsigned Size = 1;
+  std::vector<TermRef> Children;
+  // Payloads (only one is meaningful, keyed by TheOp).
+  unsigned VarIdx = 0;
+  const std::string *VarName = nullptr;
+  Value ConstVal;
+  const FuncDef *Callee = nullptr;
+};
+
+} // namespace genic
+
+#endif // GENIC_TERM_TERM_H

@@ -1,0 +1,675 @@
+//===- term/TermFactory.cpp ------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/TermFactory.h"
+
+#include "support/Result.h"
+#include "term/Eval.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace genic;
+
+const char *genic::opName(Op O) {
+  switch (O) {
+  case Op::Var:
+    return "var";
+  case Op::Const:
+    return "const";
+  case Op::Eq:
+    return "=";
+  case Op::Ite:
+    return "ite";
+  case Op::Not:
+    return "not";
+  case Op::And:
+    return "and";
+  case Op::Or:
+    return "or";
+  case Op::Implies:
+    return "=>";
+  case Op::Iff:
+    return "iff";
+  case Op::IntAdd:
+    return "+";
+  case Op::IntSub:
+    return "-";
+  case Op::IntNeg:
+    return "neg";
+  case Op::IntMul:
+    return "*";
+  case Op::IntLe:
+    return "<=";
+  case Op::IntLt:
+    return "<";
+  case Op::IntGe:
+    return ">=";
+  case Op::IntGt:
+    return ">";
+  case Op::BvAdd:
+    return "bvadd";
+  case Op::BvSub:
+    return "bvsub";
+  case Op::BvNeg:
+    return "bvneg";
+  case Op::BvMul:
+    return "bvmul";
+  case Op::BvAnd:
+    return "bvand";
+  case Op::BvOr:
+    return "bvor";
+  case Op::BvXor:
+    return "bvxor";
+  case Op::BvNot:
+    return "bvnot";
+  case Op::BvShl:
+    return "bvshl";
+  case Op::BvLshr:
+    return "bvlshr";
+  case Op::BvAshr:
+    return "bvashr";
+  case Op::BvUle:
+    return "bvule";
+  case Op::BvUlt:
+    return "bvult";
+  case Op::BvUge:
+    return "bvuge";
+  case Op::BvUgt:
+    return "bvugt";
+  case Op::BvSle:
+    return "bvsle";
+  case Op::BvSlt:
+    return "bvslt";
+  case Op::BvSge:
+    return "bvsge";
+  case Op::BvSgt:
+    return "bvsgt";
+  case Op::Call:
+    return "call";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+size_t hashCombine(size_t Seed, size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+size_t contentHash(const Term &T) {
+  size_t H = hashCombine(static_cast<size_t>(T.op()), T.type().hash());
+  for (TermRef C : T.children())
+    H = hashCombine(H, reinterpret_cast<size_t>(C));
+  switch (T.op()) {
+  case Op::Var:
+    H = hashCombine(H, T.varIndex());
+    H = hashCombine(H, reinterpret_cast<size_t>(&T.varName()));
+    break;
+  case Op::Const:
+    H = hashCombine(H, T.constValue().hash());
+    break;
+  case Op::Call:
+    H = hashCombine(H, reinterpret_cast<size_t>(T.callee()));
+    break;
+  default:
+    break;
+  }
+  return H;
+}
+
+bool contentEq(const Term &A, const Term &B) {
+  if (A.op() != B.op() || A.type() != B.type() ||
+      A.children() != B.children())
+    return false;
+  switch (A.op()) {
+  case Op::Var:
+    return A.varIndex() == B.varIndex() && &A.varName() == &B.varName();
+  case Op::Const:
+    return A.constValue() == B.constValue();
+  case Op::Call:
+    return A.callee() == B.callee();
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+size_t TermFactory::KeyHash::operator()(const Term *T) const {
+  return contentHash(*T);
+}
+bool TermFactory::KeyEq::operator()(const Term *A, const Term *B) const {
+  return contentEq(*A, *B);
+}
+
+TermFactory::TermFactory() {
+  TrueTerm = mkConst(Value::boolVal(true));
+  FalseTerm = mkConst(Value::boolVal(false));
+}
+
+TermFactory::~TermFactory() = default;
+
+const std::string *TermFactory::internName(const std::string &Name) {
+  return &*Names.insert(Name).first;
+}
+
+TermRef TermFactory::intern(Term &&Probe) {
+  auto It = Pool.find(&Probe);
+  if (It != Pool.end())
+    return *It;
+  auto Owned = std::unique_ptr<Term>(new Term(std::move(Probe)));
+  Owned->Id = NextId++;
+  unsigned Size = 1;
+  for (TermRef C : Owned->Children)
+    Size += C->size();
+  Owned->Size = Size;
+  Term *Raw = Owned.get();
+  Storage.push_back(std::move(Owned));
+  Pool.insert(Raw);
+  return Raw;
+}
+
+TermRef TermFactory::make(Op O, Type Ty, std::vector<TermRef> Children) {
+  Term Probe;
+  Probe.TheOp = O;
+  Probe.Ty = Ty;
+  Probe.Children = std::move(Children);
+  return intern(std::move(Probe));
+}
+
+TermRef TermFactory::mkVar(unsigned Index, Type Ty, const std::string &Name) {
+  Term Probe;
+  Probe.TheOp = Op::Var;
+  Probe.Ty = Ty;
+  Probe.VarIdx = Index;
+  Probe.VarName =
+      internName(Name.empty() ? "x" + std::to_string(Index) : Name);
+  return intern(std::move(Probe));
+}
+
+TermRef TermFactory::mkConst(const Value &V) {
+  Term Probe;
+  Probe.TheOp = Op::Const;
+  Probe.Ty = V.type();
+  Probe.ConstVal = V;
+  return intern(std::move(Probe));
+}
+
+TermRef TermFactory::mkNot(TermRef A) {
+  assert(A->type().isBool() && "not over a non-boolean");
+  if (A->isConst())
+    return mkBool(!A->constValue().getBool());
+  if (A->op() == Op::Not)
+    return A->child(0);
+  return make(Op::Not, Type::boolTy(), {A});
+}
+
+TermRef TermFactory::mkAnd(std::vector<TermRef> Conjuncts) {
+  // Flatten nested conjunctions, drop "true", short-circuit on "false",
+  // deduplicate, and detect complementary pairs.
+  std::vector<TermRef> Flat;
+  std::unordered_set<TermRef> Seen;
+  for (size_t I = 0; I < Conjuncts.size(); ++I) {
+    TermRef C = Conjuncts[I];
+    assert(C->type().isBool() && "and over a non-boolean");
+    if (C->op() == Op::And) {
+      Conjuncts.insert(Conjuncts.end(), C->children().begin(),
+                       C->children().end());
+      continue;
+    }
+    if (C->isConst()) {
+      if (!C->constValue().getBool())
+        return mkFalse();
+      continue;
+    }
+    if (!Seen.insert(C).second)
+      continue;
+    Flat.push_back(C);
+  }
+  for (TermRef C : Flat) {
+    TermRef Complement = C->op() == Op::Not ? C->child(0) : nullptr;
+    if (Complement && Seen.count(Complement))
+      return mkFalse();
+  }
+  if (Flat.empty())
+    return mkTrue();
+  if (Flat.size() == 1)
+    return Flat.front();
+  std::sort(Flat.begin(), Flat.end(),
+            [](TermRef A, TermRef B) { return A->id() < B->id(); });
+  return make(Op::And, Type::boolTy(), std::move(Flat));
+}
+
+TermRef TermFactory::mkOr(std::vector<TermRef> Disjuncts) {
+  std::vector<TermRef> Flat;
+  std::unordered_set<TermRef> Seen;
+  for (size_t I = 0; I < Disjuncts.size(); ++I) {
+    TermRef C = Disjuncts[I];
+    assert(C->type().isBool() && "or over a non-boolean");
+    if (C->op() == Op::Or) {
+      Disjuncts.insert(Disjuncts.end(), C->children().begin(),
+                       C->children().end());
+      continue;
+    }
+    if (C->isConst()) {
+      if (C->constValue().getBool())
+        return mkTrue();
+      continue;
+    }
+    if (!Seen.insert(C).second)
+      continue;
+    Flat.push_back(C);
+  }
+  for (TermRef C : Flat) {
+    TermRef Complement = C->op() == Op::Not ? C->child(0) : nullptr;
+    if (Complement && Seen.count(Complement))
+      return mkTrue();
+  }
+  if (Flat.empty())
+    return mkFalse();
+  if (Flat.size() == 1)
+    return Flat.front();
+  std::sort(Flat.begin(), Flat.end(),
+            [](TermRef A, TermRef B) { return A->id() < B->id(); });
+  return make(Op::Or, Type::boolTy(), std::move(Flat));
+}
+
+TermRef TermFactory::mkImplies(TermRef A, TermRef B) {
+  assert(A->type().isBool() && B->type().isBool());
+  if (A == B)
+    return mkTrue();
+  if (A->isConst())
+    return A->constValue().getBool() ? B : mkTrue();
+  if (B->isConst())
+    return B->constValue().getBool() ? mkTrue() : mkNot(A);
+  return make(Op::Implies, Type::boolTy(), {A, B});
+}
+
+TermRef TermFactory::mkIff(TermRef A, TermRef B) {
+  assert(A->type().isBool() && B->type().isBool());
+  if (A == B)
+    return mkTrue();
+  if (A->isConst())
+    return A->constValue().getBool() ? B : mkNot(B);
+  if (B->isConst())
+    return B->constValue().getBool() ? A : mkNot(A);
+  if (A->id() > B->id())
+    std::swap(A, B); // Canonicalize the symmetric operator.
+  return make(Op::Iff, Type::boolTy(), {A, B});
+}
+
+TermRef TermFactory::mkEq(TermRef A, TermRef B) {
+  assert(A->type() == B->type() && "equality over mismatched types");
+  assert(!A->type().isBool() && "use mkIff for boolean equivalence");
+  if (A == B)
+    return mkTrue();
+  if (A->isConst() && B->isConst())
+    return mkBool(A->constValue() == B->constValue());
+  if (A->id() > B->id())
+    std::swap(A, B); // Canonicalize the symmetric operator.
+  return make(Op::Eq, Type::boolTy(), {A, B});
+}
+
+TermRef TermFactory::mkIte(TermRef Cond, TermRef Then, TermRef Else) {
+  assert(Cond->type().isBool() && "ite condition must be boolean");
+  assert(Then->type() == Else->type() && "ite branches must agree in type");
+  if (Cond->isConst())
+    return Cond->constValue().getBool() ? Then : Else;
+  if (Then == Else)
+    return Then;
+  if (Then->type().isBool() && Then->isConst() && Else->isConst())
+    return Then->constValue().getBool() ? Cond : mkNot(Cond);
+  return make(Op::Ite, Then->type(), {Cond, Then, Else});
+}
+
+TermRef TermFactory::mkIntOp(Op O, TermRef A, TermRef B) {
+  assert(A->type().isInt() && "integer operator over a non-integer");
+  if (O == Op::IntNeg) {
+    if (A->isConst())
+      return mkInt(-A->constValue().getInt());
+    if (A->op() == Op::IntNeg)
+      return A->child(0);
+    return make(Op::IntNeg, Type::intTy(), {A});
+  }
+  assert(B && B->type().isInt() && "binary integer operator needs operands");
+  if (A->isConst() && B->isConst()) {
+    std::optional<Value> V =
+        applyOp(O, std::vector<Value>{A->constValue(), B->constValue()});
+    assert(V && "constant folding of an integer operator failed");
+    return mkConst(*V);
+  }
+  bool IsComparison =
+      O == Op::IntLe || O == Op::IntLt || O == Op::IntGe || O == Op::IntGt;
+  if (A == B) {
+    if (O == Op::IntSub)
+      return mkInt(0);
+    if (O == Op::IntLe || O == Op::IntGe)
+      return mkTrue();
+    if (O == Op::IntLt || O == Op::IntGt)
+      return mkFalse();
+  }
+  auto IsIntConst = [](TermRef T, int64_t N) {
+    return T->isConst() && T->constValue().getInt() == N;
+  };
+  if (O == Op::IntAdd && IsIntConst(B, 0))
+    return A;
+  if (O == Op::IntAdd && IsIntConst(A, 0))
+    return B;
+  if (O == Op::IntSub && IsIntConst(B, 0))
+    return A;
+  if (O == Op::IntMul) {
+    if (IsIntConst(A, 1))
+      return B;
+    if (IsIntConst(B, 1))
+      return A;
+    if (IsIntConst(A, 0) || IsIntConst(B, 0))
+      return mkInt(0);
+  }
+  return make(O, IsComparison ? Type::boolTy() : Type::intTy(), {A, B});
+}
+
+TermRef TermFactory::mkBvOp(Op O, TermRef A, TermRef B) {
+  assert(A->type().isBitVec() && "bit-vector operator over a non-bitvector");
+  unsigned W = A->type().width();
+  if (O == Op::BvNeg || O == Op::BvNot) {
+    if (A->isConst()) {
+      std::optional<Value> V =
+          applyOp(O, std::vector<Value>{A->constValue()});
+      return mkConst(*V);
+    }
+    if (A->op() == O)
+      return A->child(0); // Involutions.
+    return make(O, A->type(), {A});
+  }
+  assert(B && B->type() == A->type() &&
+         "binary bit-vector operator needs same-typed operands");
+  if (A->isConst() && B->isConst()) {
+    std::optional<Value> V =
+        applyOp(O, std::vector<Value>{A->constValue(), B->constValue()});
+    assert(V && "constant folding of a bit-vector operator failed");
+    return mkConst(*V);
+  }
+  auto IsBvConst = [](TermRef T, uint64_t N) {
+    return T->isConst() && T->constValue().getBits() == N;
+  };
+  uint64_t Mask = Value::maskOf(W);
+  switch (O) {
+  case Op::BvAdd:
+    if (IsBvConst(B, 0))
+      return A;
+    if (IsBvConst(A, 0))
+      return B;
+    break;
+  case Op::BvSub:
+    if (IsBvConst(B, 0))
+      return A;
+    if (A == B)
+      return mkBv(0, W);
+    break;
+  case Op::BvMul:
+    if (IsBvConst(A, 1))
+      return B;
+    if (IsBvConst(B, 1))
+      return A;
+    if (IsBvConst(A, 0) || IsBvConst(B, 0))
+      return mkBv(0, W);
+    break;
+  case Op::BvAnd:
+    if (IsBvConst(A, 0) || IsBvConst(B, 0))
+      return mkBv(0, W);
+    if (IsBvConst(B, Mask) || A == B)
+      return A;
+    if (IsBvConst(A, Mask))
+      return B;
+    break;
+  case Op::BvOr:
+    if (IsBvConst(B, 0) || A == B)
+      return A;
+    if (IsBvConst(A, 0))
+      return B;
+    if (IsBvConst(A, Mask) || IsBvConst(B, Mask))
+      return mkBv(Mask, W);
+    break;
+  case Op::BvXor:
+    if (IsBvConst(B, 0))
+      return A;
+    if (IsBvConst(A, 0))
+      return B;
+    if (A == B)
+      return mkBv(0, W);
+    break;
+  case Op::BvShl:
+  case Op::BvLshr:
+  case Op::BvAshr:
+    if (IsBvConst(B, 0))
+      return A;
+    if (IsBvConst(A, 0))
+      return mkBv(0, W);
+    break;
+  case Op::BvUle:
+  case Op::BvUge:
+  case Op::BvSle:
+  case Op::BvSge:
+    if (A == B)
+      return mkTrue();
+    break;
+  case Op::BvUlt:
+  case Op::BvUgt:
+  case Op::BvSlt:
+  case Op::BvSgt:
+    if (A == B)
+      return mkFalse();
+    break;
+  default:
+    unreachable("mkBvOp called with a non-bitvector operator");
+  }
+  bool IsComparison =
+      O == Op::BvUle || O == Op::BvUlt || O == Op::BvUge || O == Op::BvUgt ||
+      O == Op::BvSle || O == Op::BvSlt || O == Op::BvSge || O == Op::BvSgt;
+  if (O == Op::BvAnd || O == Op::BvOr || O == Op::BvXor || O == Op::BvAdd)
+    if (A->id() > B->id())
+      std::swap(A, B); // Canonicalize commutative operators.
+  return make(O, IsComparison ? Type::boolTy() : A->type(), {A, B});
+}
+
+TermRef TermFactory::mkOp(Op O, std::span<const TermRef> Args) {
+  switch (O) {
+  case Op::Not:
+    return mkNot(Args[0]);
+  case Op::And:
+    return mkAnd(std::vector<TermRef>(Args.begin(), Args.end()));
+  case Op::Or:
+    return mkOr(std::vector<TermRef>(Args.begin(), Args.end()));
+  case Op::Implies:
+    return mkImplies(Args[0], Args[1]);
+  case Op::Iff:
+    return mkIff(Args[0], Args[1]);
+  case Op::Eq:
+    return mkEq(Args[0], Args[1]);
+  case Op::Ite:
+    return mkIte(Args[0], Args[1], Args[2]);
+  case Op::IntNeg:
+    return mkIntOp(O, Args[0]);
+  case Op::IntAdd:
+  case Op::IntSub:
+  case Op::IntMul:
+  case Op::IntLe:
+  case Op::IntLt:
+  case Op::IntGe:
+  case Op::IntGt:
+    return mkIntOp(O, Args[0], Args[1]);
+  case Op::BvNeg:
+  case Op::BvNot:
+    return mkBvOp(O, Args[0]);
+  case Op::Var:
+  case Op::Const:
+  case Op::Call:
+    unreachable("mkOp cannot build leaves or calls");
+  default:
+    return mkBvOp(O, Args[0], Args[1]);
+  }
+}
+
+const FuncDef *TermFactory::makeFunc(std::string Name,
+                                     std::vector<Type> ParamTypes,
+                                     Type ReturnType, TermRef Body,
+                                     TermRef Domain) {
+  assert(Body && "auxiliary function needs a body");
+  assert(!FuncsByName.count(Name) && "duplicate auxiliary function name");
+  Funcs.push_back(FuncDef{std::move(Name), std::move(ParamTypes), ReturnType,
+                          Body, Domain});
+  const FuncDef *F = &Funcs.back();
+  FuncsByName.emplace(F->Name, F);
+  return F;
+}
+
+const FuncDef *TermFactory::lookupFunc(const std::string &Name) const {
+  auto It = FuncsByName.find(Name);
+  return It == FuncsByName.end() ? nullptr : It->second;
+}
+
+TermRef TermFactory::mkCall(const FuncDef *F, std::vector<TermRef> Args) {
+  assert(F && Args.size() == F->arity() && "call arity mismatch");
+  for (size_t I = 0, E = Args.size(); I != E; ++I) {
+    (void)I;
+    assert(Args[I]->type() == F->ParamTypes[I] && "call argument type");
+  }
+  // Fold fully-constant calls whose arguments satisfy the domain. Calls on
+  // out-of-domain constants are kept: they denote "undefined", not a value.
+  bool AllConst =
+      std::all_of(Args.begin(), Args.end(),
+                  [](TermRef A) { return A->isConst(); });
+  if (AllConst) {
+    std::vector<Value> Vals;
+    Vals.reserve(Args.size());
+    for (TermRef A : Args)
+      Vals.push_back(A->constValue());
+    if (!F->Domain || evalBool(F->Domain, Vals))
+      if (std::optional<Value> V = eval(F->Body, Vals))
+        return mkConst(*V);
+  }
+  Term Probe;
+  Probe.TheOp = Op::Call;
+  Probe.Ty = F->ReturnType;
+  Probe.Children = std::move(Args);
+  Probe.Callee = F;
+  return intern(std::move(Probe));
+}
+
+namespace {
+
+/// Rebuilds a node of the same operator over new children, re-running the
+/// smart-constructor simplifications.
+TermRef rebuild(TermFactory &Factory, TermRef Original,
+                std::vector<TermRef> NewChildren) {
+  if (Original->op() == Op::Call)
+    return Factory.mkCall(Original->callee(), std::move(NewChildren));
+  return Factory.mkOp(Original->op(), NewChildren);
+}
+
+} // namespace
+
+TermRef TermFactory::substitute(TermRef T,
+                                std::span<const TermRef> Replacements) {
+  std::unordered_map<TermRef, TermRef> Memo;
+  // Iterative post-order over the DAG would be more verbose; the recursion
+  // depth is bounded by term height, which is small for all our workloads.
+  auto Go = [&](auto &&Self, TermRef Node) -> TermRef {
+    auto It = Memo.find(Node);
+    if (It != Memo.end())
+      return It->second;
+    TermRef Out = Node;
+    if (Node->isVar()) {
+      if (Node->varIndex() < Replacements.size() &&
+          Replacements[Node->varIndex()]) {
+        Out = Replacements[Node->varIndex()];
+        assert(Out->type() == Node->type() &&
+               "substitution changes a variable's type");
+      }
+    } else if (!Node->isConst()) {
+      std::vector<TermRef> NewChildren;
+      NewChildren.reserve(Node->arity());
+      bool Changed = false;
+      for (TermRef C : Node->children()) {
+        TermRef NC = Self(Self, C);
+        Changed |= NC != C;
+        NewChildren.push_back(NC);
+      }
+      if (Changed)
+        Out = rebuild(*this, Node, std::move(NewChildren));
+    }
+    Memo.emplace(Node, Out);
+    return Out;
+  };
+  return Go(Go, T);
+}
+
+TermRef TermFactory::inlineCalls(TermRef T) {
+  std::unordered_map<TermRef, TermRef> Memo;
+  auto Go = [&](auto &&Self, TermRef Node) -> TermRef {
+    auto It = Memo.find(Node);
+    if (It != Memo.end())
+      return It->second;
+    TermRef Out = Node;
+    if (!Node->isVar() && !Node->isConst()) {
+      std::vector<TermRef> NewChildren;
+      NewChildren.reserve(Node->arity());
+      for (TermRef C : Node->children())
+        NewChildren.push_back(Self(Self, C));
+      if (Node->op() == Op::Call) {
+        TermRef Body = substitute(Node->callee()->Body, NewChildren);
+        Out = Self(Self, Body); // The body may itself contain calls.
+      } else if (NewChildren !=
+                 std::vector<TermRef>(Node->children().begin(),
+                                      Node->children().end())) {
+        Out = rebuild(*this, Node, std::move(NewChildren));
+      }
+    }
+    Memo.emplace(Node, Out);
+    return Out;
+  };
+  return Go(Go, T);
+}
+
+TermRef TermFactory::calleeDomains(TermRef T) {
+  std::vector<TermRef> Constraints;
+  std::unordered_set<TermRef> Visited;
+  auto Go = [&](auto &&Self, TermRef Node) -> void {
+    if (!Visited.insert(Node).second)
+      return;
+    for (TermRef C : Node->children())
+      Self(Self, C);
+    if (Node->op() != Op::Call)
+      return;
+    const FuncDef *F = Node->callee();
+    std::vector<TermRef> Args(Node->children().begin(),
+                              Node->children().end());
+    if (F->Domain)
+      Constraints.push_back(substitute(F->Domain, Args));
+    // Nested calls inside the body see the substituted arguments.
+    TermRef InlinedBody = substitute(F->Body, Args);
+    if (InlinedBody != Node)
+      Self(Self, InlinedBody);
+  };
+  Go(Go, T);
+  return mkAnd(std::move(Constraints));
+}
+
+unsigned TermFactory::numVars(TermRef T) {
+  unsigned Max = 0;
+  std::unordered_set<TermRef> Visited;
+  auto Go = [&](auto &&Self, TermRef Node) -> void {
+    if (!Visited.insert(Node).second)
+      return;
+    if (Node->isVar())
+      Max = std::max(Max, Node->varIndex() + 1);
+    for (TermRef C : Node->children())
+      Self(Self, C);
+  };
+  Go(Go, T);
+  return Max;
+}

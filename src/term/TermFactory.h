@@ -1,0 +1,147 @@
+//===- term/TermFactory.h - Hash-consing term constructors ----------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TermFactory owns all terms and auxiliary function definitions of one
+/// analysis session. Construction hash-conses: structurally equal terms are
+/// the same pointer. Smart constructors perform local simplification
+/// (constant folding, neutral elements, flattening of and/or), keeping the
+/// terms that flow through the pipeline small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_TERM_TERMFACTORY_H
+#define GENIC_TERM_TERMFACTORY_H
+
+#include "term/Term.h"
+
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace genic {
+
+/// Owner and interner of terms. Not thread-safe; use one per session.
+class TermFactory {
+public:
+  TermFactory();
+  ~TermFactory();
+  TermFactory(const TermFactory &) = delete;
+  TermFactory &operator=(const TermFactory &) = delete;
+
+  // Leaves -----------------------------------------------------------------
+
+  /// Variable \p Index of type \p Ty. \p Name is the display name; when
+  /// empty, printers fall back to "x<Index>".
+  TermRef mkVar(unsigned Index, Type Ty, const std::string &Name = "");
+
+  TermRef mkConst(const Value &V);
+  TermRef mkTrue() { return TrueTerm; }
+  TermRef mkFalse() { return FalseTerm; }
+  TermRef mkBool(bool B) { return B ? TrueTerm : FalseTerm; }
+  TermRef mkInt(int64_t N) { return mkConst(Value::intVal(N)); }
+  TermRef mkBv(uint64_t Raw, unsigned Width) {
+    return mkConst(Value::bitVecVal(Raw, Width));
+  }
+
+  // Boolean structure --------------------------------------------------------
+
+  TermRef mkNot(TermRef A);
+  /// N-ary conjunction; flattens, deduplicates, folds constants, and detects
+  /// complementary literal pairs.
+  TermRef mkAnd(std::vector<TermRef> Conjuncts);
+  TermRef mkAnd(TermRef A, TermRef B) { return mkAnd({A, B}); }
+  TermRef mkOr(std::vector<TermRef> Disjuncts);
+  TermRef mkOr(TermRef A, TermRef B) { return mkOr({A, B}); }
+  TermRef mkImplies(TermRef A, TermRef B);
+  TermRef mkIff(TermRef A, TermRef B);
+
+  // Polymorphic ---------------------------------------------------------------
+
+  /// Equality over Int or BitVec operands (use mkIff for booleans).
+  TermRef mkEq(TermRef A, TermRef B);
+  TermRef mkDistinct(TermRef A, TermRef B) { return mkNot(mkEq(A, B)); }
+  TermRef mkIte(TermRef Cond, TermRef Then, TermRef Else);
+
+  // Arithmetic -----------------------------------------------------------------
+
+  /// Builds a binary/unary arithmetic or comparison term for \p O, with the
+  /// local simplifications documented in the implementation.
+  TermRef mkIntOp(Op O, TermRef A, TermRef B = nullptr);
+  TermRef mkBvOp(Op O, TermRef A, TermRef B = nullptr);
+
+  /// Dispatches on the operator family; the general entry point used by the
+  /// enumerator. Asserts that \p O matches the operand types.
+  TermRef mkOp(Op O, std::span<const TermRef> Args);
+
+  // Auxiliary functions ---------------------------------------------------------
+
+  /// Registers an auxiliary function. \p Body is over Var(0..arity-1);
+  /// \p Domain may be null (total function). The name must be fresh.
+  const FuncDef *makeFunc(std::string Name, std::vector<Type> ParamTypes,
+                          Type ReturnType, TermRef Body,
+                          TermRef Domain = nullptr);
+
+  /// Finds a registered function by name; null if absent.
+  const FuncDef *lookupFunc(const std::string &Name) const;
+
+  /// Applies \p F to \p Args. Arity and types must match.
+  TermRef mkCall(const FuncDef *F, std::vector<TermRef> Args);
+
+  // Whole-term operations ----------------------------------------------------------
+
+  /// Replaces Var(i) by Replacements[i]; indices beyond the span, or null
+  /// entries, are kept. Result is simplified bottom-up.
+  TermRef substitute(TermRef T, std::span<const TermRef> Replacements);
+
+  /// Replaces every Call node by its callee's body (with arguments
+  /// substituted) and conjoins nothing: the domain predicates are dropped,
+  /// which matches [[f]] being partial. Use calleeDomain() to collect them.
+  TermRef inlineCalls(TermRef T);
+
+  /// Conjunction of the domain constraints of every Call inside \p T, with
+  /// call arguments substituted in. mkTrue() if all calls are total.
+  TermRef calleeDomains(TermRef T);
+
+  /// 1 + the largest variable index occurring in \p T (0 if none).
+  unsigned numVars(TermRef T);
+
+  /// Number of terms ever created (for stats and micro benchmarks).
+  size_t poolSize() const { return Pool.size(); }
+
+private:
+  /// Content-based hashing/equality for the intern pool (bodies in the
+  /// implementation file).
+  struct KeyHash {
+    size_t operator()(const Term *T) const;
+  };
+  struct KeyEq {
+    bool operator()(const Term *A, const Term *B) const;
+  };
+
+  /// Interns the probe term, allocating iff no equal term exists.
+  TermRef intern(Term &&Probe);
+  TermRef make(Op O, Type Ty, std::vector<TermRef> Children);
+
+  const std::string *internName(const std::string &Name);
+
+  std::deque<std::unique_ptr<Term>> Storage;
+  std::unordered_set<Term *, KeyHash, KeyEq> Pool;
+  std::unordered_set<std::string> Names;
+  std::deque<FuncDef> Funcs;
+  std::unordered_map<std::string, const FuncDef *> FuncsByName;
+  uint32_t NextId = 0;
+  TermRef TrueTerm = nullptr;
+  TermRef FalseTerm = nullptr;
+};
+
+} // namespace genic
+
+#endif // GENIC_TERM_TERMFACTORY_H

@@ -1,0 +1,88 @@
+//===- term/Type.h - Alphabet theory types ---------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types of the alphabet theories supported by GENIC (§3.1): booleans,
+/// mathematical integers (linear integer arithmetic), and fixed-width
+/// bit-vectors (bit-vector arithmetic). These are the theories supported by
+/// SyGuS solvers and by the original tool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_TERM_TYPE_H
+#define GENIC_TERM_TYPE_H
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace genic {
+
+/// A type of the multi-typed background universe D (§3.1).
+class Type {
+public:
+  enum class Kind : unsigned char { Bool, Int, BitVec };
+
+  /// Constructs the Bool type. Also the default type, so containers of Type
+  /// are usable; prefer the named constructors.
+  Type() : TheKind(Kind::Bool), Width(0) {}
+
+  static Type boolTy() { return Type(Kind::Bool, 0); }
+  static Type intTy() { return Type(Kind::Int, 0); }
+  /// A bit-vector of \p Width bits, 1 <= Width <= 64.
+  static Type bitVecTy(unsigned Width) {
+    assert(Width >= 1 && Width <= 64 && "unsupported bit-vector width");
+    return Type(Kind::BitVec, Width);
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isBool() const { return TheKind == Kind::Bool; }
+  bool isInt() const { return TheKind == Kind::Int; }
+  bool isBitVec() const { return TheKind == Kind::BitVec; }
+
+  /// Bit width; only meaningful for bit-vector types.
+  unsigned width() const {
+    assert(isBitVec() && "width() on a non-bitvector type");
+    return Width;
+  }
+
+  bool operator==(const Type &Other) const {
+    return TheKind == Other.TheKind && Width == Other.Width;
+  }
+  bool operator!=(const Type &Other) const { return !(*this == Other); }
+
+  /// Renders the type in GENIC surface syntax, e.g. "(BitVec 8)".
+  std::string str() const {
+    switch (TheKind) {
+    case Kind::Bool:
+      return "Bool";
+    case Kind::Int:
+      return "Int";
+    case Kind::BitVec:
+      return "(BitVec " + std::to_string(Width) + ")";
+    }
+    return "<invalid>";
+  }
+
+  size_t hash() const {
+    return static_cast<size_t>(TheKind) * 31 + Width;
+  }
+
+private:
+  Type(Kind K, unsigned W) : TheKind(K), Width(W) {}
+
+  Kind TheKind;
+  unsigned Width;
+};
+
+} // namespace genic
+
+template <> struct std::hash<genic::Type> {
+  size_t operator()(const genic::Type &T) const { return T.hash(); }
+};
+
+#endif // GENIC_TERM_TYPE_H

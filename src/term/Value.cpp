@@ -1,0 +1,30 @@
+//===- term/Value.cpp ------------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Value.h"
+
+#include "support/StringUtils.h"
+
+using namespace genic;
+
+std::string Value::str() const {
+  if (Ty.isBool())
+    return getBool() ? "true" : "false";
+  if (Ty.isInt())
+    return std::to_string(getInt());
+  return toHexLiteral(getBits(), Ty.width());
+}
+
+std::string genic::toString(const ValueList &List) {
+  std::string Out = "[";
+  for (size_t I = 0, E = List.size(); I != E; ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += List[I].str();
+  }
+  Out += "]";
+  return Out;
+}

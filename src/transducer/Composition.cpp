@@ -1,0 +1,184 @@
+//===- transducer/Composition.cpp ------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transducer/Composition.h"
+
+#include <functional>
+
+using namespace genic;
+
+namespace {
+
+/// A path with its accumulated symbolic artifacts: the conjoined guard over
+/// the concatenated input variables and the concatenated output terms.
+struct SymbolicPath {
+  TermRef Guard = nullptr;         // over Var(0 .. InputLen-1)
+  std::vector<TermRef> Outputs;    // over the same variables
+  unsigned InputLen = 0;
+};
+
+/// Shifts a rule's terms so its variables start at \p Offset.
+TermRef shifted(TermFactory &F, TermRef T, unsigned Lookahead,
+                unsigned Offset, const Type &InputType) {
+  std::vector<TermRef> Repl(Lookahead);
+  for (unsigned I = 0; I < Lookahead; ++I)
+    Repl[I] = F.mkVar(Offset + I, InputType);
+  return F.substitute(T, Repl);
+}
+
+/// Enumerates accepting paths of \p A with at most \p MaxRules rules whose
+/// accumulated guard is satisfiable, building the symbolic artifacts.
+Result<std::vector<SymbolicPath>> acceptingPaths(const Seft &A, Solver &S,
+                                                 unsigned MaxRules) {
+  TermFactory &F = S.factory();
+  std::vector<SymbolicPath> Out;
+  SymbolicPath Current;
+  Current.Guard = F.mkTrue();
+  Status Failure = Status::ok();
+
+  std::function<void(unsigned, unsigned)> Go = [&](unsigned State,
+                                                   unsigned RulesUsed) {
+    if (!Failure.isOk())
+      return;
+    for (const SeftTransition &T : A.transitions()) {
+      if (T.From != State)
+        continue;
+      SymbolicPath Saved = Current;
+      TermRef RuleGuard =
+          shifted(F, T.Guard, T.Lookahead, Current.InputLen, A.inputType());
+      Current.Guard = F.mkAnd(Current.Guard, RuleGuard);
+      for (TermRef O : T.Outputs)
+        Current.Outputs.push_back(
+            shifted(F, O, T.Lookahead, Current.InputLen, A.inputType()));
+      Current.InputLen += T.Lookahead;
+      Result<bool> Sat = S.isSat(Current.Guard);
+      if (!Sat) {
+        Failure = Sat.status();
+        return;
+      }
+      if (*Sat) {
+        if (T.To == Seft::FinalState)
+          Out.push_back(Current);
+        else if (RulesUsed + 1 < MaxRules)
+          Go(T.To, RulesUsed + 1);
+      }
+      Current = Saved;
+      if (!Failure.isOk())
+        return;
+    }
+  };
+  Go(A.initial(), 0);
+  if (!Failure.isOk())
+    return Failure;
+  return Out;
+}
+
+/// Enumerates B-paths that consume exactly \p Len symbols, instantiated on
+/// the terms \p Inputs (B's input variables replaced by them). Produces the
+/// instantiated guard and output terms, both over A's input variables.
+struct InstantiatedPath {
+  TermRef Guard = nullptr;
+  std::vector<TermRef> Outputs;
+};
+
+void consumingPaths(const Seft &B, TermFactory &F,
+                    const std::vector<TermRef> &Inputs,
+                    std::vector<InstantiatedPath> &Out) {
+  InstantiatedPath Current;
+  Current.Guard = F.mkTrue();
+  std::function<void(unsigned, size_t)> Go = [&](unsigned State,
+                                                 size_t Consumed) {
+    for (const SeftTransition &T : B.transitions()) {
+      if (T.From != State || Consumed + T.Lookahead > Inputs.size())
+        continue;
+      InstantiatedPath Saved = Current;
+      // Substitute this rule's variables with the next Lookahead inputs,
+      // requiring definedness of every substituted term (the inputs are
+      // arbitrary terms, so aux-function domains matter).
+      std::vector<TermRef> Repl(Inputs.begin() + Consumed,
+                                Inputs.begin() + Consumed + T.Lookahead);
+      TermRef SubGuard = F.substitute(T.Guard, Repl);
+      Current.Guard = F.mkAnd(
+          {Current.Guard, F.calleeDomains(SubGuard), SubGuard});
+      for (TermRef O : T.Outputs) {
+        TermRef Sub = F.substitute(O, Repl);
+        Current.Guard = F.mkAnd(Current.Guard, F.calleeDomains(Sub));
+        Current.Outputs.push_back(Sub);
+      }
+      if (T.To == Seft::FinalState) {
+        if (Consumed + T.Lookahead == Inputs.size())
+          Out.push_back(Current);
+      } else if (T.Lookahead > 0) {
+        Go(T.To, Consumed + T.Lookahead);
+      }
+      Current = Saved;
+    }
+  };
+  Go(B.initial(), 0);
+}
+
+} // namespace
+
+Result<std::optional<CompositionCounterexample>>
+genic::verifyInverseBounded(const Seft &A, const Seft &B, Solver &S,
+                            unsigned MaxRules) {
+  TermFactory &F = S.factory();
+  Result<std::vector<SymbolicPath>> Paths = acceptingPaths(A, S, MaxRules);
+  if (!Paths)
+    return Paths.status();
+
+  for (const SymbolicPath &P : *Paths) {
+    std::vector<Type> Types(P.InputLen, A.inputType());
+    std::vector<InstantiatedPath> BPaths;
+    consumingPaths(B, F, P.Outputs, BPaths);
+
+    // Coverage: guard_p -> some B-path applies to f_p(x).
+    std::vector<TermRef> AnyB;
+    for (const InstantiatedPath &Q : BPaths)
+      AnyB.push_back(Q.Guard);
+    TermRef Uncovered = F.mkAnd(P.Guard, F.mkNot(F.mkOr(std::move(AnyB))));
+    Result<bool> Sat = S.isSat(Uncovered);
+    if (!Sat)
+      return Sat.status();
+    if (*Sat) {
+      Result<std::vector<Value>> M = S.getModel(Uncovered, Types);
+      if (!M)
+        return M.status();
+      return std::optional<CompositionCounterexample>(
+          CompositionCounterexample{
+              *M, "B rejects the image of this input"});
+    }
+
+    // Identity: along every applicable B-path, the outputs equal x.
+    for (const InstantiatedPath &Q : BPaths) {
+      TermRef Overlap = F.mkAnd(P.Guard, Q.Guard);
+      TermRef Wrong;
+      if (Q.Outputs.size() != P.InputLen) {
+        Wrong = Overlap; // Any overlap already has the wrong length.
+      } else {
+        std::vector<TermRef> Mismatch;
+        for (unsigned I = 0; I < P.InputLen; ++I)
+          Mismatch.push_back(
+              F.mkDistinct(Q.Outputs[I], F.mkVar(I, A.inputType())));
+        Wrong = F.mkAnd(Overlap, F.mkOr(std::move(Mismatch)));
+      }
+      Result<bool> Bad = S.isSat(Wrong);
+      if (!Bad)
+        return Bad.status();
+      if (*Bad) {
+        Result<std::vector<Value>> M = S.getModel(Wrong, Types);
+        if (!M)
+          return M.status();
+        return std::optional<CompositionCounterexample>(
+            CompositionCounterexample{
+                *M, Q.Outputs.size() != P.InputLen
+                        ? "B maps the image to a list of the wrong length"
+                        : "B maps the image back to a different list"});
+      }
+    }
+  }
+  return std::optional<CompositionCounterexample>(std::nullopt);
+}

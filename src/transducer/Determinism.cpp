@@ -1,0 +1,108 @@
+//===- transducer/Determinism.cpp ------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transducer/Determinism.h"
+
+using namespace genic;
+
+namespace {
+
+/// The conjunction phi /\ phi' of Definition 3.7: predicates of different
+/// arities are conjoined over the shared variable prefix (§3.3's lifting to
+/// sigma^max(m,n)); terms already share variable indices, so this is mkAnd.
+TermRef overlapGuard(TermFactory &F, const SeftTransition &A,
+                     const SeftTransition &B) {
+  return F.mkAnd(A.Guard, B.Guard);
+}
+
+Result<std::optional<DeterminismViolation>>
+checkPair(Solver &S, const Seft &A, unsigned IA, unsigned IB) {
+  TermFactory &F = S.factory();
+  const SeftTransition &TA = A.transitions()[IA];
+  const SeftTransition &TB = A.transitions()[IB];
+  bool FinalA = TA.To == Seft::FinalState;
+  bool FinalB = TB.To == Seft::FinalState;
+
+  auto Witness = [&](const std::string &Reason)
+      -> Result<std::optional<DeterminismViolation>> {
+    unsigned N = std::max(TA.Lookahead, TB.Lookahead);
+    std::vector<Type> Types(N, A.inputType());
+    Result<std::vector<Value>> M = S.getModel(overlapGuard(F, TA, TB), Types);
+    if (!M)
+      return M.status();
+    return std::optional<DeterminismViolation>(
+        DeterminismViolation{IA, IB, *M, Reason});
+  };
+
+  // Case (c): one rule continues, the other finalizes. Overlap is only
+  // harmless when the continuing rule looks further than the finalizer
+  // (then no input length allows both to fire).
+  if (FinalA != FinalB) {
+    const SeftTransition &Continue = FinalA ? TB : TA;
+    const SeftTransition &Finish = FinalA ? TA : TB;
+    if (Continue.Lookahead > Finish.Lookahead)
+      return std::optional<DeterminismViolation>(std::nullopt);
+    Result<bool> Sat = S.isSat(overlapGuard(F, TA, TB));
+    if (!Sat)
+      return Sat.status();
+    if (!*Sat)
+      return std::optional<DeterminismViolation>(std::nullopt);
+    return Witness("a continuing rule with lookahead <= a finalizer's "
+                   "lookahead overlaps with it (Def. 3.7(c))");
+  }
+
+  // Case (b): two finalizers of different lookahead never compete (they
+  // apply at different remaining lengths).
+  if (FinalA && FinalB && TA.Lookahead != TB.Lookahead)
+    return std::optional<DeterminismViolation>(std::nullopt);
+
+  Result<bool> Sat = S.isSat(overlapGuard(F, TA, TB));
+  if (!Sat)
+    return Sat.status();
+  if (!*Sat)
+    return std::optional<DeterminismViolation>(std::nullopt);
+
+  // Case (a): two continuing rules that overlap must be the same rule in
+  // disguise: same target, same lookahead, equivalent outputs.
+  if (!FinalA) {
+    if (TA.To != TB.To)
+      return Witness("overlapping rules continue to different states");
+    if (TA.Lookahead != TB.Lookahead)
+      return Witness("overlapping rules have different lookaheads");
+  }
+  // Shared for (a) and (b): outputs must agree where both fire.
+  if (TA.Outputs.size() != TB.Outputs.size())
+    return Witness("overlapping rules produce different output lengths");
+  TermRef Overlap = overlapGuard(F, TA, TB);
+  for (size_t I = 0, E = TA.Outputs.size(); I != E; ++I) {
+    Result<bool> Same = S.equivalentUnder(Overlap, TA.Outputs[I],
+                                          TB.Outputs[I]);
+    if (!Same)
+      return Same.status();
+    if (!*Same)
+      return Witness("overlapping rules disagree on output " +
+                     std::to_string(I));
+  }
+  return std::optional<DeterminismViolation>(std::nullopt);
+}
+
+} // namespace
+
+Result<std::optional<DeterminismViolation>>
+genic::checkDeterminism(const Seft &A, Solver &S) {
+  const auto &Ts = A.transitions();
+  for (unsigned I = 0, E = Ts.size(); I != E; ++I)
+    for (unsigned J = I + 1; J != E; ++J) {
+      if (Ts[I].From != Ts[J].From)
+        continue;
+      Result<std::optional<DeterminismViolation>> R = checkPair(S, A, I, J);
+      if (!R)
+        return R;
+      if (R->has_value())
+        return R;
+    }
+  return std::optional<DeterminismViolation>(std::nullopt);
+}

@@ -1,0 +1,44 @@
+//===- transducer/Determinism.h - Definition 3.7 ---------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The determinism check of Definition 3.7. GENIC requires programs to be
+/// deterministic because (unlike unambiguity) determinism is decidable, and
+/// deterministic transducers are unambiguous; all the later decision
+/// procedures are stated for unambiguous s-EFTs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_TRANSDUCER_DETERMINISM_H
+#define GENIC_TRANSDUCER_DETERMINISM_H
+
+#include "solver/Solver.h"
+#include "support/Result.h"
+#include "transducer/Seft.h"
+
+#include <optional>
+#include <string>
+
+namespace genic {
+
+/// Evidence that two rules of the same state overlap in a way Definition
+/// 3.7 forbids.
+struct DeterminismViolation {
+  unsigned TransitionA;
+  unsigned TransitionB;
+  /// Symbols on which both rules fire (length = max of the two lookaheads).
+  ValueList Symbols;
+  std::string Reason;
+};
+
+/// Decides Definition 3.7; returns a violation if the transducer is
+/// nondeterministic, std::nullopt if deterministic.
+Result<std::optional<DeterminismViolation>> checkDeterminism(const Seft &A,
+                                                             Solver &S);
+
+} // namespace genic
+
+#endif // GENIC_TRANSDUCER_DETERMINISM_H

@@ -1,0 +1,312 @@
+//===- transducer/Injectivity.cpp ------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transducer/Injectivity.h"
+
+#include "automata/Ambiguity.h"
+
+#include "support/Result.h"
+
+#include <deque>
+
+using namespace genic;
+
+namespace {
+
+/// Guard of rule \p T with the second copy of the input variables shifted
+/// by \p Delta: phi(x_Delta .. x_{Delta+l-1}).
+TermRef shiftedGuard(TermFactory &F, const SeftTransition &T, unsigned Delta,
+                     const Type &InputType) {
+  std::vector<TermRef> Repl(T.Lookahead);
+  for (unsigned I = 0; I < T.Lookahead; ++I)
+    Repl[I] = F.mkVar(Delta + I, InputType);
+  return F.substitute(T.Guard, Repl);
+}
+
+TermRef shiftedOutput(TermFactory &F, const SeftTransition &T, unsigned J,
+                      unsigned Delta, const Type &InputType) {
+  std::vector<TermRef> Repl(T.Lookahead);
+  for (unsigned I = 0; I < T.Lookahead; ++I)
+    Repl[I] = F.mkVar(Delta + I, InputType);
+  return F.substitute(T.Outputs[J], Repl);
+}
+
+} // namespace
+
+Result<std::optional<TransitionInjectivityViolation>>
+genic::checkTransitionInjectivity(const Seft &A, Solver &S) {
+  TermFactory &F = S.factory();
+  const auto &Ts = A.transitions();
+  for (unsigned Index = 0, E = Ts.size(); Index != E; ++Index) {
+    const SeftTransition &T = Ts[Index];
+    if (T.Lookahead == 0)
+      continue; // No inputs to conflate.
+    unsigned L = T.Lookahead;
+    // Lemma 4.7 formula:
+    //   x != x'  /\  phi(x) /\ phi(x')  /\  f(x) = f(x')
+    // with x at Var(0..L-1) and x' at Var(L..2L-1).
+    std::vector<TermRef> Distinct;
+    for (unsigned I = 0; I < L; ++I)
+      Distinct.push_back(F.mkDistinct(F.mkVar(I, A.inputType()),
+                                      F.mkVar(L + I, A.inputType())));
+    std::vector<TermRef> Conjuncts{F.mkOr(std::move(Distinct)), T.Guard,
+                                   shiftedGuard(F, T, L, A.inputType())};
+    for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J)
+      Conjuncts.push_back(F.mkEq(
+          T.Outputs[J], shiftedOutput(F, T, J, L, A.inputType())));
+    TermRef Query = F.mkAnd(std::move(Conjuncts));
+    Result<bool> Sat = S.isSat(Query);
+    if (!Sat)
+      return Sat.status();
+    if (!*Sat)
+      continue;
+    std::vector<Type> Types(2 * L, A.inputType());
+    Result<std::vector<Value>> M = S.getModel(Query, Types);
+    if (!M)
+      return M.status();
+    TransitionInjectivityViolation V;
+    V.Transition = Index;
+    V.InputA.assign(M->begin(), M->begin() + L);
+    V.InputB.assign(M->begin() + L, M->begin() + 2 * L);
+    return std::optional<TransitionInjectivityViolation>(V);
+  }
+  return std::optional<TransitionInjectivityViolation>(std::nullopt);
+}
+
+Result<CartesianSefa> genic::buildOutputAutomaton(const Seft &A, Solver &S) {
+  return buildOutputAutomaton(A, S, /*AllowHull=*/true);
+}
+
+Result<CartesianSefa> genic::buildOutputAutomaton(const Seft &A, Solver &S,
+                                                  bool AllowHull) {
+  CartesianSefa Out(A.numStates(), A.initial(), A.outputType());
+  const auto &Ts = A.transitions();
+  for (unsigned Index = 0, E = Ts.size(); Index != E; ++Index) {
+    const SeftTransition &T = Ts[Index];
+    SefaTransition NT;
+    NT.From = T.From;
+    NT.To = T.To == Seft::FinalState ? CartesianSefa::FinalState : T.To;
+    NT.Id = Index;
+    if (!T.Outputs.empty()) {
+      // Per-position projections. When the rule's image predicate is
+      // Cartesian (Definition 4.12) their conjunction is exact; otherwise
+      // it over-approximates, which keeps the check sound for the
+      // "injective" verdict (every true path stays accepting), and
+      // ambiguity witnesses are validated against the real transducer
+      // before being reported (checkInjectivity below). The expensive
+      // Sigma_2 Cartesian query is thereby avoided on the happy path.
+      ImagePredicate P{T.Guard, T.Outputs, T.Lookahead};
+      for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J) {
+        Result<TermRef> Psi = S.project(P, J, AllowHull);
+        if (!Psi)
+          return Psi.status();
+        NT.Guards.push_back(*Psi);
+      }
+    } else {
+      // Empty output: an epsilon transition guarded by the satisfiability
+      // of the rule's guard; trim() in the ambiguity check drops it when
+      // the rule can never fire.
+      Result<bool> Sat = S.isSat(T.Guard);
+      if (!Sat)
+        return Sat.status();
+      if (!*Sat) {
+        continue;
+      }
+    }
+    Out.addTransition(std::move(NT));
+  }
+  return Out;
+}
+
+Result<InputContext> genic::sampleInputContext(const Seft &A, Solver &S,
+                                               unsigned ViaState) {
+  const auto &Ts = A.transitions();
+  auto Extend = [&](const ValueList &Prefix,
+                    const SeftTransition &T) -> Result<ValueList> {
+    std::vector<Type> Types(T.Lookahead, A.inputType());
+    Result<std::vector<Value>> M = S.getModel(T.Guard, Types);
+    if (!M)
+      return M.status();
+    ValueList W = Prefix;
+    W.insert(W.end(), M->begin(), M->end());
+    return W;
+  };
+
+  std::vector<std::optional<ValueList>> Forward(A.numStates());
+  Forward[A.initial()] = ValueList{};
+  std::deque<unsigned> Work{A.initial()};
+  while (!Work.empty()) {
+    unsigned P = Work.front();
+    Work.pop_front();
+    for (const SeftTransition &T : Ts) {
+      if (T.From != P || T.To == Seft::FinalState || Forward[T.To])
+        continue;
+      Result<bool> Sat = S.isSat(T.Guard);
+      if (!Sat)
+        return Sat.status();
+      if (!*Sat)
+        continue;
+      Result<ValueList> W = Extend(*Forward[P], T);
+      if (!W)
+        return W.status();
+      Forward[T.To] = *W;
+      Work.push_back(T.To);
+    }
+  }
+  if (!Forward[ViaState])
+    return Status::error("sampleInputContext: state unreachable");
+
+  std::vector<std::optional<ValueList>> Backward(A.numStates());
+  for (const SeftTransition &T : Ts) {
+    if (T.To != Seft::FinalState || Backward[T.From])
+      continue;
+    Result<bool> Sat = S.isSat(T.Guard);
+    if (!Sat)
+      return Sat.status();
+    if (!*Sat)
+      continue;
+    Result<ValueList> W = Extend(ValueList{}, T);
+    if (!W)
+      return W.status();
+    Backward[T.From] = *W;
+    Work.push_back(T.From);
+  }
+  while (!Work.empty()) {
+    unsigned Q = Work.front();
+    Work.pop_front();
+    for (const SeftTransition &T : Ts) {
+      if (T.To != Q || Backward[T.From])
+        continue;
+      Result<bool> Sat = S.isSat(T.Guard);
+      if (!Sat)
+        return Sat.status();
+      if (!*Sat)
+        continue;
+      Result<ValueList> Middle = Extend(ValueList{}, T);
+      if (!Middle)
+        return Middle.status();
+      ValueList W = *Middle;
+      W.insert(W.end(), Backward[Q]->begin(), Backward[Q]->end());
+      Backward[T.From] = W;
+      Work.push_back(T.From);
+    }
+  }
+  if (!Backward[ViaState])
+    return Status::error(
+        "sampleInputContext: state cannot reach a finalizer");
+  return InputContext{*Forward[ViaState], *Backward[ViaState]};
+}
+
+namespace {
+
+/// Reconstructs an input list whose run follows \p Path (a sequence of rule
+/// indices) and produces exactly \p OutputWord: for each rule, solves for an
+/// input tuple matching the consumed output symbols.
+Result<ValueList> inputForPath(const Seft &A, Solver &S,
+                               const std::vector<unsigned> &Path,
+                               const ValueList &OutputWord) {
+  TermFactory &F = S.factory();
+  ValueList Input;
+  size_t Pos = 0;
+  for (unsigned Id : Path) {
+    const SeftTransition &T = A.transitions()[Id];
+    if (Pos + T.Outputs.size() > OutputWord.size())
+      return Status::error("inputForPath: path produces too many symbols");
+    std::vector<TermRef> Conjuncts{T.Guard};
+    for (size_t J = 0, K = T.Outputs.size(); J != K; ++J)
+      Conjuncts.push_back(
+          F.mkEq(T.Outputs[J], F.mkConst(OutputWord[Pos + J])));
+    Pos += T.Outputs.size();
+    if (T.Lookahead == 0)
+      continue;
+    std::vector<Type> Types(T.Lookahead, A.inputType());
+    Result<std::vector<Value>> M =
+        S.getModel(F.mkAnd(std::move(Conjuncts)), Types);
+    if (!M)
+      return M.status();
+    Input.insert(Input.end(), M->begin(), M->end());
+  }
+  if (Pos != OutputWord.size())
+    return Status::error("inputForPath: path produces too few symbols");
+  return Input;
+}
+
+} // namespace
+
+Result<InjectivityResult> genic::checkInjectivity(const Seft &A, Solver &S) {
+  // Part 1: transition-injectivity (Lemma 4.7).
+  Result<std::optional<TransitionInjectivityViolation>> TI =
+      checkTransitionInjectivity(A, S);
+  if (!TI)
+    return TI.status();
+  if (TI->has_value()) {
+    const TransitionInjectivityViolation &V = **TI;
+    const SeftTransition &T = A.transitions()[V.Transition];
+    InjectivityResult R;
+    R.Injective = false;
+    R.Detail = "rule " + std::to_string(V.Transition) +
+               " is not injective: inputs " + toString(V.InputA) + " and " +
+               toString(V.InputB) + " produce the same output";
+    // Embed the conflicting tuples into full input lists sharing a prefix
+    // and suffix; both lists then transduce to the same output.
+    Result<InputContext> Ctx = sampleInputContext(A, S, T.From);
+    if (Ctx) {
+      ValueList U1 = Ctx->Prefix, U2 = Ctx->Prefix;
+      U1.insert(U1.end(), V.InputA.begin(), V.InputA.end());
+      U2.insert(U2.end(), V.InputB.begin(), V.InputB.end());
+      if (T.To != Seft::FinalState) {
+        Result<InputContext> After = sampleInputContext(A, S, T.To);
+        if (!After)
+          return After.status();
+        U1.insert(U1.end(), After->Suffix.begin(), After->Suffix.end());
+        U2.insert(U2.end(), After->Suffix.begin(), After->Suffix.end());
+      }
+      R.Witness = {U1, U2};
+    }
+    return R;
+  }
+
+  // Part 2: path-injectivity via ambiguity of the output automaton
+  // (Lemmas 4.10 and 4.14), CEGAR-style: first with cheap hull
+  // projections, then — only if a witness fails to validate — with exact
+  // interval-learned projections.
+  for (bool AllowHull : {true, false}) {
+    Result<CartesianSefa> AO = buildOutputAutomaton(A, S, AllowHull);
+    if (!AO)
+      return AO.status();
+    Result<std::optional<AmbiguityWitness>> Amb = checkAmbiguity(*AO, S);
+    if (!Amb)
+      return Amb.status();
+    if (!Amb->has_value())
+      return InjectivityResult{true, std::nullopt, ""};
+
+    const AmbiguityWitness &W = **Amb;
+    InjectivityResult R;
+    R.Injective = false;
+    R.Detail = "two accepting paths produce the output " + toString(W.Word);
+    if (W.PathA.empty() && W.PathB.empty()) {
+      R.Detail += " (epsilon-cycle ambiguity: unboundedly many paths)";
+      return R;
+    }
+    Result<ValueList> U1 = inputForPath(A, S, W.PathA, W.Word);
+    Result<ValueList> U2 = inputForPath(A, S, W.PathB, W.Word);
+    if (U1 && U2) {
+      R.Witness = {*U1, *U2};
+      return R;
+    }
+    // Spurious witness: the hull over-approximation was too coarse.
+    // Retry with exact projections; if those also produce an unrealizable
+    // witness, some rule's image predicate is genuinely not Cartesian and
+    // the instance falls outside the decidable fragment.
+    if (!AllowHull)
+      return Status::error(
+          "ambiguity witness " + toString(W.Word) +
+          " could not be realized by concrete inputs; some rule's output "
+          "predicate is not Cartesian, so injectivity is undecidable here "
+          "(Theorems 4.8/4.16)");
+  }
+  unreachable("CEGAR loop must return");
+}

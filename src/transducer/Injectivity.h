@@ -1,0 +1,89 @@
+//===- transducer/Injectivity.h - §4: checking s-EFT injectivity ----------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The injectivity decision procedure of Section 4. By Theorem 4.6 an
+/// unambiguous s-EFT is injective iff it is transition-injective (every rule
+/// maps distinct input tuples to distinct output tuples, Definition 4.2) and
+/// path-injective (distinct accepting paths produce distinct outputs,
+/// Definition 4.4). Transition-injectivity is one satisfiability query per
+/// rule (Lemma 4.7); path-injectivity reduces to unambiguity of the output
+/// automaton A_O (Lemma 4.10), which is decidable when A_O is Cartesian
+/// (Lemma 4.14) — and undecidable in general (Theorem 4.8), so the check
+/// reports an error outside the Cartesian fragment.
+///
+/// A negative answer comes with a concrete counterexample: two distinct
+/// input lists that the transducer maps to the same output list, matching
+/// GENIC's isInjective operation (§3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_TRANSDUCER_INJECTIVITY_H
+#define GENIC_TRANSDUCER_INJECTIVITY_H
+
+#include "automata/Sefa.h"
+#include "solver/Solver.h"
+#include "support/Result.h"
+#include "transducer/Seft.h"
+
+#include <optional>
+#include <string>
+
+namespace genic {
+
+/// A rule that conflates two input tuples (Definition 4.2 violated).
+struct TransitionInjectivityViolation {
+  unsigned Transition;
+  /// Two distinct tuples of the rule's lookahead length with equal outputs.
+  ValueList InputA;
+  ValueList InputB;
+};
+
+/// Lemma 4.7: one satisfiability query per rule.
+Result<std::optional<TransitionInjectivityViolation>>
+checkTransitionInjectivity(const Seft &A, Solver &S);
+
+/// Definition 4.9 with the epsilon-step collapsed: builds the output
+/// automaton whose transition with id i carries the per-position
+/// projections of rule i's image predicate. For Cartesian predicates
+/// (Definition 4.12) the decomposition is exact; otherwise it
+/// over-approximates, which checkInjectivity compensates for by validating
+/// ambiguity witnesses against the real transducer.
+Result<CartesianSefa> buildOutputAutomaton(const Seft &A, Solver &S);
+
+/// As above, controlling whether wide bit-vector projections may use the
+/// over-approximating [min, max] hull (sound for the ambiguity check, whose
+/// witnesses are validated) instead of exact interval learning.
+Result<CartesianSefa> buildOutputAutomaton(const Seft &A, Solver &S,
+                                           bool AllowHull);
+
+/// Outcome of the injectivity check.
+struct InjectivityResult {
+  bool Injective = false;
+  /// When not injective: two distinct input lists with the same output.
+  /// Absent only if witness reconstruction was impossible (epsilon-cycle
+  /// ambiguity); Detail then explains.
+  std::optional<std::pair<ValueList, ValueList>> Witness;
+  std::string Detail;
+};
+
+/// Theorem 4.6 / Theorem 4.16: the full injectivity check. \p A must be
+/// unambiguous (use checkDeterminism first; GENIC does).
+Result<InjectivityResult> checkInjectivity(const Seft &A, Solver &S);
+
+/// A shortest-ish input list prefix driving \p A from the initial state to
+/// \p ViaState, and a suffix from \p ViaState to acceptance, built from
+/// guard models. Used for witness construction and by tests.
+struct InputContext {
+  ValueList Prefix;
+  ValueList Suffix;
+};
+Result<InputContext> sampleInputContext(const Seft &A, Solver &S,
+                                        unsigned ViaState);
+
+} // namespace genic
+
+#endif // GENIC_TRANSDUCER_INJECTIVITY_H

@@ -1,0 +1,163 @@
+//===- transducer/Invert.cpp -----------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transducer/Invert.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace genic;
+
+bool InversionOutcome::complete() const {
+  for (const RuleInversionRecord &R : Records)
+    if (!R.Inverted)
+      return false;
+  return true;
+}
+
+double InversionOutcome::totalSeconds() const {
+  double Total = 0;
+  for (const RuleInversionRecord &R : Records)
+    Total += R.Seconds;
+  return Total;
+}
+
+double InversionOutcome::maxRuleSeconds() const {
+  double Max = 0;
+  for (const RuleInversionRecord &R : Records)
+    Max = std::max(Max, R.Seconds);
+  return Max;
+}
+
+namespace {
+
+/// Greedy redundant-conjunct elimination: drops any conjunct implied by the
+/// remaining ones, largest first. The g-derived guards contain membership
+/// disjunctions that the round-trip equations already entail; stripping
+/// them is what keeps the emitted programs close to hand-written size
+/// (Figure 6).
+TermRef simplifyGuard(TermFactory &F, Solver &S, TermRef Guard) {
+  std::vector<TermRef> Conjuncts;
+  if (Guard->op() == Op::And)
+    Conjuncts.assign(Guard->children().begin(), Guard->children().end());
+  else
+    Conjuncts.push_back(Guard);
+  std::sort(Conjuncts.begin(), Conjuncts.end(),
+            [](TermRef A, TermRef B) { return A->size() > B->size(); });
+  for (size_t I = 0; I < Conjuncts.size();) {
+    std::vector<TermRef> Rest;
+    for (size_t J = 0; J < Conjuncts.size(); ++J)
+      if (J != I)
+        Rest.push_back(Conjuncts[J]);
+    // Implied iff Rest /\ not C is unsatisfiable (with Rest empty this is
+    // a validity check, dropping guards of total bijections). Unknown
+    // keeps the conjunct — sound either way; the guard is exact by
+    // construction.
+    TermRef Query = F.mkAnd(F.mkAnd(Rest), F.mkNot(Conjuncts[I]));
+    if (S.checkSat(Query) == SatResult::Unsat)
+      Conjuncts.erase(Conjuncts.begin() + I);
+    else
+      ++I;
+  }
+  return F.mkAnd(std::move(Conjuncts));
+}
+
+} // namespace
+
+Result<InversionOutcome> genic::invertSeft(
+    const Seft &A, Solver &S, const RecoverySynthesizer &Synthesize) {
+  // The inverse swaps input and output types but keeps the state structure
+  // (Theorem 5.4: A^-1 = (Q, q0, { r^-1 | r in Delta })).
+  InversionOutcome Out{
+      Seft(A.numStates(), A.initial(), A.outputType(), A.inputType()),
+      {}};
+
+  const auto &Ts = A.transitions();
+  for (unsigned Index = 0, E = Ts.size(); Index != E; ++Index) {
+    const SeftTransition &T = Ts[Index];
+    Timer RuleTimer;
+    RuleInversionRecord Record;
+    Record.Rule = Index;
+
+    ImagePredicate P{T.Guard, T.Outputs, T.Lookahead};
+
+    // Dead rule (guard never fires): nothing to invert.
+    Result<bool> Fires = S.isSat(T.Guard);
+    if (!Fires) {
+      Record.Seconds = RuleTimer.seconds();
+      Record.Error = "guard satisfiability: " + Fires.status().message();
+      Out.Records.push_back(std::move(Record));
+      continue;
+    }
+    if (!*Fires) {
+      Record.Seconds = RuleTimer.seconds();
+      Record.Inverted = true;
+      Out.Records.push_back(std::move(Record));
+      continue;
+    }
+
+    // Output functions g_i, one per original input position.
+    SeftTransition Inv;
+    Inv.From = T.From;
+    Inv.To = T.To;
+    Inv.Lookahead = T.Outputs.size();
+    bool Ok = true;
+    for (unsigned I = 0; I < T.Lookahead; ++I) {
+      Result<TermRef> G = Synthesize(P, I, A.inputType());
+      if (!G) {
+        Record.Error = "output " + std::to_string(I) + ": " +
+                       G.status().message();
+        Ok = false;
+        break;
+      }
+      Inv.Outputs.push_back(*G);
+    }
+
+    // Guard psi(y) == exists x . phi(x) /\ y = f(x). With the recoveries g
+    // in hand there is an exact quantifier-free form — the witness x must
+    // be g(y) itself:
+    //   psi(y) == phi(g(y)) /\ f(g(y)) = y /\ definedness of all calls.
+    // (If y = f(x) with phi(x), then g(f(x)) = x by the synthesis spec, so
+    // g(y) is a witness; conversely g(y) witnesses the existential.) This
+    // sidesteps quantifier elimination entirely, and the definedness
+    // conjuncts are the "pred" guards of the paper's Figure 3.
+    if (Ok) {
+      TermFactory &F = S.factory();
+      std::vector<TermRef> Conjuncts;
+      TermRef PhiG = F.substitute(T.Guard, Inv.Outputs);
+      Conjuncts.push_back(F.calleeDomains(PhiG));
+      Conjuncts.push_back(PhiG);
+      for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J) {
+        TermRef FG = F.substitute(T.Outputs[J], Inv.Outputs);
+        Conjuncts.push_back(F.calleeDomains(FG));
+        Conjuncts.push_back(
+            F.mkEq(FG, F.mkVar(J, A.outputType())));
+      }
+      for (TermRef G : Inv.Outputs)
+        Conjuncts.push_back(F.calleeDomains(G));
+      Inv.Guard = simplifyGuard(F, S, F.mkAnd(std::move(Conjuncts)));
+    }
+    Record.Seconds = RuleTimer.seconds();
+    Record.Inverted = Ok;
+    if (Ok) {
+      // A rule with empty output inverts to a lookahead-0 rule, which is
+      // only well-formed as a finalizer; for non-finalizers the rule is
+      // dropped with an explanatory record (such rules make the transducer
+      // non-injective anyway unless their guard pins a unique tuple).
+      if (Inv.Lookahead == 0 && Inv.To != Seft::FinalState && T.Lookahead > 0) {
+        Record.Inverted = false;
+        Record.Error = "rule consumes input but writes nothing; its inverse "
+                       "is not expressible as an s-EFT rule";
+        Out.Records.push_back(std::move(Record));
+        continue;
+      }
+      Out.Inverse.addTransition(std::move(Inv));
+    }
+    Out.Records.push_back(std::move(Record));
+  }
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- transducer/Invert.h - §5: inverting s-EFTs --------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inversion algorithm of Theorem 5.4: the inverse of an injective
+/// unambiguous s-EFT is obtained by inverting every rule independently
+/// (Definition 5.2). For a rule (p, l, phi, f, q) the inverse rule is
+/// (p, k, psi, g, q) where
+///
+///   - k = |f| (the inverse reads what the rule wrote),
+///   - psi(y) == exists x . phi(x) /\ y = f(x), computed quantifier-free by
+///     the solver (quantifier elimination, §6), and
+///   - g recovers the inputs: forall x . phi(x) -> g(f(x)) = x, which is a
+///     syntax-guided synthesis problem (§6). The synthesis engine is
+///     injected through a hook so this module stays independent of the
+///     concrete SyGuS implementation.
+///
+/// Per-rule wall-clock times are recorded: Table 1 reports both the total
+/// inversion time and the maximum single-rule time (the paper's max-tr),
+/// and observes that rules can be inverted in parallel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_TRANSDUCER_INVERT_H
+#define GENIC_TRANSDUCER_INVERT_H
+
+#include "solver/Solver.h"
+#include "support/Result.h"
+#include "transducer/Seft.h"
+
+#include <functional>
+#include <vector>
+
+namespace genic {
+
+/// Callback that synthesizes the recovery function g_i for one rule: a term
+/// g over Var(0..P.arity()-1) (the outputs y) such that
+///   forall x . P.Guard(x) -> g(P.Outputs(x)) = x_XIndex.
+/// The paper observes (§6) that the g_i are independent, so they are
+/// requested one at a time.
+using RecoverySynthesizer =
+    std::function<Result<TermRef>(const ImagePredicate &P, unsigned XIndex,
+                                  Type InputType)>;
+
+/// Timing and outcome per rule, feeding Table 1 and Figure 4.
+struct RuleInversionRecord {
+  unsigned Rule = 0;
+  double Seconds = 0;
+  bool Inverted = false;
+  std::string Error;
+};
+
+struct InversionOutcome {
+  /// The inverse transducer. Present even on partial failure: rules that
+  /// could not be inverted are simply missing (the paper's UTF-8 encoder
+  /// row, where 3 of 4 rules inverted).
+  Seft Inverse;
+  std::vector<RuleInversionRecord> Records;
+
+  /// Whether every rule was inverted.
+  bool complete() const;
+  /// Total and maximum per-rule times (Table 1's "total" and "max-tr").
+  double totalSeconds() const;
+  double maxRuleSeconds() const;
+};
+
+/// Inverts \p A rule by rule. \p A must be injective (checkInjectivity);
+/// the guard psi is computed with Solver::imageToTerm and the outputs with
+/// \p Synthesize. Hard errors (e.g. solver failures on the guard) abort;
+/// per-rule synthesis failures are recorded and skipped.
+Result<InversionOutcome> invertSeft(const Seft &A, Solver &S,
+                                    const RecoverySynthesizer &Synthesize);
+
+} // namespace genic
+
+#endif // GENIC_TRANSDUCER_INVERT_H

@@ -1,0 +1,100 @@
+//===- transducer/Sampling.cpp ---------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transducer/Sampling.h"
+
+#include "term/Eval.h"
+
+#include <unordered_map>
+
+using namespace genic;
+
+namespace {
+
+/// A symbol tuple satisfying \p Guard: native rejection sampling first
+/// (diverse and fast on loose guards), then a solver model.
+Result<std::vector<Value>> instantiate(const SeftTransition &T, Solver &S,
+                                       const Type &InputType,
+                                       std::mt19937_64 &Rng) {
+  auto RandomValue = [&] {
+    if (InputType.isInt()) {
+      int64_t Span = (Rng() % 8 == 0) ? 4096 : 64;
+      return Value::intVal(static_cast<int64_t>(Rng() % (2 * Span + 1)) -
+                           Span);
+    }
+    return Value::bitVecVal(Rng(), InputType.width());
+  };
+  for (unsigned Attempt = 0; Attempt < 64; ++Attempt) {
+    std::vector<Value> Tuple;
+    for (unsigned I = 0; I < T.Lookahead; ++I)
+      Tuple.push_back(RandomValue());
+    if (!evalBool(T.Guard, Tuple))
+      continue;
+    bool Defined = true;
+    for (TermRef O : T.Outputs)
+      Defined &= eval(O, Tuple).has_value();
+    if (Defined)
+      return Tuple;
+  }
+  std::vector<Type> Types(T.Lookahead, InputType);
+  return S.getModel(T.Guard, Types);
+}
+
+} // namespace
+
+Result<ValueList> genic::randomAcceptedInput(const Seft &A, Solver &S,
+                                             std::mt19937_64 &Rng,
+                                             unsigned TargetSteps) {
+  // Satisfiability of each rule's guard, computed lazily once.
+  std::unordered_map<unsigned, bool> Firable;
+  auto CanFire = [&](unsigned Index) -> Result<bool> {
+    auto It = Firable.find(Index);
+    if (It != Firable.end())
+      return It->second;
+    Result<bool> Sat = S.isSat(A.transitions()[Index].Guard);
+    if (!Sat)
+      return Sat;
+    Firable.emplace(Index, *Sat);
+    return *Sat;
+  };
+
+  ValueList Input;
+  unsigned State = A.initial();
+  for (unsigned Step = 0, Limit = 10 * TargetSteps + 16; Step < Limit;
+       ++Step) {
+    std::vector<unsigned> Continuing, Finishing;
+    for (unsigned I = 0, E = A.transitions().size(); I != E; ++I) {
+      const SeftTransition &T = A.transitions()[I];
+      if (T.From != State)
+        continue;
+      Result<bool> Ok = CanFire(I);
+      if (!Ok)
+        return Ok.status();
+      if (!*Ok)
+        continue;
+      (T.To == Seft::FinalState ? Finishing : Continuing).push_back(I);
+    }
+    bool Finish = Continuing.empty() ||
+                  (!Finishing.empty() && Step >= TargetSteps) ||
+                  (!Finishing.empty() && Rng() % 8 == 0);
+    if (Finish && Finishing.empty())
+      return Status::error("random walk stuck: state " +
+                           std::to_string(State) + " cannot finish");
+    const std::vector<unsigned> &Pool = Finish ? Finishing : Continuing;
+    const SeftTransition &T =
+        A.transitions()[Pool[Rng() % Pool.size()]];
+    Result<std::vector<Value>> Tuple =
+        instantiate(T, S, A.inputType(), Rng);
+    if (!Tuple)
+      return Tuple.status();
+    Input.insert(Input.end(), Tuple->begin(), Tuple->end());
+    if (T.To == Seft::FinalState)
+      return Input;
+    State = T.To;
+  }
+  return Status::error("random walk did not terminate (is the machine "
+                       "co-reachable?)");
+}

@@ -1,0 +1,40 @@
+//===- transducer/Sampling.h - Random accepted inputs ----------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized generation of inputs a transducer accepts, by walking its
+/// rule graph and instantiating guards with solver models. Used by `genic
+/// verify` (differential testing of claimed encoder/decoder pairs, the §1
+/// user story) and by property tests; complements the oracle-driven
+/// samplers of the corpus, which only exist for the built-in coders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_TRANSDUCER_SAMPLING_H
+#define GENIC_TRANSDUCER_SAMPLING_H
+
+#include "solver/Solver.h"
+#include "support/Result.h"
+#include "transducer/Seft.h"
+
+#include <random>
+
+namespace genic {
+
+/// Generates an input list that \p A accepts, by a random walk of about
+/// \p TargetSteps rules: at each state a random applicable rule fires with
+/// its guard instantiated by a solver model (randomly perturbed for
+/// diversity where the guard allows), until a finalizer is taken. Errors
+/// only if the walk reaches a state that cannot finish (the machine should
+/// be trimmed/co-reachable, as lowered GENIC programs are) or on solver
+/// failures.
+Result<ValueList> randomAcceptedInput(const Seft &A, Solver &S,
+                                      std::mt19937_64 &Rng,
+                                      unsigned TargetSteps);
+
+} // namespace genic
+
+#endif // GENIC_TRANSDUCER_SAMPLING_H

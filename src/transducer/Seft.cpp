@@ -1,0 +1,147 @@
+//===- transducer/Seft.cpp -------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transducer/Seft.h"
+
+#include "term/Eval.h"
+#include "term/Printer.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace genic;
+
+void Seft::addTransition(SeftTransition T) {
+  assert(T.From < NumStates && "transition from unknown state");
+  assert((T.To == FinalState || T.To < NumStates) &&
+         "transition to unknown state");
+  assert((T.To == FinalState || T.Lookahead >= 1) &&
+         "non-finalizer rules must consume at least one symbol");
+  assert(T.Guard && "rule needs a guard");
+  Transitions.push_back(std::move(T));
+}
+
+unsigned Seft::lookahead() const {
+  unsigned L = 0;
+  for (const SeftTransition &T : Transitions)
+    L = std::max(L, T.Lookahead);
+  return L;
+}
+
+namespace {
+
+/// Evaluates whether rule \p T fires on the symbols at \p Pos and, if so,
+/// appends its outputs to \p Out. Firing requires the guard to hold and
+/// every output to be defined.
+bool fire(const SeftTransition &T, const ValueList &Input, size_t Pos,
+          ValueList &Out) {
+  if (Pos + T.Lookahead > Input.size())
+    return false;
+  std::vector<Value> Window(Input.begin() + Pos,
+                            Input.begin() + Pos + T.Lookahead);
+  if (!evalBool(T.Guard, Window))
+    return false;
+  ValueList Produced;
+  Produced.reserve(T.Outputs.size());
+  for (TermRef F : T.Outputs) {
+    std::optional<Value> V = eval(F, Window);
+    if (!V)
+      return false; // Output undefined: the non-symbolic rule does not exist.
+    Produced.push_back(*V);
+  }
+  Out.insert(Out.end(), Produced.begin(), Produced.end());
+  return true;
+}
+
+} // namespace
+
+std::vector<ValueList> Seft::transduce(const ValueList &Input,
+                                       unsigned Cap) const {
+  std::vector<ValueList> Results;
+  ValueList Out;
+  // DFS over (state, position). Input positions only advance (lookahead >= 1
+  // on non-finalizers), so the search terminates.
+  std::function<void(unsigned, size_t)> Go = [&](unsigned State, size_t Pos) {
+    if (Results.size() >= Cap)
+      return;
+    for (const SeftTransition &T : Transitions) {
+      if (T.From != State)
+        continue;
+      if (T.To == FinalState && Pos + T.Lookahead != Input.size())
+        continue;
+      size_t Mark = Out.size();
+      if (!fire(T, Input, Pos, Out))
+        continue;
+      if (T.To == FinalState)
+        Results.push_back(Out);
+      else
+        Go(T.To, Pos + T.Lookahead);
+      Out.resize(Mark);
+      if (Results.size() >= Cap)
+        return;
+    }
+  };
+  Go(Initial, 0);
+  return Results;
+}
+
+std::optional<ValueList> Seft::transduceFunctional(
+    const ValueList &Input) const {
+  std::vector<ValueList> Results = transduce(Input, 2);
+  assert(Results.size() <= 1 &&
+         "transduceFunctional on an ambiguous transducer");
+  if (Results.empty())
+    return std::nullopt;
+  return Results.front();
+}
+
+std::optional<std::vector<unsigned>> Seft::path(const ValueList &Input) const {
+  std::vector<unsigned> Trace;
+  std::optional<std::vector<unsigned>> Found;
+  ValueList Scratch;
+  std::function<void(unsigned, size_t)> Go = [&](unsigned State, size_t Pos) {
+    if (Found)
+      return;
+    for (unsigned I = 0, E = Transitions.size(); I != E; ++I) {
+      const SeftTransition &T = Transitions[I];
+      if (T.From != State)
+        continue;
+      if (T.To == FinalState && Pos + T.Lookahead != Input.size())
+        continue;
+      size_t Mark = Scratch.size();
+      if (!fire(T, Input, Pos, Scratch))
+        continue;
+      Scratch.resize(Mark);
+      Trace.push_back(I);
+      if (T.To == FinalState)
+        Found = Trace;
+      else
+        Go(T.To, Pos + T.Lookahead);
+      Trace.pop_back();
+      if (Found)
+        return;
+    }
+  };
+  Go(Initial, 0);
+  return Found;
+}
+
+std::string Seft::str() const {
+  std::string Out = "s-EFT(states=" + std::to_string(NumStates) +
+                    ", initial=" + std::to_string(Initial) + ")\n";
+  for (const SeftTransition &T : Transitions) {
+    Out += "  q" + std::to_string(T.From) + " --" + printTerm(T.Guard) + "/[";
+    for (size_t I = 0, E = T.Outputs.size(); I != E; ++I) {
+      if (I)
+        Out += ", ";
+      Out += printTerm(T.Outputs[I]);
+    }
+    Out += "]/" + std::to_string(T.Lookahead) + "--> ";
+    Out += T.To == FinalState ? "FINAL" : "q" + std::to_string(T.To);
+    Out += "\n";
+  }
+  return Out;
+}

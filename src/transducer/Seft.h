@@ -1,0 +1,103 @@
+//===- transducer/Seft.h - Symbolic extended finite transducers -----------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The s-EFT model of Definition 3.2: a finite-state machine whose
+/// transitions read l adjacent input symbols (the lookahead), check a guard
+/// predicate over them, and append the results of output functions to the
+/// output list. Finalizers (transitions targeting the virtual state
+/// FinalState, written "•" in the paper) end a run with exactly their
+/// lookahead symbols remaining.
+///
+/// Guards are responsible for definedness: the GENIC lowering conjoins the
+/// domain predicates of partial auxiliary functions used in the outputs into
+/// the transition guard, so that a firing transition always has defined
+/// outputs. The semantics here re-checks definedness defensively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_TRANSDUCER_SEFT_H
+#define GENIC_TRANSDUCER_SEFT_H
+
+#include "term/Term.h"
+#include "term/Value.h"
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace genic {
+
+/// One rule of an s-EFT (Definition 3.2).
+struct SeftTransition {
+  unsigned From = 0;
+  /// Target state, or Seft::FinalState for a finalizer.
+  unsigned To = 0;
+  /// Number of input symbols consumed. At least 1 for non-finalizers;
+  /// finalizers may have lookahead 0 (they accept the empty remainder).
+  unsigned Lookahead = 1;
+  /// Guard over Var(0..Lookahead-1).
+  TermRef Guard = nullptr;
+  /// Output functions over Var(0..Lookahead-1); the transition appends
+  /// [f_0(x), ..., f_k(x)] to the output list.
+  std::vector<TermRef> Outputs;
+};
+
+/// A symbolic extended finite transducer; see file comment.
+class Seft {
+public:
+  static constexpr unsigned FinalState = std::numeric_limits<unsigned>::max();
+
+  Seft(unsigned NumStates, unsigned Initial, Type InputType, Type OutputType)
+      : NumStates(NumStates), Initial(Initial), InputType(InputType),
+        OutputType(OutputType) {}
+
+  unsigned numStates() const { return NumStates; }
+  unsigned initial() const { return Initial; }
+  const Type &inputType() const { return InputType; }
+  const Type &outputType() const { return OutputType; }
+  const std::vector<SeftTransition> &transitions() const {
+    return Transitions;
+  }
+
+  unsigned addState() { return NumStates++; }
+
+  /// Appends a rule; asserts basic well-formedness.
+  void addTransition(SeftTransition T);
+
+  /// Maximum lookahead over all rules (the "lookahead of A", Def. 3.2).
+  unsigned lookahead() const;
+
+  /// All outputs of the transduction T_A(Input) (Definition 3.5), up to
+  /// \p Cap results. Unambiguous transducers produce at most one.
+  std::vector<ValueList> transduce(const ValueList &Input,
+                                   unsigned Cap = 4) const;
+
+  /// The unique output, or std::nullopt when the transduction is undefined.
+  /// Asserts (in debug builds) that at most one output exists; use only on
+  /// unambiguous transducers.
+  std::optional<ValueList> transduceFunctional(const ValueList &Input) const;
+
+  /// The unique accepting path of \p Input as a sequence of transition
+  /// indices, or std::nullopt if the input is rejected. Use on unambiguous
+  /// transducers.
+  std::optional<std::vector<unsigned>> path(const ValueList &Input) const;
+
+  /// Renders the transducer for debugging.
+  std::string str() const;
+
+private:
+  unsigned NumStates;
+  unsigned Initial;
+  Type InputType;
+  Type OutputType;
+  std::vector<SeftTransition> Transitions;
+};
+
+} // namespace genic
+
+#endif // GENIC_TRANSDUCER_SEFT_H

@@ -1,0 +1,128 @@
+//===- tests/ambiguity_paths_test.cpp - Witness path reconstruction -------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ambiguity checker returns, along with the witness word, the two
+/// distinct accepting paths as sequences of original transition ids —
+/// that is what lets checkInjectivity rebuild two colliding input lists.
+/// These tests pin down the path semantics (Definition 3.4: paths are
+/// sequences of rules) across expansion, epsilon elimination, and
+/// composition.
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/Ambiguity.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+class AmbiguityPathsTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Solver S{F};
+  Type I = Type::intTy();
+  TermRef X = F.mkVar(0, Type::intTy());
+
+  TermRef gt(int64_t C) { return F.mkIntOp(Op::IntGt, X, F.mkInt(C)); }
+  TermRef lt(int64_t C) { return F.mkIntOp(Op::IntLt, X, F.mkInt(C)); }
+};
+
+TEST_F(AmbiguityPathsTest, DirectOverlapPaths) {
+  CartesianSefa A(1, 0, I);
+  A.addTransition({0, CartesianSefa::FinalState, {lt(10)}, 7});
+  A.addTransition({0, CartesianSefa::FinalState, {gt(-10)}, 9});
+  auto R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  // One path per rule, identified by the transition ids we supplied.
+  std::vector<unsigned> Both{(*R)->PathA[0], (*R)->PathB[0]};
+  std::sort(Both.begin(), Both.end());
+  EXPECT_EQ(Both, (std::vector<unsigned>{7, 9}));
+  EXPECT_EQ((*R)->PathA.size(), 1u);
+  EXPECT_EQ((*R)->PathB.size(), 1u);
+}
+
+TEST_F(AmbiguityPathsTest, MultiStepPathsAreSequences) {
+  // Two two-step decompositions of the same 2-symbol words:
+  //   q0 --[T]--> q1 --[T]--> FINAL  (ids 1, 2)
+  //   q0 --[T, T]/2--> FINAL         (id 3)
+  CartesianSefa A(2, 0, I);
+  A.addTransition({0, 1, {F.mkTrue()}, 1});
+  A.addTransition({1, CartesianSefa::FinalState, {F.mkTrue()}, 2});
+  A.addTransition({0, CartesianSefa::FinalState, {F.mkTrue(), F.mkTrue()}, 3});
+  auto R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  EXPECT_EQ((*R)->Word.size(), 2u);
+  std::vector<std::vector<unsigned>> Paths{(*R)->PathA, (*R)->PathB};
+  std::sort(Paths.begin(), Paths.end());
+  EXPECT_EQ(Paths[0], (std::vector<unsigned>{1, 2}));
+  EXPECT_EQ(Paths[1], (std::vector<unsigned>{3}));
+}
+
+TEST_F(AmbiguityPathsTest, EpsilonCompositionKeepsOriginalIds) {
+  // q0 --eps (id 5)--> q1 --[T] (id 6)--> FINAL  vs  q0 --[T] (id 8)--> FINAL.
+  CartesianSefa A(2, 0, I);
+  A.addTransition({0, 1, {}, 5});
+  A.addTransition({1, CartesianSefa::FinalState, {F.mkTrue()}, 6});
+  A.addTransition({0, CartesianSefa::FinalState, {F.mkTrue()}, 8});
+  auto R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  std::vector<std::vector<unsigned>> Paths{(*R)->PathA, (*R)->PathB};
+  std::sort(Paths.begin(), Paths.end());
+  EXPECT_EQ(Paths[0], (std::vector<unsigned>{5, 6}));
+  EXPECT_EQ(Paths[1], (std::vector<unsigned>{8}));
+}
+
+TEST_F(AmbiguityPathsTest, EmptyWordPathsAreFinalizerIds) {
+  CartesianSefa A(1, 0, I);
+  A.addTransition({0, CartesianSefa::FinalState, {}, 11});
+  A.addTransition({0, CartesianSefa::FinalState, {}, 12});
+  auto R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  EXPECT_TRUE((*R)->Word.empty());
+  std::vector<unsigned> Both{(*R)->PathA[0], (*R)->PathB[0]};
+  std::sort(Both.begin(), Both.end());
+  EXPECT_EQ(Both, (std::vector<unsigned>{11, 12}));
+}
+
+TEST_F(AmbiguityPathsTest, EpsilonCyclePathsAreEmpty) {
+  CartesianSefa A(1, 0, I);
+  A.addTransition({0, 0, {}, 1});
+  A.addTransition({0, CartesianSefa::FinalState, {gt(0)}, 2});
+  auto R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  EXPECT_TRUE((*R)->PathA.empty());
+  EXPECT_TRUE((*R)->PathB.empty());
+}
+
+TEST_F(AmbiguityPathsTest, SharedPrefixDivergenceLater) {
+  // Both runs share rule 1 for the first symbol, then diverge.
+  CartesianSefa A(2, 0, I);
+  A.addTransition({0, 1, {F.mkTrue()}, 1});
+  A.addTransition({1, CartesianSefa::FinalState, {lt(5)}, 2});
+  A.addTransition({1, CartesianSefa::FinalState, {gt(-5)}, 3});
+  auto R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  ASSERT_EQ((*R)->PathA.size(), 2u);
+  ASSERT_EQ((*R)->PathB.size(), 2u);
+  EXPECT_EQ((*R)->PathA[0], 1u);
+  EXPECT_EQ((*R)->PathB[0], 1u);
+  EXPECT_NE((*R)->PathA[1], (*R)->PathB[1]);
+  // The witness's final symbol lies in the guard overlap.
+  int64_t Last = (*R)->Word.back().getInt();
+  EXPECT_GT(Last, -5);
+  EXPECT_LT(Last, 5);
+}
+
+} // namespace

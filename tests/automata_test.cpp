@@ -1,0 +1,270 @@
+//===- tests/automata_test.cpp - Cartesian s-EFA and ambiguity ------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Ambiguity.h"
+#include "automata/Sefa.h"
+
+#include "solver/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+class AutomataTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Solver S{F};
+  Type I = Type::intTy();
+  TermRef X = F.mkVar(0, Type::intTy());
+
+  TermRef lt(int64_t C) { return F.mkIntOp(Op::IntLt, X, F.mkInt(C)); }
+  TermRef gt(int64_t C) { return F.mkIntOp(Op::IntGt, X, F.mkInt(C)); }
+  TermRef eq(int64_t C) { return F.mkEq(X, F.mkInt(C)); }
+
+  ValueList ints(std::initializer_list<int64_t> Vs) {
+    ValueList L;
+    for (int64_t V : Vs)
+      L.push_back(Value::intVal(V));
+    return L;
+  }
+};
+
+// The output automaton of Example 4.5 / 4.11: ambiguous on [0, 0, 0].
+//   p --[x<5]--> q --[x<5]--> FINAL      (two unary transitions)
+//   p --[x<5, x<5]/2--> FINAL            (one lookahead-2 finalizer)
+// Wait: in Example 4.11 the projections are x0 = y-5 for y>0, i.e. x > -5?
+// The predicates there are "exists y>0. x = y-5" = x > -5 and
+// "exists y0,y1<0. x0=y0+5 /\ x1=y1+5" = x0<5 /\ x1<5. The overlap makes
+// [0,0,0] ... that needs 3 symbols on one path and 2 on the other, which is
+// the three-transition path p,pt1,q,qt2 (2 symbols? no: each t^out consumes
+// one symbol, so that path consumes 2). The paper's [0,0,0] appears to be a
+// typo for [0,0]; we keep the structure and test with the actual overlap.
+CartesianSefa example45Output(TermFactory &F) {
+  Type I = Type::intTy();
+  TermRef X = F.mkVar(0, I);
+  TermRef GtM5 = F.mkIntOp(Op::IntGt, X, F.mkInt(-5)); // image of y-5, y>0
+  TermRef Lt5 = F.mkIntOp(Op::IntLt, X, F.mkInt(5));   // image of y+5, y<0
+  CartesianSefa A(2, 0, I);
+  // p=0, q=1.
+  A.addTransition({0, 1, {GtM5}, 0});                          // t1^out
+  A.addTransition({1, CartesianSefa::FinalState, {GtM5}, 1});  // t2^out
+  A.addTransition({0, CartesianSefa::FinalState, {Lt5, Lt5}, 2}); // t3^out
+  return A;
+}
+
+TEST_F(AutomataTest, AcceptsBasic) {
+  CartesianSefa A = example45Output(F);
+  EXPECT_TRUE(A.accepts(ints({0, 0})));
+  EXPECT_TRUE(A.accepts(ints({7, 9})));   // via the unary path only
+  EXPECT_TRUE(A.accepts(ints({-9, -9}))); // via the binary finalizer only
+  EXPECT_FALSE(A.accepts(ints({})));
+  EXPECT_FALSE(A.accepts(ints({0})));
+  EXPECT_FALSE(A.accepts(ints({0, 0, 0})));
+}
+
+TEST_F(AutomataTest, CountAcceptingPaths) {
+  CartesianSefa A = example45Output(F);
+  EXPECT_EQ(A.countAcceptingPaths(ints({0, 0})), 2u);  // overlap region
+  EXPECT_EQ(A.countAcceptingPaths(ints({7, 9})), 1u);
+  EXPECT_EQ(A.countAcceptingPaths(ints({-9, -9})), 1u);
+  EXPECT_EQ(A.countAcceptingPaths(ints({42})), 0u);
+}
+
+TEST_F(AutomataTest, Example45OutputIsAmbiguous) {
+  CartesianSefa A = example45Output(F);
+  Result<std::optional<AmbiguityWitness>> R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value()) << "expected ambiguous";
+  // The witness really does have two accepting paths.
+  EXPECT_GE(A.countAcceptingPaths((*R)->Word), 2u)
+      << toString((*R)->Word);
+}
+
+TEST_F(AutomataTest, DisjointGuardsAreUnambiguous) {
+  // Same shape as Example 4.5's output but with disjoint value ranges.
+  CartesianSefa A(2, 0, I);
+  A.addTransition({0, 1, {gt(0)}, 0});
+  A.addTransition({1, CartesianSefa::FinalState, {gt(0)}, 1});
+  A.addTransition({0, CartesianSefa::FinalState, {lt(0), lt(0)}, 2});
+  Result<std::optional<AmbiguityWitness>> R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_FALSE(R->has_value());
+}
+
+TEST_F(AutomataTest, TwoOverlappingRulesSameEndpointsAreAmbiguous) {
+  // Distinct rules with overlapping guards are distinct paths (Def. 3.4).
+  CartesianSefa A(1, 0, I);
+  A.addTransition({0, CartesianSefa::FinalState, {lt(10)}, 0});
+  A.addTransition({0, CartesianSefa::FinalState, {gt(-10)}, 1});
+  Result<std::optional<AmbiguityWitness>> R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  EXPECT_EQ((*R)->Word.size(), 1u);
+  int64_t W = (*R)->Word[0].getInt();
+  EXPECT_GT(W, -10);
+  EXPECT_LT(W, 10);
+}
+
+TEST_F(AutomataTest, UnsatisfiableOverlapIsNotAmbiguity) {
+  CartesianSefa A(1, 0, I);
+  A.addTransition({0, CartesianSefa::FinalState, {lt(0)}, 0});
+  A.addTransition({0, CartesianSefa::FinalState, {gt(0)}, 1});
+  Result<std::optional<AmbiguityWitness>> R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_FALSE(R->has_value());
+}
+
+TEST_F(AutomataTest, UnreachableOverlapIsTrimmedAway) {
+  // Overlapping rules exist at state 2, but state 2 is unreachable.
+  CartesianSefa A(3, 0, I);
+  A.addTransition({0, 1, {gt(0)}, 0});
+  A.addTransition({1, CartesianSefa::FinalState, {gt(0)}, 1});
+  A.addTransition({2, CartesianSefa::FinalState, {lt(5)}, 2});
+  A.addTransition({2, CartesianSefa::FinalState, {gt(-5)}, 3});
+  Result<std::optional<AmbiguityWitness>> R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_FALSE(R->has_value());
+}
+
+TEST_F(AutomataTest, DeadEndOverlapIsNotAmbiguity) {
+  // Two overlapping transitions into a state that cannot accept.
+  CartesianSefa A(2, 0, I);
+  A.addTransition({0, 1, {lt(5)}, 0});
+  A.addTransition({0, 1, {gt(-5)}, 1});
+  // No transition out of state 1: trimming removes everything.
+  Result<std::optional<AmbiguityWitness>> R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_FALSE(R->has_value());
+}
+
+TEST_F(AutomataTest, EpsilonCycleIsAmbiguous) {
+  // A lookahead-0 self loop on an accepting path: unboundedly many paths.
+  CartesianSefa A(1, 0, I);
+  A.addTransition({0, 0, {}, 0}); // epsilon self loop
+  A.addTransition({0, CartesianSefa::FinalState, {gt(0)}, 1});
+  Result<std::optional<AmbiguityWitness>> R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  EXPECT_GE(A.countAcceptingPaths((*R)->Word), 2u);
+}
+
+TEST_F(AutomataTest, TwoEpsilonFinalizersAmbiguousOnEmptyWord) {
+  CartesianSefa A(1, 0, I);
+  A.addTransition({0, CartesianSefa::FinalState, {}, 0});
+  A.addTransition({0, CartesianSefa::FinalState, {}, 1});
+  Result<std::optional<AmbiguityWitness>> R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  EXPECT_TRUE((*R)->Word.empty());
+}
+
+TEST_F(AutomataTest, EpsilonEdgeVsDirectPathAmbiguity) {
+  // p --eps--> q --[x>0]--> FINAL   and   p --[x>0]--> FINAL:
+  // the one-symbol word has two distinct paths.
+  CartesianSefa A(2, 0, I);
+  A.addTransition({0, 1, {}, 0});
+  A.addTransition({1, CartesianSefa::FinalState, {gt(0)}, 1});
+  A.addTransition({0, CartesianSefa::FinalState, {gt(0)}, 2});
+  Result<std::optional<AmbiguityWitness>> R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  EXPECT_EQ((*R)->Word.size(), 1u);
+}
+
+TEST_F(AutomataTest, Base64OutputAutomatonIsUnambiguous) {
+  // Example 4.15: the output automaton of the BASE64 encoder. beta64 is the
+  // 64-character alphabet; '=' (0x3d) is not in it.
+  TermFactory F2;
+  Solver S2(F2);
+  Type B8 = Type::bitVecTy(8);
+  TermRef Y = F2.mkVar(0, B8);
+  auto Between = [&](uint64_t Lo, uint64_t Hi) {
+    return F2.mkAnd(F2.mkBvOp(Op::BvUge, Y, F2.mkBv(Lo, 8)),
+                    F2.mkBvOp(Op::BvUle, Y, F2.mkBv(Hi, 8)));
+  };
+  TermRef Beta64 =
+      F2.mkOr({Between('A', 'Z'), Between('a', 'z'), Between('0', '9'),
+               F2.mkEq(Y, F2.mkBv('+', 8)), F2.mkEq(Y, F2.mkBv('/', 8))});
+  // Restricted digits produced before padding (multiples of 16 / of 4).
+  TermRef BetaQuad = F2.mkOr(
+      {F2.mkEq(Y, F2.mkBv('A', 8)), F2.mkEq(Y, F2.mkBv('Q', 8)),
+       F2.mkEq(Y, F2.mkBv('g', 8)), F2.mkEq(Y, F2.mkBv('w', 8))});
+  TermRef Pad = F2.mkEq(Y, F2.mkBv('=', 8));
+  CartesianSefa A(1, 0, B8);
+  A.addTransition({0, 0, {Beta64, Beta64, Beta64, Beta64}, 0});
+  A.addTransition({0, CartesianSefa::FinalState, {}, 1});
+  A.addTransition(
+      {0, CartesianSefa::FinalState, {Beta64, BetaQuad, Pad, Pad}, 2});
+  A.addTransition(
+      {0, CartesianSefa::FinalState, {Beta64, Beta64, BetaQuad, Pad}, 3});
+  Result<std::optional<AmbiguityWitness>> R = checkAmbiguity(A, S2);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_FALSE(R->has_value());
+}
+
+TEST_F(AutomataTest, TrimRemovesUnsatGuards) {
+  CartesianSefa A(2, 0, I);
+  TermRef Unsat = F.mkAnd(lt(0), gt(0));
+  A.addTransition({0, 1, {Unsat}, 0});
+  A.addTransition({1, CartesianSefa::FinalState, {gt(0)}, 1});
+  A.addTransition({0, CartesianSefa::FinalState, {gt(0)}, 2});
+  Result<CartesianSefa> T = trim(A, S);
+  ASSERT_TRUE(T.isOk());
+  EXPECT_EQ(T->numStates(), 1u);
+  EXPECT_EQ(T->transitions().size(), 1u);
+}
+
+TEST_F(AutomataTest, SampleAcceptedViaProducesAcceptedWord) {
+  CartesianSefa A(3, 0, I);
+  A.addTransition({0, 1, {gt(10)}, 0});
+  A.addTransition({1, 2, {lt(-10)}, 1});
+  A.addTransition({2, CartesianSefa::FinalState, {eq(7)}, 2});
+  Result<ValueList> W = sampleAcceptedVia(A, S, 2);
+  ASSERT_TRUE(W.isOk()) << W.status().message();
+  EXPECT_TRUE(A.accepts(*W)) << toString(*W);
+  EXPECT_EQ(W->size(), 3u);
+}
+
+TEST_F(AutomataTest, LookaheadQuery) {
+  CartesianSefa A = example45Output(F);
+  EXPECT_EQ(A.lookahead(), 2u);
+}
+
+// Property sweep: random unary-interval automata with two rules from the
+// initial state are ambiguous exactly when the intervals overlap.
+class IntervalOverlapAmbiguity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IntervalOverlapAmbiguity, MatchesIntervalIntersection) {
+  auto [LoB, Len] = GetParam();
+  TermFactory F;
+  Solver S(F);
+  Type I = Type::intTy();
+  TermRef X = F.mkVar(0, I);
+  auto Range = [&](int Lo, int Hi) {
+    return F.mkAnd(F.mkIntOp(Op::IntGe, X, F.mkInt(Lo)),
+                   F.mkIntOp(Op::IntLe, X, F.mkInt(Hi)));
+  };
+  // Rule A accepts [0, 10]; rule B accepts [LoB, LoB+Len].
+  CartesianSefa A(1, 0, I);
+  A.addTransition({0, CartesianSefa::FinalState, {Range(0, 10)}, 0});
+  A.addTransition({0, CartesianSefa::FinalState, {Range(LoB, LoB + Len)}, 1});
+  Result<std::optional<AmbiguityWitness>> R = checkAmbiguity(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  bool Overlaps = LoB <= 10 && LoB + Len >= 0;
+  EXPECT_EQ(R->has_value(), Overlaps);
+  if (R->has_value())
+    EXPECT_GE(A.countAcceptingPaths((*R)->Word), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntervalOverlapAmbiguity,
+    ::testing::Combine(::testing::Values(-20, -11, -5, 0, 5, 10, 11, 20),
+                       ::testing::Values(0, 3, 10)));
+
+} // namespace

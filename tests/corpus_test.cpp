@@ -1,0 +1,246 @@
+//===- tests/corpus_test.cpp - The 14 coders against their oracles --------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential tests: every GENIC coder program must parse, lower, be
+/// deterministic, and agree with its native C++ oracle on random valid
+/// inputs; decoders must reject what the oracle rejects (sampled).
+///
+//===----------------------------------------------------------------------===//
+
+#include "coders/Corpus.h"
+
+#include "coders/Synthetic.h"
+#include "genic/Lower.h"
+#include "genic/Parser.h"
+#include "solver/Solver.h"
+#include "transducer/Determinism.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+ValueList toValues(const Symbols &S, unsigned Bits) {
+  ValueList Out;
+  for (uint64_t V : S)
+    Out.push_back(Value::bitVecVal(V, Bits));
+  return Out;
+}
+
+Symbols fromValues(const ValueList &V) {
+  Symbols Out;
+  for (const Value &X : V)
+    Out.push_back(X.getBits());
+  return Out;
+}
+
+class CorpusTest : public ::testing::TestWithParam<size_t> {
+protected:
+  const CoderSpec &spec() const { return coderCorpus()[GetParam()]; }
+};
+
+std::string corpusTestName(const ::testing::TestParamInfo<size_t> &Info) {
+  std::string Name = coderCorpus()[Info.param].name();
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+TEST_P(CorpusTest, ParsesAndLowers) {
+  TermFactory F;
+  auto Ast = parseGenic(spec().Source);
+  ASSERT_TRUE(Ast.isOk()) << Ast.status().message();
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk()) << P.status().message();
+  EXPECT_TRUE(P->WantsInjective);
+  EXPECT_TRUE(P->WantsInvert);
+  EXPECT_EQ(P->Machine.inputType().width(), spec().SymbolBits);
+}
+
+TEST_P(CorpusTest, IsDeterministic) {
+  TermFactory F;
+  Solver S(F);
+  auto Ast = parseGenic(spec().Source);
+  ASSERT_TRUE(Ast.isOk()) << Ast.status().message();
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk()) << P.status().message();
+  auto Det = checkDeterminism(P->Machine, S);
+  ASSERT_TRUE(Det.isOk()) << Det.status().message();
+  EXPECT_FALSE(Det->has_value())
+      << "rules " << (*Det)->TransitionA << " and " << (*Det)->TransitionB
+      << " overlap on " << toString((*Det)->Symbols) << ": "
+      << (*Det)->Reason;
+}
+
+TEST_P(CorpusTest, AgreesWithOracleOnValidInputs) {
+  TermFactory F;
+  auto Ast = parseGenic(spec().Source);
+  ASSERT_TRUE(Ast.isOk()) << Ast.status().message();
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk()) << P.status().message();
+
+  std::mt19937_64 Rng(42 + GetParam());
+  for (unsigned Len : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 16u, 33u}) {
+    Symbols In = spec().MakeInput(Rng, Len);
+    MaybeSymbols Expected = spec().Oracle(In);
+    ASSERT_TRUE(Expected.has_value());
+    auto Got = P->Machine.transduce(toValues(In, spec().SymbolBits));
+    ASSERT_EQ(Got.size(), 1u) << "input length " << In.size();
+    EXPECT_EQ(fromValues(Got[0]), *Expected) << "input length " << In.size();
+  }
+}
+
+TEST_P(CorpusTest, AgreesWithOracleOnArbitraryInputs) {
+  // On arbitrary (possibly invalid) symbol sequences the machine must be
+  // defined exactly where the oracle is, and agree there. UTF coders skip
+  // the equality on inputs the oracle rejects but the machine may keep
+  // (decoder strictness is aligned, so rejection sets match too).
+  TermFactory F;
+  auto Ast = parseGenic(spec().Source);
+  ASSERT_TRUE(Ast.isOk()) << Ast.status().message();
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk()) << P.status().message();
+
+  std::mt19937_64 Rng(1000 + GetParam());
+  unsigned Bits = spec().SymbolBits;
+  for (int Trial = 0; Trial < 120; ++Trial) {
+    Symbols In;
+    unsigned Len = Rng() % 9;
+    for (unsigned I = 0; I < Len; ++I) {
+      // Bias toward interesting ranges: printable ASCII and small values.
+      uint64_t V = (Rng() % 3 == 0) ? (Rng() & (Bits == 8 ? 0xFFu : 0x1FFFFFu))
+                                    : (0x20 + Rng() % 0x60);
+      In.push_back(V & Value::maskOf(Bits));
+    }
+    MaybeSymbols Expected = spec().Oracle(In);
+    auto Got = P->Machine.transduce(toValues(In, Bits));
+    if (Expected.has_value()) {
+      ASSERT_EQ(Got.size(), 1u) << "input " << toString(toValues(In, Bits));
+      EXPECT_EQ(fromValues(Got[0]), *Expected);
+    } else {
+      EXPECT_TRUE(Got.empty()) << "machine accepted what the oracle "
+                                  "rejects: "
+                               << toString(toValues(In, Bits));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCoders, CorpusTest,
+                         ::testing::Range<size_t>(0, 14), corpusTestName);
+
+TEST(OracleTest, Base64KnownVector) {
+  // "Man" -> "TWFu" (Figure 1).
+  Symbols In{'M', 'a', 'n'};
+  auto Out = base64Encode(In);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(*Out, (Symbols{'T', 'W', 'F', 'u'}));
+  EXPECT_EQ(base64Decode(*Out), In);
+  // "M" -> "TQ==", "Ma" -> "TWE=".
+  EXPECT_EQ(*base64Encode({'M'}), (Symbols{'T', 'Q', '=', '='}));
+  EXPECT_EQ(*base64Encode({'M', 'a'}), (Symbols{'T', 'W', 'E', '='}));
+}
+
+TEST(OracleTest, Base64RejectsNonCanonicalPadding) {
+  // "TR==" decodes the same byte as "TQ==" under lenient decoders; the
+  // strict decoder rejects it.
+  EXPECT_FALSE(base64Decode({'T', 'R', '=', '='}).has_value());
+  EXPECT_TRUE(base64Decode({'T', 'Q', '=', '='}).has_value());
+}
+
+TEST(OracleTest, Base32KnownVector) {
+  // RFC 4648: "foobar" -> "MZXW6YTBOI======".
+  Symbols In{'f', 'o', 'o', 'b', 'a', 'r'};
+  auto Out = base32Encode(In);
+  ASSERT_TRUE(Out.has_value());
+  Symbols Expected;
+  for (char C : std::string("MZXW6YTBOI======"))
+    Expected.push_back(C);
+  EXPECT_EQ(*Out, Expected);
+  EXPECT_EQ(base32Decode(*Out), In);
+}
+
+TEST(OracleTest, Base16KnownVector) {
+  Symbols In{0x00, 0xAB, 0xFF};
+  auto Out = base16Encode(In);
+  Symbols Expected{'0', '0', 'A', 'B', 'F', 'F'};
+  EXPECT_EQ(*Out, Expected);
+  EXPECT_EQ(base16Decode(Expected), In);
+  EXPECT_FALSE(base16Decode({'a', 'b'}).has_value()); // lowercase rejected
+}
+
+TEST(OracleTest, Utf8KnownVectors) {
+  EXPECT_EQ(*utf8Encode({0x24}), (Symbols{0x24}));
+  EXPECT_EQ(*utf8Encode({0xA2}), (Symbols{0xC2, 0xA2}));
+  EXPECT_EQ(*utf8Encode({0x20AC}), (Symbols{0xE2, 0x82, 0xAC}));
+  EXPECT_EQ(*utf8Encode({0x10348}), (Symbols{0xF0, 0x90, 0x8D, 0x88}));
+  EXPECT_FALSE(utf8Encode({0xD800}).has_value());
+  EXPECT_FALSE(utf8Encode({0x110000}).has_value());
+  // Overlong rejection.
+  EXPECT_FALSE(utf8Decode({0xC0, 0x80}).has_value());
+  EXPECT_FALSE(utf8Decode({0xE0, 0x80, 0x80}).has_value());
+  // Surrogate encoding rejection.
+  EXPECT_FALSE(utf8Decode({0xED, 0xA0, 0x80}).has_value());
+}
+
+TEST(OracleTest, Utf16KnownVectors) {
+  EXPECT_EQ(*utf16Encode({0x10437}), (Symbols{0xD801, 0xDC37}));
+  EXPECT_EQ(*utf16Decode({0xD801, 0xDC37}), (Symbols{0x10437}));
+  EXPECT_FALSE(utf16Decode({0xD801}).has_value()); // lone surrogate
+  EXPECT_FALSE(utf16Decode({0xDC37, 0xD801}).has_value());
+}
+
+TEST(OracleTest, RoundTripsRandomized) {
+  std::mt19937_64 Rng(99);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    Symbols Bytes;
+    unsigned Len = Rng() % 12;
+    for (unsigned I = 0; I < Len; ++I)
+      Bytes.push_back(Rng() & 0xFF);
+    EXPECT_EQ(base64Decode(*base64Encode(Bytes)), Bytes);
+    EXPECT_EQ(modifiedBase64Decode(*modifiedBase64Encode(Bytes)), Bytes);
+    EXPECT_EQ(base32Decode(*base32Encode(Bytes)), Bytes);
+    EXPECT_EQ(base16Decode(*base16Encode(Bytes)), Bytes);
+    EXPECT_EQ(uuDecode(*uuEncode(Bytes)), Bytes);
+  }
+}
+
+TEST(SyntheticTest, StProgramsParseAndRun) {
+  for (unsigned K : {1u, 2u, 5u}) {
+    TermFactory F;
+    auto Ast = parseGenic(makeStProgram(K));
+    ASSERT_TRUE(Ast.isOk()) << Ast.status().message();
+    auto P = lowerProgram(F, *Ast);
+    ASSERT_TRUE(P.isOk()) << P.status().message();
+    EXPECT_EQ(P->Machine.numStates(), K + 1);
+    // 2 rules per non-final state + a finalizer per state.
+    EXPECT_EQ(P->Machine.transitions().size(), 2 * K + (K + 1));
+    // [0, 5, 7] loops in S0: outputs [0, 5+1, 7+3].
+    ValueList In{Value::intVal(0), Value::intVal(5), Value::intVal(7)};
+    auto Out = P->Machine.transduceFunctional(In);
+    ASSERT_TRUE(Out.has_value());
+    EXPECT_EQ(*Out, (ValueList{Value::intVal(0), Value::intVal(6),
+                               Value::intVal(10)}));
+  }
+}
+
+TEST(SyntheticTest, RandomLiaProgramsAreDeterministic) {
+  for (uint64_t Seed = 0; Seed < 6; ++Seed) {
+    TermFactory F;
+    Solver S(F);
+    auto Ast = parseGenic(makeRandomLiaProgram(Seed, 1 + Seed % 4));
+    ASSERT_TRUE(Ast.isOk()) << Ast.status().message();
+    auto P = lowerProgram(F, *Ast);
+    ASSERT_TRUE(P.isOk()) << P.status().message();
+    auto Det = checkDeterminism(P->Machine, S);
+    ASSERT_TRUE(Det.isOk()) << Det.status().message();
+    EXPECT_FALSE(Det->has_value());
+  }
+}
+
+} // namespace

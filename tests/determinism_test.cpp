@@ -1,0 +1,162 @@
+//===- tests/determinism_test.cpp - Definition 3.7 ------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transducer/Determinism.h"
+
+#include "term/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Solver S{F};
+  Type I = Type::intTy();
+  TermRef X0 = F.mkVar(0, Type::intTy());
+  TermRef X1 = F.mkVar(1, Type::intTy());
+
+  TermRef gt(int64_t C) { return F.mkIntOp(Op::IntGt, X0, F.mkInt(C)); }
+  TermRef lt(int64_t C) { return F.mkIntOp(Op::IntLt, X0, F.mkInt(C)); }
+};
+
+TEST_F(DeterminismTest, DisjointGuardsAreDeterministic) {
+  Seft A(1, 0, I, I);
+  A.addTransition({0, 0, 1, gt(0), {X0}});
+  A.addTransition({0, 0, 1, lt(0), {F.mkIntOp(Op::IntNeg, X0)}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  auto R = checkDeterminism(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_FALSE(R->has_value());
+}
+
+TEST_F(DeterminismTest, CaseA_DifferentTargetsViolate) {
+  Seft A(2, 0, I, I);
+  A.addTransition({0, 0, 1, gt(0), {X0}});
+  A.addTransition({0, 1, 1, gt(5), {X0}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  A.addTransition({1, Seft::FinalState, 0, F.mkTrue(), {}});
+  auto R = checkDeterminism(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  // The witness satisfies both guards.
+  EXPECT_GT((*R)->Symbols[0].getInt(), 5);
+}
+
+TEST_F(DeterminismTest, CaseA_DifferentLookaheadsViolate) {
+  Seft A(1, 0, I, I);
+  A.addTransition({0, 0, 1, gt(0), {X0}});
+  A.addTransition({0, 0, 2, gt(0), {X0, X1}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  auto R = checkDeterminism(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_TRUE(R->has_value());
+}
+
+TEST_F(DeterminismTest, CaseA_DifferentOutputsViolate) {
+  Seft A(1, 0, I, I);
+  A.addTransition({0, 0, 1, gt(0), {X0}});
+  A.addTransition({0, 0, 1, gt(5), {F.mkIntOp(Op::IntAdd, X0, F.mkInt(1))}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  auto R = checkDeterminism(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  EXPECT_NE((*R)->Reason.find("output"), std::string::npos);
+}
+
+TEST_F(DeterminismTest, CaseA_EquivalentOverlapIsAllowed) {
+  // Two rules overlapping with the same target, lookahead, and outputs
+  // (x + x vs 2 * x, equivalent under the overlap) are fine.
+  Seft A(1, 0, I, I);
+  A.addTransition({0, 0, 1, gt(0), {F.mkIntOp(Op::IntAdd, X0, X0)}});
+  A.addTransition({0, 0, 1, gt(5), {F.mkIntOp(Op::IntMul, F.mkInt(2), X0)}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  auto R = checkDeterminism(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_FALSE(R->has_value());
+}
+
+TEST_F(DeterminismTest, CaseB_FinalizersOfDifferentLookaheadCoexist) {
+  Seft A(1, 0, I, I);
+  A.addTransition({0, Seft::FinalState, 1, F.mkTrue(), {X0}});
+  A.addTransition({0, Seft::FinalState, 2, F.mkTrue(), {X0, X1}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  auto R = checkDeterminism(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_FALSE(R->has_value());
+}
+
+TEST_F(DeterminismTest, CaseB_SameLookaheadFinalizersMustAgree) {
+  Seft A(1, 0, I, I);
+  A.addTransition({0, Seft::FinalState, 1, gt(0), {X0}});
+  A.addTransition({0, Seft::FinalState, 1, gt(5),
+                   {F.mkIntOp(Op::IntNeg, X0)}});
+  auto R = checkDeterminism(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_TRUE(R->has_value());
+}
+
+TEST_F(DeterminismTest, CaseC_ContinuingRuleMustLookFurther) {
+  // Figure 2's shape: main rule lookahead 3 > finalizer lookaheads. Here a
+  // BAD shape: continuing lookahead 1 vs finalizer lookahead 2 overlap.
+  Seft Bad(1, 0, I, I);
+  Bad.addTransition({0, 0, 1, F.mkTrue(), {X0}});
+  Bad.addTransition({0, Seft::FinalState, 2, F.mkTrue(), {X0, X1}});
+  auto R = checkDeterminism(Bad, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  EXPECT_NE((*R)->Reason.find("finalizer"), std::string::npos);
+
+  Seft Good(1, 0, I, I);
+  Good.addTransition({0, 0, 3, F.mkTrue(), {X0}});
+  Good.addTransition({0, Seft::FinalState, 2, F.mkTrue(), {X0, X1}});
+  Good.addTransition({0, Seft::FinalState, 1, F.mkTrue(), {X0}});
+  Good.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  auto R2 = checkDeterminism(Good, S);
+  ASSERT_TRUE(R2.isOk()) << R2.status().message();
+  EXPECT_FALSE(R2->has_value());
+}
+
+TEST_F(DeterminismTest, CaseC_DisjointGuardsExcuseEqualLookahead) {
+  // Continuing and finalizer with equal lookahead but disjoint guards:
+  // the BASE64 decoder's padding shape.
+  Seft A(1, 0, I, I);
+  A.addTransition({0, 0, 2, gt(0), {X0}});
+  A.addTransition({0, Seft::FinalState, 2, lt(0), {X0}});
+  auto R = checkDeterminism(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_FALSE(R->has_value());
+}
+
+TEST_F(DeterminismTest, RulesOfDifferentStatesNeverConflict) {
+  Seft A(2, 0, I, I);
+  A.addTransition({0, 1, 1, gt(0), {X0}});
+  A.addTransition({1, 0, 1, gt(0), {F.mkIntOp(Op::IntNeg, X0)}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  A.addTransition({1, Seft::FinalState, 0, F.mkTrue(), {}});
+  auto R = checkDeterminism(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_FALSE(R->has_value());
+}
+
+TEST_F(DeterminismTest, WitnessSatisfiesBothGuards) {
+  Seft A(1, 0, I, I);
+  A.addTransition({0, 0, 1, F.mkAnd(gt(3), lt(10)), {X0}});
+  A.addTransition({0, 0, 1, F.mkAnd(gt(7), lt(20)),
+                   {F.mkIntOp(Op::IntAdd, X0, F.mkInt(2))}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  auto R = checkDeterminism(A, S);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->has_value());
+  int64_t W = (*R)->Symbols[0].getInt();
+  EXPECT_GT(W, 7);
+  EXPECT_LT(W, 10);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- tests/eval_test.cpp - Native evaluator ------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Eval.h"
+
+#include "term/TermFactory.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+class EvalTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Type I = Type::intTy();
+  Type B8 = Type::bitVecTy(8);
+
+  Value evalAt(TermRef T, std::vector<Value> Values) {
+    std::optional<Value> V = eval(T, Values);
+    EXPECT_TRUE(V.has_value());
+    return V.value_or(Value());
+  }
+};
+
+TEST_F(EvalTest, IntArithmetic) {
+  TermRef X = F.mkVar(0, I), Y = F.mkVar(1, I);
+  TermRef T = F.mkIntOp(Op::IntAdd, F.mkIntOp(Op::IntMul, X, F.mkInt(3)), Y);
+  EXPECT_EQ(evalAt(T, {Value::intVal(5), Value::intVal(-2)}),
+            Value::intVal(13));
+  EXPECT_EQ(evalAt(F.mkIntOp(Op::IntNeg, X), {Value::intVal(9)}),
+            Value::intVal(-9));
+}
+
+TEST_F(EvalTest, IntComparisons) {
+  TermRef X = F.mkVar(0, I), Y = F.mkVar(1, I);
+  auto Check = [&](Op O, int64_t A, int64_t B, bool Expect) {
+    EXPECT_EQ(evalAt(F.mkIntOp(O, X, Y), {Value::intVal(A), Value::intVal(B)}),
+              Value::boolVal(Expect))
+        << opName(O) << " " << A << " " << B;
+  };
+  Check(Op::IntLe, 1, 2, true);
+  Check(Op::IntLe, 2, 2, true);
+  Check(Op::IntLt, 2, 2, false);
+  Check(Op::IntGe, 3, 2, true);
+  Check(Op::IntGt, 3, 3, false);
+}
+
+TEST_F(EvalTest, BvBitFiddling) {
+  TermRef X = F.mkVar(0, B8);
+  // (x << 4) | (x >> 4): swap the nibbles.
+  TermRef T = F.mkBvOp(Op::BvOr, F.mkBvOp(Op::BvShl, X, F.mkBv(4, 8)),
+                       F.mkBvOp(Op::BvLshr, X, F.mkBv(4, 8)));
+  EXPECT_EQ(evalAt(T, {Value::bitVecVal(0xAB, 8)}), Value::bitVecVal(0xBA, 8));
+}
+
+TEST_F(EvalTest, BvShiftBeyondWidthIsZero) {
+  TermRef X = F.mkVar(0, B8);
+  TermRef T = F.mkBvOp(Op::BvShl, X, F.mkBv(9, 8));
+  EXPECT_EQ(evalAt(T, {Value::bitVecVal(0xFF, 8)}), Value::bitVecVal(0, 8));
+  TermRef U = F.mkBvOp(Op::BvLshr, X, F.mkBv(8, 8));
+  EXPECT_EQ(evalAt(U, {Value::bitVecVal(0xFF, 8)}), Value::bitVecVal(0, 8));
+}
+
+TEST_F(EvalTest, BvAshrReplicatesSign) {
+  TermRef X = F.mkVar(0, B8);
+  TermRef T = F.mkBvOp(Op::BvAshr, X, F.mkBv(2, 8));
+  EXPECT_EQ(evalAt(T, {Value::bitVecVal(0x80, 8)}), Value::bitVecVal(0xE0, 8));
+  EXPECT_EQ(evalAt(T, {Value::bitVecVal(0x40, 8)}), Value::bitVecVal(0x10, 8));
+}
+
+TEST_F(EvalTest, SignedComparisons) {
+  TermRef X = F.mkVar(0, B8), Y = F.mkVar(1, B8);
+  // 0x80 is -128 signed, so it is less than 1.
+  EXPECT_EQ(evalAt(F.mkBvOp(Op::BvSlt, X, Y),
+                   {Value::bitVecVal(0x80, 8), Value::bitVecVal(1, 8)}),
+            Value::boolVal(true));
+  EXPECT_EQ(evalAt(F.mkBvOp(Op::BvUlt, X, Y),
+                   {Value::bitVecVal(0x80, 8), Value::bitVecVal(1, 8)}),
+            Value::boolVal(false));
+}
+
+TEST_F(EvalTest, IteShortCircuitsUndefinedBranch) {
+  // f(x) = x - 1 with domain x >= 1; ite(x >= 1, f(x), 0) is defined at 0.
+  TermRef P = F.mkVar(0, I);
+  const FuncDef *G =
+      F.makeFunc("decE", {I}, I, F.mkIntOp(Op::IntSub, P, F.mkInt(1)),
+                 F.mkIntOp(Op::IntGe, P, F.mkInt(1)));
+  TermRef X = F.mkVar(0, I);
+  TermRef T = F.mkIte(F.mkIntOp(Op::IntGe, X, F.mkInt(1)),
+                      F.mkCall(G, {X}), F.mkInt(0));
+  EXPECT_EQ(evalAt(T, {Value::intVal(0)}), Value::intVal(0));
+  EXPECT_EQ(evalAt(T, {Value::intVal(5)}), Value::intVal(4));
+}
+
+TEST_F(EvalTest, PartialFunctionUndefinedPropagates) {
+  TermRef P = F.mkVar(0, I);
+  const FuncDef *G =
+      F.makeFunc("decU", {I}, I, F.mkIntOp(Op::IntSub, P, F.mkInt(1)),
+                 F.mkIntOp(Op::IntGe, P, F.mkInt(1)));
+  TermRef X = F.mkVar(0, I);
+  TermRef T = F.mkIntOp(Op::IntAdd, F.mkCall(G, {X}), F.mkInt(10));
+  std::vector<Value> Bad{Value::intVal(0)};
+  EXPECT_FALSE(eval(T, Bad).has_value());
+  EXPECT_FALSE(evalBool(F.mkEq(T, F.mkInt(0)), Bad));
+}
+
+TEST_F(EvalTest, UnboundVariableIsUndefined) {
+  TermRef X = F.mkVar(3, I);
+  std::vector<Value> Env{Value::intVal(1)};
+  EXPECT_FALSE(eval(X, Env).has_value());
+}
+
+TEST_F(EvalTest, BoolConnectives) {
+  TermRef A = F.mkVar(0, Type::boolTy()), B = F.mkVar(1, Type::boolTy());
+  auto BV = [](bool X) { return Value::boolVal(X); };
+  for (bool VA : {false, true})
+    for (bool VB : {false, true}) {
+      std::vector<Value> Env{BV(VA), BV(VB)};
+      EXPECT_EQ(evalBool(F.mkAnd(A, B), Env), VA && VB);
+      EXPECT_EQ(evalBool(F.mkOr(A, B), Env), VA || VB);
+      EXPECT_EQ(evalBool(F.mkImplies(A, B), Env), !VA || VB);
+      EXPECT_EQ(evalBool(F.mkIff(A, B), Env), VA == VB);
+      EXPECT_EQ(evalBool(F.mkNot(A), Env), !VA);
+    }
+}
+
+TEST_F(EvalTest, NestedAuxFunctions) {
+  // twice(x) = x + x; quad(x) = twice(twice(x)).
+  TermRef P = F.mkVar(0, I);
+  const FuncDef *Twice =
+      F.makeFunc("twice", {I}, I, F.mkIntOp(Op::IntAdd, P, P));
+  const FuncDef *Quad = F.makeFunc(
+      "quad", {I}, I, F.mkCall(Twice, {F.mkCall(Twice, {P})}));
+  EXPECT_EQ(evalAt(F.mkCall(Quad, {F.mkVar(0, I)}), {Value::intVal(3)}),
+            Value::intVal(12));
+}
+
+// Parameterized sweep: the evaluator agrees with a native reimplementation
+// of the BASE64 character-mapping function E from Figure 2.
+class Base64MappingEval : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Base64MappingEval, MatchesNativeMapping) {
+  TermFactory F;
+  Type B8 = Type::bitVecTy(8);
+  TermRef X = F.mkVar(0, B8);
+  auto Bv = [&](uint64_t V) { return F.mkBv(V, 8); };
+  auto Le = [&](TermRef A, TermRef B) { return F.mkBvOp(Op::BvUle, A, B); };
+  auto Add = [&](TermRef A, TermRef B) { return F.mkBvOp(Op::BvAdd, A, B); };
+  auto Sub = [&](TermRef A, TermRef B) { return F.mkBvOp(Op::BvSub, A, B); };
+  // E from Figure 2, lines 2-6.
+  TermRef E = F.mkIte(
+      Le(X, Bv(0x19)), Add(X, Bv(0x41)),
+      F.mkIte(Le(X, Bv(0x33)), Add(X, Bv(0x47)),
+              F.mkIte(Le(X, Bv(0x3d)), Sub(X, Bv(0x04)),
+                      F.mkIte(F.mkEq(X, Bv(0x3e)), Bv(0x2b), Bv(0x2f)))));
+
+  static const char *Alphabet =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  unsigned V = GetParam();
+  std::vector<Value> Env{Value::bitVecVal(V, 8)};
+  std::optional<Value> Out = eval(E, Env);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(Out->getBits(), static_cast<uint64_t>(Alphabet[V]));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDigits, Base64MappingEval,
+                         ::testing::Range(0u, 64u));
+
+} // namespace

@@ -1,0 +1,300 @@
+//===- tests/genic_lang_test.cpp - Lexer, parser, lowering, printer -------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "genic/Lower.h"
+
+#include "genic/Lexer.h"
+#include "genic/Parser.h"
+#include "genic/ProgramPrinter.h"
+#include "term/Eval.h"
+#include "term/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace genic;
+
+namespace {
+
+TEST(LexerTest, TokenizesFigure2Constructs) {
+  auto Tokens = lex("fun E (x : (BitVec 8) when x <= #x40) := x + #x41 "
+                    "// comment\n| x::tail -> []");
+  ASSERT_TRUE(Tokens.isOk()) << Tokens.status().message();
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : *Tokens)
+    Kinds.push_back(T.K);
+  std::vector<TokenKind> Expected{
+      TokenKind::KwFun,   TokenKind::Ident,    TokenKind::LParen,
+      TokenKind::Ident,   TokenKind::Colon,    TokenKind::LParen,
+      TokenKind::Ident,   TokenKind::Number,   TokenKind::RParen,
+      TokenKind::KwWhen,  TokenKind::Ident,    TokenKind::Le,
+      TokenKind::BvLit,   TokenKind::RParen,   TokenKind::Assign,
+      TokenKind::Ident,   TokenKind::Plus,     TokenKind::BvLit,
+      TokenKind::Pipe,    TokenKind::Ident,    TokenKind::ColonColon,
+      TokenKind::Ident,   TokenKind::Arrow,    TokenKind::LBracket,
+      TokenKind::RBracket, TokenKind::End};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, BvLiteralWidthFromDigits) {
+  auto Tokens = lex("#x3d #x0000003f");
+  ASSERT_TRUE(Tokens.isOk());
+  EXPECT_EQ((*Tokens)[0].BvWidth, 8u);
+  EXPECT_EQ((*Tokens)[0].BvValue, 0x3du);
+  EXPECT_EQ((*Tokens)[1].BvWidth, 32u);
+  EXPECT_EQ((*Tokens)[1].BvValue, 0x3fu);
+}
+
+TEST(LexerTest, ReportsLineNumbers) {
+  auto Tokens = lex("fun\n\n@");
+  ASSERT_FALSE(Tokens.isOk());
+  EXPECT_NE(Tokens.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParserTest, ParsesMinimalProgram) {
+  auto P = parseGenic("trans F (l : Int list) : Int :=\n"
+                      "  match l with\n"
+                      "  | x::tail when x > 0 -> (x + 1) :: F(tail)\n"
+                      "  | [] when true -> []\n"
+                      "invert F\n");
+  ASSERT_TRUE(P.isOk()) << P.status().message();
+  ASSERT_EQ(P->Transes.size(), 1u);
+  const AstTrans &T = P->Transes[0];
+  EXPECT_EQ(T.Name, "F");
+  ASSERT_EQ(T.Rules.size(), 2u);
+  EXPECT_EQ(T.Rules[0].Vars, std::vector<std::string>{"x"});
+  EXPECT_EQ(T.Rules[0].TailVar, "tail");
+  EXPECT_EQ(T.Rules[0].Continue, "F");
+  EXPECT_TRUE(T.Rules[1].Vars.empty());
+  EXPECT_TRUE(T.Rules[1].Continue.empty());
+  ASSERT_EQ(P->Ops.size(), 1u);
+  EXPECT_EQ(P->Ops[0].Target, "F");
+}
+
+TEST(ParserTest, PatternEndingInEmptyListIsFinalizer) {
+  auto P = parseGenic("trans F (l : Int list) : Int :=\n"
+                      "  match l with\n"
+                      "  | x::y::[] when true -> x :: []\n");
+  ASSERT_TRUE(P.isOk()) << P.status().message();
+  const AstRule &R = P->Transes[0].Rules[0];
+  EXPECT_EQ(R.Vars.size(), 2u);
+  EXPECT_TRUE(R.TailVar.empty());
+  ASSERT_EQ(R.Outputs.size(), 1u);
+}
+
+TEST(ParserTest, RejectsRecursionOnNonTail) {
+  auto P = parseGenic("trans F (l : Int list) : Int :=\n"
+                      "  match l with\n"
+                      "  | x::tail when true -> x :: F(x)\n");
+  EXPECT_FALSE(P.isOk());
+}
+
+TEST(ParserTest, RejectsMissingRecursionWithTail) {
+  auto P = parseGenic("trans F (l : Int list) : Int :=\n"
+                      "  match l with\n"
+                      "  | x::tail when true -> x :: []\n");
+  EXPECT_FALSE(P.isOk());
+}
+
+class LowerExprTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  LowerEnv Env;
+
+  void SetUp() override {
+    Env.F = &F;
+    Env.Vars.push_back({"x", {0, Type::bitVecTy(8)}});
+    Env.Vars.push_back({"n", {1, Type::intTy()}});
+  }
+
+  Result<TermRef> lower(const std::string &Text,
+                        std::optional<Type> Hint = std::nullopt) {
+    // Wrap in a minimal program to reuse the full parser, then pull the
+    // guard expression back out.
+    auto P = parseGenic("trans T (l : (BitVec 8) list) : (BitVec 8) :=\n"
+                        "  match l with\n"
+                        "  | x::q::tail when " +
+                        Text + " -> x :: T(tail)\n");
+    if (!P)
+      return P.status();
+    return lowerExpr(*P->Transes[0].Rules[0].Guard, Env, Hint);
+  }
+};
+
+TEST_F(LowerExprTest, PrecedenceComparisonLoosest) {
+  // a | b == c parses as (a | b) == c.
+  Result<TermRef> T = lower("(x | #x0f) == #x0f");
+  ASSERT_TRUE(T.isOk()) << T.status().message();
+  EXPECT_EQ((*T)->op(), Op::Eq);
+}
+
+TEST_F(LowerExprTest, ShiftTighterThanAnd) {
+  // x & y << 2 parses as x & (y << 2).
+  Result<TermRef> T = lower("(x & x << 2) == #x00");
+  ASSERT_TRUE(T.isOk()) << T.status().message();
+  TermRef Lhs = (*T)->child(0)->op() == Op::BvAnd ? (*T)->child(0)
+                                                  : (*T)->child(1);
+  EXPECT_EQ(Lhs->op(), Op::BvAnd);
+}
+
+TEST_F(LowerExprTest, DecimalLiteralCoercesToBitVector) {
+  Result<TermRef> T = lower("(x << 4) == #x10");
+  ASSERT_TRUE(T.isOk()) << T.status().message();
+  // The shift amount became a (BitVec 8) constant.
+  std::vector<Value> E{Value::bitVecVal(1, 8), Value::intVal(0)};
+  EXPECT_TRUE(evalBool(*T, E));
+}
+
+TEST_F(LowerExprTest, TypeErrorsAreReported) {
+  EXPECT_FALSE(lower("x + n").isOk());     // BitVec + Int
+  EXPECT_FALSE(lower("n << 2").isOk());    // shift on Int
+  EXPECT_FALSE(lower("missing == x").isOk());
+}
+
+TEST(LowerProgramTest, Figure2LowersToExample33Seft) {
+  TermFactory F;
+  auto Ast = parseGenic(
+      "fun E (x : (BitVec 8) when x <= #x3f) := x + #x41\n"
+      "trans T (l : (BitVec 8) list) : (BitVec 8) :=\n"
+      "  match l with\n"
+      "  | x::y::z::tail when true -> (E (x >> 2)) :: T(tail)\n"
+      "  | x::[] when true -> x :: #x3d :: []\n"
+      "  | [] when true -> []\n"
+      "invert T\n");
+  ASSERT_TRUE(Ast.isOk()) << Ast.status().message();
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk()) << P.status().message();
+  EXPECT_EQ(P->Machine.numStates(), 1u);
+  EXPECT_EQ(P->Machine.transitions().size(), 3u);
+  EXPECT_EQ(P->Machine.lookahead(), 3u);
+  EXPECT_EQ(P->EntryName, "T");
+  EXPECT_TRUE(P->WantsInvert);
+  EXPECT_FALSE(P->WantsInjective);
+  EXPECT_EQ(P->AuxFuncs.size(), 1u);
+  // Lookahead-1 finalizer and lookahead-0 finalizer shapes.
+  EXPECT_EQ(P->Machine.transitions()[1].To, Seft::FinalState);
+  EXPECT_EQ(P->Machine.transitions()[1].Lookahead, 1u);
+  EXPECT_EQ(P->Machine.transitions()[2].Lookahead, 0u);
+}
+
+TEST(LowerProgramTest, AuxDomainsFlowIntoGuards) {
+  TermFactory F;
+  auto Ast = parseGenic(
+      "fun E (x : (BitVec 8) when x <= #x3f) := x + #x41\n"
+      "trans T (l : (BitVec 8) list) : (BitVec 8) :=\n"
+      "  match l with\n"
+      "  | x::tail when true -> (E x) :: T(tail)\n"
+      "  | [] when true -> []\n");
+  ASSERT_TRUE(Ast.isOk()) << Ast.status().message();
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk()) << P.status().message();
+  // The rule only fires where E is defined, so the machine rejects 0x40.
+  ValueList Bad{Value::bitVecVal(0x40, 8)};
+  EXPECT_TRUE(P->Machine.transduce(Bad).empty());
+  ValueList Good{Value::bitVecVal(0x3f, 8)};
+  auto Out = P->Machine.transduce(Good);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0][0], Value::bitVecVal(0x80, 8));
+}
+
+TEST(LowerProgramTest, MultiStateProgramsResolveContinuations) {
+  TermFactory F;
+  auto Ast = parseGenic(
+      "trans A (l : Int list) : Int :=\n"
+      "  match l with\n"
+      "  | x::tail when x > 0 -> x :: Bz(tail)\n"
+      "  | [] when true -> []\n"
+      "trans Bz (l : Int list) : Int :=\n"
+      "  match l with\n"
+      "  | x::tail when x < 0 -> x :: A(tail)\n"
+      "  | [] when true -> []\n"
+      "invert A\n");
+  ASSERT_TRUE(Ast.isOk()) << Ast.status().message();
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk()) << P.status().message();
+  EXPECT_EQ(P->Machine.numStates(), 2u);
+  ValueList In{Value::intVal(1), Value::intVal(-1), Value::intVal(2)};
+  EXPECT_TRUE(P->Machine.transduceFunctional(In).has_value());
+  ValueList BadOrder{Value::intVal(-1)};
+  EXPECT_FALSE(P->Machine.transduceFunctional(BadOrder).has_value());
+}
+
+TEST(LowerProgramTest, UnknownContinuationFails) {
+  TermFactory F;
+  auto Ast = parseGenic("trans A (l : Int list) : Int :=\n"
+                        "  match l with\n"
+                        "  | x::tail when true -> x :: Nope(tail)\n");
+  ASSERT_TRUE(Ast.isOk());
+  EXPECT_FALSE(lowerProgram(F, *Ast).isOk());
+}
+
+TEST(PrinterTest, ExpressionRoundTripShapes) {
+  TermFactory F;
+  TermRef X = F.mkVar(0, Type::bitVecTy(8));
+  TermRef T = F.mkBvOp(
+      Op::BvOr, F.mkBvOp(Op::BvShl, X, F.mkBv(4, 8)),
+      F.mkBvOp(Op::BvAnd, X, F.mkBv(0x0F, 8)));
+  std::string S = printGenicExpr(T, {"x"});
+  // Fully parenthesized infix.
+  EXPECT_NE(S.find("<<"), std::string::npos);
+  EXPECT_NE(S.find("&"), std::string::npos);
+  EXPECT_NE(S.find("#x0f"), std::string::npos);
+}
+
+TEST(PrinterTest, ProgramRoundTripsThroughParser) {
+  // Build a machine, print it, re-parse, re-lower: same behaviour.
+  TermFactory F;
+  auto Ast = parseGenic(
+      "fun E (x : (BitVec 8) when x <= #x3f) := x + #x41\n"
+      "trans T (l : (BitVec 8) list) : (BitVec 8) :=\n"
+      "  match l with\n"
+      "  | x::y::tail when (x <= y) -> (E (x >> 2)) :: (x | y) :: T(tail)\n"
+      "  | x::[] when x == #x07 -> (~x) :: []\n"
+      "  | [] when true -> []\n");
+  ASSERT_TRUE(Ast.isOk()) << Ast.status().message();
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk()) << P.status().message();
+
+  PrintOptions PO;
+  PO.StateNames = P->StateNames;
+  std::string Printed = printGenicProgram(P->Machine, P->AuxFuncs, PO);
+
+  TermFactory F2;
+  auto Ast2 = parseGenic(Printed);
+  ASSERT_TRUE(Ast2.isOk()) << Ast2.status().message() << "\n" << Printed;
+  auto P2 = lowerProgram(F2, *Ast2, P->EntryName);
+  ASSERT_TRUE(P2.isOk()) << P2.status().message() << "\n" << Printed;
+
+  // Differential testing on random inputs.
+  std::mt19937_64 Rng(7);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    ValueList In;
+    unsigned Len = Rng() % 5;
+    for (unsigned I = 0; I < Len; ++I)
+      In.push_back(Value::bitVecVal(Rng() & 0xFF, 8));
+    EXPECT_EQ(P->Machine.transduce(In), P2->Machine.transduce(In))
+        << toString(In) << "\n" << Printed;
+  }
+}
+
+TEST(PrinterTest, EmitOpsAppendsOperations) {
+  TermFactory F;
+  auto Ast = parseGenic("trans T (l : Int list) : Int :=\n"
+                        "  match l with\n"
+                        "  | [] when true -> []\n");
+  ASSERT_TRUE(Ast.isOk());
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk());
+  PrintOptions PO;
+  PO.StateNames = P->StateNames;
+  PO.EmitOps = true;
+  std::string Printed = printGenicProgram(P->Machine, {}, PO);
+  EXPECT_NE(Printed.find("isInjective T"), std::string::npos);
+  EXPECT_NE(Printed.find("invert T"), std::string::npos);
+}
+
+} // namespace

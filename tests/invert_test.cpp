@@ -1,0 +1,237 @@
+//===- tests/invert_test.cpp - Theorem 5.4 inversion framework ------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the transducer-level inversion (transducer/Invert.h) with
+/// hand-supplied recovery synthesizers, checking the structure of Theorem
+/// 5.4 and the exactness of the g-derived quantifier-free guards, plus
+/// integration through the real SyGuS-backed Inverter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transducer/Invert.h"
+
+#include "sygus/Inverter.h"
+#include "term/Eval.h"
+#include "term/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace genic;
+
+namespace {
+
+ValueList ints(std::initializer_list<int64_t> Vs) {
+  ValueList L;
+  for (int64_t V : Vs)
+    L.push_back(Value::intVal(V));
+  return L;
+}
+
+class InvertTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Solver S{F};
+  Type I = Type::intTy();
+  TermRef X0 = F.mkVar(0, Type::intTy());
+  TermRef X1 = F.mkVar(1, Type::intTy());
+
+  /// A hand-written synthesizer for affine rules: recovers x_i for
+  /// outputs of the shape [x0 + c0, x1 + c1, ...] (same arity).
+  RecoverySynthesizer affineHook() {
+    return [this](const ImagePredicate &P, unsigned XIndex,
+                  Type InputType) -> Result<TermRef> {
+      // g_i(y) = y_i - c_i, with c_i read off the output term.
+      TermRef Out = P.Outputs[XIndex];
+      TermRef Y = F.mkVar(XIndex, InputType);
+      if (Out->isVar())
+        return Y;
+      if (Out->op() == Op::IntAdd && Out->child(1)->isConst())
+        return F.mkIntOp(Op::IntSub, Y, Out->child(1));
+      if (Out->op() == Op::IntSub && Out->child(1)->isConst())
+        return F.mkIntOp(Op::IntAdd, Y, Out->child(1));
+      return Status::error("not affine");
+    };
+  }
+};
+
+TEST_F(InvertTest, StructurePreservedByInversion) {
+  // Example 5.5's D: states and endpoints carry over unchanged.
+  TermRef Neg = F.mkIntOp(Op::IntNeg, X0);
+  Seft D(3, 0, I, I);
+  D.addTransition({0, 1, 1, F.mkIntOp(Op::IntLt, X0, F.mkInt(0)), {X0}});
+  D.addTransition({0, 2, 1, F.mkIntOp(Op::IntGt, X0, F.mkInt(0)), {Neg}});
+  D.addTransition({2, 1, 1, F.mkTrue(), {X0}});
+  D.addTransition({1, Seft::FinalState, 0, F.mkTrue(), {}});
+  RecoverySynthesizer Hook =
+      [this](const ImagePredicate &P, unsigned XIndex,
+             Type InputType) -> Result<TermRef> {
+    TermRef Y = F.mkVar(XIndex, InputType);
+    if (P.Outputs[XIndex]->op() == Op::IntNeg)
+      return F.mkIntOp(Op::IntNeg, Y);
+    return Y;
+  };
+  Result<InversionOutcome> R = invertSeft(D, S, Hook);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->complete());
+  const Seft &Inv = R->Inverse;
+  EXPECT_EQ(Inv.numStates(), 3u);
+  EXPECT_EQ(Inv.initial(), 0u);
+  ASSERT_EQ(Inv.transitions().size(), 4u);
+  EXPECT_EQ(Inv.transitions()[0].From, 0u);
+  EXPECT_EQ(Inv.transitions()[0].To, 1u);
+  EXPECT_EQ(Inv.transitions()[1].To, 2u);
+  EXPECT_EQ(Inv.transitions()[3].To, Seft::FinalState);
+  // Example 5.5: the inverse is nondeterministic (both q0 rules fire on
+  // negative inputs) but unambiguous; check the overlap exists.
+  auto O = Inv.transduce(ints({-3}), 4);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_EQ(O[0], ints({-3}));
+  EXPECT_EQ(Inv.transduce(ints({-3, 7}), 4).at(0), ints({3, 7}));
+}
+
+TEST_F(InvertTest, GuardsAreExactImages) {
+  // Rule: x0 < 0 -> [x0 + 5]. The inverse guard must be exactly y < 5.
+  Seft A(1, 0, I, I);
+  A.addTransition({0, Seft::FinalState, 1,
+                   F.mkIntOp(Op::IntLt, X0, F.mkInt(0)),
+                   {F.mkIntOp(Op::IntAdd, X0, F.mkInt(5))}});
+  Result<InversionOutcome> R = invertSeft(A, S, affineHook());
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->complete());
+  TermRef Guard = R->Inverse.transitions()[0].Guard;
+  TermRef Expected = F.mkIntOp(Op::IntLt, F.mkVar(0, I), F.mkInt(5));
+  Result<bool> Eq = S.isValid(F.mkIff(Guard, Expected));
+  ASSERT_TRUE(Eq.isOk());
+  EXPECT_TRUE(*Eq) << printTerm(Guard);
+}
+
+TEST_F(InvertTest, DeadRulesAreSkippedWithoutSynthesis) {
+  Seft A(1, 0, I, I);
+  A.addTransition({0, Seft::FinalState, 1, F.mkFalse(), {X0}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  unsigned HookCalls = 0;
+  RecoverySynthesizer Hook =
+      [&HookCalls](const ImagePredicate &, unsigned,
+                   Type) -> Result<TermRef> {
+    ++HookCalls;
+    return Status::error("should not be called");
+  };
+  Result<InversionOutcome> R = invertSeft(A, S, Hook);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_TRUE(R->complete());
+  EXPECT_EQ(HookCalls, 0u);
+  // The dead rule contributes no inverse transition.
+  EXPECT_EQ(R->Inverse.transitions().size(), 1u);
+}
+
+TEST_F(InvertTest, EmptyOutputFinalizerInvertsToEpsilonFinalizer) {
+  Seft A(1, 0, I, I);
+  A.addTransition({0, 0, 1, F.mkIntOp(Op::IntGt, X0, F.mkInt(0)), {X0}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  Result<InversionOutcome> R = invertSeft(A, S, affineHook());
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->complete());
+  const SeftTransition &Fin = R->Inverse.transitions()[1];
+  EXPECT_EQ(Fin.To, Seft::FinalState);
+  EXPECT_EQ(Fin.Lookahead, 0u);
+  EXPECT_TRUE(Fin.Outputs.empty());
+}
+
+TEST_F(InvertTest, ConstantOutputFinalizerInvertsToPatternCheck) {
+  // [] -> [7, 9]: the inverse reads two symbols and demands them equal.
+  Seft A(1, 0, I, I);
+  A.addTransition(
+      {0, Seft::FinalState, 0, F.mkTrue(), {F.mkInt(7), F.mkInt(9)}});
+  Result<InversionOutcome> R = invertSeft(A, S, affineHook());
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->complete());
+  const Seft &Inv = R->Inverse;
+  EXPECT_EQ(Inv.transduce(ints({7, 9})).size(), 1u);
+  EXPECT_TRUE(Inv.transduce(ints({7, 8})).empty());
+  EXPECT_TRUE(Inv.transduce(ints({9, 7})).empty());
+}
+
+TEST_F(InvertTest, FailedRuleIsRecordedAndSkipped) {
+  Seft A(1, 0, I, I);
+  A.addTransition({0, Seft::FinalState, 1, F.mkTrue(),
+                   {F.mkIntOp(Op::IntMul, X0, X0)}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  RecoverySynthesizer Hook = [](const ImagePredicate &, unsigned,
+                                Type) -> Result<TermRef> {
+    return Status::error("cannot invert squares");
+  };
+  Result<InversionOutcome> R = invertSeft(A, S, Hook);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_FALSE(R->complete());
+  ASSERT_EQ(R->Records.size(), 2u);
+  EXPECT_FALSE(R->Records[0].Inverted);
+  EXPECT_NE(R->Records[0].Error.find("cannot invert"), std::string::npos);
+  EXPECT_TRUE(R->Records[1].Inverted);
+  // The partial inverse still carries the invertible rules (UTF-8 row
+  // semantics in the paper's Table 1).
+  EXPECT_EQ(R->Inverse.transitions().size(), 1u);
+}
+
+TEST_F(InvertTest, TimingRecordsAccumulate) {
+  Seft A(1, 0, I, I);
+  A.addTransition({0, 0, 1, F.mkTrue(), {X0}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  Result<InversionOutcome> R = invertSeft(A, S, affineHook());
+  ASSERT_TRUE(R.isOk());
+  EXPECT_EQ(R->Records.size(), 2u);
+  EXPECT_GE(R->totalSeconds(), R->maxRuleSeconds());
+}
+
+// -- Integration through the real Inverter (property sweep) -----------------
+
+class RandomAffineInversion : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAffineInversion, RoundTripsEverywhere) {
+  // Random multi-rule affine transducers over disjoint guards: the full
+  // SyGuS-backed pipeline must produce a total inverse on the image.
+  TermFactory F;
+  Solver S(F);
+  Type I = Type::intTy();
+  TermRef X0 = F.mkVar(0, I), X1 = F.mkVar(1, I);
+  std::mt19937_64 Rng(400 + GetParam());
+  int64_t Split = 1 + static_cast<int64_t>(Rng() % 20);
+  int64_t C1 = static_cast<int64_t>(Rng() % 30) - 15;
+  int64_t C2 = static_cast<int64_t>(Rng() % 30) - 15;
+
+  Seft A(1, 0, I, I);
+  // Two lookahead-2 loop rules keyed on x0's range, plus the finalizer.
+  A.addTransition({0, 0, 2, F.mkIntOp(Op::IntLt, X0, F.mkInt(Split)),
+                   {X0, F.mkIntOp(Op::IntAdd, X1, F.mkInt(C1))}});
+  A.addTransition({0, 0, 2, F.mkIntOp(Op::IntGe, X0, F.mkInt(Split)),
+                   {X0, F.mkIntOp(Op::IntSub, X1, F.mkInt(C2))}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+
+  Inverter Inv(S);
+  Result<InversionOutcome> R = Inv.invert(A, {});
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  ASSERT_TRUE(R->complete());
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    ValueList In;
+    unsigned Pairs = Rng() % 4;
+    for (unsigned P = 0; P < Pairs; ++P) {
+      In.push_back(Value::intVal(static_cast<int64_t>(Rng() % 60) - 30));
+      In.push_back(Value::intVal(static_cast<int64_t>(Rng() % 60) - 30));
+    }
+    auto Mid = A.transduceFunctional(In);
+    ASSERT_TRUE(Mid.has_value());
+    auto Back = R->Inverse.transduce(*Mid, 2);
+    ASSERT_EQ(Back.size(), 1u);
+    EXPECT_EQ(Back[0], In);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAffineInversion,
+                         ::testing::Range(0, 10));
+
+} // namespace

@@ -1,0 +1,101 @@
+//===- tests/sampling_test.cpp - Random accepted-input generation ---------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transducer/Sampling.h"
+
+#include "coders/Corpus.h"
+#include "genic/Lower.h"
+#include "genic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+TEST(SamplingTest, GeneratesAcceptedInputsForTightGuards) {
+  // Guards that rejection sampling cannot hit (equality-pinned) fall back
+  // to solver models.
+  TermFactory F;
+  Solver S(F);
+  Type I = Type::intTy();
+  TermRef X = F.mkVar(0, I);
+  Seft A(1, 0, I, I);
+  A.addTransition({0, 0, 1, F.mkEq(X, F.mkInt(123456789)), {X}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  std::mt19937_64 Rng(1);
+  for (unsigned Steps : {0u, 1u, 3u}) {
+    Result<ValueList> In = randomAcceptedInput(A, S, Rng, Steps);
+    ASSERT_TRUE(In.isOk()) << In.status().message();
+    EXPECT_FALSE(A.transduce(*In).empty()) << toString(*In);
+    for (const Value &V : *In)
+      EXPECT_EQ(V.getInt(), 123456789);
+  }
+}
+
+TEST(SamplingTest, WalksMultiStateMachines) {
+  TermFactory F;
+  auto Ast = parseGenic(
+      "trans A (l : Int list) : Int :=\n"
+      "  match l with\n"
+      "  | x::tail when x > 0 -> x :: Bz(tail)\n"
+      "  | [] when true -> []\n"
+      "trans Bz (l : Int list) : Int :=\n"
+      "  match l with\n"
+      "  | x::tail when x < 0 -> x :: A(tail)\n"
+      "  | [] when true -> []\n");
+  ASSERT_TRUE(Ast.isOk());
+  auto P = lowerProgram(F, *Ast, "A");
+  ASSERT_TRUE(P.isOk());
+  Solver S(F);
+  std::mt19937_64 Rng(2);
+  bool SawLong = false;
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Result<ValueList> In = randomAcceptedInput(P->Machine, S, Rng, 4);
+    ASSERT_TRUE(In.isOk()) << In.status().message();
+    EXPECT_FALSE(P->Machine.transduce(*In).empty()) << toString(*In);
+    SawLong |= In->size() >= 4;
+  }
+  EXPECT_TRUE(SawLong) << "walks should reach the requested depth";
+}
+
+TEST(SamplingTest, CoversCoderDomains) {
+  // The BASE64 decoder accepts a sparse language; sampled inputs must be
+  // genuine encodings (the machine accepts them).
+  TermFactory F;
+  auto Ast = parseGenic(coderCorpus()[1].Source); // BASE64 decoder
+  ASSERT_TRUE(Ast.isOk());
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk());
+  Solver S(F);
+  std::mt19937_64 Rng(3);
+  for (unsigned Steps : {0u, 1u, 2u, 5u}) {
+    Result<ValueList> In = randomAcceptedInput(P->Machine, S, Rng, Steps);
+    ASSERT_TRUE(In.isOk()) << In.status().message();
+    auto Out = P->Machine.transduce(*In, 2);
+    ASSERT_EQ(Out.size(), 1u) << toString(*In);
+    // And the native oracle agrees the input is valid BASE64.
+    Symbols Chars;
+    for (const Value &V : *In)
+      Chars.push_back(V.getBits());
+    EXPECT_TRUE(base64Decode(Chars).has_value()) << toString(*In);
+  }
+}
+
+TEST(SamplingTest, ErrorsOnDeadMachines) {
+  TermFactory F;
+  Solver S(F);
+  Type I = Type::intTy();
+  TermRef X = F.mkVar(0, I);
+  // No finalizer is reachable: the only rule loops forever.
+  Seft A(1, 0, I, I);
+  A.addTransition({0, 0, 1, F.mkTrue(), {X}});
+  std::mt19937_64 Rng(4);
+  Result<ValueList> In = randomAcceptedInput(A, S, Rng, 2);
+  EXPECT_FALSE(In.isOk());
+}
+
+} // namespace

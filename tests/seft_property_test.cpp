@@ -1,0 +1,182 @@
+//===- tests/seft_property_test.cpp - Machine-level property sweeps -------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized cross-validation of the machine layers against each other:
+/// the transducer's path() agrees with transduce(); the output automaton
+/// accepts exactly the transduction images of accepted inputs; trimming
+/// preserves acceptance; and ambiguity verdicts agree with concrete path
+/// counting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/Ambiguity.h"
+#include "coders/Synthetic.h"
+#include "genic/Lower.h"
+#include "genic/Parser.h"
+#include "term/Eval.h"
+#include "transducer/Injectivity.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+using namespace genic;
+
+namespace {
+
+/// Random integer lists biased to the ST-family shape.
+ValueList randomTriples(std::mt19937_64 &Rng, unsigned MaxTriples) {
+  ValueList In;
+  unsigned N = Rng() % (MaxTriples + 1);
+  for (unsigned I = 0; I < N; ++I) {
+    In.push_back(Value::intVal(Rng() % 3)); // 0, 1, or a rejecting 2
+    In.push_back(Value::intVal(static_cast<int64_t>(Rng() % 41) - 20));
+    In.push_back(Value::intVal(static_cast<int64_t>(Rng() % 41) - 20));
+  }
+  return In;
+}
+
+class StPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StPropertyTest, PathAgreesWithTransduce) {
+  TermFactory F;
+  auto Ast = parseGenic(makeStProgram(GetParam()));
+  ASSERT_TRUE(Ast.isOk());
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk());
+  std::mt19937_64 Rng(10 + GetParam());
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    ValueList In = randomTriples(Rng, 4);
+    auto Out = P->Machine.transduce(In, 4);
+    auto Path = P->Machine.path(In);
+    EXPECT_EQ(Out.size() == 1, Path.has_value()) << toString(In);
+    if (Path) {
+      // Replaying the path's rules reproduces the output.
+      ValueList Replayed;
+      size_t Pos = 0;
+      for (unsigned Id : *Path) {
+        const SeftTransition &T = P->Machine.transitions()[Id];
+        std::vector<Value> Window(In.begin() + Pos,
+                                  In.begin() + Pos + T.Lookahead);
+        for (TermRef O : T.Outputs) {
+          auto V = eval(O, Window);
+          ASSERT_TRUE(V.has_value());
+          Replayed.push_back(*V);
+        }
+        Pos += T.Lookahead;
+      }
+      EXPECT_EQ(Replayed, Out[0]) << toString(In);
+    }
+  }
+}
+
+TEST_P(StPropertyTest, OutputAutomatonAcceptsExactlyTheImages) {
+  TermFactory F;
+  Solver S(F);
+  auto Ast = parseGenic(makeStProgram(GetParam()));
+  ASSERT_TRUE(Ast.isOk());
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk());
+  auto AO = buildOutputAutomaton(P->Machine, S);
+  ASSERT_TRUE(AO.isOk()) << AO.status().message();
+  std::mt19937_64 Rng(20 + GetParam());
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    ValueList In = randomTriples(Rng, 3);
+    auto Out = P->Machine.transduce(In, 2);
+    if (Out.size() == 1) {
+      EXPECT_TRUE(AO->accepts(Out[0]))
+          << toString(In) << " -> " << toString(Out[0]);
+    }
+    // And arbitrary lists are accepted only if they are genuine images:
+    // for the ST shape, an accepted list must parrot its 0/1 markers.
+    ValueList Arbitrary = randomTriples(Rng, 2);
+    if (AO->accepts(Arbitrary))
+      for (size_t I = 0; I < Arbitrary.size(); I += 3)
+        EXPECT_LT(Arbitrary[I].getInt(), 2) << toString(Arbitrary);
+  }
+}
+
+TEST_P(StPropertyTest, TrimPreservesAcceptance) {
+  TermFactory F;
+  Solver S(F);
+  auto Ast = parseGenic(makeStProgram(GetParam()));
+  ASSERT_TRUE(Ast.isOk());
+  auto P = lowerProgram(F, *Ast);
+  ASSERT_TRUE(P.isOk());
+  auto AO = buildOutputAutomaton(P->Machine, S);
+  ASSERT_TRUE(AO.isOk());
+  auto Trimmed = trim(*AO, S);
+  ASSERT_TRUE(Trimmed.isOk()) << Trimmed.status().message();
+  std::mt19937_64 Rng(30 + GetParam());
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    ValueList In = randomTriples(Rng, 3);
+    auto Out = P->Machine.transduce(In, 2);
+    ValueList Probe = Out.size() == 1 ? Out[0] : In;
+    EXPECT_EQ(AO->accepts(Probe), Trimmed->accepts(Probe))
+        << toString(Probe);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StPropertyTest,
+                         ::testing::Values(1u, 2u, 4u));
+
+TEST(AmbiguityAgreement, VerdictMatchesConcretePathCounts) {
+  // Random small unary-interval automata: the symbolic verdict must agree
+  // with brute-force path counting over a sampled alphabet window.
+  std::mt19937_64 Rng(77);
+  for (int Round = 0; Round < 25; ++Round) {
+    TermFactory F;
+    Solver S(F);
+    Type I = Type::intTy();
+    TermRef X = F.mkVar(0, I);
+    auto Range = [&](int64_t Lo, int64_t Hi) {
+      return F.mkAnd(F.mkIntOp(Op::IntGe, X, F.mkInt(Lo)),
+                     F.mkIntOp(Op::IntLe, X, F.mkInt(Hi)));
+    };
+    // One state, lookahead-1 rules: the shortest ambiguous word is then at
+    // most 2 symbols (two overlapping finalizers, or an overlapping loop
+    // pair followed by any finalizer), so brute force over short words is
+    // a complete cross-check.
+    CartesianSefa A(1, 0, I);
+    unsigned NumRules = 2 + Rng() % 3;
+    for (unsigned R = 0; R < NumRules; ++R) {
+      int64_t Lo = static_cast<int64_t>(Rng() % 10);
+      int64_t Hi = Lo + static_cast<int64_t>(Rng() % 6);
+      bool Final = Rng() % 2 == 0;
+      unsigned To = Final ? CartesianSefa::FinalState : 0;
+      A.addTransition({0, To, {Range(Lo, Hi)}, R});
+    }
+    auto Verdict = checkAmbiguity(A, S);
+    ASSERT_TRUE(Verdict.isOk()) << Verdict.status().message();
+
+    // Brute force: all words over [0, 15] up to length 3.
+    bool Concrete = false;
+    std::function<void(ValueList &)> Enumerate = [&](ValueList &Word) {
+      if (Concrete)
+        return;
+      if (A.countAcceptingPaths(Word) >= 2) {
+        Concrete = true;
+        return;
+      }
+      if (Word.size() == 3)
+        return;
+      for (int64_t V = 0; V <= 15 && !Concrete; ++V) {
+        Word.push_back(Value::intVal(V));
+        Enumerate(Word);
+        Word.pop_back();
+      }
+    };
+    ValueList Empty;
+    Enumerate(Empty);
+    EXPECT_EQ(Verdict->has_value(), Concrete) << "round " << Round;
+    if (Verdict->has_value())
+      EXPECT_GE(A.countAcceptingPaths((*Verdict)->Word), 2u);
+  }
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- tests/solver_more_test.cpp - Solver edge cases ----------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+
+#include "term/Eval.h"
+#include "term/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+class SolverMoreTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Solver S{F};
+  Type I = Type::intTy();
+  TermRef X0 = F.mkVar(0, Type::intTy());
+  TermRef X1 = F.mkVar(1, Type::intTy());
+  TermRef X2 = F.mkVar(2, Type::intTy());
+};
+
+TEST_F(SolverMoreTest, EliminateMultipleVariables) {
+  // exists x0 x1 . x0 >= 0 /\ x1 >= 0 /\ x2 = x0 + x1  ==>  x2 >= 0.
+  TermRef Phi = F.mkAnd(
+      {F.mkIntOp(Op::IntGe, X0, F.mkInt(0)),
+       F.mkIntOp(Op::IntGe, X1, F.mkInt(0)),
+       F.mkEq(X2, F.mkIntOp(Op::IntAdd, X0, X1))});
+  Result<TermRef> R = S.eliminateExists(Phi, 2);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  TermRef Expected = F.mkIntOp(Op::IntGe, F.mkVar(0, I), F.mkInt(0));
+  Result<bool> Eq = S.isValid(F.mkIff(*R, Expected));
+  ASSERT_TRUE(Eq.isOk());
+  EXPECT_TRUE(*Eq) << printTerm(*R);
+}
+
+TEST_F(SolverMoreTest, EliminateAllVariablesGivesClosedFormula) {
+  TermRef Phi = F.mkIntOp(Op::IntLt, X0, F.mkInt(0));
+  Result<TermRef> R = S.eliminateExists(Phi, 1);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_EQ(*R, F.mkTrue());
+  TermRef Unsat = F.mkAnd(F.mkIntOp(Op::IntLt, X0, F.mkInt(0)),
+                          F.mkIntOp(Op::IntGt, X0, F.mkInt(0)));
+  R = S.eliminateExists(Unsat, 1);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_EQ(*R, F.mkFalse());
+}
+
+TEST_F(SolverMoreTest, EliminateUnusedVariableIsIdentity) {
+  TermRef Phi = F.mkIntOp(Op::IntLt, X1, F.mkInt(7)); // x0 unused
+  Result<TermRef> R = S.eliminateExists(Phi, 1);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  TermRef Expected = F.mkIntOp(Op::IntLt, F.mkVar(0, I), F.mkInt(7));
+  Result<bool> Eq = S.isValid(F.mkIff(*R, Expected));
+  ASSERT_TRUE(Eq.isOk());
+  EXPECT_TRUE(*Eq) << printTerm(*R);
+}
+
+TEST_F(SolverMoreTest, EquivalentUnderBooleans) {
+  TermRef P = F.mkIntOp(Op::IntGe, X0, F.mkInt(0));
+  TermRef Q = F.mkNot(F.mkIntOp(Op::IntLt, X0, F.mkInt(0)));
+  Result<bool> Eq = S.equivalentUnder(F.mkTrue(), P, Q);
+  ASSERT_TRUE(Eq.isOk());
+  EXPECT_TRUE(*Eq);
+}
+
+TEST_F(SolverMoreTest, ImageModelMultipleOutputs) {
+  ImagePredicate P;
+  P.Guard = F.mkAnd(F.mkIntOp(Op::IntGe, X0, F.mkInt(10)),
+                    F.mkIntOp(Op::IntLe, X0, F.mkInt(10)));
+  P.Outputs = {F.mkIntOp(Op::IntAdd, X0, F.mkInt(1)),
+               F.mkIntOp(Op::IntSub, X0, F.mkInt(1))};
+  P.NumInputs = 1;
+  Result<std::vector<Value>> M = S.imageModel(P);
+  ASSERT_TRUE(M.isOk()) << M.status().message();
+  ASSERT_EQ(M->size(), 2u);
+  EXPECT_EQ((*M)[0], Value::intVal(11));
+  EXPECT_EQ((*M)[1], Value::intVal(9));
+}
+
+TEST_F(SolverMoreTest, ProjectWideBitVectorRange) {
+  // 32-bit affine image: the enumeration cap is exceeded and the hull
+  // takes over; for a contiguous image the hull IS exact. (This is the
+  // mode the injectivity pipeline uses for wide symbols.)
+  TermFactory F2;
+  Solver S2(F2);
+  Type B32 = Type::bitVecTy(32);
+  TermRef X = F2.mkVar(0, B32);
+  ImagePredicate P;
+  P.Guard = F2.mkAnd(
+      F2.mkBvOp(Op::BvUge, X, F2.mkBv(0x10000, 32)),
+      F2.mkBvOp(Op::BvUle, X, F2.mkBv(0x10FFFF, 32)));
+  P.Outputs = {F2.mkBvOp(Op::BvLshr, X, F2.mkBv(4, 32))};
+  P.NumInputs = 1;
+  Result<TermRef> Psi = S2.project(P, 0, /*AllowHull=*/true);
+  ASSERT_TRUE(Psi.isOk()) << Psi.status().message();
+  auto Holds = [&](uint64_t V) {
+    std::vector<Value> Env{Value::bitVecVal(V, 32)};
+    return evalBool(*Psi, Env);
+  };
+  EXPECT_TRUE(Holds(0x1000));
+  EXPECT_TRUE(Holds(0x10FFF));
+  EXPECT_FALSE(Holds(0xFFF));
+  EXPECT_FALSE(Holds(0x11000));
+}
+
+TEST_F(SolverMoreTest, ProjectWideImageWithinEnumerationCap) {
+  // A wide symbol whose image is small enumerates exactly.
+  TermFactory F2;
+  Solver S2(F2);
+  Type B16 = Type::bitVecTy(16);
+  TermRef X = F2.mkVar(0, B16);
+  ImagePredicate P;
+  P.Guard = F2.mkTrue();
+  P.Outputs = {F2.mkBvOp(Op::BvLshr, X, F2.mkBv(8, 16))};
+  P.NumInputs = 1;
+  Result<TermRef> Psi = S2.project(P, 0, /*AllowHull=*/false);
+  ASSERT_TRUE(Psi.isOk()) << Psi.status().message();
+  std::vector<Value> In{Value::bitVecVal(0xFF, 16)};
+  std::vector<Value> Out{Value::bitVecVal(0x100, 16)};
+  EXPECT_TRUE(evalBool(*Psi, In));
+  EXPECT_FALSE(evalBool(*Psi, Out));
+}
+
+TEST_F(SolverMoreTest, ProjectHullOverapproximatesFragmentedImages) {
+  // Image {0} U [0x20000, 0x2FFFF]: the hull is one interval containing
+  // both, the exact mode keeps the gap.
+  TermFactory F2;
+  Solver S2(F2);
+  Type B32 = Type::bitVecTy(32);
+  TermRef X = F2.mkVar(0, B32);
+  ImagePredicate P;
+  P.Guard = F2.mkOr(
+      F2.mkEq(X, F2.mkBv(0, 32)),
+      F2.mkAnd(F2.mkBvOp(Op::BvUge, X, F2.mkBv(0x20000, 32)),
+               F2.mkBvOp(Op::BvUle, X, F2.mkBv(0x2FFFF, 32))));
+  P.Outputs = {X};
+  P.NumInputs = 1;
+  Result<TermRef> Hull = S2.project(P, 0, /*AllowHull=*/true);
+  ASSERT_TRUE(Hull.isOk()) << Hull.status().message();
+  std::vector<Value> Mid{Value::bitVecVal(0x10000, 32)};
+  EXPECT_TRUE(evalBool(*Hull, Mid)) << "hull should cover the gap";
+  Result<TermRef> Exact = S2.project(P, 0, /*AllowHull=*/false);
+  ASSERT_TRUE(Exact.isOk()) << Exact.status().message();
+  EXPECT_FALSE(evalBool(*Exact, Mid)) << printTerm(*Exact);
+  std::vector<Value> Zero{Value::bitVecVal(0, 32)};
+  std::vector<Value> In{Value::bitVecVal(0x23456, 32)};
+  EXPECT_TRUE(evalBool(*Exact, Zero));
+  EXPECT_TRUE(evalBool(*Exact, In));
+}
+
+TEST_F(SolverMoreTest, CheckSatOnBoolVariables) {
+  TermRef B0 = F.mkVar(0, Type::boolTy());
+  TermRef B1 = F.mkVar(1, Type::boolTy());
+  EXPECT_EQ(S.checkSat(F.mkAnd(B0, F.mkNot(B0))), SatResult::Unsat);
+  Result<std::vector<Value>> M =
+      S.getModel(F.mkAnd(B0, F.mkNot(B1)), {Type::boolTy(), Type::boolTy()});
+  ASSERT_TRUE(M.isOk());
+  EXPECT_TRUE((*M)[0].getBool());
+  EXPECT_FALSE((*M)[1].getBool());
+}
+
+TEST_F(SolverMoreTest, StatsTrackQeCalls) {
+  uint64_t Before = S.stats().QeCalls;
+  (void)S.eliminateExists(F.mkEq(X0, X1), 1);
+  EXPECT_GT(S.stats().QeCalls, Before);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+//===- tests/support_test.cpp - Support utilities --------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Result.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+TEST(ResultTest, StatusStates) {
+  Status Ok = Status::ok();
+  EXPECT_TRUE(Ok.isOk());
+  EXPECT_TRUE(static_cast<bool>(Ok));
+  Status Bad = Status::error("boom");
+  EXPECT_FALSE(Bad.isOk());
+  EXPECT_EQ(Bad.message(), "boom");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> V = 42;
+  ASSERT_TRUE(V.isOk());
+  EXPECT_EQ(*V, 42);
+  Result<int> E = Status::error("nope");
+  ASSERT_FALSE(E.isOk());
+  EXPECT_EQ(E.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOnlyPayloads) {
+  Result<std::unique_ptr<int>> R = std::make_unique<int>(7);
+  ASSERT_TRUE(R.isOk());
+  EXPECT_EQ(**R, 7);
+  std::unique_ptr<int> Taken = std::move(*R);
+  EXPECT_EQ(*Taken, 7);
+}
+
+TEST(StringUtilsTest, SplitJoin) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(join({"a", "b", "c"}, "::"), "a::b::c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtilsTest, HexLiterals) {
+  EXPECT_EQ(toHexLiteral(0x3d, 8), "#x3d");
+  EXPECT_EQ(toHexLiteral(0x3f, 32), "#x0000003f");
+  EXPECT_EQ(toHexLiteral(5, 4), "#x5");
+  EXPECT_EQ(toHexLiteral(0x1ff, 9), "#x1ff");
+}
+
+TEST(StringUtilsTest, FormatSeconds) {
+  EXPECT_EQ(formatSeconds(2.204), "2.20s");
+  EXPECT_EQ(formatSeconds(0.055), "0.06s");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("#x3d", "#x"));
+  EXPECT_FALSE(startsWith("x3d", "#x"));
+  EXPECT_FALSE(startsWith("#", "#x"));
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table T;
+  T.setHeader({"a", "bb"});
+  T.addRow({"cccc", "d"});
+  T.addRow({"e"});
+  std::string Out = T.render();
+  // Each data line pads interior columns to the widest cell.
+  EXPECT_NE(Out.find("cccc  d"), std::string::npos);
+  EXPECT_NE(Out.find("a     bb"), std::string::npos);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer T;
+  volatile uint64_t Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink += I;
+  EXPECT_GE(T.seconds(), 0.0);
+  T.restart();
+  EXPECT_LT(T.seconds(), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+//===- tests/term_test.cpp - TermFactory construction and simplification --===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/TermFactory.h"
+
+#include "term/Eval.h"
+#include "term/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+class TermTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Type I = Type::intTy();
+  Type B8 = Type::bitVecTy(8);
+  TermRef X0 = F.mkVar(0, Type::intTy());
+  TermRef X1 = F.mkVar(1, Type::intTy());
+  TermRef V0 = F.mkVar(0, Type::bitVecTy(8));
+  TermRef V1 = F.mkVar(1, Type::bitVecTy(8));
+};
+
+TEST_F(TermTest, HashConsingGivesPointerEquality) {
+  TermRef A = F.mkIntOp(Op::IntAdd, X0, F.mkInt(3));
+  TermRef B = F.mkIntOp(Op::IntAdd, X0, F.mkInt(3));
+  EXPECT_EQ(A, B);
+  TermRef C = F.mkIntOp(Op::IntAdd, X0, F.mkInt(4));
+  EXPECT_NE(A, C);
+}
+
+TEST_F(TermTest, VariablesAreInternedByIndexTypeAndName) {
+  EXPECT_EQ(F.mkVar(0, I), F.mkVar(0, I));
+  EXPECT_NE(F.mkVar(0, I), F.mkVar(1, I));
+  EXPECT_NE(F.mkVar(0, I), F.mkVar(0, B8));
+  EXPECT_NE(F.mkVar(0, I, "a"), F.mkVar(0, I, "b"));
+}
+
+TEST_F(TermTest, ConstantFoldingInteger) {
+  EXPECT_EQ(F.mkIntOp(Op::IntAdd, F.mkInt(2), F.mkInt(3)), F.mkInt(5));
+  EXPECT_EQ(F.mkIntOp(Op::IntSub, F.mkInt(2), F.mkInt(3)), F.mkInt(-1));
+  EXPECT_EQ(F.mkIntOp(Op::IntMul, F.mkInt(4), F.mkInt(3)), F.mkInt(12));
+  EXPECT_EQ(F.mkIntOp(Op::IntLe, F.mkInt(2), F.mkInt(3)), F.mkTrue());
+  EXPECT_EQ(F.mkIntOp(Op::IntGt, F.mkInt(2), F.mkInt(3)), F.mkFalse());
+  EXPECT_EQ(F.mkIntOp(Op::IntNeg, F.mkInt(7)), F.mkInt(-7));
+}
+
+TEST_F(TermTest, ConstantFoldingBitVectorWraps) {
+  EXPECT_EQ(F.mkBvOp(Op::BvAdd, F.mkBv(0xFF, 8), F.mkBv(1, 8)), F.mkBv(0, 8));
+  EXPECT_EQ(F.mkBvOp(Op::BvSub, F.mkBv(0, 8), F.mkBv(1, 8)), F.mkBv(0xFF, 8));
+  EXPECT_EQ(F.mkBvOp(Op::BvShl, F.mkBv(0x81, 8), F.mkBv(1, 8)),
+            F.mkBv(0x02, 8));
+  EXPECT_EQ(F.mkBvOp(Op::BvLshr, F.mkBv(0x81, 8), F.mkBv(4, 8)),
+            F.mkBv(0x08, 8));
+}
+
+TEST_F(TermTest, NeutralElements) {
+  EXPECT_EQ(F.mkIntOp(Op::IntAdd, X0, F.mkInt(0)), X0);
+  EXPECT_EQ(F.mkIntOp(Op::IntMul, X0, F.mkInt(1)), X0);
+  EXPECT_EQ(F.mkIntOp(Op::IntMul, X0, F.mkInt(0)), F.mkInt(0));
+  EXPECT_EQ(F.mkBvOp(Op::BvOr, V0, F.mkBv(0, 8)), V0);
+  EXPECT_EQ(F.mkBvOp(Op::BvAnd, V0, F.mkBv(0xFF, 8)), V0);
+  EXPECT_EQ(F.mkBvOp(Op::BvAnd, V0, F.mkBv(0, 8)), F.mkBv(0, 8));
+  EXPECT_EQ(F.mkBvOp(Op::BvXor, V0, V0), F.mkBv(0, 8));
+  EXPECT_EQ(F.mkBvOp(Op::BvShl, V0, F.mkBv(0, 8)), V0);
+}
+
+TEST_F(TermTest, BooleanSimplifications) {
+  TermRef P = F.mkIntOp(Op::IntLe, X0, X1);
+  EXPECT_EQ(F.mkAnd(P, F.mkTrue()), P);
+  EXPECT_EQ(F.mkAnd(P, F.mkFalse()), F.mkFalse());
+  EXPECT_EQ(F.mkOr(P, F.mkTrue()), F.mkTrue());
+  EXPECT_EQ(F.mkOr(P, F.mkFalse()), P);
+  EXPECT_EQ(F.mkNot(F.mkNot(P)), P);
+  EXPECT_EQ(F.mkAnd(P, P), P);
+  EXPECT_EQ(F.mkAnd(P, F.mkNot(P)), F.mkFalse());
+  EXPECT_EQ(F.mkOr(P, F.mkNot(P)), F.mkTrue());
+}
+
+TEST_F(TermTest, AndFlattensNestedConjunctions) {
+  TermRef P = F.mkIntOp(Op::IntLe, X0, F.mkInt(1));
+  TermRef Q = F.mkIntOp(Op::IntLe, X1, F.mkInt(2));
+  TermRef R = F.mkIntOp(Op::IntGe, X0, F.mkInt(0));
+  TermRef Nested = F.mkAnd(P, F.mkAnd(Q, R));
+  EXPECT_EQ(Nested->op(), Op::And);
+  EXPECT_EQ(Nested->arity(), 3u);
+  // Same set of conjuncts in any association is the same term.
+  EXPECT_EQ(Nested, F.mkAnd(F.mkAnd(P, Q), R));
+  EXPECT_EQ(Nested, F.mkAnd(R, F.mkAnd(P, Q)));
+}
+
+TEST_F(TermTest, EqualitySimplifications) {
+  EXPECT_EQ(F.mkEq(X0, X0), F.mkTrue());
+  EXPECT_EQ(F.mkEq(F.mkInt(3), F.mkInt(3)), F.mkTrue());
+  EXPECT_EQ(F.mkEq(F.mkInt(3), F.mkInt(4)), F.mkFalse());
+  // Symmetric canonical form.
+  EXPECT_EQ(F.mkEq(X0, X1), F.mkEq(X1, X0));
+}
+
+TEST_F(TermTest, IteSimplifications) {
+  TermRef C = F.mkIntOp(Op::IntLe, X0, X1);
+  EXPECT_EQ(F.mkIte(F.mkTrue(), X0, X1), X0);
+  EXPECT_EQ(F.mkIte(F.mkFalse(), X0, X1), X1);
+  EXPECT_EQ(F.mkIte(C, X0, X0), X0);
+  EXPECT_EQ(F.mkIte(C, F.mkTrue(), F.mkFalse()), C);
+  EXPECT_EQ(F.mkIte(C, F.mkFalse(), F.mkTrue()), F.mkNot(C));
+}
+
+TEST_F(TermTest, ImpliesSimplifications) {
+  TermRef P = F.mkIntOp(Op::IntLe, X0, X1);
+  EXPECT_EQ(F.mkImplies(F.mkTrue(), P), P);
+  EXPECT_EQ(F.mkImplies(F.mkFalse(), P), F.mkTrue());
+  EXPECT_EQ(F.mkImplies(P, F.mkTrue()), F.mkTrue());
+  EXPECT_EQ(F.mkImplies(P, F.mkFalse()), F.mkNot(P));
+  EXPECT_EQ(F.mkImplies(P, P), F.mkTrue());
+}
+
+TEST_F(TermTest, SizeMetricCountsNodes) {
+  EXPECT_EQ(X0->size(), 1u);
+  TermRef T = F.mkIntOp(Op::IntAdd, X0, F.mkInt(3)); // (+ x0 3)
+  EXPECT_EQ(T->size(), 3u);
+  TermRef U = F.mkIntOp(Op::IntLe, T, X1); // (<= (+ x0 3) x1)
+  EXPECT_EQ(U->size(), 5u);
+}
+
+TEST_F(TermTest, SubstituteReplacesAndSimplifies) {
+  TermRef T = F.mkIntOp(Op::IntAdd, X0, X1);
+  std::vector<TermRef> Repl{F.mkInt(2), F.mkInt(3)};
+  EXPECT_EQ(F.substitute(T, Repl), F.mkInt(5));
+
+  // Partial substitution keeps untouched variables.
+  std::vector<TermRef> OnlyFirst{F.mkInt(0), nullptr};
+  EXPECT_EQ(F.substitute(T, OnlyFirst), X1);
+}
+
+TEST_F(TermTest, AuxFunctionCallFoldsOnConstants) {
+  // plus1(x) = x + 1 over Int.
+  const FuncDef *Plus1 =
+      F.makeFunc("plus1", {I}, I, F.mkIntOp(Op::IntAdd, F.mkVar(0, I),
+                                            F.mkInt(1)));
+  EXPECT_EQ(F.mkCall(Plus1, {F.mkInt(41)}), F.mkInt(42));
+  TermRef Sym = F.mkCall(Plus1, {X0});
+  EXPECT_EQ(Sym->op(), Op::Call);
+  EXPECT_EQ(F.inlineCalls(Sym), F.mkIntOp(Op::IntAdd, X0, F.mkInt(1)));
+}
+
+TEST_F(TermTest, PartialFunctionDoesNotFoldOutsideDomain) {
+  // half(x) = x - 1 with domain x >= 1 (arbitrary partial function).
+  TermRef Param = F.mkVar(0, I);
+  const FuncDef *G =
+      F.makeFunc("dec", {I}, I, F.mkIntOp(Op::IntSub, Param, F.mkInt(1)),
+                 F.mkIntOp(Op::IntGe, Param, F.mkInt(1)));
+  EXPECT_EQ(F.mkCall(G, {F.mkInt(5)}), F.mkInt(4));
+  TermRef OutOfDomain = F.mkCall(G, {F.mkInt(0)});
+  EXPECT_EQ(OutOfDomain->op(), Op::Call); // Stays symbolic: undefined.
+}
+
+TEST_F(TermTest, CalleeDomainsCollectsSubstitutedConstraints) {
+  TermRef Param = F.mkVar(0, I);
+  const FuncDef *G =
+      F.makeFunc("dec2", {I}, I, F.mkIntOp(Op::IntSub, Param, F.mkInt(1)),
+                 F.mkIntOp(Op::IntGe, Param, F.mkInt(1)));
+  TermRef T = F.mkCall(G, {X1});
+  TermRef Dom = F.calleeDomains(T);
+  EXPECT_EQ(Dom, F.mkIntOp(Op::IntGe, X1, F.mkInt(1)));
+  EXPECT_EQ(F.calleeDomains(X0), F.mkTrue());
+}
+
+TEST_F(TermTest, NumVars) {
+  EXPECT_EQ(F.numVars(F.mkInt(1)), 0u);
+  EXPECT_EQ(F.numVars(X0), 1u);
+  EXPECT_EQ(F.numVars(F.mkIntOp(Op::IntAdd, X0, X1)), 2u);
+  EXPECT_EQ(F.numVars(F.mkVar(7, I)), 8u);
+}
+
+TEST_F(TermTest, PrinterRendersSExpressions) {
+  TermRef T = F.mkIntOp(Op::IntLe, F.mkIntOp(Op::IntAdd, X0, F.mkInt(3)), X1);
+  EXPECT_EQ(printTerm(T), "(<= (+ x0 3) x1)");
+  EXPECT_EQ(printTerm(T, {"a", "b"}), "(<= (+ a 3) b)");
+  EXPECT_EQ(printTerm(F.mkBv(0x3d, 8)), "#x3d");
+}
+
+TEST_F(TermTest, LookupFunc) {
+  const FuncDef *G = F.makeFunc("gg", {I}, I, F.mkVar(0, I));
+  EXPECT_EQ(F.lookupFunc("gg"), G);
+  EXPECT_EQ(F.lookupFunc("nope"), nullptr);
+}
+
+TEST_F(TermTest, CommutativeBvOperatorsCanonicalize) {
+  EXPECT_EQ(F.mkBvOp(Op::BvOr, V0, V1), F.mkBvOp(Op::BvOr, V1, V0));
+  EXPECT_EQ(F.mkBvOp(Op::BvAnd, V0, V1), F.mkBvOp(Op::BvAnd, V1, V0));
+  EXPECT_EQ(F.mkBvOp(Op::BvAdd, V0, V1), F.mkBvOp(Op::BvAdd, V1, V0));
+}
+
+} // namespace

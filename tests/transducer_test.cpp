@@ -1,0 +1,162 @@
+//===- tests/transducer_test.cpp - s-EFT model and semantics --------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transducer/Seft.h"
+
+#include "term/Eval.h"
+#include "term/TermFactory.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+ValueList ints(std::initializer_list<int64_t> Vs) {
+  ValueList L;
+  for (int64_t V : Vs)
+    L.push_back(Value::intVal(V));
+  return L;
+}
+
+class SeftTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Type I = Type::intTy();
+  TermRef X0 = F.mkVar(0, Type::intTy());
+  TermRef X1 = F.mkVar(1, Type::intTy());
+
+  /// The s-EFT P of Example 4.5:
+  ///   p --x0>0/[x0-5]/1--> q,  q --x0>0/[x0-5]/1--> FINAL,
+  ///   p --x0<0 /\ x1<0/[x0+5, x1+5]/2--> FINAL
+  Seft example45() {
+    Seft A(2, 0, I, I);
+    A.addTransition({0, 1, 1, F.mkIntOp(Op::IntGt, X0, F.mkInt(0)),
+                     {F.mkIntOp(Op::IntSub, X0, F.mkInt(5))}});
+    A.addTransition({1, Seft::FinalState, 1,
+                     F.mkIntOp(Op::IntGt, X0, F.mkInt(0)),
+                     {F.mkIntOp(Op::IntSub, X0, F.mkInt(5))}});
+    A.addTransition({0, Seft::FinalState, 2,
+                     F.mkAnd(F.mkIntOp(Op::IntLt, X0, F.mkInt(0)),
+                             F.mkIntOp(Op::IntLt, X1, F.mkInt(0))),
+                     {F.mkIntOp(Op::IntAdd, X0, F.mkInt(5)),
+                      F.mkIntOp(Op::IntAdd, X1, F.mkInt(5))}});
+    return A;
+  }
+};
+
+TEST_F(SeftTest, Example45Transduction) {
+  Seft A = example45();
+  // Positive pairs go through p -> q -> FINAL subtracting 5 from each.
+  auto R = A.transduce(ints({5, 5}));
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0], ints({0, 0}));
+  // Negative pairs go through the lookahead-2 finalizer adding 5.
+  R = A.transduce(ints({-5, -5}));
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0], ints({0, 0}));
+  // The non-injectivity of Example 4.5: both inputs map to [0, 0].
+  EXPECT_EQ(A.transduce(ints({5, 5})), A.transduce(ints({-5, -5})));
+}
+
+TEST_F(SeftTest, Example45Rejections) {
+  Seft A = example45();
+  EXPECT_TRUE(A.transduce(ints({})).empty());
+  EXPECT_TRUE(A.transduce(ints({5})).empty());        // stuck at q
+  EXPECT_TRUE(A.transduce(ints({5, -5})).empty());    // q needs positive
+  EXPECT_TRUE(A.transduce(ints({-5, 5})).empty());    // guard fails
+  EXPECT_TRUE(A.transduce(ints({5, 5, 5})).empty());  // no 3-symbol path
+  EXPECT_TRUE(A.transduce(ints({0, 0})).empty());     // 0 passes no guard
+}
+
+TEST_F(SeftTest, TransduceFunctional) {
+  Seft A = example45();
+  EXPECT_EQ(A.transduceFunctional(ints({7, 9})), ints({2, 4}));
+  EXPECT_EQ(A.transduceFunctional(ints({1})), std::nullopt);
+}
+
+TEST_F(SeftTest, PathReturnsRuleSequence) {
+  Seft A = example45();
+  auto P1 = A.path(ints({5, 5}));
+  ASSERT_TRUE(P1.has_value());
+  EXPECT_EQ(*P1, (std::vector<unsigned>{0, 1}));
+  auto P2 = A.path(ints({-5, -5}));
+  ASSERT_TRUE(P2.has_value());
+  EXPECT_EQ(*P2, (std::vector<unsigned>{2}));
+  EXPECT_FALSE(A.path(ints({0})).has_value());
+}
+
+TEST_F(SeftTest, LookaheadIsMaxOverRules) {
+  Seft A = example45();
+  EXPECT_EQ(A.lookahead(), 2u);
+}
+
+TEST_F(SeftTest, EmptyOutputFinalizerAcceptsEmptyList) {
+  // p --true/[]/0--> FINAL accepts [] producing [].
+  Seft A(1, 0, I, I);
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  auto R = A.transduce(ints({}));
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R[0].empty());
+  EXPECT_TRUE(A.transduce(ints({1})).empty());
+}
+
+TEST_F(SeftTest, UndefinedOutputBlocksRule) {
+  // Rule whose output applies a partial function outside its domain for
+  // some inputs: f(x) = x - 1 with domain x >= 1.
+  TermRef P0 = F.mkVar(0, I);
+  const FuncDef *Dec =
+      F.makeFunc("decT", {I}, I, F.mkIntOp(Op::IntSub, P0, F.mkInt(1)),
+                 F.mkIntOp(Op::IntGe, P0, F.mkInt(1)));
+  Seft A(1, 0, I, I);
+  A.addTransition({0, Seft::FinalState, 1, F.mkTrue(),
+                   {F.mkCall(Dec, {X0})}});
+  EXPECT_EQ(A.transduceFunctional(ints({3})), ints({2}));
+  // Outside the domain the non-symbolic rule does not exist (§3.3).
+  EXPECT_TRUE(A.transduce(ints({0})).empty());
+}
+
+TEST_F(SeftTest, NondeterministicTransducerYieldsMultipleOutputs) {
+  Seft A(1, 0, I, I);
+  A.addTransition({0, Seft::FinalState, 1, F.mkIntOp(Op::IntGt, X0, F.mkInt(0)),
+                   {X0}});
+  A.addTransition({0, Seft::FinalState, 1, F.mkIntOp(Op::IntLt, X0, F.mkInt(5)),
+                   {F.mkIntOp(Op::IntNeg, X0)}});
+  auto R = A.transduce(ints({3}));
+  EXPECT_EQ(R.size(), 2u);
+}
+
+TEST_F(SeftTest, Example55Transducer) {
+  // Example 5.5: D with q0 --x<0/[x]--> q1, q0 --x>0/[-x]--> q2,
+  // q2 --true/[x]--> q1, q1 --true/[]/0--> FINAL.
+  Seft D(3, 0, I, I);
+  D.addTransition({0, 1, 1, F.mkIntOp(Op::IntLt, X0, F.mkInt(0)), {X0}});
+  D.addTransition({0, 2, 1, F.mkIntOp(Op::IntGt, X0, F.mkInt(0)),
+                   {F.mkIntOp(Op::IntNeg, X0)}});
+  D.addTransition({2, 1, 1, F.mkTrue(), {X0}});
+  D.addTransition({1, Seft::FinalState, 0, F.mkTrue(), {}});
+  EXPECT_EQ(D.transduceFunctional(ints({-3})), ints({-3}));
+  EXPECT_EQ(D.transduceFunctional(ints({3, 7})), ints({-3, 7}));
+  EXPECT_EQ(D.transduceFunctional(ints({0})), std::nullopt);
+  EXPECT_EQ(D.transduceFunctional(ints({-3, 7})), std::nullopt);
+}
+
+// A BitVec 8 "rotate nibble" coder used to exercise bit-vector semantics.
+TEST_F(SeftTest, BitVectorTransducer) {
+  TermFactory FB;
+  Type B8 = Type::bitVecTy(8);
+  TermRef V = FB.mkVar(0, B8);
+  Seft A(1, 0, B8, B8);
+  TermRef Swap = FB.mkBvOp(Op::BvOr, FB.mkBvOp(Op::BvShl, V, FB.mkBv(4, 8)),
+                           FB.mkBvOp(Op::BvLshr, V, FB.mkBv(4, 8)));
+  A.addTransition({0, 0, 1, FB.mkTrue(), {Swap}});
+  A.addTransition({0, Seft::FinalState, 0, FB.mkTrue(), {}});
+  ValueList In{Value::bitVecVal(0xAB, 8), Value::bitVecVal(0x12, 8)};
+  ValueList Expect{Value::bitVecVal(0xBA, 8), Value::bitVecVal(0x21, 8)};
+  EXPECT_EQ(A.transduceFunctional(In), Expect);
+}
+
+} // namespace

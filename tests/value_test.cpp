@@ -1,0 +1,73 @@
+//===- tests/value_test.cpp - Values and types ------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+using namespace genic;
+
+namespace {
+
+TEST(TypeTest, Identities) {
+  EXPECT_EQ(Type::boolTy(), Type::boolTy());
+  EXPECT_EQ(Type::intTy(), Type::intTy());
+  EXPECT_EQ(Type::bitVecTy(8), Type::bitVecTy(8));
+  EXPECT_NE(Type::bitVecTy(8), Type::bitVecTy(9));
+  EXPECT_NE(Type::intTy(), Type::boolTy());
+  EXPECT_NE(Type::intTy(), Type::bitVecTy(32));
+}
+
+TEST(TypeTest, Rendering) {
+  EXPECT_EQ(Type::boolTy().str(), "Bool");
+  EXPECT_EQ(Type::intTy().str(), "Int");
+  EXPECT_EQ(Type::bitVecTy(8).str(), "(BitVec 8)");
+  EXPECT_EQ(Type::bitVecTy(64).str(), "(BitVec 64)");
+}
+
+TEST(ValueTest, BitVecMasking) {
+  EXPECT_EQ(Value::bitVecVal(0x1FF, 8).getBits(), 0xFFu);
+  EXPECT_EQ(Value::bitVecVal(~0ull, 64).getBits(), ~0ull);
+  EXPECT_EQ(Value::bitVecVal(0b1010, 3).getBits(), 0b010u);
+  EXPECT_EQ(Value::maskOf(1), 1u);
+  EXPECT_EQ(Value::maskOf(64), ~0ull);
+  EXPECT_EQ(Value::maskOf(33), (1ull << 33) - 1);
+}
+
+TEST(ValueTest, EqualityDistinguishesTypes) {
+  EXPECT_NE(Value::intVal(5), Value::bitVecVal(5, 8));
+  EXPECT_NE(Value::bitVecVal(5, 8), Value::bitVecVal(5, 16));
+  EXPECT_EQ(Value::intVal(-1), Value::intVal(-1));
+  EXPECT_NE(Value::boolVal(true), Value::boolVal(false));
+}
+
+TEST(ValueTest, OrderingIsTotalAndSigned) {
+  std::set<Value> S{Value::intVal(3), Value::intVal(-5), Value::intVal(0)};
+  EXPECT_EQ(S.begin()->getInt(), -5);
+  // Bit-vectors order by unsigned pattern.
+  EXPECT_LT(Value::bitVecVal(1, 8), Value::bitVecVal(0xFF, 8));
+}
+
+TEST(ValueTest, HashUsableInUnorderedContainers) {
+  std::unordered_set<Value> S;
+  for (int I = 0; I < 100; ++I)
+    S.insert(Value::intVal(I % 10));
+  EXPECT_EQ(S.size(), 10u);
+}
+
+TEST(ValueTest, Rendering) {
+  EXPECT_EQ(Value::boolVal(true).str(), "true");
+  EXPECT_EQ(Value::intVal(-42).str(), "-42");
+  EXPECT_EQ(Value::bitVecVal(0x3d, 8).str(), "#x3d");
+  EXPECT_EQ(Value::bitVecVal(0x3f, 32).str(), "#x0000003f");
+  EXPECT_EQ(toString({Value::intVal(1), Value::intVal(2)}), "[1, 2]");
+  EXPECT_EQ(toString({}), "[]");
+}
+
+} // namespace

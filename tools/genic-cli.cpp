@@ -1,0 +1,294 @@
+//===- tools/genic-cli.cpp - The genic command-line tool ------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end mirroring the original GENIC tool:
+///
+///   genic run PROGRAM.genic            # perform the program's operations
+///   genic invert PROGRAM.genic         # force inversion, print the inverse
+///   genic check PROGRAM.genic          # force determinism + injectivity
+///   genic eval PROGRAM.genic v1 v2 ... # run the transformation on a list
+///   genic corpus [NAME]                # list / print the Table 1 programs
+///   genic verify ENC.genic DEC.genic   # test that two programs invert
+///                                      # each other (randomized, both ways)
+///
+/// Options:
+///   --no-aux       disable auxiliary-function inversion (§6 optimization 1)
+///   --no-mining    disable grammar mining / variable reduction (§6 opt. 2)
+///   --no-slice     disable the bit-slice synthesis strategy
+///   --entry NAME   override the entry transformation
+///   --stats        print SyGuS call records and per-rule timings
+///
+//===----------------------------------------------------------------------===//
+
+#include "coders/Corpus.h"
+#include "genic/Genic.h"
+#include "genic/Lower.h"
+#include "genic/Parser.h"
+#include "support/StringUtils.h"
+#include "transducer/Sampling.h"
+
+#include <random>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace genic;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: genic <run|invert|check|eval> PROGRAM.genic [values...]\n"
+      "       genic corpus [NAME] | genic verify ENC.genic DEC.genic\n"
+      "  options: --no-aux --no-mining --no-slice --entry NAME --stats\n");
+  return 2;
+}
+
+Result<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Status::error("cannot open " + Path);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// Parses a symbol argument ("42", "-3", "#x3d", "0x3d") into a Value of
+/// the machine's input type.
+Result<Value> parseSymbol(const std::string &Text, const Type &Ty) {
+  try {
+    if (Ty.isInt())
+      return Value::intVal(std::stoll(Text));
+    std::string Hex = Text;
+    int Base = 10;
+    if (startsWith(Hex, "#x") || startsWith(Hex, "0x")) {
+      Hex = Hex.substr(2);
+      Base = 16;
+    }
+    return Value::bitVecVal(std::stoull(Hex, nullptr, Base), Ty.width());
+  } catch (...) {
+    return Status::error("cannot parse symbol '" + Text + "' as " + Ty.str());
+  }
+}
+
+void printStats(const GenicReport &R) {
+  if (R.Inversion) {
+    std::printf("\nper-rule inversion:\n");
+    for (const RuleInversionRecord &Rec : R.Inversion->Records)
+      std::printf("  rule %-3u %-4s %7.3fs  %s\n", Rec.Rule,
+                  Rec.Inverted ? "ok" : "FAIL", Rec.Seconds,
+                  Rec.Error.c_str());
+    std::printf("SyGuS calls (size, seconds, outcome):\n");
+    for (const SygusEngine::CallRecord &C : R.SygusCalls)
+      std::printf("  %3u  %7.3fs  %s  (%u CEGIS iterations)\n", C.ResultSize,
+                  C.Seconds, C.Success ? "ok" : "fail", C.CegisIterations);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Command, Path, Entry;
+  std::vector<std::string> Symbols;
+  InverterOptions Options;
+  bool Stats = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--no-aux") {
+      Options.UseAuxInversion = false;
+    } else if (Arg == "--no-mining") {
+      Options.UseMining = false;
+    } else if (Arg == "--no-slice") {
+      Options.Engine.EnableBitSlice = false;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--entry") {
+      if (++I >= Argc)
+        return usage();
+      Entry = Argv[I];
+    } else if (Command.empty()) {
+      Command = Arg;
+    } else if (Path.empty()) {
+      Path = Arg;
+    } else {
+      Symbols.push_back(Arg);
+    }
+  }
+  if (Command == "corpus") {
+    if (Path.empty()) {
+      for (const CoderSpec &Spec : coderCorpus())
+        std::printf("%s\n", Spec.name().c_str());
+      return 0;
+    }
+    for (const CoderSpec &Spec : coderCorpus())
+      if (Spec.name() == Path || Spec.Family + "-" + Spec.Variant == Path) {
+        std::fputs(Spec.Source.c_str(), stdout);
+        return 0;
+      }
+    std::fprintf(stderr, "unknown corpus program '%s' (try `genic "
+                         "corpus` for the list)\n",
+                 Path.c_str());
+    return 1;
+  }
+  if (Command.empty() || Path.empty())
+    return usage();
+
+  Result<std::string> Source = readFile(Path);
+  if (!Source) {
+    std::fprintf(stderr, "error: %s\n", Source.status().message().c_str());
+    return 1;
+  }
+
+  if (Command == "eval") {
+    TermFactory F;
+    Result<AstProgram> Ast = parseGenic(*Source);
+    if (!Ast) {
+      std::fprintf(stderr, "error: %s\n", Ast.status().message().c_str());
+      return 1;
+    }
+    Result<LoweredProgram> P = lowerProgram(F, *Ast, Entry);
+    if (!P) {
+      std::fprintf(stderr, "error: %s\n", P.status().message().c_str());
+      return 1;
+    }
+    ValueList Input;
+    for (const std::string &S : Symbols) {
+      Result<Value> V = parseSymbol(S, P->Machine.inputType());
+      if (!V) {
+        std::fprintf(stderr, "error: %s\n", V.status().message().c_str());
+        return 1;
+      }
+      Input.push_back(*V);
+    }
+    auto Outputs = P->Machine.transduce(Input);
+    if (Outputs.empty()) {
+      std::printf("%s: undefined on %s\n", P->EntryName.c_str(),
+                  toString(Input).c_str());
+      return 1;
+    }
+    for (const ValueList &Out : Outputs)
+      std::printf("%s\n", toString(Out).c_str());
+    return 0;
+  }
+
+  if (Command == "verify") {
+    if (Symbols.size() != 1)
+      return usage();
+    Result<std::string> Source2 = readFile(Symbols[0]);
+    if (!Source2) {
+      std::fprintf(stderr, "error: %s\n",
+                   Source2.status().message().c_str());
+      return 1;
+    }
+    // Each program gets its own factory/solver: both may define auxiliary
+    // functions with the same names (E, B, D, ...), and the machines only
+    // meet through concrete value lists.
+    TermFactory FA, FB;
+    Solver SlvA(FA), SlvB(FB);
+    Result<AstProgram> AstA = parseGenic(*Source);
+    Result<AstProgram> AstB = parseGenic(*Source2);
+    if (!AstA || !AstB) {
+      std::fprintf(stderr, "error: %s\n",
+                   (AstA ? AstB.status() : AstA.status()).message().c_str());
+      return 1;
+    }
+    Result<LoweredProgram> A = lowerProgram(FA, *AstA, Entry);
+    Result<LoweredProgram> B = lowerProgram(FB, *AstB);
+    if (!A || !B) {
+      std::fprintf(stderr, "error: %s\n",
+                   (A ? B.status() : A.status()).message().c_str());
+      return 1;
+    }
+    std::mt19937_64 Rng(std::random_device{}());
+    auto Direction = [&](const Seft &Enc, Solver &EncSolver, const Seft &Dec,
+                         const char *Tag) {
+      for (unsigned Trial = 0; Trial < 100; ++Trial) {
+        Result<ValueList> In =
+            randomAcceptedInput(Enc, EncSolver, Rng, Trial % 7);
+        if (!In) {
+          std::fprintf(stderr, "error sampling %s: %s\n", Tag,
+                       In.status().message().c_str());
+          return false;
+        }
+        auto Mid = Enc.transduce(*In, 2);
+        if (Mid.size() != 1) {
+          std::fprintf(stderr, "%s is not functional on %s\n", Tag,
+                       toString(*In).c_str());
+          return false;
+        }
+        auto Back = Dec.transduce(Mid[0], 2);
+        if (Back.size() != 1 || Back[0] != *In) {
+          std::printf("counterexample (%s): input %s encodes to %s, "
+                      "which decodes to %s\n",
+                      Tag, toString(*In).c_str(), toString(Mid[0]).c_str(),
+                      Back.empty() ? "nothing"
+                                   : toString(Back[0]).c_str());
+          return false;
+        }
+      }
+      return true;
+    };
+    bool Forward =
+        Direction(A->Machine, SlvA, B->Machine, A->EntryName.c_str());
+    bool Backward =
+        Direction(B->Machine, SlvB, A->Machine, B->EntryName.c_str());
+    if (Forward && Backward) {
+      std::printf("OK: %s and %s invert each other on 200 randomized "
+                  "round-trips\n",
+                  A->EntryName.c_str(), B->EntryName.c_str());
+      return 0;
+    }
+    return 1;
+  }
+
+  bool ForceInjective = Command == "check";
+  bool ForceInvert = Command == "invert";
+  if (Command != "run" && Command != "check" && Command != "invert")
+    return usage();
+
+  GenicTool Tool(Options);
+  Result<GenicReport> Report =
+      Tool.run(*Source, ForceInjective, ForceInvert);
+  if (!Report) {
+    std::fprintf(stderr, "error: %s\n", Report.status().message().c_str());
+    return 1;
+  }
+  const GenicReport &R = *Report;
+
+  std::printf("%s: %u state(s), %u rule(s), %u auxiliary function(s), "
+              "lookahead %u, theory %s\n",
+              R.EntryName.c_str(), R.NumStates, R.NumTransitions,
+              R.NumAuxFuncs, R.MaxLookahead, R.Theory.c_str());
+  std::printf("deterministic: %s (%.3fs)%s%s\n",
+              R.Deterministic ? "yes" : "NO", R.DeterminismSeconds,
+              R.Deterministic ? "" : " — ", R.DeterminismDetail.c_str());
+  if (R.Injectivity) {
+    std::printf("injective:     %s (%.3fs)\n",
+                R.Injectivity->Injective ? "yes" : "NO",
+                R.InjectivitySeconds);
+    if (!R.Injectivity->Injective) {
+      std::printf("  %s\n", R.Injectivity->Detail.c_str());
+      if (R.Injectivity->Witness)
+        std::printf("  witnesses: %s and %s\n",
+                    toString(R.Injectivity->Witness->first).c_str(),
+                    toString(R.Injectivity->Witness->second).c_str());
+    }
+  }
+  if (R.Inversion) {
+    std::printf("inverted:      %s (%.3fs total, %.3fs max rule)\n",
+                R.Inversion->complete() ? "yes" : "PARTIALLY",
+                R.InversionSeconds, R.Inversion->maxRuleSeconds());
+    std::printf("\n%s", R.InverseSource.c_str());
+  }
+  if (Stats)
+    printStats(R);
+  return 0;
+}
