@@ -22,8 +22,13 @@
 #include "support/StringUtils.h"
 #include "support/Table.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <random>
+#include <sstream>
+#include <string>
 
 using namespace genic;
 
@@ -69,11 +74,67 @@ bool roundTrips(const CoderSpec &Spec, const GenicReport &Report) {
   return true;
 }
 
+/// Machine-readable mirror of the printed table, one object per program,
+/// so before/after comparisons diff data instead of screen-scraped text.
+class JsonWriter {
+public:
+  void beginProgram(const std::string &Name) {
+    if (!First)
+      Body << ",\n";
+    First = false;
+    Body << "    {\"program\": \"" << Name << "\"";
+  }
+  void field(const char *Key, const std::string &V) {
+    Body << ", \"" << Key << "\": \"" << V << "\"";
+  }
+  void field(const char *Key, double V) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.4f", V);
+    Body << ", \"" << Key << "\": " << Buf;
+  }
+  void field(const char *Key, uint64_t V) {
+    Body << ", \"" << Key << "\": " << V;
+  }
+  void field(const char *Key, bool V) {
+    Body << ", \"" << Key << "\": " << (V ? "true" : "false");
+  }
+  void endProgram() { Body << "}"; }
+
+  void write(const std::string &Path, unsigned Jobs, double SumDet,
+             double SumInj, double SumInv, unsigned Inverted) {
+    std::ofstream Out(Path);
+    Out << "{\n  \"bench\": \"table1\",\n  \"jobs\": " << Jobs
+        << ",\n  \"programs\": [\n"
+        << Body.str() << "\n  ],\n  \"summary\": {\"inverted\": " << Inverted
+        << ", \"total\": 14, \"sumIsDet\": " << SumDet
+        << ", \"sumIsInj\": " << SumInj << ", \"sumInversion\": " << SumInv
+        << "}\n}\n";
+    std::printf("wrote %s\n", Path.c_str());
+  }
+
+private:
+  std::ostringstream Body;
+  bool First = true;
+};
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  unsigned Jobs = 1;
+  std::string JsonPath = "BENCH_table1.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc)
+      Jobs = std::max(1, std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else {
+      std::fprintf(stderr, "usage: %s [--jobs N] [--json FILE]\n", Argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("Table 1: performance and effectiveness of GENIC on 14 "
-              "encoders and decoders\n");
+              "encoders and decoders (--jobs %u)\n", Jobs);
   std::printf("(paper values in [brackets]; absolute times are not "
               "comparable across testbeds)\n\n");
 
@@ -82,16 +143,22 @@ int main() {
                "isDet", "isInj", "inv-total", "inv-max-tr", "res",
                "roundtrip", "theory"});
 
+  JsonWriter Json;
   unsigned Inverted = 0;
   double SumDet = 0, SumInj = 0, SumInv = 0;
   for (size_t I = 0; I < coderCorpus().size(); ++I) {
     const CoderSpec &Spec = coderCorpus()[I];
     const PaperRow &Paper = PaperRows[I];
-    GenicTool Tool;
+    InverterOptions Options;
+    Options.Jobs = Jobs;
+    GenicTool Tool(Options);
     Result<GenicReport> Report = Tool.run(Spec.Source);
     if (!Report) {
       T.addRow({Spec.name(), "-", "-", "-", "-", "-", "-", "-", "-", "-",
                 "error: " + Report.status().message()});
+      Json.beginProgram(Spec.name());
+      Json.field("error", Report.status().message());
+      Json.endProgram();
       continue;
     }
     const GenicReport &R = *Report;
@@ -121,6 +188,28 @@ int main() {
               Res + " [" + Paper.Res + "]",
               R.Inversion->complete() && roundTrips(Spec, R) ? "ok" : "FAIL",
               R.Theory});
+
+    Json.beginProgram(Spec.name());
+    Json.field("states", (uint64_t)R.NumStates);
+    Json.field("transitions", (uint64_t)R.NumTransitions);
+    Json.field("auxFuncs", (uint64_t)R.NumAuxFuncs);
+    Json.field("maxLookahead", (uint64_t)R.MaxLookahead);
+    Json.field("isDetSeconds", R.DeterminismSeconds);
+    Json.field("isInjSeconds", R.InjectivitySeconds);
+    Json.field("inversionSeconds", R.InversionSeconds);
+    Json.field("maxRuleSeconds", R.Inversion->maxRuleSeconds());
+    Json.field("res", Res);
+    Json.field("roundtrip", R.Inversion->complete() && roundTrips(Spec, R));
+    Json.field("sharedSatHits", R.SolverStats.CacheHits);
+    Json.field("sharedSatMisses", R.SolverStats.CacheMisses);
+    Json.field("workerSatHits", R.WorkerStats.Smt.CacheHits);
+    Json.field("workerSatMisses", R.WorkerStats.Smt.CacheMisses);
+    Json.field("workerSessions", (uint64_t)R.WorkerStats.Sessions);
+    Json.field("compiledEvals",
+               R.EvalStats.Evals + R.WorkerStats.Eval.Evals);
+    Json.field("compiledPrograms",
+               R.EvalStats.Compiles + R.WorkerStats.Eval.Compiles);
+    Json.endProgram();
   }
   std::printf("%s\n", T.render().c_str());
   std::printf("summary: %u/14 programs fully inverted (paper: 13/14); "
@@ -129,5 +218,6 @@ int main() {
               Inverted, SumDet / 14, SumInj / 14, SumInv / 14);
   std::printf("note: rule counts include explicit `[] -> []` finalizers and "
               "the Cartesian-split UTF-8 classes; see EXPERIMENTS.md\n");
+  Json.write(JsonPath, Jobs, SumDet, SumInj, SumInv, Inverted);
   return 0;
 }

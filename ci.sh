@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+#===------------------------------------------------------------------------===#
+# ci.sh — full verification pipeline.
+#
+#   1. Tier-1: configure, build, and run the whole test suite.
+#   2. Sanitizers: rebuild with -fsanitize=address,undefined and re-run the
+#      suites that exercise new machinery with threads and compiled
+#      evaluation (plus the term/solver cores under them).
+#   3. Bench smoke: one fast pass of bench_micro so perf regressions that
+#      crash or hang surface in CI, and BENCH_micro.json stays producible.
+#
+# Usage: ./ci.sh [--skip-asan] [--skip-bench]
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SKIP_ASAN=0
+SKIP_BENCH=0
+for Arg in "$@"; do
+  case "$Arg" in
+  --skip-asan) SKIP_ASAN=1 ;;
+  --skip-bench) SKIP_BENCH=1 ;;
+  *)
+    echo "usage: $0 [--skip-asan] [--skip-bench]" >&2
+    exit 2
+    ;;
+  esac
+done
+
+echo "=== tier-1: build + full test suite ==="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [ "$SKIP_ASAN" -eq 0 ]; then
+  echo "=== sanitizers: address,undefined on the hot-path suites ==="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-asan -j --target \
+    compiled_eval_test parallel_invert_test enumerator_test \
+    term_test eval_test solver_test support_test
+  for T in compiled_eval_test parallel_invert_test enumerator_test \
+    term_test eval_test solver_test support_test; do
+    echo "--- asan/ubsan: $T"
+    ./build-asan/tests/"$T"
+  done
+fi
+
+if [ "$SKIP_BENCH" -eq 0 ]; then
+  echo "=== bench smoke: bench_micro ==="
+  cmake --build build -j --target bench_micro
+  (cd build && ./bench/bench_micro --benchmark_min_time=0.05)
+fi
+
+echo "=== ci.sh: all green ==="

@@ -73,6 +73,8 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
     Report.Inversion = *Out;
     Report.InverseMachine = Out->Inverse;
     Report.SygusCalls = Inv.engine().calls();
+    Report.WorkerStats = Inv.workerStats();
+    Report.EvalStats = Inv.engine().evalCache().stats();
 
     // Emit the inverse as GENIC source (Figure 3). The synthesized inverse
     // auxiliary functions print first, making the program read naturally.
@@ -83,5 +85,6 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
     Report.InverseSource = printGenicProgram(Out->Inverse, Aux, PO);
     Report.InverseSourceBytes = Report.InverseSource.size();
   }
+  Report.SolverStats = Slv.stats();
   return Report;
 }

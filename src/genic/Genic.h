@@ -56,6 +56,14 @@ struct GenicReport {
   size_t InverseSourceBytes = 0;
   std::vector<SygusEngine::CallRecord> SygusCalls;
 
+  // Performance counters of the run (printed under genic-cli --stats).
+  // SolverStats covers the shared session (determinism, injectivity, guard
+  // simplification merges); WorkerStats aggregates the per-rule inversion
+  // sessions; EvalStats is the shared engine's compiled-eval cache.
+  Solver::Stats SolverStats;
+  Inverter::WorkerStats WorkerStats;
+  CompiledEvalCache::Stats EvalStats;
+
   // The machines, for round-trip testing by callers.
   std::optional<Seft> Machine;
   std::optional<Seft> InverseMachine;

@@ -68,6 +68,10 @@ public:
   z3::context Ctx;
   Stats TheStats;
   unsigned TimeoutMs = 20000;
+  /// Memoized checkSat answers, keyed by hash-consed formula pointer. Sat
+  /// and Unsat are stable facts about a formula; Unknown (timeout, Z3
+  /// hiccup) is never cached so a retry gets a fresh chance.
+  std::unordered_map<TermRef, SatResult> SatCache;
 
   // -- Translation ---------------------------------------------------------
 
@@ -855,12 +859,26 @@ void Solver::setTimeoutMs(unsigned Milliseconds) {
   TheImpl->TimeoutMs = Milliseconds;
 }
 
+unsigned Solver::timeoutMs() const { return TheImpl->TimeoutMs; }
+
 SatResult Solver::checkSat(TermRef Formula) {
-  try {
-    return TheImpl->checkExpr(TheImpl->translate(Formula));
-  } catch (const z3::exception &) {
-    return SatResult::Unknown;
+  // isValid and equivalentUnder funnel through here (as sat-of-negation),
+  // so this one table memoizes all three entry points.
+  auto Cached = TheImpl->SatCache.find(Formula);
+  if (Cached != TheImpl->SatCache.end()) {
+    ++TheImpl->TheStats.CacheHits;
+    return Cached->second;
   }
+  ++TheImpl->TheStats.CacheMisses;
+  SatResult R;
+  try {
+    R = TheImpl->checkExpr(TheImpl->translate(Formula));
+  } catch (const z3::exception &) {
+    R = SatResult::Unknown;
+  }
+  if (R != SatResult::Unknown)
+    TheImpl->SatCache.emplace(Formula, R);
+  return R;
 }
 
 Result<bool> Solver::isSat(TermRef Formula) {

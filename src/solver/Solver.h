@@ -44,10 +44,14 @@ public:
 
   /// Per-query timeout; 0 disables. Defaults to 20 seconds.
   void setTimeoutMs(unsigned Milliseconds);
+  unsigned timeoutMs() const;
 
   // Base queries ------------------------------------------------------------
 
   /// Satisfiability of \p Formula with its free variables existential.
+  /// Sat/Unsat answers are memoized per hash-consed formula pointer (see
+  /// Stats::CacheHits); isValid and equivalentUnder share the memo because
+  /// they reduce to checkSat of a negation.
   SatResult checkSat(TermRef Formula);
 
   /// IsSat(phi) of §3.1; Unknown becomes an error.
@@ -111,6 +115,11 @@ public:
     uint64_t SatQueries = 0;
     uint64_t QeCalls = 0;
     uint64_t QeFallbacks = 0;
+    /// checkSat calls answered from the pointer-keyed memo table.
+    uint64_t CacheHits = 0;
+    /// checkSat calls that reached the SMT backend (Unknown answers are
+    /// not cached, so they count as misses on every retry).
+    uint64_t CacheMisses = 0;
   };
   const Stats &stats() const;
 

@@ -1,0 +1,118 @@
+//===- support/ThreadPool.h - Minimal fixed-size worker pool --------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool for fanning out independent work items
+/// (per-transition inverse synthesis, bench sweeps). Deliberately minimal:
+/// submit void() tasks, wait for all of them. Determinism is the caller's
+/// job — tasks must write to disjoint, pre-allocated slots and the caller
+/// merges in a fixed order after wait().
+///
+/// With Threads == 1 (or 0) no threads are spawned and submit() runs the
+/// task inline, so a single-job run is byte-for-byte the serial code path —
+/// useful both for debugging and for keeping `--jobs 1` free of pool
+/// overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SUPPORT_THREADPOOL_H
+#define GENIC_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace genic {
+
+/// Fixed pool of workers draining a FIFO queue. All public members are
+/// callable from the owning thread only; tasks themselves may not touch the
+/// pool (no nested submit).
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers; 0 and 1 mean "run inline, spawn nothing".
+  explicit ThreadPool(size_t Threads) {
+    if (Threads <= 1)
+      return;
+    Workers.reserve(Threads);
+    for (size_t I = 0; I != Threads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stopping = true;
+    }
+    WakeWorkers.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  size_t threadCount() const { return Workers.size(); }
+
+  /// Enqueues \p Task. Inline pools execute it before returning.
+  void submit(std::function<void()> Task) {
+    if (Workers.empty()) {
+      Task();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Queue.push_back(std::move(Task));
+      ++Unfinished;
+    }
+    WakeWorkers.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished. The pool is reusable
+  /// after wait() returns.
+  void wait() {
+    if (Workers.empty())
+      return;
+    std::unique_lock<std::mutex> Lock(M);
+    AllDone.wait(Lock, [this] { return Unfinished == 0; });
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        WakeWorkers.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping, queue drained.
+        Task = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Task();
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        if (--Unfinished == 0)
+          AllDone.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex M;
+  std::condition_variable WakeWorkers;
+  std::condition_variable AllDone;
+  size_t Unfinished = 0;
+  bool Stopping = false;
+};
+
+} // namespace genic
+
+#endif // GENIC_SUPPORT_THREADPOOL_H

@@ -7,9 +7,11 @@
 #include "sygus/Enumerator.h"
 
 #include "support/Timer.h"
+#include "term/CompiledEval.h"
 #include "term/Eval.h"
 
 #include <cassert>
+#include <cstdio>
 #include <deque>
 #include <unordered_set>
 
@@ -70,16 +72,23 @@ struct TypeBank {
 
 Enumerator::Enumerator(TermFactory &F, const Grammar &G,
                        std::vector<std::vector<Value>> Examples, Config C)
-    : Factory(F), G(G), Examples(std::move(Examples)), Cfg(C) {
-  if (this->Examples.size() > 64)
-    this->Examples.resize(64);
-}
+    : Factory(F), G(G), Examples(std::move(Examples)), Cfg(C) {}
 
 std::optional<TermRef>
 Enumerator::findMatching(const std::vector<Value> &Target) {
   assert(Target.size() == Examples.size() &&
          "one target output per example");
   LastStats = Stats();
+  if (Examples.size() > MaxExamples) {
+    // Truncating here would silently synthesize against a subset of the
+    // spec; fail instead and let the caller shrink the example set.
+    std::fprintf(stderr,
+                 "genic: enumerator given %zu examples, cap is %zu "
+                 "(64-bit packed signatures); rejecting\n",
+                 Examples.size(), MaxExamples);
+    LastStats.RejectedOversized = true;
+    return std::nullopt;
+  }
   Timer Clock;
   const size_t NumEx = Examples.size();
 
@@ -174,6 +183,7 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
       }
       if (!AllDefined)
         continue;
+      ++LastStats.CandidateEvals;
       std::optional<Value> V = EvalOne(std::span<const Value>(Args));
       if (!V)
         continue;
@@ -292,6 +302,10 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
                   std::span<const Entry *const>(Chosen.data(), A),
                   std::span<const Type>(Fn->ParamTypes.data(), A),
                   Fn->ReturnType, Size, [&](std::span<const Value> Vals) {
+                    // Compiled path: one flat program per callee instead of
+                    // re-walking Body/Domain for every (candidate, example).
+                    if (Cfg.EvalCache)
+                      return Cfg.EvalCache->callFunc(Fn, Vals);
                     std::optional<Value> Out;
                     if (!Fn->Domain ||
                         evalBool(Fn->Domain,

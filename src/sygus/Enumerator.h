@@ -26,9 +26,18 @@
 
 namespace genic {
 
+class CompiledEvalCache;
+
 /// One bottom-up enumeration session over a fixed example set.
 class Enumerator {
 public:
+  /// The one place the example cap lives: observational-equivalence
+  /// signatures are packed into a 64-bit definedness mask, so an example
+  /// set larger than this cannot be represented. Callers (the CEGIS driver
+  /// in Sygus.cpp) must stay at or below it; the Enumerator rejects larger
+  /// sets loudly instead of silently truncating.
+  static constexpr size_t MaxExamples = 64;
+
   struct Config {
     /// Largest term size to enumerate. The paper reports that functions
     /// beyond ~25 operators are out of reach of existing solvers (§7.2/7.3).
@@ -37,11 +46,16 @@ public:
     size_t MaxTerms = 400000;
     /// Wall-clock budget for one findMatching call.
     double TimeoutSeconds = 30;
+    /// Optional compiled-evaluation cache for auxiliary-function candidates
+    /// (the tree-walking hot spot of the inner loop). Not owned; typically
+    /// the engine-wide cache, so compiled aux bodies are shared across
+    /// CEGIS iterations and synthesis calls. Null falls back to eval().
+    CompiledEvalCache *EvalCache = nullptr;
   };
 
   /// \p Examples are environments for the grammar's variables: Examples[e]
-  /// binds Var(i) to Examples[e][i]. At most 64 examples are supported
-  /// (signatures are bitmask-packed); extras are ignored.
+  /// binds Var(i) to Examples[e][i]. At most MaxExamples examples are
+  /// supported; larger sets make findMatching fail loudly.
   Enumerator(TermFactory &F, const Grammar &G,
              std::vector<std::vector<Value>> Examples)
       : Enumerator(F, G, std::move(Examples), Config()) {}
@@ -57,8 +71,10 @@ public:
   struct Stats {
     size_t TermsKept = 0;       // distinct signatures retained
     size_t CandidatesTried = 0; // combinations evaluated
+    uint64_t CandidateEvals = 0; // single (candidate, example) evaluations
     unsigned SizeReached = 0;
     bool TimedOut = false;
+    bool RejectedOversized = false; // example set exceeded MaxExamples
   };
   const Stats &stats() const { return LastStats; }
 

@@ -6,44 +6,33 @@
 
 #include "sygus/Inverter.h"
 
+#include "support/ThreadPool.h"
 #include "sygus/AuxInvert.h"
 #include "sygus/Mining.h"
+#include "term/TermClone.h"
+
+#include <algorithm>
+#include <memory>
 
 using namespace genic;
 
 Inverter::Inverter(Solver &S, InverterOptions O)
     : S(S), Opts(O), Engine(S, O.Engine) {}
 
-Result<InversionOutcome>
-Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
-  TermFactory &F = S.factory();
-  SynthesizedAux.clear();
+namespace {
 
-  // Optimization 1: invert the auxiliary functions and build the component
-  // pool. Non-invertible auxiliaries are skipped silently: they can still
-  // appear as forward components.
-  std::vector<const FuncDef *> Components;
-  if (Opts.UseAuxInversion) {
-    for (const FuncDef *Fn : AuxFuncs) {
-      Components.push_back(Fn);
-      if (Fn->arity() != 1)
-        continue;
-      std::string InvName = "inv_" + Fn->Name;
-      if (F.lookupFunc(InvName)) {
-        Components.push_back(F.lookupFunc(InvName));
-        continue;
-      }
-      Result<const FuncDef *> Inv = invertAuxFunction(Engine, Fn, InvName);
-      if (!Inv)
-        continue;
-      Components.push_back(*Inv);
-      SynthesizedAux.push_back(*Inv);
-    }
-  }
-
-  RecoverySynthesizer Hook = [this, &Components, &F](
-                                 const ImagePredicate &P, unsigned XIndex,
-                                 Type InputType) -> Result<TermRef> {
+/// The per-rule recovery synthesizer (§6): variable reduction, grammar
+/// mining, CEGIS, then the unrestricted fallback. Parameterized on the
+/// session so the same logic drives both the shared engine (aux inversion)
+/// and the per-rule worker sessions; all referenced objects must outlive
+/// the returned hook.
+RecoverySynthesizer
+makeRecoveryHook(Solver &S, SygusEngine &Engine, TermFactory &F,
+                 const std::vector<const FuncDef *> &Components,
+                 const InverterOptions &Opts) {
+  return [&S, &Engine, &F, &Components, &Opts](
+             const ImagePredicate &P, unsigned XIndex,
+             Type InputType) -> Result<TermRef> {
     SynthesisSpec Spec{P, F.mkVar(XIndex, InputType)};
 
     // Optimization 2a: variable reduction.
@@ -76,6 +65,128 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
     }
     return G;
   };
+}
 
-  return invertSeft(A, S, Hook);
+/// One rule's private inversion session. TermFactory, Solver, and
+/// SygusEngine are all documented not-thread-safe, so each rule gets its
+/// own trio; inputs are cloned in up front (serially) and results are
+/// cloned back out on the serial merge. The session's factory history is a
+/// pure function of the cloned inputs, so the synthesized terms — and
+/// therefore the merged inverse — do not depend on how tasks interleave.
+struct RuleTask {
+  std::unique_ptr<TermFactory> F;
+  std::unique_ptr<Solver> S;
+  std::unique_ptr<SygusEngine> Engine;
+  std::vector<const FuncDef *> Components; // cloned into *F
+  SeftTransition T;                        // cloned into *F
+  RuleInversionResult Result;              // terms live in *F
+};
+
+} // namespace
+
+Result<InversionOutcome>
+Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
+  TermFactory &F = S.factory();
+  SynthesizedAux.clear();
+  LastWorkerStats = WorkerStats();
+
+  // Optimization 1: invert the auxiliary functions and build the component
+  // pool. Non-invertible auxiliaries are skipped silently: they can still
+  // appear as forward components. This phase runs serially in the shared
+  // session (inverses must land in the shared factory for the printer).
+  std::vector<const FuncDef *> Components;
+  if (Opts.UseAuxInversion) {
+    for (const FuncDef *Fn : AuxFuncs) {
+      Components.push_back(Fn);
+      if (Fn->arity() != 1)
+        continue;
+      std::string InvName = "inv_" + Fn->Name;
+      if (F.lookupFunc(InvName)) {
+        Components.push_back(F.lookupFunc(InvName));
+        continue;
+      }
+      Result<const FuncDef *> Inv = invertAuxFunction(Engine, Fn, InvName);
+      if (!Inv)
+        continue;
+      Components.push_back(*Inv);
+      SynthesizedAux.push_back(*Inv);
+    }
+  }
+
+  // Set up one private session per rule, serially (cloning mutates the
+  // worker factories). Clone order is fixed — components first, then the
+  // rule — so each session's term ids are reproducible.
+  const auto &Ts = A.transitions();
+  std::vector<RuleTask> Tasks(Ts.size());
+  for (size_t I = 0; I != Ts.size(); ++I) {
+    RuleTask &Task = Tasks[I];
+    Task.F = std::make_unique<TermFactory>();
+    Task.S = std::make_unique<Solver>(*Task.F);
+    Task.S->setTimeoutMs(S.timeoutMs());
+    Task.Engine = std::make_unique<SygusEngine>(*Task.S, Opts.Engine);
+    TermCloner In(*Task.F);
+    Task.Components.reserve(Components.size());
+    for (const FuncDef *Fn : Components)
+      Task.Components.push_back(In.cloneFunc(Fn));
+    const SeftTransition &T = Ts[I];
+    Task.T.From = T.From;
+    Task.T.To = T.To;
+    Task.T.Lookahead = T.Lookahead;
+    Task.T.Guard = In.clone(T.Guard);
+    Task.T.Outputs.reserve(T.Outputs.size());
+    for (TermRef O : T.Outputs)
+      Task.T.Outputs.push_back(In.clone(O));
+  }
+
+  // Fan out: rules are independent (Theorem 5.4 inverts them separately).
+  const Type InTy = A.inputType(), OutTy = A.outputType();
+  ThreadPool Pool(std::min<size_t>(Opts.Jobs, Tasks.size()));
+  for (size_t I = 0; I != Tasks.size(); ++I) {
+    RuleTask *Task = &Tasks[I];
+    const InverterOptions *O = &Opts;
+    Pool.submit([Task, I, InTy, OutTy, O] {
+      RecoverySynthesizer Hook = makeRecoveryHook(
+          *Task->S, *Task->Engine, *Task->F, Task->Components, *O);
+      Task->Result = invertOneRule(Task->T, static_cast<unsigned>(I), InTy,
+                                   OutTy, *Task->S, Hook);
+    });
+  }
+  Pool.wait();
+
+  // Deterministic merge, in rule order: clone results into the shared
+  // factory, append records and call records, and sum worker counters.
+  // Synthesized recoveries only call components, whose names are already
+  // registered in the shared factory, so cloneFunc resolves them by name.
+  InversionOutcome Out{
+      Seft(A.numStates(), A.initial(), A.outputType(), A.inputType()),
+      {}};
+  TermCloner Back(F);
+  for (RuleTask &Task : Tasks) {
+    if (Task.Result.Transition) {
+      SeftTransition &W = *Task.Result.Transition;
+      SeftTransition Inv;
+      Inv.From = W.From;
+      Inv.To = W.To;
+      Inv.Lookahead = W.Lookahead;
+      Inv.Guard = Back.clone(W.Guard);
+      Inv.Outputs.reserve(W.Outputs.size());
+      for (TermRef G : W.Outputs)
+        Inv.Outputs.push_back(Back.clone(G));
+      Out.Inverse.addTransition(std::move(Inv));
+    }
+    Out.Records.push_back(std::move(Task.Result.Record));
+    Engine.appendCalls(Task.Engine->calls());
+    const Solver::Stats &WS = Task.S->stats();
+    LastWorkerStats.Smt.SatQueries += WS.SatQueries;
+    LastWorkerStats.Smt.QeCalls += WS.QeCalls;
+    LastWorkerStats.Smt.QeFallbacks += WS.QeFallbacks;
+    LastWorkerStats.Smt.CacheHits += WS.CacheHits;
+    LastWorkerStats.Smt.CacheMisses += WS.CacheMisses;
+    const CompiledEvalCache::Stats &ES = Task.Engine->evalCache().stats();
+    LastWorkerStats.Eval.Lookups += ES.Lookups;
+    LastWorkerStats.Eval.Compiles += ES.Compiles;
+    LastWorkerStats.Eval.Evals += ES.Evals;
+    ++LastWorkerStats.Sessions;
+  }
+  return Out;
 }

@@ -31,6 +31,12 @@ struct InverterOptions {
   bool UseAuxInversion = true;
   /// §6 optimization 2: operator mining and variable reduction.
   bool UseMining = true;
+  /// Worker threads for per-rule inversion (the paper's observation that
+  /// rules invert independently). Every rule runs in a private
+  /// TermFactory+Solver+SygusEngine session regardless of this setting, so
+  /// the inverse is bit-identical for every jobs value; >1 merely runs the
+  /// sessions concurrently.
+  unsigned Jobs = 1;
   SygusEngine::Options Engine;
 };
 
@@ -55,11 +61,23 @@ public:
   SygusEngine &engine() { return Engine; }
   const InverterOptions &options() const { return Opts; }
 
+  /// Aggregated counters of the per-rule worker sessions of the last
+  /// invert() call. Workers are private sessions, so their solver and
+  /// compiled-eval statistics are summed here rather than appearing in the
+  /// shared solver's stats().
+  struct WorkerStats {
+    Solver::Stats Smt;
+    CompiledEvalCache::Stats Eval;
+    unsigned Sessions = 0;
+  };
+  const WorkerStats &workerStats() const { return LastWorkerStats; }
+
 private:
   Solver &S;
   InverterOptions Opts;
   SygusEngine Engine;
   std::vector<const FuncDef *> SynthesizedAux;
+  WorkerStats LastWorkerStats;
 };
 
 } // namespace genic

@@ -43,12 +43,12 @@ SygusEngine::sampleInputs(const SynthesisSpec &Spec, unsigned Want) {
   }
 
   auto Admissible = [&](const std::vector<Value> &X) {
-    if (!evalBool(P.Guard, X))
+    if (!EvalCache.evalBool(P.Guard, X))
       return false;
     for (TermRef O : P.Outputs)
-      if (!eval(O, X))
+      if (!EvalCache.eval(O, X))
         return false;
-    return eval(Spec.Target, X).has_value();
+    return EvalCache.eval(Spec.Target, X).has_value();
   };
 
   std::set<std::vector<Value>> Seen;
@@ -136,7 +136,7 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
     if (!M)
       return Finish(Status::error("empty-output rule with unsatisfiable or "
                                   "undecided guard"));
-    std::optional<Value> T = eval(Spec.Target, *M);
+    std::optional<Value> T = EvalCache.eval(Spec.Target, *M);
     if (!T)
       return Finish(Status::error("target undefined on the guard model"));
     return Finish(F.mkConst(*T));
@@ -155,12 +155,12 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
       std::vector<Value> Y;
       Y.reserve(P.arity());
       for (TermRef O : P.Outputs) {
-        std::optional<Value> V = eval(O, X);
+        std::optional<Value> V = EvalCache.eval(O, X);
         if (!V)
           return Status::error("output undefined on a sampled input");
         Y.push_back(*V);
       }
-      std::optional<Value> T = eval(Spec.Target, X);
+      std::optional<Value> T = EvalCache.eval(Spec.Target, X);
       if (!T)
         return Status::error("target undefined on a sampled input");
       Ys.push_back(std::move(Y));
@@ -177,6 +177,7 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
   Enumerator::Config EC;
   EC.MaxSize = Opts.MaxTermSize;
   EC.TimeoutSeconds = Opts.EnumTimeoutSeconds;
+  EC.EvalCache = &EvalCache;
 
   TermRef LastSliceGuess = nullptr;
   for (unsigned Iter = 0; Iter < Opts.MaxCegisIterations; ++Iter) {
@@ -188,6 +189,7 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
       Enumerator::Config Small;
       Small.MaxSize = std::min(5u, Opts.MaxTermSize);
       Small.TimeoutSeconds = 2;
+      Small.EvalCache = &EvalCache;
       Enumerator SmallEnum(F, G, Ys, Small);
       Candidate = SmallEnum.findMatching(Targets);
     }
@@ -226,11 +228,7 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
           bool Defined = true;
           for (const auto &Y : Ys) {
             std::vector<Value> Arg{Y[J]};
-            if (Fn->Domain && !evalBool(Fn->Domain, Arg)) {
-              Defined = false;
-              break;
-            }
-            std::optional<Value> Out = eval(Fn->Body, Arg);
+            std::optional<Value> Out = EvalCache.callFunc(Fn, Arg);
             if (!Out) {
               Defined = false;
               break;
@@ -283,9 +281,10 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
     if (Status St = Induce(NewX, Ys, Targets); !St.isOk())
       return Finish(St);
     Inputs->push_back(*Cex);
-    if (Ys.size() > 64)
-      return Finish(
-          Status::error("CEGIS exceeded the example budget (64)"));
+    if (Ys.size() > Enumerator::MaxExamples)
+      return Finish(Status::error(
+          "CEGIS exceeded the example budget (" +
+          std::to_string(Enumerator::MaxExamples) + ")"));
   }
   return Finish(Status::error("CEGIS exceeded the iteration budget"));
 }

@@ -29,6 +29,7 @@
 #include "support/Result.h"
 #include "sygus/BitSlice.h"
 #include "sygus/Grammar.h"
+#include "term/CompiledEval.h"
 
 #include <map>
 #include <vector>
@@ -77,8 +78,22 @@ public:
   const std::vector<CallRecord> &calls() const { return Calls; }
   void clearCalls() { Calls.clear(); }
 
+  /// Merges call records produced by another engine (a parallel worker's
+  /// private engine) into this one, preserving their order. The caller is
+  /// responsible for appending workers in a deterministic order.
+  void appendCalls(const std::vector<CallRecord> &Records) {
+    Calls.insert(Calls.end(), Records.begin(), Records.end());
+  }
+
   Solver &solver() { return S; }
   const Options &options() const { return Opts; }
+
+  /// The engine-wide compiled-evaluation cache: sampling, example
+  /// induction, bit-slice views, and the enumerator's aux-function inner
+  /// loop all evaluate through it, so guards, outputs, and aux bodies are
+  /// compiled once per engine rather than re-walked per example.
+  CompiledEvalCache &evalCache() { return EvalCache; }
+  const CompiledEvalCache &evalCache() const { return EvalCache; }
 
 private:
   /// Input assignments satisfying the guard (outputs defined), mixing
@@ -89,6 +104,7 @@ private:
   Solver &S;
   Options Opts;
   std::vector<CallRecord> Calls;
+  CompiledEvalCache EvalCache;
   /// Preimage tables for unary components, built on first use.
   std::map<const FuncDef *, std::optional<SliceWrapper>> WrapperCache;
 };

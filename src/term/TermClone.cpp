@@ -1,0 +1,63 @@
+//===- term/TermClone.cpp --------------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/TermClone.h"
+
+#include <cassert>
+
+using namespace genic;
+
+const FuncDef *TermCloner::cloneFunc(const FuncDef *F) {
+  if (!F)
+    return nullptr;
+  auto It = FuncMemo.find(F);
+  if (It != FuncMemo.end())
+    return It->second;
+  const FuncDef *Clone = Dst.lookupFunc(F->Name);
+  if (!Clone)
+    Clone = Dst.makeFunc(F->Name, F->ParamTypes, F->ReturnType,
+                         clone(F->Body), clone(F->Domain));
+  FuncMemo.emplace(F, Clone);
+  return Clone;
+}
+
+TermRef TermCloner::clone(TermRef T) {
+  if (!T)
+    return nullptr;
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+
+  TermRef Result = nullptr;
+  switch (T->op()) {
+  case Op::Var:
+    Result = Dst.mkVar(T->varIndex(), T->type(), T->varName());
+    break;
+  case Op::Const:
+    Result = Dst.mkConst(T->constValue());
+    break;
+  case Op::Call: {
+    const FuncDef *Callee = cloneFunc(T->callee());
+    std::vector<TermRef> Args;
+    Args.reserve(T->arity());
+    for (TermRef C : T->children())
+      Args.push_back(clone(C));
+    Result = Dst.mkCall(Callee, std::move(Args));
+    break;
+  }
+  default: {
+    std::vector<TermRef> Args;
+    Args.reserve(T->arity());
+    for (TermRef C : T->children())
+      Args.push_back(clone(C));
+    Result = Dst.mkOp(T->op(), Args);
+    break;
+  }
+  }
+  assert(Result && "clone produced no term");
+  Memo.emplace(T, Result);
+  return Result;
+}

@@ -1,0 +1,54 @@
+//===- term/TermClone.h - Structural cloning across factories -------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clones terms from one TermFactory into another. Factories are not
+/// thread-safe, so parallel inversion gives each worker a private factory;
+/// inputs are cloned in on task creation and results are cloned back out on
+/// the (serial) merge. Cloning is structural: the destination's smart
+/// constructors re-intern and re-canonicalize, so the result is a valid
+/// destination term that prints and evaluates identically. Auxiliary
+/// functions are cloned by name — a callee already registered in the
+/// destination (same name) is reused rather than redefined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_TERM_TERMCLONE_H
+#define GENIC_TERM_TERMCLONE_H
+
+#include "term/Term.h"
+#include "term/TermFactory.h"
+
+#include <unordered_map>
+
+namespace genic {
+
+/// Memoized one-direction cloner. Create one per (source, destination) pair
+/// and push any number of terms through it; shared subterms are translated
+/// once. Not thread-safe (it mutates the destination factory).
+class TermCloner {
+public:
+  /// \p Dst is the factory receiving clones. The source factory needs no
+  /// handle: source terms carry their whole structure.
+  explicit TermCloner(TermFactory &Dst) : Dst(Dst) {}
+
+  /// Clones \p T into the destination factory. Null maps to null.
+  TermRef clone(TermRef T);
+
+  /// Clones an auxiliary function definition (body, domain, signature) into
+  /// the destination, or returns the destination's existing definition of
+  /// the same name. Null maps to null.
+  const FuncDef *cloneFunc(const FuncDef *F);
+
+private:
+  TermFactory &Dst;
+  std::unordered_map<TermRef, TermRef> Memo;
+  std::unordered_map<const FuncDef *, const FuncDef *> FuncMemo;
+};
+
+} // namespace genic
+
+#endif // GENIC_TERM_TERMCLONE_H

@@ -68,6 +68,90 @@ TermRef simplifyGuard(TermFactory &F, Solver &S, TermRef Guard) {
 
 } // namespace
 
+RuleInversionResult genic::invertOneRule(const SeftTransition &T,
+                                         unsigned Index,
+                                         const Type &InputType,
+                                         const Type &OutputType, Solver &S,
+                                         const RecoverySynthesizer &Synthesize) {
+  Timer RuleTimer;
+  RuleInversionResult R;
+  RuleInversionRecord &Record = R.Record;
+  Record.Rule = Index;
+
+  ImagePredicate P{T.Guard, T.Outputs, T.Lookahead};
+
+  // Dead rule (guard never fires): nothing to invert.
+  Result<bool> Fires = S.isSat(T.Guard);
+  if (!Fires) {
+    Record.Seconds = RuleTimer.seconds();
+    Record.Error = "guard satisfiability: " + Fires.status().message();
+    return R;
+  }
+  if (!*Fires) {
+    Record.Seconds = RuleTimer.seconds();
+    Record.Inverted = true;
+    return R;
+  }
+
+  // Output functions g_i, one per original input position.
+  SeftTransition Inv;
+  Inv.From = T.From;
+  Inv.To = T.To;
+  Inv.Lookahead = T.Outputs.size();
+  bool Ok = true;
+  for (unsigned I = 0; I < T.Lookahead; ++I) {
+    Result<TermRef> G = Synthesize(P, I, InputType);
+    if (!G) {
+      Record.Error = "output " + std::to_string(I) + ": " +
+                     G.status().message();
+      Ok = false;
+      break;
+    }
+    Inv.Outputs.push_back(*G);
+  }
+
+  // Guard psi(y) == exists x . phi(x) /\ y = f(x). With the recoveries g
+  // in hand there is an exact quantifier-free form — the witness x must
+  // be g(y) itself:
+  //   psi(y) == phi(g(y)) /\ f(g(y)) = y /\ definedness of all calls.
+  // (If y = f(x) with phi(x), then g(f(x)) = x by the synthesis spec, so
+  // g(y) is a witness; conversely g(y) witnesses the existential.) This
+  // sidesteps quantifier elimination entirely, and the definedness
+  // conjuncts are the "pred" guards of the paper's Figure 3.
+  if (Ok) {
+    TermFactory &F = S.factory();
+    std::vector<TermRef> Conjuncts;
+    TermRef PhiG = F.substitute(T.Guard, Inv.Outputs);
+    Conjuncts.push_back(F.calleeDomains(PhiG));
+    Conjuncts.push_back(PhiG);
+    for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J) {
+      TermRef FG = F.substitute(T.Outputs[J], Inv.Outputs);
+      Conjuncts.push_back(F.calleeDomains(FG));
+      Conjuncts.push_back(
+          F.mkEq(FG, F.mkVar(J, OutputType)));
+    }
+    for (TermRef G : Inv.Outputs)
+      Conjuncts.push_back(F.calleeDomains(G));
+    Inv.Guard = simplifyGuard(F, S, F.mkAnd(std::move(Conjuncts)));
+  }
+  Record.Seconds = RuleTimer.seconds();
+  Record.Inverted = Ok;
+  if (Ok) {
+    // A rule with empty output inverts to a lookahead-0 rule, which is
+    // only well-formed as a finalizer; for non-finalizers the rule is
+    // dropped with an explanatory record (such rules make the transducer
+    // non-injective anyway unless their guard pins a unique tuple).
+    if (Inv.Lookahead == 0 && Inv.To != Seft::FinalState && T.Lookahead > 0) {
+      Record.Inverted = false;
+      Record.Error = "rule consumes input but writes nothing; its inverse "
+                     "is not expressible as an s-EFT rule";
+      return R;
+    }
+    R.Transition = std::move(Inv);
+  }
+  return R;
+}
+
 Result<InversionOutcome> genic::invertSeft(
     const Seft &A, Solver &S, const RecoverySynthesizer &Synthesize) {
   // The inverse swaps input and output types but keeps the state structure
@@ -78,86 +162,11 @@ Result<InversionOutcome> genic::invertSeft(
 
   const auto &Ts = A.transitions();
   for (unsigned Index = 0, E = Ts.size(); Index != E; ++Index) {
-    const SeftTransition &T = Ts[Index];
-    Timer RuleTimer;
-    RuleInversionRecord Record;
-    Record.Rule = Index;
-
-    ImagePredicate P{T.Guard, T.Outputs, T.Lookahead};
-
-    // Dead rule (guard never fires): nothing to invert.
-    Result<bool> Fires = S.isSat(T.Guard);
-    if (!Fires) {
-      Record.Seconds = RuleTimer.seconds();
-      Record.Error = "guard satisfiability: " + Fires.status().message();
-      Out.Records.push_back(std::move(Record));
-      continue;
-    }
-    if (!*Fires) {
-      Record.Seconds = RuleTimer.seconds();
-      Record.Inverted = true;
-      Out.Records.push_back(std::move(Record));
-      continue;
-    }
-
-    // Output functions g_i, one per original input position.
-    SeftTransition Inv;
-    Inv.From = T.From;
-    Inv.To = T.To;
-    Inv.Lookahead = T.Outputs.size();
-    bool Ok = true;
-    for (unsigned I = 0; I < T.Lookahead; ++I) {
-      Result<TermRef> G = Synthesize(P, I, A.inputType());
-      if (!G) {
-        Record.Error = "output " + std::to_string(I) + ": " +
-                       G.status().message();
-        Ok = false;
-        break;
-      }
-      Inv.Outputs.push_back(*G);
-    }
-
-    // Guard psi(y) == exists x . phi(x) /\ y = f(x). With the recoveries g
-    // in hand there is an exact quantifier-free form — the witness x must
-    // be g(y) itself:
-    //   psi(y) == phi(g(y)) /\ f(g(y)) = y /\ definedness of all calls.
-    // (If y = f(x) with phi(x), then g(f(x)) = x by the synthesis spec, so
-    // g(y) is a witness; conversely g(y) witnesses the existential.) This
-    // sidesteps quantifier elimination entirely, and the definedness
-    // conjuncts are the "pred" guards of the paper's Figure 3.
-    if (Ok) {
-      TermFactory &F = S.factory();
-      std::vector<TermRef> Conjuncts;
-      TermRef PhiG = F.substitute(T.Guard, Inv.Outputs);
-      Conjuncts.push_back(F.calleeDomains(PhiG));
-      Conjuncts.push_back(PhiG);
-      for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J) {
-        TermRef FG = F.substitute(T.Outputs[J], Inv.Outputs);
-        Conjuncts.push_back(F.calleeDomains(FG));
-        Conjuncts.push_back(
-            F.mkEq(FG, F.mkVar(J, A.outputType())));
-      }
-      for (TermRef G : Inv.Outputs)
-        Conjuncts.push_back(F.calleeDomains(G));
-      Inv.Guard = simplifyGuard(F, S, F.mkAnd(std::move(Conjuncts)));
-    }
-    Record.Seconds = RuleTimer.seconds();
-    Record.Inverted = Ok;
-    if (Ok) {
-      // A rule with empty output inverts to a lookahead-0 rule, which is
-      // only well-formed as a finalizer; for non-finalizers the rule is
-      // dropped with an explanatory record (such rules make the transducer
-      // non-injective anyway unless their guard pins a unique tuple).
-      if (Inv.Lookahead == 0 && Inv.To != Seft::FinalState && T.Lookahead > 0) {
-        Record.Inverted = false;
-        Record.Error = "rule consumes input but writes nothing; its inverse "
-                       "is not expressible as an s-EFT rule";
-        Out.Records.push_back(std::move(Record));
-        continue;
-      }
-      Out.Inverse.addTransition(std::move(Inv));
-    }
-    Out.Records.push_back(std::move(Record));
+    RuleInversionResult R = invertOneRule(Ts[Index], Index, A.inputType(),
+                                          A.outputType(), S, Synthesize);
+    if (R.Transition)
+      Out.Inverse.addTransition(std::move(*R.Transition));
+    Out.Records.push_back(std::move(R.Record));
   }
   return Out;
 }

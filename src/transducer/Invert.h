@@ -32,6 +32,7 @@
 #include "transducer/Seft.h"
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 namespace genic {
@@ -67,10 +68,29 @@ struct InversionOutcome {
   double maxRuleSeconds() const;
 };
 
-/// Inverts \p A rule by rule. \p A must be injective (checkInjectivity);
-/// the guard psi is computed with Solver::imageToTerm and the outputs with
-/// \p Synthesize. Hard errors (e.g. solver failures on the guard) abort;
-/// per-rule synthesis failures are recorded and skipped.
+/// Inversion of a single rule: its record plus, when successful, the
+/// inverse transition (absent for dead rules and failures).
+struct RuleInversionResult {
+  RuleInversionRecord Record;
+  std::optional<SeftTransition> Transition;
+};
+
+/// Inverts one rule (Definition 5.2). \p Index is the rule's position in
+/// its transducer (recorded for reporting); \p InputType and \p OutputType
+/// are the owning transducer's alphabet types. All terms (input and output)
+/// live in S.factory(). Rules are independent, so callers may run this for
+/// different rules in different sessions concurrently — each session needs
+/// its own TermFactory and Solver (neither is thread-safe); see
+/// Inverter.cpp for the parallel driver.
+RuleInversionResult invertOneRule(const SeftTransition &T, unsigned Index,
+                                  const Type &InputType,
+                                  const Type &OutputType, Solver &S,
+                                  const RecoverySynthesizer &Synthesize);
+
+/// Inverts \p A rule by rule in order. \p A must be injective
+/// (checkInjectivity); the guard psi is computed in exact quantifier-free
+/// form from the recoveries and the outputs with \p Synthesize. Per-rule
+/// synthesis failures are recorded and skipped.
 Result<InversionOutcome> invertSeft(const Seft &A, Solver &S,
                                     const RecoverySynthesizer &Synthesize);
 

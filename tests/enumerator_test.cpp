@@ -6,6 +6,7 @@
 
 #include "sygus/Enumerator.h"
 
+#include "term/CompiledEval.h"
 #include "term/Eval.h"
 #include "term/Printer.h"
 
@@ -120,6 +121,57 @@ TEST_F(EnumeratorTest, ObservationalEquivalencePrunes) {
   (void)E.findMatching(Target);
   EXPECT_LT(E.stats().TermsKept, E.stats().CandidatesTried / 2)
       << "OE pruning should discard most duplicate-signature candidates";
+}
+
+TEST_F(EnumeratorTest, OversizedExampleSetsAreRejectedLoudly) {
+  // Signatures pack definedness into 64 bits (Enumerator::MaxExamples);
+  // a larger example set must fail loudly, never silently truncate —
+  // synthesizing against a truncated spec would return wrong terms as
+  // verified matches.
+  Grammar G = Grammar::standard(I, {I});
+  std::vector<std::vector<Value>> Ex;
+  std::vector<Value> Target;
+  for (int64_t K = 0; K < 65; ++K) {
+    Ex.push_back({Value::intVal(K)});
+    Target.push_back(Value::intVal(K));
+  }
+  Enumerator E(F, G, Ex);
+  EXPECT_FALSE(E.findMatching(Target).has_value());
+  EXPECT_TRUE(E.stats().RejectedOversized);
+
+  // Exactly MaxExamples examples still work (identity matches them all).
+  Ex.resize(Enumerator::MaxExamples);
+  Target.resize(Enumerator::MaxExamples);
+  Enumerator AtCap(F, G, Ex);
+  EXPECT_TRUE(AtCap.findMatching(Target).has_value());
+  EXPECT_FALSE(AtCap.stats().RejectedOversized);
+}
+
+TEST_F(EnumeratorTest, CompiledAuxEvaluationMatchesFallback) {
+  // The enumerator's aux-candidate inner loop may run through a
+  // CompiledEvalCache; the found term must be the same either way.
+  TermRef P0 = F.mkVar(0, I);
+  const FuncDef *Dec =
+      F.makeFunc("decCa", {I}, I, F.mkIntOp(Op::IntSub, P0, F.mkInt(1)),
+                 F.mkIntOp(Op::IntGe, P0, F.mkInt(1)));
+  Grammar G = Grammar::standard(I, {I});
+  G.addFunc(Dec);
+  std::vector<std::vector<Value>> Ex{{Value::intVal(1)}, {Value::intVal(5)}};
+  std::vector<Value> Target{Value::intVal(0), Value::intVal(4)};
+
+  Enumerator Plain(F, G, Ex);
+  auto A = Plain.findMatching(Target);
+
+  CompiledEvalCache Cache;
+  Enumerator::Config C;
+  C.EvalCache = &Cache;
+  Enumerator Compiled(F, G, Ex, C);
+  auto B = Compiled.findMatching(Target);
+
+  ASSERT_TRUE(A.has_value());
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(*A, *B) << "compiled and interpreted enumeration diverged";
+  EXPECT_GT(Cache.stats().Evals, 0u) << "cache was not exercised";
 }
 
 TEST_F(EnumeratorTest, MixedWidthGrammars) {

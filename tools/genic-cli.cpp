@@ -19,8 +19,11 @@
 ///   --no-aux       disable auxiliary-function inversion (§6 optimization 1)
 ///   --no-mining    disable grammar mining / variable reduction (§6 opt. 2)
 ///   --no-slice     disable the bit-slice synthesis strategy
+///   --jobs N       invert transitions on N worker threads (output is
+///                  identical for every N; default 1)
 ///   --entry NAME   override the entry transformation
-///   --stats        print SyGuS call records and per-rule timings
+///   --stats        print SyGuS call records, per-rule timings, and
+///                  solver/evaluator cache counters
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +34,7 @@
 #include "support/StringUtils.h"
 #include "transducer/Sampling.h"
 
+#include <algorithm>
 #include <random>
 
 #include <cstdio>
@@ -47,7 +51,8 @@ int usage() {
       stderr,
       "usage: genic <run|invert|check|eval> PROGRAM.genic [values...]\n"
       "       genic corpus [NAME] | genic verify ENC.genic DEC.genic\n"
-      "  options: --no-aux --no-mining --no-slice --entry NAME --stats\n");
+      "  options: --no-aux --no-mining --no-slice --jobs N --entry NAME "
+      "--stats\n");
   return 2;
 }
 
@@ -90,6 +95,32 @@ void printStats(const GenicReport &R) {
       std::printf("  %3u  %7.3fs  %s  (%u CEGIS iterations)\n", C.ResultSize,
                   C.Seconds, C.Success ? "ok" : "fail", C.CegisIterations);
   }
+  const Solver::Stats &S = R.SolverStats;
+  std::printf("solver (shared): %llu sat queries, cache %llu hit / %llu "
+              "miss, %llu QE calls (%llu fallbacks)\n",
+              (unsigned long long)S.SatQueries,
+              (unsigned long long)S.CacheHits,
+              (unsigned long long)S.CacheMisses,
+              (unsigned long long)S.QeCalls,
+              (unsigned long long)S.QeFallbacks);
+  if (R.WorkerStats.Sessions) {
+    const Solver::Stats &W = R.WorkerStats.Smt;
+    std::printf("solver (%u rule sessions): %llu sat queries, cache %llu "
+                "hit / %llu miss\n",
+                R.WorkerStats.Sessions, (unsigned long long)W.SatQueries,
+                (unsigned long long)W.CacheHits,
+                (unsigned long long)W.CacheMisses);
+    const CompiledEvalCache::Stats &E = R.WorkerStats.Eval;
+    std::printf("compiled eval (rule sessions): %llu executions, %llu "
+                "programs compiled, %llu cache hits\n",
+                (unsigned long long)E.Evals, (unsigned long long)E.Compiles,
+                (unsigned long long)E.hits());
+  }
+  const CompiledEvalCache::Stats &E = R.EvalStats;
+  std::printf("compiled eval (shared engine): %llu executions, %llu "
+              "programs compiled, %llu cache hits\n",
+              (unsigned long long)E.Evals, (unsigned long long)E.Compiles,
+              (unsigned long long)E.hits());
 }
 
 } // namespace
@@ -110,6 +141,14 @@ int main(int Argc, char **Argv) {
       Options.Engine.EnableBitSlice = false;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--jobs") {
+      if (++I >= Argc)
+        return usage();
+      try {
+        Options.Jobs = std::max(1, std::stoi(Argv[I]));
+      } catch (...) {
+        return usage();
+      }
     } else if (Arg == "--entry") {
       if (++I >= Argc)
         return usage();
