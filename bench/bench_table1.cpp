@@ -26,9 +26,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <random>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace genic;
 
@@ -100,13 +102,13 @@ public:
   }
   void endProgram() { Body << "}"; }
 
-  void write(const std::string &Path, unsigned Jobs, double SumDet,
-             double SumInj, double SumInv, unsigned Inverted) {
+  void write(const std::string &Path, unsigned Jobs, unsigned Total,
+             double SumDet, double SumInj, double SumInv, unsigned Inverted) {
     std::ofstream Out(Path);
     Out << "{\n  \"bench\": \"table1\",\n  \"jobs\": " << Jobs
         << ",\n  \"programs\": [\n"
         << Body.str() << "\n  ],\n  \"summary\": {\"inverted\": " << Inverted
-        << ", \"total\": 14, \"sumIsDet\": " << SumDet
+        << ", \"total\": " << Total << ", \"sumIsDet\": " << SumDet
         << ", \"sumIsInj\": " << SumInj << ", \"sumInversion\": " << SumInv
         << "}\n}\n";
     std::printf("wrote %s\n", Path.c_str());
@@ -117,18 +119,59 @@ private:
   bool First = true;
 };
 
+/// Pulls "isInjSeconds" per program out of a previously written JSON file.
+/// The writer emits one program object per line, so line-local string
+/// slicing is enough — no JSON parser needed.
+std::map<std::string, double> readBaselineIsInj(const std::string &Path) {
+  std::map<std::string, double> Out;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t NameAt = Line.find("\"program\": \"");
+    size_t InjAt = Line.find("\"isInjSeconds\": ");
+    if (NameAt == std::string::npos || InjAt == std::string::npos)
+      continue;
+    size_t NameBegin = NameAt + std::strlen("\"program\": \"");
+    size_t NameEnd = Line.find('"', NameBegin);
+    if (NameEnd == std::string::npos)
+      continue;
+    Out[Line.substr(NameBegin, NameEnd - NameBegin)] =
+        std::atof(Line.c_str() + InjAt + std::strlen("\"isInjSeconds\": "));
+  }
+  return Out;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   unsigned Jobs = 1;
   std::string JsonPath = "BENCH_table1.json";
+  std::string Only;
+  std::string BaselinePath;
+  double MaxRegressPct = -1;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc)
       Jobs = std::max(1, std::atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
       JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--only") && I + 1 < Argc)
+      Only = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--baseline") && I + 1 < Argc)
+      BaselinePath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--max-regress") && I + 1 < Argc)
+      MaxRegressPct = std::atof(Argv[++I]);
     else {
-      std::fprintf(stderr, "usage: %s [--jobs N] [--json FILE]\n", Argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--json FILE] [--only SUBSTR]\n"
+                   "          [--baseline FILE] [--max-regress PCT]\n"
+                   "  --only         run only programs whose name contains "
+                   "SUBSTR\n"
+                   "  --baseline     committed BENCH_table1.json to compare "
+                   "isInj times against\n"
+                   "  --max-regress  fail (exit 1) when isInj exceeds the "
+                   "baseline by more than\n"
+                   "                 PCT%% plus a 0.5s absolute slack\n",
+                   Argv[0]);
       return 2;
     }
   }
@@ -143,12 +186,20 @@ int main(int Argc, char **Argv) {
                "isDet", "isInj", "inv-total", "inv-max-tr", "res",
                "roundtrip", "theory"});
 
+  std::map<std::string, double> Baseline;
+  if (!BaselinePath.empty())
+    Baseline = readBaselineIsInj(BaselinePath);
+  std::vector<std::string> Regressions;
+
   JsonWriter Json;
-  unsigned Inverted = 0;
+  unsigned Inverted = 0, Ran = 0;
   double SumDet = 0, SumInj = 0, SumInv = 0;
   for (size_t I = 0; I < coderCorpus().size(); ++I) {
     const CoderSpec &Spec = coderCorpus()[I];
     const PaperRow &Paper = PaperRows[I];
+    if (!Only.empty() && Spec.name().find(Only) == std::string::npos)
+      continue;
+    ++Ran;
     InverterOptions Options;
     Options.Jobs = Jobs;
     GenicTool Tool(Options);
@@ -210,14 +261,35 @@ int main(int Argc, char **Argv) {
     Json.field("compiledPrograms",
                R.EvalStats.Compiles + R.WorkerStats.Eval.Compiles);
     Json.endProgram();
+
+    auto BaseIt = Baseline.find(Spec.name());
+    if (BaseIt != Baseline.end() && MaxRegressPct >= 0) {
+      // Percentage bound plus an absolute slack so sub-second programs
+      // don't trip on scheduler noise.
+      double Bound = BaseIt->second * (1 + MaxRegressPct / 100) + 0.5;
+      if (R.InjectivitySeconds > Bound) {
+        char Buf[160];
+        std::snprintf(Buf, sizeof(Buf),
+                      "%s: isInj %.2fs exceeds baseline %.2fs (bound %.2fs)",
+                      Spec.name().c_str(), R.InjectivitySeconds,
+                      BaseIt->second, Bound);
+        Regressions.push_back(Buf);
+      }
+    }
   }
   std::printf("%s\n", T.render().c_str());
-  std::printf("summary: %u/14 programs fully inverted (paper: 13/14); "
+  if (Ran == 0) {
+    std::fprintf(stderr, "no program matches --only %s\n", Only.c_str());
+    return 2;
+  }
+  std::printf("summary: %u/%u programs fully inverted (paper: 13/14); "
               "avg isDet %.2fs (paper avg 0.1s), avg isInj %.2fs (paper avg "
               "2.2s), avg inversion %.2fs (paper avg 25s)\n",
-              Inverted, SumDet / 14, SumInj / 14, SumInv / 14);
+              Inverted, Ran, SumDet / Ran, SumInj / Ran, SumInv / Ran);
   std::printf("note: rule counts include explicit `[] -> []` finalizers and "
               "the Cartesian-split UTF-8 classes; see EXPERIMENTS.md\n");
-  Json.write(JsonPath, Jobs, SumDet, SumInj, SumInv, Inverted);
-  return 0;
+  Json.write(JsonPath, Jobs, Ran, SumDet, SumInj, SumInv, Inverted);
+  for (const std::string &R : Regressions)
+    std::fprintf(stderr, "REGRESSION: %s\n", R.c_str());
+  return Regressions.empty() ? 0 : 1;
 }

@@ -6,23 +6,34 @@
 #   2. Sanitizers: rebuild with -fsanitize=address,undefined and re-run the
 #      suites that exercise new machinery with threads and compiled
 #      evaluation (plus the term/solver cores under them).
-#   3. Bench smoke: one fast pass of bench_micro so perf regressions that
-#      crash or hang surface in CI, and BENCH_micro.json stays producible.
+#   3. ThreadSanitizer: rebuild with -fsanitize=thread and run the suites
+#      that actually share state across threads — the thread pool itself and
+#      the parallel determinism/injectivity/ambiguity tests (Small +
+#      Concurrent subsets: cheap, and they cover the shared frontier, the
+#      PairSat cache, and the session pool). Note z3 itself is not
+#      instrumented, so this validates our synchronization, not z3's.
+#   4. Bench smoke: one fast pass of bench_micro so perf regressions that
+#      crash or hang surface in CI, and a bench_table1 regression gate
+#      diffing the UTF-16 encoder isInjective timing (the most expensive
+#      pipeline) against the committed BENCH_table1.json baseline at
+#      --jobs 1, failing on >20% slowdown.
 #
-# Usage: ./ci.sh [--skip-asan] [--skip-bench]
+# Usage: ./ci.sh [--skip-asan] [--skip-tsan] [--skip-bench]
 #===------------------------------------------------------------------------===#
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
 SKIP_ASAN=0
+SKIP_TSAN=0
 SKIP_BENCH=0
 for Arg in "$@"; do
   case "$Arg" in
   --skip-asan) SKIP_ASAN=1 ;;
+  --skip-tsan) SKIP_TSAN=1 ;;
   --skip-bench) SKIP_BENCH=1 ;;
   *)
-    echo "usage: $0 [--skip-asan] [--skip-bench]" >&2
+    echo "usage: $0 [--skip-asan] [--skip-tsan] [--skip-bench]" >&2
     exit 2
     ;;
   esac
@@ -49,10 +60,34 @@ if [ "$SKIP_ASAN" -eq 0 ]; then
   done
 fi
 
+if [ "$SKIP_TSAN" -eq 0 ]; then
+  echo "=== thread sanitizer: parallel checker suites ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j --target support_test parallel_injectivity_test
+  # tsan.supp silences the uninstrumented libz3's internal locking (false
+  # positives); our own code is fully checked.
+  export TSAN_OPTIONS="suppressions=$PWD/tsan.supp"
+  echo "--- tsan: support_test"
+  ./build-tsan/tests/support_test
+  echo "--- tsan: parallel_injectivity_test (Small + Concurrent)"
+  ./build-tsan/tests/parallel_injectivity_test \
+    --gtest_filter='*Small*:*Concurrent*'
+  unset TSAN_OPTIONS
+fi
+
 if [ "$SKIP_BENCH" -eq 0 ]; then
   echo "=== bench smoke: bench_micro ==="
   cmake --build build -j --target bench_micro
   (cd build && ./bench/bench_micro --benchmark_min_time=0.05)
+
+  echo "=== bench regression gate: isInjective vs committed baseline ==="
+  cmake --build build -j --target bench_table1
+  (cd build && ./bench/bench_table1 --only "UTF-16 encoder" --jobs 1 \
+    --baseline ../BENCH_table1.json --max-regress 20 \
+    --json BENCH_table1.smoke.json)
 fi
 
 echo "=== ci.sh: all green ==="

@@ -27,10 +27,15 @@
 
 #include "automata/Ambiguity.h"
 
+#include "support/ThreadPool.h"
+#include "term/TermClone.h"
+
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -272,6 +277,12 @@ struct EpsEdge {
 
 Result<std::optional<AmbiguityWitness>>
 genic::checkAmbiguity(const CartesianSefa &Input, Solver &S) {
+  return checkAmbiguity(Input, S, AmbiguityOptions());
+}
+
+Result<std::optional<AmbiguityWitness>>
+genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
+                      const AmbiguityOptions &Opts) {
   Result<CartesianSefa> Trimmed = trim(Input, S);
   if (!Trimmed)
     return Trimmed.status();
@@ -440,10 +451,8 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S) {
     size_t Step1, Step2; // Indices into X.Steps.
   };
   std::unordered_map<uint64_t, Parent> Visited;
-  std::deque<std::tuple<unsigned, unsigned, bool>> Work;
   uint64_t Root = Key(X.Initial, X.Initial, false);
   Visited.emplace(Root, Parent{Root, SIZE_MAX, SIZE_MAX});
-  Work.push_back({X.Initial, X.Initial, false});
 
   auto BuildWitness =
       [&](uint64_t EndKey, const Piece &Final1,
@@ -488,42 +497,253 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S) {
         AmbiguityWitness{Word, std::move(PathA), std::move(PathB)});
   };
 
-  while (!Work.empty()) {
-    auto [P, Q, D] = Work.front();
-    Work.pop_front();
-    uint64_t K = Key(P, Q, D);
+  struct Config {
+    unsigned P, Q;
+    bool D;
+  };
 
-    // Accepting check: two finishers firing on the same final symbol.
-    for (size_t I1 : FinishersFrom[P])
-      for (size_t I2 : FinishersFrom[Q]) {
-        const Piece &F1 = X.Finishers[I1];
-        const Piece &F2 = X.Finishers[I2];
-        if (!D && F1.Id == F2.Id)
+  // The serial reference loop: processes \p Work FIFO to completion exactly
+  // as the original algorithm. The parallel search below reproduces its
+  // visit order level by level; this loop remains the fallback when a
+  // worker verdict and the shared session disagree (a flapped timeout).
+  auto RunSerial = [&](std::deque<Config> Work)
+      -> Result<std::optional<AmbiguityWitness>> {
+    while (!Work.empty()) {
+      auto [P, Q, D] = Work.front();
+      Work.pop_front();
+      uint64_t K = Key(P, Q, D);
+
+      // Accepting check: two finishers firing on the same final symbol.
+      for (size_t I1 : FinishersFrom[P])
+        for (size_t I2 : FinishersFrom[Q]) {
+          const Piece &F1 = X.Finishers[I1];
+          const Piece &F2 = X.Finishers[I2];
+          if (!D && F1.Id == F2.Id)
+            continue;
+          Result<bool> Olap = Oracle.overlap(F1.Guard, F2.Guard);
+          if (!Olap)
+            return Olap.status();
+          if (*Olap)
+            return BuildWitness(K, F1, F2);
+        }
+
+      // Synchronous step on one symbol.
+      for (size_t I1 : StepsFrom[P])
+        for (size_t I2 : StepsFrom[Q]) {
+          const Piece &T1 = X.Steps[I1];
+          const Piece &T2 = X.Steps[I2];
+          bool NextD = D || T1.Id != T2.Id;
+          uint64_t NK = Key(T1.To, T2.To, NextD);
+          if (Visited.count(NK))
+            continue;
+          Result<bool> Olap = Oracle.overlap(T1.Guard, T2.Guard);
+          if (!Olap)
+            return Olap.status();
+          if (!*Olap)
+            continue;
+          Visited.emplace(NK, Parent{K, I1, I2});
+          Work.push_back({T1.To, T2.To, NextD});
+        }
+    }
+    return std::optional<AmbiguityWitness>(std::nullopt);
+  };
+
+  // Level-synchronized parallel search. BFS discovery order within a level
+  // equals the serial FIFO order, so processing the frontier level by level
+  // — workers classify overlaps against a read-only snapshot of Visited,
+  // then a serial merge replays their discoveries in configuration order —
+  // visits configurations in exactly the serial order. Workers run against
+  // pooled sessions and export only verdicts (pooled sessions must not
+  // export terms, see SolverSessionPool.h); witnesses are built in the
+  // shared session from the original guards, so the result is
+  // byte-identical for every Jobs value.
+  SolverSessionPool LocalPool(S.timeoutMs());
+  SolverSessionPool &Pool = Opts.Sessions ? *Opts.Sessions : LocalPool;
+
+  // Overlap verdicts are semantic, so a cache keyed on the original guard
+  // TermRefs can be shared by all workers across all levels; the mutex cost
+  // is trivial against a solver query. Errors are not cached (as in
+  // GuardOracle).
+  std::mutex PairMutex;
+  std::map<std::pair<TermRef, TermRef>, bool> PairSat;
+
+  std::vector<Config> Level{{X.Initial, X.Initial, false}};
+  while (!Level.empty()) {
+    size_t Threads =
+        std::min<size_t>(std::max(1u, Opts.Jobs), Level.size());
+    size_t NumChunks = std::min(Level.size(), Threads * 4);
+
+    // What a worker reports back for its contiguous chunk of the level:
+    // the first configuration whose finisher scan produced an event
+    // (accepting overlap or solver error) and, for configurations before
+    // it, every step-scan discovery in scan order. Step-scan errors are
+    // recorded as discoveries rather than aborting the chunk, because the
+    // merge may legitimately skip them (the serial loop would never have
+    // issued the query if the target was already visited by an earlier
+    // configuration of the same level).
+    struct Discovery {
+      size_t Cfg;
+      size_t I1, I2;
+      uint64_t NK;
+      unsigned ToP, ToQ;
+      bool NextD;
+      bool IsError;
+      Status Err;
+    };
+    struct ChunkOut {
+      size_t FinEvent = SIZE_MAX;
+      std::vector<Discovery> Discoveries;
+    };
+    std::vector<ChunkOut> Chunks(NumChunks);
+    // Configurations past the earliest finisher event cannot influence the
+    // result (the serial loop returns there); skip them. Only finisher
+    // events may publish the cutoff — step errors may be skipped at merge,
+    // so later configurations must still be processed.
+    std::atomic<size_t> Cutoff{SIZE_MAX};
+
+    ThreadPool TP(Threads);
+    for (size_t C = 0; C != NumChunks; ++C) {
+      size_t Begin = Level.size() * C / NumChunks;
+      size_t End = Level.size() * (C + 1) / NumChunks;
+      TP.submit([&, C, Begin, End] {
+        SolverSessionPool::Lease Sess = Pool.lease();
+        ChunkOut &Out = Chunks[C];
+        auto Overlap = [&](TermRef GA, TermRef GB) -> Result<bool> {
+          std::pair<TermRef, TermRef> PK = std::minmax(GA, GB);
+          {
+            std::lock_guard<std::mutex> Lock(PairMutex);
+            auto It = PairSat.find(PK);
+            if (It != PairSat.end())
+              return It->second;
+          }
+          TermRef A2 = Sess->Import.clone(PK.first);
+          TermRef Q2 = PK.first == PK.second
+                           ? A2
+                           : Sess->Factory.mkAnd(
+                                 A2, Sess->Import.clone(PK.second));
+          Result<bool> R = Sess->Slv.isSat(Q2);
+          if (R) {
+            std::lock_guard<std::mutex> Lock(PairMutex);
+            PairSat.emplace(PK, *R);
+          }
+          return R;
+        };
+        // Within-chunk dedup of step targets, mirroring the serial loop's
+        // live Visited check for configurations this worker owns.
+        std::unordered_set<uint64_t> NewKeys;
+        for (size_t Ci = Begin; Ci != End; ++Ci) {
+          if (Ci > Cutoff.load(std::memory_order_relaxed))
+            continue;
+          auto [P, Q, D] = Level[Ci];
+          bool Fin = false;
+          for (size_t I1 : FinishersFrom[P]) {
+            for (size_t I2 : FinishersFrom[Q]) {
+              const Piece &F1 = X.Finishers[I1];
+              const Piece &F2 = X.Finishers[I2];
+              if (!D && F1.Id == F2.Id)
+                continue;
+              Result<bool> Olap = Overlap(F1.Guard, F2.Guard);
+              if (!Olap || *Olap) {
+                Fin = true;
+                break;
+              }
+            }
+            if (Fin)
+              break;
+          }
+          if (Fin) {
+            // Definitive event: the merge re-runs this configuration's
+            // finisher scan in the shared session.
+            Out.FinEvent = Ci;
+            size_t Cur = Cutoff.load(std::memory_order_relaxed);
+            while (Ci < Cur &&
+                   !Cutoff.compare_exchange_weak(
+                       Cur, Ci, std::memory_order_relaxed)) {
+            }
+            break;
+          }
+          for (size_t I1 : StepsFrom[P])
+            for (size_t I2 : StepsFrom[Q]) {
+              const Piece &T1 = X.Steps[I1];
+              const Piece &T2 = X.Steps[I2];
+              bool NextD = D || T1.Id != T2.Id;
+              uint64_t NK = Key(T1.To, T2.To, NextD);
+              if (Visited.count(NK) || NewKeys.count(NK))
+                continue;
+              Result<bool> Olap = Overlap(T1.Guard, T2.Guard);
+              if (!Olap) {
+                Out.Discoveries.push_back({Ci, I1, I2, NK, T1.To, T2.To,
+                                           NextD, true, Olap.status()});
+                continue;
+              }
+              if (!*Olap)
+                continue;
+              NewKeys.insert(NK);
+              Out.Discoveries.push_back({Ci, I1, I2, NK, T1.To, T2.To,
+                                         NextD, false, Status()});
+            }
+        }
+      });
+    }
+    TP.wait();
+
+    size_t MinFin = SIZE_MAX;
+    for (const ChunkOut &C : Chunks)
+      MinFin = std::min(MinFin, C.FinEvent);
+
+    // Serial merge: replay discoveries in configuration order (chunks are
+    // contiguous, so chunk order concatenates to configuration order) up
+    // to the first finisher event. A discovery whose target is already
+    // visited is dropped — including errors, which the serial loop would
+    // never have queried.
+    std::vector<Config> NextLevel;
+    for (const ChunkOut &C : Chunks)
+      for (const Discovery &Disc : C.Discoveries) {
+        if (Disc.Cfg >= MinFin)
+          break;
+        if (Visited.count(Disc.NK))
           continue;
-        Result<bool> Olap = Oracle.overlap(F1.Guard, F2.Guard);
-        if (!Olap)
-          return Olap.status();
-        if (*Olap)
-          return BuildWitness(K, F1, F2);
+        if (Disc.IsError)
+          return Disc.Err;
+        Visited.emplace(
+            Disc.NK,
+            Parent{Key(Level[Disc.Cfg].P, Level[Disc.Cfg].Q,
+                       Level[Disc.Cfg].D),
+                   Disc.I1, Disc.I2});
+        NextLevel.push_back({Disc.ToP, Disc.ToQ, Disc.NextD});
       }
 
-    // Synchronous step on one symbol.
-    for (size_t I1 : StepsFrom[P])
-      for (size_t I2 : StepsFrom[Q]) {
-        const Piece &T1 = X.Steps[I1];
-        const Piece &T2 = X.Steps[I2];
-        bool NextD = D || T1.Id != T2.Id;
-        uint64_t NK = Key(T1.To, T2.To, NextD);
-        if (Visited.count(NK))
-          continue;
-        Result<bool> Olap = Oracle.overlap(T1.Guard, T2.Guard);
-        if (!Olap)
-          return Olap.status();
-        if (!*Olap)
-          continue;
-        Visited.emplace(NK, Parent{K, I1, I2});
-        Work.push_back({T1.To, T2.To, NextD});
-      }
+    if (MinFin != SIZE_MAX) {
+      // Re-run the flagged configuration's finisher scan in the shared
+      // session; this is where the serial loop would return, and it
+      // reproduces the serial witness (or error) exactly.
+      auto [P, Q, D] = Level[MinFin];
+      uint64_t K = Key(P, Q, D);
+      for (size_t I1 : FinishersFrom[P])
+        for (size_t I2 : FinishersFrom[Q]) {
+          const Piece &F1 = X.Finishers[I1];
+          const Piece &F2 = X.Finishers[I2];
+          if (!D && F1.Id == F2.Id)
+            continue;
+          Result<bool> Olap = Oracle.overlap(F1.Guard, F2.Guard);
+          if (!Olap)
+            return Olap.status();
+          if (*Olap)
+            return BuildWitness(K, F1, F2);
+        }
+      // The shared session disagreed with the worker (a flapped timeout):
+      // the event evaporated. Finish the search serially from this
+      // configuration — correct, just slower; later configurations of this
+      // level were (possibly) skipped by workers, so they are re-enqueued
+      // ahead of the discoveries already merged.
+      std::deque<Config> Work;
+      for (size_t Ci = MinFin; Ci != Level.size(); ++Ci)
+        Work.push_back(Level[Ci]);
+      for (const Config &C : NextLevel)
+        Work.push_back(C);
+      return RunSerial(std::move(Work));
+    }
+    Level = std::move(NextLevel);
   }
   return std::optional<AmbiguityWitness>(std::nullopt);
 }

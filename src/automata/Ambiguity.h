@@ -20,6 +20,7 @@
 
 #include "automata/Sefa.h"
 #include "solver/Solver.h"
+#include "solver/SolverSessionPool.h"
 #include "support/Result.h"
 
 #include <optional>
@@ -36,21 +37,56 @@ struct AmbiguityWitness {
   std::vector<unsigned> PathB;
 };
 
+/// Parallelism knobs for the Lemma 4.14 product search.
+struct AmbiguityOptions {
+  /// Worker threads for the per-level overlap queries of the product BFS;
+  /// 1 runs the identical partitioned code path inline.
+  unsigned Jobs = 1;
+  /// Warm worker sessions to lease; a private pool is created when null.
+  SolverSessionPool *Sessions = nullptr;
+};
+
 /// Decides ambiguity of \p A (Lemma 4.14). Returns a witness list if \p A is
 /// ambiguous, std::nullopt if it is unambiguous, or an error if the solver
 /// cannot decide a guard query.
+///
+/// Thread safety: safe to call concurrently from multiple threads provided
+/// each call uses a distinct Solver (and hence TermFactory) — the function
+/// keeps no global or static state, but it interns terms into \p S's
+/// factory and queries \p S, neither of which is synchronized. Equivalent
+/// to the options overload with Jobs = 1.
 Result<std::optional<AmbiguityWitness>> checkAmbiguity(const CartesianSefa &A,
                                                        Solver &S);
+
+/// As above with the product-construction BFS parallelized level by level:
+/// the frontier is partitioned into contiguous chunks fanned out over
+/// \p Opts.Jobs workers, which classify guard overlaps in pooled sessions
+/// against a read-only snapshot of the visited set, and a serial merge
+/// replays their discoveries in configuration order. Because BFS discovery
+/// order within a level is exactly the serial FIFO order, the merge visits
+/// configurations in the order the serial search would, so verdicts,
+/// witness words, and witness paths are byte-identical for every Jobs
+/// value. The accepting configuration (if any) is re-examined in the
+/// shared session \p S, which also builds the witness.
+Result<std::optional<AmbiguityWitness>>
+checkAmbiguity(const CartesianSefa &A, Solver &S,
+               const AmbiguityOptions &Opts);
 
 /// Removes transitions with unsatisfiable guards and states that are not
 /// both reachable from the initial state and able to reach a finalizer.
 /// States are renumbered; the initial state is kept even if dead (yielding
 /// an automaton with no transitions).
+///
+/// Thread safety: as checkAmbiguity — concurrent calls are safe iff each
+/// uses its own Solver/TermFactory session; no hidden shared state.
 Result<CartesianSefa> trim(const CartesianSefa &A, Solver &S);
 
 /// A shortest-ish accepted list passing through \p ViaState (which must be
 /// reachable and co-reachable), built from guard models. Used for witness
 /// extraction and by tests.
+///
+/// Thread safety: as checkAmbiguity — concurrent calls are safe iff each
+/// uses its own Solver/TermFactory session; no hidden shared state.
 Result<ValueList> sampleAcceptedVia(const CartesianSefa &A, Solver &S,
                                     unsigned ViaState);
 

@@ -37,12 +37,19 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
   Report.Theory = P.Machine.inputType().str();
   Report.Machine = P.Machine;
 
+  // One pool of warm worker sessions serves the determinism check and
+  // every phase of the injectivity check.
+  SolverSessionPool Sessions(Slv.timeoutMs());
+
   // GENIC requires programs to be deterministic (§3.3): the determinism
   // check always runs.
   {
     Timer T;
+    DeterminismOptions DetOpts;
+    DetOpts.Jobs = Options.Jobs;
+    DetOpts.Sessions = &Sessions;
     Result<std::optional<DeterminismViolation>> Det =
-        checkDeterminism(P.Machine, Slv);
+        checkDeterminism(P.Machine, Slv, DetOpts);
     Report.DeterminismSeconds = T.seconds();
     if (!Det)
       return Det.status();
@@ -56,7 +63,10 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
 
   if (P.WantsInjective || ForceInjectivity) {
     Timer T;
-    Result<InjectivityResult> Inj = checkInjectivity(P.Machine, Slv);
+    InjectivityOptions InjOpts;
+    InjOpts.Jobs = Options.Jobs;
+    InjOpts.Sessions = &Sessions;
+    Result<InjectivityResult> Inj = checkInjectivity(P.Machine, Slv, InjOpts);
     Report.InjectivitySeconds = T.seconds();
     if (!Inj)
       return Inj.status();
@@ -86,5 +96,7 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
     Report.InverseSourceBytes = Report.InverseSource.size();
   }
   Report.SolverStats = Slv.stats();
+  Report.CheckerSessions = Sessions.sessions();
+  Report.CheckerStats = Sessions.solverStats();
   return Report;
 }

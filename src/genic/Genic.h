@@ -59,10 +59,14 @@ struct GenicReport {
   // Performance counters of the run (printed under genic-cli --stats).
   // SolverStats covers the shared session (determinism, injectivity, guard
   // simplification merges); WorkerStats aggregates the per-rule inversion
-  // sessions; EvalStats is the shared engine's compiled-eval cache.
+  // sessions; EvalStats is the shared engine's compiled-eval cache;
+  // CheckerStats aggregates the pooled worker sessions leased by the
+  // parallel determinism/injectivity checks (CheckerSessions of them).
   Solver::Stats SolverStats;
   Inverter::WorkerStats WorkerStats;
   CompiledEvalCache::Stats EvalStats;
+  unsigned CheckerSessions = 0;
+  Solver::Stats CheckerStats;
 
   // The machines, for round-trip testing by callers.
   std::optional<Seft> Machine;

@@ -70,8 +70,10 @@ public:
   unsigned TimeoutMs = 20000;
   /// Memoized checkSat answers, keyed by hash-consed formula pointer. Sat
   /// and Unsat are stable facts about a formula; Unknown (timeout, Z3
-  /// hiccup) is never cached so a retry gets a fresh chance.
+  /// hiccup) is never cached so a retry gets a fresh chance. Bounded by
+  /// SatCacheCap with a generation clear (see setSatCacheCapacity).
   std::unordered_map<TermRef, SatResult> SatCache;
+  size_t SatCacheCap = 1u << 20;
 
   // -- Translation ---------------------------------------------------------
 
@@ -876,10 +878,27 @@ SatResult Solver::checkSat(TermRef Formula) {
   } catch (const z3::exception &) {
     R = SatResult::Unknown;
   }
-  if (R != SatResult::Unknown)
+  if (R != SatResult::Unknown && TheImpl->SatCacheCap != 0) {
+    if (TheImpl->SatCache.size() >= TheImpl->SatCacheCap) {
+      // Generation clear: drop everything rather than track recency. The
+      // table rebuilds from the live working set within a few queries.
+      TheImpl->TheStats.CacheEvictions += TheImpl->SatCache.size();
+      TheImpl->SatCache.clear();
+    }
     TheImpl->SatCache.emplace(Formula, R);
+  }
   return R;
 }
+
+void Solver::setSatCacheCapacity(size_t MaxEntries) {
+  TheImpl->SatCacheCap = MaxEntries;
+  if (TheImpl->SatCache.size() > MaxEntries) {
+    TheImpl->TheStats.CacheEvictions += TheImpl->SatCache.size();
+    TheImpl->SatCache.clear();
+  }
+}
+
+size_t Solver::satCacheCapacity() const { return TheImpl->SatCacheCap; }
 
 Result<bool> Solver::isSat(TermRef Formula) {
   switch (checkSat(Formula)) {

@@ -46,6 +46,15 @@ public:
   void setTimeoutMs(unsigned Milliseconds);
   unsigned timeoutMs() const;
 
+  /// Caps the checkSat memo (default 1M entries). When an insertion would
+  /// exceed the cap the whole table is dropped — a generation clear, chosen
+  /// over LRU because the memo key is a hash-consed pointer and the hit
+  /// distribution is bursty (a phase re-queries the same guards, then moves
+  /// on) — and Stats::CacheEvictions grows by the number of dropped
+  /// entries. 0 disables memoization entirely.
+  void setSatCacheCapacity(size_t MaxEntries);
+  size_t satCacheCapacity() const;
+
   // Base queries ------------------------------------------------------------
 
   /// Satisfiability of \p Formula with its free variables existential.
@@ -120,6 +129,9 @@ public:
     /// checkSat calls that reached the SMT backend (Unknown answers are
     /// not cached, so they count as misses on every retry).
     uint64_t CacheMisses = 0;
+    /// Memoized answers dropped by generation clears of the checkSat memo
+    /// (see setSatCacheCapacity).
+    uint64_t CacheEvictions = 0;
   };
   const Stats &stats() const;
 

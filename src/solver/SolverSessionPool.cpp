@@ -1,0 +1,52 @@
+//===- solver/SolverSessionPool.cpp ----------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SolverSessionPool.h"
+
+using namespace genic;
+
+SolverSessionPool::Lease SolverSessionPool::lease() {
+  std::lock_guard<std::mutex> Lock(M);
+  ++TheStats.Leases;
+  if (!Free.empty()) {
+    Session *S = Free.back();
+    Free.pop_back();
+    return Lease(this, S);
+  }
+  ++TheStats.Created;
+  All.push_back(std::make_unique<Session>(TimeoutMs));
+  return Lease(this, All.back().get());
+}
+
+void SolverSessionPool::release(Session *S) {
+  std::lock_guard<std::mutex> Lock(M);
+  Free.push_back(S);
+}
+
+SolverSessionPool::Stats SolverSessionPool::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return TheStats;
+}
+
+unsigned SolverSessionPool::sessions() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return static_cast<unsigned>(All.size());
+}
+
+Solver::Stats SolverSessionPool::solverStats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Solver::Stats Sum;
+  for (const auto &S : All) {
+    const Solver::Stats &W = S->Slv.stats();
+    Sum.SatQueries += W.SatQueries;
+    Sum.QeCalls += W.QeCalls;
+    Sum.QeFallbacks += W.QeFallbacks;
+    Sum.CacheHits += W.CacheHits;
+    Sum.CacheMisses += W.CacheMisses;
+    Sum.CacheEvictions += W.CacheEvictions;
+  }
+  return Sum;
+}

@@ -1,0 +1,120 @@
+//===- solver/SolverSessionPool.h - Leasable warm solver sessions ---------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A pool of private TermFactory+Solver sessions for parallel decision
+/// procedures. TermFactory and Solver are not thread-safe, so parallel
+/// checkers give each worker task its own session; creating one per task
+/// would re-clone every shared guard and re-warm the SMT context each time.
+/// The pool instead leases sessions: a task borrows one, runs its queries,
+/// and returns it, so a later task (often processing the same transitions
+/// or the next BFS level) reuses the session's memoized cloner, checkSat
+/// memo, and warm Z3 context.
+///
+/// Determinism contract: because mkAnd/mkOr canonicalize children by
+/// interning order, a reused session's *term structure* depends on which
+/// tasks it served before — which is scheduling-dependent. Pooled sessions
+/// must therefore only export plain data (booleans, values, indices) back
+/// to the caller, never terms. Parallel stages whose results are terms
+/// (e.g. the per-position projections of buildOutputAutomaton) use a fresh
+/// session per task instead, whose history is a pure function of the task's
+/// inputs.
+///
+/// lease() and Lease destruction are thread-safe; everything inside a
+/// leased Session is exclusive to the holder until release.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SOLVER_SOLVERSESSIONPOOL_H
+#define GENIC_SOLVER_SOLVERSESSIONPOOL_H
+
+#include "solver/Solver.h"
+#include "term/TermClone.h"
+#include "term/TermFactory.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace genic {
+
+class SolverSessionPool {
+public:
+  /// One private session. Import clones shared-factory terms into Factory
+  /// and is memoized across leases, so re-importing a guard a previous task
+  /// already used is a hash lookup.
+  struct Session {
+    TermFactory Factory;
+    Solver Slv;
+    TermCloner Import;
+
+    explicit Session(unsigned TimeoutMs) : Slv(Factory), Import(Factory) {
+      Slv.setTimeoutMs(TimeoutMs);
+    }
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+  };
+
+  /// RAII borrow of one session; returns it to the pool on destruction.
+  class Lease {
+  public:
+    Lease(Lease &&O) noexcept : Pool(O.Pool), S(O.S) {
+      O.Pool = nullptr;
+      O.S = nullptr;
+    }
+    Lease(const Lease &) = delete;
+    Lease &operator=(const Lease &) = delete;
+    Lease &operator=(Lease &&) = delete;
+    ~Lease() {
+      if (Pool)
+        Pool->release(S);
+    }
+
+    Session &operator*() const { return *S; }
+    Session *operator->() const { return S; }
+
+  private:
+    friend class SolverSessionPool;
+    Lease(SolverSessionPool *Pool, Session *S) : Pool(Pool), S(S) {}
+    SolverSessionPool *Pool;
+    Session *S;
+  };
+
+  /// Sessions are created lazily with this per-query timeout.
+  explicit SolverSessionPool(unsigned TimeoutMs) : TimeoutMs(TimeoutMs) {}
+
+  /// Borrows a free session, creating one if none is available. Thread-safe.
+  Lease lease();
+
+  struct Stats {
+    uint64_t Created = 0; ///< sessions constructed
+    uint64_t Leases = 0;  ///< total lease() calls
+    /// Leases served by an already-warm session.
+    uint64_t reuses() const { return Leases - Created; }
+  };
+  Stats stats() const;
+
+  /// Number of sessions ever created.
+  unsigned sessions() const;
+
+  /// Sum of the per-session solver counters. Callable only while no lease
+  /// is outstanding.
+  Solver::Stats solverStats() const;
+
+private:
+  void release(Session *S);
+
+  unsigned TimeoutMs;
+  mutable std::mutex M;
+  std::vector<std::unique_ptr<Session>> All;
+  std::vector<Session *> Free;
+  Stats TheStats;
+};
+
+} // namespace genic
+
+#endif // GENIC_SOLVER_SOLVERSESSIONPOOL_H

@@ -199,6 +199,62 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
     Insert(MakeTerm(), ResultTy, std::move(S), Size);
   };
 
+  // Batched variant of Combine for auxiliary-function calls: gathers the
+  // argument tuples of every fully-defined example and evaluates the callee
+  // in one example-major sweep (one compiled-callee lookup per candidate
+  // instead of one per (candidate, example)). Signature construction,
+  // counters, and dedup are identical to Combine's per-example path.
+  std::vector<std::vector<Value>> BatchArgs;
+  std::vector<size_t> BatchExamples;
+  std::vector<std::optional<Value>> BatchOut;
+  auto CombineCall = [&](auto MakeTerm,
+                         std::span<const Entry *const> Children,
+                         std::span<const Type> ChildTypes, const FuncDef *Fn,
+                         unsigned Size) {
+    ++LastStats.CandidatesTried;
+    BatchArgs.clear();
+    BatchExamples.clear();
+    for (size_t E = 0; E != NumEx; ++E) {
+      bool AllDefined = true;
+      for (size_t C = 0; C != Children.size(); ++C)
+        if (!(Children[C]->S.Defined >> E & 1)) {
+          AllDefined = false;
+          break;
+        }
+      if (!AllDefined)
+        continue;
+      std::vector<Value> Args(Children.size());
+      for (size_t C = 0; C != Children.size(); ++C)
+        Args[C] = valueOf(Children[C]->S.Raw[E], ChildTypes[C]);
+      BatchArgs.push_back(std::move(Args));
+      BatchExamples.push_back(E);
+    }
+    LastStats.CandidateEvals += BatchArgs.size();
+    if (Cfg.EvalCache) {
+      Cfg.EvalCache->callFuncBatch(Fn, BatchArgs, BatchOut);
+    } else {
+      BatchOut.assign(BatchArgs.size(), std::nullopt);
+      for (size_t R = 0; R != BatchArgs.size(); ++R)
+        if (!Fn->Domain ||
+            evalBool(Fn->Domain, std::span<const Value>(BatchArgs[R])))
+          BatchOut[R] = eval(Fn->Body, std::span<const Value>(BatchArgs[R]));
+    }
+    Sig S;
+    S.Raw.assign(NumEx, 0);
+    for (size_t R = 0; R != BatchArgs.size(); ++R) {
+      if (!BatchOut[R])
+        continue;
+      S.Raw[BatchExamples[R]] = rawOf(*BatchOut[R]);
+      S.Defined |= uint64_t{1} << BatchExamples[R];
+    }
+    if (S.Defined == 0)
+      return;
+    TypeBank &B = BankOf(Fn->ReturnType);
+    if (B.Seen.count(S))
+      return;
+    Insert(MakeTerm(), Fn->ReturnType, std::move(S), Size);
+  };
+
   auto IsCommutative = [](Op O) {
     return O == Op::IntAdd || O == Op::IntMul || O == Op::BvAdd ||
            O == Op::BvAnd || O == Op::BvOr || O == Op::BvXor;
@@ -292,7 +348,7 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
             if (Found)
               return;
             if (P == A) {
-              Combine(
+              CombineCall(
                   [&] {
                     std::vector<TermRef> Args;
                     for (const Entry *C : Chosen)
@@ -300,19 +356,7 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
                     return Factory.mkCall(Fn, std::move(Args));
                   },
                   std::span<const Entry *const>(Chosen.data(), A),
-                  std::span<const Type>(Fn->ParamTypes.data(), A),
-                  Fn->ReturnType, Size, [&](std::span<const Value> Vals) {
-                    // Compiled path: one flat program per callee instead of
-                    // re-walking Body/Domain for every (candidate, example).
-                    if (Cfg.EvalCache)
-                      return Cfg.EvalCache->callFunc(Fn, Vals);
-                    std::optional<Value> Out;
-                    if (!Fn->Domain ||
-                        evalBool(Fn->Domain,
-                                 std::span<const Value>(Vals)))
-                      Out = eval(Fn->Body, Vals);
-                    return Out;
-                  });
+                  std::span<const Type>(Fn->ParamTypes.data(), A), Fn, Size);
               return;
             }
             TypeBank &B = BankOf(Fn->ParamTypes[P]);

@@ -107,6 +107,13 @@ public:
   void evalBatch(TermRef T, std::span<const std::vector<Value>> Envs,
                  std::vector<std::optional<Value>> &Out);
 
+  /// Batched auxiliary-function application: one callee lookup for the
+  /// whole sweep instead of one per row. Out is resized to
+  /// ArgLists.size(); Out[i] equals callFunc(F, ArgLists[i]).
+  void callFuncBatch(const FuncDef *F,
+                     std::span<const std::vector<Value>> ArgLists,
+                     std::vector<std::optional<Value>> &Out);
+
   /// Compiles without evaluating (for benchmarks and warm-up).
   const CompiledProgram &compile(TermRef T);
 

@@ -6,6 +6,11 @@
 
 #include "transducer/Determinism.h"
 
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <limits>
+
 using namespace genic;
 
 namespace {
@@ -18,24 +23,18 @@ TermRef overlapGuard(TermFactory &F, const SeftTransition &A,
   return F.mkAnd(A.Guard, B.Guard);
 }
 
-Result<std::optional<DeterminismViolation>>
-checkPair(Solver &S, const Seft &A, unsigned IA, unsigned IB) {
+/// Definition 3.7 on one rule pair: the reason string when the pair
+/// violates determinism, std::nullopt when the overlap is harmless. Verdict
+/// only — witness models are extracted separately, so parallel workers can
+/// run this against private sessions (pooled sessions must not export
+/// terms, see SolverSessionPool.h) and only the winning pair re-queries the
+/// shared session.
+Result<std::optional<std::string>> pairViolation(Solver &S,
+                                                 const SeftTransition &TA,
+                                                 const SeftTransition &TB) {
   TermFactory &F = S.factory();
-  const SeftTransition &TA = A.transitions()[IA];
-  const SeftTransition &TB = A.transitions()[IB];
   bool FinalA = TA.To == Seft::FinalState;
   bool FinalB = TB.To == Seft::FinalState;
-
-  auto Witness = [&](const std::string &Reason)
-      -> Result<std::optional<DeterminismViolation>> {
-    unsigned N = std::max(TA.Lookahead, TB.Lookahead);
-    std::vector<Type> Types(N, A.inputType());
-    Result<std::vector<Value>> M = S.getModel(overlapGuard(F, TA, TB), Types);
-    if (!M)
-      return M.status();
-    return std::optional<DeterminismViolation>(
-        DeterminismViolation{IA, IB, *M, Reason});
-  };
 
   // Case (c): one rule continues, the other finalizes. Overlap is only
   // harmless when the continuing rule looks further than the finalizer
@@ -44,38 +43,42 @@ checkPair(Solver &S, const Seft &A, unsigned IA, unsigned IB) {
     const SeftTransition &Continue = FinalA ? TB : TA;
     const SeftTransition &Finish = FinalA ? TA : TB;
     if (Continue.Lookahead > Finish.Lookahead)
-      return std::optional<DeterminismViolation>(std::nullopt);
+      return std::optional<std::string>(std::nullopt);
     Result<bool> Sat = S.isSat(overlapGuard(F, TA, TB));
     if (!Sat)
       return Sat.status();
     if (!*Sat)
-      return std::optional<DeterminismViolation>(std::nullopt);
-    return Witness("a continuing rule with lookahead <= a finalizer's "
-                   "lookahead overlaps with it (Def. 3.7(c))");
+      return std::optional<std::string>(std::nullopt);
+    return std::optional<std::string>(
+        "a continuing rule with lookahead <= a finalizer's "
+        "lookahead overlaps with it (Def. 3.7(c))");
   }
 
   // Case (b): two finalizers of different lookahead never compete (they
   // apply at different remaining lengths).
   if (FinalA && FinalB && TA.Lookahead != TB.Lookahead)
-    return std::optional<DeterminismViolation>(std::nullopt);
+    return std::optional<std::string>(std::nullopt);
 
   Result<bool> Sat = S.isSat(overlapGuard(F, TA, TB));
   if (!Sat)
     return Sat.status();
   if (!*Sat)
-    return std::optional<DeterminismViolation>(std::nullopt);
+    return std::optional<std::string>(std::nullopt);
 
   // Case (a): two continuing rules that overlap must be the same rule in
   // disguise: same target, same lookahead, equivalent outputs.
   if (!FinalA) {
     if (TA.To != TB.To)
-      return Witness("overlapping rules continue to different states");
+      return std::optional<std::string>(
+          "overlapping rules continue to different states");
     if (TA.Lookahead != TB.Lookahead)
-      return Witness("overlapping rules have different lookaheads");
+      return std::optional<std::string>(
+          "overlapping rules have different lookaheads");
   }
   // Shared for (a) and (b): outputs must agree where both fire.
   if (TA.Outputs.size() != TB.Outputs.size())
-    return Witness("overlapping rules produce different output lengths");
+    return std::optional<std::string>(
+        "overlapping rules produce different output lengths");
   TermRef Overlap = overlapGuard(F, TA, TB);
   for (size_t I = 0, E = TA.Outputs.size(); I != E; ++I) {
     Result<bool> Same = S.equivalentUnder(Overlap, TA.Outputs[I],
@@ -83,10 +86,44 @@ checkPair(Solver &S, const Seft &A, unsigned IA, unsigned IB) {
     if (!Same)
       return Same.status();
     if (!*Same)
-      return Witness("overlapping rules disagree on output " +
-                     std::to_string(I));
+      return std::optional<std::string>(
+          "overlapping rules disagree on output " + std::to_string(I));
   }
-  return std::optional<DeterminismViolation>(std::nullopt);
+  return std::optional<std::string>(std::nullopt);
+}
+
+Result<std::optional<DeterminismViolation>>
+checkPair(Solver &S, const Seft &A, unsigned IA, unsigned IB) {
+  const SeftTransition &TA = A.transitions()[IA];
+  const SeftTransition &TB = A.transitions()[IB];
+  Result<std::optional<std::string>> V = pairViolation(S, TA, TB);
+  if (!V)
+    return V.status();
+  if (!V->has_value())
+    return std::optional<DeterminismViolation>(std::nullopt);
+  unsigned N = std::max(TA.Lookahead, TB.Lookahead);
+  std::vector<Type> Types(N, A.inputType());
+  Result<std::vector<Value>> M =
+      S.getModel(overlapGuard(S.factory(), TA, TB), Types);
+  if (!M)
+    return M.status();
+  return std::optional<DeterminismViolation>(
+      DeterminismViolation{IA, IB, *M, **V});
+}
+
+/// Clones a rule's terms into a worker session; From/To/Lookahead carry
+/// over. The session cloner is memoized, so a rule is imported once per
+/// session no matter how many pairs mention it.
+SeftTransition importTransition(TermCloner &Import, const SeftTransition &T) {
+  SeftTransition Out;
+  Out.From = T.From;
+  Out.To = T.To;
+  Out.Lookahead = T.Lookahead;
+  Out.Guard = Import.clone(T.Guard);
+  Out.Outputs.reserve(T.Outputs.size());
+  for (TermRef O : T.Outputs)
+    Out.Outputs.push_back(Import.clone(O));
+  return Out;
 }
 
 } // namespace
@@ -104,5 +141,83 @@ genic::checkDeterminism(const Seft &A, Solver &S) {
       if (R->has_value())
         return R;
     }
+  return std::optional<DeterminismViolation>(std::nullopt);
+}
+
+Result<std::optional<DeterminismViolation>>
+genic::checkDeterminism(const Seft &A, Solver &S,
+                        const DeterminismOptions &Opts) {
+  const auto &Ts = A.transitions();
+  std::vector<std::pair<unsigned, unsigned>> PairList;
+  for (unsigned I = 0, E = Ts.size(); I != E; ++I)
+    for (unsigned J = I + 1; J != E; ++J)
+      if (Ts[I].From == Ts[J].From)
+        PairList.push_back({I, J});
+  if (PairList.empty())
+    return std::optional<DeterminismViolation>(std::nullopt);
+
+  SolverSessionPool LocalPool(S.timeoutMs());
+  SolverSessionPool &Pool = Opts.Sessions ? *Opts.Sessions : LocalPool;
+
+  // Workers scan disjoint chunks of the lexicographic pair list against
+  // pooled sessions, recording only the first pair index with an event
+  // (violation or solver error). The verdicts are semantic, so the global
+  // minimum is the exact pair the serial loop would have stopped at; its
+  // full result — witness model included — is then recomputed in the shared
+  // session, making the output independent of Jobs.
+  size_t Threads = std::min<size_t>(std::max(1u, Opts.Jobs), PairList.size());
+  size_t NumChunks = std::min(PairList.size(), Threads * 4);
+  std::vector<size_t> FirstEvent(NumChunks, SIZE_MAX);
+  // Pairs past the earliest known event cannot influence the result; skip
+  // them. The cutoff only ever decreases toward the true minimum, so no
+  // pair below the final minimum is ever skipped.
+  std::atomic<size_t> Cutoff{SIZE_MAX};
+
+  ThreadPool TP(Threads);
+  for (size_t C = 0; C != NumChunks; ++C) {
+    size_t Begin = PairList.size() * C / NumChunks;
+    size_t End = PairList.size() * (C + 1) / NumChunks;
+    TP.submit([&, C, Begin, End] {
+      SolverSessionPool::Lease Sess = Pool.lease();
+      for (size_t K = Begin; K != End; ++K) {
+        if (K > Cutoff.load(std::memory_order_relaxed))
+          continue;
+        SeftTransition TA =
+            importTransition(Sess->Import, Ts[PairList[K].first]);
+        SeftTransition TB =
+            importTransition(Sess->Import, Ts[PairList[K].second]);
+        Result<std::optional<std::string>> V =
+            pairViolation(Sess->Slv, TA, TB);
+        if (V && !V->has_value())
+          continue;
+        FirstEvent[C] = K;
+        size_t Cur = Cutoff.load(std::memory_order_relaxed);
+        while (K < Cur &&
+               !Cutoff.compare_exchange_weak(Cur, K,
+                                             std::memory_order_relaxed)) {
+        }
+        break;
+      }
+    });
+  }
+  TP.wait();
+
+  size_t Min = SIZE_MAX;
+  for (size_t E : FirstEvent)
+    Min = std::min(Min, E);
+  if (Min == SIZE_MAX)
+    return std::optional<DeterminismViolation>(std::nullopt);
+  // Recompute from the event onward in the shared session. Normally the
+  // first iteration reproduces the worker's verdict and returns; if the
+  // shared session answers differently (a timeout flapped), the serial scan
+  // simply continues, which is still a correct — just slower — result.
+  for (size_t K = Min; K != PairList.size(); ++K) {
+    Result<std::optional<DeterminismViolation>> R =
+        checkPair(S, A, PairList[K].first, PairList[K].second);
+    if (!R)
+      return R;
+    if (R->has_value())
+      return R;
+  }
   return std::optional<DeterminismViolation>(std::nullopt);
 }

@@ -16,6 +16,7 @@
 #define GENIC_TRANSDUCER_DETERMINISM_H
 
 #include "solver/Solver.h"
+#include "solver/SolverSessionPool.h"
 #include "support/Result.h"
 #include "transducer/Seft.h"
 
@@ -38,6 +39,24 @@ struct DeterminismViolation {
 /// nondeterministic, std::nullopt if deterministic.
 Result<std::optional<DeterminismViolation>> checkDeterminism(const Seft &A,
                                                              Solver &S);
+
+/// Parallelism knobs for the per-pair overlap scan.
+struct DeterminismOptions {
+  /// Worker threads for the pairwise queries; 1 runs the same partitioned
+  /// code path inline.
+  unsigned Jobs = 1;
+  /// Warm worker sessions to lease; a private pool is created when null.
+  SolverSessionPool *Sessions = nullptr;
+};
+
+/// As above with the same-state rule pairs fanned out over \p Opts.Jobs
+/// workers. Workers classify pairs in private sessions (verdicts are
+/// semantic, hence scheduling-independent); the lexicographically first
+/// violating pair is then re-checked in the shared session \p S, so the
+/// reported violation — witness model included — is identical for every
+/// Jobs value.
+Result<std::optional<DeterminismViolation>>
+checkDeterminism(const Seft &A, Solver &S, const DeterminismOptions &Opts);
 
 } // namespace genic
 

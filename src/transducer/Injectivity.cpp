@@ -9,8 +9,12 @@
 #include "automata/Ambiguity.h"
 
 #include "support/Result.h"
+#include "support/ThreadPool.h"
+#include "term/TermClone.h"
 
+#include <atomic>
 #include <deque>
+#include <memory>
 
 using namespace genic;
 
@@ -34,44 +38,135 @@ TermRef shiftedOutput(TermFactory &F, const SeftTransition &T, unsigned J,
   return F.substitute(T.Outputs[J], Repl);
 }
 
+/// Lemma 4.7 formula for one rule:
+///   x != x'  /\  phi(x) /\ phi(x')  /\  f(x) = f(x')
+/// with x at Var(0..L-1) and x' at Var(L..2L-1).
+TermRef transitionInjectivityQuery(TermFactory &F, const SeftTransition &T,
+                                   const Type &InputType) {
+  unsigned L = T.Lookahead;
+  std::vector<TermRef> Distinct;
+  for (unsigned I = 0; I < L; ++I)
+    Distinct.push_back(
+        F.mkDistinct(F.mkVar(I, InputType), F.mkVar(L + I, InputType)));
+  std::vector<TermRef> Conjuncts{F.mkOr(std::move(Distinct)), T.Guard,
+                                 shiftedGuard(F, T, L, InputType)};
+  for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J)
+    Conjuncts.push_back(
+        F.mkEq(T.Outputs[J], shiftedOutput(F, T, J, L, InputType)));
+  return F.mkAnd(std::move(Conjuncts));
+}
+
+/// Builds the Lemma 4.7 query for rule \p Index in \p S and, when
+/// satisfiable, extracts the conflicting input tuples.
+Result<std::optional<TransitionInjectivityViolation>>
+queryTransition(const Seft &A, Solver &S, unsigned Index) {
+  const SeftTransition &T = A.transitions()[Index];
+  unsigned L = T.Lookahead;
+  TermRef Query = transitionInjectivityQuery(S.factory(), T, A.inputType());
+  Result<bool> Sat = S.isSat(Query);
+  if (!Sat)
+    return Sat.status();
+  if (!*Sat)
+    return std::optional<TransitionInjectivityViolation>(std::nullopt);
+  std::vector<Type> Types(2 * L, A.inputType());
+  Result<std::vector<Value>> M = S.getModel(Query, Types);
+  if (!M)
+    return M.status();
+  TransitionInjectivityViolation V;
+  V.Transition = Index;
+  V.InputA.assign(M->begin(), M->begin() + L);
+  V.InputB.assign(M->begin() + L, M->begin() + 2 * L);
+  return std::optional<TransitionInjectivityViolation>(V);
+}
+
 } // namespace
 
 Result<std::optional<TransitionInjectivityViolation>>
 genic::checkTransitionInjectivity(const Seft &A, Solver &S) {
-  TermFactory &F = S.factory();
   const auto &Ts = A.transitions();
   for (unsigned Index = 0, E = Ts.size(); Index != E; ++Index) {
-    const SeftTransition &T = Ts[Index];
-    if (T.Lookahead == 0)
+    if (Ts[Index].Lookahead == 0)
       continue; // No inputs to conflate.
-    unsigned L = T.Lookahead;
-    // Lemma 4.7 formula:
-    //   x != x'  /\  phi(x) /\ phi(x')  /\  f(x) = f(x')
-    // with x at Var(0..L-1) and x' at Var(L..2L-1).
-    std::vector<TermRef> Distinct;
-    for (unsigned I = 0; I < L; ++I)
-      Distinct.push_back(F.mkDistinct(F.mkVar(I, A.inputType()),
-                                      F.mkVar(L + I, A.inputType())));
-    std::vector<TermRef> Conjuncts{F.mkOr(std::move(Distinct)), T.Guard,
-                                   shiftedGuard(F, T, L, A.inputType())};
-    for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J)
-      Conjuncts.push_back(F.mkEq(
-          T.Outputs[J], shiftedOutput(F, T, J, L, A.inputType())));
-    TermRef Query = F.mkAnd(std::move(Conjuncts));
-    Result<bool> Sat = S.isSat(Query);
-    if (!Sat)
-      return Sat.status();
-    if (!*Sat)
-      continue;
-    std::vector<Type> Types(2 * L, A.inputType());
-    Result<std::vector<Value>> M = S.getModel(Query, Types);
-    if (!M)
-      return M.status();
-    TransitionInjectivityViolation V;
-    V.Transition = Index;
-    V.InputA.assign(M->begin(), M->begin() + L);
-    V.InputB.assign(M->begin() + L, M->begin() + 2 * L);
-    return std::optional<TransitionInjectivityViolation>(V);
+    Result<std::optional<TransitionInjectivityViolation>> R =
+        queryTransition(A, S, Index);
+    if (!R)
+      return R;
+    if (R->has_value())
+      return R;
+  }
+  return std::optional<TransitionInjectivityViolation>(std::nullopt);
+}
+
+Result<std::optional<TransitionInjectivityViolation>>
+genic::checkTransitionInjectivity(const Seft &A, Solver &S,
+                                  const InjectivityOptions &Opts) {
+  const auto &Ts = A.transitions();
+  std::vector<unsigned> Rules;
+  for (unsigned Index = 0, E = Ts.size(); Index != E; ++Index)
+    if (Ts[Index].Lookahead != 0)
+      Rules.push_back(Index);
+  if (Rules.empty())
+    return std::optional<TransitionInjectivityViolation>(std::nullopt);
+
+  SolverSessionPool LocalPool(S.timeoutMs());
+  SolverSessionPool &Pool = Opts.Sessions ? *Opts.Sessions : LocalPool;
+
+  // Verdict-only scan in pooled sessions; the first rule with an event
+  // (violation or error) is recomputed in the shared session, which also
+  // produces the witness model — identical for every Jobs value.
+  size_t Threads = std::min<size_t>(std::max(1u, Opts.Jobs), Rules.size());
+  size_t NumChunks = std::min(Rules.size(), Threads * 4);
+  std::vector<size_t> FirstEvent(NumChunks, SIZE_MAX);
+  std::atomic<size_t> Cutoff{SIZE_MAX};
+
+  ThreadPool TP(Threads);
+  for (size_t C = 0; C != NumChunks; ++C) {
+    size_t Begin = Rules.size() * C / NumChunks;
+    size_t End = Rules.size() * (C + 1) / NumChunks;
+    TP.submit([&, C, Begin, End] {
+      SolverSessionPool::Lease Sess = Pool.lease();
+      for (size_t K = Begin; K != End; ++K) {
+        if (K > Cutoff.load(std::memory_order_relaxed))
+          continue;
+        const SeftTransition &T = Ts[Rules[K]];
+        SeftTransition Local;
+        Local.From = T.From;
+        Local.To = T.To;
+        Local.Lookahead = T.Lookahead;
+        Local.Guard = Sess->Import.clone(T.Guard);
+        for (TermRef O : T.Outputs)
+          Local.Outputs.push_back(Sess->Import.clone(O));
+        TermRef Query = transitionInjectivityQuery(Sess->Factory, Local,
+                                                   A.inputType());
+        Result<bool> Sat = Sess->Slv.isSat(Query);
+        if (Sat && !*Sat)
+          continue;
+        FirstEvent[C] = K;
+        size_t Cur = Cutoff.load(std::memory_order_relaxed);
+        while (K < Cur &&
+               !Cutoff.compare_exchange_weak(Cur, K,
+                                             std::memory_order_relaxed)) {
+        }
+        break;
+      }
+    });
+  }
+  TP.wait();
+
+  size_t Min = SIZE_MAX;
+  for (size_t E : FirstEvent)
+    Min = std::min(Min, E);
+  if (Min == SIZE_MAX)
+    return std::optional<TransitionInjectivityViolation>(std::nullopt);
+  // Serial recheck from the event onward (normally returns immediately;
+  // continuing covers a shared/worker answer mismatch on flaky timeouts).
+  for (size_t K = Min; K != Rules.size(); ++K) {
+    Result<std::optional<TransitionInjectivityViolation>> R =
+        queryTransition(A, S, Rules[K]);
+    if (!R)
+      return R;
+    if (R->has_value())
+      return R;
   }
   return std::optional<TransitionInjectivityViolation>(std::nullopt);
 }
@@ -82,8 +177,61 @@ Result<CartesianSefa> genic::buildOutputAutomaton(const Seft &A, Solver &S) {
 
 Result<CartesianSefa> genic::buildOutputAutomaton(const Seft &A, Solver &S,
                                                   bool AllowHull) {
-  CartesianSefa Out(A.numStates(), A.initial(), A.outputType());
+  return buildOutputAutomaton(A, S, AllowHull, InjectivityOptions());
+}
+
+Result<CartesianSefa> genic::buildOutputAutomaton(
+    const Seft &A, Solver &S, bool AllowHull, const InjectivityOptions &Opts) {
   const auto &Ts = A.transitions();
+
+  // One task per (rule, output position): the per-position projections are
+  // independent and dominate isInj wall-clock (~0.8-1.4s each on the UTF-16
+  // encoder), so this is the grain that parallelizes the pipeline. Each
+  // task gets a fresh private session — not a pooled one — because its
+  // result is a term: a fresh factory's history is a pure function of the
+  // cloned rule, so the projection's structure cannot depend on which tasks
+  // ran before it on the same thread.
+  struct ProjTask {
+    std::unique_ptr<TermFactory> F;
+    std::unique_ptr<Solver> S;
+    ImagePredicate P{nullptr, {}, 0};
+    unsigned J = 0;
+    Result<TermRef> Psi = Status::error("projection task did not run");
+  };
+  std::vector<ProjTask> Tasks;
+  for (unsigned Index = 0, E = Ts.size(); Index != E; ++Index) {
+    const SeftTransition &T = Ts[Index];
+    for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J) {
+      ProjTask Task;
+      Task.F = std::make_unique<TermFactory>();
+      Task.S = std::make_unique<Solver>(*Task.F);
+      Task.S->setTimeoutMs(S.timeoutMs());
+      TermCloner In(*Task.F);
+      Task.P.Guard = In.clone(T.Guard);
+      Task.P.Outputs.reserve(T.Outputs.size());
+      for (TermRef O : T.Outputs)
+        Task.P.Outputs.push_back(In.clone(O));
+      Task.P.NumInputs = T.Lookahead;
+      Task.J = J;
+      Tasks.push_back(std::move(Task));
+    }
+  }
+
+  ThreadPool TP(std::min<size_t>(std::max(1u, Opts.Jobs), Tasks.size()));
+  bool Hull = AllowHull;
+  for (ProjTask &Task : Tasks) {
+    ProjTask *T = &Task;
+    TP.submit([T, Hull] { T->Psi = T->S->project(T->P, T->J, Hull); });
+  }
+  TP.wait();
+
+  // Merge in rule/position order: projections clone back into the shared
+  // factory (structurally identical terms re-intern to identical TermRefs,
+  // preserving the ambiguity check's guard dedup), and the empty-output
+  // epsilon gates run on the shared solver exactly as in the serial order.
+  CartesianSefa Out(A.numStates(), A.initial(), A.outputType());
+  TermCloner Back(S.factory());
+  size_t TaskIdx = 0;
   for (unsigned Index = 0, E = Ts.size(); Index != E; ++Index) {
     const SeftTransition &T = Ts[Index];
     SefaTransition NT;
@@ -98,12 +246,11 @@ Result<CartesianSefa> genic::buildOutputAutomaton(const Seft &A, Solver &S,
       // ambiguity witnesses are validated against the real transducer
       // before being reported (checkInjectivity below). The expensive
       // Sigma_2 Cartesian query is thereby avoided on the happy path.
-      ImagePredicate P{T.Guard, T.Outputs, T.Lookahead};
       for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J) {
-        Result<TermRef> Psi = S.project(P, J, AllowHull);
-        if (!Psi)
-          return Psi.status();
-        NT.Guards.push_back(*Psi);
+        ProjTask &Task = Tasks[TaskIdx++];
+        if (!Task.Psi)
+          return Task.Psi.status();
+        NT.Guards.push_back(Back.clone(*Task.Psi));
       }
     } else {
       // Empty output: an epsilon transition guarded by the satisfiability
@@ -237,9 +384,23 @@ Result<ValueList> inputForPath(const Seft &A, Solver &S,
 } // namespace
 
 Result<InjectivityResult> genic::checkInjectivity(const Seft &A, Solver &S) {
+  return checkInjectivity(A, S, InjectivityOptions());
+}
+
+Result<InjectivityResult>
+genic::checkInjectivity(const Seft &A, Solver &S,
+                        const InjectivityOptions &Opts) {
+  // One warm session pool serves every phase and both CEGAR iterations.
+  InjectivityOptions Eff = Opts;
+  std::optional<SolverSessionPool> LocalPool;
+  if (!Eff.Sessions) {
+    LocalPool.emplace(S.timeoutMs());
+    Eff.Sessions = &*LocalPool;
+  }
+
   // Part 1: transition-injectivity (Lemma 4.7).
   Result<std::optional<TransitionInjectivityViolation>> TI =
-      checkTransitionInjectivity(A, S);
+      checkTransitionInjectivity(A, S, Eff);
   if (!TI)
     return TI.status();
   if (TI->has_value()) {
@@ -274,10 +435,14 @@ Result<InjectivityResult> genic::checkInjectivity(const Seft &A, Solver &S) {
   // projections, then — only if a witness fails to validate — with exact
   // interval-learned projections.
   for (bool AllowHull : {true, false}) {
-    Result<CartesianSefa> AO = buildOutputAutomaton(A, S, AllowHull);
+    Result<CartesianSefa> AO = buildOutputAutomaton(A, S, AllowHull, Eff);
     if (!AO)
       return AO.status();
-    Result<std::optional<AmbiguityWitness>> Amb = checkAmbiguity(*AO, S);
+    AmbiguityOptions AmbOpts;
+    AmbOpts.Jobs = Eff.Jobs;
+    AmbOpts.Sessions = Eff.Sessions;
+    Result<std::optional<AmbiguityWitness>> Amb =
+        checkAmbiguity(*AO, S, AmbOpts);
     if (!Amb)
       return Amb.status();
     if (!Amb->has_value())

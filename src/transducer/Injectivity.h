@@ -26,6 +26,7 @@
 
 #include "automata/Sefa.h"
 #include "solver/Solver.h"
+#include "solver/SolverSessionPool.h"
 #include "support/Result.h"
 #include "transducer/Seft.h"
 
@@ -33,6 +34,20 @@
 #include <string>
 
 namespace genic {
+
+/// Parallelism knobs for the injectivity pipeline. The same options value
+/// drives all three phases (transition-injectivity, output-automaton
+/// projections, ambiguity product search); Jobs = 1 runs the identical
+/// partitioned code paths inline, so results are byte-identical for every
+/// Jobs value.
+struct InjectivityOptions {
+  unsigned Jobs = 1;
+  /// Warm worker sessions for the verdict-only parallel queries; a private
+  /// pool is created (and shared across the CEGAR iterations) when null.
+  /// Term-producing stages (projections) use fresh per-task sessions
+  /// instead — see SolverSessionPool.h for the determinism contract.
+  SolverSessionPool *Sessions = nullptr;
+};
 
 /// A rule that conflates two input tuples (Definition 4.2 violated).
 struct TransitionInjectivityViolation {
@@ -45,6 +60,14 @@ struct TransitionInjectivityViolation {
 /// Lemma 4.7: one satisfiability query per rule.
 Result<std::optional<TransitionInjectivityViolation>>
 checkTransitionInjectivity(const Seft &A, Solver &S);
+
+/// As above with the per-rule queries fanned out over \p Opts.Jobs workers
+/// in pooled sessions. The first violating rule (in index order) is
+/// re-queried in the shared session for the witness model, so the result is
+/// independent of scheduling.
+Result<std::optional<TransitionInjectivityViolation>>
+checkTransitionInjectivity(const Seft &A, Solver &S,
+                           const InjectivityOptions &Opts);
 
 /// Definition 4.9 with the epsilon-step collapsed: builds the output
 /// automaton whose transition with id i carries the per-position
@@ -60,6 +83,17 @@ Result<CartesianSefa> buildOutputAutomaton(const Seft &A, Solver &S);
 Result<CartesianSefa> buildOutputAutomaton(const Seft &A, Solver &S,
                                            bool AllowHull);
 
+/// As above with the per-(rule, position) projections — the dominant cost
+/// of the whole injectivity check on the coder corpus — fanned out over
+/// \p Opts.Jobs workers. Each projection runs in a fresh private session
+/// whose factory history is a pure function of that one rule (pooled
+/// sessions must not export terms, see SolverSessionPool.h); results are
+/// cloned back into \p S's factory in rule/position order, so the automaton
+/// is structurally identical for every Jobs value.
+Result<CartesianSefa> buildOutputAutomaton(const Seft &A, Solver &S,
+                                           bool AllowHull,
+                                           const InjectivityOptions &Opts);
+
 /// Outcome of the injectivity check.
 struct InjectivityResult {
   bool Injective = false;
@@ -71,8 +105,17 @@ struct InjectivityResult {
 };
 
 /// Theorem 4.6 / Theorem 4.16: the full injectivity check. \p A must be
-/// unambiguous (use checkDeterminism first; GENIC does).
+/// unambiguous (use checkDeterminism first; GENIC does). Equivalent to the
+/// options overload with Jobs = 1.
 Result<InjectivityResult> checkInjectivity(const Seft &A, Solver &S);
+
+/// The full check with every phase parallelized per \p Opts. Verdicts and
+/// witnesses are byte-identical for every Jobs value: parallel stages
+/// either return plain verdicts (re-checked serially in \p S for the
+/// winner) or terms built in per-task sessions that are pure functions of
+/// their inputs, and all merges happen in fixed index order.
+Result<InjectivityResult> checkInjectivity(const Seft &A, Solver &S,
+                                           const InjectivityOptions &Opts);
 
 /// A shortest-ish input list prefix driving \p A from the initial state to
 /// \p ViaState, and a suffix from \p ViaState to acceptance, built from

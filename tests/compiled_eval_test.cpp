@@ -210,6 +210,31 @@ TEST_F(CompiledEvalTest, CallFuncMatchesEvalSemantics) {
   }
 }
 
+TEST_F(CompiledEvalTest, CallFuncBatchMatchesPerRowCallFunc) {
+  // The enumerator's inner loop depends on this: one batched sweep over all
+  // examples must agree row-for-row with per-example callFunc, including
+  // domain rejection of the partial functions.
+  std::vector<std::vector<Value>> Rows;
+  for (uint64_t Raw = 0; Raw < 256; ++Raw)
+    Rows.push_back({Value::bitVecVal(Raw, 8)});
+  std::vector<std::optional<Value>> Out;
+  for (const FuncDef *Fn : {Enc, Dec, Dec2}) {
+    Cache.callFuncBatch(Fn, Rows, Out);
+    ASSERT_EQ(Out.size(), Rows.size());
+    bool SawDefined = false, SawUndefined = false;
+    for (size_t R = 0; R < Rows.size(); ++R) {
+      EXPECT_EQ(Out[R], Cache.callFunc(Fn, Rows[R])) << Fn->Name << " " << R;
+      (Out[R] ? SawDefined : SawUndefined) = true;
+    }
+    // The partial functions must exercise both outcomes in one batch.
+    EXPECT_TRUE(SawDefined) << Fn->Name;
+    EXPECT_EQ(SawUndefined, Fn->Domain != nullptr) << Fn->Name;
+  }
+  // An empty batch is a no-op that leaves Out empty.
+  Cache.callFuncBatch(Enc, {}, Out);
+  EXPECT_TRUE(Out.empty());
+}
+
 TEST_F(CompiledEvalTest, ProgramsAreCompiledOncePerTerm) {
   TermRef T = F.mkBvOp(Op::BvAdd, F.mkVar(0, B8), F.mkBv(1, 8));
   std::vector<Value> Env{Value::bitVecVal(7, 8)};

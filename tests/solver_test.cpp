@@ -305,4 +305,38 @@ TEST_P(BvAffineProjection, IntervalIsExact) {
 INSTANTIATE_TEST_SUITE_P(Offsets, BvAffineProjection,
                          ::testing::Values(0u, 1u, 0x41u, 0x80u, 0xB0u));
 
+TEST_F(SolverTest, SatCacheEvictsAtCapacityAndStaysCorrect) {
+  // Distinct hash-consed formulas so every query is a fresh memo entry.
+  auto Q = [&](int K) { return F.mkIntOp(Op::IntLt, X0, F.mkInt(K)); };
+
+  S.setSatCacheCapacity(4);
+  EXPECT_EQ(S.satCacheCapacity(), 4u);
+  for (int K = 0; K < 10; ++K)
+    EXPECT_EQ(S.checkSat(Q(K)), SatResult::Sat);
+  // 10 inserts into a 4-entry table: at least one generation clear fired.
+  EXPECT_GT(S.stats().CacheEvictions, 0u);
+  EXPECT_EQ(S.stats().CacheHits, 0u);
+
+  // Answers survive eviction — re-querying is a miss, not a wrong verdict,
+  // and unsatisfiable formulas still classify correctly.
+  uint64_t Evictions = S.stats().CacheEvictions;
+  EXPECT_EQ(S.checkSat(Q(0)), SatResult::Sat);
+  EXPECT_EQ(S.checkSat(F.mkAnd(Q(0), F.mkIntOp(Op::IntGt, X0, F.mkInt(0)))),
+            SatResult::Unsat);
+  // A hit on a resident entry does not evict.
+  EXPECT_EQ(S.checkSat(Q(9)), SatResult::Sat);
+  EXPECT_GE(S.stats().CacheHits, 1u);
+  EXPECT_EQ(S.stats().CacheEvictions, Evictions);
+}
+
+TEST_F(SolverTest, SatCacheCapacityZeroDisablesMemoization) {
+  S.setSatCacheCapacity(0);
+  TermRef T = F.mkIntOp(Op::IntLt, X0, X1);
+  EXPECT_EQ(S.checkSat(T), SatResult::Sat);
+  EXPECT_EQ(S.checkSat(T), SatResult::Sat);
+  // Same formula twice: with the memo disabled both are misses.
+  EXPECT_EQ(S.stats().CacheHits, 0u);
+  EXPECT_EQ(S.stats().SatQueries, 2u);
+}
+
 } // namespace

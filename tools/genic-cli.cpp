@@ -19,8 +19,9 @@
 ///   --no-aux       disable auxiliary-function inversion (§6 optimization 1)
 ///   --no-mining    disable grammar mining / variable reduction (§6 opt. 2)
 ///   --no-slice     disable the bit-slice synthesis strategy
-///   --jobs N       invert transitions on N worker threads (output is
-///                  identical for every N; default 1)
+///   --jobs N       run the determinism/injectivity checks and rule
+///                  inversion on N worker threads (output is identical for
+///                  every N; default 1)
 ///   --entry NAME   override the entry transformation
 ///   --stats        print SyGuS call records, per-rule timings, and
 ///                  solver/evaluator cache counters
@@ -97,12 +98,21 @@ void printStats(const GenicReport &R) {
   }
   const Solver::Stats &S = R.SolverStats;
   std::printf("solver (shared): %llu sat queries, cache %llu hit / %llu "
-              "miss, %llu QE calls (%llu fallbacks)\n",
+              "miss / %llu evicted, %llu QE calls (%llu fallbacks)\n",
               (unsigned long long)S.SatQueries,
               (unsigned long long)S.CacheHits,
               (unsigned long long)S.CacheMisses,
+              (unsigned long long)S.CacheEvictions,
               (unsigned long long)S.QeCalls,
               (unsigned long long)S.QeFallbacks);
+  if (R.CheckerSessions) {
+    const Solver::Stats &C = R.CheckerStats;
+    std::printf("solver (%u checker sessions): %llu sat queries, cache "
+                "%llu hit / %llu miss\n",
+                R.CheckerSessions, (unsigned long long)C.SatQueries,
+                (unsigned long long)C.CacheHits,
+                (unsigned long long)C.CacheMisses);
+  }
   if (R.WorkerStats.Sessions) {
     const Solver::Stats &W = R.WorkerStats.Smt;
     std::printf("solver (%u rule sessions): %llu sat queries, cache %llu "
