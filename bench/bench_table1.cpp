@@ -119,24 +119,26 @@ private:
   bool First = true;
 };
 
-/// Pulls "isInjSeconds" per program out of a previously written JSON file.
-/// The writer emits one program object per line, so line-local string
-/// slicing is enough — no JSON parser needed.
-std::map<std::string, double> readBaselineIsInj(const std::string &Path) {
+/// Pulls one numeric field per program out of a previously written JSON
+/// file, keyed by program name. The writer emits one program object per
+/// line, so line-local string slicing is enough — no JSON parser needed.
+std::map<std::string, double> readBaselineField(const std::string &Path,
+                                                const char *Field) {
+  const std::string Needle = std::string("\"") + Field + "\": ";
   std::map<std::string, double> Out;
   std::ifstream In(Path);
   std::string Line;
   while (std::getline(In, Line)) {
     size_t NameAt = Line.find("\"program\": \"");
-    size_t InjAt = Line.find("\"isInjSeconds\": ");
-    if (NameAt == std::string::npos || InjAt == std::string::npos)
+    size_t FieldAt = Line.find(Needle);
+    if (NameAt == std::string::npos || FieldAt == std::string::npos)
       continue;
     size_t NameBegin = NameAt + std::strlen("\"program\": \"");
     size_t NameEnd = Line.find('"', NameBegin);
     if (NameEnd == std::string::npos)
       continue;
     Out[Line.substr(NameBegin, NameEnd - NameBegin)] =
-        std::atof(Line.c_str() + InjAt + std::strlen("\"isInjSeconds\": "));
+        std::atof(Line.c_str() + FieldAt + Needle.size());
   }
   return Out;
 }
@@ -167,10 +169,11 @@ int main(int Argc, char **Argv) {
                    "  --only         run only programs whose name contains "
                    "SUBSTR\n"
                    "  --baseline     committed BENCH_table1.json to compare "
-                   "isInj times against\n"
-                   "  --max-regress  fail (exit 1) when isInj exceeds the "
-                   "baseline by more than\n"
-                   "                 PCT%% plus a 0.5s absolute slack\n",
+                   "isInj and inversion times against\n"
+                   "  --max-regress  fail (exit 1) when isInj or inversion "
+                   "exceeds the baseline by\n"
+                   "                 more than PCT%% plus a 0.5s absolute "
+                   "slack\n",
                    Argv[0]);
       return 2;
     }
@@ -186,9 +189,11 @@ int main(int Argc, char **Argv) {
                "isDet", "isInj", "inv-total", "inv-max-tr", "res",
                "roundtrip", "theory"});
 
-  std::map<std::string, double> Baseline;
-  if (!BaselinePath.empty())
-    Baseline = readBaselineIsInj(BaselinePath);
+  std::map<std::string, double> BaselineInj, BaselineInv;
+  if (!BaselinePath.empty()) {
+    BaselineInj = readBaselineField(BaselinePath, "isInjSeconds");
+    BaselineInv = readBaselineField(BaselinePath, "inversionSeconds");
+  }
   std::vector<std::string> Regressions;
 
   JsonWriter Json;
@@ -262,20 +267,24 @@ int main(int Argc, char **Argv) {
                R.EvalStats.Compiles + R.WorkerStats.Eval.Compiles);
     Json.endProgram();
 
-    auto BaseIt = Baseline.find(Spec.name());
-    if (BaseIt != Baseline.end() && MaxRegressPct >= 0) {
-      // Percentage bound plus an absolute slack so sub-second programs
-      // don't trip on scheduler noise.
+    // Percentage bound plus an absolute slack so sub-second programs don't
+    // trip on scheduler noise.
+    auto Gate = [&](const std::map<std::string, double> &Baseline,
+                    const char *What, double Mine) {
+      auto BaseIt = Baseline.find(Spec.name());
+      if (BaseIt == Baseline.end() || MaxRegressPct < 0)
+        return;
       double Bound = BaseIt->second * (1 + MaxRegressPct / 100) + 0.5;
-      if (R.InjectivitySeconds > Bound) {
+      if (Mine > Bound) {
         char Buf[160];
         std::snprintf(Buf, sizeof(Buf),
-                      "%s: isInj %.2fs exceeds baseline %.2fs (bound %.2fs)",
-                      Spec.name().c_str(), R.InjectivitySeconds,
-                      BaseIt->second, Bound);
+                      "%s: %s %.2fs exceeds baseline %.2fs (bound %.2fs)",
+                      Spec.name().c_str(), What, Mine, BaseIt->second, Bound);
         Regressions.push_back(Buf);
       }
-    }
+    };
+    Gate(BaselineInj, "isInj", R.InjectivitySeconds);
+    Gate(BaselineInv, "inversion", R.InversionSeconds);
   }
   std::printf("%s\n", T.render().c_str());
   if (Ran == 0) {

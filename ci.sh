@@ -7,16 +7,19 @@
 #      suites that exercise new machinery with threads and compiled
 #      evaluation (plus the term/solver cores under them).
 #   3. ThreadSanitizer: rebuild with -fsanitize=thread and run the suites
-#      that actually share state across threads — the thread pool itself and
+#      that actually share state across threads — the thread pool itself,
 #      the parallel determinism/injectivity/ambiguity tests (Small +
 #      Concurrent subsets: cheap, and they cover the shared frontier, the
-#      PairSat cache, and the session pool). Note z3 itself is not
-#      instrumented, so this validates our synchronization, not z3's.
+#      PairSat cache, and the session pool), and the copy-on-write
+#      context/bank suites whose forks read the frozen prefix from worker
+#      threads. Note z3 itself is not instrumented, so this validates our
+#      synchronization, not z3's.
 #   4. Bench smoke: one fast pass of bench_micro so perf regressions that
 #      crash or hang surface in CI, and a bench_table1 regression gate
-#      diffing the UTF-16 encoder isInjective timing (the most expensive
-#      pipeline) against the committed BENCH_table1.json baseline at
-#      --jobs 1, failing on >20% slowdown.
+#      diffing the UTF-16 encoder isInjective timing and the UTF-8 encoder
+#      end-to-end inversion timing (the two most expensive pipelines)
+#      against the committed BENCH_table1.json baseline at --jobs 1,
+#      failing on >20% slowdown.
 #
 # Usage: ./ci.sh [--skip-asan] [--skip-tsan] [--skip-bench]
 #===------------------------------------------------------------------------===#
@@ -66,7 +69,8 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build build-tsan -j --target support_test parallel_injectivity_test
+  cmake --build build-tsan -j --target support_test \
+    parallel_injectivity_test solver_context_test bank_reuse_test
   # tsan.supp silences the uninstrumented libz3's internal locking (false
   # positives); our own code is fully checked.
   export TSAN_OPTIONS="suppressions=$PWD/tsan.supp"
@@ -75,6 +79,10 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   echo "--- tsan: parallel_injectivity_test (Small + Concurrent)"
   ./build-tsan/tests/parallel_injectivity_test \
     --gtest_filter='*Small*:*Concurrent*'
+  echo "--- tsan: solver_context_test"
+  ./build-tsan/tests/solver_context_test
+  echo "--- tsan: bank_reuse_test"
+  ./build-tsan/tests/bank_reuse_test
   unset TSAN_OPTIONS
 fi
 
@@ -83,11 +91,14 @@ if [ "$SKIP_BENCH" -eq 0 ]; then
   cmake --build build -j --target bench_micro
   (cd build && ./bench/bench_micro --benchmark_min_time=0.05)
 
-  echo "=== bench regression gate: isInjective vs committed baseline ==="
+  echo "=== bench regression gate: isInjective + inversion vs baseline ==="
   cmake --build build -j --target bench_table1
   (cd build && ./bench/bench_table1 --only "UTF-16 encoder" --jobs 1 \
     --baseline ../BENCH_table1.json --max-regress 20 \
     --json BENCH_table1.smoke.json)
+  (cd build && ./bench/bench_table1 --only "UTF-8 encoder" --jobs 1 \
+    --baseline ../BENCH_table1.json --max-regress 20 \
+    --json BENCH_table1.utf8.smoke.json)
 fi
 
 echo "=== ci.sh: all green ==="

@@ -561,11 +561,13 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
   SolverSessionPool &Pool = Opts.Sessions ? *Opts.Sessions : LocalPool;
 
   // Overlap verdicts are semantic, so a cache keyed on the original guard
-  // TermRefs can be shared by all workers across all levels; the mutex cost
-  // is trivial against a solver query. Errors are not cached (as in
-  // GuardOracle).
-  std::mutex PairMutex;
-  std::map<std::pair<TermRef, TermRef>, bool> PairSat;
+  // TermRefs can be shared by all workers across all levels — and, via
+  // AmbiguityOptions::Overlaps, across the CEGAR rounds of one injectivity
+  // check; the mutex cost is trivial against a solver query. Errors are not
+  // cached (as in GuardOracle).
+  GuardOverlapCache LocalOverlaps;
+  GuardOverlapCache &Overlaps =
+      Opts.Overlaps ? *Opts.Overlaps : LocalOverlaps;
 
   std::vector<Config> Level{{X.Initial, X.Initial, false}};
   while (!Level.empty()) {
@@ -610,22 +612,16 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
         ChunkOut &Out = Chunks[C];
         auto Overlap = [&](TermRef GA, TermRef GB) -> Result<bool> {
           std::pair<TermRef, TermRef> PK = std::minmax(GA, GB);
-          {
-            std::lock_guard<std::mutex> Lock(PairMutex);
-            auto It = PairSat.find(PK);
-            if (It != PairSat.end())
-              return It->second;
-          }
+          if (std::optional<bool> Hit = Overlaps.lookup(PK.first, PK.second))
+            return *Hit;
           TermRef A2 = Sess->Import.clone(PK.first);
           TermRef Q2 = PK.first == PK.second
                            ? A2
                            : Sess->Factory.mkAnd(
                                  A2, Sess->Import.clone(PK.second));
           Result<bool> R = Sess->Slv.isSat(Q2);
-          if (R) {
-            std::lock_guard<std::mutex> Lock(PairMutex);
-            PairSat.emplace(PK, *R);
-          }
+          if (R)
+            Overlaps.record(PK.first, PK.second, *R);
           return R;
         };
         // Within-chunk dedup of step targets, mirroring the serial loop's

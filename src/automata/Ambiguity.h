@@ -19,6 +19,7 @@
 #define GENIC_AUTOMATA_AMBIGUITY_H
 
 #include "automata/Sefa.h"
+#include "solver/QueryCache.h"
 #include "solver/Solver.h"
 #include "solver/SolverSessionPool.h"
 #include "support/Result.h"
@@ -44,6 +45,11 @@ struct AmbiguityOptions {
   unsigned Jobs = 1;
   /// Warm worker sessions to lease; a private pool is created when null.
   SolverSessionPool *Sessions = nullptr;
+  /// Shared (guard, guard) overlap verdicts, keyed by the guards' TermRefs
+  /// in the caller's factory. Pass the same cache to every checkAmbiguity
+  /// call of a CEGAR loop so the hull and exact rounds stop re-discharging
+  /// identical product queries; a private per-call cache is used when null.
+  GuardOverlapCache *Overlaps = nullptr;
 };
 
 /// Decides ambiguity of \p A (Lemma 4.14). Returns a witness list if \p A is

@@ -12,13 +12,14 @@
 
 using namespace genic;
 
-GenicTool::GenicTool(InverterOptions Options)
-    : Factory(), Slv(Factory), Options(Options) {}
+GenicTool::GenicTool(InverterOptions Options) : Options(Options) {}
 
 GenicTool::~GenicTool() = default;
 
 Result<GenicReport> GenicTool::run(const std::string &Source,
                                    bool ForceInjectivity, bool ForceInvert) {
+  TermFactory &Factory = Ctx.factory();
+  Solver &Slv = Ctx.solver();
   Result<AstProgram> Ast = parseGenic(Source);
   if (!Ast)
     return Ast.status();
@@ -38,8 +39,10 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
   Report.Machine = P.Machine;
 
   // One pool of warm worker sessions serves the determinism check and
-  // every phase of the injectivity check.
-  SolverSessionPool Sessions(Slv.timeoutMs());
+  // every phase of the injectivity check. Sessions fork the shared factory
+  // copy-on-write, so the program's terms are readable in every session
+  // without cloning (exports stay data-only, see SolverSessionPool.h).
+  SolverSessionPool Sessions(Factory, Slv.timeoutMs());
 
   // GENIC requires programs to be deterministic (§3.3): the determinism
   // check always runs.
@@ -85,6 +88,8 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
     Report.SygusCalls = Inv.engine().calls();
     Report.WorkerStats = Inv.workerStats();
     Report.EvalStats = Inv.engine().evalCache().stats();
+    Report.BankReuseHits = Inv.engine().bankStore().stats().ReuseHits;
+    Report.BankReuseMisses = Inv.engine().bankStore().stats().ReuseMisses;
 
     // Emit the inverse as GENIC source (Figure 3). The synthesized inverse
     // auxiliary functions print first, making the program read naturally.

@@ -18,6 +18,7 @@
 
 #include "genic/Lower.h"
 #include "solver/Solver.h"
+#include "solver/SolverContext.h"
 #include "support/Result.h"
 #include "sygus/Inverter.h"
 #include "transducer/Determinism.h"
@@ -67,14 +68,20 @@ struct GenicReport {
   CompiledEvalCache::Stats EvalStats;
   unsigned CheckerSessions = 0;
   Solver::Stats CheckerStats;
+  /// Enumeration-bank reuse of the shared engine (aux inversion); the
+  /// workers' reuse counters live in WorkerStats.
+  uint64_t BankReuseHits = 0;
+  uint64_t BankReuseMisses = 0;
 
   // The machines, for round-trip testing by callers.
   std::optional<Seft> Machine;
   std::optional<Seft> InverseMachine;
 };
 
-/// One program analysis session. Owns the term factory and the solver, so
-/// reports and machines must not outlive the tool.
+/// One program analysis session. Owns the root solver context (term
+/// factory + solver), so reports and machines must not outlive the tool.
+/// Worker sessions everywhere in the pipeline are copy-on-write forks of
+/// this context's factory (see solver/SolverContext.h).
 class GenicTool {
 public:
   explicit GenicTool() : GenicTool(InverterOptions()) {}
@@ -88,12 +95,11 @@ public:
                           bool ForceInjectivity = false,
                           bool ForceInvert = false);
 
-  TermFactory &factory() { return Factory; }
-  Solver &solver() { return Slv; }
+  TermFactory &factory() { return Ctx.factory(); }
+  Solver &solver() { return Ctx.solver(); }
 
 private:
-  TermFactory Factory;
-  Solver Slv;
+  SolverContext Ctx;
   InverterOptions Options;
 };
 

@@ -27,6 +27,7 @@
 
 #include "solver/Solver.h"
 
+#include "solver/QueryCache.h"
 #include "term/Eval.h"
 #include "term/Printer.h"
 
@@ -45,6 +46,54 @@ namespace {
 struct Interval {
   uint64_t Lo;
   uint64_t Hi;
+};
+
+size_t hashMix(size_t Seed, size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+/// Memo key for getModel: the same formula queried for different variable
+/// type lists is a different query (unconstrained variables default per
+/// type).
+struct ModelKey {
+  TermRef Formula;
+  std::vector<Type> Types;
+  bool operator==(const ModelKey &O) const {
+    return Formula == O.Formula && Types == O.Types;
+  }
+};
+struct ModelKeyHash {
+  size_t operator()(const ModelKey &K) const {
+    size_t H = std::hash<const void *>()(K.Formula);
+    for (const Type &Ty : K.Types)
+      H = hashMix(H, Ty.hash());
+    return H;
+  }
+};
+
+/// Memo key for project(): the image predicate's identity plus the
+/// requested position and strategy. Hull and exact projections of the same
+/// predicate are distinct entries (the hull may over-approximate).
+struct ProjKey {
+  TermRef Guard;
+  std::vector<TermRef> Outputs;
+  unsigned NumInputs;
+  unsigned Index;
+  bool Hull;
+  bool operator==(const ProjKey &O) const {
+    return Guard == O.Guard && Outputs == O.Outputs &&
+           NumInputs == O.NumInputs && Index == O.Index && Hull == O.Hull;
+  }
+};
+struct ProjKeyHash {
+  size_t operator()(const ProjKey &K) const {
+    size_t H = std::hash<const void *>()(K.Guard);
+    for (TermRef O : K.Outputs)
+      H = hashMix(H, reinterpret_cast<size_t>(O));
+    H = hashMix(H, K.NumInputs);
+    H = hashMix(H, K.Index);
+    return hashMix(H, K.Hull ? 1 : 0);
+  }
 };
 
 bool hasQuantifier(const z3::expr &E) {
@@ -70,10 +119,18 @@ public:
   unsigned TimeoutMs = 20000;
   /// Memoized checkSat answers, keyed by hash-consed formula pointer. Sat
   /// and Unsat are stable facts about a formula; Unknown (timeout, Z3
-  /// hiccup) is never cached so a retry gets a fresh chance. Bounded by
-  /// SatCacheCap with a generation clear (see setSatCacheCapacity).
-  std::unordered_map<TermRef, SatResult> SatCache;
-  size_t SatCacheCap = 1u << 20;
+  /// hiccup) is never cached so a retry gets a fresh chance. Bounded with
+  /// a generation clear (see setSatCacheCapacity).
+  QueryCache<TermRef, SatResult> SatCache{1u << 20};
+  /// Successful getModel answers. A fresh z3 solver is built per model
+  /// query, so the answer is a function of the formula alone — repeated
+  /// queries (guard sampling, witness reconstruction) hit here. Smaller
+  /// default cap than SatCache: values are whole model vectors.
+  QueryCache<ModelKey, std::vector<Value>, ModelKeyHash> ModelCache{1u << 16};
+  /// Successful project() answers. The CEGAR loop re-projects the same
+  /// (rule, position) predicates in the exact round after the hull round,
+  /// and isCartesian/imageToTerm re-project every position.
+  QueryCache<ProjKey, TermRef, ProjKeyHash> ProjCache{1u << 16};
 
   // -- Translation ---------------------------------------------------------
 
@@ -524,6 +581,17 @@ public:
   Result<TermRef> project(const ImagePredicate &P, unsigned I,
                           bool AllowHull) {
     assert(I < P.arity() && "projection index out of range");
+    ProjKey Key{P.Guard, P.Outputs, P.NumInputs, I, AllowHull};
+    if (const TermRef *Cached = ProjCache.find(Key))
+      return *Cached;
+    Result<TermRef> R = projectUncached(P, I, AllowHull);
+    if (R)
+      ProjCache.insert(Key, *R);
+    return R;
+  }
+
+  Result<TermRef> projectUncached(const ImagePredicate &P, unsigned I,
+                                  bool AllowHull) {
     const Type &OutTy = P.Outputs[I]->type();
     // Bit-vectors: exact model enumeration first. It beats quantifier
     // elimination both in speed and in the readability of the result
@@ -866,39 +934,31 @@ unsigned Solver::timeoutMs() const { return TheImpl->TimeoutMs; }
 SatResult Solver::checkSat(TermRef Formula) {
   // isValid and equivalentUnder funnel through here (as sat-of-negation),
   // so this one table memoizes all three entry points.
-  auto Cached = TheImpl->SatCache.find(Formula);
-  if (Cached != TheImpl->SatCache.end()) {
-    ++TheImpl->TheStats.CacheHits;
-    return Cached->second;
-  }
-  ++TheImpl->TheStats.CacheMisses;
+  if (const SatResult *Cached = TheImpl->SatCache.find(Formula))
+    return *Cached;
   SatResult R;
   try {
     R = TheImpl->checkExpr(TheImpl->translate(Formula));
   } catch (const z3::exception &) {
     R = SatResult::Unknown;
   }
-  if (R != SatResult::Unknown && TheImpl->SatCacheCap != 0) {
-    if (TheImpl->SatCache.size() >= TheImpl->SatCacheCap) {
-      // Generation clear: drop everything rather than track recency. The
-      // table rebuilds from the live working set within a few queries.
-      TheImpl->TheStats.CacheEvictions += TheImpl->SatCache.size();
-      TheImpl->SatCache.clear();
-    }
-    TheImpl->SatCache.emplace(Formula, R);
-  }
+  if (R != SatResult::Unknown)
+    TheImpl->SatCache.insert(Formula, R);
   return R;
 }
 
 void Solver::setSatCacheCapacity(size_t MaxEntries) {
-  TheImpl->SatCacheCap = MaxEntries;
-  if (TheImpl->SatCache.size() > MaxEntries) {
-    TheImpl->TheStats.CacheEvictions += TheImpl->SatCache.size();
-    TheImpl->SatCache.clear();
-  }
+  TheImpl->SatCache.setCapacity(MaxEntries);
+  // Model and projection entries are whole value vectors / terms, so their
+  // tables follow the sat cap from below.
+  size_t Heavy = std::min<size_t>(MaxEntries, 1u << 16);
+  TheImpl->ModelCache.setCapacity(Heavy);
+  TheImpl->ProjCache.setCapacity(Heavy);
 }
 
-size_t Solver::satCacheCapacity() const { return TheImpl->SatCacheCap; }
+size_t Solver::satCacheCapacity() const {
+  return TheImpl->SatCache.capacity();
+}
 
 Result<bool> Solver::isSat(TermRef Formula) {
   switch (checkSat(Formula)) {
@@ -921,6 +981,11 @@ Result<bool> Solver::isValid(TermRef Formula) {
 
 Result<std::vector<Value>>
 Solver::getModel(TermRef Formula, const std::vector<Type> &VarTypes) {
+  // Each model query runs on a fresh z3 solver, so the answer depends only
+  // on (formula, requested types) and successful answers are memoizable.
+  ModelKey Key{Formula, VarTypes};
+  if (const std::vector<Value> *Cached = TheImpl->ModelCache.find(Key))
+    return *Cached;
   try {
     ++TheImpl->TheStats.SatQueries;
     z3::solver S = TheImpl->makeSolver();
@@ -937,6 +1002,7 @@ Solver::getModel(TermRef Formula, const std::vector<Type> &VarTypes) {
       z3::expr V = M.eval(TheImpl->varExpr(I, VarTypes[I]), true);
       Values.push_back(TheImpl->valueFromModelExpr(V, VarTypes[I]));
     }
+    TheImpl->ModelCache.insert(Key, Values);
     return Values;
   } catch (const z3::exception &Ex) {
     return Status::error(std::string("getModel: ") + Ex.msg());
@@ -1011,6 +1077,20 @@ Result<TermRef> Solver::imageToTerm(const ImagePredicate &P) {
   }
 }
 
-const Solver::Stats &Solver::stats() const { return TheImpl->TheStats; }
+const Solver::Stats &Solver::stats() const {
+  // The cache counters live inside the QueryCache instances; mirror them
+  // into the Stats snapshot on read so callers see one flat struct.
+  Stats &S = TheImpl->TheStats;
+  S.CacheHits = TheImpl->SatCache.hits();
+  S.CacheMisses = TheImpl->SatCache.misses();
+  S.CacheEvictions = TheImpl->SatCache.evictions();
+  S.ModelCacheHits = TheImpl->ModelCache.hits();
+  S.ModelCacheMisses = TheImpl->ModelCache.misses();
+  S.ModelCacheEvictions = TheImpl->ModelCache.evictions();
+  S.ProjCacheHits = TheImpl->ProjCache.hits();
+  S.ProjCacheMisses = TheImpl->ProjCache.misses();
+  S.ProjCacheEvictions = TheImpl->ProjCache.evictions();
+  return S;
+}
 
 TermFactory &Solver::factory() { return TheImpl->Factory; }

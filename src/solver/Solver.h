@@ -46,12 +46,14 @@ public:
   void setTimeoutMs(unsigned Milliseconds);
   unsigned timeoutMs() const;
 
-  /// Caps the checkSat memo (default 1M entries). When an insertion would
-  /// exceed the cap the whole table is dropped — a generation clear, chosen
-  /// over LRU because the memo key is a hash-consed pointer and the hit
-  /// distribution is bursty (a phase re-queries the same guards, then moves
-  /// on) — and Stats::CacheEvictions grows by the number of dropped
-  /// entries. 0 disables memoization entirely.
+  /// Caps the solver memo tables (checkSat default 1M entries; the model
+  /// and projection memos follow at min(cap, 64K) since their values are
+  /// heavier). When an insertion would exceed a cap the whole table is
+  /// dropped — a generation clear, chosen over LRU because the memo keys
+  /// are hash-consed pointers and the hit distribution is bursty (a phase
+  /// re-queries the same guards, then moves on) — and the per-kind
+  /// Stats::*Evictions counter grows by the number of dropped entries.
+  /// 0 disables memoization entirely.
   void setSatCacheCapacity(size_t MaxEntries);
   size_t satCacheCapacity() const;
 
@@ -132,6 +134,17 @@ public:
     /// Memoized answers dropped by generation clears of the checkSat memo
     /// (see setSatCacheCapacity).
     uint64_t CacheEvictions = 0;
+    /// getModel answers served from / missed by / evicted from the model
+    /// memo, keyed by (formula, requested variable types). Only successful
+    /// models are cached; unsat/unknown outcomes retry the backend.
+    uint64_t ModelCacheHits = 0;
+    uint64_t ModelCacheMisses = 0;
+    uint64_t ModelCacheEvictions = 0;
+    /// project() answers served from / missed by / evicted from the
+    /// projection memo, keyed by (guard, outputs, position, hull flag).
+    uint64_t ProjCacheHits = 0;
+    uint64_t ProjCacheMisses = 0;
+    uint64_t ProjCacheEvictions = 0;
   };
   const Stats &stats() const;
 

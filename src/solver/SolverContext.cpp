@@ -1,0 +1,25 @@
+//===- solver/SolverContext.cpp --------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SolverContext.h"
+
+using namespace genic;
+
+SolverContext::SolverContext(unsigned TimeoutMs)
+    : F(), Slv(F), Import(F), Forked(false) {
+  Slv.setTimeoutMs(TimeoutMs);
+}
+
+SolverContext::SolverContext(const TermFactory &FrozenPrefix,
+                             unsigned TimeoutMs)
+    : F(FrozenPrefix), Slv(F), Import(F), Forked(true) {
+  Slv.setTimeoutMs(TimeoutMs);
+}
+
+SolverContext::SolverContext(const SolverContext &Parent)
+    : F(Parent.F), Slv(F), Import(F), Forked(true) {
+  Slv.setTimeoutMs(Parent.Slv.timeoutMs());
+}

@@ -1,0 +1,99 @@
+//===- solver/SolverContext.h - Copy-on-write term/solver sessions --------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The session layer: one SolverContext bundles the TermFactory + Solver +
+/// import TermCloner triple that every part of the pipeline used to wire up
+/// by hand. A root context owns a fresh factory; a *fork* shares its
+/// parent's interned prefix copy-on-write (see TermFactory's class comment),
+/// so spinning up a worker session is O(1) — the component library, aux
+/// definitions, and every already-interned guard are reachable by pointer
+/// instead of being re-cloned per rule.
+///
+/// Freeze/fork contract:
+///  - Fork while the parent is quiescent, use the fork, then merge results
+///    serially. The parent must not intern anything while forks run on
+///    other threads; FreezeGuard asserts that in debug builds.
+///  - A fork's term identity is a pure function of (frozen prefix, the
+///    fork's own operation sequence). Forks created at the same parent
+///    state therefore build byte-identical terms regardless of scheduling,
+///    which is what keeps --jobs N output equal to --jobs 1.
+///  - Terms of the frozen prefix may be exported from a fork as-is; terms
+///    the fork interned itself must be cloned back into the parent on the
+///    serial merge (TermCloner's prefix passthrough makes that cheap).
+///  - Pooled (reused) forks inherit SolverSessionPool's data-only export
+///    contract: their post-prefix history is scheduling-dependent, so they
+///    export verdicts/values/indices only, never terms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SOLVER_SOLVERCONTEXT_H
+#define GENIC_SOLVER_SOLVERCONTEXT_H
+
+#include "solver/Solver.h"
+#include "term/TermClone.h"
+#include "term/TermFactory.h"
+
+namespace genic {
+
+/// RAII quiescence guard: freezes a factory for the duration of a parallel
+/// fan-out over its forks. Debug-build assertion only (see
+/// TermFactory::freeze); zero-cost in release.
+class FreezeGuard {
+public:
+  explicit FreezeGuard(const TermFactory &F) : F(&F) { F.freeze(); }
+  FreezeGuard(FreezeGuard &&O) noexcept : F(O.F) { O.F = nullptr; }
+  FreezeGuard(const FreezeGuard &) = delete;
+  FreezeGuard &operator=(const FreezeGuard &) = delete;
+  FreezeGuard &operator=(FreezeGuard &&) = delete;
+  ~FreezeGuard() {
+    if (F)
+      F->thaw();
+  }
+
+private:
+  const TermFactory *F;
+};
+
+/// A term/solver session. Not thread-safe; one per thread of work. See the
+/// file comment for the freeze/fork contract.
+class SolverContext {
+public:
+  /// Root context: fresh factory, fresh solver.
+  explicit SolverContext(unsigned TimeoutMs = 20000);
+
+  /// Worker fork sharing \p FrozenPrefix copy-on-write. The prefix factory
+  /// must outlive this context and stay quiescent while the fork is used
+  /// from another thread.
+  SolverContext(const TermFactory &FrozenPrefix, unsigned TimeoutMs);
+
+  /// Fork of a parent context; shares its factory's interned prefix and
+  /// inherits its solver timeout.
+  explicit SolverContext(const SolverContext &Parent);
+
+  SolverContext &operator=(const SolverContext &) = delete;
+
+  TermFactory &factory() { return F; }
+  const TermFactory &factory() const { return F; }
+  Solver &solver() { return Slv; }
+  /// Memoized cloner INTO this context. For forks, cloning a prefix term is
+  /// the identity; only alien terms (from sibling forks or unrelated
+  /// factories) cost anything.
+  TermCloner &importer() { return Import; }
+
+  /// True for forks (the factory has a frozen prefix).
+  bool isFork() const { return Forked; }
+
+private:
+  TermFactory F;
+  Solver Slv;
+  TermCloner Import;
+  bool Forked;
+};
+
+} // namespace genic
+
+#endif // GENIC_SOLVER_SOLVERCONTEXT_H

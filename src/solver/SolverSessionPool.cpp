@@ -17,7 +17,8 @@ SolverSessionPool::Lease SolverSessionPool::lease() {
     return Lease(this, S);
   }
   ++TheStats.Created;
-  All.push_back(std::make_unique<Session>(TimeoutMs));
+  All.push_back(Prefix ? std::make_unique<Session>(*Prefix, TimeoutMs)
+                       : std::make_unique<Session>(TimeoutMs));
   return Lease(this, All.back().get());
 }
 
@@ -47,6 +48,12 @@ Solver::Stats SolverSessionPool::solverStats() const {
     Sum.CacheHits += W.CacheHits;
     Sum.CacheMisses += W.CacheMisses;
     Sum.CacheEvictions += W.CacheEvictions;
+    Sum.ModelCacheHits += W.ModelCacheHits;
+    Sum.ModelCacheMisses += W.ModelCacheMisses;
+    Sum.ModelCacheEvictions += W.ModelCacheEvictions;
+    Sum.ProjCacheHits += W.ProjCacheHits;
+    Sum.ProjCacheMisses += W.ProjCacheMisses;
+    Sum.ProjCacheEvictions += W.ProjCacheEvictions;
   }
   return Sum;
 }

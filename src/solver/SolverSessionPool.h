@@ -32,6 +32,7 @@
 #define GENIC_SOLVER_SOLVERSESSIONPOOL_H
 
 #include "solver/Solver.h"
+#include "solver/SolverContext.h"
 #include "term/TermClone.h"
 #include "term/TermFactory.h"
 
@@ -44,17 +45,23 @@ namespace genic {
 
 class SolverSessionPool {
 public:
-  /// One private session. Import clones shared-factory terms into Factory
-  /// and is memoized across leases, so re-importing a guard a previous task
-  /// already used is a hash lookup.
+  /// One private session, backed by a SolverContext. Import clones
+  /// shared-factory terms into Factory and is memoized across leases, so
+  /// re-importing a guard a previous task already used is a hash lookup —
+  /// and when the pool is in fork mode (constructed over a frozen prefix
+  /// factory) importing a prefix term is the identity, no lookup at all.
   struct Session {
-    TermFactory Factory;
-    Solver Slv;
-    TermCloner Import;
+    SolverContext Ctx;
+    TermFactory &Factory;
+    Solver &Slv;
+    TermCloner &Import;
 
-    explicit Session(unsigned TimeoutMs) : Slv(Factory), Import(Factory) {
-      Slv.setTimeoutMs(TimeoutMs);
-    }
+    explicit Session(unsigned TimeoutMs)
+        : Ctx(TimeoutMs), Factory(Ctx.factory()), Slv(Ctx.solver()),
+          Import(Ctx.importer()) {}
+    Session(const TermFactory &FrozenPrefix, unsigned TimeoutMs)
+        : Ctx(FrozenPrefix, TimeoutMs), Factory(Ctx.factory()),
+          Slv(Ctx.solver()), Import(Ctx.importer()) {}
     Session(const Session &) = delete;
     Session &operator=(const Session &) = delete;
   };
@@ -84,8 +91,19 @@ public:
     Session *S;
   };
 
-  /// Sessions are created lazily with this per-query timeout.
+  /// Sessions are created lazily with this per-query timeout, each with a
+  /// fresh root factory.
   explicit SolverSessionPool(unsigned TimeoutMs) : TimeoutMs(TimeoutMs) {}
+
+  /// Fork mode: sessions are copy-on-write forks of \p FrozenPrefix, so
+  /// every term the shared factory holds at session-creation time is
+  /// importable for free. The prefix factory must outlive the pool and be
+  /// quiescent whenever leased sessions run on other threads (the
+  /// level-synchronized checkers guarantee this: workers run only while the
+  /// coordinating thread blocks on the pool barrier). The data-only export
+  /// contract above is unchanged.
+  SolverSessionPool(const TermFactory &FrozenPrefix, unsigned TimeoutMs)
+      : TimeoutMs(TimeoutMs), Prefix(&FrozenPrefix) {}
 
   /// Borrows a free session, creating one if none is available. Thread-safe.
   Lease lease();
@@ -109,6 +127,7 @@ private:
   void release(Session *S);
 
   unsigned TimeoutMs;
+  const TermFactory *Prefix = nullptr;
   mutable std::mutex M;
   std::vector<std::unique_ptr<Session>> All;
   std::vector<Session *> Free;

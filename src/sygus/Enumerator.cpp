@@ -13,31 +13,10 @@
 #include <cassert>
 #include <cstdio>
 #include <deque>
-#include <unordered_set>
 
 using namespace genic;
 
 namespace {
-
-/// A packed value vector over the example set: Raw[e] is meaningful iff bit
-/// e of Defined is set. Observational equivalence is signature equality.
-struct Sig {
-  std::vector<uint64_t> Raw;
-  uint64_t Defined = 0;
-
-  bool operator==(const Sig &O) const {
-    return Defined == O.Defined && Raw == O.Raw;
-  }
-};
-
-struct SigHash {
-  size_t operator()(const Sig &S) const {
-    size_t H = S.Defined;
-    for (uint64_t R : S.Raw)
-      H = H * 1000003u + R;
-    return H;
-  }
-};
 
 uint64_t rawOf(const Value &V) {
   if (V.type().isBool())
@@ -55,18 +34,8 @@ Value valueOf(uint64_t Raw, const Type &Ty) {
   return Value::bitVecVal(Raw, Ty.width());
 }
 
-struct Entry {
-  TermRef T;
-  Sig S;
-};
-
-/// Bank of enumerated terms of one type, grouped by size, deduplicated by
-/// signature.
-struct TypeBank {
-  Type Ty;
-  std::vector<std::vector<Entry>> BySize; // BySize[s] = entries of size s
-  std::unordered_set<Sig, SigHash> Seen;
-};
+using Sig = ObsSig;
+using Entry = BankEntry;
 
 } // namespace
 
@@ -102,18 +71,36 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
   TargetSig.Defined = NumEx == 64 ? ~uint64_t{0}
                                   : ((uint64_t{1} << NumEx) - 1);
 
+  // Seed the banks from the persistent store when one is configured: sizes
+  // 1..CompletedThrough were fully enumerated by an earlier call over the
+  // same (grammar, examples) pair, so this call scans them for a match and
+  // resumes enumeration after them. Term pointers in the seeded banks are
+  // valid because the store's owner shares this enumerator's factory.
+  EnumeratorBanks Work;
+  if (Cfg.BankStore) {
+    if (std::optional<EnumeratorBanks> Stored =
+            Cfg.BankStore->take(G, Examples)) {
+      Work = std::move(*Stored);
+      LastStats.ReusedBank = true;
+    }
+  }
+
   // Banks live in a deque and are all registered up front, and each bank's
   // size-indexed slots are pre-allocated, so no reference into the bank
   // structure is invalidated while enumeration loops iterate over it (only
   // the slot currently being filled grows, and nothing holds references
   // into it).
-  std::deque<TypeBank> Banks;
+  std::deque<TypeBank> &Banks = Work.Banks;
   auto BankOf = [&](const Type &Ty) -> TypeBank & {
-    for (TypeBank &B : Banks)
-      if (B.Ty == Ty)
-        return B;
+    for (TypeBank &B : Banks) {
+      if (!(B.Ty == Ty))
+        continue;
+      if (B.BySize.size() < size_t{Cfg.MaxSize} + 2)
+        B.BySize.resize(size_t{Cfg.MaxSize} + 2);
+      return B;
+    }
     Banks.push_back(TypeBank{Ty, {}, {}});
-    Banks.back().BySize.resize(Cfg.MaxSize + 2);
+    Banks.back().BySize.resize(size_t{Cfg.MaxSize} + 2);
     return Banks.back();
   };
   BankOf(G.ResultType);
@@ -130,7 +117,55 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
     BankOf(Type::boolTy());
 
   std::optional<TermRef> Found;
-  size_t TotalKept = 0;
+  size_t TotalKept = Work.TotalKept;
+
+  // Rolls back every size past the completed watermark (a size cut short
+  // by a match or budget would otherwise poison later resumes) and puts
+  // the banks back into the store.
+  auto Commit = [&] {
+    LastStats.TermsKept = TotalKept;
+    if (!Cfg.BankStore)
+      return;
+    size_t Dropped = 0;
+    for (TypeBank &B : Work.Banks) {
+      for (size_t Sz = size_t{Work.CompletedThrough} + 1;
+           Sz < B.BySize.size(); ++Sz) {
+        if (B.BySize[Sz].empty())
+          continue;
+        for (const Entry &E : B.BySize[Sz])
+          B.Seen.erase(E.S);
+        Dropped += B.BySize[Sz].size();
+        B.BySize[Sz].clear();
+      }
+    }
+    Work.TotalKept = TotalKept - Dropped;
+    Cfg.BankStore->put(G, Examples, std::move(Work));
+  };
+
+  // A seeded bank may already hold a matching term in a completed size.
+  // Slot order is insertion order, so the first hit is exactly the term a
+  // fresh enumeration would have returned; sizes past MaxSize are skipped
+  // to keep the result identical to an unseeded run of this budget.
+  if (LastStats.ReusedBank) {
+    TypeBank &RB = BankOf(G.ResultType);
+    unsigned ScanThrough =
+        std::min(Work.CompletedThrough, Cfg.MaxSize);
+    for (size_t Sz = 1; Sz <= ScanThrough && !Found; ++Sz) {
+      if (RB.BySize.size() <= Sz)
+        break;
+      for (const Entry &E : RB.BySize[Sz]) {
+        if (E.S == TargetSig) {
+          Found = E.T;
+          break;
+        }
+      }
+    }
+    if (Found) {
+      LastStats.SizeReached = Work.CompletedThrough;
+      Commit();
+      return Found;
+    }
+  }
 
   // Inserts a term with signature S into its bank (unless observationally
   // equivalent to an existing one) and checks it against the target.
@@ -146,22 +181,28 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
   };
 
   // --- Size 1: variables and constants -------------------------------------
-  for (unsigned I : G.UsableVars) {
-    Sig S;
-    S.Raw.reserve(NumEx);
-    for (size_t E = 0; E != NumEx; ++E)
-      S.Raw.push_back(rawOf(Examples[E][I]));
-    S.Defined = TargetSig.Defined;
-    Insert(Factory.mkVar(I, G.VarTypes[I]), G.VarTypes[I], std::move(S), 1);
+  if (Work.CompletedThrough < 1) {
+    for (unsigned I : G.UsableVars) {
+      Sig S;
+      S.Raw.reserve(NumEx);
+      for (size_t E = 0; E != NumEx; ++E)
+        S.Raw.push_back(rawOf(Examples[E][I]));
+      S.Defined = TargetSig.Defined;
+      Insert(Factory.mkVar(I, G.VarTypes[I]), G.VarTypes[I], std::move(S), 1);
+    }
+    for (const Value &C : G.Constants) {
+      Sig S;
+      S.Raw.assign(NumEx, rawOf(C));
+      S.Defined = TargetSig.Defined;
+      Insert(Factory.mkConst(C), C.type(), std::move(S), 1);
+    }
+    Work.CompletedThrough = 1;
+    if (Found) {
+      LastStats.SizeReached = 1;
+      Commit();
+      return Found;
+    }
   }
-  for (const Value &C : G.Constants) {
-    Sig S;
-    S.Raw.assign(NumEx, rawOf(C));
-    S.Defined = TargetSig.Defined;
-    Insert(Factory.mkConst(C), C.type(), std::move(S), 1);
-  }
-  if (Found)
-    return Found;
 
   // Evaluates one combination and inserts it.
   auto Combine = [&](auto MakeTerm, std::span<const Entry *const> Children,
@@ -260,8 +301,9 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
            O == Op::BvAnd || O == Op::BvOr || O == Op::BvXor;
   };
 
-  // --- Sizes 2..MaxSize ------------------------------------------------------
-  for (unsigned Size = 2; Size <= Cfg.MaxSize; ++Size) {
+  // --- Sizes (CompletedThrough+1)..MaxSize -----------------------------------
+  for (unsigned Size = std::max(2u, Work.CompletedThrough + 1);
+       Size <= Cfg.MaxSize; ++Size) {
     LastStats.SizeReached = Size;
     if (Clock.seconds() > Cfg.TimeoutSeconds || TotalKept > Cfg.MaxTerms) {
       LastStats.TimedOut = Clock.seconds() > Cfg.TimeoutSeconds;
@@ -410,10 +452,18 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
       }
     }
 
+    // The size is fully enumerated — and safe to resume past — only if no
+    // match ended the Funcs walk early and no budget cut a loop short
+    // (both clocks are monotone, so still being within budget here means
+    // no inner break fired during this size).
+    if (!Found && Clock.seconds() <= Cfg.TimeoutSeconds &&
+        TotalKept <= Cfg.MaxTerms)
+      Work.CompletedThrough = Size;
+
     if (Found)
       break;
   }
 
-  LastStats.TermsKept = TotalKept;
+  Commit();
   return Found;
 }

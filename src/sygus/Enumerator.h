@@ -18,6 +18,7 @@
 #ifndef GENIC_SYGUS_ENUMERATOR_H
 #define GENIC_SYGUS_ENUMERATOR_H
 
+#include "sygus/EnumeratorBank.h"
 #include "sygus/Grammar.h"
 #include "term/Value.h"
 
@@ -51,6 +52,11 @@ public:
     /// the engine-wide cache, so compiled aux bodies are shared across
     /// CEGIS iterations and synthesis calls. Null falls back to eval().
     CompiledEvalCache *EvalCache = nullptr;
+    /// Optional persistent bank store (see EnumeratorBank.h). Not owned.
+    /// When set, findMatching seeds its banks from the store entry for this
+    /// (grammar, examples) pair, resumes enumeration past the completed
+    /// sizes, and commits the banks back with partial sizes rolled back.
+    EnumeratorBankStore *BankStore = nullptr;
   };
 
   /// \p Examples are environments for the grammar's variables: Examples[e]
@@ -75,6 +81,7 @@ public:
     unsigned SizeReached = 0;
     bool TimedOut = false;
     bool RejectedOversized = false; // example set exceeded MaxExamples
+    bool ReusedBank = false;        // seeded from the bank store
   };
   const Stats &stats() const { return LastStats; }
 

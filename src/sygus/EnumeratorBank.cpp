@@ -1,0 +1,78 @@
+//===- sygus/EnumeratorBank.cpp --------------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sygus/EnumeratorBank.h"
+
+using namespace genic;
+
+size_t EnumeratorBankStore::hashKey(
+    const Grammar &G, const std::vector<std::vector<Value>> &Examples) {
+  auto Mix = [](size_t H, size_t V) { return H * 1000003u + V; };
+  size_t H = G.ResultType.hash();
+  for (const Type &Ty : G.VarTypes)
+    H = Mix(H, Ty.hash());
+  for (unsigned I : G.UsableVars)
+    H = Mix(H, I);
+  for (Op O : G.Ops)
+    H = Mix(H, static_cast<size_t>(O));
+  for (const FuncDef *Fn : G.Funcs)
+    H = Mix(H, reinterpret_cast<size_t>(Fn));
+  for (const Value &C : G.Constants)
+    H = Mix(H, C.hash());
+  H = Mix(H, G.EnableIte ? 1 : 2);
+  for (const std::vector<Value> &Row : Examples) {
+    H = Mix(H, Row.size());
+    for (const Value &V : Row)
+      H = Mix(H, V.hash());
+  }
+  return H;
+}
+
+bool EnumeratorBankStore::sameKey(
+    const Slot &S, size_t Hash, const Grammar &G,
+    const std::vector<std::vector<Value>> &Examples) {
+  return S.Hash == Hash && S.Examples == Examples && S.G == G;
+}
+
+std::optional<EnumeratorBanks>
+EnumeratorBankStore::take(const Grammar &G,
+                          const std::vector<std::vector<Value>> &Examples) {
+  const size_t H = hashKey(G, Examples);
+  for (size_t I = 0; I != Table.size(); ++I) {
+    if (!sameKey(Table[I], H, G, Examples))
+      continue;
+    EnumeratorBanks Banks = std::move(Table[I].Banks);
+    Table.erase(Table.begin() + static_cast<ptrdiff_t>(I));
+    Entries -= std::min(Entries, Banks.TotalKept);
+    ++TheStats.ReuseHits;
+    return Banks;
+  }
+  ++TheStats.ReuseMisses;
+  return std::nullopt;
+}
+
+void EnumeratorBankStore::put(const Grammar &G,
+                              const std::vector<std::vector<Value>> &Examples,
+                              EnumeratorBanks Banks) {
+  if (Cap == 0 || Banks.TotalKept > EntryBudget)
+    return;
+  const size_t H = hashKey(G, Examples);
+  for (Slot &S : Table) {
+    if (!sameKey(S, H, G, Examples))
+      continue;
+    Entries -= std::min(Entries, S.Banks.TotalKept);
+    Entries += Banks.TotalKept;
+    S.Banks = std::move(Banks);
+    return;
+  }
+  if (Table.size() >= Cap || Entries + Banks.TotalKept > EntryBudget) {
+    TheStats.Evictions += Entries;
+    Table.clear();
+    Entries = 0;
+  }
+  Entries += Banks.TotalKept;
+  Table.push_back(Slot{H, G, Examples, std::move(Banks)});
+}

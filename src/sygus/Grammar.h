@@ -55,6 +55,14 @@ struct Grammar {
   void addConstant(const Value &C);
   void addOp(Op O);
   void addFunc(const FuncDef *F);
+
+  /// Structural equality; functions compare by identity (FuncDefs are
+  /// interned per factory). Used to key persistent enumeration banks.
+  bool operator==(const Grammar &O) const {
+    return EnableIte == O.EnableIte && ResultType == O.ResultType &&
+           VarTypes == O.VarTypes && UsableVars == O.UsableVars &&
+           Ops == O.Ops && Funcs == O.Funcs && Constants == O.Constants;
+  }
 };
 
 } // namespace genic

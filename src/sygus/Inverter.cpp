@@ -6,6 +6,7 @@
 
 #include "sygus/Inverter.h"
 
+#include "solver/SolverContext.h"
 #include "support/ThreadPool.h"
 #include "sygus/AuxInvert.h"
 #include "sygus/Mining.h"
@@ -67,19 +68,28 @@ makeRecoveryHook(Solver &S, SygusEngine &Engine, TermFactory &F,
   };
 }
 
-/// One rule's private inversion session. TermFactory, Solver, and
-/// SygusEngine are all documented not-thread-safe, so each rule gets its
-/// own trio; inputs are cloned in up front (serially) and results are
-/// cloned back out on the serial merge. The session's factory history is a
-/// pure function of the cloned inputs, so the synthesized terms — and
+/// One auxiliary function's private inversion session: a copy-on-write fork
+/// of the shared factory plus its own engine. Candidates are independent
+/// (each branch synthesis mines its grammar from the function alone), so
+/// each fork's term history is a pure function of its function and the
+/// frozen prefix, and the merged inverses do not depend on scheduling.
+struct AuxTask {
+  std::unique_ptr<SolverContext> Ctx;
+  std::unique_ptr<SygusEngine> Engine;
+  const FuncDef *Fn = nullptr;
+  std::string InvName;
+  Result<const FuncDef *> Inv = Status::error("aux task did not run");
+};
+
+/// One rule's private inversion session. Nothing is cloned in: the fork
+/// shares the frozen prefix (components, guards, outputs) by pointer, and
+/// only interns the terms the synthesis itself builds. The fork's history
+/// is a pure function of the rule, so the synthesized terms — and
 /// therefore the merged inverse — do not depend on how tasks interleave.
 struct RuleTask {
-  std::unique_ptr<TermFactory> F;
-  std::unique_ptr<Solver> S;
+  std::unique_ptr<SolverContext> Ctx;
   std::unique_ptr<SygusEngine> Engine;
-  std::vector<const FuncDef *> Components; // cloned into *F
-  SeftTransition T;                        // cloned into *F
-  RuleInversionResult Result;              // terms live in *F
+  RuleInversionResult Result;
 };
 
 } // namespace
@@ -90,73 +100,114 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
   SynthesizedAux.clear();
   LastWorkerStats = WorkerStats();
 
+  auto AccumulateWorker = [this](Solver &WorkerSolver,
+                                 SygusEngine &WorkerEngine) {
+    const Solver::Stats &WS = WorkerSolver.stats();
+    LastWorkerStats.Smt.SatQueries += WS.SatQueries;
+    LastWorkerStats.Smt.QeCalls += WS.QeCalls;
+    LastWorkerStats.Smt.QeFallbacks += WS.QeFallbacks;
+    LastWorkerStats.Smt.CacheHits += WS.CacheHits;
+    LastWorkerStats.Smt.CacheMisses += WS.CacheMisses;
+    LastWorkerStats.Smt.CacheEvictions += WS.CacheEvictions;
+    LastWorkerStats.Smt.ModelCacheHits += WS.ModelCacheHits;
+    LastWorkerStats.Smt.ModelCacheMisses += WS.ModelCacheMisses;
+    LastWorkerStats.Smt.ModelCacheEvictions += WS.ModelCacheEvictions;
+    LastWorkerStats.Smt.ProjCacheHits += WS.ProjCacheHits;
+    LastWorkerStats.Smt.ProjCacheMisses += WS.ProjCacheMisses;
+    LastWorkerStats.Smt.ProjCacheEvictions += WS.ProjCacheEvictions;
+    const CompiledEvalCache::Stats &ES = WorkerEngine.evalCache().stats();
+    LastWorkerStats.Eval.Lookups += ES.Lookups;
+    LastWorkerStats.Eval.Compiles += ES.Compiles;
+    LastWorkerStats.Eval.Evals += ES.Evals;
+    const EnumeratorBankStore::Stats &BS = WorkerEngine.bankStore().stats();
+    LastWorkerStats.BankReuseHits += BS.ReuseHits;
+    LastWorkerStats.BankReuseMisses += BS.ReuseMisses;
+    ++LastWorkerStats.Sessions;
+  };
+
   // Optimization 1: invert the auxiliary functions and build the component
   // pool. Non-invertible auxiliaries are skipped silently: they can still
-  // appear as forward components. This phase runs serially in the shared
-  // session (inverses must land in the shared factory for the printer).
+  // appear as forward components. Each candidate runs in its own fork;
+  // inverses are cloned back into the shared factory (where the printer
+  // needs them) in declaration order, so the result is independent of the
+  // jobs value.
   std::vector<const FuncDef *> Components;
   if (Opts.UseAuxInversion) {
+    std::vector<AuxTask> AuxTasks;
+    for (const FuncDef *Fn : AuxFuncs) {
+      if (Fn->arity() != 1 || F.lookupFunc("inv_" + Fn->Name))
+        continue;
+      AuxTask Task;
+      Task.Ctx = std::make_unique<SolverContext>(F, S.timeoutMs());
+      Task.Engine =
+          std::make_unique<SygusEngine>(Task.Ctx->solver(), Opts.Engine);
+      Task.Fn = Fn;
+      Task.InvName = "inv_" + Fn->Name;
+      AuxTasks.push_back(std::move(Task));
+    }
+    {
+      FreezeGuard Quiesce(F);
+      ThreadPool Pool(std::min<size_t>(Opts.Jobs, AuxTasks.size()));
+      for (AuxTask &Task : AuxTasks) {
+        AuxTask *T = &Task;
+        Pool.submit(
+            [T] { T->Inv = invertAuxFunction(*T->Engine, T->Fn, T->InvName); });
+      }
+      Pool.wait();
+    }
+    TermCloner AuxBack(F);
+    for (AuxTask &Task : AuxTasks) {
+      if (Task.Inv)
+        SynthesizedAux.push_back(AuxBack.cloneFunc(*Task.Inv));
+      Engine.appendCalls(Task.Engine->calls());
+      AccumulateWorker(Task.Ctx->solver(), *Task.Engine);
+    }
+    LastWorkerStats.CloneOutNodes += AuxBack.clonedNodes();
     for (const FuncDef *Fn : AuxFuncs) {
       Components.push_back(Fn);
       if (Fn->arity() != 1)
         continue;
-      std::string InvName = "inv_" + Fn->Name;
-      if (F.lookupFunc(InvName)) {
-        Components.push_back(F.lookupFunc(InvName));
-        continue;
-      }
-      Result<const FuncDef *> Inv = invertAuxFunction(Engine, Fn, InvName);
-      if (!Inv)
-        continue;
-      Components.push_back(*Inv);
-      SynthesizedAux.push_back(*Inv);
+      if (const FuncDef *Inv = F.lookupFunc("inv_" + Fn->Name))
+        Components.push_back(Inv);
     }
   }
 
-  // Set up one private session per rule, serially (cloning mutates the
-  // worker factories). Clone order is fixed — components first, then the
-  // rule — so each session's term ids are reproducible.
+  // Set up one fork per rule, serially and after the aux merge, so every
+  // fork sees the same frozen prefix (including the freshly registered
+  // inverses). No terms are cloned in.
   const auto &Ts = A.transitions();
   std::vector<RuleTask> Tasks(Ts.size());
-  for (size_t I = 0; I != Ts.size(); ++I) {
-    RuleTask &Task = Tasks[I];
-    Task.F = std::make_unique<TermFactory>();
-    Task.S = std::make_unique<Solver>(*Task.F);
-    Task.S->setTimeoutMs(S.timeoutMs());
-    Task.Engine = std::make_unique<SygusEngine>(*Task.S, Opts.Engine);
-    TermCloner In(*Task.F);
-    Task.Components.reserve(Components.size());
-    for (const FuncDef *Fn : Components)
-      Task.Components.push_back(In.cloneFunc(Fn));
-    const SeftTransition &T = Ts[I];
-    Task.T.From = T.From;
-    Task.T.To = T.To;
-    Task.T.Lookahead = T.Lookahead;
-    Task.T.Guard = In.clone(T.Guard);
-    Task.T.Outputs.reserve(T.Outputs.size());
-    for (TermRef O : T.Outputs)
-      Task.T.Outputs.push_back(In.clone(O));
+  for (RuleTask &Task : Tasks) {
+    Task.Ctx = std::make_unique<SolverContext>(F, S.timeoutMs());
+    Task.Engine =
+        std::make_unique<SygusEngine>(Task.Ctx->solver(), Opts.Engine);
   }
 
   // Fan out: rules are independent (Theorem 5.4 inverts them separately).
   const Type InTy = A.inputType(), OutTy = A.outputType();
-  ThreadPool Pool(std::min<size_t>(Opts.Jobs, Tasks.size()));
-  for (size_t I = 0; I != Tasks.size(); ++I) {
-    RuleTask *Task = &Tasks[I];
-    const InverterOptions *O = &Opts;
-    Pool.submit([Task, I, InTy, OutTy, O] {
-      RecoverySynthesizer Hook = makeRecoveryHook(
-          *Task->S, *Task->Engine, *Task->F, Task->Components, *O);
-      Task->Result = invertOneRule(Task->T, static_cast<unsigned>(I), InTy,
-                                   OutTy, *Task->S, Hook);
-    });
+  {
+    FreezeGuard Quiesce(F);
+    ThreadPool Pool(std::min<size_t>(Opts.Jobs, Tasks.size()));
+    for (size_t I = 0; I != Tasks.size(); ++I) {
+      RuleTask *Task = &Tasks[I];
+      const SeftTransition *T = &Ts[I];
+      const std::vector<const FuncDef *> *Comps = &Components;
+      const InverterOptions *O = &Opts;
+      Pool.submit([Task, T, Comps, I, InTy, OutTy, O] {
+        RecoverySynthesizer Hook =
+            makeRecoveryHook(Task->Ctx->solver(), *Task->Engine,
+                             Task->Ctx->factory(), *Comps, *O);
+        Task->Result = invertOneRule(*T, static_cast<unsigned>(I), InTy,
+                                     OutTy, Task->Ctx->solver(), Hook);
+      });
+    }
+    Pool.wait();
   }
-  Pool.wait();
 
   // Deterministic merge, in rule order: clone results into the shared
   // factory, append records and call records, and sum worker counters.
-  // Synthesized recoveries only call components, whose names are already
-  // registered in the shared factory, so cloneFunc resolves them by name.
+  // Frozen-prefix subterms pass through the cloner as-is; synthesized
+  // recoveries only call components, which live in the prefix.
   InversionOutcome Out{
       Seft(A.numStates(), A.initial(), A.outputType(), A.inputType()),
       {}};
@@ -176,17 +227,8 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
     }
     Out.Records.push_back(std::move(Task.Result.Record));
     Engine.appendCalls(Task.Engine->calls());
-    const Solver::Stats &WS = Task.S->stats();
-    LastWorkerStats.Smt.SatQueries += WS.SatQueries;
-    LastWorkerStats.Smt.QeCalls += WS.QeCalls;
-    LastWorkerStats.Smt.QeFallbacks += WS.QeFallbacks;
-    LastWorkerStats.Smt.CacheHits += WS.CacheHits;
-    LastWorkerStats.Smt.CacheMisses += WS.CacheMisses;
-    const CompiledEvalCache::Stats &ES = Task.Engine->evalCache().stats();
-    LastWorkerStats.Eval.Lookups += ES.Lookups;
-    LastWorkerStats.Eval.Compiles += ES.Compiles;
-    LastWorkerStats.Eval.Evals += ES.Evals;
-    ++LastWorkerStats.Sessions;
+    AccumulateWorker(Task.Ctx->solver(), *Task.Engine);
   }
+  LastWorkerStats.CloneOutNodes += Back.clonedNodes();
   return Out;
 }

@@ -31,11 +31,12 @@ struct InverterOptions {
   bool UseAuxInversion = true;
   /// §6 optimization 2: operator mining and variable reduction.
   bool UseMining = true;
-  /// Worker threads for per-rule inversion (the paper's observation that
-  /// rules invert independently). Every rule runs in a private
-  /// TermFactory+Solver+SygusEngine session regardless of this setting, so
-  /// the inverse is bit-identical for every jobs value; >1 merely runs the
-  /// sessions concurrently.
+  /// Worker threads for auxiliary-function and per-rule inversion (the
+  /// paper's observation that rules invert independently). Every work item
+  /// runs in a private copy-on-write fork of the shared session (see
+  /// solver/SolverContext.h) regardless of this setting, so the inverse is
+  /// bit-identical for every jobs value; >1 merely runs the forks
+  /// concurrently.
   unsigned Jobs = 1;
   SygusEngine::Options Engine;
 };
@@ -69,6 +70,18 @@ public:
     Solver::Stats Smt;
     CompiledEvalCache::Stats Eval;
     unsigned Sessions = 0;
+    /// Term nodes cloned into worker sessions before the fan-out. Zero
+    /// since workers fork the shared factory copy-on-write; the previous
+    /// implementation re-cloned every component and the whole rule here.
+    uint64_t CloneInNodes = 0;
+    /// Term nodes cloned back into the shared factory by the serial merge
+    /// (fork-local synthesis results only; frozen-prefix subterms pass
+    /// through the cloner without being counted or copied).
+    uint64_t CloneOutNodes = 0;
+    /// Enumeration-bank reuse across the workers' CEGIS runs (see
+    /// EnumeratorBank.h).
+    uint64_t BankReuseHits = 0;
+    uint64_t BankReuseMisses = 0;
   };
   const WorkerStats &workerStats() const { return LastWorkerStats; }
 

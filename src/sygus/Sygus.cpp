@@ -178,6 +178,7 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
   EC.MaxSize = Opts.MaxTermSize;
   EC.TimeoutSeconds = Opts.EnumTimeoutSeconds;
   EC.EvalCache = &EvalCache;
+  EC.BankStore = Opts.ReuseBanks ? &BankStore : nullptr;
 
   TermRef LastSliceGuess = nullptr;
   for (unsigned Iter = 0; Iter < Opts.MaxCegisIterations; ++Iter) {
@@ -190,6 +191,7 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
       Small.MaxSize = std::min(5u, Opts.MaxTermSize);
       Small.TimeoutSeconds = 2;
       Small.EvalCache = &EvalCache;
+      Small.BankStore = EC.BankStore;
       Enumerator SmallEnum(F, G, Ys, Small);
       Candidate = SmallEnum.findMatching(Targets);
     }

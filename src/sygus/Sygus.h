@@ -28,6 +28,7 @@
 #include "solver/Solver.h"
 #include "support/Result.h"
 #include "sygus/BitSlice.h"
+#include "sygus/EnumeratorBank.h"
 #include "sygus/Grammar.h"
 #include "term/CompiledEval.h"
 
@@ -59,6 +60,11 @@ public:
     /// enumeration. Disable to reproduce the plain Enumerative-CEGIS
     /// behaviour of the original paper, including its UTF-8 failure.
     bool EnableBitSlice = true;
+    /// Persist enumeration banks across CEGIS iterations and synthesize()
+    /// calls, keyed by (grammar, examples) — see EnumeratorBank.h. A CEGIS
+    /// counterexample grows the example set and therefore invalidates the
+    /// pair; disable to re-enumerate from scratch on every call.
+    bool ReuseBanks = true;
   };
 
   explicit SygusEngine(Solver &S) : SygusEngine(S, Options()) {}
@@ -95,6 +101,11 @@ public:
   CompiledEvalCache &evalCache() { return EvalCache; }
   const CompiledEvalCache &evalCache() const { return EvalCache; }
 
+  /// The engine-wide persistent enumeration banks (used when
+  /// Options::ReuseBanks is set; see EnumeratorBank.h). Bank reuse hit and
+  /// miss counters live in its stats().
+  const EnumeratorBankStore &bankStore() const { return BankStore; }
+
 private:
   /// Input assignments satisfying the guard (outputs defined), mixing
   /// native random sampling with solver models for narrow guards.
@@ -105,6 +116,7 @@ private:
   Options Opts;
   std::vector<CallRecord> Calls;
   CompiledEvalCache EvalCache;
+  EnumeratorBankStore BankStore;
   /// Preimage tables for unary components, built on first use.
   std::map<const FuncDef *, std::optional<SliceWrapper>> WrapperCache;
 };

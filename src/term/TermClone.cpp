@@ -27,9 +27,12 @@ const FuncDef *TermCloner::cloneFunc(const FuncDef *F) {
 TermRef TermCloner::clone(TermRef T) {
   if (!T)
     return nullptr;
+  if (Dst.isPrefixShared(T))
+    return T; // Frozen-prefix term: valid in the destination as-is.
   auto It = Memo.find(T);
   if (It != Memo.end())
     return It->second;
+  ++ClonedNodes;
 
   TermRef Result = nullptr;
   switch (T->op()) {

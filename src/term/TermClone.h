@@ -35,7 +35,9 @@ public:
   /// handle: source terms carry their whole structure.
   explicit TermCloner(TermFactory &Dst) : Dst(Dst) {}
 
-  /// Clones \p T into the destination factory. Null maps to null.
+  /// Clones \p T into the destination factory. Null maps to null. When the
+  /// destination is a copy-on-write fork and \p T lives in its frozen
+  /// prefix, the clone is the identity — no nodes are rebuilt.
   TermRef clone(TermRef T);
 
   /// Clones an auxiliary function definition (body, domain, signature) into
@@ -43,10 +45,17 @@ public:
   /// the same name. Null maps to null.
   const FuncDef *cloneFunc(const FuncDef *F);
 
+  /// Number of term nodes this cloner actually rebuilt in the destination
+  /// (memo hits and prefix passthroughs are free and not counted). The
+  /// inversion pipeline surfaces this in --stats to pin that worker forks
+  /// no longer re-clone the component library per rule.
+  uint64_t clonedNodes() const { return ClonedNodes; }
+
 private:
   TermFactory &Dst;
   std::unordered_map<TermRef, TermRef> Memo;
   std::unordered_map<const FuncDef *, const FuncDef *> FuncMemo;
+  uint64_t ClonedNodes = 0;
 };
 
 } // namespace genic

@@ -151,9 +151,27 @@ TermFactory::TermFactory() {
   FalseTerm = mkConst(Value::boolVal(false));
 }
 
+TermFactory::TermFactory(const TermFactory &FrozenPrefix)
+    : NextId(FrozenPrefix.NextId), Prefix(&FrozenPrefix),
+      PrefixEnd(FrozenPrefix.NextId) {
+  // Resolved through the prefix chain, so True/False are the parent's
+  // pointers and no terms are allocated here.
+  TrueTerm = mkConst(Value::boolVal(true));
+  FalseTerm = mkConst(Value::boolVal(false));
+}
+
 TermFactory::~TermFactory() = default;
 
 const std::string *TermFactory::internName(const std::string &Name) {
+  auto It = Names.find(Name);
+  if (It != Names.end())
+    return &*It;
+  for (const TermFactory *P = Prefix; P; P = P->Prefix) {
+    auto PIt = P->Names.find(Name);
+    if (PIt != P->Names.end())
+      return &*PIt;
+  }
+  assert(!frozen() && "interning a new name into a frozen factory");
   return &*Names.insert(Name).first;
 }
 
@@ -161,6 +179,17 @@ TermRef TermFactory::intern(Term &&Probe) {
   auto It = Pool.find(&Probe);
   if (It != Pool.end())
     return *It;
+  // Probe the frozen prefix chain before allocating. Each ancestor is only
+  // credible up to the id bound at which its own child forked off: anything
+  // it interned later is not part of this factory's logical prefix.
+  uint32_t Bound = PrefixEnd;
+  for (const TermFactory *P = Prefix; P;
+       Bound = std::min(Bound, P->PrefixEnd), P = P->Prefix) {
+    auto PIt = P->Pool.find(&Probe);
+    if (PIt != P->Pool.end() && (*PIt)->id() < Bound)
+      return *PIt;
+  }
+  assert(!frozen() && "interning a new term into a frozen factory");
   auto Owned = std::unique_ptr<Term>(new Term(std::move(Probe)));
   Owned->Id = NextId++;
   unsigned Size = 1;
@@ -171,6 +200,19 @@ TermRef TermFactory::intern(Term &&Probe) {
   Storage.push_back(std::move(Owned));
   Pool.insert(Raw);
   return Raw;
+}
+
+bool TermFactory::isPrefixShared(TermRef T) const {
+  if (!Prefix || !T || T->id() >= PrefixEnd)
+    return false;
+  uint32_t Bound = PrefixEnd;
+  for (const TermFactory *P = Prefix; P;
+       Bound = std::min(Bound, P->PrefixEnd), P = P->Prefix) {
+    auto It = P->Pool.find(const_cast<Term *>(T));
+    if (It != P->Pool.end() && *It == T)
+      return (*It)->id() < Bound;
+  }
+  return false;
 }
 
 TermRef TermFactory::make(Op O, Type Ty, std::vector<TermRef> Children) {
@@ -519,7 +561,8 @@ const FuncDef *TermFactory::makeFunc(std::string Name,
                                      Type ReturnType, TermRef Body,
                                      TermRef Domain) {
   assert(Body && "auxiliary function needs a body");
-  assert(!FuncsByName.count(Name) && "duplicate auxiliary function name");
+  assert(!lookupFunc(Name) && "duplicate auxiliary function name");
+  assert(!frozen() && "registering a function in a frozen factory");
   Funcs.push_back(FuncDef{std::move(Name), std::move(ParamTypes), ReturnType,
                           Body, Domain});
   const FuncDef *F = &Funcs.back();
@@ -529,7 +572,9 @@ const FuncDef *TermFactory::makeFunc(std::string Name,
 
 const FuncDef *TermFactory::lookupFunc(const std::string &Name) const {
   auto It = FuncsByName.find(Name);
-  return It == FuncsByName.end() ? nullptr : It->second;
+  if (It != FuncsByName.end())
+    return It->second;
+  return Prefix ? Prefix->lookupFunc(Name) : nullptr;
 }
 
 TermRef TermFactory::mkCall(const FuncDef *F, std::vector<TermRef> Args) {

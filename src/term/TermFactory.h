@@ -18,6 +18,7 @@
 
 #include "term/Term.h"
 
+#include <cassert>
 #include <deque>
 #include <memory>
 #include <span>
@@ -29,11 +30,25 @@
 namespace genic {
 
 /// Owner and interner of terms. Not thread-safe; use one per session.
+///
+/// Copy-on-write forks: `TermFactory Child(Parent)` creates a factory whose
+/// interned prefix is everything Parent holds at fork time. The child probes
+/// the (transitively) frozen parent chain read-only before allocating, so
+/// prefix terms, interned names, and auxiliary functions are *shared by
+/// pointer* — forking is O(1) and cloning a prefix term into the child is the
+/// identity. The parent must stay quiescent (no new interning) while forks
+/// are live on other threads; freeze()/thaw() assert that in debug builds.
+/// Terms the parent interns after the fork are invisible to the child (its
+/// ids restart at the fork point), which keeps each fork's term identity a
+/// pure function of the frozen prefix plus the fork's own operations.
 class TermFactory {
 public:
   TermFactory();
   ~TermFactory();
-  TermFactory(const TermFactory &) = delete;
+  /// Copy-on-write fork of \p FrozenPrefix (see the class comment). The
+  /// parent must outlive the child and must not intern anything while the
+  /// child is used from another thread.
+  explicit TermFactory(const TermFactory &FrozenPrefix);
   TermFactory &operator=(const TermFactory &) = delete;
 
   // Leaves -----------------------------------------------------------------
@@ -113,8 +128,31 @@ public:
   /// 1 + the largest variable index occurring in \p T (0 if none).
   unsigned numVars(TermRef T);
 
-  /// Number of terms ever created (for stats and micro benchmarks).
-  size_t poolSize() const { return Pool.size(); }
+  /// Number of terms reachable from this factory (own pool plus the frozen
+  /// prefix chain; for stats and micro benchmarks).
+  size_t poolSize() const {
+    return Pool.size() + (Prefix ? Prefix->poolSize() : 0);
+  }
+
+  /// Number of terms this factory interned itself (excludes the prefix).
+  size_t localPoolSize() const { return Pool.size(); }
+
+  // Copy-on-write prefix ----------------------------------------------------
+
+  /// True iff \p T lives in this factory's frozen prefix chain, i.e. using
+  /// it here without cloning is valid. Always false on root factories.
+  bool isPrefixShared(TermRef T) const;
+
+  /// Marks the factory immutable: any attempt to intern a new term, name, or
+  /// function asserts until the matching thaw(). Freezing nests. This is a
+  /// debug-build guard for the quiescence contract forks rely on; it does
+  /// not affect release behaviour.
+  void freeze() const { ++FreezeCount; }
+  void thaw() const {
+    assert(FreezeCount > 0 && "thaw without a matching freeze");
+    --FreezeCount;
+  }
+  bool frozen() const { return FreezeCount != 0; }
 
 private:
   /// Content-based hashing/equality for the intern pool (bodies in the
@@ -140,6 +178,15 @@ private:
   uint32_t NextId = 0;
   TermRef TrueTerm = nullptr;
   TermRef FalseTerm = nullptr;
+
+  /// Copy-on-write state: the frozen parent chain this factory may read, and
+  /// the parent's NextId at fork time. Ancestor terms with id >= PrefixEnd
+  /// were interned after the fork and are treated as absent — the child's own
+  /// ids start at PrefixEnd, so accepting them would make term identity
+  /// depend on unrelated parent activity.
+  const TermFactory *Prefix = nullptr;
+  uint32_t PrefixEnd = 0;
+  mutable unsigned FreezeCount = 0;
 };
 
 } // namespace genic

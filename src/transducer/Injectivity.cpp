@@ -8,6 +8,7 @@
 
 #include "automata/Ambiguity.h"
 
+#include "solver/SolverContext.h"
 #include "support/Result.h"
 #include "support/ThreadPool.h"
 #include "term/TermClone.h"
@@ -187,13 +188,14 @@ Result<CartesianSefa> genic::buildOutputAutomaton(
   // One task per (rule, output position): the per-position projections are
   // independent and dominate isInj wall-clock (~0.8-1.4s each on the UTF-16
   // encoder), so this is the grain that parallelizes the pipeline. Each
-  // task gets a fresh private session — not a pooled one — because its
-  // result is a term: a fresh factory's history is a pure function of the
-  // cloned rule, so the projection's structure cannot depend on which tasks
-  // ran before it on the same thread.
+  // task gets a fresh private fork of the shared factory — not a pooled
+  // session — because its result is a term: every fork is created at the
+  // same frozen parent state, so a fork's history is a pure function of its
+  // rule and the projection's structure cannot depend on which tasks ran
+  // before it on the same thread. Forking shares the rule's guard and
+  // outputs by pointer, so task setup clones nothing.
   struct ProjTask {
-    std::unique_ptr<TermFactory> F;
-    std::unique_ptr<Solver> S;
+    std::unique_ptr<SolverContext> Ctx;
     ImagePredicate P{nullptr, {}, 0};
     unsigned J = 0;
     Result<TermRef> Psi = Status::error("projection task did not run");
@@ -203,14 +205,10 @@ Result<CartesianSefa> genic::buildOutputAutomaton(
     const SeftTransition &T = Ts[Index];
     for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J) {
       ProjTask Task;
-      Task.F = std::make_unique<TermFactory>();
-      Task.S = std::make_unique<Solver>(*Task.F);
-      Task.S->setTimeoutMs(S.timeoutMs());
-      TermCloner In(*Task.F);
-      Task.P.Guard = In.clone(T.Guard);
-      Task.P.Outputs.reserve(T.Outputs.size());
-      for (TermRef O : T.Outputs)
-        Task.P.Outputs.push_back(In.clone(O));
+      Task.Ctx =
+          std::make_unique<SolverContext>(S.factory(), S.timeoutMs());
+      Task.P.Guard = T.Guard;
+      Task.P.Outputs.assign(T.Outputs.begin(), T.Outputs.end());
       Task.P.NumInputs = T.Lookahead;
       Task.J = J;
       Tasks.push_back(std::move(Task));
@@ -219,11 +217,15 @@ Result<CartesianSefa> genic::buildOutputAutomaton(
 
   ThreadPool TP(std::min<size_t>(std::max(1u, Opts.Jobs), Tasks.size()));
   bool Hull = AllowHull;
-  for (ProjTask &Task : Tasks) {
-    ProjTask *T = &Task;
-    TP.submit([T, Hull] { T->Psi = T->S->project(T->P, T->J, Hull); });
+  {
+    FreezeGuard Quiesce(S.factory());
+    for (ProjTask &Task : Tasks) {
+      ProjTask *T = &Task;
+      TP.submit(
+          [T, Hull] { T->Psi = T->Ctx->solver().project(T->P, T->J, Hull); });
+    }
+    TP.wait();
   }
-  TP.wait();
 
   // Merge in rule/position order: projections clone back into the shared
   // factory (structurally identical terms re-intern to identical TermRefs,
@@ -390,12 +392,19 @@ Result<InjectivityResult> genic::checkInjectivity(const Seft &A, Solver &S) {
 Result<InjectivityResult>
 genic::checkInjectivity(const Seft &A, Solver &S,
                         const InjectivityOptions &Opts) {
-  // One warm session pool serves every phase and both CEGAR iterations.
+  // One warm session pool and one overlap cache serve every phase and both
+  // CEGAR iterations: the exact round starts with every (guard, guard)
+  // verdict the hull round already discharged.
   InjectivityOptions Eff = Opts;
   std::optional<SolverSessionPool> LocalPool;
   if (!Eff.Sessions) {
-    LocalPool.emplace(S.timeoutMs());
+    LocalPool.emplace(S.factory(), S.timeoutMs());
     Eff.Sessions = &*LocalPool;
+  }
+  std::optional<GuardOverlapCache> LocalOverlaps;
+  if (!Eff.Overlaps) {
+    LocalOverlaps.emplace();
+    Eff.Overlaps = &*LocalOverlaps;
   }
 
   // Part 1: transition-injectivity (Lemma 4.7).
@@ -441,6 +450,7 @@ genic::checkInjectivity(const Seft &A, Solver &S,
     AmbiguityOptions AmbOpts;
     AmbOpts.Jobs = Eff.Jobs;
     AmbOpts.Sessions = Eff.Sessions;
+    AmbOpts.Overlaps = Eff.Overlaps;
     Result<std::optional<AmbiguityWitness>> Amb =
         checkAmbiguity(*AO, S, AmbOpts);
     if (!Amb)

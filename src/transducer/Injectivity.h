@@ -25,6 +25,7 @@
 #define GENIC_TRANSDUCER_INJECTIVITY_H
 
 #include "automata/Sefa.h"
+#include "solver/QueryCache.h"
 #include "solver/Solver.h"
 #include "solver/SolverSessionPool.h"
 #include "support/Result.h"
@@ -44,9 +45,14 @@ struct InjectivityOptions {
   unsigned Jobs = 1;
   /// Warm worker sessions for the verdict-only parallel queries; a private
   /// pool is created (and shared across the CEGAR iterations) when null.
-  /// Term-producing stages (projections) use fresh per-task sessions
-  /// instead — see SolverSessionPool.h for the determinism contract.
+  /// Term-producing stages (projections) use fresh per-task forks of \p S's
+  /// factory instead — see SolverContext.h for the determinism contract.
   SolverSessionPool *Sessions = nullptr;
+  /// Shared (guard, guard) overlap verdicts for the ambiguity product
+  /// search. checkInjectivity creates one per call when null and reuses it
+  /// across the hull and exact CEGAR rounds, so the second round starts
+  /// with every verdict the first round discharged.
+  GuardOverlapCache *Overlaps = nullptr;
 };
 
 /// A rule that conflates two input tuples (Definition 4.2 violated).

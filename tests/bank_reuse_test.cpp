@@ -1,0 +1,214 @@
+//===- tests/bank_reuse_test.cpp - Persistent enumeration banks -----------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bank persistence across findMatching calls and CEGIS iterations: reusing
+/// stored banks must return the same terms a from-scratch enumeration
+/// would, growing the example set must invalidate the key, and the engine's
+/// reuse counters must reflect what happened.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sygus/EnumeratorBank.h"
+
+#include "solver/SolverContext.h"
+#include "sygus/Enumerator.h"
+#include "sygus/Sygus.h"
+#include "term/Eval.h"
+#include "term/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+class BankReuseTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Type I = Type::intTy();
+  Type B8 = Type::bitVecTy(8);
+};
+
+EnumeratorBanks tinyBanks(TermFactory &F, Type Ty, size_t NumEntries) {
+  EnumeratorBanks B;
+  B.Banks.emplace_back();
+  TypeBank &TB = B.Banks.back();
+  TB.Ty = Ty;
+  TB.BySize.resize(2);
+  for (size_t K = 0; K != NumEntries; ++K) {
+    ObsSig S;
+    S.Raw.push_back(K);
+    S.Defined = 1;
+    TB.BySize[1].push_back({F.mkInt(static_cast<int64_t>(K)), S});
+    TB.Seen.insert(std::move(S));
+  }
+  B.CompletedThrough = 1;
+  B.TotalKept = NumEntries;
+  return B;
+}
+
+TEST_F(BankReuseTest, StoreHitsMissesAndKeyStructure) {
+  EnumeratorBankStore Store;
+  Grammar G = Grammar::standard(I, {I});
+  std::vector<std::vector<Value>> Ex{{Value::intVal(3)}};
+
+  EXPECT_FALSE(Store.take(G, Ex).has_value());
+  EXPECT_EQ(Store.stats().ReuseMisses, 1u);
+
+  Store.put(G, Ex, tinyBanks(F, I, 4));
+  EXPECT_EQ(Store.size(), 1u);
+  EXPECT_EQ(Store.entries(), 4u);
+
+  // A grown example set (a CEGIS counterexample) is a different key.
+  std::vector<std::vector<Value>> Grown = Ex;
+  Grown.push_back({Value::intVal(9)});
+  EXPECT_FALSE(Store.take(G, Grown).has_value());
+
+  // A structurally different grammar is a different key too.
+  Grammar G2 = G;
+  G2.addConstant(Value::intVal(42));
+  EXPECT_FALSE(Store.take(G2, Ex).has_value());
+
+  // The original key hits, and take() removes the entry.
+  std::optional<EnumeratorBanks> Got = Store.take(G, Ex);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(Got->TotalKept, 4u);
+  EXPECT_EQ(Store.size(), 0u);
+  EXPECT_EQ(Store.entries(), 0u);
+  EXPECT_EQ(Store.stats().ReuseHits, 1u);
+  EXPECT_EQ(Store.stats().ReuseMisses, 3u);
+}
+
+TEST_F(BankReuseTest, StoreGenerationClearCountsEvictions) {
+  EnumeratorBankStore Store(/*Capacity=*/2);
+  Grammar G = Grammar::standard(I, {I});
+  std::vector<std::vector<Value>> E1{{Value::intVal(1)}};
+  std::vector<std::vector<Value>> E2{{Value::intVal(2)}};
+  std::vector<std::vector<Value>> E3{{Value::intVal(3)}};
+
+  Store.put(G, E1, tinyBanks(F, I, 2));
+  Store.put(G, E2, tinyBanks(F, I, 2));
+  EXPECT_EQ(Store.size(), 2u);
+  // The third key exceeds the capacity: the whole table is dropped and the
+  // dropped entries are counted, same policy as the solver's QueryCache.
+  Store.put(G, E3, tinyBanks(F, I, 2));
+  EXPECT_EQ(Store.size(), 1u);
+  EXPECT_EQ(Store.stats().Evictions, 4u);
+  EXPECT_TRUE(Store.take(G, E3).has_value());
+  EXPECT_FALSE(Store.take(G, E1).has_value());
+}
+
+TEST_F(BankReuseTest, StoreEntryBudgetRefusesOversizedBanks) {
+  EnumeratorBankStore Store(/*Capacity=*/8, /*MaxEntries=*/10);
+  Grammar G = Grammar::standard(I, {I});
+  std::vector<std::vector<Value>> E1{{Value::intVal(1)}};
+  std::vector<std::vector<Value>> E2{{Value::intVal(2)}};
+
+  // A single bank set above the budget is not stored at all.
+  Store.put(G, E1, tinyBanks(F, I, 11));
+  EXPECT_EQ(Store.size(), 0u);
+
+  // Two sets that together exceed it trigger a generation clear instead of
+  // unbounded growth.
+  Store.put(G, E1, tinyBanks(F, I, 6));
+  Store.put(G, E2, tinyBanks(F, I, 6));
+  EXPECT_EQ(Store.size(), 1u);
+  EXPECT_EQ(Store.entries(), 6u);
+  EXPECT_EQ(Store.stats().Evictions, 6u);
+}
+
+/// Three CEGIS-shaped rounds with a growing example set. Each round runs the
+/// small-then-full pair of enumerations the driver uses, with the store and
+/// without, and both must return the same term.
+TEST_F(BankReuseTest, ResumedEnumerationMatchesFreshAcrossRounds) {
+  Grammar G = Grammar::standard(I, {I});
+  EnumeratorBankStore Store;
+
+  // Target function: 2*x + 1 on a growing sample, as if each round added a
+  // counterexample.
+  std::vector<std::vector<Value>> Ex;
+  std::vector<Value> Target;
+  for (int Round = 0; Round != 3; ++Round) {
+    Ex.push_back({Value::intVal(Round + 2)});
+    Target.push_back(Value::intVal(2 * (Round + 2) + 1));
+
+    for (unsigned MaxSize : {5u, 8u}) {
+      Enumerator::Config With;
+      With.MaxSize = MaxSize;
+      With.TimeoutSeconds = 30;
+      With.BankStore = &Store;
+      Enumerator EWith(F, G, Ex, With);
+      std::optional<TermRef> RWith = EWith.findMatching(Target);
+
+      Enumerator::Config Without = With;
+      Without.BankStore = nullptr;
+      Enumerator EWithout(F, G, Ex, Without);
+      std::optional<TermRef> RWithout = EWithout.findMatching(Target);
+
+      ASSERT_EQ(RWith.has_value(), RWithout.has_value())
+          << "round " << Round << " size " << MaxSize;
+      if (RWith.has_value()) {
+        // Same factory on both sides, so "same term" is pointer equality.
+        EXPECT_EQ(*RWith, *RWithout)
+            << printTerm(*RWith) << " vs " << printTerm(*RWithout);
+        for (size_t K = 0; K != Ex.size(); ++K)
+          EXPECT_EQ(eval(*RWith, Ex[K]), Target[K]);
+      }
+    }
+  }
+  // Within each round the full run resumes the small run's banks; across
+  // rounds the grown example set misses. 3 rounds * (1 miss + 1 hit).
+  EXPECT_GE(Store.stats().ReuseHits, 3u);
+  EXPECT_GE(Store.stats().ReuseMisses, 3u);
+}
+
+/// End-to-end through the CEGIS driver: bank reuse on and off must
+/// synthesize the same inverse, and the engine's counters must show reuse.
+TEST_F(BankReuseTest, EngineSynthesizesSameTermWithAndWithoutReuse) {
+  SolverContext Ctx;
+  TermFactory &CF = Ctx.factory();
+  Type BV = Type::bitVecTy(8);
+  TermRef X = CF.mkVar(0, BV);
+
+  // y0 = x0 ^ 0x55; recovering x0 needs y0 ^ 0x55, reachable by enumeration
+  // once 0x55 is in the constant pool.
+  SynthesisSpec Spec;
+  Spec.Image.Guard = CF.mkTrue();
+  Spec.Image.Outputs = {CF.mkBvOp(Op::BvXor, X, CF.mkBv(0x55, 8))};
+  Spec.Image.NumInputs = 1;
+  Spec.Target = X;
+
+  Grammar G = Grammar::standard(BV, {BV});
+  G.addConstant(Value::bitVecVal(0x55, 8));
+
+  SygusEngine::Options Reuse;
+  Reuse.EnableBitSlice = false; // keep the search in the enumerator
+  SygusEngine::Options NoReuse = Reuse;
+  NoReuse.ReuseBanks = false;
+
+  SygusEngine EngineReuse(Ctx.solver(), Reuse);
+  SygusEngine EngineNoReuse(Ctx.solver(), NoReuse);
+
+  Result<TermRef> A = EngineReuse.synthesize(Spec, G);
+  Result<TermRef> B = EngineNoReuse.synthesize(Spec, G);
+  ASSERT_TRUE(A.isOk());
+  ASSERT_TRUE(B.isOk());
+  EXPECT_EQ(*A, *B) << printTerm(*A) << " vs " << printTerm(*B);
+
+  // The reuse-off engine never touched its store.
+  EXPECT_EQ(EngineNoReuse.bankStore().stats().ReuseHits, 0u);
+  EXPECT_EQ(EngineNoReuse.bankStore().stats().ReuseMisses, 0u);
+
+  // Re-posing the identical problem hits the banks kept from the first call.
+  uint64_t HitsAfterFirst = EngineReuse.bankStore().stats().ReuseHits;
+  Result<TermRef> C = EngineReuse.synthesize(Spec, G);
+  ASSERT_TRUE(C.isOk());
+  EXPECT_EQ(*A, *C);
+  EXPECT_GT(EngineReuse.bankStore().stats().ReuseHits, HitsAfterFirst);
+}
+
+} // namespace

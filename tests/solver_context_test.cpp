@@ -1,0 +1,199 @@
+//===- tests/solver_context_test.cpp - Copy-on-write context forks --------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SolverContext / frozen-prefix TermFactory contract: forks share the
+/// parent's interned terms by pointer, intern their own terms without
+/// touching the parent, and cloners pass prefix terms through unchanged.
+/// These properties are what make worker forks O(1) to create and their
+/// histories pure functions of their inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solver/SolverContext.h"
+
+#include "solver/SolverSessionPool.h"
+#include "term/Eval.h"
+#include "term/Printer.h"
+#include "term/TermClone.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+class SolverContextTest : public ::testing::Test {
+protected:
+  SolverContext Root;
+  TermFactory &F = Root.factory();
+  Type I = Type::intTy();
+  Type B8 = Type::bitVecTy(8);
+};
+
+TEST_F(SolverContextTest, ForkSharesPrefixTermsByPointer) {
+  TermRef X = F.mkVar(0, I);
+  TermRef Sum = F.mkIntOp(Op::IntAdd, X, F.mkInt(7));
+
+  SolverContext Fork(Root);
+  TermFactory &FF = Fork.factory();
+  // Re-interning the same content in the fork resolves to the parent's
+  // pointers — no copies.
+  EXPECT_EQ(FF.mkVar(0, I), X);
+  EXPECT_EQ(FF.mkIntOp(Op::IntAdd, X, FF.mkInt(7)), Sum);
+  EXPECT_TRUE(FF.isPrefixShared(Sum));
+  EXPECT_EQ(FF.localPoolSize(), 0u);
+}
+
+TEST_F(SolverContextTest, ForkLocalTermsDoNotTouchParent) {
+  TermRef X = F.mkVar(0, I);
+  size_t ParentPool = F.poolSize();
+
+  SolverContext Fork(Root);
+  TermFactory &FF = Fork.factory();
+  TermRef Local = FF.mkIntOp(Op::IntMul, X, FF.mkInt(41));
+  EXPECT_FALSE(FF.isPrefixShared(Local));
+  EXPECT_GT(FF.localPoolSize(), 0u);
+  // The parent never sees the fork's terms.
+  EXPECT_EQ(F.poolSize(), ParentPool);
+}
+
+TEST_F(SolverContextTest, SiblingForksBuildIdenticalHistories) {
+  TermRef X = F.mkVar(0, B8);
+  F.mkBvOp(Op::BvAdd, X, F.mkBv(1, 8));
+
+  SolverContext ForkA(Root), ForkB(Root);
+  // The same op sequence in two forks created at the same parent state
+  // yields terms with identical ids — the determinism contract workers
+  // rely on for byte-identical output at every jobs value.
+  TermRef A = ForkA.factory().mkBvOp(Op::BvXor, X, ForkA.factory().mkBv(0x5a, 8));
+  TermRef B = ForkB.factory().mkBvOp(Op::BvXor, X, ForkB.factory().mkBv(0x5a, 8));
+  EXPECT_EQ(A->id(), B->id());
+  EXPECT_EQ(printTerm(A), printTerm(B));
+}
+
+TEST_F(SolverContextTest, ForkDoesNotSeeTermsInternedAfterIt) {
+  TermRef X = F.mkVar(0, I);
+  SolverContext Early(Root);
+  // Interned into the parent after Early forked: outside Early's prefix.
+  TermRef Late = F.mkIntOp(Op::IntNeg, X);
+  SolverContext After(Root);
+
+  EXPECT_FALSE(Early.factory().isPrefixShared(Late));
+  EXPECT_TRUE(After.factory().isPrefixShared(Late));
+  // Early interns its own structurally-equal copy rather than aliasing a
+  // term that is not part of its frozen prefix.
+  TermRef Own = Early.factory().mkIntOp(Op::IntNeg, X);
+  EXPECT_NE(Own, Late);
+  EXPECT_EQ(printTerm(Own), printTerm(Late));
+  EXPECT_EQ(After.factory().mkIntOp(Op::IntNeg, X), Late);
+}
+
+TEST_F(SolverContextTest, ClonerPassesPrefixTermsThrough) {
+  TermRef X = F.mkVar(0, I);
+  TermRef Shared = F.mkIntOp(Op::IntAdd, X, F.mkInt(3));
+
+  SolverContext Fork(Root);
+  TermCloner Import(Fork.factory());
+  EXPECT_EQ(Import.clone(Shared), Shared);
+  EXPECT_EQ(Import.clonedNodes(), 0u);
+}
+
+TEST_F(SolverContextTest, CloneBackReintersForkLocalNodes) {
+  TermRef X = F.mkVar(0, I);
+
+  SolverContext Fork(Root);
+  TermFactory &FF = Fork.factory();
+  TermRef Local = FF.mkIntOp(Op::IntAdd, FF.mkIntOp(Op::IntMul, X, FF.mkInt(5)),
+                             FF.mkInt(2));
+
+  TermCloner Back(F);
+  TermRef Merged = Back.clone(Local);
+  EXPECT_NE(Merged, Local);
+  EXPECT_EQ(printTerm(Merged), printTerm(Local));
+  // Only the fork-local nodes were copied; X and the constants resolved by
+  // interning.
+  EXPECT_GT(Back.clonedNodes(), 0u);
+  EXPECT_LE(Back.clonedNodes(), Local->size());
+  std::vector<Value> Env{Value::intVal(4)};
+  EXPECT_EQ(eval(Merged, Env), Value::intVal(22));
+}
+
+TEST_F(SolverContextTest, FunctionsResolveAcrossThePrefixChain) {
+  TermRef X = F.mkVar(0, B8);
+  const FuncDef *Fn =
+      F.makeFunc("enc", {B8}, B8, F.mkBvOp(Op::BvAdd, X, F.mkBv(1, 8)));
+
+  SolverContext Fork(Root);
+  EXPECT_EQ(Fork.factory().lookupFunc("enc"), Fn);
+  // A function registered in the fork stays fork-local but can be cloned
+  // back by name-preserving cloneFunc.
+  const FuncDef *Inv = Fork.factory().makeFunc(
+      "dec", {B8}, B8, Fork.factory().mkBvOp(Op::BvAdd, X, Fork.factory().mkBv(0xff, 8)));
+  EXPECT_EQ(F.lookupFunc("dec"), nullptr);
+  TermCloner Back(F);
+  const FuncDef *Merged = Back.cloneFunc(Inv);
+  ASSERT_NE(Merged, nullptr);
+  EXPECT_EQ(F.lookupFunc("dec"), Merged);
+}
+
+TEST_F(SolverContextTest, ForkSolverAnswersQueriesOverPrefixTerms) {
+  TermRef X = F.mkVar(0, I);
+  TermRef Query = F.mkAnd(F.mkIntOp(Op::IntGt, X, F.mkInt(5)),
+                          F.mkIntOp(Op::IntLt, X, F.mkInt(7)));
+
+  SolverContext Fork(Root);
+  EXPECT_TRUE(Fork.isFork());
+  // No cloning needed: the fork's solver reads the prefix term directly.
+  EXPECT_EQ(Fork.solver().checkSat(Query), SatResult::Sat);
+  Result<std::vector<Value>> M = Fork.solver().getModel(Query, {I});
+  ASSERT_TRUE(M.isOk());
+  EXPECT_EQ((*M)[0], Value::intVal(6));
+}
+
+TEST_F(SolverContextTest, FreezeGuardTogglesFrozen) {
+  EXPECT_FALSE(F.frozen());
+  {
+    FreezeGuard Outer(F);
+    EXPECT_TRUE(F.frozen());
+    {
+      FreezeGuard Inner(F);
+      EXPECT_TRUE(F.frozen());
+    }
+    EXPECT_TRUE(F.frozen());
+  }
+  EXPECT_FALSE(F.frozen());
+}
+
+TEST_F(SolverContextTest, ForkModePoolSessionsShareThePrefix) {
+  TermRef X = F.mkVar(0, I);
+  TermRef Query = F.mkIntOp(Op::IntGt, X, F.mkInt(100));
+
+  SolverSessionPool Pool(F, /*TimeoutMs=*/20000);
+  {
+    SolverSessionPool::Lease Sess = Pool.lease();
+    // The pooled session's cloner passes the shared term through (the
+    // data-only export contract still holds: only the verdict leaves).
+    TermRef Imported = Sess->Import.clone(Query);
+    EXPECT_EQ(Imported, Query);
+    Result<bool> Sat = Sess->Slv.isSat(Imported);
+    ASSERT_TRUE(Sat.isOk());
+    EXPECT_TRUE(*Sat);
+  }
+  EXPECT_EQ(Pool.sessions(), 1u);
+}
+
+TEST_F(SolverContextTest, PoolSizeAccountsForPrefix) {
+  F.mkVar(0, I);
+  size_t Parent = F.poolSize();
+  SolverContext Fork(Root);
+  EXPECT_EQ(Fork.factory().poolSize(), Parent);
+  Fork.factory().mkVar(7, I);
+  EXPECT_EQ(Fork.factory().poolSize(), Parent + 1);
+  EXPECT_EQ(Fork.factory().localPoolSize(), 1u);
+}
+
+} // namespace

@@ -23,6 +23,8 @@
 ///                  inversion on N worker threads (output is identical for
 ///                  every N; default 1)
 ///   --entry NAME   override the entry transformation
+///   --sat-cache-cap N  cap the shared solver's memo tables at N entries
+///                  (0 disables memoization; default 1048576)
 ///   --stats        print SyGuS call records, per-rule timings, and
 ///                  solver/evaluator cache counters
 ///
@@ -53,7 +55,7 @@ int usage() {
       "usage: genic <run|invert|check|eval> PROGRAM.genic [values...]\n"
       "       genic corpus [NAME] | genic verify ENC.genic DEC.genic\n"
       "  options: --no-aux --no-mining --no-slice --jobs N --entry NAME "
-      "--stats\n");
+      "--sat-cache-cap N --stats\n");
   return 2;
 }
 
@@ -96,32 +98,45 @@ void printStats(const GenicReport &R) {
       std::printf("  %3u  %7.3fs  %s  (%u CEGIS iterations)\n", C.ResultSize,
                   C.Seconds, C.Success ? "ok" : "fail", C.CegisIterations);
   }
+  auto PrintCaches = [](const Solver::Stats &S) {
+    std::printf("  sat cache %llu hit / %llu miss / %llu evicted, model "
+                "cache %llu/%llu/%llu, projection cache %llu/%llu/%llu\n",
+                (unsigned long long)S.CacheHits,
+                (unsigned long long)S.CacheMisses,
+                (unsigned long long)S.CacheEvictions,
+                (unsigned long long)S.ModelCacheHits,
+                (unsigned long long)S.ModelCacheMisses,
+                (unsigned long long)S.ModelCacheEvictions,
+                (unsigned long long)S.ProjCacheHits,
+                (unsigned long long)S.ProjCacheMisses,
+                (unsigned long long)S.ProjCacheEvictions);
+  };
   const Solver::Stats &S = R.SolverStats;
-  std::printf("solver (shared): %llu sat queries, cache %llu hit / %llu "
-              "miss / %llu evicted, %llu QE calls (%llu fallbacks)\n",
+  std::printf("solver (shared): %llu sat queries, %llu QE calls "
+              "(%llu fallbacks)\n",
               (unsigned long long)S.SatQueries,
-              (unsigned long long)S.CacheHits,
-              (unsigned long long)S.CacheMisses,
-              (unsigned long long)S.CacheEvictions,
               (unsigned long long)S.QeCalls,
               (unsigned long long)S.QeFallbacks);
+  PrintCaches(S);
   if (R.CheckerSessions) {
     const Solver::Stats &C = R.CheckerStats;
-    std::printf("solver (%u checker sessions): %llu sat queries, cache "
-                "%llu hit / %llu miss\n",
-                R.CheckerSessions, (unsigned long long)C.SatQueries,
-                (unsigned long long)C.CacheHits,
-                (unsigned long long)C.CacheMisses);
+    std::printf("solver (%u checker sessions): %llu sat queries\n",
+                R.CheckerSessions, (unsigned long long)C.SatQueries);
+    PrintCaches(C);
   }
   if (R.WorkerStats.Sessions) {
     const Solver::Stats &W = R.WorkerStats.Smt;
-    std::printf("solver (%u rule sessions): %llu sat queries, cache %llu "
-                "hit / %llu miss\n",
-                R.WorkerStats.Sessions, (unsigned long long)W.SatQueries,
-                (unsigned long long)W.CacheHits,
-                (unsigned long long)W.CacheMisses);
+    std::printf("solver (%u worker sessions): %llu sat queries\n",
+                R.WorkerStats.Sessions, (unsigned long long)W.SatQueries);
+    PrintCaches(W);
+    std::printf("worker forks: %llu nodes cloned in, %llu cloned out, "
+                "bank reuse %llu hit / %llu miss\n",
+                (unsigned long long)R.WorkerStats.CloneInNodes,
+                (unsigned long long)R.WorkerStats.CloneOutNodes,
+                (unsigned long long)R.WorkerStats.BankReuseHits,
+                (unsigned long long)R.WorkerStats.BankReuseMisses);
     const CompiledEvalCache::Stats &E = R.WorkerStats.Eval;
-    std::printf("compiled eval (rule sessions): %llu executions, %llu "
+    std::printf("compiled eval (worker sessions): %llu executions, %llu "
                 "programs compiled, %llu cache hits\n",
                 (unsigned long long)E.Evals, (unsigned long long)E.Compiles,
                 (unsigned long long)E.hits());
@@ -131,6 +146,9 @@ void printStats(const GenicReport &R) {
               "programs compiled, %llu cache hits\n",
               (unsigned long long)E.Evals, (unsigned long long)E.Compiles,
               (unsigned long long)E.hits());
+  std::printf("bank reuse (shared engine): %llu hit / %llu miss\n",
+              (unsigned long long)R.BankReuseHits,
+              (unsigned long long)R.BankReuseMisses);
 }
 
 } // namespace
@@ -140,6 +158,7 @@ int main(int Argc, char **Argv) {
   std::vector<std::string> Symbols;
   InverterOptions Options;
   bool Stats = false;
+  std::optional<size_t> SatCacheCap;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -163,6 +182,14 @@ int main(int Argc, char **Argv) {
       if (++I >= Argc)
         return usage();
       Entry = Argv[I];
+    } else if (Arg == "--sat-cache-cap") {
+      if (++I >= Argc)
+        return usage();
+      try {
+        SatCacheCap = std::stoull(Argv[I]);
+      } catch (...) {
+        return usage();
+      }
     } else if (Command.empty()) {
       Command = Arg;
     } else if (Path.empty()) {
@@ -304,6 +331,8 @@ int main(int Argc, char **Argv) {
     return usage();
 
   GenicTool Tool(Options);
+  if (SatCacheCap)
+    Tool.solver().setSatCacheCapacity(*SatCacheCap);
   Result<GenicReport> Report =
       Tool.run(*Source, ForceInjective, ForceInvert);
   if (!Report) {
