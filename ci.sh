@@ -5,7 +5,11 @@
 #   1. Tier-1: configure, build, and run the whole test suite.
 #   2. Sanitizers: rebuild with -fsanitize=address,undefined and re-run the
 #      suites that exercise new machinery with threads and compiled
-#      evaluation (plus the term/solver cores under them).
+#      evaluation (plus the term/solver cores under them), including the
+#      fault-injection suite that drives every retry/degradation path.
+#      Then a degraded-run smoke test: the UTF-8 encoder inversion under a
+#      1-second global budget must exit with the budget-exhausted code and
+#      a well-formed partial outcome report.
 #   3. ThreadSanitizer: rebuild with -fsanitize=thread and run the suites
 #      that actually share state across threads — the thread pool itself,
 #      the parallel determinism/injectivity/ambiguity tests (Small +
@@ -55,12 +59,32 @@ if [ "$SKIP_ASAN" -eq 0 ]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build build-asan -j --target \
     compiled_eval_test parallel_invert_test enumerator_test \
-    term_test eval_test solver_test support_test
+    term_test eval_test solver_test support_test fault_injection_test
   for T in compiled_eval_test parallel_invert_test enumerator_test \
-    term_test eval_test solver_test support_test; do
+    term_test eval_test solver_test support_test fault_injection_test; do
     echo "--- asan/ubsan: $T"
     ./build-asan/tests/"$T"
   done
+
+  echo "=== degraded-run smoke: --timeout-seconds under asan ==="
+  # A heavy coder under a 1-second global budget must exit cleanly with
+  # the budget-exhausted code (4) and a well-formed partial report —
+  # never crash, hang, or leak (asan is still on).
+  cmake --build build-asan -j --target genic-cli
+  set +e
+  DEGRADED_OUT=$(./build-asan/tools/genic invert programs/UTF-8_encoder.genic \
+    --timeout-seconds 1 2>&1)
+  DEGRADED_RC=$?
+  set -e
+  echo "$DEGRADED_OUT"
+  if [ "$DEGRADED_RC" -ne 4 ]; then
+    echo "degraded-run smoke: expected exit 4 (budget exhausted), got $DEGRADED_RC" >&2
+    exit 1
+  fi
+  if ! echo "$DEGRADED_OUT" | grep -q "outcome report for"; then
+    echo "degraded-run smoke: missing outcome report" >&2
+    exit 1
+  fi
 fi
 
 if [ "$SKIP_TSAN" -eq 0 ]; then
@@ -70,7 +94,8 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j --target support_test \
-    parallel_injectivity_test solver_context_test bank_reuse_test
+    parallel_injectivity_test solver_context_test bank_reuse_test \
+    fault_injection_test
   # tsan.supp silences the uninstrumented libz3's internal locking (false
   # positives); our own code is fully checked.
   export TSAN_OPTIONS="suppressions=$PWD/tsan.supp"
@@ -83,6 +108,8 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ./build-tsan/tests/solver_context_test
   echo "--- tsan: bank_reuse_test"
   ./build-tsan/tests/bank_reuse_test
+  echo "--- tsan: fault_injection_test"
+  ./build-tsan/tests/fault_injection_test
   unset TSAN_OPTIONS
 fi
 

@@ -557,7 +557,7 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
   // export terms, see SolverSessionPool.h); witnesses are built in the
   // shared session from the original guards, so the result is
   // byte-identical for every Jobs value.
-  SolverSessionPool LocalPool(S.timeoutMs());
+  SolverSessionPool LocalPool(S);
   SolverSessionPool &Pool = Opts.Sessions ? *Opts.Sessions : LocalPool;
 
   // Overlap verdicts are semantic, so a cache keyed on the original guard
@@ -571,6 +571,9 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
 
   std::vector<Config> Level{{X.Initial, X.Initial, false}};
   while (!Level.empty()) {
+    if (S.cancellation().cancelled())
+      return Status::cancelled(
+          "ambiguity product search: global deadline exhausted");
     size_t Threads =
         std::min<size_t>(std::max(1u, Opts.Jobs), Level.size());
     size_t NumChunks = std::min(Level.size(), Threads * 4);
@@ -699,8 +702,18 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
           break;
         if (Visited.count(Disc.NK))
           continue;
-        if (Disc.IsError)
-          return Disc.Err;
+        if (Disc.IsError) {
+          // A worker's overlap query failed (fault, flaky timeout). Retry
+          // it in the shared session — a fresh attempt with the full
+          // budget whose verdict is jobs-independent — and merge on the
+          // real answer; only a shared-session failure aborts the search.
+          Result<bool> Olap = Oracle.overlap(X.Steps[Disc.I1].Guard,
+                                             X.Steps[Disc.I2].Guard);
+          if (!Olap)
+            return Olap.status();
+          if (!*Olap)
+            continue;
+        }
         Visited.emplace(
             Disc.NK,
             Parent{Key(Level[Disc.Cfg].P, Level[Disc.Cfg].Q,

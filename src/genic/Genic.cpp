@@ -10,6 +10,10 @@
 #include "genic/ProgramPrinter.h"
 #include "support/Timer.h"
 
+#include <cassert>
+#include <exception>
+#include <sstream>
+
 using namespace genic;
 
 GenicTool::GenicTool(InverterOptions Options) : Options(Options) {}
@@ -20,6 +24,16 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
                                    bool ForceInjectivity, bool ForceInvert) {
   TermFactory &Factory = Ctx.factory();
   Solver &Slv = Ctx.solver();
+
+  // Install the run-wide control: a fresh deadline token (the budget is
+  // per run, not per tool) plus the fault plan. Every session the run
+  // creates — pooled checkers, per-rule forks — copies this control.
+  SolverControl Ctl;
+  if (BudgetSeconds > 0)
+    Ctl.Cancel = CancellationToken(Deadline::after(BudgetSeconds));
+  Ctl.Faults = Faults;
+  Slv.setControl(Ctl);
+
   Result<AstProgram> Ast = parseGenic(Source);
   if (!Ast)
     return Ast.status();
@@ -38,70 +52,261 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
   Report.Theory = P.Machine.inputType().str();
   Report.Machine = P.Machine;
 
+  Report.InjectivityRequested = P.WantsInjective || ForceInjectivity;
+  Report.InversionRequested = P.WantsInvert || ForceInvert;
+
   // One pool of warm worker sessions serves the determinism check and
   // every phase of the injectivity check. Sessions fork the shared factory
   // copy-on-write, so the program's terms are readable in every session
-  // without cloning (exports stay data-only, see SolverSessionPool.h).
-  SolverSessionPool Sessions(Factory, Slv.timeoutMs());
+  // without cloning (exports stay data-only, see SolverSessionPool.h);
+  // they also inherit this run's deadline and fault plan.
+  SolverSessionPool Sessions(Factory, Slv);
+
+  // Classifies a phase failure: budget and solver-error statuses degrade
+  // the run (the partial report is still emitted, later phases are
+  // skipped); anything else propagates as a plain error like before.
+  bool DegradedRun = false;
+  auto Degrade = [&Report, &DegradedRun](const Status &St,
+                                         GenicReport::PhaseOutcome &Slot,
+                                         const char *Phase) -> bool {
+    switch (St.code()) {
+    case StatusCode::Timeout:
+    case StatusCode::Cancelled:
+      Slot = GenicReport::PhaseOutcome::Timeout;
+      break;
+    case StatusCode::SolverError:
+      Slot = GenicReport::PhaseOutcome::SolverError;
+      break;
+    default:
+      return false;
+    }
+    if (!DegradedRun)
+      Report.DegradeDetail = std::string(Phase) + ": " + St.message();
+    DegradedRun = true;
+    return true;
+  };
 
   // GENIC requires programs to be deterministic (§3.3): the determinism
-  // check always runs.
+  // check always runs. The try/catch converts worker exceptions re-raised
+  // by ThreadPool::wait (e.g. an injected z3 fault in a parallel scan)
+  // into a classified status instead of tearing the process down.
   {
     Timer T;
-    DeterminismOptions DetOpts;
-    DetOpts.Jobs = Options.Jobs;
-    DetOpts.Sessions = &Sessions;
     Result<std::optional<DeterminismViolation>> Det =
-        checkDeterminism(P.Machine, Slv, DetOpts);
+        [&]() -> Result<std::optional<DeterminismViolation>> {
+      try {
+        DeterminismOptions DetOpts;
+        DetOpts.Jobs = Options.Jobs;
+        DetOpts.Sessions = &Sessions;
+        return checkDeterminism(P.Machine, Slv, DetOpts);
+      } catch (const std::exception &Ex) {
+        return Status::solverError(std::string("worker exception: ") +
+                                   Ex.what());
+      }
+    }();
     Report.DeterminismSeconds = T.seconds();
-    if (!Det)
-      return Det.status();
-    Report.Deterministic = !Det->has_value();
-    if (Det->has_value())
-      Report.DeterminismDetail =
-          "rules " + std::to_string((*Det)->TransitionA) + " and " +
-          std::to_string((*Det)->TransitionB) + " overlap on " +
-          toString((*Det)->Symbols) + ": " + (*Det)->Reason;
+    if (!Det) {
+      if (!Degrade(Det.status(), Report.DeterminismPhase,
+                   "determinism check"))
+        return Det.status();
+    } else {
+      Report.DeterminismPhase = GenicReport::PhaseOutcome::Ok;
+      Report.Deterministic = !Det->has_value();
+      if (Det->has_value())
+        Report.DeterminismDetail =
+            "rules " + std::to_string((*Det)->TransitionA) + " and " +
+            std::to_string((*Det)->TransitionB) + " overlap on " +
+            toString((*Det)->Symbols) + ": " + (*Det)->Reason;
+    }
   }
 
-  if (P.WantsInjective || ForceInjectivity) {
+  if (Report.InjectivityRequested && !DegradedRun) {
     Timer T;
-    InjectivityOptions InjOpts;
-    InjOpts.Jobs = Options.Jobs;
-    InjOpts.Sessions = &Sessions;
-    Result<InjectivityResult> Inj = checkInjectivity(P.Machine, Slv, InjOpts);
+    Result<InjectivityResult> Inj = [&]() -> Result<InjectivityResult> {
+      try {
+        InjectivityOptions InjOpts;
+        InjOpts.Jobs = Options.Jobs;
+        InjOpts.Sessions = &Sessions;
+        return checkInjectivity(P.Machine, Slv, InjOpts);
+      } catch (const std::exception &Ex) {
+        return Status::solverError(std::string("worker exception: ") +
+                                   Ex.what());
+      }
+    }();
     Report.InjectivitySeconds = T.seconds();
-    if (!Inj)
-      return Inj.status();
-    Report.Injectivity = *Inj;
+    if (!Inj) {
+      if (!Degrade(Inj.status(), Report.InjectivityPhase,
+                   "injectivity check"))
+        return Inj.status();
+    } else {
+      Report.InjectivityPhase = GenicReport::PhaseOutcome::Ok;
+      Report.Injectivity = *Inj;
+    }
   }
 
-  if (P.WantsInvert || ForceInvert) {
+  if (Report.InversionRequested && !DegradedRun) {
     Timer T;
     Inverter Inv(Slv, Options);
-    Result<InversionOutcome> Out = Inv.invert(P.Machine, P.AuxFuncs);
+    Result<InversionOutcome> Out = [&]() -> Result<InversionOutcome> {
+      try {
+        return Inv.invert(P.Machine, P.AuxFuncs);
+      } catch (const std::exception &Ex) {
+        return Status::solverError(std::string("worker exception: ") +
+                                   Ex.what());
+      }
+    }();
     Report.InversionSeconds = T.seconds();
-    if (!Out)
-      return Out.status();
-    Report.Inversion = *Out;
-    Report.InverseMachine = Out->Inverse;
-    Report.SygusCalls = Inv.engine().calls();
-    Report.WorkerStats = Inv.workerStats();
-    Report.EvalStats = Inv.engine().evalCache().stats();
-    Report.BankReuseHits = Inv.engine().bankStore().stats().ReuseHits;
-    Report.BankReuseMisses = Inv.engine().bankStore().stats().ReuseMisses;
+    if (!Out) {
+      if (!Degrade(Out.status(), Report.InversionPhase, "inversion"))
+        return Out.status();
+    } else {
+      Report.InversionPhase = GenicReport::PhaseOutcome::Ok;
+      Report.Inversion = *Out;
+      Report.InverseMachine = Out->Inverse;
+      Report.SygusCalls = Inv.engine().calls();
+      Report.WorkerStats = Inv.workerStats();
+      Report.EvalStats = Inv.engine().evalCache().stats();
+      Report.BankReuseHits = Inv.engine().bankStore().stats().ReuseHits;
+      Report.BankReuseMisses = Inv.engine().bankStore().stats().ReuseMisses;
 
-    // Emit the inverse as GENIC source (Figure 3). The synthesized inverse
-    // auxiliary functions print first, making the program read naturally.
-    PrintOptions PO;
-    for (const std::string &Name : P.StateNames)
-      PO.StateNames.push_back(Name + "_inv");
-    std::vector<const FuncDef *> Aux = Inv.synthesizedAux();
-    Report.InverseSource = printGenicProgram(Out->Inverse, Aux, PO);
-    Report.InverseSourceBytes = Report.InverseSource.size();
+      // Emit the inverse as GENIC source (Figure 3). The synthesized
+      // inverse auxiliary functions print first, making the program read
+      // naturally.
+      PrintOptions PO;
+      for (const std::string &Name : P.StateNames)
+        PO.StateNames.push_back(Name + "_inv");
+      std::vector<const FuncDef *> Aux = Inv.synthesizedAux();
+      Report.InverseSource = printGenicProgram(Out->Inverse, Aux, PO);
+      Report.InverseSourceBytes = Report.InverseSource.size();
+    }
   }
+
+  // Every error path above returns through here with all leases back in
+  // the pool: workers hold leases only inside their task bodies, and
+  // ThreadPool re-raises after the pool drains.
+  assert(Sessions.outstandingLeases() == 0 &&
+         "worker session leases must be RAII-returned on every path");
+
   Report.SolverStats = Slv.stats();
   Report.CheckerSessions = Sessions.sessions();
   Report.CheckerStats = Sessions.solverStats();
+
+  // Robustness accounting across all sessions of the run.
+  Solver::Stats Total = Report.SolverStats;
+  Total += Report.CheckerStats;
+  Total += Report.WorkerStats.Smt;
+  Report.RetriesAttempted = Total.Retries;
+  Report.QueriesTimedOut = Total.QueryTimeouts;
+  Report.QueriesCancelled = Total.QueriesCancelled;
+  Report.InjectedFaults = Total.InjectedFaults;
+  if (Report.Inversion)
+    Report.RulesDegraded = Report.Inversion->degradedRules();
+  Report.DeadlineExpired = Ctl.Cancel.active() && Ctl.Cancel.cancelled();
+  Report.DeadlineRemainingSeconds =
+      Ctl.Cancel.active() ? Ctl.Cancel.remainingSeconds() : -1;
   return Report;
+}
+
+std::string genic::formatOutcomeReport(const GenicReport &Report) {
+  std::ostringstream Out;
+  auto Phase = [&](const char *Name, GenicReport::PhaseOutcome O,
+                   const std::string &Verdict) {
+    Out << "  " << Name << ": ";
+    switch (O) {
+    case GenicReport::PhaseOutcome::NotRun:
+      Out << "not run";
+      break;
+    case GenicReport::PhaseOutcome::Ok:
+      Out << Verdict;
+      break;
+    case GenicReport::PhaseOutcome::Timeout:
+      Out << "timeout";
+      break;
+    case GenicReport::PhaseOutcome::SolverError:
+      Out << "solver error";
+      break;
+    }
+    Out << "\n";
+  };
+
+  Out << "outcome report for " << Report.EntryName << "\n";
+  Phase("determinism", Report.DeterminismPhase,
+        Report.Deterministic
+            ? "deterministic"
+            : "nondeterministic (" + Report.DeterminismDetail + ")");
+  if (Report.InjectivityRequested || Report.Injectivity) {
+    std::string Verdict = "-";
+    if (Report.Injectivity)
+      Verdict = Report.Injectivity->Injective
+                    ? "injective"
+                    : "not injective" +
+                          (Report.Injectivity->Detail.empty()
+                               ? std::string()
+                               : " (" + Report.Injectivity->Detail + ")");
+    Phase("injectivity", Report.InjectivityPhase, Verdict);
+  }
+  if (Report.InversionRequested || Report.Inversion) {
+    std::string Verdict = "-";
+    if (Report.Inversion) {
+      size_t Total = Report.Inversion->Records.size();
+      size_t Done = 0;
+      for (const RuleInversionRecord &R : Report.Inversion->Records)
+        Done += R.Inverted;
+      Verdict = std::to_string(Done) + "/" + std::to_string(Total) +
+                " rules inverted";
+    }
+    Phase("inversion", Report.InversionPhase, Verdict);
+    if (Report.Inversion)
+      for (const RuleInversionRecord &R : Report.Inversion->Records) {
+        Out << "    rule " << R.Rule << ": " << toString(R.Outcome);
+        if (R.Retries)
+          Out << " (retries " << R.Retries << ")";
+        if (!R.Error.empty())
+          Out << " — " << R.Error;
+        Out << "\n";
+      }
+  }
+  if (!Report.DegradeDetail.empty())
+    Out << "  degraded: " << Report.DegradeDetail << "\n";
+  if (Report.DeadlineExpired)
+    Out << "  global deadline exhausted\n";
+  return Out.str();
+}
+
+int genic::suggestedExitCode(const GenicReport &Report) {
+  using PO = GenicReport::PhaseOutcome;
+  bool SolverErr = Report.DeterminismPhase == PO::SolverError ||
+                   Report.InjectivityPhase == PO::SolverError ||
+                   Report.InversionPhase == PO::SolverError;
+  bool Budget = Report.DeadlineExpired ||
+                Report.DeterminismPhase == PO::Timeout ||
+                Report.InjectivityPhase == PO::Timeout ||
+                Report.InversionPhase == PO::Timeout;
+  bool Negative = false;
+  if (Report.DeterminismPhase == PO::Ok && !Report.Deterministic)
+    Negative = true;
+  if (Report.Injectivity && !Report.Injectivity->Injective)
+    Negative = true;
+  if (Report.Inversion)
+    for (const RuleInversionRecord &R : Report.Inversion->Records)
+      switch (R.Outcome) {
+      case RuleOutcome::Inverted:
+        break;
+      case RuleOutcome::NotInjective:
+        Negative = true;
+        break;
+      case RuleOutcome::Timeout:
+        Budget = true;
+        break;
+      case RuleOutcome::SolverError:
+        SolverErr = true;
+        break;
+      }
+  if (SolverErr)
+    return ExitInternalError;
+  if (Budget)
+    return ExitBudgetExhausted;
+  if (Negative)
+    return ExitNotInvertible;
+  return ExitOk;
 }

@@ -32,6 +32,12 @@ namespace genic {
 
 /// Everything measured for one program (one Table 1 row).
 struct GenicReport {
+  /// How far one pipeline phase got. NotRun covers both "not requested"
+  /// and "skipped after an earlier phase degraded"; Timeout covers the
+  /// global deadline and per-query budget exhaustion; SolverError covers
+  /// solver exceptions (including injected faults) surfacing past retry.
+  enum class PhaseOutcome { NotRun, Ok, Timeout, SolverError };
+
   // Program shape (Table 1's states/trans/auxFun/max-l/size columns).
   std::string EntryName;
   unsigned NumStates = 0;
@@ -45,12 +51,17 @@ struct GenicReport {
   bool Deterministic = false;
   double DeterminismSeconds = 0;
   std::string DeterminismDetail;
+  PhaseOutcome DeterminismPhase = PhaseOutcome::NotRun;
 
   // isInj column (present when the program asked for it).
   std::optional<InjectivityResult> Injectivity;
   double InjectivitySeconds = 0;
+  bool InjectivityRequested = false;
+  PhaseOutcome InjectivityPhase = PhaseOutcome::NotRun;
 
   // inversion columns (present when the program asked for it).
+  bool InversionRequested = false;
+  PhaseOutcome InversionPhase = PhaseOutcome::NotRun;
   std::optional<InversionOutcome> Inversion;
   double InversionSeconds = 0;
   std::string InverseSource;
@@ -72,6 +83,23 @@ struct GenicReport {
   /// workers' reuse counters live in WorkerStats.
   uint64_t BankReuseHits = 0;
   uint64_t BankReuseMisses = 0;
+
+  // Robustness accounting (printed under genic-cli --stats and by
+  // formatOutcomeReport). Counters aggregate the shared session, the
+  // pooled checker sessions, and the per-rule worker sessions.
+  uint64_t RetriesAttempted = 0; ///< escalated solver retries after Unknown
+  uint64_t QueriesTimedOut = 0;  ///< queries still Unknown after retry
+  uint64_t QueriesCancelled = 0; ///< queries refused: deadline exhausted
+  uint64_t InjectedFaults = 0;   ///< faults fired by --fault-inject
+  unsigned RulesDegraded = 0;    ///< rules with Timeout/SolverError outcome
+  /// Why the run degraded (empty for a clean run): the phase and status
+  /// message of the first budget/solver failure.
+  std::string DegradeDetail;
+  /// Whether the global deadline had expired by the end of the run.
+  bool DeadlineExpired = false;
+  /// Seconds left on the global deadline at exit; -1 when no deadline was
+  /// set.
+  double DeadlineRemainingSeconds = -1;
 
   // The machines, for round-trip testing by callers.
   std::optional<Seft> Machine;
@@ -98,10 +126,44 @@ public:
   TermFactory &factory() { return Ctx.factory(); }
   Solver &solver() { return Ctx.solver(); }
 
+  /// Installs a global wall-clock budget for the next run(); 0 (the
+  /// default) means no deadline. The deadline is propagated to every
+  /// session the run creates and derives per-query Z3 soft timeouts from
+  /// the remaining budget.
+  void setRunBudgetSeconds(double Seconds) { BudgetSeconds = Seconds; }
+
+  /// Installs a deterministic solver fault plan for the next run() (see
+  /// solver/FaultInjector.h). Default: no faults.
+  void setFaultPlan(const FaultPlan &Plan) { Faults = Plan; }
+
 private:
   SolverContext Ctx;
   InverterOptions Options;
+  double BudgetSeconds = 0;
+  FaultPlan Faults;
 };
+
+/// Process exit codes of the genic CLI, separating "the program is not
+/// invertible" from "the budget ran out" from "the solver failed".
+enum ExitCode {
+  ExitOk = 0,              ///< every requested phase succeeded
+  ExitError = 1,           ///< generic failure (parse/lowering/internal)
+  ExitUsage = 2,           ///< bad command line
+  ExitNotInvertible = 3,   ///< a phase completed with a negative verdict
+  ExitBudgetExhausted = 4, ///< the global or per-query budget ran out
+  ExitInternalError = 5,   ///< a solver error surfaced past retry
+};
+
+/// Renders the structured per-rule outcome report: phase outcomes, the
+/// per-rule Inverted/NotInjective/Timeout/SolverError classification with
+/// retry counts, and the degradation detail. Deliberately timing-free so
+/// the report is byte-identical across --jobs values under the same fault
+/// schedule (wall-clock lives in the --stats output instead).
+std::string formatOutcomeReport(const GenicReport &Report);
+
+/// The exit code a CLI should use for \p Report, most severe first:
+/// solver errors beat budget exhaustion beats negative verdicts beats ok.
+int suggestedExitCode(const GenicReport &Report);
 
 } // namespace genic
 

@@ -1,0 +1,95 @@
+//===- solver/FaultInjector.cpp - Fault-plan spec parsing -----------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/FaultInjector.h"
+
+#include <cctype>
+
+namespace genic {
+
+static bool parseU64(const std::string &S, size_t Begin, size_t End,
+                     uint64_t &Out) {
+  if (Begin >= End)
+    return false;
+  Out = 0;
+  for (size_t I = Begin; I != End; ++I) {
+    if (!std::isdigit(static_cast<unsigned char>(S[I])))
+      return false;
+    Out = Out * 10 + uint64_t(S[I] - '0');
+  }
+  return true;
+}
+
+Result<FaultPlan> parseFaultPlan(const std::string &Spec) {
+  auto Bad = [&](const char *Why) {
+    return Status::error("bad fault-inject spec '" + Spec + "': " + Why +
+                         " (expected kind@N[xC][:scope], e.g. unknown@5, "
+                         "throw@3x2:shared, unknown@1x0:workers)");
+  };
+
+  FaultPlan Plan;
+  size_t At = Spec.find('@');
+  if (At == std::string::npos)
+    return Bad("missing '@'");
+
+  std::string Kind = Spec.substr(0, At);
+  if (Kind == "unknown")
+    Plan.FaultKind = FaultPlan::Kind::Unknown;
+  else if (Kind == "throw")
+    Plan.FaultKind = FaultPlan::Kind::Throw;
+  else
+    return Bad("kind must be 'unknown' or 'throw'");
+
+  size_t End = Spec.size();
+  size_t Colon = Spec.find(':', At + 1);
+  if (Colon != std::string::npos) {
+    std::string Scope = Spec.substr(Colon + 1);
+    if (Scope == "all")
+      Plan.FaultScope = FaultPlan::Scope::All;
+    else if (Scope == "shared")
+      Plan.FaultScope = FaultPlan::Scope::Shared;
+    else if (Scope == "workers")
+      Plan.FaultScope = FaultPlan::Scope::Workers;
+    else
+      return Bad("scope must be 'all', 'shared', or 'workers'");
+    End = Colon;
+  }
+
+  size_t X = Spec.find('x', At + 1);
+  if (X != std::string::npos && X < End) {
+    if (!parseU64(Spec, X + 1, End, Plan.Count))
+      return Bad("count after 'x' must be a number");
+    End = X;
+  }
+
+  if (!parseU64(Spec, At + 1, End, Plan.AtQuery) || Plan.AtQuery == 0)
+    return Bad("query ordinal after '@' must be a positive number");
+
+  return Plan;
+}
+
+std::string describeFaultPlan(const FaultPlan &Plan) {
+  if (!Plan.enabled())
+    return "-";
+  std::string S =
+      Plan.FaultKind == FaultPlan::Kind::Throw ? "throw" : "unknown";
+  S += "@" + std::to_string(Plan.AtQuery);
+  if (Plan.Count != 1)
+    S += "x" + std::to_string(Plan.Count);
+  switch (Plan.FaultScope) {
+  case FaultPlan::Scope::All:
+    break;
+  case FaultPlan::Scope::Shared:
+    S += ":shared";
+    break;
+  case FaultPlan::Scope::Workers:
+    S += ":workers";
+    break;
+  }
+  return S;
+}
+
+} // namespace genic

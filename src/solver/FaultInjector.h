@@ -1,0 +1,95 @@
+//===- solver/FaultInjector.h - Deterministic solver fault injection ------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault plan for the solver bridge: fire a synthetic
+/// `Unknown` or a synthetic `z3::exception` at the Nth backend query of a
+/// Solver instance. Query ordinals are counted per Solver (shared session
+/// and every pooled/forked worker session count independently), so a plan is
+/// reproducible regardless of `--jobs`: the Nth query of any given session
+/// is the same query at every thread count. Plans are parsed from the
+/// `--fault-inject` CLI flag / `GENIC_FAULT_INJECT` environment variable and
+/// exist to make every retry and degradation path drivable from tests — the
+/// production default is the empty plan, which compiles to a single enum
+/// compare on the query path.
+///
+/// Spec grammar:  kind '@' at ['x' count] [':' scope]
+///   kind   := 'unknown' | 'throw'
+///   at     := 1-based ordinal of the first faulted query in each session
+///   count  := how many consecutive queries fault (default 1; 0 = all
+///             queries from `at` on). Count 1 lets the escalating retry
+///             mask the fault; count 0 drives the give-up paths.
+///   scope  := 'all' | 'shared' | 'workers' (default all) — whether the
+///             plan applies to the shared session, worker sessions
+///             (pool/fork), or both.
+/// Examples: "unknown@5", "throw@3x2:shared", "unknown@1x0:workers".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SOLVER_FAULTINJECTOR_H
+#define GENIC_SOLVER_FAULTINJECTOR_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+
+namespace genic {
+
+/// A deterministic schedule of synthetic solver faults. Value type; copied
+/// into every session a SolverControl propagates to.
+struct FaultPlan {
+  enum class Kind {
+    None,    // no faults (the production default)
+    Unknown, // the query reports Unknown, as a timeout would
+    Throw,   // the query raises a synthetic z3::exception
+  };
+  enum class Scope {
+    All,     // every session
+    Shared,  // only the shared (non-worker) session
+    Workers, // only pooled / forked worker sessions
+  };
+
+  Kind FaultKind = Kind::None;
+  Scope FaultScope = Scope::All;
+  /// 1-based ordinal (per Solver instance) of the first faulted query.
+  uint64_t AtQuery = 0;
+  /// Number of consecutive faulted queries; 0 means every query from
+  /// AtQuery on.
+  uint64_t Count = 1;
+
+  bool enabled() const { return FaultKind != Kind::None; }
+
+  /// Whether the plan applies to a session with the given worker-ness.
+  bool appliesTo(bool WorkerSession) const {
+    switch (FaultScope) {
+    case Scope::All:
+      return true;
+    case Scope::Shared:
+      return !WorkerSession;
+    case Scope::Workers:
+      return WorkerSession;
+    }
+    return true;
+  }
+
+  /// Whether the fault fires at the given 1-based query ordinal.
+  bool firesAt(uint64_t Ordinal) const {
+    if (!enabled() || Ordinal < AtQuery)
+      return false;
+    return Count == 0 || Ordinal < AtQuery + Count;
+  }
+};
+
+/// Parses the `--fault-inject` spec grammar documented above.
+Result<FaultPlan> parseFaultPlan(const std::string &Spec);
+
+/// Canonical round-trippable rendering of a plan ("-" for the empty plan).
+std::string describeFaultPlan(const FaultPlan &Plan);
+
+} // namespace genic
+
+#endif // GENIC_SOLVER_FAULTINJECTOR_H

@@ -34,6 +34,7 @@
 #include <z3++.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <unordered_map>
 
@@ -117,6 +118,16 @@ public:
   z3::context Ctx;
   Stats TheStats;
   unsigned TimeoutMs = 20000;
+  /// Robustness contract: cancellation token, fault plan, retry policy.
+  SolverControl Control;
+  /// 1-based ordinal of backend queries dispatched by this session; the
+  /// FaultPlan keys off it, so a fault schedule is a pure function of the
+  /// per-session query sequence (jobs-independent for any given session).
+  uint64_t QueryOrdinal = 0;
+  /// Why the most recent backend answer was Unknown; lets the Result
+  /// wrappers classify Unknown into Timeout / Cancelled / SolverError.
+  enum class UnknownCause { None, Timeout, Cancelled, Exception };
+  UnknownCause LastUnknown = UnknownCause::None;
   /// Memoized checkSat answers, keyed by hash-consed formula pointer. Sat
   /// and Unsat are stable facts about a formula; Unknown (timeout, Z3
   /// hiccup) is never cached so a retry gets a fresh chance. Bounded with
@@ -424,21 +435,104 @@ public:
 
   // -- Queries -----------------------------------------------------------------
 
-  z3::solver makeSolver() {
-    z3::solver S(Ctx);
-    if (TimeoutMs != 0) {
+  /// The soft timeout actually handed to Z3: the local per-query budget,
+  /// clamped to the remaining global deadline (an expired deadline yields
+  /// the 1ms floor rather than 0, since Z3 reads 0 as unlimited).
+  unsigned effectiveTimeoutMs(unsigned LocalMs) const {
+    return Control.Cancel.deadline().remainingMsClamped(LocalMs);
+  }
+
+  void applyTimeout(z3::solver &S, unsigned Ms) {
+    if (Ms != 0) {
       z3::params P(Ctx);
-      P.set("timeout", TimeoutMs);
+      P.set("timeout", Ms);
       S.set(P);
     }
+  }
+
+  z3::solver makeSolver() {
+    z3::solver S(Ctx);
+    applyTimeout(S, effectiveTimeoutMs(TimeoutMs));
     return S;
   }
 
-  SatResult checkExpr(const z3::expr &E) {
+  /// Dispatches one backend query: counts the per-session ordinal, fires
+  /// the fault plan if scheduled, and classifies an Unknown as a timeout.
+  z3::check_result rawCheck(z3::solver &S) {
+    uint64_t Ordinal = ++QueryOrdinal;
+    const FaultPlan &Faults = Control.Faults;
+    if (Faults.enabled() && Faults.appliesTo(Control.WorkerSession) &&
+        Faults.firesAt(Ordinal)) {
+      ++TheStats.InjectedFaults;
+      if (Faults.FaultKind == FaultPlan::Kind::Throw) {
+        LastUnknown = UnknownCause::Exception;
+        throw z3::exception("injected solver fault");
+      }
+      LastUnknown = UnknownCause::Timeout; // injected Unknown acts as one
+      return z3::unknown;
+    }
+    z3::check_result R = S.check();
+    if (R == z3::unknown)
+      LastUnknown = UnknownCause::Timeout;
+    return R;
+  }
+
+  /// The chokepoint every sat/model query funnels through: refuses work
+  /// once the cancellation token fires, dispatches via rawCheck, and on an
+  /// Unknown retries once with an escalated soft timeout on the same
+  /// solver state (still clamped to the remaining global budget) before
+  /// letting the Unknown surface.
+  z3::check_result check(z3::solver &S) {
+    LastUnknown = UnknownCause::None;
+    if (Control.Cancel.cancelled()) {
+      ++TheStats.QueriesCancelled;
+      LastUnknown = UnknownCause::Cancelled;
+      return z3::unknown;
+    }
     ++TheStats.SatQueries;
+    z3::check_result R = rawCheck(S);
+    if (R == z3::unknown && LastUnknown == UnknownCause::Timeout &&
+        Control.RetryUnknown && !Control.Cancel.cancelled()) {
+      ++TheStats.Retries;
+      ++TheStats.SatQueries;
+      unsigned Escalated = TimeoutMs == 0
+                               ? 0
+                               : saturatingMulMs(TimeoutMs,
+                                                 Control.RetryTimeoutFactor);
+      applyTimeout(S, effectiveTimeoutMs(Escalated));
+      R = rawCheck(S);
+      // Restore the base budget for later queries on this solver state
+      // (incremental loops keep checking after a masked hiccup).
+      applyTimeout(S, effectiveTimeoutMs(TimeoutMs));
+    }
+    if (R == z3::unknown && LastUnknown == UnknownCause::Timeout)
+      ++TheStats.QueryTimeouts;
+    return R;
+  }
+
+  static unsigned saturatingMulMs(unsigned Ms, unsigned Factor) {
+    uint64_t Wide = uint64_t(Ms) * std::max(1u, Factor);
+    return Wide > std::numeric_limits<unsigned>::max()
+               ? std::numeric_limits<unsigned>::max()
+               : unsigned(Wide);
+  }
+
+  /// Classifies the most recent Unknown into a coded Status.
+  Status unknownStatus(const std::string &What) const {
+    switch (LastUnknown) {
+    case UnknownCause::Cancelled:
+      return Status::cancelled(What + ": cancelled by global deadline");
+    case UnknownCause::Exception:
+      return Status::solverError(What + ": solver raised an exception");
+    default:
+      return Status::timeout(What + ": solver returned unknown");
+    }
+  }
+
+  SatResult checkExpr(const z3::expr &E) {
     z3::solver S = makeSolver();
     S.add(E);
-    switch (S.check()) {
+    switch (check(S)) {
     case z3::sat:
       return SatResult::Sat;
     case z3::unsat:
@@ -455,7 +549,7 @@ public:
     case SatResult::Unsat:
       return false;
     default:
-      return Status::error(std::string("solver returned unknown for ") + What);
+      return unknownStatus(std::string("solver query for ") + What);
     }
   }
 
@@ -635,12 +729,11 @@ public:
     std::vector<uint64_t> Values;
     unsigned Limit = Cap == 0 ? (1u << Width) + 1 : Cap;
     while (Values.size() < Limit) {
-      ++TheStats.SatQueries;
-      z3::check_result CR = S.check();
+      z3::check_result CR = check(S);
       if (CR == z3::unsat)
         break;
       if (CR != z3::sat)
-        return Status::error("image enumeration: solver returned unknown");
+        return unknownStatus("image enumeration");
       uint64_t V = 0;
       S.get_model().eval(Y, true).is_numeral_u64(V);
       Values.push_back(V);
@@ -764,14 +857,13 @@ public:
     while (Intervals.size() <= MaxIntervals) {
       // Find a member outside the hypothesis.
       z3::expr Q = Member && !InHypothesis(Y);
-      ++TheStats.SatQueries;
       z3::solver S = makeSolver();
       S.add(Q);
-      z3::check_result CR = S.check();
+      z3::check_result CR = check(S);
       if (CR == z3::unsat)
         break; // Hypothesis covers the image exactly.
       if (CR != z3::sat)
-        return Status::error("interval-learning: seed query unknown");
+        return unknownStatus("interval-learning seed query");
       uint64_t Seed = 0;
       S.get_model().eval(Y, true).is_numeral_u64(Seed);
 
@@ -887,7 +979,7 @@ public:
     z3::expr Query = Conj && negatedImage(P);
     SatResult R = checkExpr(Query);
     if (R == SatResult::Unknown)
-      return Status::error("Cartesian check: solver returned unknown");
+      return unknownStatus("Cartesian check");
     return R == SatResult::Unsat;
   }
 
@@ -931,6 +1023,20 @@ void Solver::setTimeoutMs(unsigned Milliseconds) {
 
 unsigned Solver::timeoutMs() const { return TheImpl->TimeoutMs; }
 
+void Solver::setControl(const SolverControl &Control) {
+  TheImpl->Control = Control;
+}
+
+const SolverControl &Solver::control() const { return TheImpl->Control; }
+
+const CancellationToken &Solver::cancellation() const {
+  return TheImpl->Control.Cancel;
+}
+
+Status Solver::unknownStatus(const std::string &What) const {
+  return TheImpl->unknownStatus(What);
+}
+
 SatResult Solver::checkSat(TermRef Formula) {
   // isValid and equivalentUnder funnel through here (as sat-of-negation),
   // so this one table memoizes all three entry points.
@@ -967,8 +1073,7 @@ Result<bool> Solver::isSat(TermRef Formula) {
   case SatResult::Unsat:
     return false;
   default:
-    return Status::error("isSat: solver returned unknown for " +
-                         printTerm(Formula));
+    return TheImpl->unknownStatus("isSat of " + printTerm(Formula));
   }
 }
 
@@ -987,14 +1092,13 @@ Solver::getModel(TermRef Formula, const std::vector<Type> &VarTypes) {
   if (const std::vector<Value> *Cached = TheImpl->ModelCache.find(Key))
     return *Cached;
   try {
-    ++TheImpl->TheStats.SatQueries;
     z3::solver S = TheImpl->makeSolver();
     S.add(TheImpl->translate(Formula));
-    z3::check_result R = S.check();
+    z3::check_result R = TheImpl->check(S);
     if (R == z3::unsat)
       return Status::error("getModel: formula is unsatisfiable");
     if (R != z3::sat)
-      return Status::error("getModel: solver returned unknown");
+      return TheImpl->unknownStatus("getModel");
     z3::model M = S.get_model();
     std::vector<Value> Values;
     Values.reserve(VarTypes.size());
@@ -1005,7 +1109,7 @@ Solver::getModel(TermRef Formula, const std::vector<Type> &VarTypes) {
     TheImpl->ModelCache.insert(Key, Values);
     return Values;
   } catch (const z3::exception &Ex) {
-    return Status::error(std::string("getModel: ") + Ex.msg());
+    return Status::solverError(std::string("getModel: ") + Ex.msg());
   }
 }
 
@@ -1020,7 +1124,7 @@ Result<TermRef> Solver::eliminateExists(TermRef Phi, unsigned NumEliminate) {
   try {
     return TheImpl->eliminateExists(Phi, NumEliminate);
   } catch (const z3::exception &Ex) {
-    return Status::error(std::string("eliminateExists: ") + Ex.msg());
+    return Status::solverError(std::string("eliminateExists: ") + Ex.msg());
   }
 }
 
@@ -1028,7 +1132,7 @@ Result<bool> Solver::imageIsSat(const ImagePredicate &P) {
   try {
     return TheImpl->isSatExpr(TheImpl->translate(P.Guard), "image guard");
   } catch (const z3::exception &Ex) {
-    return Status::error(std::string("imageIsSat: ") + Ex.msg());
+    return Status::solverError(std::string("imageIsSat: ") + Ex.msg());
   }
 }
 
@@ -1048,7 +1152,7 @@ Result<std::vector<Value>> Solver::imageModel(const ImagePredicate &P) {
       return All;
     return std::vector<Value>(All->begin() + P.NumInputs, All->end());
   } catch (const z3::exception &Ex) {
-    return Status::error(std::string("imageModel: ") + Ex.msg());
+    return Status::solverError(std::string("imageModel: ") + Ex.msg());
   }
 }
 
@@ -1057,7 +1161,7 @@ Result<TermRef> Solver::project(const ImagePredicate &P, unsigned I,
   try {
     return TheImpl->project(P, I, AllowHull);
   } catch (const z3::exception &Ex) {
-    return Status::error(std::string("project: ") + Ex.msg());
+    return Status::solverError(std::string("project: ") + Ex.msg());
   }
 }
 
@@ -1065,7 +1169,7 @@ Result<bool> Solver::isCartesian(const ImagePredicate &P) {
   try {
     return TheImpl->isCartesian(P);
   } catch (const z3::exception &Ex) {
-    return Status::error(std::string("isCartesian: ") + Ex.msg());
+    return Status::solverError(std::string("isCartesian: ") + Ex.msg());
   }
 }
 
@@ -1073,7 +1177,7 @@ Result<TermRef> Solver::imageToTerm(const ImagePredicate &P) {
   try {
     return TheImpl->imageToTerm(P);
   } catch (const z3::exception &Ex) {
-    return Status::error(std::string("imageToTerm: ") + Ex.msg());
+    return Status::solverError(std::string("imageToTerm: ") + Ex.msg());
   }
 }
 

@@ -21,7 +21,9 @@
 #ifndef GENIC_SOLVER_SOLVER_H
 #define GENIC_SOLVER_SOLVER_H
 
+#include "solver/FaultInjector.h"
 #include "solver/ImagePredicate.h"
+#include "support/Deadline.h"
 #include "support/Result.h"
 #include "term/TermFactory.h"
 
@@ -33,6 +35,27 @@ namespace genic {
 /// Outcome of a satisfiability query.
 enum class SatResult { Sat, Unsat, Unknown };
 
+/// The robustness contract a session operates under. Propagated by value
+/// when sessions fork (SolverContext copy/fork ctors, SolverSessionPool), so
+/// every worker session observes the same cancellation token and fault plan
+/// as the session it was derived from.
+struct SolverControl {
+  /// Global-budget token: once cancelled, every query is refused up front
+  /// (reported as Unknown with a Cancelled cause) without touching Z3.
+  CancellationToken Cancel;
+  /// Deterministic synthetic-fault schedule for tests; empty in production.
+  FaultPlan Faults;
+  /// Whether this session is a pooled/forked worker (drives FaultPlan
+  /// scoping). Set automatically by the fork/pool plumbing.
+  bool WorkerSession = false;
+  /// Escalating retry policy: a query that comes back Unknown from a
+  /// timeout is retried once with a larger soft timeout (still clamped to
+  /// the remaining global budget) before the Unknown is surfaced.
+  bool RetryUnknown = true;
+  /// Multiplier applied to the soft timeout on the retry.
+  unsigned RetryTimeoutFactor = 2;
+};
+
 /// A session with the underlying SMT solver. Not thread-safe.
 class Solver {
 public:
@@ -42,9 +65,22 @@ public:
   Solver(const Solver &) = delete;
   Solver &operator=(const Solver &) = delete;
 
-  /// Per-query timeout; 0 disables. Defaults to 20 seconds.
+  /// Per-query timeout; 0 disables. Defaults to 20 seconds. The effective
+  /// soft timeout handed to Z3 is additionally clamped to the remaining
+  /// global budget of the control token's deadline.
   void setTimeoutMs(unsigned Milliseconds);
   unsigned timeoutMs() const;
+
+  /// Installs the robustness contract (cancellation, fault plan, retry
+  /// policy) this session runs under. Defaults to an inert control: no
+  /// deadline, no faults, retry enabled.
+  void setControl(const SolverControl &Control);
+  const SolverControl &control() const;
+
+  /// The cancellation token of the installed control. Pipeline loops poll
+  /// this between work items for prompt, clean exits (queries themselves
+  /// are refused once the token is cancelled regardless).
+  const CancellationToken &cancellation() const;
 
   /// Caps the solver memo tables (checkSat default 1M entries; the model
   /// and projection memos follow at min(cap, 64K) since their values are
@@ -65,11 +101,18 @@ public:
   /// they reduce to checkSat of a negation.
   SatResult checkSat(TermRef Formula);
 
-  /// IsSat(phi) of §3.1; Unknown becomes an error.
+  /// IsSat(phi) of §3.1; Unknown becomes an error (classified as Timeout /
+  /// Cancelled / SolverError via unknownStatus).
   Result<bool> isSat(TermRef Formula);
 
   /// IsValid(phi) of §3.1; Unknown becomes an error.
   Result<bool> isValid(TermRef Formula);
+
+  /// Classifies the most recent Unknown answer into a Status whose code
+  /// distinguishes a query timeout from deadline cancellation from a
+  /// backend exception. \p What prefixes the message. Only meaningful
+  /// immediately after a checkSat that returned Unknown.
+  Status unknownStatus(const std::string &What) const;
 
   /// A model of \p Formula for Var(0..NumVars-1). Variables that do not
   /// occur in the formula get an arbitrary value of their type in
@@ -145,6 +188,35 @@ public:
     uint64_t ProjCacheHits = 0;
     uint64_t ProjCacheMisses = 0;
     uint64_t ProjCacheEvictions = 0;
+    /// Escalated re-checks issued by the retry-on-Unknown policy.
+    uint64_t Retries = 0;
+    /// Queries still Unknown (timed out) after the retry policy ran.
+    uint64_t QueryTimeouts = 0;
+    /// Queries refused up front because the cancellation token fired.
+    uint64_t QueriesCancelled = 0;
+    /// Synthetic faults fired by the installed FaultPlan.
+    uint64_t InjectedFaults = 0;
+
+    /// Field-wise sum, for aggregating worker-session stats.
+    Stats &operator+=(const Stats &O) {
+      SatQueries += O.SatQueries;
+      QeCalls += O.QeCalls;
+      QeFallbacks += O.QeFallbacks;
+      CacheHits += O.CacheHits;
+      CacheMisses += O.CacheMisses;
+      CacheEvictions += O.CacheEvictions;
+      ModelCacheHits += O.ModelCacheHits;
+      ModelCacheMisses += O.ModelCacheMisses;
+      ModelCacheEvictions += O.ModelCacheEvictions;
+      ProjCacheHits += O.ProjCacheHits;
+      ProjCacheMisses += O.ProjCacheMisses;
+      ProjCacheEvictions += O.ProjCacheEvictions;
+      Retries += O.Retries;
+      QueryTimeouts += O.QueryTimeouts;
+      QueriesCancelled += O.QueriesCancelled;
+      InjectedFaults += O.InjectedFaults;
+      return *this;
+    }
   };
   const Stats &stats() const;
 

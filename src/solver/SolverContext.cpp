@@ -19,7 +19,19 @@ SolverContext::SolverContext(const TermFactory &FrozenPrefix,
   Slv.setTimeoutMs(TimeoutMs);
 }
 
+SolverContext::SolverContext(const TermFactory &FrozenPrefix,
+                             const Solver &Inherit)
+    : F(FrozenPrefix), Slv(F), Import(F), Forked(true) {
+  Slv.setTimeoutMs(Inherit.timeoutMs());
+  SolverControl C = Inherit.control();
+  C.WorkerSession = true;
+  Slv.setControl(C);
+}
+
 SolverContext::SolverContext(const SolverContext &Parent)
     : F(Parent.F), Slv(F), Import(F), Forked(true) {
   Slv.setTimeoutMs(Parent.Slv.timeoutMs());
+  SolverControl C = Parent.Slv.control();
+  C.WorkerSession = true;
+  Slv.setControl(C);
 }

@@ -70,8 +70,14 @@ public:
   /// from another thread.
   SolverContext(const TermFactory &FrozenPrefix, unsigned TimeoutMs);
 
+  /// Worker fork sharing \p FrozenPrefix that also inherits \p Inherit's
+  /// timeout and robustness control (cancellation token, fault plan),
+  /// marked as a worker session for fault-plan scoping. The standard way
+  /// to spin up a fork under a session with a global deadline.
+  SolverContext(const TermFactory &FrozenPrefix, const Solver &Inherit);
+
   /// Fork of a parent context; shares its factory's interned prefix and
-  /// inherits its solver timeout.
+  /// inherits its solver timeout and robustness control.
   explicit SolverContext(const SolverContext &Parent);
 
   SolverContext &operator=(const SolverContext &) = delete;

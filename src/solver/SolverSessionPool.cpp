@@ -19,12 +19,18 @@ SolverSessionPool::Lease SolverSessionPool::lease() {
   ++TheStats.Created;
   All.push_back(Prefix ? std::make_unique<Session>(*Prefix, TimeoutMs)
                        : std::make_unique<Session>(TimeoutMs));
+  All.back()->Slv.setControl(Ctl);
   return Lease(this, All.back().get());
 }
 
 void SolverSessionPool::release(Session *S) {
   std::lock_guard<std::mutex> Lock(M);
   Free.push_back(S);
+}
+
+size_t SolverSessionPool::outstandingLeases() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return All.size() - Free.size();
 }
 
 SolverSessionPool::Stats SolverSessionPool::stats() const {
@@ -40,20 +46,7 @@ unsigned SolverSessionPool::sessions() const {
 Solver::Stats SolverSessionPool::solverStats() const {
   std::lock_guard<std::mutex> Lock(M);
   Solver::Stats Sum;
-  for (const auto &S : All) {
-    const Solver::Stats &W = S->Slv.stats();
-    Sum.SatQueries += W.SatQueries;
-    Sum.QeCalls += W.QeCalls;
-    Sum.QeFallbacks += W.QeFallbacks;
-    Sum.CacheHits += W.CacheHits;
-    Sum.CacheMisses += W.CacheMisses;
-    Sum.CacheEvictions += W.CacheEvictions;
-    Sum.ModelCacheHits += W.ModelCacheHits;
-    Sum.ModelCacheMisses += W.ModelCacheMisses;
-    Sum.ModelCacheEvictions += W.ModelCacheEvictions;
-    Sum.ProjCacheHits += W.ProjCacheHits;
-    Sum.ProjCacheMisses += W.ProjCacheMisses;
-    Sum.ProjCacheEvictions += W.ProjCacheEvictions;
-  }
+  for (const auto &S : All)
+    Sum += S->Slv.stats();
   return Sum;
 }

@@ -95,6 +95,14 @@ public:
   /// fresh root factory.
   explicit SolverSessionPool(unsigned TimeoutMs) : TimeoutMs(TimeoutMs) {}
 
+  /// Like above, but inherits both the timeout and the robustness control
+  /// (cancellation token, fault plan) of \p Like; pooled sessions are
+  /// marked as worker sessions for fault-plan scoping.
+  explicit SolverSessionPool(const Solver &Like)
+      : TimeoutMs(Like.timeoutMs()), Ctl(Like.control()) {
+    Ctl.WorkerSession = true;
+  }
+
   /// Fork mode: sessions are copy-on-write forks of \p FrozenPrefix, so
   /// every term the shared factory holds at session-creation time is
   /// importable for free. The prefix factory must outlive the pool and be
@@ -105,8 +113,20 @@ public:
   SolverSessionPool(const TermFactory &FrozenPrefix, unsigned TimeoutMs)
       : TimeoutMs(TimeoutMs), Prefix(&FrozenPrefix) {}
 
+  /// Fork mode inheriting \p Like's timeout and robustness control.
+  SolverSessionPool(const TermFactory &FrozenPrefix, const Solver &Like)
+      : TimeoutMs(Like.timeoutMs()), Prefix(&FrozenPrefix),
+        Ctl(Like.control()) {
+    Ctl.WorkerSession = true;
+  }
+
   /// Borrows a free session, creating one if none is available. Thread-safe.
   Lease lease();
+
+  /// Number of sessions currently leased out. Thread-safe; used by the
+  /// RAII-accounting assertions (must be 0 whenever a phase has joined all
+  /// its workers, on success and on every error path).
+  size_t outstandingLeases() const;
 
   struct Stats {
     uint64_t Created = 0; ///< sessions constructed
@@ -128,6 +148,8 @@ private:
 
   unsigned TimeoutMs;
   const TermFactory *Prefix = nullptr;
+  /// Control installed on every created session (worker-marked).
+  SolverControl Ctl;
   mutable std::mutex M;
   std::vector<std::unique_ptr<Session>> All;
   std::vector<Session *> Free;

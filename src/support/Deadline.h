@@ -1,0 +1,138 @@
+//===- support/Deadline.h - Global time budgets and cancellation ----------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline-wide robustness primitives: a Deadline (an absolute point on
+/// the steady clock, possibly "never") and a CancellationToken (a shared,
+/// copyable handle that reports cancelled once its deadline passes or
+/// cancel() is called on any copy). Tokens are threaded by value through
+/// solver sessions, pools, and worker forks; every copy observes the same
+/// state, so cancelling the root token stops in-flight `--jobs` workers at
+/// their next query boundary. A default-constructed token carries no state
+/// and never cancels, which keeps the common no-deadline path to a single
+/// null-pointer check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SUPPORT_DEADLINE_H
+#define GENIC_SUPPORT_DEADLINE_H
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace genic {
+
+/// An absolute wall-clock budget boundary. Value type; copying is cheap.
+class Deadline {
+public:
+  /// A deadline that never expires (the default).
+  Deadline() = default;
+  static Deadline never() { return Deadline(); }
+
+  /// A deadline \p Seconds from now. Non-positive budgets are already
+  /// expired.
+  static Deadline after(double Seconds) {
+    Deadline D;
+    D.Finite = true;
+    D.At = std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(std::max(0.0, Seconds)));
+    return D;
+  }
+
+  bool isFinite() const { return Finite; }
+
+  bool expired() const {
+    return Finite && std::chrono::steady_clock::now() >= At;
+  }
+
+  /// Seconds left before expiry; +inf for infinite deadlines, 0 once
+  /// expired.
+  double remainingSeconds() const {
+    if (!Finite)
+      return std::numeric_limits<double>::infinity();
+    std::chrono::duration<double> Left = At - std::chrono::steady_clock::now();
+    return std::max(0.0, Left.count());
+  }
+
+  /// The remaining budget as a soft-timeout value in milliseconds, clamped
+  /// into [1, CapMs]. CapMs of 0 means "no local cap": infinite deadlines
+  /// then return 0 ("no timeout"), finite ones just their remaining time.
+  /// The 1ms floor keeps an expired deadline from turning into "no
+  /// timeout" when handed to Z3 (which treats 0 as unlimited).
+  unsigned remainingMsClamped(unsigned CapMs) const {
+    if (!Finite)
+      return CapMs;
+    double Ms = remainingSeconds() * 1000.0;
+    unsigned Remaining =
+        Ms >= double(std::numeric_limits<unsigned>::max())
+            ? std::numeric_limits<unsigned>::max()
+            : std::max(1u, static_cast<unsigned>(Ms));
+    return CapMs == 0 ? Remaining : std::min(CapMs, Remaining);
+  }
+
+private:
+  bool Finite = false;
+  std::chrono::steady_clock::time_point At;
+};
+
+/// Shared cancellation handle. Copies alias the same state: any copy's
+/// cancel(), or the shared deadline expiring, makes every copy report
+/// cancelled. Thread-safe.
+class CancellationToken {
+public:
+  /// A token that never cancels. Carries no allocation.
+  CancellationToken() = default;
+  static CancellationToken none() { return CancellationToken(); }
+
+  /// A token that cancels when \p D expires (or cancel() is called).
+  explicit CancellationToken(Deadline D)
+      : Shared(std::make_shared<State>(D)) {}
+
+  /// True when cancel() was called on any copy or the deadline has passed.
+  bool cancelled() const {
+    if (!Shared)
+      return false;
+    if (Shared->Flag.load(std::memory_order_relaxed))
+      return true;
+    if (!Shared->Limit.expired())
+      return false;
+    // Latch deadline expiry so later calls skip the clock read.
+    Shared->Flag.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Requests cancellation across all copies. No-op on a stateless token.
+  void cancel() const {
+    if (Shared)
+      Shared->Flag.store(true, std::memory_order_relaxed);
+  }
+
+  /// The deadline this token watches; never() for stateless tokens.
+  Deadline deadline() const {
+    return Shared ? Shared->Limit : Deadline::never();
+  }
+
+  double remainingSeconds() const { return deadline().remainingSeconds(); }
+
+  /// True when this token can ever cancel (has shared state).
+  bool active() const { return Shared != nullptr; }
+
+private:
+  struct State {
+    explicit State(Deadline D) : Limit(D) {}
+    std::atomic<bool> Flag{false};
+    Deadline Limit;
+  };
+  std::shared_ptr<State> Shared;
+};
+
+} // namespace genic
+
+#endif // GENIC_SUPPORT_DEADLINE_H

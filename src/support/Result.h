@@ -24,6 +24,18 @@
 
 namespace genic {
 
+/// Failure classification. Most callers only branch on ok/failed; the
+/// robustness layer additionally distinguishes budget exhaustion (Timeout,
+/// Cancelled — the run can degrade gracefully and report a partial result)
+/// from backend faults (SolverError) and ordinary semantic errors (Error).
+enum class StatusCode {
+  Ok,
+  Error,       // ordinary failure (bad input, semantic negative, ...)
+  Timeout,     // a solver query stayed Unknown after the retry policy
+  Cancelled,   // the global deadline expired / the token was cancelled
+  SolverError, // the backend raised an exception
+};
+
 /// Outcome of an operation that can fail with a diagnostic message.
 class Status {
 public:
@@ -32,22 +44,49 @@ public:
 
   /// Creates a failure status with \p Message.
   static Status error(std::string Message) {
-    Status S;
-    S.Failed = true;
-    S.Message = std::move(Message);
-    return S;
+    return make(StatusCode::Error, std::move(Message));
+  }
+
+  /// A query exhausted its time budget (still Unknown after retry).
+  static Status timeout(std::string Message) {
+    return make(StatusCode::Timeout, std::move(Message));
+  }
+
+  /// The global deadline expired or the run was cancelled.
+  static Status cancelled(std::string Message) {
+    return make(StatusCode::Cancelled, std::move(Message));
+  }
+
+  /// The solver backend raised an exception.
+  static Status solverError(std::string Message) {
+    return make(StatusCode::SolverError, std::move(Message));
   }
 
   static Status ok() { return Status(); }
 
-  bool isOk() const { return !Failed; }
+  bool isOk() const { return Code == StatusCode::Ok; }
   explicit operator bool() const { return isOk(); }
+
+  StatusCode code() const { return Code; }
+
+  /// True for the codes that mean "ran out of budget" rather than "wrong":
+  /// the pipeline degrades on these instead of failing hard.
+  bool isBudget() const {
+    return Code == StatusCode::Timeout || Code == StatusCode::Cancelled;
+  }
 
   /// Diagnostic message; empty for success statuses.
   const std::string &message() const { return Message; }
 
 private:
-  bool Failed = false;
+  static Status make(StatusCode C, std::string Message) {
+    Status S;
+    S.Code = C;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  StatusCode Code = StatusCode::Ok;
   std::string Message;
 };
 

@@ -16,6 +16,12 @@
 /// useful both for debugging and for keeping `--jobs 1` free of pool
 /// overhead.
 ///
+/// A task that throws never escapes a worker thread (which would be
+/// std::terminate): the first exception is captured and rethrown serially
+/// from wait(), in both pooled and inline mode. Later exceptions from the
+/// same batch are dropped; remaining queued tasks still run so the batch
+/// accounting stays balanced.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENIC_SUPPORT_THREADPOOL_H
@@ -24,6 +30,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -60,10 +67,12 @@ public:
 
   size_t threadCount() const { return Workers.size(); }
 
-  /// Enqueues \p Task. Inline pools execute it before returning.
+  /// Enqueues \p Task. Inline pools execute it before returning; an inline
+  /// task that throws is captured just like a pooled one and rethrown from
+  /// the next wait().
   void submit(std::function<void()> Task) {
     if (Workers.empty()) {
-      Task();
+      runGuarded(Task);
       return;
     }
     {
@@ -74,16 +83,32 @@ public:
     WakeWorkers.notify_one();
   }
 
-  /// Blocks until every submitted task has finished. The pool is reusable
-  /// after wait() returns.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task in the batch threw (if one did). The pool is
+  /// reusable after wait() returns, including after a rethrow.
   void wait() {
-    if (Workers.empty())
-      return;
-    std::unique_lock<std::mutex> Lock(M);
-    AllDone.wait(Lock, [this] { return Unfinished == 0; });
+    std::exception_ptr First;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      AllDone.wait(Lock, [this] { return Unfinished == 0; });
+      std::swap(First, FirstError);
+    }
+    if (First)
+      std::rethrow_exception(First);
   }
 
 private:
+  /// Runs \p Task, capturing the first escaping exception for wait().
+  void runGuarded(std::function<void()> &Task) {
+    try {
+      Task();
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(M);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+  }
+
   void workerLoop() {
     for (;;) {
       std::function<void()> Task;
@@ -95,7 +120,7 @@ private:
         Task = std::move(Queue.front());
         Queue.pop_front();
       }
-      Task();
+      runGuarded(Task);
       {
         std::lock_guard<std::mutex> Lock(M);
         if (--Unfinished == 0)
@@ -111,6 +136,7 @@ private:
   std::condition_variable AllDone;
   size_t Unfinished = 0;
   bool Stopping = false;
+  std::exception_ptr FirstError;
 };
 
 } // namespace genic

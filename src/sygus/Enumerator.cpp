@@ -305,8 +305,10 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
   for (unsigned Size = std::max(2u, Work.CompletedThrough + 1);
        Size <= Cfg.MaxSize; ++Size) {
     LastStats.SizeReached = Size;
-    if (Clock.seconds() > Cfg.TimeoutSeconds || TotalKept > Cfg.MaxTerms) {
-      LastStats.TimedOut = Clock.seconds() > Cfg.TimeoutSeconds;
+    if (Clock.seconds() > Cfg.TimeoutSeconds || TotalKept > Cfg.MaxTerms ||
+        Cfg.Cancel.cancelled()) {
+      LastStats.TimedOut =
+          Clock.seconds() > Cfg.TimeoutSeconds || Cfg.Cancel.cancelled();
       break;
     }
 
@@ -365,7 +367,7 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
             }
           }
           if (Clock.seconds() > Cfg.TimeoutSeconds ||
-              TotalKept > Cfg.MaxTerms)
+              TotalKept > Cfg.MaxTerms || Cfg.Cancel.cancelled())
             break;
         }
       }
@@ -457,7 +459,7 @@ Enumerator::findMatching(const std::vector<Value> &Target) {
     // (both clocks are monotone, so still being within budget here means
     // no inner break fired during this size).
     if (!Found && Clock.seconds() <= Cfg.TimeoutSeconds &&
-        TotalKept <= Cfg.MaxTerms)
+        TotalKept <= Cfg.MaxTerms && !Cfg.Cancel.cancelled())
       Work.CompletedThrough = Size;
 
     if (Found)

@@ -20,6 +20,7 @@
 
 #include "sygus/EnumeratorBank.h"
 #include "sygus/Grammar.h"
+#include "support/Deadline.h"
 #include "term/Value.h"
 
 #include <optional>
@@ -57,6 +58,10 @@ public:
     /// (grammar, examples) pair, resumes enumeration past the completed
     /// sizes, and commits the banks back with partial sizes rolled back.
     EnumeratorBankStore *BankStore = nullptr;
+    /// Global cancellation: enumeration stops at the same points the
+    /// wall-clock budget is checked once the token fires (reported as
+    /// TimedOut). Default token never cancels.
+    CancellationToken Cancel;
   };
 
   /// \p Examples are environments for the grammar's variables: Examples[e]

@@ -102,19 +102,7 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
 
   auto AccumulateWorker = [this](Solver &WorkerSolver,
                                  SygusEngine &WorkerEngine) {
-    const Solver::Stats &WS = WorkerSolver.stats();
-    LastWorkerStats.Smt.SatQueries += WS.SatQueries;
-    LastWorkerStats.Smt.QeCalls += WS.QeCalls;
-    LastWorkerStats.Smt.QeFallbacks += WS.QeFallbacks;
-    LastWorkerStats.Smt.CacheHits += WS.CacheHits;
-    LastWorkerStats.Smt.CacheMisses += WS.CacheMisses;
-    LastWorkerStats.Smt.CacheEvictions += WS.CacheEvictions;
-    LastWorkerStats.Smt.ModelCacheHits += WS.ModelCacheHits;
-    LastWorkerStats.Smt.ModelCacheMisses += WS.ModelCacheMisses;
-    LastWorkerStats.Smt.ModelCacheEvictions += WS.ModelCacheEvictions;
-    LastWorkerStats.Smt.ProjCacheHits += WS.ProjCacheHits;
-    LastWorkerStats.Smt.ProjCacheMisses += WS.ProjCacheMisses;
-    LastWorkerStats.Smt.ProjCacheEvictions += WS.ProjCacheEvictions;
+    LastWorkerStats.Smt += WorkerSolver.stats();
     const CompiledEvalCache::Stats &ES = WorkerEngine.evalCache().stats();
     LastWorkerStats.Eval.Lookups += ES.Lookups;
     LastWorkerStats.Eval.Compiles += ES.Compiles;
@@ -138,7 +126,7 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
       if (Fn->arity() != 1 || F.lookupFunc("inv_" + Fn->Name))
         continue;
       AuxTask Task;
-      Task.Ctx = std::make_unique<SolverContext>(F, S.timeoutMs());
+      Task.Ctx = std::make_unique<SolverContext>(F, S);
       Task.Engine =
           std::make_unique<SygusEngine>(Task.Ctx->solver(), Opts.Engine);
       Task.Fn = Fn;
@@ -178,7 +166,7 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
   const auto &Ts = A.transitions();
   std::vector<RuleTask> Tasks(Ts.size());
   for (RuleTask &Task : Tasks) {
-    Task.Ctx = std::make_unique<SolverContext>(F, S.timeoutMs());
+    Task.Ctx = std::make_unique<SolverContext>(F, S);
     Task.Engine =
         std::make_unique<SygusEngine>(Task.Ctx->solver(), Opts.Engine);
   }

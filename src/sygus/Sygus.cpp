@@ -134,8 +134,11 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
     std::vector<Type> Types(P.NumInputs, Spec.Target->type());
     Result<std::vector<Value>> M = S.getModel(P.Guard, Types);
     if (!M)
-      return Finish(Status::error("empty-output rule with unsatisfiable or "
-                                  "undecided guard"));
+      return Finish(M.status().code() != StatusCode::Error
+                        ? M.status() // keep the budget/fault classification
+                        : Status::error(
+                              "empty-output rule with unsatisfiable or "
+                              "undecided guard"));
     std::optional<Value> T = EvalCache.eval(Spec.Target, *M);
     if (!T)
       return Finish(Status::error("target undefined on the guard model"));
@@ -179,9 +182,13 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
   EC.TimeoutSeconds = Opts.EnumTimeoutSeconds;
   EC.EvalCache = &EvalCache;
   EC.BankStore = Opts.ReuseBanks ? &BankStore : nullptr;
+  EC.Cancel = S.cancellation();
 
   TermRef LastSliceGuess = nullptr;
   for (unsigned Iter = 0; Iter < Opts.MaxCegisIterations; ++Iter) {
+    if (S.cancellation().cancelled())
+      return Finish(
+          Status::cancelled("synthesis: global deadline exhausted"));
     ++Record.CegisIterations;
     std::optional<TermRef> Candidate;
     // A quick shallow enumeration first: when a tiny recovery exists
@@ -192,6 +199,7 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
       Small.TimeoutSeconds = 2;
       Small.EvalCache = &EvalCache;
       Small.BankStore = EC.BankStore;
+      Small.Cancel = EC.Cancel;
       Enumerator SmallEnum(F, G, Ys, Small);
       Candidate = SmallEnum.findMatching(Targets);
     }
@@ -251,12 +259,17 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
     if (!Candidate) {
       Enumerator Enum(F, G, Ys, EC);
       Candidate = Enum.findMatching(Targets);
-      if (!Candidate)
+      if (!Candidate) {
+        if (S.cancellation().cancelled())
+          return Finish(Status::cancelled(
+              "enumeration cancelled: global deadline exhausted"));
+        if (Enum.stats().TimedOut)
+          return Finish(Status::timeout(
+              "enumeration timed out (candidate function too large)"));
         return Finish(Status::error(
-            Enum.stats().TimedOut
-                ? "enumeration timed out (candidate function too large)"
-                : "no candidate within the size budget (max size " +
-                      std::to_string(EC.MaxSize) + ")"));
+            "no candidate within the size budget (max size " +
+            std::to_string(EC.MaxSize) + ")"));
+      }
     }
 
     // Verify: sat( phi(x) /\ not (domains(g(f(x))) /\ g(f(x)) = t(x)) )?
@@ -269,7 +282,7 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
     if (Sat == SatResult::Unsat)
       return Finish(*Candidate);
     if (Sat == SatResult::Unknown)
-      return Finish(Status::error("verification query returned unknown"));
+      return Finish(S.unknownStatus("verification query"));
 
     // Counterexample-guided refinement.
     std::vector<Type> Types(P.NumInputs, Spec.Target->type());

@@ -155,8 +155,10 @@ genic::checkDeterminism(const Seft &A, Solver &S,
         PairList.push_back({I, J});
   if (PairList.empty())
     return std::optional<DeterminismViolation>(std::nullopt);
+  if (S.cancellation().cancelled())
+    return Status::cancelled("determinism check: global deadline exhausted");
 
-  SolverSessionPool LocalPool(S.timeoutMs());
+  SolverSessionPool LocalPool(S);
   SolverSessionPool &Pool = Opts.Sessions ? *Opts.Sessions : LocalPool;
 
   // Workers scan disjoint chunks of the lexicographic pair list against

@@ -108,8 +108,11 @@ genic::checkTransitionInjectivity(const Seft &A, Solver &S,
       Rules.push_back(Index);
   if (Rules.empty())
     return std::optional<TransitionInjectivityViolation>(std::nullopt);
+  if (S.cancellation().cancelled())
+    return Status::cancelled(
+        "transition-injectivity check: global deadline exhausted");
 
-  SolverSessionPool LocalPool(S.timeoutMs());
+  SolverSessionPool LocalPool(S);
   SolverSessionPool &Pool = Opts.Sessions ? *Opts.Sessions : LocalPool;
 
   // Verdict-only scan in pooled sessions; the first rule with an event
@@ -205,8 +208,7 @@ Result<CartesianSefa> genic::buildOutputAutomaton(
     const SeftTransition &T = Ts[Index];
     for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J) {
       ProjTask Task;
-      Task.Ctx =
-          std::make_unique<SolverContext>(S.factory(), S.timeoutMs());
+      Task.Ctx = std::make_unique<SolverContext>(S.factory(), S);
       Task.P.Guard = T.Guard;
       Task.P.Outputs.assign(T.Outputs.begin(), T.Outputs.end());
       Task.P.NumInputs = T.Lookahead;
@@ -250,9 +252,19 @@ Result<CartesianSefa> genic::buildOutputAutomaton(
       // Sigma_2 Cartesian query is thereby avoided on the happy path.
       for (unsigned J = 0, K = T.Outputs.size(); J != K; ++J) {
         ProjTask &Task = Tasks[TaskIdx++];
-        if (!Task.Psi)
-          return Task.Psi.status();
-        NT.Guards.push_back(Back.clone(*Task.Psi));
+        if (Task.Psi) {
+          NT.Guards.push_back(Back.clone(*Task.Psi));
+          continue;
+        }
+        // The fork's projection failed (worker-scoped fault, flaky
+        // timeout). Retry once in the shared session — a fresh attempt
+        // with the full budget whose query history is jobs-independent —
+        // so a transient worker failure doesn't abort the phase and the
+        // outcome stays identical across --jobs values.
+        Result<TermRef> Again = S.project(Task.P, Task.J, Hull);
+        if (!Again)
+          return Again.status();
+        NT.Guards.push_back(*Again);
       }
     } else {
       // Empty output: an epsilon transition guarded by the satisfiability
@@ -398,7 +410,7 @@ genic::checkInjectivity(const Seft &A, Solver &S,
   InjectivityOptions Eff = Opts;
   std::optional<SolverSessionPool> LocalPool;
   if (!Eff.Sessions) {
-    LocalPool.emplace(S.factory(), S.timeoutMs());
+    LocalPool.emplace(S.factory(), S);
     Eff.Sessions = &*LocalPool;
   }
   std::optional<GuardOverlapCache> LocalOverlaps;
@@ -444,6 +456,9 @@ genic::checkInjectivity(const Seft &A, Solver &S,
   // projections, then — only if a witness fails to validate — with exact
   // interval-learned projections.
   for (bool AllowHull : {true, false}) {
+    if (S.cancellation().cancelled())
+      return Status::cancelled(
+          "injectivity CEGAR loop: global deadline exhausted");
     Result<CartesianSefa> AO = buildOutputAutomaton(A, S, AllowHull, Eff);
     if (!AO)
       return AO.status();

@@ -12,11 +12,46 @@
 
 using namespace genic;
 
+const char *genic::toString(RuleOutcome O) {
+  switch (O) {
+  case RuleOutcome::Inverted:
+    return "Inverted";
+  case RuleOutcome::NotInjective:
+    return "NotInjective";
+  case RuleOutcome::Timeout:
+    return "Timeout";
+  case RuleOutcome::SolverError:
+    return "SolverError";
+  }
+  return "Unknown";
+}
+
+RuleOutcome genic::outcomeForStatus(const Status &St) {
+  switch (St.code()) {
+  case StatusCode::Timeout:
+  case StatusCode::Cancelled:
+    return RuleOutcome::Timeout;
+  case StatusCode::SolverError:
+    return RuleOutcome::SolverError;
+  default:
+    return RuleOutcome::NotInjective;
+  }
+}
+
 bool InversionOutcome::complete() const {
   for (const RuleInversionRecord &R : Records)
     if (!R.Inverted)
       return false;
   return true;
+}
+
+unsigned InversionOutcome::degradedRules() const {
+  unsigned N = 0;
+  for (const RuleInversionRecord &R : Records)
+    if (R.Outcome == RuleOutcome::Timeout ||
+        R.Outcome == RuleOutcome::SolverError)
+      ++N;
+  return N;
 }
 
 double InversionOutcome::totalSeconds() const {
@@ -77,6 +112,11 @@ RuleInversionResult genic::invertOneRule(const SeftTransition &T,
   RuleInversionResult R;
   RuleInversionRecord &Record = R.Record;
   Record.Rule = Index;
+  const uint64_t RetriesBefore = S.stats().Retries;
+  auto NoteRetries = [&] {
+    Record.Retries =
+        static_cast<unsigned>(S.stats().Retries - RetriesBefore);
+  };
 
   ImagePredicate P{T.Guard, T.Outputs, T.Lookahead};
 
@@ -84,12 +124,16 @@ RuleInversionResult genic::invertOneRule(const SeftTransition &T,
   Result<bool> Fires = S.isSat(T.Guard);
   if (!Fires) {
     Record.Seconds = RuleTimer.seconds();
+    Record.Outcome = outcomeForStatus(Fires.status());
     Record.Error = "guard satisfiability: " + Fires.status().message();
+    NoteRetries();
     return R;
   }
   if (!*Fires) {
     Record.Seconds = RuleTimer.seconds();
     Record.Inverted = true;
+    Record.Outcome = RuleOutcome::Inverted;
+    NoteRetries();
     return R;
   }
 
@@ -102,6 +146,7 @@ RuleInversionResult genic::invertOneRule(const SeftTransition &T,
   for (unsigned I = 0; I < T.Lookahead; ++I) {
     Result<TermRef> G = Synthesize(P, I, InputType);
     if (!G) {
+      Record.Outcome = outcomeForStatus(G.status());
       Record.Error = "output " + std::to_string(I) + ": " +
                      G.status().message();
       Ok = false;
@@ -136,13 +181,16 @@ RuleInversionResult genic::invertOneRule(const SeftTransition &T,
   }
   Record.Seconds = RuleTimer.seconds();
   Record.Inverted = Ok;
+  NoteRetries();
   if (Ok) {
+    Record.Outcome = RuleOutcome::Inverted;
     // A rule with empty output inverts to a lookahead-0 rule, which is
     // only well-formed as a finalizer; for non-finalizers the rule is
     // dropped with an explanatory record (such rules make the transducer
     // non-injective anyway unless their guard pins a unique tuple).
     if (Inv.Lookahead == 0 && Inv.To != Seft::FinalState && T.Lookahead > 0) {
       Record.Inverted = false;
+      Record.Outcome = RuleOutcome::NotInjective;
       Record.Error = "rule consumes input but writes nothing; its inverse "
                      "is not expressible as an s-EFT rule";
       return R;

@@ -46,11 +46,27 @@ using RecoverySynthesizer =
     std::function<Result<TermRef>(const ImagePredicate &P, unsigned XIndex,
                                   Type InputType)>;
 
+/// How the inversion of one rule ended. Timeout and SolverError are
+/// degradations (the rule might well be invertible with more budget or a
+/// healthy solver); NotInjective is a genuine negative — the rule has no
+/// s-EFT inverse.
+enum class RuleOutcome { Inverted, NotInjective, Timeout, SolverError };
+
+const char *toString(RuleOutcome O);
+
+/// Maps a per-rule failure status to its outcome class: budget statuses
+/// (Timeout/Cancelled) degrade to Timeout, SolverError stays SolverError,
+/// and everything else is a genuine NotInjective verdict.
+RuleOutcome outcomeForStatus(const Status &St);
+
 /// Timing and outcome per rule, feeding Table 1 and Figure 4.
 struct RuleInversionRecord {
   unsigned Rule = 0;
   double Seconds = 0;
   bool Inverted = false;
+  RuleOutcome Outcome = RuleOutcome::NotInjective;
+  /// Escalated solver retries spent on this rule (stats delta).
+  unsigned Retries = 0;
   std::string Error;
 };
 
@@ -63,6 +79,9 @@ struct InversionOutcome {
 
   /// Whether every rule was inverted.
   bool complete() const;
+  /// Rules whose failure was a degradation (Timeout/SolverError), not a
+  /// genuine non-injectivity verdict.
+  unsigned degradedRules() const;
   /// Total and maximum per-rule times (Table 1's "total" and "max-tr").
   double totalSeconds() const;
   double maxRuleSeconds() const;

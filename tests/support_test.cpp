@@ -4,12 +4,19 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Deadline.h"
 #include "support/Result.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
 
 using namespace genic;
 
@@ -76,6 +83,109 @@ TEST(TableTest, AlignsColumns) {
   // Each data line pads interior columns to the widest cell.
   EXPECT_NE(Out.find("cccc  d"), std::string::npos);
   EXPECT_NE(Out.find("a     bb"), std::string::npos);
+}
+
+TEST(ResultTest, StatusCodes) {
+  EXPECT_EQ(Status::ok().code(), StatusCode::Ok);
+  EXPECT_EQ(Status::error("e").code(), StatusCode::Error);
+  EXPECT_EQ(Status::timeout("t").code(), StatusCode::Timeout);
+  EXPECT_EQ(Status::cancelled("c").code(), StatusCode::Cancelled);
+  EXPECT_EQ(Status::solverError("s").code(), StatusCode::SolverError);
+  EXPECT_TRUE(Status::timeout("t").isBudget());
+  EXPECT_TRUE(Status::cancelled("c").isBudget());
+  EXPECT_FALSE(Status::error("e").isBudget());
+  EXPECT_FALSE(Status::solverError("s").isBudget());
+  EXPECT_FALSE(Status::timeout("t").isOk());
+  EXPECT_EQ(Status::timeout("t").message(), "t");
+}
+
+TEST(DeadlineTest, NeverAndAfter) {
+  Deadline Never = Deadline::never();
+  EXPECT_FALSE(Never.isFinite());
+  EXPECT_FALSE(Never.expired());
+  EXPECT_TRUE(std::isinf(Never.remainingSeconds()));
+  EXPECT_EQ(Never.remainingMsClamped(500), 500u);
+  EXPECT_EQ(Never.remainingMsClamped(0), 0u);
+
+  Deadline Past = Deadline::after(-1.0);
+  EXPECT_TRUE(Past.isFinite());
+  EXPECT_TRUE(Past.expired());
+  EXPECT_EQ(Past.remainingSeconds(), 0.0);
+  // The 1ms floor keeps an expired deadline from reading as "no timeout".
+  EXPECT_EQ(Past.remainingMsClamped(500), 1u);
+
+  Deadline Soon = Deadline::after(60.0);
+  EXPECT_FALSE(Soon.expired());
+  EXPECT_GT(Soon.remainingSeconds(), 1.0);
+  EXPECT_EQ(Soon.remainingMsClamped(500), 500u);
+  unsigned Uncapped = Soon.remainingMsClamped(0);
+  EXPECT_GT(Uncapped, 1000u);
+  EXPECT_LE(Uncapped, 60000u);
+}
+
+TEST(CancellationTokenTest, DefaultNeverCancels) {
+  CancellationToken T;
+  EXPECT_FALSE(T.active());
+  EXPECT_FALSE(T.cancelled());
+  T.cancel(); // no-op on a stateless token
+  EXPECT_FALSE(T.cancelled());
+  EXPECT_FALSE(T.deadline().isFinite());
+}
+
+TEST(CancellationTokenTest, CopiesShareCancellation) {
+  CancellationToken A{Deadline::after(3600)};
+  CancellationToken B = A;
+  EXPECT_TRUE(A.active());
+  EXPECT_FALSE(A.cancelled());
+  B.cancel();
+  EXPECT_TRUE(A.cancelled());
+  EXPECT_TRUE(B.cancelled());
+}
+
+TEST(CancellationTokenTest, DeadlineExpiryCancels) {
+  CancellationToken T{Deadline::after(0)};
+  EXPECT_TRUE(T.cancelled());
+  EXPECT_EQ(T.remainingSeconds(), 0.0);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionRethrownAtWait) {
+  ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 16; ++I)
+    Pool.submit([I, &Ran] {
+      if (I == 7)
+        throw std::runtime_error("task 7 failed");
+      ++Ran;
+    });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_EQ(Ran.load(), 15);
+  // The pool stays usable after a rethrow: the error slot is cleared.
+  Pool.submit([&Ran] { ++Ran; });
+  EXPECT_NO_THROW(Pool.wait());
+  EXPECT_EQ(Ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, InlineExceptionRethrownAtWait) {
+  // Single-thread pools run tasks inline on submit; the exception must
+  // still surface at wait(), not at submit().
+  ThreadPool Pool(1);
+  EXPECT_NO_THROW(Pool.submit([] { throw std::logic_error("inline"); }));
+  EXPECT_THROW(Pool.wait(), std::logic_error);
+  EXPECT_NO_THROW(Pool.wait());
+}
+
+TEST(ThreadPoolTest, FirstExceptionWins) {
+  ThreadPool Pool(1);
+  Pool.submit([] { throw std::runtime_error("first"); });
+  Pool.submit([] { throw std::logic_error("second"); });
+  try {
+    Pool.wait();
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error &Ex) {
+    EXPECT_STREQ(Ex.what(), "first");
+  } catch (...) {
+    FAIL() << "wrong exception type survived";
+  }
 }
 
 TEST(TimerTest, MeasuresElapsed) {

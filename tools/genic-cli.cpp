@@ -25,8 +25,21 @@
 ///   --entry NAME   override the entry transformation
 ///   --sat-cache-cap N  cap the shared solver's memo tables at N entries
 ///                  (0 disables memoization; default 1048576)
-///   --stats        print SyGuS call records, per-rule timings, and
-///                  solver/evaluator cache counters
+///   --stats        print SyGuS call records, per-rule timings,
+///                  solver/evaluator cache counters, and robustness
+///                  counters (retries, timeouts, degraded rules)
+///   --timeout-seconds S  global wall-clock budget for run/check/invert;
+///                  on exhaustion a partial outcome report is printed and
+///                  the exit code is 4 (budget exhausted)
+///   --solver-timeout-ms N  per-query Z3 soft timeout (further clamped to
+///                  the remaining global budget)
+///   --fault-inject SPEC  deterministic solver fault injection for
+///                  testing, SPEC = kind@N[xC][:scope] (see
+///                  solver/FaultInjector.h); env GENIC_FAULT_INJECT is
+///                  used when the flag is absent
+///
+/// Exit codes: 0 ok, 1 generic error, 2 usage, 3 not invertible /
+/// negative verdict, 4 budget exhausted, 5 internal solver error.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +54,7 @@
 #include <random>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -55,8 +69,10 @@ int usage() {
       "usage: genic <run|invert|check|eval> PROGRAM.genic [values...]\n"
       "       genic corpus [NAME] | genic verify ENC.genic DEC.genic\n"
       "  options: --no-aux --no-mining --no-slice --jobs N --entry NAME "
-      "--sat-cache-cap N --stats\n");
-  return 2;
+      "--sat-cache-cap N --stats\n"
+      "           --timeout-seconds S --solver-timeout-ms N "
+      "--fault-inject SPEC\n");
+  return ExitUsage;
 }
 
 Result<std::string> readFile(const std::string &Path) {
@@ -149,6 +165,17 @@ void printStats(const GenicReport &R) {
   std::printf("bank reuse (shared engine): %llu hit / %llu miss\n",
               (unsigned long long)R.BankReuseHits,
               (unsigned long long)R.BankReuseMisses);
+  std::printf("robustness: %llu retries attempted, %llu queries timed "
+              "out, %llu cancelled, %llu faults injected, %u rules "
+              "degraded\n",
+              (unsigned long long)R.RetriesAttempted,
+              (unsigned long long)R.QueriesTimedOut,
+              (unsigned long long)R.QueriesCancelled,
+              (unsigned long long)R.InjectedFaults, R.RulesDegraded);
+  if (R.DeadlineRemainingSeconds >= 0)
+    std::printf("deadline: %.3fs remaining at exit%s\n",
+                R.DeadlineRemainingSeconds,
+                R.DeadlineExpired ? " (EXPIRED)" : "");
 }
 
 } // namespace
@@ -159,6 +186,9 @@ int main(int Argc, char **Argv) {
   InverterOptions Options;
   bool Stats = false;
   std::optional<size_t> SatCacheCap;
+  double TimeoutSeconds = 0;
+  std::optional<unsigned> SolverTimeoutMs;
+  std::optional<std::string> FaultSpec;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -190,6 +220,26 @@ int main(int Argc, char **Argv) {
       } catch (...) {
         return usage();
       }
+    } else if (Arg == "--timeout-seconds") {
+      if (++I >= Argc)
+        return usage();
+      try {
+        TimeoutSeconds = std::stod(Argv[I]);
+      } catch (...) {
+        return usage();
+      }
+    } else if (Arg == "--solver-timeout-ms") {
+      if (++I >= Argc)
+        return usage();
+      try {
+        SolverTimeoutMs = static_cast<unsigned>(std::stoul(Argv[I]));
+      } catch (...) {
+        return usage();
+      }
+    } else if (Arg == "--fault-inject") {
+      if (++I >= Argc)
+        return usage();
+      FaultSpec = Argv[I];
     } else if (Command.empty()) {
       Command = Arg;
     } else if (Path.empty()) {
@@ -333,11 +383,27 @@ int main(int Argc, char **Argv) {
   GenicTool Tool(Options);
   if (SatCacheCap)
     Tool.solver().setSatCacheCapacity(*SatCacheCap);
+  if (SolverTimeoutMs)
+    Tool.solver().setTimeoutMs(*SolverTimeoutMs);
+  if (TimeoutSeconds > 0)
+    Tool.setRunBudgetSeconds(TimeoutSeconds);
+  if (!FaultSpec)
+    if (const char *Env = std::getenv("GENIC_FAULT_INJECT"))
+      if (*Env)
+        FaultSpec = Env;
+  if (FaultSpec) {
+    Result<FaultPlan> Plan = parseFaultPlan(*FaultSpec);
+    if (!Plan) {
+      std::fprintf(stderr, "error: %s\n", Plan.status().message().c_str());
+      return usage();
+    }
+    Tool.setFaultPlan(*Plan);
+  }
   Result<GenicReport> Report =
       Tool.run(*Source, ForceInjective, ForceInvert);
   if (!Report) {
     std::fprintf(stderr, "error: %s\n", Report.status().message().c_str());
-    return 1;
+    return ExitError;
   }
   const GenicReport &R = *Report;
 
@@ -345,9 +411,10 @@ int main(int Argc, char **Argv) {
               "lookahead %u, theory %s\n",
               R.EntryName.c_str(), R.NumStates, R.NumTransitions,
               R.NumAuxFuncs, R.MaxLookahead, R.Theory.c_str());
-  std::printf("deterministic: %s (%.3fs)%s%s\n",
-              R.Deterministic ? "yes" : "NO", R.DeterminismSeconds,
-              R.Deterministic ? "" : " — ", R.DeterminismDetail.c_str());
+  if (R.DeterminismPhase == GenicReport::PhaseOutcome::Ok)
+    std::printf("deterministic: %s (%.3fs)%s%s\n",
+                R.Deterministic ? "yes" : "NO", R.DeterminismSeconds,
+                R.Deterministic ? "" : " — ", R.DeterminismDetail.c_str());
   if (R.Injectivity) {
     std::printf("injective:     %s (%.3fs)\n",
                 R.Injectivity->Injective ? "yes" : "NO",
@@ -366,7 +433,8 @@ int main(int Argc, char **Argv) {
                 R.InversionSeconds, R.Inversion->maxRuleSeconds());
     std::printf("\n%s", R.InverseSource.c_str());
   }
+  std::printf("\n%s", formatOutcomeReport(R).c_str());
   if (Stats)
     printStats(R);
-  return 0;
+  return suggestedExitCode(R);
 }
