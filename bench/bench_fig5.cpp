@@ -86,7 +86,7 @@ int main() {
         Done += R.Inverted ? 1 : 0;
       if (Report->Inversion->complete()) {
         ++Solved[C];
-        Row.push_back(formatSeconds(Report->InversionSeconds));
+        Row.push_back(formatSeconds(Report->Timings.InversionSeconds));
       } else {
         Row.push_back("FAIL(" + std::to_string(Done) + "/" +
                       std::to_string(Report->Inversion->Records.size()) +

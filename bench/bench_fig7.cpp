@@ -59,8 +59,8 @@ int main() {
       continue;
     }
     char Inj[32], Inv[32], Proj[32];
-    std::snprintf(Inj, sizeof(Inj), "%.3f", Report->InjectivitySeconds);
-    std::snprintf(Inv, sizeof(Inv), "%.3f", Report->InversionSeconds);
+    std::snprintf(Inj, sizeof(Inj), "%.3f", Report->Timings.InjectivitySeconds);
+    std::snprintf(Inv, sizeof(Inv), "%.3f", Report->Timings.InversionSeconds);
     std::snprintf(Proj, sizeof(Proj), "%.3f", ProjSeconds);
     T.addRow({"S_" + std::to_string(K), std::to_string(Report->NumStates),
               std::to_string(Report->NumTransitions), Inj, Inv, Proj,

@@ -227,9 +227,9 @@ int main(int Argc, char **Argv) {
             : std::to_string(Done) + "/" +
                   std::to_string(R.Inversion->Records.size());
     Inverted += R.Inversion->complete() ? 1 : 0;
-    SumDet += R.DeterminismSeconds;
-    SumInj += R.InjectivitySeconds;
-    SumInv += R.InversionSeconds;
+    SumDet += R.Timings.DeterminismSeconds;
+    SumInj += R.Timings.InjectivitySeconds;
+    SumInv += R.Timings.InversionSeconds;
 
     auto Timed = [](double Mine, double Theirs) {
       return formatSeconds(Mine) + " [" + formatSeconds(Theirs) + "]";
@@ -237,9 +237,9 @@ int main(int Argc, char **Argv) {
     T.addRow({Spec.name(), std::to_string(R.NumStates),
               std::to_string(R.NumTransitions), std::to_string(R.NumAuxFuncs),
               std::to_string(R.MaxLookahead), std::to_string(R.SourceBytes),
-              Timed(R.DeterminismSeconds, Paper.IsDet),
-              Timed(R.InjectivitySeconds, Paper.IsInj),
-              Timed(R.InversionSeconds, Paper.Total),
+              Timed(R.Timings.DeterminismSeconds, Paper.IsDet),
+              Timed(R.Timings.InjectivitySeconds, Paper.IsInj),
+              Timed(R.Timings.InversionSeconds, Paper.Total),
               Timed(R.Inversion->maxRuleSeconds(), Paper.MaxTr),
               Res + " [" + Paper.Res + "]",
               R.Inversion->complete() && roundTrips(Spec, R) ? "ok" : "FAIL",
@@ -250,21 +250,33 @@ int main(int Argc, char **Argv) {
     Json.field("transitions", (uint64_t)R.NumTransitions);
     Json.field("auxFuncs", (uint64_t)R.NumAuxFuncs);
     Json.field("maxLookahead", (uint64_t)R.MaxLookahead);
-    Json.field("isDetSeconds", R.DeterminismSeconds);
-    Json.field("isInjSeconds", R.InjectivitySeconds);
-    Json.field("inversionSeconds", R.InversionSeconds);
+    Json.field("isDetSeconds", R.Timings.DeterminismSeconds);
+    Json.field("isInjSeconds", R.Timings.InjectivitySeconds);
+    Json.field("inversionSeconds", R.Timings.InversionSeconds);
     Json.field("maxRuleSeconds", R.Inversion->maxRuleSeconds());
     Json.field("res", Res);
     Json.field("roundtrip", R.Inversion->complete() && roundTrips(Spec, R));
-    Json.field("sharedSatHits", R.SolverStats.CacheHits);
-    Json.field("sharedSatMisses", R.SolverStats.CacheMisses);
-    Json.field("workerSatHits", R.WorkerStats.Smt.CacheHits);
-    Json.field("workerSatMisses", R.WorkerStats.Smt.CacheMisses);
-    Json.field("workerSessions", (uint64_t)R.WorkerStats.Sessions);
+    // Cache counters come from the metrics registry (same values that
+    // --metrics-json reports); key names predate the registry and are kept
+    // so committed baselines stay comparable.
+    MetricsSnapshot Snap = Tool.metrics().snapshot();
+    auto Counter = [&Snap](const char *Name) -> uint64_t {
+      auto It = Snap.Counters.find(Name);
+      return It == Snap.Counters.end() ? 0 : It->second;
+    };
+    Json.field("sharedSatHits", Counter("solver.shared.cache.sat.hits"));
+    Json.field("sharedSatMisses", Counter("solver.shared.cache.sat.misses"));
+    Json.field("workerSatHits", Counter("solver.worker.cache.sat.hits"));
+    Json.field("workerSatMisses", Counter("solver.worker.cache.sat.misses"));
+    auto Gauge = [&Snap](const char *Name) -> uint64_t {
+      auto It = Snap.Gauges.find(Name);
+      return It == Snap.Gauges.end() ? 0 : (uint64_t)It->second;
+    };
+    Json.field("workerSessions", Gauge("sessions.worker"));
     Json.field("compiledEvals",
-               R.EvalStats.Evals + R.WorkerStats.Eval.Evals);
-    Json.field("compiledPrograms",
-               R.EvalStats.Compiles + R.WorkerStats.Eval.Compiles);
+               Counter("eval.shared.evals") + Counter("eval.worker.evals"));
+    Json.field("compiledPrograms", Counter("eval.shared.compiles") +
+                                       Counter("eval.worker.compiles"));
     Json.endProgram();
 
     // Percentage bound plus an absolute slack so sub-second programs don't
@@ -283,8 +295,8 @@ int main(int Argc, char **Argv) {
         Regressions.push_back(Buf);
       }
     };
-    Gate(BaselineInj, "isInj", R.InjectivitySeconds);
-    Gate(BaselineInv, "inversion", R.InversionSeconds);
+    Gate(BaselineInj, "isInj", R.Timings.InjectivitySeconds);
+    Gate(BaselineInv, "inversion", R.Timings.InversionSeconds);
   }
   std::printf("%s\n", T.render().c_str());
   if (Ran == 0) {

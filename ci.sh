@@ -2,7 +2,11 @@
 #===------------------------------------------------------------------------===#
 # ci.sh — full verification pipeline.
 #
-#   1. Tier-1: configure, build, and run the whole test suite.
+#   1. Tier-1: configure, build, and run the whole test suite. Then an
+#      observability check: a traced UTF-8 encoder inversion must produce
+#      a Chrome trace that passes trace-lint (well-formed events,
+#      monotonic timestamps, balanced spans) and a metrics JSON with the
+#      per-phase solver-query histograms.
 #   2. Sanitizers: rebuild with -fsanitize=address,undefined and re-run the
 #      suites that exercise new machinery with threads and compiled
 #      evaluation (plus the term/solver cores under them), including the
@@ -51,6 +55,22 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "=== observability: traced inversion + trace-lint + metrics schema ==="
+# A traced UTF-8 encoder inversion must produce a lintable Chrome trace
+# (well-formed events, per-thread monotonic timestamps, balanced spans)
+# and a metrics JSON carrying the per-phase solver-query histograms.
+cmake --build build -j --target trace-lint genic-cli
+./build/tools/genic invert programs/UTF-8_encoder.genic --jobs 2 \
+  --trace-out build/utf8.trace.json --metrics-json build/utf8.metrics.json
+./build/tools/trace-lint build/utf8.trace.json
+for Key in '"schema": "genic-metrics-v1"' '"structural"' \
+  '"solver.query.us.' '"timings"'; do
+  if ! grep -qF "$Key" build/utf8.metrics.json; then
+    echo "metrics schema check: missing $Key in utf8.metrics.json" >&2
+    exit 1
+  fi
+done
+
 if [ "$SKIP_ASAN" -eq 0 ]; then
   echo "=== sanitizers: address,undefined on the hot-path suites ==="
   cmake -B build-asan -S . \
@@ -70,10 +90,10 @@ if [ "$SKIP_ASAN" -eq 0 ]; then
   # A heavy coder under a 1-second global budget must exit cleanly with
   # the budget-exhausted code (4) and a well-formed partial report —
   # never crash, hang, or leak (asan is still on).
-  cmake --build build-asan -j --target genic-cli
+  cmake --build build-asan -j --target genic-cli trace-lint
   set +e
   DEGRADED_OUT=$(./build-asan/tools/genic invert programs/UTF-8_encoder.genic \
-    --timeout-seconds 1 2>&1)
+    --timeout-seconds 1 --trace-out build-asan/degraded.trace.json 2>&1)
   DEGRADED_RC=$?
   set -e
   echo "$DEGRADED_OUT"
@@ -85,6 +105,8 @@ if [ "$SKIP_ASAN" -eq 0 ]; then
     echo "degraded-run smoke: missing outcome report" >&2
     exit 1
   fi
+  # Even a deadline-exhausted run must leave a balanced, lintable trace.
+  ./build-asan/tools/trace-lint build-asan/degraded.trace.json
 fi
 
 if [ "$SKIP_TSAN" -eq 0 ]; then
@@ -110,6 +132,16 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ./build-tsan/tests/bank_reuse_test
   echo "--- tsan: fault_injection_test"
   ./build-tsan/tests/fault_injection_test
+  echo "--- tsan: trace_metrics_test"
+  cmake --build build-tsan -j --target trace_metrics_test
+  ./build-tsan/tests/trace_metrics_test
+  echo "--- tsan: traced CLI run (--jobs 4)"
+  # The trace path itself under tsan: ring buffers, tid registration, and
+  # the epoch are shared across pool workers.
+  cmake --build build-tsan -j --target genic-cli trace-lint
+  ./build-tsan/tools/genic invert programs/BASE16_encoder.genic --jobs 4 \
+    --trace-out build-tsan/b16.trace.json
+  ./build-tsan/tools/trace-lint build-tsan/b16.trace.json
   unset TSAN_OPTIONS
 fi
 

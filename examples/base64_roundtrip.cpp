@@ -50,9 +50,9 @@ int main() {
   std::printf("  injective: %s (%.2fs)   inverted: %s (%.2fs, max rule "
               "%.2fs)\n\n",
               Report->Injectivity->Injective ? "yes" : "no",
-              Report->InjectivitySeconds,
+              Report->Timings.InjectivitySeconds,
               Report->Inversion->complete() ? "yes" : "partially",
-              Report->InversionSeconds, Report->Inversion->maxRuleSeconds());
+              Report->Timings.InversionSeconds, Report->Inversion->maxRuleSeconds());
 
   // Encode the Figure 1 example with the GENIC machine and decode it with
   // the synthesized inverse.

@@ -31,7 +31,7 @@ int show(const char *Title, const char *Source) {
   }
   const InjectivityResult &Inj = *Report->Injectivity;
   if (Inj.Injective) {
-    std::printf("  injective (%.3fs)\n\n", Report->InjectivitySeconds);
+    std::printf("  injective (%.3fs)\n\n", Report->Timings.InjectivitySeconds);
     return 0;
   }
   std::printf("  NOT injective: %s\n", Inj.Detail.c_str());

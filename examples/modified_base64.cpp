@@ -31,7 +31,7 @@ Result<GenicReport> invertCoder(const CoderSpec &Spec) {
     return Report;
   std::printf("  injective %s in %.2fs; inverse synthesized in %.2fs\n",
               Report->Injectivity->Injective ? "proved" : "refuted",
-              Report->InjectivitySeconds, Report->InversionSeconds);
+              Report->Timings.InjectivitySeconds, Report->Timings.InversionSeconds);
   unsigned Finalizers = 0;
   for (const SeftTransition &T : Report->InverseMachine->transitions())
     Finalizers += T.To == Seft::FinalState ? 1 : 0;

@@ -43,13 +43,13 @@ invert Enc
               Report->NumTransitions);
   std::printf("deterministic: %s (%.3fs)\n",
               Report->Deterministic ? "yes" : "no",
-              Report->DeterminismSeconds);
+              Report->Timings.DeterminismSeconds);
   std::printf("injective:     %s (%.3fs)\n",
               Report->Injectivity->Injective ? "yes" : "no",
-              Report->InjectivitySeconds);
+              Report->Timings.InjectivitySeconds);
   std::printf("inverted:      %s (%.3fs)\n\n",
               Report->Inversion->complete() ? "yes" : "partially",
-              Report->InversionSeconds);
+              Report->Timings.InversionSeconds);
 
   std::printf("--- synthesized inverse program ---\n%s\n",
               Report->InverseSource.c_str());

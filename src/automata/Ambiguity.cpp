@@ -27,7 +27,9 @@
 
 #include "automata/Ambiguity.h"
 
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 #include "term/TermClone.h"
 
 #include <algorithm>
@@ -569,8 +571,13 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
   GuardOverlapCache &Overlaps =
       Opts.Overlaps ? *Opts.Overlaps : LocalOverlaps;
 
+  MetricsPhaseScope Phase("ambiguity");
+  int64_t LevelIndex = 0;
   std::vector<Config> Level{{X.Initial, X.Initial, false}};
   while (!Level.empty()) {
+    TraceSpan LevelSpan("ambiguity.level");
+    LevelSpan.arg("level", LevelIndex++);
+    LevelSpan.arg("frontier", static_cast<int64_t>(Level.size()));
     if (S.cancellation().cancelled())
       return Status::cancelled(
           "ambiguity product search: global deadline exhausted");
@@ -606,11 +613,12 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
     // so later configurations must still be processed.
     std::atomic<size_t> Cutoff{SIZE_MAX};
 
-    ThreadPool TP(Threads);
+    ThreadPool TP(Threads, "amb");
     for (size_t C = 0; C != NumChunks; ++C) {
       size_t Begin = Level.size() * C / NumChunks;
       size_t End = Level.size() * (C + 1) / NumChunks;
       TP.submit([&, C, Begin, End] {
+        MetricsPhaseScope WorkerPhase("ambiguity");
         SolverSessionPool::Lease Sess = Pool.lease();
         ChunkOut &Out = Chunks[C];
         auto Overlap = [&](TermRef GA, TermRef GB) -> Result<bool> {

@@ -8,10 +8,12 @@
 
 #include "genic/Parser.h"
 #include "genic/ProgramPrinter.h"
-#include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cassert>
+#include <cstdio>
 #include <exception>
+#include <iterator>
 #include <sstream>
 
 using namespace genic;
@@ -25,13 +27,21 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
   TermFactory &Factory = Ctx.factory();
   Solver &Slv = Ctx.solver();
 
+  // The whole-run span: its stopwatch feeds Timings.TotalSeconds, and in a
+  // traced run it is the root every phase span nests under.
+  TraceSpan RunSpan("genic.run");
+
   // Install the run-wide control: a fresh deadline token (the budget is
-  // per run, not per tool) plus the fault plan. Every session the run
-  // creates — pooled checkers, per-rule forks — copies this control.
+  // per run, not per tool) plus the fault plan and the metrics registry
+  // query latencies are observed into. Every session the run creates —
+  // pooled checkers, per-rule forks — copies this control.
+  Registry.reset();
   SolverControl Ctl;
   if (BudgetSeconds > 0)
     Ctl.Cancel = CancellationToken(Deadline::after(BudgetSeconds));
   Ctl.Faults = Faults;
+  Ctl.Metrics = &Registry;
+  Ctl.Kind = SolverSessionKind::Shared;
   Slv.setControl(Ctl);
 
   Result<AstProgram> Ast = parseGenic(Source);
@@ -91,7 +101,7 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
   // by ThreadPool::wait (e.g. an injected z3 fault in a parallel scan)
   // into a classified status instead of tearing the process down.
   {
-    Timer T;
+    TraceSpan T("phase.determinism");
     Result<std::optional<DeterminismViolation>> Det =
         [&]() -> Result<std::optional<DeterminismViolation>> {
       try {
@@ -104,7 +114,7 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
                                    Ex.what());
       }
     }();
-    Report.DeterminismSeconds = T.seconds();
+    Report.Timings.DeterminismSeconds = T.seconds();
     if (!Det) {
       if (!Degrade(Det.status(), Report.DeterminismPhase,
                    "determinism check"))
@@ -121,7 +131,7 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
   }
 
   if (Report.InjectivityRequested && !DegradedRun) {
-    Timer T;
+    TraceSpan T("phase.injectivity");
     Result<InjectivityResult> Inj = [&]() -> Result<InjectivityResult> {
       try {
         InjectivityOptions InjOpts;
@@ -133,7 +143,7 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
                                    Ex.what());
       }
     }();
-    Report.InjectivitySeconds = T.seconds();
+    Report.Timings.InjectivitySeconds = T.seconds();
     if (!Inj) {
       if (!Degrade(Inj.status(), Report.InjectivityPhase,
                    "injectivity check"))
@@ -145,7 +155,7 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
   }
 
   if (Report.InversionRequested && !DegradedRun) {
-    Timer T;
+    TraceSpan T("phase.inversion");
     Inverter Inv(Slv, Options);
     Result<InversionOutcome> Out = [&]() -> Result<InversionOutcome> {
       try {
@@ -155,7 +165,7 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
                                    Ex.what());
       }
     }();
-    Report.InversionSeconds = T.seconds();
+    Report.Timings.InversionSeconds = T.seconds();
     if (!Out) {
       if (!Degrade(Out.status(), Report.InversionPhase, "inversion"))
         return Out.status();
@@ -202,8 +212,67 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
   if (Report.Inversion)
     Report.RulesDegraded = Report.Inversion->degradedRules();
   Report.DeadlineExpired = Ctl.Cancel.active() && Ctl.Cancel.cancelled();
-  Report.DeadlineRemainingSeconds =
+  Report.Timings.DeadlineRemainingSeconds =
       Ctl.Cancel.active() ? Ctl.Cancel.remainingSeconds() : -1;
+  Report.Timings.TotalSeconds = RunSpan.seconds();
+
+  // Mirror the report's counter fields into the registry so --metrics-json
+  // and the bench harness read everything from one place. The cache
+  // counters are aggregated here, at run end, to keep the per-lookup hot
+  // paths free of registry traffic; only the query-latency histograms are
+  // recorded live (at the solver chokepoint).
+  auto RecordSolver = [this](const std::string &Prefix,
+                             const Solver::Stats &S) {
+    auto C = [&](const char *Name, uint64_t V) {
+      Registry.counter(Prefix + Name).set(V);
+    };
+    C(".sat_queries", S.SatQueries);
+    C(".qe_calls", S.QeCalls);
+    C(".qe_fallbacks", S.QeFallbacks);
+    C(".cache.sat.hits", S.CacheHits);
+    C(".cache.sat.misses", S.CacheMisses);
+    C(".cache.sat.evictions", S.CacheEvictions);
+    C(".cache.model.hits", S.ModelCacheHits);
+    C(".cache.model.misses", S.ModelCacheMisses);
+    C(".cache.model.evictions", S.ModelCacheEvictions);
+    C(".cache.proj.hits", S.ProjCacheHits);
+    C(".cache.proj.misses", S.ProjCacheMisses);
+    C(".cache.proj.evictions", S.ProjCacheEvictions);
+    C(".retries", S.Retries);
+    C(".query_timeouts", S.QueryTimeouts);
+    C(".queries_cancelled", S.QueriesCancelled);
+    C(".injected_faults", S.InjectedFaults);
+  };
+  RecordSolver("solver.shared", Report.SolverStats);
+  RecordSolver("solver.checker", Report.CheckerStats);
+  RecordSolver("solver.worker", Report.WorkerStats.Smt);
+  auto RecordEval = [this](const std::string &Prefix,
+                           const CompiledEvalCache::Stats &E) {
+    Registry.counter(Prefix + ".lookups").set(E.Lookups);
+    Registry.counter(Prefix + ".compiles").set(E.Compiles);
+    Registry.counter(Prefix + ".evals").set(E.Evals);
+  };
+  RecordEval("eval.shared", Report.EvalStats);
+  RecordEval("eval.worker", Report.WorkerStats.Eval);
+  Registry.counter("bank.shared.reuse_hits").set(Report.BankReuseHits);
+  Registry.counter("bank.shared.reuse_misses").set(Report.BankReuseMisses);
+  Registry.counter("bank.worker.reuse_hits")
+      .set(Report.WorkerStats.BankReuseHits);
+  Registry.counter("bank.worker.reuse_misses")
+      .set(Report.WorkerStats.BankReuseMisses);
+  Registry.counter("worker.clone_in_nodes")
+      .set(Report.WorkerStats.CloneInNodes);
+  Registry.counter("worker.clone_out_nodes")
+      .set(Report.WorkerStats.CloneOutNodes);
+  Registry.gauge("sessions.checker").set(Report.CheckerSessions);
+  Registry.gauge("sessions.worker").set(Report.WorkerStats.Sessions);
+  Registry.counter("sygus.calls").set(Report.SygusCalls.size());
+  Registry.counter("run.retries_attempted").set(Report.RetriesAttempted);
+  Registry.counter("run.queries_timed_out").set(Report.QueriesTimedOut);
+  Registry.counter("run.queries_cancelled").set(Report.QueriesCancelled);
+  Registry.counter("run.injected_faults").set(Report.InjectedFaults);
+  Registry.gauge("run.rules_degraded").set(Report.RulesDegraded);
+  Registry.gauge("run.deadline_expired").set(Report.DeadlineExpired ? 1 : 0);
   return Report;
 }
 
@@ -270,6 +339,243 @@ std::string genic::formatOutcomeReport(const GenicReport &Report) {
     Out << "  degraded: " << Report.DegradeDetail << "\n";
   if (Report.DeadlineExpired)
     Out << "  global deadline exhausted\n";
+  return Out.str();
+}
+
+std::string genic::formatStatsReport(const GenicReport &R) {
+  std::ostringstream Out;
+  char Buf[256];
+  auto P = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    Out << Buf;
+  };
+  if (R.Inversion) {
+    Out << "\nper-rule inversion:\n";
+    for (const RuleInversionRecord &Rec : R.Inversion->Records)
+      P("  rule %-3u %-4s %7.3fs  %s\n", Rec.Rule,
+        Rec.Inverted ? "ok" : "FAIL", Rec.Seconds, Rec.Error.c_str());
+    Out << "SyGuS calls (size, seconds, outcome):\n";
+    for (const SygusEngine::CallRecord &C : R.SygusCalls)
+      P("  %3u  %7.3fs  %s  (%u CEGIS iterations)\n", C.ResultSize,
+        C.Seconds, C.Success ? "ok" : "fail", C.CegisIterations);
+  }
+  auto PrintCaches = [&](const Solver::Stats &S) {
+    P("  sat cache %llu hit / %llu miss / %llu evicted, model "
+      "cache %llu/%llu/%llu, projection cache %llu/%llu/%llu\n",
+      (unsigned long long)S.CacheHits, (unsigned long long)S.CacheMisses,
+      (unsigned long long)S.CacheEvictions,
+      (unsigned long long)S.ModelCacheHits,
+      (unsigned long long)S.ModelCacheMisses,
+      (unsigned long long)S.ModelCacheEvictions,
+      (unsigned long long)S.ProjCacheHits,
+      (unsigned long long)S.ProjCacheMisses,
+      (unsigned long long)S.ProjCacheEvictions);
+  };
+  const Solver::Stats &S = R.SolverStats;
+  P("solver (shared): %llu sat queries, %llu QE calls (%llu fallbacks)\n",
+    (unsigned long long)S.SatQueries, (unsigned long long)S.QeCalls,
+    (unsigned long long)S.QeFallbacks);
+  PrintCaches(S);
+  if (R.CheckerSessions) {
+    const Solver::Stats &C = R.CheckerStats;
+    P("solver (%u checker sessions): %llu sat queries\n", R.CheckerSessions,
+      (unsigned long long)C.SatQueries);
+    PrintCaches(C);
+  }
+  if (R.WorkerStats.Sessions) {
+    const Solver::Stats &W = R.WorkerStats.Smt;
+    P("solver (%u worker sessions): %llu sat queries\n",
+      R.WorkerStats.Sessions, (unsigned long long)W.SatQueries);
+    PrintCaches(W);
+    P("worker forks: %llu nodes cloned in, %llu cloned out, "
+      "bank reuse %llu hit / %llu miss\n",
+      (unsigned long long)R.WorkerStats.CloneInNodes,
+      (unsigned long long)R.WorkerStats.CloneOutNodes,
+      (unsigned long long)R.WorkerStats.BankReuseHits,
+      (unsigned long long)R.WorkerStats.BankReuseMisses);
+    const CompiledEvalCache::Stats &E = R.WorkerStats.Eval;
+    P("compiled eval (worker sessions): %llu executions, %llu "
+      "programs compiled, %llu cache hits\n",
+      (unsigned long long)E.Evals, (unsigned long long)E.Compiles,
+      (unsigned long long)E.hits());
+  }
+  const CompiledEvalCache::Stats &E = R.EvalStats;
+  P("compiled eval (shared engine): %llu executions, %llu "
+    "programs compiled, %llu cache hits\n",
+    (unsigned long long)E.Evals, (unsigned long long)E.Compiles,
+    (unsigned long long)E.hits());
+  P("bank reuse (shared engine): %llu hit / %llu miss\n",
+    (unsigned long long)R.BankReuseHits,
+    (unsigned long long)R.BankReuseMisses);
+  P("robustness: %llu retries attempted, %llu queries timed out, "
+    "%llu cancelled, %llu faults injected, %u rules degraded\n",
+    (unsigned long long)R.RetriesAttempted,
+    (unsigned long long)R.QueriesTimedOut,
+    (unsigned long long)R.QueriesCancelled,
+    (unsigned long long)R.InjectedFaults, R.RulesDegraded);
+  if (R.Timings.DeadlineRemainingSeconds >= 0)
+    P("deadline: %.3fs remaining at exit%s\n",
+      R.Timings.DeadlineRemainingSeconds,
+      R.DeadlineExpired ? " (EXPIRED)" : "");
+  return Out.str();
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+const char *phaseString(GenicReport::PhaseOutcome O) {
+  switch (O) {
+  case GenicReport::PhaseOutcome::NotRun:
+    return "not-run";
+  case GenicReport::PhaseOutcome::Ok:
+    return "ok";
+  case GenicReport::PhaseOutcome::Timeout:
+    return "timeout";
+  case GenicReport::PhaseOutcome::SolverError:
+    return "solver-error";
+  }
+  return "not-run";
+}
+
+} // namespace
+
+std::string genic::formatMetricsJson(const GenicReport &R,
+                                     const MetricsSnapshot &Snapshot) {
+  std::ostringstream Out;
+  char Buf[64];
+  auto Num = [&](double V) {
+    std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+    return std::string(Buf);
+  };
+
+  Out << "{\n";
+  Out << "  \"schema\": \"genic-metrics-v1\",\n";
+
+  // Structural section: a pure function of the report's jobs-invariant
+  // fields (the same contract formatOutcomeReport keeps) — never timings,
+  // never query counts. Byte-identical across --jobs under a fixed fault
+  // schedule.
+  Out << "  \"structural\": {\n";
+  Out << "    \"entry\": \"" << jsonEscape(R.EntryName) << "\",\n";
+  Out << "    \"states\": " << R.NumStates << ",\n";
+  Out << "    \"transitions\": " << R.NumTransitions << ",\n";
+  Out << "    \"auxFuncs\": " << R.NumAuxFuncs << ",\n";
+  Out << "    \"maxLookahead\": " << R.MaxLookahead << ",\n";
+  Out << "    \"sourceBytes\": " << R.SourceBytes << ",\n";
+  Out << "    \"theory\": \"" << jsonEscape(R.Theory) << "\",\n";
+  Out << "    \"phases\": {\n";
+  Out << "      \"determinism\": \"" << phaseString(R.DeterminismPhase)
+      << "\",\n";
+  Out << "      \"injectivity\": \"" << phaseString(R.InjectivityPhase)
+      << "\",\n";
+  Out << "      \"inversion\": \"" << phaseString(R.InversionPhase) << "\"\n";
+  Out << "    },\n";
+  Out << "    \"deterministic\": " << (R.Deterministic ? "true" : "false")
+      << ",\n";
+  Out << "    \"determinismDetail\": \"" << jsonEscape(R.DeterminismDetail)
+      << "\",\n";
+  if (R.Injectivity)
+    Out << "    \"injective\": "
+        << (R.Injectivity->Injective ? "true" : "false") << ",\n"
+        << "    \"injectivityDetail\": \""
+        << jsonEscape(R.Injectivity->Detail) << "\",\n";
+  else
+    Out << "    \"injective\": null,\n";
+  if (R.Inversion) {
+    Out << "    \"inversionComplete\": "
+        << (R.Inversion->complete() ? "true" : "false") << ",\n";
+    Out << "    \"inverseSourceBytes\": " << R.InverseSourceBytes << ",\n";
+    Out << "    \"rules\": [\n";
+    for (size_t I = 0; I < R.Inversion->Records.size(); ++I) {
+      const RuleInversionRecord &Rec = R.Inversion->Records[I];
+      Out << "      {\"rule\": " << Rec.Rule << ", \"outcome\": \""
+          << toString(Rec.Outcome) << "\", \"retries\": " << Rec.Retries
+          << ", \"error\": \"" << jsonEscape(Rec.Error) << "\"}"
+          << (I + 1 < R.Inversion->Records.size() ? "," : "") << "\n";
+    }
+    Out << "    ],\n";
+  } else {
+    Out << "    \"inversionComplete\": null,\n";
+  }
+  Out << "    \"rulesDegraded\": " << R.RulesDegraded << ",\n";
+  Out << "    \"degradeDetail\": \"" << jsonEscape(R.DegradeDetail)
+      << "\",\n";
+  Out << "    \"deadlineExpired\": "
+      << (R.DeadlineExpired ? "true" : "false") << "\n";
+  Out << "  },\n";
+
+  // Registry sections: maps are name-sorted, one key per line. Counts here
+  // (solver queries, cache traffic) legitimately vary with --jobs.
+  Out << "  \"counters\": {\n";
+  for (auto It = Snapshot.Counters.begin(); It != Snapshot.Counters.end();
+       ++It)
+    Out << "    \"" << jsonEscape(It->first) << "\": " << It->second
+        << (std::next(It) != Snapshot.Counters.end() ? "," : "") << "\n";
+  Out << "  },\n";
+  Out << "  \"gauges\": {\n";
+  for (auto It = Snapshot.Gauges.begin(); It != Snapshot.Gauges.end(); ++It)
+    Out << "    \"" << jsonEscape(It->first) << "\": " << It->second
+        << (std::next(It) != Snapshot.Gauges.end() ? "," : "") << "\n";
+  Out << "  },\n";
+  Out << "  \"histograms\": {\n";
+  for (auto It = Snapshot.Histograms.begin();
+       It != Snapshot.Histograms.end(); ++It) {
+    const MetricsSnapshot::Histogram &H = It->second;
+    Out << "    \"" << jsonEscape(It->first) << "\": {\"count\": " << H.Count
+        << ", \"sum_us\": " << H.SumUs << ", \"max_us\": " << H.MaxUs
+        << ", \"buckets\": [";
+    for (unsigned I = 0; I < MetricsHistogram::NumBuckets; ++I)
+      Out << (I ? "," : "") << H.Buckets[I];
+    Out << "]}" << (std::next(It) != Snapshot.Histograms.end() ? "," : "")
+        << "\n";
+  }
+  Out << "  },\n";
+
+  // Timing section: isolated so nothing above has to be wall-clock stable.
+  Out << "  \"timings\": {\n";
+  Out << "    \"determinism_seconds\": "
+      << Num(R.Timings.DeterminismSeconds) << ",\n";
+  Out << "    \"injectivity_seconds\": "
+      << Num(R.Timings.InjectivitySeconds) << ",\n";
+  Out << "    \"inversion_seconds\": " << Num(R.Timings.InversionSeconds)
+      << ",\n";
+  Out << "    \"total_seconds\": " << Num(R.Timings.TotalSeconds) << ",\n";
+  Out << "    \"deadline_remaining_seconds\": "
+      << Num(R.Timings.DeadlineRemainingSeconds) << "\n";
+  Out << "  }\n";
+  Out << "}\n";
   return Out.str();
 }
 

@@ -19,6 +19,7 @@
 #include "genic/Lower.h"
 #include "solver/Solver.h"
 #include "solver/SolverContext.h"
+#include "support/Metrics.h"
 #include "support/Result.h"
 #include "sygus/Inverter.h"
 #include "transducer/Determinism.h"
@@ -29,6 +30,21 @@
 #include <string>
 
 namespace genic {
+
+/// Wall-clock phase timings of one run, populated from the span recorder
+/// (each phase's TraceSpan doubles as its stopwatch). Everything here is
+/// timing — never part of the structural report contract, so none of it is
+/// expected to be stable across --jobs values or machines.
+struct PhaseTimings {
+  double DeterminismSeconds = 0;
+  double InjectivitySeconds = 0;
+  double InversionSeconds = 0;
+  /// Whole run() wall clock (parse + lower + all phases).
+  double TotalSeconds = 0;
+  /// Seconds left on the global deadline at exit; -1 when no deadline was
+  /// set.
+  double DeadlineRemainingSeconds = -1;
+};
 
 /// Everything measured for one program (one Table 1 row).
 struct GenicReport {
@@ -49,13 +65,11 @@ struct GenicReport {
 
   // isDet column.
   bool Deterministic = false;
-  double DeterminismSeconds = 0;
   std::string DeterminismDetail;
   PhaseOutcome DeterminismPhase = PhaseOutcome::NotRun;
 
   // isInj column (present when the program asked for it).
   std::optional<InjectivityResult> Injectivity;
-  double InjectivitySeconds = 0;
   bool InjectivityRequested = false;
   PhaseOutcome InjectivityPhase = PhaseOutcome::NotRun;
 
@@ -63,7 +77,6 @@ struct GenicReport {
   bool InversionRequested = false;
   PhaseOutcome InversionPhase = PhaseOutcome::NotRun;
   std::optional<InversionOutcome> Inversion;
-  double InversionSeconds = 0;
   std::string InverseSource;
   size_t InverseSourceBytes = 0;
   std::vector<SygusEngine::CallRecord> SygusCalls;
@@ -97,9 +110,10 @@ struct GenicReport {
   std::string DegradeDetail;
   /// Whether the global deadline had expired by the end of the run.
   bool DeadlineExpired = false;
-  /// Seconds left on the global deadline at exit; -1 when no deadline was
-  /// set.
-  double DeadlineRemainingSeconds = -1;
+
+  /// Per-phase wall clock (the Table 1 timing columns), measured by the
+  /// phase trace spans.
+  PhaseTimings Timings;
 
   // The machines, for round-trip testing by callers.
   std::optional<Seft> Machine;
@@ -136,11 +150,18 @@ public:
   /// solver/FaultInjector.h). Default: no faults.
   void setFaultPlan(const FaultPlan &Plan) { Faults = Plan; }
 
+  /// The run's metrics: query-latency histograms recorded live at the
+  /// solver chokepoint plus the counters/gauges populated from the report
+  /// at the end of run() (which resets the registry first, so the contents
+  /// always describe the most recent run).
+  MetricsRegistry &metrics() { return Registry; }
+
 private:
   SolverContext Ctx;
   InverterOptions Options;
   double BudgetSeconds = 0;
   FaultPlan Faults;
+  MetricsRegistry Registry;
 };
 
 /// Process exit codes of the genic CLI, separating "the program is not
@@ -160,6 +181,21 @@ enum ExitCode {
 /// the report is byte-identical across --jobs values under the same fault
 /// schedule (wall-clock lives in the --stats output instead).
 std::string formatOutcomeReport(const GenicReport &Report);
+
+/// Renders the --stats block: program shape, per-rule inversion records,
+/// SyGuS call log, cache and session counters, robustness counters, and the
+/// phase timings. Pure function of the report so tests can pin its shape;
+/// the CLI just prints it.
+std::string formatStatsReport(const GenicReport &Report);
+
+/// Renders the machine-readable run report (schema "genic-metrics-v1"):
+/// a "structural" section derived from the report alone — same contract as
+/// formatOutcomeReport, byte-identical across --jobs values under a fixed
+/// fault schedule — plus "counters"/"gauges"/"histograms" sections from the
+/// registry snapshot and an isolated "timings" section. One key per line,
+/// sections sorted, so line-based tools can diff the structural subset.
+std::string formatMetricsJson(const GenicReport &Report,
+                              const MetricsSnapshot &Snapshot);
 
 /// The exit code a CLI should use for \p Report, most severe first:
 /// solver errors beat budget exhaustion beats negative verdicts beats ok.

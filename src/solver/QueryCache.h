@@ -24,6 +24,7 @@
 #ifndef GENIC_SOLVER_QUERYCACHE_H
 #define GENIC_SOLVER_QUERYCACHE_H
 
+#include "support/Trace.h"
 #include "term/Term.h"
 
 #include <cstdint>
@@ -40,7 +41,10 @@ namespace genic {
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class QueryCache {
 public:
-  explicit QueryCache(size_t Capacity) : Cap(Capacity) {}
+  /// \p TraceName, when given (a static string literal), labels the
+  /// generation-clear instant events this cache emits into the trace.
+  explicit QueryCache(size_t Capacity, const char *TraceName = nullptr)
+      : Cap(Capacity), TraceName(TraceName) {}
 
   /// Memoized value for \p K, or null. Counts a hit or a miss.
   const Value *find(const Key &K) {
@@ -60,6 +64,7 @@ public:
       return;
     if (Map.size() >= Cap) {
       TheEvictions += Map.size();
+      traceClear(Map.size());
       Map.clear();
     }
     Map.emplace(K, std::move(V));
@@ -71,6 +76,7 @@ public:
     Cap = MaxEntries;
     if (Map.size() > Cap) {
       TheEvictions += Map.size();
+      traceClear(Map.size());
       Map.clear();
     }
   }
@@ -82,8 +88,17 @@ public:
   uint64_t evictions() const { return TheEvictions; }
 
 private:
+  /// Announces a generation clear in the trace. Evictions are rare (a full
+  /// table) so this stays off the lookup hot path entirely.
+  void traceClear(size_t Dropped) {
+    if (TraceName)
+      TraceRecorder::global().instant("cache.evict", TraceName, "dropped",
+                                      static_cast<int64_t>(Dropped));
+  }
+
   std::unordered_map<Key, Value, Hash> Map;
   size_t Cap;
+  const char *TraceName = nullptr;
   uint64_t TheHits = 0;
   uint64_t TheMisses = 0;
   uint64_t TheEvictions = 0;

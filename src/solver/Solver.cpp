@@ -28,12 +28,14 @@
 #include "solver/Solver.h"
 
 #include "solver/QueryCache.h"
+#include "support/Metrics.h"
 #include "term/Eval.h"
 #include "term/Printer.h"
 
 #include <z3++.h>
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <unordered_map>
@@ -110,6 +112,18 @@ bool hasQuantifier(const z3::expr &E) {
 
 } // namespace
 
+const char *genic::toString(SolverSessionKind Kind) {
+  switch (Kind) {
+  case SolverSessionKind::Shared:
+    return "shared";
+  case SolverSessionKind::Pooled:
+    return "pooled";
+  case SolverSessionKind::Worker:
+    return "worker";
+  }
+  return "shared";
+}
+
 class Solver::Impl {
 public:
   explicit Impl(TermFactory &Factory) : Factory(Factory), Ctx() {}
@@ -132,16 +146,18 @@ public:
   /// and Unsat are stable facts about a formula; Unknown (timeout, Z3
   /// hiccup) is never cached so a retry gets a fresh chance. Bounded with
   /// a generation clear (see setSatCacheCapacity).
-  QueryCache<TermRef, SatResult> SatCache{1u << 20};
+  QueryCache<TermRef, SatResult> SatCache{1u << 20, "solver.sat"};
   /// Successful getModel answers. A fresh z3 solver is built per model
   /// query, so the answer is a function of the formula alone — repeated
   /// queries (guard sampling, witness reconstruction) hit here. Smaller
   /// default cap than SatCache: values are whole model vectors.
-  QueryCache<ModelKey, std::vector<Value>, ModelKeyHash> ModelCache{1u << 16};
+  QueryCache<ModelKey, std::vector<Value>, ModelKeyHash> ModelCache{
+      1u << 16, "solver.model"};
   /// Successful project() answers. The CEGAR loop re-projects the same
   /// (rule, position) predicates in the exact round after the hull round,
   /// and isCartesian/imageToTerm re-project every position.
-  QueryCache<ProjKey, TermRef, ProjKeyHash> ProjCache{1u << 16};
+  QueryCache<ProjKey, TermRef, ProjKeyHash> ProjCache{1u << 16,
+                                                      "solver.proj"};
 
   // -- Translation ---------------------------------------------------------
 
@@ -481,8 +497,38 @@ public:
   /// once the cancellation token fires, dispatches via rawCheck, and on an
   /// Unknown retries once with an escalated soft timeout on the same
   /// solver state (still clamped to the remaining global budget) before
-  /// letting the Unknown surface.
+  /// letting the Unknown surface. When a MetricsRegistry is installed the
+  /// whole call (retry included, and the unwind path of an injected throw)
+  /// is timed into the phase/kind-tagged query-latency histogram.
   z3::check_result check(z3::solver &S) {
+    if (!Control.Metrics)
+      return checkUnmetered(S);
+    QueryLatencyScope Metered(*Control.Metrics, Control.Kind);
+    return checkUnmetered(S);
+  }
+
+  /// RAII latency observer for check(); the destructor runs on the unwind
+  /// path too, so injected solver exceptions stay accounted for.
+  struct QueryLatencyScope {
+    QueryLatencyScope(MetricsRegistry &Registry, SolverSessionKind Kind)
+        : Registry(Registry), Kind(Kind),
+          Start(std::chrono::steady_clock::now()) {}
+    ~QueryLatencyScope() {
+      uint64_t Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+      std::string Name = "solver.query.us.";
+      Name += currentMetricsPhase();
+      Name += '.';
+      Name += toString(Kind);
+      Registry.histogram(Name).observe(Us);
+    }
+    MetricsRegistry &Registry;
+    SolverSessionKind Kind;
+    std::chrono::steady_clock::time_point Start;
+  };
+
+  z3::check_result checkUnmetered(z3::solver &S) {
     LastUnknown = UnknownCause::None;
     if (Control.Cancel.cancelled()) {
       ++TheStats.QueriesCancelled;

@@ -32,8 +32,18 @@
 
 namespace genic {
 
+class MetricsRegistry;
+
 /// Outcome of a satisfiability query.
 enum class SatResult { Sat, Unsat, Unknown };
+
+/// How a session relates to the pipeline's session architecture; used to
+/// tag the solver-query latency histograms
+/// ("solver.query.us.<phase>.<kind>").
+enum class SolverSessionKind { Shared, Pooled, Worker };
+
+/// Histogram-tag spelling of \p Kind ("shared" / "pooled" / "worker").
+const char *toString(SolverSessionKind Kind);
 
 /// The robustness contract a session operates under. Propagated by value
 /// when sessions fork (SolverContext copy/fork ctors, SolverSessionPool), so
@@ -54,6 +64,14 @@ struct SolverControl {
   bool RetryUnknown = true;
   /// Multiplier applied to the soft timeout on the retry.
   unsigned RetryTimeoutFactor = 2;
+  /// When set, every query's wall-clock latency is observed into the
+  /// registry's "solver.query.us.<phase>.<kind>" histogram at the single
+  /// check() chokepoint. Shared across sessions; the registry is
+  /// thread-safe. Null disables recording entirely.
+  MetricsRegistry *Metrics = nullptr;
+  /// The session-kind tag for this session's queries. The pool and fork
+  /// plumbing overwrite it (Pooled / Worker) where they set WorkerSession.
+  SolverSessionKind Kind = SolverSessionKind::Shared;
 };
 
 /// A session with the underlying SMT solver. Not thread-safe.

@@ -6,6 +6,8 @@
 
 #include "solver/SolverContext.h"
 
+#include "support/Trace.h"
+
 using namespace genic;
 
 SolverContext::SolverContext(unsigned TimeoutMs)
@@ -25,7 +27,9 @@ SolverContext::SolverContext(const TermFactory &FrozenPrefix,
   Slv.setTimeoutMs(Inherit.timeoutMs());
   SolverControl C = Inherit.control();
   C.WorkerSession = true;
+  C.Kind = SolverSessionKind::Worker;
   Slv.setControl(C);
+  TraceRecorder::global().instant("session.fork", "session");
 }
 
 SolverContext::SolverContext(const SolverContext &Parent)
@@ -33,5 +37,7 @@ SolverContext::SolverContext(const SolverContext &Parent)
   Slv.setTimeoutMs(Parent.Slv.timeoutMs());
   SolverControl C = Parent.Slv.control();
   C.WorkerSession = true;
+  C.Kind = SolverSessionKind::Worker;
   Slv.setControl(C);
+  TraceRecorder::global().instant("session.fork", "session");
 }

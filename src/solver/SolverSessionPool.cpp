@@ -6,6 +6,8 @@
 
 #include "solver/SolverSessionPool.h"
 
+#include "support/Trace.h"
+
 using namespace genic;
 
 SolverSessionPool::Lease SolverSessionPool::lease() {
@@ -14,9 +16,11 @@ SolverSessionPool::Lease SolverSessionPool::lease() {
   if (!Free.empty()) {
     Session *S = Free.back();
     Free.pop_back();
+    TraceRecorder::global().instant("pool.lease", "session", "reused", 1);
     return Lease(this, S);
   }
   ++TheStats.Created;
+  TraceRecorder::global().instant("pool.lease", "session", "reused", 0);
   All.push_back(Prefix ? std::make_unique<Session>(*Prefix, TimeoutMs)
                        : std::make_unique<Session>(TimeoutMs));
   All.back()->Slv.setControl(Ctl);

@@ -97,10 +97,12 @@ public:
 
   /// Like above, but inherits both the timeout and the robustness control
   /// (cancellation token, fault plan) of \p Like; pooled sessions are
-  /// marked as worker sessions for fault-plan scoping.
+  /// marked as worker sessions for fault-plan scoping and tagged Pooled in
+  /// the query-latency histograms.
   explicit SolverSessionPool(const Solver &Like)
       : TimeoutMs(Like.timeoutMs()), Ctl(Like.control()) {
     Ctl.WorkerSession = true;
+    Ctl.Kind = SolverSessionKind::Pooled;
   }
 
   /// Fork mode: sessions are copy-on-write forks of \p FrozenPrefix, so
@@ -118,6 +120,7 @@ public:
       : TimeoutMs(Like.timeoutMs()), Prefix(&FrozenPrefix),
         Ctl(Like.control()) {
     Ctl.WorkerSession = true;
+    Ctl.Kind = SolverSessionKind::Pooled;
   }
 
   /// Borrows a free session, creating one if none is available. Thread-safe.

@@ -1,0 +1,84 @@
+//===- support/Metrics.cpp - Named counters, gauges, histograms -----------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+namespace genic {
+
+MetricsCounter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::piecewise_construct,
+                          std::forward_as_tuple(Name), std::forward_as_tuple())
+             .first;
+  return It->second;
+}
+
+MetricsGauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::piecewise_construct, std::forward_as_tuple(Name),
+                        std::forward_as_tuple())
+             .first;
+  return It->second;
+}
+
+MetricsHistogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(std::piecewise_construct, std::forward_as_tuple(Name),
+                      std::forward_as_tuple())
+             .first;
+  return It->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot S;
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &[Name, C] : Counters)
+    S.Counters[Name] = C.value();
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges[Name] = G.value();
+  for (const auto &[Name, H] : Histograms) {
+    MetricsSnapshot::Histogram &Out = S.Histograms[Name];
+    Out.Count = H.count();
+    Out.SumUs = H.sumUs();
+    Out.MaxUs = H.maxUs();
+    for (unsigned I = 0; I < MetricsHistogram::NumBuckets; ++I)
+      Out.Buckets[I] = H.bucketCount(I);
+  }
+  return S;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, C] : Counters)
+    C.reset();
+  for (auto &[Name, G] : Gauges)
+    G.reset();
+  for (auto &[Name, H] : Histograms)
+    H.reset();
+}
+
+namespace {
+thread_local const char *CurrentPhase = nullptr;
+} // namespace
+
+const char *currentMetricsPhase() {
+  return CurrentPhase ? CurrentPhase : "other";
+}
+
+MetricsPhaseScope::MetricsPhaseScope(const char *Phase) : Prev(CurrentPhase) {
+  CurrentPhase = Phase;
+}
+
+MetricsPhaseScope::~MetricsPhaseScope() { CurrentPhase = Prev; }
+
+} // namespace genic

@@ -27,12 +27,15 @@
 #ifndef GENIC_SUPPORT_THREADPOOL_H
 #define GENIC_SUPPORT_THREADPOOL_H
 
+#include "support/Trace.h"
+
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -44,12 +47,18 @@ namespace genic {
 class ThreadPool {
 public:
   /// Spawns \p Threads workers; 0 and 1 mean "run inline, spawn nothing".
-  explicit ThreadPool(size_t Threads) {
+  /// \p Name, when given, labels the workers "<Name>-<i>" in emitted traces.
+  explicit ThreadPool(size_t Threads, const char *Name = nullptr) {
     if (Threads <= 1)
       return;
     Workers.reserve(Threads);
     for (size_t I = 0; I != Threads; ++I)
-      Workers.emplace_back([this] { workerLoop(); });
+      Workers.emplace_back([this, Name, I] {
+        if (Name && TraceRecorder::global().enabled())
+          TraceRecorder::global().nameThisThread(Name + ("-" +
+                                                 std::to_string(I)));
+        workerLoop();
+      });
   }
 
   ~ThreadPool() {

@@ -1,0 +1,233 @@
+//===- support/Trace.cpp - Span-based pipeline tracing --------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace genic {
+
+namespace {
+
+/// TLS handle onto the recorder-owned buffer. The shared_ptr keeps the
+/// buffer alive on the thread side; the recorder holds its own reference so
+/// recorded events survive the thread's join. Generation detects clear().
+struct TlsSlot {
+  std::shared_ptr<void> Buffer;
+  uint64_t Generation = ~0ull;
+};
+
+thread_local TlsSlot LocalSlot;
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+}
+
+} // namespace
+
+TraceRecorder &TraceRecorder::global() {
+  static TraceRecorder *R = new TraceRecorder();
+  return *R;
+}
+
+void TraceRecorder::enable() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &B : Buffers) {
+    std::lock_guard<std::mutex> BLock(B->M);
+    B->Events.clear();
+    B->Next = 0;
+    B->Dropped = 0;
+  }
+  EpochNs.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+  Enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  Enabled.store(false, std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::nowUs() const {
+  return sinceEpochUs(std::chrono::steady_clock::now());
+}
+
+uint64_t
+TraceRecorder::sinceEpochUs(std::chrono::steady_clock::time_point T) const {
+  int64_t Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   T.time_since_epoch())
+                   .count() -
+               EpochNs.load(std::memory_order_relaxed);
+  return Ns <= 0 ? 0 : static_cast<uint64_t>(Ns) / 1000;
+}
+
+TraceRecorder::ThreadBuffer &TraceRecorder::localBuffer() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (LocalSlot.Buffer && LocalSlot.Generation == Generation)
+    return *static_cast<ThreadBuffer *>(LocalSlot.Buffer.get());
+  auto B = std::make_shared<ThreadBuffer>();
+  B->Tid = NextTid++;
+  Buffers.push_back(B);
+  LocalSlot.Buffer = B;
+  LocalSlot.Generation = Generation;
+  return *B;
+}
+
+void TraceRecorder::record(const TraceEvent &E) {
+  if (!enabled())
+    return;
+  ThreadBuffer &B = localBuffer();
+  std::lock_guard<std::mutex> Lock(B.M);
+  if (B.Events.size() < RingCapacity) {
+    B.Events.push_back(E);
+  } else {
+    B.Events[B.Next] = E;
+    B.Next = (B.Next + 1) % RingCapacity;
+    ++B.Dropped;
+  }
+}
+
+void TraceRecorder::instant(const char *Name, const char *Cat,
+                            const char *Arg1Name, int64_t Arg1,
+                            const char *Arg2Name, int64_t Arg2) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Ph = 'i';
+  E.TsUs = nowUs();
+  E.Arg1Name = Arg1Name;
+  E.Arg1 = Arg1;
+  E.Arg2Name = Arg2Name;
+  E.Arg2 = Arg2;
+  record(E);
+}
+
+void TraceRecorder::nameThisThread(std::string Name) {
+  ThreadBuffer &B = localBuffer();
+  std::lock_guard<std::mutex> Lock(B.M);
+  B.Name = std::move(Name);
+}
+
+uint64_t TraceRecorder::droppedEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t N = 0;
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BLock(B->M);
+    N += B->Dropped;
+  }
+  return N;
+}
+
+std::string TraceRecorder::json() const {
+  struct Row {
+    int Tid;
+    TraceEvent E;
+  };
+  std::vector<Row> Rows;
+  std::vector<std::pair<int, std::string>> Names;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &B : Buffers) {
+      std::lock_guard<std::mutex> BLock(B->M);
+      for (const TraceEvent &E : B->Events)
+        Rows.push_back({B->Tid, E});
+      if (!B->Name.empty())
+        Names.emplace_back(B->Tid, B->Name);
+    }
+  }
+  // Sort each thread's track by start time, longest span first on ties, so
+  // parents precede children and per-tid timestamps are monotone.
+  std::stable_sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
+    if (A.Tid != B.Tid)
+      return A.Tid < B.Tid;
+    if (A.E.TsUs != B.E.TsUs)
+      return A.E.TsUs < B.E.TsUs;
+    return A.E.DurUs > B.E.DurUs;
+  });
+  std::sort(Names.begin(), Names.end());
+
+  std::string Out;
+  Out.reserve(Rows.size() * 96 + 256);
+  Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool First = true;
+  char Buf[160];
+  for (const auto &[Tid, Name] : Names) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"",
+                  Tid);
+    Out += Buf;
+    appendEscaped(Out, Name);
+    Out += "\"}}";
+  }
+  for (const Row &R : Rows) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += "{\"name\":\"";
+    appendEscaped(Out, R.E.Name);
+    Out += "\",\"cat\":\"";
+    appendEscaped(Out, R.E.Cat ? R.E.Cat : "genic");
+    std::snprintf(Buf, sizeof(Buf),
+                  "\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%llu", R.E.Ph,
+                  R.Tid, static_cast<unsigned long long>(R.E.TsUs));
+    Out += Buf;
+    if (R.E.Ph == 'X') {
+      std::snprintf(Buf, sizeof(Buf), ",\"dur\":%llu",
+                    static_cast<unsigned long long>(R.E.DurUs));
+      Out += Buf;
+    }
+    if (R.E.Ph == 'i')
+      Out += ",\"s\":\"t\"";
+    if (R.E.Arg1Name) {
+      std::snprintf(Buf, sizeof(Buf), ",\"args\":{\"%s\":%lld",
+                    R.E.Arg1Name, static_cast<long long>(R.E.Arg1));
+      Out += Buf;
+      if (R.E.Arg2Name) {
+        std::snprintf(Buf, sizeof(Buf), ",\"%s\":%lld", R.E.Arg2Name,
+                      static_cast<long long>(R.E.Arg2));
+        Out += Buf;
+      }
+      Out += "}";
+    }
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+Status TraceRecorder::writeJson(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return Status::error("cannot open trace output file: " + Path);
+  std::string S = json();
+  size_t Written = std::fwrite(S.data(), 1, S.size(), F);
+  std::fclose(F);
+  if (Written != S.size())
+    return Status::error("short write to trace output file: " + Path);
+  return Status::ok();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Buffers.clear();
+  NextTid = 0;
+  ++Generation;
+}
+
+} // namespace genic

@@ -6,6 +6,8 @@
 
 #include "sygus/EnumeratorBank.h"
 
+#include "support/Trace.h"
+
 using namespace genic;
 
 size_t EnumeratorBankStore::hashKey(
@@ -70,6 +72,9 @@ void EnumeratorBankStore::put(const Grammar &G,
   }
   if (Table.size() >= Cap || Entries + Banks.TotalKept > EntryBudget) {
     TheStats.Evictions += Entries;
+    TraceRecorder::global().instant("cache.evict", "enumerator.banks",
+                                    "dropped",
+                                    static_cast<int64_t>(Entries));
     Table.clear();
     Entries = 0;
   }

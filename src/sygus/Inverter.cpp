@@ -7,7 +7,9 @@
 #include "sygus/Inverter.h"
 
 #include "solver/SolverContext.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 #include "sygus/AuxInvert.h"
 #include "sygus/Mining.h"
 #include "term/TermClone.h"
@@ -103,10 +105,7 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
   auto AccumulateWorker = [this](Solver &WorkerSolver,
                                  SygusEngine &WorkerEngine) {
     LastWorkerStats.Smt += WorkerSolver.stats();
-    const CompiledEvalCache::Stats &ES = WorkerEngine.evalCache().stats();
-    LastWorkerStats.Eval.Lookups += ES.Lookups;
-    LastWorkerStats.Eval.Compiles += ES.Compiles;
-    LastWorkerStats.Eval.Evals += ES.Evals;
+    LastWorkerStats.Eval += WorkerEngine.evalCache().stats();
     const EnumeratorBankStore::Stats &BS = WorkerEngine.bankStore().stats();
     LastWorkerStats.BankReuseHits += BS.ReuseHits;
     LastWorkerStats.BankReuseMisses += BS.ReuseMisses;
@@ -135,11 +134,15 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
     }
     {
       FreezeGuard Quiesce(F);
-      ThreadPool Pool(std::min<size_t>(Opts.Jobs, AuxTasks.size()));
-      for (AuxTask &Task : AuxTasks) {
-        AuxTask *T = &Task;
-        Pool.submit(
-            [T] { T->Inv = invertAuxFunction(*T->Engine, T->Fn, T->InvName); });
+      ThreadPool Pool(std::min<size_t>(Opts.Jobs, AuxTasks.size()), "aux");
+      for (size_t I = 0; I != AuxTasks.size(); ++I) {
+        AuxTask *T = &AuxTasks[I];
+        Pool.submit([T, I] {
+          MetricsPhaseScope WorkerPhase("inversion");
+          TraceSpan AuxSpan("invert.aux");
+          AuxSpan.arg("index", static_cast<int64_t>(I));
+          T->Inv = invertAuxFunction(*T->Engine, T->Fn, T->InvName);
+        });
       }
       Pool.wait();
     }
@@ -175,13 +178,16 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
   const Type InTy = A.inputType(), OutTy = A.outputType();
   {
     FreezeGuard Quiesce(F);
-    ThreadPool Pool(std::min<size_t>(Opts.Jobs, Tasks.size()));
+    ThreadPool Pool(std::min<size_t>(Opts.Jobs, Tasks.size()), "rule");
     for (size_t I = 0; I != Tasks.size(); ++I) {
       RuleTask *Task = &Tasks[I];
       const SeftTransition *T = &Ts[I];
       const std::vector<const FuncDef *> *Comps = &Components;
       const InverterOptions *O = &Opts;
       Pool.submit([Task, T, Comps, I, InTy, OutTy, O] {
+        MetricsPhaseScope WorkerPhase("inversion");
+        TraceSpan RuleSpan("invert.rule");
+        RuleSpan.arg("rule", static_cast<int64_t>(I));
         RecoverySynthesizer Hook =
             makeRecoveryHook(Task->Ctx->solver(), *Task->Engine,
                              Task->Ctx->factory(), *Comps, *O);

@@ -6,7 +6,9 @@
 
 #include "sygus/Sygus.h"
 
+#include "support/Metrics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 #include "sygus/BitSlice.h"
 #include "sygus/Enumerator.h"
 #include "term/Eval.h"
@@ -114,11 +116,15 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
                                         const Grammar &G) {
   Timer Clock;
   CallRecord Record;
+  MetricsPhaseScope Phase("cegis");
+  TraceSpan CallSpan("sygus.synthesize");
   TermFactory &F = S.factory();
   const ImagePredicate &P = Spec.Image;
 
   auto Finish = [&](Result<TermRef> R) -> Result<TermRef> {
     Record.Seconds = Clock.seconds();
+    CallSpan.arg("iterations", Record.CegisIterations);
+    CallSpan.arg("success", R.isOk() ? 1 : 0);
     if (R.isOk()) {
       Record.Success = true;
       Record.ResultSize = (*R)->size();
@@ -201,6 +207,7 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
       Small.BankStore = EC.BankStore;
       Small.Cancel = EC.Cancel;
       Enumerator SmallEnum(F, G, Ys, Small);
+      MetricsPhaseScope EnumPhase("enumeration");
       Candidate = SmallEnum.findMatching(Targets);
     }
     // Next the bit-slice strategy: near-free, and covers the bit-regrouping
@@ -258,6 +265,7 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
     }
     if (!Candidate) {
       Enumerator Enum(F, G, Ys, EC);
+      MetricsPhaseScope EnumPhase("enumeration");
       Candidate = Enum.findMatching(Targets);
       if (!Candidate) {
         if (S.cancellation().cancelled())

@@ -6,7 +6,9 @@
 
 #include "transducer/Determinism.h"
 
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <limits>
@@ -147,6 +149,7 @@ genic::checkDeterminism(const Seft &A, Solver &S) {
 Result<std::optional<DeterminismViolation>>
 genic::checkDeterminism(const Seft &A, Solver &S,
                         const DeterminismOptions &Opts) {
+  MetricsPhaseScope Phase("determinism");
   const auto &Ts = A.transitions();
   std::vector<std::pair<unsigned, unsigned>> PairList;
   for (unsigned I = 0, E = Ts.size(); I != E; ++I)
@@ -175,11 +178,14 @@ genic::checkDeterminism(const Seft &A, Solver &S,
   // pair below the final minimum is ever skipped.
   std::atomic<size_t> Cutoff{SIZE_MAX};
 
-  ThreadPool TP(Threads);
+  TraceSpan ScanSpan("determinism.scan");
+  ScanSpan.arg("pairs", static_cast<int64_t>(PairList.size()));
+  ThreadPool TP(Threads, "det");
   for (size_t C = 0; C != NumChunks; ++C) {
     size_t Begin = PairList.size() * C / NumChunks;
     size_t End = PairList.size() * (C + 1) / NumChunks;
     TP.submit([&, C, Begin, End] {
+      MetricsPhaseScope WorkerPhase("determinism");
       SolverSessionPool::Lease Sess = Pool.lease();
       for (size_t K = Begin; K != End; ++K) {
         if (K > Cutoff.load(std::memory_order_relaxed))

@@ -9,8 +9,10 @@
 #include "automata/Ambiguity.h"
 
 #include "solver/SolverContext.h"
+#include "support/Metrics.h"
 #include "support/Result.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 #include "term/TermClone.h"
 
 #include <atomic>
@@ -101,6 +103,8 @@ genic::checkTransitionInjectivity(const Seft &A, Solver &S) {
 Result<std::optional<TransitionInjectivityViolation>>
 genic::checkTransitionInjectivity(const Seft &A, Solver &S,
                                   const InjectivityOptions &Opts) {
+  MetricsPhaseScope Phase("ti");
+  TraceSpan ScanSpan("ti.scan");
   const auto &Ts = A.transitions();
   std::vector<unsigned> Rules;
   for (unsigned Index = 0, E = Ts.size(); Index != E; ++Index)
@@ -123,11 +127,12 @@ genic::checkTransitionInjectivity(const Seft &A, Solver &S,
   std::vector<size_t> FirstEvent(NumChunks, SIZE_MAX);
   std::atomic<size_t> Cutoff{SIZE_MAX};
 
-  ThreadPool TP(Threads);
+  ThreadPool TP(Threads, "ti");
   for (size_t C = 0; C != NumChunks; ++C) {
     size_t Begin = Rules.size() * C / NumChunks;
     size_t End = Rules.size() * (C + 1) / NumChunks;
     TP.submit([&, C, Begin, End] {
+      MetricsPhaseScope WorkerPhase("ti");
       SolverSessionPool::Lease Sess = Pool.lease();
       for (size_t K = Begin; K != End; ++K) {
         if (K > Cutoff.load(std::memory_order_relaxed))
@@ -186,6 +191,9 @@ Result<CartesianSefa> genic::buildOutputAutomaton(const Seft &A, Solver &S,
 
 Result<CartesianSefa> genic::buildOutputAutomaton(
     const Seft &A, Solver &S, bool AllowHull, const InjectivityOptions &Opts) {
+  MetricsPhaseScope Phase("cegar");
+  TraceSpan ProjSpan("cegar.projections");
+  ProjSpan.arg("hull", AllowHull);
   const auto &Ts = A.transitions();
 
   // One task per (rule, output position): the per-position projections are
@@ -217,14 +225,17 @@ Result<CartesianSefa> genic::buildOutputAutomaton(
     }
   }
 
-  ThreadPool TP(std::min<size_t>(std::max(1u, Opts.Jobs), Tasks.size()));
+  ThreadPool TP(std::min<size_t>(std::max(1u, Opts.Jobs), Tasks.size()),
+                "proj");
   bool Hull = AllowHull;
   {
     FreezeGuard Quiesce(S.factory());
     for (ProjTask &Task : Tasks) {
       ProjTask *T = &Task;
-      TP.submit(
-          [T, Hull] { T->Psi = T->Ctx->solver().project(T->P, T->J, Hull); });
+      TP.submit([T, Hull] {
+        MetricsPhaseScope WorkerPhase("cegar");
+        T->Psi = T->Ctx->solver().project(T->P, T->J, Hull);
+      });
     }
     TP.wait();
   }
@@ -456,6 +467,8 @@ genic::checkInjectivity(const Seft &A, Solver &S,
   // projections, then — only if a witness fails to validate — with exact
   // interval-learned projections.
   for (bool AllowHull : {true, false}) {
+    TraceSpan RoundSpan("cegar.round");
+    RoundSpan.arg("hull", AllowHull);
     if (S.cancellation().cancelled())
       return Status::cancelled(
           "injectivity CEGAR loop: global deadline exhausted");

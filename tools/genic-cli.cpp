@@ -37,6 +37,13 @@
 ///                  testing, SPEC = kind@N[xC][:scope] (see
 ///                  solver/FaultInjector.h); env GENIC_FAULT_INJECT is
 ///                  used when the flag is absent
+///   --trace-out FILE  record a span trace of the run and write it as
+///                  Chrome trace-event JSON (load in Perfetto or
+///                  chrome://tracing; validate with tools/trace-lint)
+///   --metrics-json FILE  write the machine-readable run report: the
+///                  structural outcome (jobs-invariant), all registry
+///                  counters/gauges, the per-phase solver-query latency
+///                  histograms, and the isolated timing section
 ///
 /// Exit codes: 0 ok, 1 generic error, 2 usage, 3 not invertible /
 /// negative verdict, 4 budget exhausted, 5 internal solver error.
@@ -48,6 +55,7 @@
 #include "genic/Lower.h"
 #include "genic/Parser.h"
 #include "support/StringUtils.h"
+#include "support/Trace.h"
 #include "transducer/Sampling.h"
 
 #include <algorithm>
@@ -71,7 +79,8 @@ int usage() {
       "  options: --no-aux --no-mining --no-slice --jobs N --entry NAME "
       "--sat-cache-cap N --stats\n"
       "           --timeout-seconds S --solver-timeout-ms N "
-      "--fault-inject SPEC\n");
+      "--fault-inject SPEC\n"
+      "           --trace-out FILE --metrics-json FILE\n");
   return ExitUsage;
 }
 
@@ -102,82 +111,6 @@ Result<Value> parseSymbol(const std::string &Text, const Type &Ty) {
   }
 }
 
-void printStats(const GenicReport &R) {
-  if (R.Inversion) {
-    std::printf("\nper-rule inversion:\n");
-    for (const RuleInversionRecord &Rec : R.Inversion->Records)
-      std::printf("  rule %-3u %-4s %7.3fs  %s\n", Rec.Rule,
-                  Rec.Inverted ? "ok" : "FAIL", Rec.Seconds,
-                  Rec.Error.c_str());
-    std::printf("SyGuS calls (size, seconds, outcome):\n");
-    for (const SygusEngine::CallRecord &C : R.SygusCalls)
-      std::printf("  %3u  %7.3fs  %s  (%u CEGIS iterations)\n", C.ResultSize,
-                  C.Seconds, C.Success ? "ok" : "fail", C.CegisIterations);
-  }
-  auto PrintCaches = [](const Solver::Stats &S) {
-    std::printf("  sat cache %llu hit / %llu miss / %llu evicted, model "
-                "cache %llu/%llu/%llu, projection cache %llu/%llu/%llu\n",
-                (unsigned long long)S.CacheHits,
-                (unsigned long long)S.CacheMisses,
-                (unsigned long long)S.CacheEvictions,
-                (unsigned long long)S.ModelCacheHits,
-                (unsigned long long)S.ModelCacheMisses,
-                (unsigned long long)S.ModelCacheEvictions,
-                (unsigned long long)S.ProjCacheHits,
-                (unsigned long long)S.ProjCacheMisses,
-                (unsigned long long)S.ProjCacheEvictions);
-  };
-  const Solver::Stats &S = R.SolverStats;
-  std::printf("solver (shared): %llu sat queries, %llu QE calls "
-              "(%llu fallbacks)\n",
-              (unsigned long long)S.SatQueries,
-              (unsigned long long)S.QeCalls,
-              (unsigned long long)S.QeFallbacks);
-  PrintCaches(S);
-  if (R.CheckerSessions) {
-    const Solver::Stats &C = R.CheckerStats;
-    std::printf("solver (%u checker sessions): %llu sat queries\n",
-                R.CheckerSessions, (unsigned long long)C.SatQueries);
-    PrintCaches(C);
-  }
-  if (R.WorkerStats.Sessions) {
-    const Solver::Stats &W = R.WorkerStats.Smt;
-    std::printf("solver (%u worker sessions): %llu sat queries\n",
-                R.WorkerStats.Sessions, (unsigned long long)W.SatQueries);
-    PrintCaches(W);
-    std::printf("worker forks: %llu nodes cloned in, %llu cloned out, "
-                "bank reuse %llu hit / %llu miss\n",
-                (unsigned long long)R.WorkerStats.CloneInNodes,
-                (unsigned long long)R.WorkerStats.CloneOutNodes,
-                (unsigned long long)R.WorkerStats.BankReuseHits,
-                (unsigned long long)R.WorkerStats.BankReuseMisses);
-    const CompiledEvalCache::Stats &E = R.WorkerStats.Eval;
-    std::printf("compiled eval (worker sessions): %llu executions, %llu "
-                "programs compiled, %llu cache hits\n",
-                (unsigned long long)E.Evals, (unsigned long long)E.Compiles,
-                (unsigned long long)E.hits());
-  }
-  const CompiledEvalCache::Stats &E = R.EvalStats;
-  std::printf("compiled eval (shared engine): %llu executions, %llu "
-              "programs compiled, %llu cache hits\n",
-              (unsigned long long)E.Evals, (unsigned long long)E.Compiles,
-              (unsigned long long)E.hits());
-  std::printf("bank reuse (shared engine): %llu hit / %llu miss\n",
-              (unsigned long long)R.BankReuseHits,
-              (unsigned long long)R.BankReuseMisses);
-  std::printf("robustness: %llu retries attempted, %llu queries timed "
-              "out, %llu cancelled, %llu faults injected, %u rules "
-              "degraded\n",
-              (unsigned long long)R.RetriesAttempted,
-              (unsigned long long)R.QueriesTimedOut,
-              (unsigned long long)R.QueriesCancelled,
-              (unsigned long long)R.InjectedFaults, R.RulesDegraded);
-  if (R.DeadlineRemainingSeconds >= 0)
-    std::printf("deadline: %.3fs remaining at exit%s\n",
-                R.DeadlineRemainingSeconds,
-                R.DeadlineExpired ? " (EXPIRED)" : "");
-}
-
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -189,6 +122,7 @@ int main(int Argc, char **Argv) {
   double TimeoutSeconds = 0;
   std::optional<unsigned> SolverTimeoutMs;
   std::optional<std::string> FaultSpec;
+  std::string TraceOut, MetricsJsonOut;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -240,6 +174,14 @@ int main(int Argc, char **Argv) {
       if (++I >= Argc)
         return usage();
       FaultSpec = Argv[I];
+    } else if (Arg == "--trace-out") {
+      if (++I >= Argc)
+        return usage();
+      TraceOut = Argv[I];
+    } else if (Arg == "--metrics-json") {
+      if (++I >= Argc)
+        return usage();
+      MetricsJsonOut = Argv[I];
     } else if (Command.empty()) {
       Command = Arg;
     } else if (Path.empty()) {
@@ -399,13 +341,30 @@ int main(int Argc, char **Argv) {
     }
     Tool.setFaultPlan(*Plan);
   }
+  if (!TraceOut.empty()) {
+    TraceRecorder::global().enable();
+    TraceRecorder::global().nameThisThread("main");
+  }
   Result<GenicReport> Report =
       Tool.run(*Source, ForceInjective, ForceInvert);
+  if (!TraceOut.empty()) {
+    TraceRecorder::global().disable();
+    if (Status St = TraceRecorder::global().writeJson(TraceOut); !St)
+      std::fprintf(stderr, "warning: %s\n", St.message().c_str());
+  }
   if (!Report) {
     std::fprintf(stderr, "error: %s\n", Report.status().message().c_str());
     return ExitError;
   }
   const GenicReport &R = *Report;
+  if (!MetricsJsonOut.empty()) {
+    std::ofstream MOut(MetricsJsonOut);
+    if (!MOut)
+      std::fprintf(stderr, "warning: cannot open %s\n",
+                   MetricsJsonOut.c_str());
+    else
+      MOut << formatMetricsJson(R, Tool.metrics().snapshot());
+  }
 
   std::printf("%s: %u state(s), %u rule(s), %u auxiliary function(s), "
               "lookahead %u, theory %s\n",
@@ -413,12 +372,13 @@ int main(int Argc, char **Argv) {
               R.NumAuxFuncs, R.MaxLookahead, R.Theory.c_str());
   if (R.DeterminismPhase == GenicReport::PhaseOutcome::Ok)
     std::printf("deterministic: %s (%.3fs)%s%s\n",
-                R.Deterministic ? "yes" : "NO", R.DeterminismSeconds,
-                R.Deterministic ? "" : " — ", R.DeterminismDetail.c_str());
+                R.Deterministic ? "yes" : "NO",
+                R.Timings.DeterminismSeconds, R.Deterministic ? "" : " — ",
+                R.DeterminismDetail.c_str());
   if (R.Injectivity) {
     std::printf("injective:     %s (%.3fs)\n",
                 R.Injectivity->Injective ? "yes" : "NO",
-                R.InjectivitySeconds);
+                R.Timings.InjectivitySeconds);
     if (!R.Injectivity->Injective) {
       std::printf("  %s\n", R.Injectivity->Detail.c_str());
       if (R.Injectivity->Witness)
@@ -430,11 +390,11 @@ int main(int Argc, char **Argv) {
   if (R.Inversion) {
     std::printf("inverted:      %s (%.3fs total, %.3fs max rule)\n",
                 R.Inversion->complete() ? "yes" : "PARTIALLY",
-                R.InversionSeconds, R.Inversion->maxRuleSeconds());
+                R.Timings.InversionSeconds, R.Inversion->maxRuleSeconds());
     std::printf("\n%s", R.InverseSource.c_str());
   }
   std::printf("\n%s", formatOutcomeReport(R).c_str());
   if (Stats)
-    printStats(R);
+    std::fputs(formatStatsReport(R).c_str(), stdout);
   return suggestedExitCode(R);
 }

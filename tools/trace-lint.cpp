@@ -1,0 +1,184 @@
+//===- tools/trace-lint.cpp ------------------------------------------------===//
+//
+// Part of the genic project.
+//
+// Validates a Chrome trace-event JSON file as emitted by --trace-out:
+//
+//   * every event line carries the required keys (name, ph, ts, pid, tid),
+//   * complete ('X') events carry a non-negative dur,
+//   * timestamps are monotonically non-decreasing per thread (the writer
+//     sorts by (tid, ts, -dur), so any violation means a corrupt file),
+//   * spans nest properly per thread: a parent 'X' event fully encloses
+//     every child that starts inside it (stack discipline).
+//
+// The parser is deliberately line-based string slicing: the emitter writes
+// one event per line with a fixed key order, and this tool must not grow a
+// JSON-library dependency. Exit code 0 with a one-line summary on success,
+// 1 with a diagnostic naming the first offending line otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Event {
+  size_t LineNo = 0;
+  char Ph = 0;
+  int64_t Tid = 0;
+  int64_t Ts = 0;
+  int64_t Dur = 0;
+  std::string Name;
+};
+
+/// Extracts the raw value text after `"key":` on an event line, or nullopt
+/// semantics via the Found flag. Values are either quoted strings or bare
+/// numbers; the emitter never nests objects except the final "args".
+bool findValue(const std::string &Line, const char *Key, std::string &Out) {
+  std::string Needle = std::string("\"") + Key + "\":";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  size_t V = At + Needle.size();
+  if (V >= Line.size())
+    return false;
+  if (Line[V] == '"') {
+    size_t End = V + 1;
+    while (End < Line.size() && Line[End] != '"') {
+      if (Line[End] == '\\')
+        ++End;
+      ++End;
+    }
+    if (End >= Line.size())
+      return false;
+    Out = Line.substr(V + 1, End - V - 1);
+    return true;
+  }
+  size_t End = V;
+  while (End < Line.size() && (std::isdigit((unsigned char)Line[End]) ||
+                               Line[End] == '-' || Line[End] == '.'))
+    ++End;
+  if (End == V)
+    return false;
+  Out = Line.substr(V, End - V);
+  return true;
+}
+
+bool parseInt(const std::string &Text, int64_t &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoll(Text.c_str(), &End, 10);
+  return End && *End == '\0';
+}
+
+int fail(size_t LineNo, const std::string &Why) {
+  std::fprintf(stderr, "trace-lint: line %zu: %s\n", LineNo, Why.c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2) {
+    std::fprintf(stderr, "usage: trace-lint TRACE.json\n");
+    return 2;
+  }
+  std::ifstream In(Argv[1]);
+  if (!In) {
+    std::fprintf(stderr, "trace-lint: cannot open %s\n", Argv[1]);
+    return 2;
+  }
+
+  std::vector<Event> Events;
+  std::string Line;
+  size_t LineNo = 0;
+  bool SawHeader = false;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.find("\"traceEvents\"") != std::string::npos)
+      SawHeader = true;
+    // Event lines are the ones carrying a phase marker.
+    std::string PhText;
+    if (!findValue(Line, "ph", PhText))
+      continue;
+    if (PhText.size() != 1)
+      return fail(LineNo, "phase must be a single character, got \"" +
+                              PhText + "\"");
+    Event E;
+    E.LineNo = LineNo;
+    E.Ph = PhText[0];
+    std::string Text;
+    if (!findValue(Line, "name", E.Name))
+      return fail(LineNo, "event is missing \"name\"");
+    if (!findValue(Line, "pid", Text))
+      return fail(LineNo, "event is missing \"pid\"");
+    if (!findValue(Line, "tid", Text) || !parseInt(Text, E.Tid))
+      return fail(LineNo, "event is missing a numeric \"tid\"");
+    if (E.Ph == 'M')
+      continue; // Metadata events carry no timestamp.
+    if (!findValue(Line, "ts", Text) || !parseInt(Text, E.Ts))
+      return fail(LineNo, "event is missing a numeric \"ts\"");
+    if (E.Ts < 0)
+      return fail(LineNo, "negative timestamp");
+    if (E.Ph == 'X') {
+      if (!findValue(Line, "dur", Text) || !parseInt(Text, E.Dur))
+        return fail(LineNo, "complete event is missing a numeric \"dur\"");
+      if (E.Dur < 0)
+        return fail(LineNo, "negative duration");
+    } else if (E.Ph != 'i') {
+      return fail(LineNo, std::string("unexpected phase '") + E.Ph + "'");
+    }
+    Events.push_back(std::move(E));
+  }
+  if (!SawHeader) {
+    std::fprintf(stderr, "trace-lint: %s has no \"traceEvents\" array\n",
+                 Argv[1]);
+    return 1;
+  }
+
+  // Per-thread checks: monotonic timestamps and stack-disciplined nesting.
+  // Events arrive already sorted by (tid, ts, -dur); verify rather than
+  // re-sort so the check also covers the writer's ordering contract.
+  struct Open {
+    int64_t End;
+    size_t LineNo;
+    std::string Name;
+  };
+  std::map<int64_t, int64_t> LastTs;
+  std::map<int64_t, std::vector<Open>> Stacks;
+  size_t Spans = 0, Instants = 0;
+  for (const Event &E : Events) {
+    auto It = LastTs.find(E.Tid);
+    if (It != LastTs.end() && E.Ts < It->second)
+      return fail(E.LineNo, "timestamp goes backwards on tid " +
+                                std::to_string(E.Tid));
+    LastTs[E.Tid] = E.Ts;
+    auto &Stack = Stacks[E.Tid];
+    while (!Stack.empty() && Stack.back().End <= E.Ts)
+      Stack.pop_back();
+    if (E.Ph == 'i') {
+      ++Instants;
+      continue;
+    }
+    ++Spans;
+    if (!Stack.empty() && E.Ts + E.Dur > Stack.back().End)
+      return fail(E.LineNo, "span \"" + E.Name + "\" overflows enclosing \"" +
+                                Stack.back().Name + "\" (line " +
+                                std::to_string(Stack.back().LineNo) + ")");
+    Stack.push_back({E.Ts + E.Dur, E.LineNo, E.Name});
+  }
+
+  std::printf("trace-lint: ok: %zu spans, %zu instants, %zu threads\n", Spans,
+              Instants, LastTs.size());
+  return 0;
+}
