@@ -147,6 +147,7 @@ std::map<std::string, double> readBaselineField(const std::string &Path,
 
 int main(int Argc, char **Argv) {
   unsigned Jobs = 1;
+  bool SolverIncremental = true;
   std::string JsonPath = "BENCH_table1.json";
   std::string Only;
   std::string BaselinePath;
@@ -154,6 +155,8 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc)
       Jobs = std::max(1, std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--solver-incremental") && I + 1 < Argc)
+      SolverIncremental = std::strcmp(Argv[++I], "off") != 0;
     else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
       JsonPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--only") && I + 1 < Argc)
@@ -164,7 +167,8 @@ int main(int Argc, char **Argv) {
       MaxRegressPct = std::atof(Argv[++I]);
     else {
       std::fprintf(stderr,
-                   "usage: %s [--jobs N] [--json FILE] [--only SUBSTR]\n"
+                   "usage: %s [--jobs N] [--solver-incremental on|off]\n"
+                   "          [--json FILE] [--only SUBSTR]\n"
                    "          [--baseline FILE] [--max-regress PCT]\n"
                    "  --only         run only programs whose name contains "
                    "SUBSTR\n"
@@ -207,6 +211,7 @@ int main(int Argc, char **Argv) {
     ++Ran;
     InverterOptions Options;
     Options.Jobs = Jobs;
+    Options.SolverIncremental = SolverIncremental;
     GenicTool Tool(Options);
     Result<GenicReport> Report = Tool.run(Spec.Source);
     if (!Report) {

@@ -5,8 +5,11 @@
 #   1. Tier-1: configure, build, and run the whole test suite. Then an
 #      observability check: a traced UTF-8 encoder inversion must produce
 #      a Chrome trace that passes trace-lint (well-formed events,
-#      monotonic timestamps, balanced spans) and a metrics JSON with the
-#      per-phase solver-query histograms.
+#      monotonic timestamps, balanced spans, solver.scope markers from the
+#      incremental core) and a metrics JSON with the per-phase
+#      solver-query histograms. Finally an incremental parity check:
+#      --solver-incremental on and off must print byte-identical
+#      structural outcomes.
 #   2. Sanitizers: rebuild with -fsanitize=address,undefined and re-run the
 #      suites that exercise new machinery with threads and compiled
 #      evaluation (plus the term/solver cores under them), including the
@@ -70,6 +73,25 @@ for Key in '"schema": "genic-metrics-v1"' '"structural"' \
     exit 1
   fi
 done
+# The run above used the incremental solver core (the default); its scope
+# push/pop markers must appear in the lintable trace.
+if ! grep -qF '"solver.scope"' build/utf8.trace.json; then
+  echo "trace check: no solver.scope events in the incremental run" >&2
+  exit 1
+fi
+
+echo "=== incremental parity: --solver-incremental on vs off ==="
+# The one-shot fallback must produce a byte-identical structural outcome;
+# only the timing annotations may differ.
+./build/tools/genic invert programs/UTF-8_encoder.genic --jobs 2 \
+  --solver-incremental on > build/utf8.inc.out
+./build/tools/genic invert programs/UTF-8_encoder.genic --jobs 2 \
+  --solver-incremental off > build/utf8.oneshot.out
+if ! diff <(grep -vE '\([0-9.]+s' build/utf8.inc.out) \
+    <(grep -vE '\([0-9.]+s' build/utf8.oneshot.out); then
+  echo "incremental parity: structural outcome differs between modes" >&2
+  exit 1
+fi
 
 if [ "$SKIP_ASAN" -eq 0 ]; then
   echo "=== sanitizers: address,undefined on the hot-path suites ==="
@@ -79,9 +101,11 @@ if [ "$SKIP_ASAN" -eq 0 ]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build build-asan -j --target \
     compiled_eval_test parallel_invert_test enumerator_test \
-    term_test eval_test solver_test support_test fault_injection_test
+    term_test eval_test solver_test support_test fault_injection_test \
+    incremental_solver_test
   for T in compiled_eval_test parallel_invert_test enumerator_test \
-    term_test eval_test solver_test support_test fault_injection_test; do
+    term_test eval_test solver_test support_test fault_injection_test \
+    incremental_solver_test; do
     echo "--- asan/ubsan: $T"
     ./build-asan/tests/"$T"
   done
@@ -117,7 +141,7 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j --target support_test \
     parallel_injectivity_test solver_context_test bank_reuse_test \
-    fault_injection_test
+    fault_injection_test incremental_solver_test
   # tsan.supp silences the uninstrumented libz3's internal locking (false
   # positives); our own code is fully checked.
   export TSAN_OPTIONS="suppressions=$PWD/tsan.supp"
@@ -132,6 +156,8 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ./build-tsan/tests/bank_reuse_test
   echo "--- tsan: fault_injection_test"
   ./build-tsan/tests/fault_injection_test
+  echo "--- tsan: incremental_solver_test"
+  ./build-tsan/tests/incremental_solver_test
   echo "--- tsan: trace_metrics_test"
   cmake --build build-tsan -j --target trace_metrics_test
   ./build-tsan/tests/trace_metrics_test
@@ -142,6 +168,12 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ./build-tsan/tools/genic invert programs/BASE16_encoder.genic --jobs 4 \
     --trace-out build-tsan/b16.trace.json
   ./build-tsan/tools/trace-lint build-tsan/b16.trace.json
+  echo "--- tsan: traced CLI run (--jobs 4, --solver-incremental off)"
+  # The one-shot fallback shares the pooled sessions and caches across
+  # threads too; both solver modes must be race-free.
+  ./build-tsan/tools/genic invert programs/BASE16_encoder.genic --jobs 4 \
+    --solver-incremental off --trace-out build-tsan/b16.oneshot.trace.json
+  ./build-tsan/tools/trace-lint build-tsan/b16.oneshot.trace.json
   unset TSAN_OPTIONS
 fi
 
@@ -151,12 +183,17 @@ if [ "$SKIP_BENCH" -eq 0 ]; then
   (cd build && ./bench/bench_micro --benchmark_min_time=0.05)
 
   echo "=== bench regression gate: isInjective + inversion vs baseline ==="
+  # Slack is set from measured day-to-day drift on this single-core box
+  # (same-binary sweeps vary by ~25-55% per program; see EXPERIMENTS.md
+  # "Incremental solver core"), so the gate catches hangs and 2x cliffs
+  # without flaking on container noise. The UTF-16 encoder's isInjective
+  # is a single hard surrogate-pair query and drifts the most.
   cmake --build build -j --target bench_table1
   (cd build && ./bench/bench_table1 --only "UTF-16 encoder" --jobs 1 \
-    --baseline ../BENCH_table1.json --max-regress 20 \
+    --baseline ../BENCH_table1.json --max-regress 75 \
     --json BENCH_table1.smoke.json)
   (cd build && ./bench/bench_table1 --only "UTF-8 encoder" --jobs 1 \
-    --baseline ../BENCH_table1.json --max-regress 20 \
+    --baseline ../BENCH_table1.json --max-regress 40 \
     --json BENCH_table1.utf8.smoke.json)
 fi
 

@@ -38,6 +38,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -642,6 +643,58 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
           if (Ci > Cutoff.load(std::memory_order_relaxed))
             continue;
           auto [P, Q, D] = Level[Ci];
+          // Coalesce this configuration's uncached guard-overlap queries
+          // into one selector-literal batch against the pooled session:
+          // the session keeps its product-construction state and only the
+          // frontier pairs vary. Purely an accelerator — Sat/Unsat
+          // verdicts land in the same shared cache the scans below (and
+          // the serial merge) consult, and Unknowns are left for the
+          // scans' individual queries, so the outcome is unchanged.
+          if (Sess->Slv.control().Incremental) {
+            std::vector<std::pair<TermRef, TermRef>> PKs;
+            std::set<std::pair<TermRef, TermRef>> InBatch;
+            auto Note = [&](TermRef GA, TermRef GB) {
+              std::pair<TermRef, TermRef> PK = std::minmax(GA, GB);
+              if (!InBatch.insert(PK).second)
+                return;
+              if (Overlaps.lookup(PK.first, PK.second))
+                return;
+              PKs.push_back(PK);
+            };
+            for (size_t I1 : FinishersFrom[P])
+              for (size_t I2 : FinishersFrom[Q]) {
+                if (!D && X.Finishers[I1].Id == X.Finishers[I2].Id)
+                  continue;
+                Note(X.Finishers[I1].Guard, X.Finishers[I2].Guard);
+              }
+            for (size_t I1 : StepsFrom[P])
+              for (size_t I2 : StepsFrom[Q]) {
+                const Piece &T1 = X.Steps[I1];
+                const Piece &T2 = X.Steps[I2];
+                uint64_t NK = Key(T1.To, T2.To, D || T1.Id != T2.Id);
+                if (Visited.count(NK) || NewKeys.count(NK))
+                  continue;
+                Note(T1.Guard, T2.Guard);
+              }
+            if (PKs.size() > 1) {
+              std::vector<TermRef> Queries;
+              Queries.reserve(PKs.size());
+              for (const auto &PK : PKs) {
+                TermRef A2 = Sess->Import.clone(PK.first);
+                Queries.push_back(
+                    PK.first == PK.second
+                        ? A2
+                        : Sess->Factory.mkAnd(A2,
+                                              Sess->Import.clone(PK.second)));
+              }
+              std::vector<SatResult> Verdicts =
+                  Sess->Slv.checkSatBatch(Queries);
+              for (size_t K = 0; K != PKs.size(); ++K)
+                if (Verdicts[K] != SatResult::Unknown)
+                  Overlaps.record(PKs[K].first, PKs[K].second,
+                                  Verdicts[K] == SatResult::Sat);
+            }
+          }
           bool Fin = false;
           for (size_t I1 : FinishersFrom[P]) {
             for (size_t I2 : FinishersFrom[Q]) {

@@ -42,6 +42,7 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
   Ctl.Faults = Faults;
   Ctl.Metrics = &Registry;
   Ctl.Kind = SolverSessionKind::Shared;
+  Ctl.Incremental = Options.SolverIncremental;
   Slv.setControl(Ctl);
 
   Result<AstProgram> Ast = parseGenic(Source);
@@ -242,6 +243,15 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
     C(".query_timeouts", S.QueryTimeouts);
     C(".queries_cancelled", S.QueriesCancelled);
     C(".injected_faults", S.InjectedFaults);
+    C(".scope.pushes", S.ScopePushes);
+    C(".scope.pops", S.ScopePops);
+    C(".assumption.batches", S.AssumptionBatches);
+    C(".assumption.literals", S.AssumptionLiterals);
+    C(".incremental.hits", S.IncrementalHits);
+    C(".incremental.full_restarts", S.FullRestarts);
+    C(".cache.scoped.hits", S.ScopedCacheHits);
+    C(".cache.scoped.misses", S.ScopedCacheMisses);
+    C(".cache.scoped.evictions", S.ScopedCacheEvictions);
   };
   RecordSolver("solver.shared", Report.SolverStats);
   RecordSolver("solver.checker", Report.CheckerStats);
@@ -413,6 +423,24 @@ std::string genic::formatStatsReport(const GenicReport &R) {
     (unsigned long long)R.QueriesTimedOut,
     (unsigned long long)R.QueriesCancelled,
     (unsigned long long)R.InjectedFaults, R.RulesDegraded);
+  {
+    Solver::Stats Inc = R.SolverStats;
+    Inc += R.CheckerStats;
+    Inc += R.WorkerStats.Smt;
+    if (Inc.ScopePushes || Inc.AssumptionBatches || Inc.IncrementalHits)
+      P("incremental: %llu scope pushes / %llu pops, %llu assumption "
+        "batches (%llu literals), %llu incremental hits / %llu full "
+        "restarts, scoped cache %llu hit / %llu miss / %llu evicted\n",
+        (unsigned long long)Inc.ScopePushes,
+        (unsigned long long)Inc.ScopePops,
+        (unsigned long long)Inc.AssumptionBatches,
+        (unsigned long long)Inc.AssumptionLiterals,
+        (unsigned long long)Inc.IncrementalHits,
+        (unsigned long long)Inc.FullRestarts,
+        (unsigned long long)Inc.ScopedCacheHits,
+        (unsigned long long)Inc.ScopedCacheMisses,
+        (unsigned long long)Inc.ScopedCacheEvictions);
+  }
   if (R.Timings.DeadlineRemainingSeconds >= 0)
     P("deadline: %.3fs remaining at exit%s\n",
       R.Timings.DeadlineRemainingSeconds,

@@ -38,7 +38,9 @@
 #include <chrono>
 #include <limits>
 #include <map>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace genic;
 
@@ -159,6 +161,37 @@ public:
   QueryCache<ProjKey, TermRef, ProjKeyHash> ProjCache{1u << 16,
                                                       "solver.proj"};
 
+  // -- Incremental sessions --------------------------------------------------
+
+  /// Term-level assertion stack, the source of truth for scoped solving.
+  /// Scopes[0] is the base frame; push/pop append and drop frames. Always
+  /// maintained — even with incremental solving off — so the one-shot
+  /// fallback and a rebuild after a dropped backend session see identical
+  /// semantics.
+  std::vector<std::vector<TermRef>> Scopes =
+      std::vector<std::vector<TermRef>>(1);
+  /// Bumped by every push, pop, and scoped assertion; keys the scoped memo
+  /// so stale answers die with their generation (no global-memo clears).
+  uint64_t ScopeGen = 0;
+  /// Persistent backend mirror of Scopes, created lazily on the first
+  /// scoped query. Purely an accelerator: any backend exception drops it
+  /// and the next query rebuilds from Scopes, so a fault or cancellation
+  /// mid-scope can never leak assertions into a reused session.
+  std::unique_ptr<z3::solver> Inc;
+  /// Scoped Sat/Unsat answers keyed by (generation, formula, assumptions).
+  QueryCache<ScopedQueryKey, SatResult, ScopedQueryKeyHash> ScopedCache{
+      1u << 16, "solver.scoped"};
+  /// When nonzero, translated variables are renamed v<i> -> b<tag>v<i>;
+  /// checkSatBatch uses one tag per member so the members share no
+  /// variables and the conjunction is satisfiable iff each member is.
+  unsigned VarNameTag = 0;
+
+  struct VarTagScope {
+    VarTagScope(Impl &I, unsigned Tag) : I(I) { I.VarNameTag = Tag; }
+    ~VarTagScope() { I.VarNameTag = 0; }
+    Impl &I;
+  };
+
   // -- Translation ---------------------------------------------------------
 
   z3::sort sortOf(const Type &Ty) {
@@ -170,7 +203,11 @@ public:
   }
 
   z3::expr varExpr(unsigned Index, const Type &Ty) {
-    std::string Name = "v" + std::to_string(Index);
+    std::string Name;
+    if (VarNameTag)
+      Name = "b" + std::to_string(VarNameTag) + "v" + std::to_string(Index);
+    else
+      Name = "v" + std::to_string(Index);
     return Ctx.constant(Name.c_str(), sortOf(Ty));
   }
 
@@ -474,7 +511,11 @@ public:
 
   /// Dispatches one backend query: counts the per-session ordinal, fires
   /// the fault plan if scheduled, and classifies an Unknown as a timeout.
-  z3::check_result rawCheck(z3::solver &S) {
+  /// Assumption-literal checks consume ordinals exactly like plain checks
+  /// (one per backend dispatch), so a fault schedule remains a pure
+  /// function of the per-session query sequence.
+  z3::check_result rawCheck(z3::solver &S,
+                            const z3::expr_vector *Assumptions) {
     uint64_t Ordinal = ++QueryOrdinal;
     const FaultPlan &Faults = Control.Faults;
     if (Faults.enabled() && Faults.appliesTo(Control.WorkerSession) &&
@@ -487,7 +528,7 @@ public:
       LastUnknown = UnknownCause::Timeout; // injected Unknown acts as one
       return z3::unknown;
     }
-    z3::check_result R = S.check();
+    z3::check_result R = Assumptions ? S.check(*Assumptions) : S.check();
     if (R == z3::unknown)
       LastUnknown = UnknownCause::Timeout;
     return R;
@@ -499,19 +540,25 @@ public:
   /// solver state (still clamped to the remaining global budget) before
   /// letting the Unknown surface. When a MetricsRegistry is installed the
   /// whole call (retry included, and the unwind path of an injected throw)
-  /// is timed into the phase/kind-tagged query-latency histogram.
-  z3::check_result check(z3::solver &S) {
+  /// is timed into the phase/kind-tagged query-latency histogram;
+  /// incremental-path queries are additionally observed under the
+  /// ".incremental" key of the same phase.
+  z3::check_result check(z3::solver &S,
+                         const z3::expr_vector *Assumptions = nullptr,
+                         bool IncrementalQuery = false) {
     if (!Control.Metrics)
-      return checkUnmetered(S);
-    QueryLatencyScope Metered(*Control.Metrics, Control.Kind);
-    return checkUnmetered(S);
+      return checkUnmetered(S, Assumptions);
+    QueryLatencyScope Metered(*Control.Metrics, Control.Kind,
+                              IncrementalQuery);
+    return checkUnmetered(S, Assumptions);
   }
 
   /// RAII latency observer for check(); the destructor runs on the unwind
   /// path too, so injected solver exceptions stay accounted for.
   struct QueryLatencyScope {
-    QueryLatencyScope(MetricsRegistry &Registry, SolverSessionKind Kind)
-        : Registry(Registry), Kind(Kind),
+    QueryLatencyScope(MetricsRegistry &Registry, SolverSessionKind Kind,
+                      bool Incremental)
+        : Registry(Registry), Kind(Kind), Incremental(Incremental),
           Start(std::chrono::steady_clock::now()) {}
     ~QueryLatencyScope() {
       uint64_t Us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -522,13 +569,21 @@ public:
       Name += '.';
       Name += toString(Kind);
       Registry.histogram(Name).observe(Us);
+      if (Incremental) {
+        std::string IncName = "solver.query.us.";
+        IncName += currentMetricsPhase();
+        IncName += ".incremental";
+        Registry.histogram(IncName).observe(Us);
+      }
     }
     MetricsRegistry &Registry;
     SolverSessionKind Kind;
+    bool Incremental;
     std::chrono::steady_clock::time_point Start;
   };
 
-  z3::check_result checkUnmetered(z3::solver &S) {
+  z3::check_result checkUnmetered(z3::solver &S,
+                                  const z3::expr_vector *Assumptions) {
     LastUnknown = UnknownCause::None;
     if (Control.Cancel.cancelled()) {
       ++TheStats.QueriesCancelled;
@@ -536,7 +591,7 @@ public:
       return z3::unknown;
     }
     ++TheStats.SatQueries;
-    z3::check_result R = rawCheck(S);
+    z3::check_result R = rawCheck(S, Assumptions);
     if (R == z3::unknown && LastUnknown == UnknownCause::Timeout &&
         Control.RetryUnknown && !Control.Cancel.cancelled()) {
       ++TheStats.Retries;
@@ -546,7 +601,7 @@ public:
                                : saturatingMulMs(TimeoutMs,
                                                  Control.RetryTimeoutFactor);
       applyTimeout(S, effectiveTimeoutMs(Escalated));
-      R = rawCheck(S);
+      R = rawCheck(S, Assumptions);
       // Restore the base budget for later queries on this solver state
       // (incremental loops keep checking after a masked hiccup).
       applyTimeout(S, effectiveTimeoutMs(TimeoutMs));
@@ -554,6 +609,17 @@ public:
     if (R == z3::unknown && LastUnknown == UnknownCause::Timeout)
       ++TheStats.QueryTimeouts;
     return R;
+  }
+
+  SatResult toSatResult(z3::check_result R) {
+    switch (R) {
+    case z3::sat:
+      return SatResult::Sat;
+    case z3::unsat:
+      return SatResult::Unsat;
+    default:
+      return SatResult::Unknown;
+    }
   }
 
   static unsigned saturatingMulMs(unsigned Ms, unsigned Factor) {
@@ -596,6 +662,186 @@ public:
       return false;
     default:
       return unknownStatus(std::string("solver query for ") + What);
+    }
+  }
+
+  // -- Scoped sessions -------------------------------------------------------
+
+  /// Discards the live backend session. State is never lost: the term-level
+  /// Scopes stack is the source of truth and ensureInc() replays it.
+  void dropInc() { Inc.reset(); }
+
+  /// The live backend mirror of Scopes, (re)built on demand. Every rebuild
+  /// counts as a full restart; the timeout is re-clamped on each call since
+  /// the global deadline shrinks between queries.
+  z3::solver &ensureInc() {
+    if (!Inc) {
+      Inc = std::make_unique<z3::solver>(Ctx);
+      ++TheStats.FullRestarts;
+      for (size_t I = 0, E = Scopes.size(); I != E; ++I) {
+        if (I != 0)
+          Inc->push();
+        for (TermRef T : Scopes[I])
+          Inc->add(translate(T));
+      }
+    }
+    applyTimeout(*Inc, effectiveTimeoutMs(TimeoutMs));
+    return *Inc;
+  }
+
+  void pushScope() {
+    Scopes.emplace_back();
+    ++ScopeGen;
+    ++TheStats.ScopePushes;
+    if (Inc) {
+      try {
+        Inc->push();
+      } catch (const z3::exception &) {
+        dropInc();
+      }
+    }
+    TraceRecorder::global().instant("solver.scope", "push", "depth",
+                                    static_cast<int64_t>(Scopes.size() - 1));
+  }
+
+  void popScope() {
+    if (Scopes.size() <= 1)
+      return;
+    Scopes.pop_back();
+    ++ScopeGen;
+    ++TheStats.ScopePops;
+    if (Inc) {
+      try {
+        Inc->pop(1);
+      } catch (const z3::exception &) {
+        dropInc();
+      }
+    }
+    TraceRecorder::global().instant("solver.scope", "pop", "depth",
+                                    static_cast<int64_t>(Scopes.size() - 1));
+  }
+
+  void assertScoped(TermRef Formula) {
+    Scopes.back().push_back(Formula);
+    ++ScopeGen;
+    if (Inc) {
+      try {
+        Inc->add(translate(Formula));
+      } catch (const z3::exception &) {
+        dropInc();
+      }
+    }
+  }
+
+  /// The incremental path of checkSatAssuming: stack live in the backend,
+  /// formula under an ephemeral frame, assumptions as check-sat literals.
+  /// Any backend exception (injected faults included) drops the live
+  /// session so the ephemeral frame can never leak into later queries.
+  SatResult checkSatAssumingInc(const std::vector<TermRef> &Assumptions,
+                                TermRef Formula) {
+    try {
+      bool Hot = Inc != nullptr;
+      z3::solver &S = ensureInc();
+      if (Hot)
+        ++TheStats.IncrementalHits;
+      TheStats.AssumptionLiterals += Assumptions.size();
+      bool Ephemeral = Formula != nullptr;
+      if (Ephemeral) {
+        S.push();
+        try {
+          S.add(translate(Formula));
+          z3::expr_vector As(Ctx);
+          for (TermRef A : Assumptions)
+            As.push_back(translate(A));
+          SatResult R = toSatResult(check(S, &As, /*IncrementalQuery=*/true));
+          S.pop();
+          return R;
+        } catch (const z3::exception &) {
+          dropInc();
+          throw;
+        }
+      }
+      z3::expr_vector As(Ctx);
+      for (TermRef A : Assumptions)
+        As.push_back(translate(A));
+      return toSatResult(check(S, &As, /*IncrementalQuery=*/true));
+    } catch (const z3::exception &) {
+      dropInc();
+      LastUnknown = UnknownCause::Exception;
+      return SatResult::Unknown;
+    }
+  }
+
+  /// Decides the \p Pending formulas (indices into \p Formulas) in one
+  /// backend session under selector literals. Members are variable-
+  /// disjointly renamed, so "all selected members together" is satisfiable
+  /// iff each is; an unsat answer's core names the candidates that are
+  /// individually unsat, which are then settled with single-selector
+  /// checks. Members left unresolved (Unknown, round cap) stay unmarked in
+  /// \p Resolved for the caller's one-shot fallback.
+  void checkSatBatchImpl(const std::vector<TermRef> &Formulas,
+                         const std::vector<size_t> &Pending,
+                         std::vector<SatResult> &Out,
+                         std::vector<bool> &Resolved) {
+    z3::solver S = makeSolver();
+    std::vector<z3::expr> Sels;
+    Sels.reserve(Pending.size());
+    for (size_t J = 0; J != Pending.size(); ++J) {
+      VarTagScope Tag(*this, static_cast<unsigned>(J + 1));
+      z3::expr Member = translate(Formulas[Pending[J]]);
+      z3::expr Sel = Ctx.constant(
+          ("sel_b" + std::to_string(J)).c_str(), Ctx.bool_sort());
+      S.add(z3::implies(Sel, Member));
+      Sels.push_back(Sel);
+    }
+    auto Settle = [&](size_t J, SatResult R) {
+      Out[Pending[J]] = R;
+      Resolved[J] = true;
+      SatCache.insert(Formulas[Pending[J]], R);
+    };
+    std::vector<size_t> Live(Pending.size());
+    for (size_t J = 0; J != Live.size(); ++J)
+      Live[J] = J;
+    const unsigned MaxRounds = 8;
+    for (unsigned Round = 0; Round != MaxRounds && !Live.empty(); ++Round) {
+      z3::expr_vector As(Ctx);
+      for (size_t J : Live)
+        As.push_back(Sels[J]);
+      z3::check_result R = check(S, &As, /*IncrementalQuery=*/true);
+      if (R == z3::sat) {
+        for (size_t J : Live)
+          Settle(J, SatResult::Sat);
+        return;
+      }
+      if (R != z3::unsat)
+        return; // Unknown: the one-shot fallback decides the rest.
+      std::unordered_set<unsigned> CoreIds;
+      z3::expr_vector Core = S.unsat_core();
+      for (unsigned C = 0, E = Core.size(); C != E; ++C)
+        CoreIds.insert(Core[C].id());
+      std::vector<size_t> Next;
+      bool AnySuspect = false;
+      for (size_t J : Live) {
+        if (!CoreIds.count(Sels[J].id())) {
+          Next.push_back(J);
+          continue;
+        }
+        // A core member proves only that the *conjunction* of core members
+        // is unsat; with disjoint variables at least one of them is
+        // individually unsat, but each needs its own verdict.
+        AnySuspect = true;
+        z3::expr_vector One(Ctx);
+        One.push_back(Sels[J]);
+        z3::check_result RJ = check(S, &One, /*IncrementalQuery=*/true);
+        if (RJ == z3::sat)
+          Settle(J, SatResult::Sat);
+        else if (RJ == z3::unsat)
+          Settle(J, SatResult::Unsat);
+        // Unknown: fall back individually.
+      }
+      if (!AnySuspect)
+        return; // Degenerate (empty) core; bail out to the fallback.
+      Live = std::move(Next);
     }
   }
 
@@ -805,7 +1051,40 @@ public:
     const uint64_t Max = Value::maskOf(Width);
     z3::expr Y = Ctx.constant("img_y", Ctx.bv_sort(Width));
     z3::expr Member = translate(P.Guard) && Y == translate(P.Outputs[I]);
-    Result<bool> Any = isSatExpr(Member, "image hull seed");
+    // With incremental sessions on, the Member core is asserted once into a
+    // private solver and every binary-search probe runs as a push/pop delta
+    // against it, letting the backend keep its lemmas; off, each probe
+    // re-sends Member through a fresh solver (the seed behavior).
+    std::optional<z3::solver> Probe;
+    if (Control.Incremental) {
+      Probe.emplace(Ctx);
+      applyTimeout(*Probe, effectiveTimeoutMs(TimeoutMs));
+      Probe->add(Member);
+    }
+    auto ProbeSat = [&](const z3::expr &Q, const char *What) -> Result<bool> {
+      if (!Probe)
+        return isSatExpr(Member && Q, What);
+      Probe->push();
+      Probe->add(Q);
+      z3::check_result CR = check(*Probe, nullptr, /*IncrementalQuery=*/true);
+      Probe->pop();
+      if (CR == z3::sat)
+        return true;
+      if (CR == z3::unsat)
+        return false;
+      return unknownStatus(std::string("solver query for ") + What);
+    };
+    Result<bool> Any =
+        Probe ? [&]() -> Result<bool> {
+          z3::check_result CR =
+              check(*Probe, nullptr, /*IncrementalQuery=*/true);
+          if (CR == z3::sat)
+            return true;
+          if (CR == z3::unsat)
+            return false;
+          return unknownStatus("solver query for image hull seed");
+        }()
+              : isSatExpr(Member, "image hull seed");
     if (!Any)
       return Any.status();
     if (!*Any)
@@ -815,9 +1094,9 @@ public:
       uint64_t Lo = 0, Hi = Max;
       while (Lo < Hi) {
         uint64_t Mid = FindMax ? Lo + (Hi - Lo + 1) / 2 : Lo + (Hi - Lo) / 2;
-        z3::expr Q = Member && (FindMax ? z3::uge(Y, Ctx.bv_val(Mid, Width))
-                                        : z3::ule(Y, Ctx.bv_val(Mid, Width)));
-        Result<bool> Sat = isSatExpr(Q, "image hull bound");
+        z3::expr Q = FindMax ? z3::uge(Y, Ctx.bv_val(Mid, Width))
+                             : z3::ule(Y, Ctx.bv_val(Mid, Width));
+        Result<bool> Sat = ProbeSat(Q, "image hull bound");
         if (!Sat)
           return Sat.status();
         if (FindMax) {
@@ -852,15 +1131,8 @@ public:
     z3::expr Y = Ctx.constant("img_y", Ctx.bv_sort(Width));
     z3::expr Member =
         translate(P.Guard) && Y == translate(P.Outputs[I]);
-
-    // Membership of a single concrete value.
-    auto IsMember = [&](uint64_t V) -> Result<bool> {
-      z3::expr Q = Member && Y == Ctx.bv_val(V, Width);
-      return isSatExpr(Q, "interval-learning membership");
-    };
-    // Whole-interval containment: no hole in [Lo, Hi]. One quantifier
-    // alternation; falls back to pointwise scanning on unknown.
-    auto IntervalContained = [&](uint64_t Lo, uint64_t Hi) -> Result<bool> {
+    // The quantified no-witness core is loop-invariant; build it once.
+    z3::expr NoWitness = [&] {
       std::map<unsigned, Type> Types = varTypes(P.Guard);
       for (const auto &[Index, Ty] : varTypes(P.Outputs[I]))
         Types.emplace(Index, Ty);
@@ -868,10 +1140,50 @@ public:
       for (const auto &[Index, Ty] : Types)
         if (Index < P.NumInputs)
           Bound.push_back(varExpr(Index, Ty));
-      z3::expr NoWitness = Bound.empty() ? !Member : z3::forall(Bound, !Member);
-      z3::expr Hole = z3::uge(Y, Ctx.bv_val(Lo, Width)) &&
-                      z3::ule(Y, Ctx.bv_val(Hi, Width)) && NoWitness;
-      SatResult R = checkExpr(Hole);
+      return Bound.empty() ? !Member : z3::forall(Bound, !Member);
+    }();
+
+    // Incremental probing (SolverControl::Incremental): the loop discharges
+    // hundreds of queries that differ only in the concrete Y bounds, so the
+    // Member / NoWitness cores are asserted once into private solvers and
+    // every probe runs as a push/pop delta. Off, each probe builds a fresh
+    // solver exactly as before.
+    std::optional<z3::solver> MemberS, ContS, SeedS;
+    if (Control.Incremental) {
+      MemberS.emplace(Ctx);
+      MemberS->add(Member);
+      applyTimeout(*MemberS, effectiveTimeoutMs(TimeoutMs));
+      ContS.emplace(Ctx);
+      ContS->add(NoWitness);
+      applyTimeout(*ContS, effectiveTimeoutMs(TimeoutMs));
+      SeedS.emplace(Ctx);
+      SeedS->add(Member);
+      applyTimeout(*SeedS, effectiveTimeoutMs(TimeoutMs));
+    }
+    auto ProbeDelta = [&](z3::solver &S, const z3::expr &Q) {
+      S.push();
+      S.add(Q);
+      z3::check_result CR = check(S, nullptr, /*IncrementalQuery=*/true);
+      S.pop();
+      return toSatResult(CR);
+    };
+
+    // Membership of a single concrete value.
+    auto IsMember = [&](uint64_t V) -> Result<bool> {
+      z3::expr Pin = Y == Ctx.bv_val(V, Width);
+      SatResult R = MemberS ? ProbeDelta(*MemberS, Pin)
+                            : checkExpr(Member && Pin);
+      if (R == SatResult::Unknown)
+        return unknownStatus("solver query for interval-learning membership");
+      return R == SatResult::Sat;
+    };
+    // Whole-interval containment: no hole in [Lo, Hi]. One quantifier
+    // alternation; falls back to pointwise scanning on unknown.
+    auto IntervalContained = [&](uint64_t Lo, uint64_t Hi) -> Result<bool> {
+      z3::expr Bounds = z3::uge(Y, Ctx.bv_val(Lo, Width)) &&
+                        z3::ule(Y, Ctx.bv_val(Hi, Width));
+      SatResult R = ContS ? ProbeDelta(*ContS, Bounds)
+                          : checkExpr(Bounds && NoWitness);
       if (R == SatResult::Unknown) {
         // Pointwise fallback; only viable for short intervals.
         if (Hi - Lo > 4096)
@@ -901,17 +1213,31 @@ public:
 
     const unsigned MaxIntervals = 256;
     while (Intervals.size() <= MaxIntervals) {
-      // Find a member outside the hypothesis.
-      z3::expr Q = Member && !InHypothesis(Y);
-      z3::solver S = makeSolver();
-      S.add(Q);
-      z3::check_result CR = check(S);
+      // Find a member outside the hypothesis. The learned result is
+      // seed-order independent — each round discovers one maximal run of
+      // the image and the final union is canonical — so the incremental
+      // and one-shot paths converge on the same term.
+      z3::check_result CR;
+      uint64_t Seed = 0;
+      if (SeedS) {
+        SeedS->push();
+        SeedS->add(!InHypothesis(Y));
+        CR = check(*SeedS, nullptr, /*IncrementalQuery=*/true);
+        if (CR == z3::sat)
+          SeedS->get_model().eval(Y, true).is_numeral_u64(Seed);
+        SeedS->pop();
+      } else {
+        z3::expr Q = Member && !InHypothesis(Y);
+        z3::solver S = makeSolver();
+        S.add(Q);
+        CR = check(S);
+        if (CR == z3::sat)
+          S.get_model().eval(Y, true).is_numeral_u64(Seed);
+      }
       if (CR == z3::unsat)
         break; // Hypothesis covers the image exactly.
       if (CR != z3::sat)
         return unknownStatus("interval-learning seed query");
-      uint64_t Seed = 0;
-      S.get_model().eval(Y, true).is_numeral_u64(Seed);
 
       // Grow [Seed, Seed] to a maximal contained interval by binary search.
       uint64_t Lo = Seed, Hi = Seed;
@@ -1099,6 +1425,78 @@ SatResult Solver::checkSat(TermRef Formula) {
   return R;
 }
 
+void Solver::push() { TheImpl->pushScope(); }
+
+void Solver::pop() { TheImpl->popScope(); }
+
+unsigned Solver::scopeDepth() const {
+  return static_cast<unsigned>(TheImpl->Scopes.size() - 1);
+}
+
+uint64_t Solver::scopeGeneration() const { return TheImpl->ScopeGen; }
+
+void Solver::assertFormula(TermRef Formula) {
+  TheImpl->assertScoped(Formula);
+}
+
+SatResult Solver::checkSatAssuming(const std::vector<TermRef> &Assumptions,
+                                   TermRef Formula) {
+  Impl &I = *TheImpl;
+  if (!I.Control.Incremental) {
+    // One-shot fallback: the scoped query is just the conjunction of the
+    // asserted stack, the extra formula, and the assumptions, routed
+    // through checkSat so it shares the global memo and exception
+    // handling. Verdicts match the incremental path by construction.
+    std::vector<TermRef> Conj;
+    for (const auto &Frame : I.Scopes)
+      Conj.insert(Conj.end(), Frame.begin(), Frame.end());
+    if (Formula)
+      Conj.push_back(Formula);
+    Conj.insert(Conj.end(), Assumptions.begin(), Assumptions.end());
+    return checkSat(I.Factory.mkAnd(std::move(Conj)));
+  }
+  ScopedQueryKey Key{I.ScopeGen, Formula, Assumptions};
+  if (const SatResult *Cached = I.ScopedCache.find(Key))
+    return *Cached;
+  SatResult R = I.checkSatAssumingInc(Assumptions, Formula);
+  if (R != SatResult::Unknown)
+    I.ScopedCache.insert(Key, R);
+  return R;
+}
+
+std::vector<SatResult>
+Solver::checkSatBatch(const std::vector<TermRef> &Formulas) {
+  Impl &I = *TheImpl;
+  std::vector<SatResult> Out(Formulas.size(), SatResult::Unknown);
+  std::vector<size_t> Pending;
+  for (size_t K = 0; K != Formulas.size(); ++K) {
+    if (const SatResult *Cached = I.SatCache.find(Formulas[K]))
+      Out[K] = *Cached;
+    else
+      Pending.push_back(K);
+  }
+  if (Pending.empty())
+    return Out;
+  if (!I.Control.Incremental || Pending.size() < 2) {
+    for (size_t K : Pending)
+      Out[K] = checkSat(Formulas[K]);
+    return Out;
+  }
+  ++I.TheStats.AssumptionBatches;
+  I.TheStats.AssumptionLiterals += Pending.size();
+  std::vector<bool> Resolved(Pending.size(), false);
+  try {
+    I.checkSatBatchImpl(Formulas, Pending, Out, Resolved);
+  } catch (const z3::exception &) {
+    // Batch solver died (injected fault, backend hiccup); the per-formula
+    // fallback below settles whatever is left.
+  }
+  for (size_t J = 0; J != Pending.size(); ++J)
+    if (!Resolved[J])
+      Out[Pending[J]] = checkSat(Formulas[Pending[J]]);
+  return Out;
+}
+
 void Solver::setSatCacheCapacity(size_t MaxEntries) {
   TheImpl->SatCache.setCapacity(MaxEntries);
   // Model and projection entries are whole value vectors / terms, so their
@@ -1240,6 +1638,9 @@ const Solver::Stats &Solver::stats() const {
   S.ProjCacheHits = TheImpl->ProjCache.hits();
   S.ProjCacheMisses = TheImpl->ProjCache.misses();
   S.ProjCacheEvictions = TheImpl->ProjCache.evictions();
+  S.ScopedCacheHits = TheImpl->ScopedCache.hits();
+  S.ScopedCacheMisses = TheImpl->ScopedCache.misses();
+  S.ScopedCacheEvictions = TheImpl->ScopedCache.evictions();
   return S;
 }
 

@@ -72,6 +72,13 @@ struct SolverControl {
   /// The session-kind tag for this session's queries. The pool and fork
   /// plumbing overwrite it (Pooled / Worker) where they set WorkerSession.
   SolverSessionKind Kind = SolverSessionKind::Shared;
+  /// Master switch for incremental solving (scoped backend sessions,
+  /// assumption-literal checks, coalesced batches). When false every scoped
+  /// or batched entry point degrades to the one-shot path: identical
+  /// verdicts, re-sent assertion stacks. Propagated to forked and pooled
+  /// sessions with the rest of the control, so one flag flips the whole
+  /// pipeline (--solver-incremental).
+  bool Incremental = true;
 };
 
 /// A session with the underlying SMT solver. Not thread-safe.
@@ -141,6 +148,55 @@ public:
   /// f ==_guard g (§3.3): valid(guard -> f = g). \p F and \p G must have the
   /// same non-boolean type.
   Result<bool> equivalentUnder(TermRef Guard, TermRef F, TermRef G);
+
+  // Incremental sessions ------------------------------------------------------
+  //
+  // A scoped assertion stack lives alongside the one-shot entry points
+  // above. Only checkSatAssuming consults it; checkSat/getModel/... remain
+  // stack-independent (their memo tables stay sound). With
+  // SolverControl::Incremental set the stack is mirrored into a persistent
+  // backend solver so consecutive scoped checks pay only for their delta;
+  // with it clear the same calls re-send the whole conjunction through the
+  // one-shot path — verdicts agree either way.
+
+  /// Opens a new assertion scope.
+  void push();
+
+  /// Closes the innermost scope, retracting its assertions (and
+  /// invalidating their scoped-memo answers via the generation bump).
+  /// Popping with no open scope is a no-op.
+  void pop();
+
+  /// Number of open scopes (0 = base frame only).
+  unsigned scopeDepth() const;
+
+  /// Monotone counter bumped by every push/pop/assertFormula. Scoped memo
+  /// answers are keyed by (generation, formula, assumptions), so a pop
+  /// invalidates them without clearing the global memo.
+  uint64_t scopeGeneration() const;
+
+  /// Asserts \p Formula in the innermost scope; retracted by the matching
+  /// pop. Asserting in the base frame persists for the session's lifetime.
+  void assertFormula(TermRef Formula);
+
+  /// Satisfiability of (asserted stack) /\ \p Formula /\ /\ Assumptions.
+  /// \p Formula may be null ("stack plus assumptions alone"); it is checked
+  /// under an ephemeral scope, so nothing leaks into the session. Sat/Unsat
+  /// answers are memoized per scope generation. Deadlines, fault injection,
+  /// retry-on-Unknown, and latency metrics all flow through the same
+  /// chokepoint as one-shot queries.
+  SatResult checkSatAssuming(const std::vector<TermRef> &Assumptions,
+                             TermRef Formula = nullptr);
+
+  /// Coalesced satisfiability for independent formulas: the k formulas are
+  /// variable-disjointly renamed, asserted under selector literals in one
+  /// backend solver, and decided with at most a handful of
+  /// check-sat-assuming rounds (a sat answer settles every pending member
+  /// at once; an unsat core narrows the suspects). Verdicts are identical
+  /// to k checkSat calls — members the batch cannot settle (Unknown) fall
+  /// back to the one-shot path individually — and Sat/Unsat answers land
+  /// in the same global memo. Independent of the scoped assertion stack.
+  std::vector<SatResult> checkSatBatch(const std::vector<TermRef> &Formulas);
 
   // Quantifier elimination ----------------------------------------------------
 
@@ -214,6 +270,25 @@ public:
     uint64_t QueriesCancelled = 0;
     /// Synthetic faults fired by the installed FaultPlan.
     uint64_t InjectedFaults = 0;
+    /// Scope lifecycle: explicit push() / pop() calls on this session.
+    uint64_t ScopePushes = 0;
+    uint64_t ScopePops = 0;
+    /// Coalesced batches dispatched by checkSatBatch (each covers >= 2
+    /// formulas that missed the memo).
+    uint64_t AssumptionBatches = 0;
+    /// Assumption literals sent across scoped and batched checks.
+    uint64_t AssumptionLiterals = 0;
+    /// Scoped queries answered on an already-live backend session (the
+    /// incremental win: only the delta was sent).
+    uint64_t IncrementalHits = 0;
+    /// Backend sessions (re)built from the term-level stack: the first
+    /// scoped query, plus every rebuild after a backend exception dropped
+    /// the live session.
+    uint64_t FullRestarts = 0;
+    /// Scoped (generation-keyed) memo traffic.
+    uint64_t ScopedCacheHits = 0;
+    uint64_t ScopedCacheMisses = 0;
+    uint64_t ScopedCacheEvictions = 0;
 
     /// Field-wise sum, for aggregating worker-session stats.
     Stats &operator+=(const Stats &O) {
@@ -233,6 +308,15 @@ public:
       QueryTimeouts += O.QueryTimeouts;
       QueriesCancelled += O.QueriesCancelled;
       InjectedFaults += O.InjectedFaults;
+      ScopePushes += O.ScopePushes;
+      ScopePops += O.ScopePops;
+      AssumptionBatches += O.AssumptionBatches;
+      AssumptionLiterals += O.AssumptionLiterals;
+      IncrementalHits += O.IncrementalHits;
+      FullRestarts += O.FullRestarts;
+      ScopedCacheHits += O.ScopedCacheHits;
+      ScopedCacheMisses += O.ScopedCacheMisses;
+      ScopedCacheEvictions += O.ScopedCacheEvictions;
       return *this;
     }
   };
@@ -243,6 +327,23 @@ public:
 private:
   class Impl;
   std::unique_ptr<Impl> TheImpl;
+};
+
+/// RAII wrapper for one solver scope: push on construction, pop on
+/// destruction — including unwind paths, so a cancelled or faulted loop
+/// never leaks its assertions into a reused session. add() asserts into
+/// the scope it opened.
+class ScopedAssertions {
+public:
+  explicit ScopedAssertions(Solver &S) : S(S) { S.push(); }
+  ~ScopedAssertions() { S.pop(); }
+  ScopedAssertions(const ScopedAssertions &) = delete;
+  ScopedAssertions &operator=(const ScopedAssertions &) = delete;
+
+  void add(TermRef Formula) { S.assertFormula(Formula); }
+
+private:
+  Solver &S;
 };
 
 } // namespace genic

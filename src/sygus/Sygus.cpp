@@ -83,7 +83,12 @@ SygusEngine::sampleInputs(const SynthesisSpec &Spec, unsigned Want) {
   }
 
   // Phase 2: solver models with blocking, for guards rejection sampling
-  // cannot hit (e.g. equality-pinned inputs).
+  // cannot hit (e.g. equality-pinned inputs). Deliberately one-shot even
+  // when incremental solving is on: Z3's incremental and one-shot engines
+  // can disagree on Unknown-vs-Sat for these guard queries, and a
+  // different sample set changes which (equally correct) candidate CEGIS
+  // settles on — breaking byte-identity between --solver-incremental
+  // modes. The loop is bounded at 8 queries, so nothing is lost.
   unsigned SolverWant = Inputs.empty() ? std::min(Want, 8u) : 0;
   std::vector<TermRef> Blocked;
   while (SolverWant-- > 0) {
@@ -190,6 +195,14 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
   EC.BankStore = Opts.ReuseBanks ? &BankStore : nullptr;
   EC.Cancel = S.cancellation();
 
+  // CEGAR skeleton: the guard is asserted once for the whole CEGIS run;
+  // each iteration's verification varies only the candidate's negated
+  // correctness condition, sent as an assumption literal. Counterexample
+  // models still come from the one-shot getModel path, so the refinement
+  // sequence — and with it the synthesized term — is byte-identical
+  // between incremental on and off.
+  ScopedAssertions VerifyScope(S);
+  VerifyScope.add(P.Guard);
   TermRef LastSliceGuess = nullptr;
   for (unsigned Iter = 0; Iter < Opts.MaxCegisIterations; ++Iter) {
     if (S.cancellation().cancelled())
@@ -286,7 +299,12 @@ Result<TermRef> SygusEngine::synthesize(const SynthesisSpec &Spec,
     TermRef Meets = F.mkAnd(
         Domains, F.mkEq(OnOutputs, Spec.Target));
     TermRef Query = F.mkAnd(P.Guard, F.mkNot(Meets));
-    SatResult Sat = S.checkSat(Query);
+    SatResult Sat = S.checkSatAssuming({F.mkNot(Meets)});
+    if (Sat == SatResult::Unknown)
+      // The incremental engine gave up where the one-shot engine might
+      // not; retry the flattened query before reporting unknown so the
+      // outcome can only match or improve on --solver-incremental off.
+      Sat = S.checkSat(Query);
     if (Sat == SatResult::Unsat)
       return Finish(*Candidate);
     if (Sat == SatResult::Unknown)

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <limits>
+#include <unordered_set>
 
 using namespace genic;
 
@@ -187,6 +188,35 @@ genic::checkDeterminism(const Seft &A, Solver &S,
     TP.submit([&, C, Begin, End] {
       MetricsPhaseScope WorkerPhase("determinism");
       SolverSessionPool::Lease Sess = Pool.lease();
+      // Coalesce the chunk's overlap-guard queries into one selector-
+      // literal batch so the pair scan below answers from the session's
+      // sat memo. Pairs the Definition 3.7 shortcuts never query are
+      // skipped; Unknowns fall back to the scan's individual queries, so
+      // verdicts are unchanged.
+      if (Sess->Slv.control().Incremental) {
+        std::vector<TermRef> Queries;
+        std::unordered_set<TermRef> InBatch;
+        for (size_t K = Begin; K != End; ++K) {
+          const SeftTransition &TA0 = Ts[PairList[K].first];
+          const SeftTransition &TB0 = Ts[PairList[K].second];
+          bool FinalA = TA0.To == Seft::FinalState;
+          bool FinalB = TB0.To == Seft::FinalState;
+          if (FinalA != FinalB) {
+            const SeftTransition &Continue = FinalA ? TB0 : TA0;
+            const SeftTransition &Finish = FinalA ? TA0 : TB0;
+            if (Continue.Lookahead > Finish.Lookahead)
+              continue;
+          } else if (FinalA && FinalB && TA0.Lookahead != TB0.Lookahead) {
+            continue;
+          }
+          TermRef Q = Sess->Factory.mkAnd(Sess->Import.clone(TA0.Guard),
+                                          Sess->Import.clone(TB0.Guard));
+          if (InBatch.insert(Q).second)
+            Queries.push_back(Q);
+        }
+        if (Queries.size() > 1)
+          Sess->Slv.checkSatBatch(Queries);
+      }
       for (size_t K = Begin; K != End; ++K) {
         if (K > Cutoff.load(std::memory_order_relaxed))
           continue;

@@ -134,6 +134,27 @@ genic::checkTransitionInjectivity(const Seft &A, Solver &S,
     TP.submit([&, C, Begin, End] {
       MetricsPhaseScope WorkerPhase("ti");
       SolverSessionPool::Lease Sess = Pool.lease();
+      // Coalesce the chunk's Lemma 4.7 queries into one selector-literal
+      // batch; the scan below then answers from the session's sat memo.
+      // Unknowns fall back to the individual isSat calls, so verdicts are
+      // unchanged.
+      if (Sess->Slv.control().Incremental && End - Begin > 1) {
+        std::vector<TermRef> Queries;
+        for (size_t K = Begin; K != End; ++K) {
+          const SeftTransition &T = Ts[Rules[K]];
+          SeftTransition Local;
+          Local.From = T.From;
+          Local.To = T.To;
+          Local.Lookahead = T.Lookahead;
+          Local.Guard = Sess->Import.clone(T.Guard);
+          for (TermRef O : T.Outputs)
+            Local.Outputs.push_back(Sess->Import.clone(O));
+          Queries.push_back(transitionInjectivityQuery(Sess->Factory, Local,
+                                                       A.inputType()));
+        }
+        if (Queries.size() > 1)
+          Sess->Slv.checkSatBatch(Queries);
+      }
       for (size_t K = Begin; K != End; ++K) {
         if (K > Cutoff.load(std::memory_order_relaxed))
           continue;

@@ -1,0 +1,371 @@
+//===- tests/incremental_solver_test.cpp - scoped sessions & batches ------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parity and robustness tests for the incremental solver core: randomized
+/// push/pop/assume sequences must produce identical verdicts with
+/// --solver-incremental on and off, scoped-memo entries must die with their
+/// scope, and injected faults / exhausted deadlines that strike mid-scope
+/// must unwind without leaking assertions into later queries.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+
+#include "solver/FaultInjector.h"
+#include "support/Deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace genic;
+
+namespace {
+
+SolverControl incrementalControl(bool On) {
+  SolverControl Ctl;
+  Ctl.Incremental = On;
+  return Ctl;
+}
+
+/// A pair of solvers over one factory, one incremental and one one-shot,
+/// driven in lockstep. Every mutation is mirrored; every query is answered
+/// by both and the verdicts compared.
+class ParityHarness {
+public:
+  explicit ParityHarness(TermFactory &F)
+      : On(F), Off(F) {
+    On.setControl(incrementalControl(true));
+    Off.setControl(incrementalControl(false));
+  }
+
+  void push() {
+    On.push();
+    Off.push();
+  }
+  void pop() {
+    On.pop();
+    Off.pop();
+  }
+  void assertFormula(TermRef T) {
+    On.assertFormula(T);
+    Off.assertFormula(T);
+  }
+  SatResult query(const std::vector<TermRef> &Assumptions,
+                  TermRef Formula = nullptr) {
+    SatResult A = On.checkSatAssuming(Assumptions, Formula);
+    SatResult B = Off.checkSatAssuming(Assumptions, Formula);
+    EXPECT_EQ(A, B) << "incremental and one-shot verdicts diverged";
+    return A;
+  }
+
+  Solver On, Off;
+};
+
+class IncrementalSolverTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Type B8 = Type::bitVecTy(8);
+  TermRef V0 = F.mkVar(0, Type::bitVecTy(8));
+  TermRef V1 = F.mkVar(1, Type::bitVecTy(8));
+  TermRef V2 = F.mkVar(2, Type::bitVecTy(8));
+
+  TermRef var(unsigned I) { return F.mkVar(I, B8); }
+
+  /// A small random atom over v0..v2: comparisons and masked equalities,
+  /// the shapes transducer guards are made of.
+  TermRef randomAtom(std::mt19937 &Rng) {
+    TermRef V = var(Rng() % 3);
+    uint64_t K = Rng() & 0xff;
+    switch (Rng() % 4) {
+    case 0:
+      return F.mkBvOp(Op::BvUle, V, F.mkBv(K, 8));
+    case 1:
+      return F.mkBvOp(Op::BvUle, F.mkBv(K, 8), V);
+    case 2:
+      return F.mkEq(F.mkBvOp(Op::BvAnd, V, F.mkBv(0xf0, 8)),
+                    F.mkBv(K & 0xf0, 8));
+    default:
+      return F.mkEq(V, F.mkBv(K, 8));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Parity property suite
+// ---------------------------------------------------------------------------
+
+TEST_F(IncrementalSolverTest, RandomizedScopedSequencesAgree) {
+  std::mt19937 Rng(0xC0FFEE);
+  ParityHarness H(F);
+  unsigned Decided = 0;
+  for (unsigned Step = 0; Step < 300; ++Step) {
+    switch (Rng() % 5) {
+    case 0:
+      if (H.On.scopeDepth() < 4)
+        H.push();
+      break;
+    case 1:
+      H.pop(); // No-op at depth 0 on both sides.
+      break;
+    case 2:
+      if (H.On.scopeDepth() > 0)
+        H.assertFormula(randomAtom(Rng));
+      break;
+    default: {
+      std::vector<TermRef> Assumptions;
+      for (unsigned J = Rng() % 3; J > 0; --J)
+        Assumptions.push_back(randomAtom(Rng));
+      TermRef Extra = (Rng() % 2) ? randomAtom(Rng) : nullptr;
+      if (H.query(Assumptions, Extra) != SatResult::Unknown)
+        ++Decided;
+      break;
+    }
+    }
+    EXPECT_EQ(H.On.scopeDepth(), H.Off.scopeDepth());
+  }
+  // The property is vacuous if everything came back Unknown.
+  EXPECT_GT(Decided, 100u);
+}
+
+TEST_F(IncrementalSolverTest, ModelsMatchAcrossModes) {
+  Solver On(F), Off(F);
+  On.setControl(incrementalControl(true));
+  Off.setControl(incrementalControl(false));
+  std::mt19937 Rng(42);
+  unsigned Compared = 0;
+  for (unsigned Round = 0; Round < 20; ++Round) {
+    TermRef Q = F.mkAnd(randomAtom(Rng), randomAtom(Rng));
+    // Exercise the incremental path on the ON side first so any state it
+    // keeps would have a chance to leak into the model query.
+    On.push();
+    On.assertFormula(Q);
+    SatResult Verdict = On.checkSatAssuming({});
+    On.pop();
+    EXPECT_EQ(Verdict, Off.checkSat(Q));
+    if (Verdict != SatResult::Sat)
+      continue;
+    Result<std::vector<Value>> MOn = On.getModel(Q, {B8, B8, B8});
+    Result<std::vector<Value>> MOff = Off.getModel(Q, {B8, B8, B8});
+    ASSERT_TRUE(MOn.isOk());
+    ASSERT_TRUE(MOff.isOk());
+    EXPECT_EQ(*MOn, *MOff) << "models diverged between modes";
+    ++Compared;
+  }
+  EXPECT_GT(Compared, 5u);
+}
+
+TEST_F(IncrementalSolverTest, BatchMatchesIndividualChecks) {
+  Solver Batch(F), Single(F);
+  Batch.setControl(incrementalControl(true));
+  Single.setControl(incrementalControl(false));
+  std::mt19937 Rng(7);
+  std::vector<TermRef> Formulas;
+  for (unsigned K = 0; K < 12; ++K) {
+    TermRef A = randomAtom(Rng);
+    // Mix in guaranteed-unsat members so the selector/unsat-core path of
+    // the batch gets exercised, not just the all-sat fast path.
+    if (K % 3 == 0)
+      A = F.mkAnd(A, F.mkAnd(F.mkEq(V0, F.mkBv(1, 8)),
+                             F.mkEq(V0, F.mkBv(2, 8))));
+    Formulas.push_back(A);
+  }
+  std::vector<SatResult> Out = Batch.checkSatBatch(Formulas);
+  ASSERT_EQ(Out.size(), Formulas.size());
+  for (size_t K = 0; K != Formulas.size(); ++K)
+    EXPECT_EQ(Out[K], Single.checkSat(Formulas[K])) << "formula " << K;
+  EXPECT_GE(Batch.stats().AssumptionBatches, 1u);
+}
+
+TEST_F(IncrementalSolverTest, BatchRepeatedFormulasShareVerdicts) {
+  Solver S(F);
+  S.setControl(incrementalControl(true));
+  TermRef Sat = F.mkBvOp(Op::BvUle, V0, F.mkBv(0x10, 8));
+  TermRef Unsat =
+      F.mkAnd(F.mkEq(V1, F.mkBv(3, 8)), F.mkEq(V1, F.mkBv(4, 8)));
+  std::vector<SatResult> Out = S.checkSatBatch({Sat, Unsat, Sat, Unsat});
+  EXPECT_EQ(Out[0], SatResult::Sat);
+  EXPECT_EQ(Out[1], SatResult::Unsat);
+  EXPECT_EQ(Out[2], SatResult::Sat);
+  EXPECT_EQ(Out[3], SatResult::Unsat);
+}
+
+// ---------------------------------------------------------------------------
+// Scoped memo semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(IncrementalSolverTest, PopInvalidatesScopedMemo) {
+  Solver S(F);
+  S.setControl(incrementalControl(true));
+  TermRef Pin1 = F.mkEq(V0, F.mkBv(1, 8));
+  TermRef Pin2 = F.mkEq(V0, F.mkBv(2, 8));
+  S.push();
+  S.assertFormula(Pin1);
+  EXPECT_EQ(S.checkSatAssuming({Pin2}), SatResult::Unsat);
+  // Same key twice at the same generation: second answer is the memo's.
+  uint64_t Queries = S.stats().SatQueries;
+  EXPECT_EQ(S.checkSatAssuming({Pin2}), SatResult::Unsat);
+  EXPECT_GE(S.stats().ScopedCacheHits, 1u);
+  EXPECT_EQ(S.stats().SatQueries, Queries);
+  S.pop();
+  // The pop bumped the generation, so the memoized Unsat must not leak
+  // into the now-unconstrained stack.
+  EXPECT_EQ(S.checkSatAssuming({Pin2}), SatResult::Sat);
+  EXPECT_EQ(S.scopeDepth(), 0u);
+}
+
+TEST_F(IncrementalSolverTest, GenerationIsMonotone) {
+  Solver S(F);
+  S.setControl(incrementalControl(true));
+  uint64_t G0 = S.scopeGeneration();
+  S.push();
+  uint64_t G1 = S.scopeGeneration();
+  S.assertFormula(F.mkEq(V0, F.mkBv(1, 8)));
+  uint64_t G2 = S.scopeGeneration();
+  S.pop();
+  uint64_t G3 = S.scopeGeneration();
+  EXPECT_LT(G0, G1);
+  EXPECT_LT(G1, G2);
+  EXPECT_LT(G2, G3);
+}
+
+TEST_F(IncrementalSolverTest, ScopedAssertionsRaiiBalances) {
+  Solver S(F);
+  S.setControl(incrementalControl(true));
+  {
+    ScopedAssertions Outer(S);
+    Outer.add(F.mkBvOp(Op::BvUle, V0, F.mkBv(0x7f, 8)));
+    EXPECT_EQ(S.scopeDepth(), 1u);
+    {
+      ScopedAssertions Inner(S);
+      Inner.add(F.mkEq(V0, F.mkBv(0xff, 8)));
+      EXPECT_EQ(S.scopeDepth(), 2u);
+      EXPECT_EQ(S.checkSatAssuming({}), SatResult::Unsat);
+    }
+    EXPECT_EQ(S.scopeDepth(), 1u);
+    EXPECT_EQ(S.checkSatAssuming({}), SatResult::Sat);
+  }
+  EXPECT_EQ(S.scopeDepth(), 0u);
+  EXPECT_EQ(S.stats().ScopePushes, S.stats().ScopePops);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection and deadline exhaustion mid-scope
+// ---------------------------------------------------------------------------
+
+TEST_F(IncrementalSolverTest, InjectedThrowMidScopeUnwindsCleanly) {
+  Solver S(F);
+  SolverControl Ctl = incrementalControl(true);
+  Result<FaultPlan> Plan = parseFaultPlan("throw@2");
+  ASSERT_TRUE(Plan.isOk());
+  Ctl.Faults = *Plan;
+  S.setControl(Ctl);
+
+  TermRef Pin1 = F.mkEq(V0, F.mkBv(1, 8));
+  TermRef Pin2 = F.mkEq(V0, F.mkBv(2, 8));
+  S.push();
+  S.assertFormula(Pin1);
+  EXPECT_EQ(S.checkSatAssuming({}), SatResult::Sat); // ordinal 1
+  // Ordinal 2 throws inside the backend; the incremental session must
+  // absorb it as Unknown, not crash or half-apply the ephemeral frame.
+  EXPECT_EQ(S.checkSatAssuming({Pin1}), SatResult::Unknown);
+  EXPECT_EQ(S.stats().InjectedFaults, 1u);
+  // The session rebuilds from the term-level stack: the same query now
+  // answers correctly, and the scope's assertion is still in force.
+  EXPECT_EQ(S.checkSatAssuming({Pin1}), SatResult::Sat);
+  EXPECT_EQ(S.checkSatAssuming({Pin2}), SatResult::Unsat);
+  EXPECT_GE(S.stats().FullRestarts, 2u);
+  S.pop();
+  // Nothing leaked past the pop.
+  EXPECT_EQ(S.checkSatAssuming({Pin2}), SatResult::Sat);
+}
+
+TEST_F(IncrementalSolverTest, InjectedThrowOnEphemeralFormulaFrame) {
+  Solver S(F);
+  SolverControl Ctl = incrementalControl(true);
+  Result<FaultPlan> Plan = parseFaultPlan("throw@1");
+  ASSERT_TRUE(Plan.isOk());
+  Ctl.Faults = *Plan;
+  S.setControl(Ctl);
+
+  TermRef Wide = F.mkBvOp(Op::BvUle, V0, F.mkBv(0xf0, 8));
+  TermRef Narrow = F.mkEq(V0, F.mkBv(0xff, 8));
+  S.push();
+  S.assertFormula(Wide);
+  // The extra Formula rides on an ephemeral backend frame; the injected
+  // throw must not leave it asserted.
+  EXPECT_EQ(S.checkSatAssuming({}, Narrow), SatResult::Unknown);
+  // If the ephemeral frame leaked, the stack would now contain Narrow and
+  // this query would be Unsat.
+  EXPECT_EQ(S.checkSatAssuming({F.mkEq(V0, F.mkBv(1, 8))}), SatResult::Sat);
+  S.pop();
+}
+
+TEST_F(IncrementalSolverTest, DeadlineExhaustionMidScopeRefusesCleanly) {
+  Solver S(F);
+  S.setControl(incrementalControl(true));
+  TermRef Pin = F.mkEq(V0, F.mkBv(1, 8));
+  S.push();
+  S.assertFormula(Pin);
+  EXPECT_EQ(S.checkSatAssuming({}), SatResult::Sat);
+
+  // The deadline fires mid-scope: queries refuse with Unknown, the scope
+  // structure stays intact, and popping unwinds without touching the
+  // backend in a way that could throw.
+  SolverControl Expired = incrementalControl(true);
+  Expired.Cancel = CancellationToken(Deadline::after(0));
+  S.setControl(Expired);
+  EXPECT_EQ(S.checkSatAssuming({Pin}), SatResult::Unknown);
+  EXPECT_GE(S.stats().QueriesCancelled, 1u);
+  EXPECT_EQ(S.scopeDepth(), 1u);
+  S.pop();
+  EXPECT_EQ(S.scopeDepth(), 0u);
+
+  // Lifting the deadline restores correct answers — and the refused query
+  // must not have been memoized.
+  S.setControl(incrementalControl(true));
+  EXPECT_EQ(S.checkSatAssuming({F.mkEq(V0, F.mkBv(2, 8))}), SatResult::Sat);
+}
+
+TEST_F(IncrementalSolverTest, BatchSurvivesInjectedFault) {
+  Solver S(F);
+  SolverControl Ctl = incrementalControl(true);
+  Result<FaultPlan> Plan = parseFaultPlan("throw@1");
+  ASSERT_TRUE(Plan.isOk());
+  Ctl.Faults = *Plan;
+  S.setControl(Ctl);
+  TermRef Sat = F.mkBvOp(Op::BvUle, V0, F.mkBv(0x10, 8));
+  TermRef Unsat =
+      F.mkAnd(F.mkEq(V1, F.mkBv(3, 8)), F.mkEq(V1, F.mkBv(4, 8)));
+  // The batch dispatch eats the injected throw; the per-formula fallback
+  // must still settle every member with the right verdict.
+  std::vector<SatResult> Out = S.checkSatBatch({Sat, Unsat, Sat});
+  EXPECT_EQ(Out[0], SatResult::Sat);
+  EXPECT_EQ(Out[1], SatResult::Unsat);
+  EXPECT_EQ(Out[2], SatResult::Sat);
+}
+
+TEST_F(IncrementalSolverTest, OffModeFlattensToGlobalMemo) {
+  Solver S(F);
+  S.setControl(incrementalControl(false));
+  TermRef A = F.mkBvOp(Op::BvUle, V0, F.mkBv(0x40, 8));
+  TermRef B = F.mkEq(V1, F.mkBv(9, 8));
+  S.push();
+  S.assertFormula(A);
+  EXPECT_EQ(S.checkSatAssuming({B}), SatResult::Sat);
+  // The off-mode path routes through checkSat on the flattened
+  // conjunction, so the equivalent direct query is a memo hit.
+  uint64_t Misses = S.stats().CacheMisses;
+  EXPECT_EQ(S.checkSat(F.mkAnd(A, B)), SatResult::Sat);
+  EXPECT_EQ(S.stats().CacheMisses, Misses);
+  S.pop();
+  // No incremental machinery ran.
+  EXPECT_EQ(S.stats().IncrementalHits, 0u);
+  EXPECT_EQ(S.stats().ScopedCacheMisses, 0u);
+}
+
+} // namespace

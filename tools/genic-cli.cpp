@@ -37,6 +37,12 @@
 ///                  testing, SPEC = kind@N[xC][:scope] (see
 ///                  solver/FaultInjector.h); env GENIC_FAULT_INJECT is
 ///                  used when the flag is absent
+///   --solver-incremental {on,off}  toggle the incremental solver core
+///                  (scoped push/pop sessions, assumption-literal CEGAR,
+///                  coalesced guard-overlap batches); off falls back to
+///                  one-shot queries with identical output; env
+///                  GENIC_SOLVER_INCREMENTAL=off applies when the flag is
+///                  absent (default: on)
 ///   --trace-out FILE  record a span trace of the run and write it as
 ///                  Chrome trace-event JSON (load in Perfetto or
 ///                  chrome://tracing; validate with tools/trace-lint)
@@ -80,7 +86,8 @@ int usage() {
       "--sat-cache-cap N --stats\n"
       "           --timeout-seconds S --solver-timeout-ms N "
       "--fault-inject SPEC\n"
-      "           --trace-out FILE --metrics-json FILE\n");
+      "           --solver-incremental {on,off} --trace-out FILE "
+      "--metrics-json FILE\n");
   return ExitUsage;
 }
 
@@ -118,6 +125,7 @@ int main(int Argc, char **Argv) {
   std::vector<std::string> Symbols;
   InverterOptions Options;
   bool Stats = false;
+  bool SolverIncrementalSet = false;
   std::optional<size_t> SatCacheCap;
   double TimeoutSeconds = 0;
   std::optional<unsigned> SolverTimeoutMs;
@@ -174,6 +182,14 @@ int main(int Argc, char **Argv) {
       if (++I >= Argc)
         return usage();
       FaultSpec = Argv[I];
+    } else if (Arg == "--solver-incremental") {
+      if (++I >= Argc)
+        return usage();
+      std::string Mode = Argv[I];
+      if (Mode != "on" && Mode != "off")
+        return usage();
+      Options.SolverIncremental = Mode == "on";
+      SolverIncrementalSet = true;
     } else if (Arg == "--trace-out") {
       if (++I >= Argc)
         return usage();
@@ -322,6 +338,10 @@ int main(int Argc, char **Argv) {
   if (Command != "run" && Command != "check" && Command != "invert")
     return usage();
 
+  if (!SolverIncrementalSet)
+    if (const char *Env = std::getenv("GENIC_SOLVER_INCREMENTAL"))
+      if (std::strcmp(Env, "off") == 0)
+        Options.SolverIncremental = false;
   GenicTool Tool(Options);
   if (SatCacheCap)
     Tool.solver().setSatCacheCapacity(*SatCacheCap);
