@@ -93,6 +93,30 @@ if ! diff <(grep -vE '\([0-9.]+s' build/utf8.inc.out) \
   exit 1
 fi
 
+echo "=== decode smoke: traced --decode-file through trace-lint ==="
+# Compile the synthesized BASE16 inverse to bytecode and stream a hex file
+# through it: the trace must lint and carry the decode.stream span, the
+# metrics snapshot the decode counters, and the decoded output must match
+# the plaintext byte-for-byte.
+printf 'streaming decode smoke' > build/decode.plain
+od -An -v -tx1 build/decode.plain | tr -d ' \n' | tr a-f A-F > build/decode.hex
+./build/tools/genic invert programs/BASE16_encoder.genic --jobs 2 \
+  --decode-file build/decode.hex --decode-out build/decode.out \
+  --trace-out build/decode.trace.json \
+  --metrics-json build/decode.metrics.json --stats
+./build/tools/trace-lint build/decode.trace.json
+if ! grep -qF '"decode.stream"' build/decode.trace.json; then
+  echo "trace check: no decode.stream span in the decode run" >&2
+  exit 1
+fi
+for Key in '"decode.bytes"' '"decode.chunk.us' '"decode.rules.fired"'; do
+  if ! grep -qF "$Key" build/decode.metrics.json; then
+    echo "metrics schema check: missing $Key in decode.metrics.json" >&2
+    exit 1
+  fi
+done
+cmp build/decode.plain build/decode.out
+
 if [ "$SKIP_ASAN" -eq 0 ]; then
   echo "=== sanitizers: address,undefined on the hot-path suites ==="
   cmake -B build-asan -S . \
@@ -102,13 +126,21 @@ if [ "$SKIP_ASAN" -eq 0 ]; then
   cmake --build build-asan -j --target \
     compiled_eval_test parallel_invert_test enumerator_test \
     term_test eval_test solver_test support_test fault_injection_test \
-    incremental_solver_test
+    incremental_solver_test stream_decode_test
   for T in compiled_eval_test parallel_invert_test enumerator_test \
     term_test eval_test solver_test support_test fault_injection_test \
     incremental_solver_test; do
     echo "--- asan/ubsan: $T"
     ./build-asan/tests/"$T"
   done
+  echo "--- asan/ubsan: stream_decode_test (unit + synthetic fuzz + BASE16)"
+  # The fused-rule interpreter runs on a raw word stack and indexes the
+  # input window directly, so the chunked differential fuzz under
+  # asan/ubsan is the memory-safety check for the whole decode hot path.
+  # The BASE16 parity rows add a real synthesized inverse (the cheapest
+  # inversion in the corpus) on top of the synthetic machines.
+  ./build-asan/tests/stream_decode_test \
+    --gtest_filter='StreamDecoderUnit.*:StreamDecodeSynthetic.*:*BASE16_*'
 
   echo "=== degraded-run smoke: --timeout-seconds under asan ==="
   # A heavy coder under a 1-second global budget must exit cleanly with
@@ -141,7 +173,7 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j --target support_test \
     parallel_injectivity_test solver_context_test bank_reuse_test \
-    fault_injection_test incremental_solver_test
+    fault_injection_test incremental_solver_test stream_decode_test
   # tsan.supp silences the uninstrumented libz3's internal locking (false
   # positives); our own code is fully checked.
   export TSAN_OPTIONS="suppressions=$PWD/tsan.supp"
@@ -158,6 +190,12 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ./build-tsan/tests/fault_injection_test
   echo "--- tsan: incremental_solver_test"
   ./build-tsan/tests/incremental_solver_test
+  echo "--- tsan: stream_decode_test (unit + synthetic)"
+  # The decoder itself is single-threaded; what tsan checks here is the
+  # cancellation token it polls, which another thread's deadline can trip
+  # mid-stream (the fault-injection unit test does exactly that).
+  ./build-tsan/tests/stream_decode_test \
+    --gtest_filter='StreamDecoderUnit.*:StreamDecodeSynthetic.*'
   echo "--- tsan: trace_metrics_test"
   cmake --build build-tsan -j --target trace_metrics_test
   ./build-tsan/tests/trace_metrics_test
@@ -195,6 +233,17 @@ if [ "$SKIP_BENCH" -eq 0 ]; then
   (cd build && ./bench/bench_table1 --only "UTF-8 encoder" --jobs 1 \
     --baseline ../BENCH_table1.json --max-regress 40 \
     --json BENCH_table1.utf8.smoke.json)
+
+  echo "=== bench regression gate: streaming decode vs baseline ==="
+  # The BASE16 pair re-inverts in well under a second, so this gates the
+  # compiled runtime's MB/s against the committed BENCH_decode.json
+  # without re-running the 14-coder corpus. Slack matches the table1
+  # gates: wide enough for container noise, tight enough for a 2x cliff
+  # (e.g. a rule knocked off the fused tier back onto the generic one).
+  cmake --build build -j --target bench_decode
+  (cd build && ./bench/bench_decode --only BASE16 --jobs 1 \
+    --baseline ../BENCH_decode.json --max-regress 60 \
+    --json BENCH_decode.smoke.json)
 fi
 
 echo "=== ci.sh: all green ==="

@@ -1,0 +1,152 @@
+//===- runtime/StreamDecoder.h - Chunked streaming s-EFT execution --------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chunked streaming API over a CompiledSeft: feed input in arbitrary
+/// slices, receive decoded output incrementally, and close the stream with
+/// finish(). The decoder carries O(lookahead) state between feeds — current
+/// state, at most StallBound-1 unconsumed symbols, and (on the byte API) up
+/// to one partial symbol of raw bytes — never the whole input. Splitting one
+/// input differently across feed() calls cannot change the concatenated
+/// output or the final status; tests/stream_decode_test.cpp fuzzes this
+/// against whole-input Seft::transduceFunctional.
+///
+/// Dispatch is the greedy single pass justified in runtime/CompiledSeft.h:
+/// mid-stream, fire the first continuing rule (transition order) whose
+/// guard holds and whose outputs are defined; if none fires once StallBound
+/// symbols are buffered, the input is rejected for good. finish() then runs
+/// the finalizers whose lookahead equals the symbols left. Errors are coded
+/// Status values per the PR 5 contract — Error for malformed input,
+/// Cancelled/Timeout for budget exhaustion (output produced before the
+/// budget ran out has already been appended, so callers degrade to a
+/// partial-output report) — and are sticky: a failed decoder keeps
+/// returning the same status until reset().
+///
+/// Byte framing: the byte API applies when both alphabet types are
+/// bit-vectors of byte-aligned width, mapping each symbol to width/8
+/// little-endian bytes (for the Table-1 corpus: 1 byte for the 8-bit
+/// coders, 4 for the 32-bit ones). Int-alphabet machines (the synthetic
+/// corpus) use the symbol API directly.
+///
+/// Like the CompiledSeft it executes, a StreamDecoder is single-threaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_RUNTIME_STREAMDECODER_H
+#define GENIC_RUNTIME_STREAMDECODER_H
+
+#include "runtime/CompiledSeft.h"
+#include "support/Deadline.h"
+#include "support/Metrics.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace genic {
+
+struct StreamDecoderOptions {
+  /// Budget for the whole stream; checked between rule firings (every few
+  /// hundred), so exhaustion surfaces as Status::cancelled within
+  /// microseconds, with all output decoded so far already delivered.
+  CancellationToken Cancel;
+  /// When set, the decoder maintains decode.bytes / decode.symbols counters
+  /// and the decode.chunk.us per-feed latency histogram there (new
+  /// genic-metrics-v1 keys; the schema is append-only).
+  MetricsRegistry *Metrics = nullptr;
+  /// Paranoia mode for differential tests: evaluate EVERY dispatchable rule
+  /// instead of stopping at the first hit, and fail with Status::error if
+  /// two fire with different effects — a live violation of the Def. 3.7
+  /// determinism the greedy dispatch relies on. Costs one guard run per
+  /// sibling rule per step; off in production.
+  bool CheckAmbiguity = false;
+};
+
+/// Streaming executor; see file comment. The CompiledSeft (and the
+/// TermFactory under it) must outlive the decoder.
+class StreamDecoder {
+public:
+  explicit StreamDecoder(const CompiledSeft &Machine,
+                         StreamDecoderOptions Opts = {});
+
+  /// Decodes \p Chunk, appending any output bytes to \p Out. Requires
+  /// byte-framable alphabet types (see file comment). On a non-Ok return,
+  /// output decoded before the failure has still been appended.
+  Status feed(std::span<const uint8_t> Chunk, std::vector<uint8_t> &Out);
+
+  /// Ends the stream: runs the finalizer for the carried tail, appends the
+  /// final output bytes to \p Out. Rejects trailing partial symbols and
+  /// inputs no finalizer accepts.
+  Status finish(std::vector<uint8_t> &Out);
+
+  /// Symbol-level variants for machines whose alphabets are not
+  /// byte-framable (Int theory) and for tests that construct ValueLists.
+  Status feedSymbols(std::span<const Value> Chunk, ValueList &Out);
+  Status finishSymbols(ValueList &Out);
+
+  /// Returns the decoder to its initial state (fresh stream, clears any
+  /// sticky error and the running stats).
+  void reset();
+
+  struct Stats {
+    uint64_t BytesIn = 0;
+    uint64_t BytesOut = 0;
+    uint64_t SymbolsIn = 0;
+    uint64_t SymbolsOut = 0;
+    uint64_t Chunks = 0;     ///< feed() / feedSymbols() calls
+    uint64_t RulesFired = 0; ///< continuing rules + the finalizer
+  };
+  const Stats &stats() const { return TheStats; }
+
+  /// Unconsumed symbols carried between feeds — the O(lookahead) invariant:
+  /// after any feed this is < max(StallBound of the current state, 1).
+  size_t carriedSymbols() const { return Buf.size() - Pos; }
+
+  /// True once finish()/finishSymbols() succeeded.
+  bool finished() const { return Ended && Sticky.isOk(); }
+
+private:
+  /// Greedily fires continuing rules on the buffered symbols until no more
+  /// can (yet) fire; appends their outputs. Sets the sticky status on
+  /// definite rejection, ambiguity, or cancellation.
+  Status pump(ValueList &Out);
+  /// Fires \p R on the window at Pos if its guard holds and outputs are
+  /// defined; appends outputs to \p Out on success.
+  bool tryRule(const CompiledSeftRule &R, ValueList &Out);
+  Status fail(Status S) {
+    Sticky = std::move(S);
+    return Sticky;
+  }
+  /// Bytes per symbol for \p T under the byte framing; 0 when \p T is not a
+  /// byte-aligned bit-vector type.
+  static unsigned bytesPerSymbol(const Type &T);
+  /// Appends SymScratch to \p Out under the little-endian byte framing and
+  /// counts the bytes.
+  void serializeOut(unsigned OutBps, std::vector<uint8_t> &Out);
+
+  const CompiledSeft &M;
+  StreamDecoderOptions Opts;
+  /// Resolved once; null when Opts.Metrics is null.
+  MetricsCounter *BytesCtr = nullptr;
+  MetricsCounter *SymbolsCtr = nullptr;
+  MetricsHistogram *ChunkHist = nullptr;
+
+  unsigned Q;            ///< Current state.
+  ValueList Buf;         ///< Unconsumed symbols; compacted after each feed.
+  size_t Pos = 0;        ///< Consumed prefix of Buf.
+  ValueList OutScratch;  ///< Reused per-rule output staging.
+  std::vector<uint64_t> FusedStack; ///< Scratch for fused rule execution.
+  ValueList SymScratch;  ///< Byte API: reused symbol-output buffer.
+  std::vector<uint8_t> PendingBytes; ///< Byte API: partial symbol carry.
+  unsigned CancelCheckCountdown;
+  Status Sticky;
+  bool Ended = false;
+  Stats TheStats;
+};
+
+} // namespace genic
+
+#endif // GENIC_RUNTIME_STREAMDECODER_H

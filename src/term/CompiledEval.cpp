@@ -204,6 +204,18 @@ std::optional<Value> CompiledEvalCache::run(const CompiledProgram &P,
   return Result;
 }
 
+std::optional<Value> CompiledEvalCache::runProgram(const CompiledProgram &P,
+                                                   Env Environment) {
+  ++TheStats.Evals;
+  return run(P, Environment);
+}
+
+bool CompiledEvalCache::runProgramBool(const CompiledProgram &P,
+                                       Env Environment) {
+  std::optional<Value> V = runProgram(P, Environment);
+  return V && V->type().isBool() && V->getBool();
+}
+
 std::optional<Value> CompiledEvalCache::eval(TermRef T, Env Environment) {
   const CompiledProgram &P = compile(T);
   ++TheStats.Evals;

@@ -114,8 +114,20 @@ public:
                      std::span<const std::vector<Value>> ArgLists,
                      std::vector<std::optional<Value>> &Out);
 
-  /// Compiles without evaluating (for benchmarks and warm-up).
+  /// Compiles without evaluating (for benchmarks and warm-up). The returned
+  /// reference stays valid for the cache's lifetime, so callers on a hot
+  /// loop can compile once and execute through runProgram() — skipping the
+  /// per-eval cache probe entirely. The streaming decode runtime
+  /// (runtime/CompiledSeft.h) compiles every rule of a machine this way.
   const CompiledProgram &compile(TermRef T);
+
+  /// Executes a program previously returned by compile() under
+  /// \p Environment. Semantics are exactly eval()'s on the program's source
+  /// term; no cache lookup happens.
+  std::optional<Value> runProgram(const CompiledProgram &P, Env Environment);
+
+  /// Boolean execution mapping "undefined" to false, like evalBool().
+  bool runProgramBool(const CompiledProgram &P, Env Environment);
 
   struct Stats {
     uint64_t Lookups = 0;  // program-cache probes

@@ -75,6 +75,12 @@ public:
     return Bits;
   }
 
+  /// The raw 64-bit payload regardless of type: bool as 0/1, integers as
+  /// their two's-complement pattern, bit-vectors zero-extended. For code
+  /// that has already established the type statically (the fused rule
+  /// interpreter in runtime/FusedRule.h) and wants the untyped word.
+  uint64_t rawBits() const { return Bits; }
+
   bool operator==(const Value &Other) const {
     return Ty == Other.Ty && Bits == Other.Bits;
   }

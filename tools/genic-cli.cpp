@@ -50,9 +50,16 @@
 ///                  structural outcome (jobs-invariant), all registry
 ///                  counters/gauges, the per-phase solver-query latency
 ///                  histograms, and the isolated timing section
+///   --decode-file IN --decode-out OUT  after inverting (implied), compile
+///                  the inverse to bytecode and stream-decode file IN to
+///                  file OUT through runtime/StreamDecoder (chunked; never
+///                  materializes the whole input). A rejected input exits
+///                  3, budget exhaustion mid-stream exits 4 with the
+///                  partial output written; both flags must come together
 ///
 /// Exit codes: 0 ok, 1 generic error, 2 usage, 3 not invertible /
-/// negative verdict, 4 budget exhausted, 5 internal solver error.
+/// negative verdict / rejected decode input, 4 budget exhausted,
+/// 5 internal solver error.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +67,8 @@
 #include "genic/Genic.h"
 #include "genic/Lower.h"
 #include "genic/Parser.h"
+#include "runtime/StreamDecoder.h"
+#include "support/Deadline.h"
 #include "support/StringUtils.h"
 #include "support/Trace.h"
 #include "transducer/Sampling.h"
@@ -87,7 +96,8 @@ int usage() {
       "           --timeout-seconds S --solver-timeout-ms N "
       "--fault-inject SPEC\n"
       "           --solver-incremental {on,off} --trace-out FILE "
-      "--metrics-json FILE\n");
+      "--metrics-json FILE\n"
+      "           --decode-file IN --decode-out OUT\n");
   return ExitUsage;
 }
 
@@ -131,6 +141,7 @@ int main(int Argc, char **Argv) {
   std::optional<unsigned> SolverTimeoutMs;
   std::optional<std::string> FaultSpec;
   std::string TraceOut, MetricsJsonOut;
+  std::string DecodeFile, DecodeOut;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -198,6 +209,14 @@ int main(int Argc, char **Argv) {
       if (++I >= Argc)
         return usage();
       MetricsJsonOut = Argv[I];
+    } else if (Arg == "--decode-file") {
+      if (++I >= Argc)
+        return usage();
+      DecodeFile = Argv[I];
+    } else if (Arg == "--decode-out") {
+      if (++I >= Argc)
+        return usage();
+      DecodeOut = Argv[I];
     } else if (Command.empty()) {
       Command = Arg;
     } else if (Path.empty()) {
@@ -337,6 +356,13 @@ int main(int Argc, char **Argv) {
   bool ForceInvert = Command == "invert";
   if (Command != "run" && Command != "check" && Command != "invert")
     return usage();
+  if (DecodeFile.empty() != DecodeOut.empty()) {
+    std::fprintf(stderr,
+                 "error: --decode-file and --decode-out go together\n");
+    return usage();
+  }
+  if (!DecodeFile.empty())
+    ForceInvert = true; // Decoding runs the inverse; make sure we build it.
 
   if (!SolverIncrementalSet)
     if (const char *Env = std::getenv("GENIC_SOLVER_INCREMENTAL"))
@@ -367,6 +393,106 @@ int main(int Argc, char **Argv) {
   }
   Result<GenicReport> Report =
       Tool.run(*Source, ForceInjective, ForceInvert);
+
+  // Streaming decode rides after the run so its spans land in the same
+  // trace and its counters in the same metrics snapshot.
+  int DecodeExit = ExitOk;
+  std::string DecodeSummary, DecodeStatsText;
+  if (Report && !DecodeFile.empty()) {
+    const GenicReport &R = *Report;
+    if (!R.InverseMachine || !R.Inversion || !R.Inversion->complete()) {
+      std::fprintf(stderr, "error: --decode-file needs a fully inverted "
+                           "machine (inversion did not complete)\n");
+      DecodeExit = ExitNotInvertible;
+    } else {
+      TraceSpan Span("decode.stream", "decode");
+      Result<CompiledSeft> Compiled = CompiledSeft::compile(*R.InverseMachine);
+      std::ifstream In(DecodeFile, std::ios::binary);
+      std::ofstream Out;
+      if (Compiled)
+        Out.open(DecodeOut, std::ios::binary | std::ios::trunc);
+      if (!Compiled) {
+        std::fprintf(stderr, "error: %s\n",
+                     Compiled.status().message().c_str());
+        DecodeExit = ExitError;
+      } else if (!In || !Out) {
+        std::fprintf(stderr, "error: cannot open %s\n",
+                     !In ? DecodeFile.c_str() : DecodeOut.c_str());
+        DecodeExit = ExitError;
+      } else {
+        StreamDecoderOptions DecodeOpts;
+        DecodeOpts.Metrics = &Tool.metrics();
+        if (TimeoutSeconds > 0)
+          DecodeOpts.Cancel = CancellationToken(Deadline::after(
+              std::max(0.0, R.Timings.DeadlineRemainingSeconds)));
+        StreamDecoder Decoder(*Compiled, DecodeOpts);
+
+        Status DecodeStatus = Status::ok();
+        std::vector<uint8_t> Chunk(256 * 1024), Produced;
+        while (In) {
+          In.read(reinterpret_cast<char *>(Chunk.data()), Chunk.size());
+          std::streamsize Got = In.gcount();
+          if (Got <= 0)
+            break;
+          Produced.clear();
+          DecodeStatus = Decoder.feed(
+              std::span<const uint8_t>(Chunk.data(), size_t(Got)), Produced);
+          Out.write(reinterpret_cast<const char *>(Produced.data()),
+                    std::streamsize(Produced.size()));
+          if (!DecodeStatus.isOk())
+            break;
+        }
+        if (DecodeStatus.isOk()) {
+          Produced.clear();
+          DecodeStatus = Decoder.finish(Produced);
+          Out.write(reinterpret_cast<const char *>(Produced.data()),
+                    std::streamsize(Produced.size()));
+        }
+        Out.flush();
+
+        double Seconds = Span.seconds();
+        const StreamDecoder::Stats &DS = Decoder.stats();
+        const CompiledEvalCache::Stats &ES = Compiled->cache().stats();
+        MetricsRegistry &Reg = Tool.metrics();
+        Reg.counter("decode.eval.lookups").set(ES.Lookups);
+        Reg.counter("decode.eval.compiles").set(ES.Compiles);
+        Reg.counter("decode.eval.hits").set(ES.hits());
+        Reg.counter("decode.eval.evals").set(ES.Evals);
+        Reg.counter("decode.rules.fired").set(DS.RulesFired);
+        Reg.counter("decode.rules.fused").set(Compiled->fusedRules());
+
+        char Buf[256];
+        std::snprintf(Buf, sizeof(Buf),
+                      "decoded:       %llu -> %llu bytes (%.1f MB/s)\n",
+                      (unsigned long long)DS.BytesIn,
+                      (unsigned long long)DS.BytesOut,
+                      Seconds > 0 ? DS.BytesIn / Seconds / 1e6 : 0.0);
+        DecodeSummary = Buf;
+        std::snprintf(Buf, sizeof(Buf),
+                      "decode rules: %u of %u fused; eval cache: "
+                      "%llu lookups, %llu compiles, %llu hits, %llu evals, "
+                      "%llu rules fired\n",
+                      Compiled->fusedRules(), Compiled->numRules(),
+                      (unsigned long long)ES.Lookups,
+                      (unsigned long long)ES.Compiles,
+                      (unsigned long long)ES.hits(),
+                      (unsigned long long)ES.Evals,
+                      (unsigned long long)DS.RulesFired);
+        DecodeStatsText = Buf;
+
+        if (!DecodeStatus.isOk()) {
+          std::fprintf(stderr, "decode error: %s\n",
+                       DecodeStatus.message().c_str());
+          DecodeExit = DecodeStatus.isBudget()
+                           ? ExitBudgetExhausted
+                           : DecodeStatus.code() == StatusCode::SolverError
+                                 ? ExitInternalError
+                                 : ExitNotInvertible;
+        }
+      }
+    }
+  }
+
   if (!TraceOut.empty()) {
     TraceRecorder::global().disable();
     if (Status St = TraceRecorder::global().writeJson(TraceOut); !St)
@@ -413,8 +539,15 @@ int main(int Argc, char **Argv) {
                 R.Timings.InversionSeconds, R.Inversion->maxRuleSeconds());
     std::printf("\n%s", R.InverseSource.c_str());
   }
+  if (!DecodeSummary.empty())
+    std::fputs(DecodeSummary.c_str(), stdout);
   std::printf("\n%s", formatOutcomeReport(R).c_str());
-  if (Stats)
+  if (Stats) {
     std::fputs(formatStatsReport(R).c_str(), stdout);
-  return suggestedExitCode(R);
+    std::fputs(DecodeStatsText.c_str(), stdout);
+  }
+  // Exit-code severities are numerically ordered (5 solver error > 4 budget
+  // > 3 negative verdict > 1 error > 0), so max picks the worst of the
+  // pipeline's and the decode's outcome.
+  return std::max(suggestedExitCode(R), DecodeExit);
 }
