@@ -100,11 +100,21 @@ private:
   }
   uint32_t here() const { return static_cast<uint32_t>(P.Code.size()); }
 
-  /// Points every branch in \p L at the next instruction.
+  /// Points every branch in \p L at the next instruction. That position
+  /// becomes a jump join, so raise the fusion barrier: an instruction
+  /// ending exactly there must not absorb a later branch (branchLeaf).
   void patch(PatchList &L) {
+    if (!L.empty())
+      Barrier = here();
     for (uint32_t Fix : L)
       P.Code[Fix].A = here();
     L.clear();
+  }
+  /// Resolves one deferred jump to the next instruction; a join point like
+  /// patch(), so it raises the fusion barrier too.
+  void patchOne(uint32_t Fix) {
+    Barrier = here();
+    P.Code[Fix].A = here();
   }
   /// Defers branches in \p L to the shared trailing Fail.
   void failOn(PatchList &L) {
@@ -113,10 +123,19 @@ private:
   }
 
   /// The boolean on top of the stack becomes a conditional jump appended to
-  /// \p L; a just-emitted comparison absorbs the jump instead.
+  /// \p L; a just-emitted comparison absorbs the jump instead — unless a
+  /// jump joins right after it (the comparison is below the fusion
+  /// barrier, e.g. it is the tail of a boolean ite's else-arm): the
+  /// joining path would skip the fused branch with its own boolean
+  /// stranded on the stack, so such a comparison gets an explicit
+  /// JumpIf*Pop that both paths execute.
   void branchLeaf(bool JumpOnTrue, PatchList &L) {
+    if (!Ok || P.Code.empty()) {
+      Ok = false;
+      return;
+    }
     FusedInstr &Last = P.Code.back();
-    if (isCmp(Last.Kind) &&
+    if (here() > Barrier && isCmp(Last.Kind) &&
         !(Last.Flags & (FusedInstr::BrFalse | FusedInstr::BrTrue))) {
       Last.Flags |= JumpOnTrue ? FusedInstr::BrTrue : FusedInstr::BrFalse;
       L.push_back(static_cast<uint32_t>(P.Code.size() - 1));
@@ -170,6 +189,8 @@ private:
       // Comparisons, calls, ites, variables: evaluate, then branch on the
       // result (comparisons fuse with the branch).
       compile(T);
+      if (!Ok)
+        return;
       if (FallThroughTrue)
         branchLeaf(/*JumpOnTrue=*/false, FalseFix);
       else
@@ -241,7 +262,7 @@ private:
       patch(CondFalse);
       Depth = D0; // The else path enters without the then value.
       compile(T->child(2));
-      P.Code[ToEnd].A = here();
+      patchOne(ToEnd);
       return;
     }
 
@@ -258,7 +279,7 @@ private:
       pop();
       emit({K::PushConst, 0, 0, 0, 0});
       push();
-      P.Code[ToEnd].A = here();
+      patchOne(ToEnd);
       return;
     }
 
@@ -409,6 +430,9 @@ private:
   const Type &InputType;
   FusedRuleProgram P;
   unsigned Depth = 0;
+  /// Positions below this are reachable via a resolved jump join; a
+  /// comparison ending at or before it cannot fuse with a branch.
+  uint32_t Barrier = 0;
   bool Ok = true;
   std::vector<Frame> Frames;
   std::vector<const FuncDef *> Active;

@@ -245,6 +245,13 @@ Status StreamDecoder::feed(std::span<const uint8_t> Chunk,
                            std::vector<uint8_t> &Out) {
   if (!Sticky.isOk())
     return Sticky;
+  // Mirror feedSymbols() before touching the byte-framing state: a
+  // rejected feed must not mutate the partial-symbol carry or the byte
+  // counters.
+  if (Ended)
+    return fail(Status::error("streaming decode: feed() after finish()"));
+  if (Opts.Cancel.cancelled())
+    return fail(Status::cancelled("streaming decode: budget exhausted"));
   unsigned InBps = bytesPerSymbol(M.inputType());
   unsigned OutBps = bytesPerSymbol(M.outputType());
   if (InBps == 0 || OutBps == 0)

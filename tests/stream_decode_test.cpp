@@ -24,6 +24,7 @@
 #include "runtime/StreamDecoder.h"
 
 #include "coders/Corpus.h"
+#include "runtime/FusedRule.h"
 #include "coders/Synthetic.h"
 #include "genic/Genic.h"
 #include "term/TermFactory.h"
@@ -514,6 +515,91 @@ TEST_F(StreamDecoderUnit, InPumpCancellationInterruptsOneFeed) {
   ASSERT_TRUE(Live.feedSymbols(Big, Out).isOk());
   EXPECT_EQ(Out.size(), Big.size());
   EXPECT_EQ(Live.stats().RulesFired, Big.size());
+}
+
+TEST_F(StreamDecoderUnit, FeedAfterFinishDoesNotTouchByteState) {
+  // A 16-bit alphabet exercises the partial-symbol carry; a feed rejected
+  // for coming after finish() must not count bytes or park any in it.
+  Type B16 = Type::bitVecTy(16);
+  Seft A(1, 0, B16, B16);
+  TermRef V0 = F.mkVar(0, B16);
+  A.addTransition({0, 0, 1, F.mkTrue(), {V0}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  Result<CompiledSeft> C = CompiledSeft::compile(A);
+  ASSERT_TRUE(C.isOk());
+  StreamDecoder D(*C);
+  std::vector<uint8_t> In = {1, 2}, Out;
+  ASSERT_TRUE(D.feed(In, Out).isOk());
+  ASSERT_TRUE(D.finish(Out).isOk());
+  std::vector<uint8_t> Odd = {3};
+  EXPECT_FALSE(D.feed(Odd, Out).isOk());
+  EXPECT_EQ(D.stats().BytesIn, 2u);
+  EXPECT_EQ(Out, In);
+}
+
+// ---------------------------------------------------------------------------
+// Fused-tier regression: no branch fusion across a jump join
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamDecoderUnit, IteGuardElseTailBranchesOnBothPaths) {
+  // guard = ite(x0 > 0, x1 > 10, x1 < 0): the else-arm's trailing compare
+  // sits immediately before the then-arm's join, so the branch on the
+  // guard's value must not fuse into it — the then path would jump past
+  // the fused branch with its own boolean stranded on the stack and fire
+  // the rule on a false guard.
+  TermRef Guard = F.mkIte(F.mkIntOp(Op::IntGt, X0, F.mkInt(0)),
+                          F.mkIntOp(Op::IntGt, X1, F.mkInt(10)),
+                          F.mkIntOp(Op::IntLt, X1, F.mkInt(0)));
+  std::vector<TermRef> Outputs = {F.mkIntOp(Op::IntAdd, X0, X1)};
+  std::optional<FusedRuleProgram> P = fuseRule(Guard, Outputs, 2, I);
+  ASSERT_TRUE(P.has_value());
+
+  auto Run = [&](int64_t A, int64_t B) {
+    Value Window[2] = {Value::intVal(A), Value::intVal(B)};
+    std::vector<uint64_t> Stack(P->StackDepth);
+    ValueList Out;
+    bool Fired = runFusedRule(*P, Window, Out, Stack.data());
+    return std::make_pair(Fired, Out);
+  };
+  auto [FiredTT, OutTT] = Run(5, 20); // cond true, then true: fires.
+  EXPECT_TRUE(FiredTT);
+  EXPECT_EQ(OutTT, ints({25}));
+  auto [FiredTF, OutTF] = Run(5, 3); // cond true, then false: no fire.
+  EXPECT_FALSE(FiredTF);
+  EXPECT_TRUE(OutTF.empty());
+  auto [FiredFT, OutFT] = Run(-1, -5); // cond false, else true: fires.
+  EXPECT_TRUE(FiredFT);
+  EXPECT_EQ(OutFT, ints({-6}));
+  auto [FiredFF, OutFF] = Run(-1, 5); // cond false, else false: no fire.
+  EXPECT_FALSE(FiredFF);
+  EXPECT_TRUE(OutFF.empty());
+}
+
+TEST_F(StreamDecoderUnit, IteGuardMachineMatchesTransduce) {
+  // The same join shape end-to-end: a machine whose guard rejection goes
+  // through the fused tier must reject exactly like the evaluator.
+  Seft A(1, 0, I, I);
+  TermRef Guard = F.mkIte(F.mkIntOp(Op::IntGt, X0, F.mkInt(0)),
+                          F.mkIntOp(Op::IntGt, X1, F.mkInt(10)),
+                          F.mkIntOp(Op::IntLt, X1, F.mkInt(0)));
+  A.addTransition({0, 0, 2, Guard, {F.mkIntOp(Op::IntAdd, X0, X1)}});
+  A.addTransition({0, Seft::FinalState, 0, F.mkTrue(), {}});
+  Result<CompiledSeft> C = CompiledSeft::compile(A);
+  ASSERT_TRUE(C.isOk());
+  for (const ValueList &In :
+       {ints({5, 20}), ints({5, 3}), ints({-1, -5}), ints({-1, 5}),
+        ints({5, 20, -1, -5}), ints({5, 3, 5, 20}), ints({})}) {
+    auto Reference = A.transduce(In, 2);
+    for (size_t Chunk : {size_t(1), size_t(2)}) {
+      auto [Out, S] = streamDecodeChunked(*C, In, Chunk);
+      if (Reference.empty())
+        EXPECT_FALSE(S.isOk()) << toString(In);
+      else {
+        EXPECT_TRUE(S.isOk()) << toString(In) << ": " << S.message();
+        EXPECT_EQ(Out, Reference.front()) << toString(In);
+      }
+    }
+  }
 }
 
 } // namespace
