@@ -27,7 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "coders/Corpus.h"
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 #include "runtime/StreamDecoder.h"
 
 #include <algorithm>

@@ -23,7 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "coders/Corpus.h"
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 

@@ -1,0 +1,307 @@
+//===- bench/bench_serve.cpp - Resident engine: cold vs warm serving -------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what genicd's resident InversionEngine buys over a fresh
+/// process: for each corpus coder, the cold first-request latency (parse +
+/// lower + pipeline on an empty context) against the warm repeat latency
+/// (pool hit: lowered program, solver memo caches, and enumeration banks
+/// all resident), then aggregate request throughput at concurrency 1/4/8
+/// over the warmed pool.
+///
+/// Programs run without their isInjective operation (like bench_decode:
+/// the 32-bit coders' injectivity projections take minutes and genicd
+/// requests carry the same per-request force flags either way); the
+/// inversion phase — the expensive, cache-sensitive part — always runs.
+///
+/// With --min-warm-speedup X the bench exits 1 when the mean cold/warm
+/// ratio falls below X (the CI gate asserts the warm path actually skips
+/// work, not just that it exists). With --baseline BENCH_serve.json
+/// --max-regress PCT it also gates per-program warm latency against the
+/// committed numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "coders/Corpus.h"
+#include "engine/InversionEngine.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace genic;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Strips the isInjective operation (see file comment).
+std::string withoutInjectivityOp(std::string Source) {
+  size_t Pos = Source.find("isInjective");
+  if (Pos == std::string::npos)
+    return Source;
+  size_t End = Source.find('\n', Pos);
+  Source.erase(Pos, End == std::string::npos ? End : End - Pos + 1);
+  return Source;
+}
+
+struct Row {
+  std::string Name;
+  double ColdSeconds = 0;
+  double WarmSeconds = 0;
+  double Speedup = 0;
+  bool WarmHit = false;
+};
+
+/// One-object-per-line JSON mirror of the printed table (same shape as
+/// bench_decode's, so readBaselineField-style line slicing works).
+class JsonWriter {
+public:
+  void program(const Row &R) {
+    if (!First)
+      Body << ",\n";
+    First = false;
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"program\": \"%s\", \"coldSeconds\": %.4f, "
+                  "\"warmSeconds\": %.4f, \"speedup\": %.4f, "
+                  "\"warmHit\": %s}",
+                  R.Name.c_str(), R.ColdSeconds, R.WarmSeconds, R.Speedup,
+                  R.WarmHit ? "true" : "false");
+    Body << Buf;
+  }
+  void write(const std::string &Path, unsigned Jobs, double MeanSpeedup,
+             const std::map<unsigned, double> &Rps) {
+    std::ofstream Out(Path);
+    char Mean[32];
+    std::snprintf(Mean, sizeof(Mean), "%.2f", MeanSpeedup);
+    Out << "{\n  \"bench\": \"serve\",\n  \"jobs\": " << Jobs
+        << ",\n  \"programs\": [\n" << Body.str() << "\n  ],\n"
+        << "  \"throughput\": [\n";
+    bool FirstRps = true;
+    for (const auto &[C, V] : Rps) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"concurrency\": %u, \"requestsPerSecond\": %.2f}",
+                    C, V);
+      Out << (FirstRps ? "" : ",\n") << Buf;
+      FirstRps = false;
+    }
+    Out << "\n  ],\n  \"summary\": {\"meanSpeedup\": " << Mean << "}\n}\n";
+    std::printf("wrote %s\n", Path.c_str());
+  }
+
+private:
+  std::ostringstream Body;
+  bool First = true;
+};
+
+std::map<std::string, double> readBaselineField(const std::string &Path,
+                                                const char *Field) {
+  const std::string Needle = std::string("\"") + Field + "\": ";
+  std::map<std::string, double> Out;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t NameAt = Line.find("\"program\": \"");
+    size_t FieldAt = Line.find(Needle);
+    if (NameAt == std::string::npos || FieldAt == std::string::npos)
+      continue;
+    size_t NameBegin = NameAt + std::strlen("\"program\": \"");
+    size_t NameEnd = Line.find('"', NameBegin);
+    if (NameEnd == std::string::npos)
+      continue;
+    Out[Line.substr(NameBegin, NameEnd - NameBegin)] =
+        std::atof(Line.c_str() + FieldAt + Needle.size());
+  }
+  return Out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_serve [--only SUBSTR] [--jobs N] "
+               "[--warm-iters N] [--rps-seconds S]\n"
+               "                   [--json PATH] [--min-warm-speedup X]\n"
+               "                   [--baseline PATH] [--max-regress PCT]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Only, JsonPath, BaselinePath;
+  unsigned Jobs = 1, WarmIters = 3;
+  double RpsSeconds = 2.0, MinWarmSpeedup = 0, MaxRegress = 0;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return ++I < Argc ? Argv[I] : nullptr;
+    };
+    const char *V = nullptr;
+    if (Arg == "--only" && (V = Next()))
+      Only = V;
+    else if (Arg == "--jobs" && (V = Next()))
+      Jobs = std::max(1, std::atoi(V));
+    else if (Arg == "--warm-iters" && (V = Next()))
+      WarmIters = std::max(1, std::atoi(V));
+    else if (Arg == "--rps-seconds" && (V = Next()))
+      RpsSeconds = std::atof(V);
+    else if (Arg == "--json" && (V = Next()))
+      JsonPath = V;
+    else if (Arg == "--min-warm-speedup" && (V = Next()))
+      MinWarmSpeedup = std::atof(V);
+    else if (Arg == "--baseline" && (V = Next()))
+      BaselinePath = V;
+    else if (Arg == "--max-regress" && (V = Next()))
+      MaxRegress = std::atof(V);
+    else
+      return usage();
+  }
+
+  std::vector<std::string> Names;
+  std::vector<std::string> Sources;
+  for (const CoderSpec &Spec : coderCorpus()) {
+    if (!Only.empty() && Spec.name().find(Only) == std::string::npos)
+      continue;
+    Names.push_back(Spec.name());
+    Sources.push_back(withoutInjectivityOp(Spec.Source));
+  }
+  if (Sources.empty()) {
+    std::fprintf(stderr, "bench_serve: no corpus program matches \"%s\"\n",
+                 Only.c_str());
+    return 2;
+  }
+
+  EngineConfig Config;
+  Config.WarmPrograms = Sources.size() + 2;
+  InversionEngine Engine(Config);
+  RequestContext Req;
+  Req.Jobs = Jobs;
+
+  std::printf("%-22s %12s %12s %9s\n", "program", "cold (s)", "warm (s)",
+              "speedup");
+  std::vector<Row> Rows;
+  double SpeedupSum = 0;
+  for (size_t I = 0; I != Sources.size(); ++I) {
+    Row R;
+    R.Name = Names[I];
+
+    double T0 = now();
+    Result<EngineResponse> Cold = Engine.serve(Sources[I], Req);
+    R.ColdSeconds = now() - T0;
+    if (!Cold.isOk()) {
+      std::fprintf(stderr, "bench_serve: %s: cold request failed: %s\n",
+                   R.Name.c_str(), Cold.status().message().c_str());
+      return 1;
+    }
+
+    R.WarmSeconds = -1;
+    R.WarmHit = true;
+    for (unsigned W = 0; W != WarmIters; ++W) {
+      T0 = now();
+      Result<EngineResponse> Warm = Engine.serve(Sources[I], Req);
+      double Seconds = now() - T0;
+      if (!Warm.isOk()) {
+        std::fprintf(stderr, "bench_serve: %s: warm request failed: %s\n",
+                     R.Name.c_str(), Warm.status().message().c_str());
+        return 1;
+      }
+      R.WarmHit = R.WarmHit && Warm->WarmHit;
+      if (R.WarmSeconds < 0 || Seconds < R.WarmSeconds)
+        R.WarmSeconds = Seconds;
+    }
+    R.Speedup = R.WarmSeconds > 0 ? R.ColdSeconds / R.WarmSeconds : 0;
+    SpeedupSum += R.Speedup;
+    std::printf("%-22s %12.4f %12.4f %8.2fx%s\n", R.Name.c_str(),
+                R.ColdSeconds, R.WarmSeconds, R.Speedup,
+                R.WarmHit ? "" : "  [COLD: no pool hit]");
+    Rows.push_back(R);
+  }
+  double MeanSpeedup = SpeedupSum / Rows.size();
+  std::printf("mean warm speedup: %.2fx over %zu programs\n", MeanSpeedup,
+              Rows.size());
+
+  // Aggregate request throughput over the warmed pool: C threads serving
+  // the selected programs round-robin for ~RpsSeconds.
+  std::map<unsigned, double> Rps;
+  for (unsigned C : {1u, 4u, 8u}) {
+    std::atomic<uint64_t> Served{0};
+    std::atomic<bool> Stop{false};
+    std::vector<std::thread> Threads;
+    double T0 = now();
+    for (unsigned T = 0; T != C; ++T)
+      Threads.emplace_back([&, T] {
+        RequestContext Mine;
+        Mine.Jobs = Jobs;
+        for (size_t I = T; !Stop.load(std::memory_order_relaxed); ++I) {
+          if (Engine.serve(Sources[I % Sources.size()], Mine).isOk())
+            Served.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    while (now() - T0 < RpsSeconds)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    Stop.store(true);
+    for (std::thread &T : Threads)
+      T.join();
+    double Elapsed = now() - T0;
+    Rps[C] = Served.load() / Elapsed;
+    std::printf("throughput: concurrency %u: %.2f req/s (%llu requests in "
+                "%.2fs)\n",
+                C, Rps[C], static_cast<unsigned long long>(Served.load()),
+                Elapsed);
+  }
+
+  if (!JsonPath.empty()) {
+    JsonWriter Json;
+    for (const Row &R : Rows)
+      Json.program(R);
+    Json.write(JsonPath, Jobs, MeanSpeedup, Rps);
+  }
+
+  int Fail = 0;
+  for (const Row &R : Rows)
+    if (!R.WarmHit) {
+      std::fprintf(stderr, "GATE: %s never hit the warm pool\n",
+                   R.Name.c_str());
+      Fail = 1;
+    }
+  if (MinWarmSpeedup > 0 && MeanSpeedup < MinWarmSpeedup) {
+    std::fprintf(stderr,
+                 "GATE: mean warm speedup %.2fx below the %.2fx floor\n",
+                 MeanSpeedup, MinWarmSpeedup);
+    Fail = 1;
+  }
+  if (!BaselinePath.empty() && MaxRegress > 0) {
+    std::map<std::string, double> Base =
+        readBaselineField(BaselinePath, "warmSeconds");
+    for (const Row &R : Rows) {
+      auto It = Base.find(R.Name);
+      if (It == Base.end() || It->second <= 0)
+        continue;
+      double Pct = (R.WarmSeconds - It->second) / It->second * 100.0;
+      if (Pct > MaxRegress) {
+        std::fprintf(stderr,
+                     "GATE: %s warm latency regressed %.1f%% "
+                     "(%.4fs vs baseline %.4fs, limit %.0f%%)\n",
+                     R.Name.c_str(), Pct, R.WarmSeconds, It->second,
+                     MaxRegress);
+        Fail = 1;
+      }
+    }
+  }
+  return Fail;
+}

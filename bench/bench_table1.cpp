@@ -18,7 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "coders/Corpus.h"
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 

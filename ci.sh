@@ -117,6 +117,89 @@ for Key in '"decode.bytes"' '"decode.chunk.us' '"decode.rules.fired"'; do
 done
 cmp build/decode.plain build/decode.out
 
+echo "=== trace-lint fixtures: interleaved requests + overflow rejection ==="
+# genicd serves many requests per thread, so the linter accepts multiple
+# overlapping root spans per (tid, request) — but a child span overflowing
+# its enclosing span within one request must still be rejected.
+./build/tools/trace-lint tests/traces/interleaved_requests.trace.json
+if ./build/tools/trace-lint tests/traces/overflowing_span.trace.json \
+    2>/dev/null; then
+  echo "trace-lint fixture: overflowing_span.trace.json must fail" >&2
+  exit 1
+fi
+
+echo "=== genicd: resident service smoke ==="
+# One daemon, eight concurrent inversions plus deliberate failures: the
+# error paths must stay per-request (the daemon keeps serving, the clean
+# requests still exit 0) and a served report must be byte-identical to the
+# fresh-process CLI's.
+cmake --build build -j --target genicd genicd-client
+GENICD_SOCK=build/genicd-ci.sock
+rm -f "$GENICD_SOCK"
+./build/tools/genicd --socket "$GENICD_SOCK" --threads 4 --queue 16 \
+  > build/genicd-ci.log 2>&1 &
+GENICD_PID=$!
+trap 'kill "$GENICD_PID" 2>/dev/null || true' EXIT
+./build/tools/genicd-client --socket "$GENICD_SOCK" --op ping \
+  --retry-seconds 10 > /dev/null
+CLIENT_PIDS=()
+for I in 1 2 3 4 5 6 7 8; do
+  ./build/tools/genicd-client --socket "$GENICD_SOCK" \
+    --file programs/BASE16_encoder.genic --id "$I" --jobs 2 \
+    --field code > "build/genicd-ci.$I.code" &
+  CLIENT_PIDS+=("$!")
+done
+# Per-request isolation: an exhausted budget on a cold program and a
+# malformed source, racing the eight clean requests above.
+set +e
+./build/tools/genicd-client --socket "$GENICD_SOCK" \
+  --file programs/UTF-8_encoder.genic --id 101 --jobs 2 \
+  --timeout-seconds 0.000001 --field code > build/genicd-ci.budget.code
+BUDGET_RC=$?
+printf 'this is not a genic program' | ./build/tools/genicd-client \
+  --socket "$GENICD_SOCK" --file - --id 102 \
+  --field code > build/genicd-ci.bad.code
+BAD_RC=$?
+set -e
+for P in "${CLIENT_PIDS[@]}"; do
+  wait "$P" # a clean request failing fails the stage
+done
+for I in 1 2 3 4 5 6 7 8; do
+  grep -qx 'ok' "build/genicd-ci.$I.code"
+done
+if [ "$BUDGET_RC" -ne 4 ] || ! grep -qx 'budget-exhausted' \
+    build/genicd-ci.budget.code; then
+  echo "genicd smoke: budget request: want exit 4 / budget-exhausted," \
+    "got $BUDGET_RC / $(cat build/genicd-ci.budget.code)" >&2
+  exit 1
+fi
+if [ "$BAD_RC" -eq 0 ] || grep -qx 'ok' build/genicd-ci.bad.code; then
+  echo "genicd smoke: malformed source must fail per-request" >&2
+  exit 1
+fi
+# A daemon-served report must match the fresh-process CLI byte-for-byte.
+./build/tools/genicd-client --socket "$GENICD_SOCK" \
+  --file programs/BASE16_encoder.genic --id 103 --jobs 2 \
+  --field report > build/genicd-ci.report
+./build/tools/genic invert programs/BASE16_encoder.genic --jobs 2 \
+  | sed -n '/^outcome report for/,$p' > build/genicd-ci.cli.report
+diff build/genicd-ci.report build/genicd-ci.cli.report
+# /metrics must return a parseable genic-metrics-v1 snapshot with the
+# serve counters.
+./build/tools/genicd-client --socket "$GENICD_SOCK" --op metrics \
+  --field payload > build/genicd-ci.metrics.json
+for Key in '"schema": "genic-metrics-v1"' '"serve.requests"' \
+  '"serve.request_us"'; do
+  if ! grep -qF "$Key" build/genicd-ci.metrics.json; then
+    echo "genicd smoke: missing $Key in /metrics snapshot" >&2
+    exit 1
+  fi
+done
+./build/tools/genicd-client --socket "$GENICD_SOCK" --op shutdown \
+  > /dev/null
+wait "$GENICD_PID"
+trap - EXIT
+
 if [ "$SKIP_ASAN" -eq 0 ]; then
   echo "=== sanitizers: address,undefined on the hot-path suites ==="
   cmake -B build-asan -S . \
@@ -212,6 +295,39 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ./build-tsan/tools/genic invert programs/BASE16_encoder.genic --jobs 4 \
     --solver-incremental off --trace-out build-tsan/b16.oneshot.trace.json
   ./build-tsan/tools/trace-lint build-tsan/b16.oneshot.trace.json
+  echo "--- tsan: genicd, 8 concurrent requests"
+  # The daemon's full request path under tsan: admission queue, worker
+  # threads, the warm pool's exclusive checkouts, and the engine-lifetime
+  # metrics registry all shared across 8 in-flight requests.
+  cmake --build build-tsan -j --target genicd genicd-client
+  rm -f build-tsan/genicd-ci.sock
+  ./build-tsan/tools/genicd --socket build-tsan/genicd-ci.sock \
+    --threads 4 --queue 16 --trace-out build-tsan/genicd-ci.trace.json \
+    > build-tsan/genicd-ci.log 2>&1 &
+  GENICD_TSAN_PID=$!
+  trap 'kill "$GENICD_TSAN_PID" 2>/dev/null || true' EXIT
+  ./build-tsan/tools/genicd-client --socket build-tsan/genicd-ci.sock \
+    --op ping --retry-seconds 30 > /dev/null
+  TSAN_CLIENT_PIDS=()
+  for I in 1 2 3 4 5 6 7 8; do
+    ./build-tsan/tools/genicd-client --socket build-tsan/genicd-ci.sock \
+      --file programs/BASE16_encoder.genic --id "$I" --jobs 2 \
+      --field code > "build-tsan/genicd-ci.$I.code" &
+    TSAN_CLIENT_PIDS+=("$!")
+  done
+  for P in "${TSAN_CLIENT_PIDS[@]}"; do
+    wait "$P"
+  done
+  for I in 1 2 3 4 5 6 7 8; do
+    grep -qx 'ok' "build-tsan/genicd-ci.$I.code"
+  done
+  ./build-tsan/tools/genicd-client --socket build-tsan/genicd-ci.sock \
+    --op shutdown > /dev/null
+  wait "$GENICD_TSAN_PID"
+  trap - EXIT
+  # The daemon's shutdown trace must lint: overlapping request spans per
+  # worker thread are exactly what the per-(tid, request) nesting allows.
+  ./build-tsan/tools/trace-lint build-tsan/genicd-ci.trace.json
   unset TSAN_OPTIONS
 fi
 
@@ -244,6 +360,20 @@ if [ "$SKIP_BENCH" -eq 0 ]; then
   (cd build && ./bench/bench_decode --only BASE16 --jobs 1 \
     --baseline ../BENCH_decode.json --max-regress 60 \
     --json BENCH_decode.smoke.json)
+
+  echo "=== bench gate: resident serving, cold vs warm ==="
+  # The warm pool must actually skip work: the BASE16 pair re-serves from
+  # a warm entry (persisted lowered program, solver memo caches, rule
+  # forks, enumeration banks), and the mean warm speedup is gated at 2x —
+  # far under the committed ~10x (BENCH_serve.json), so it trips on "pool
+  # silently stopped hitting" rather than on container noise. Warm latency
+  # is additionally gated against the committed baseline with the same
+  # generous slack as the other gates on this box.
+  cmake --build build -j --target bench_serve
+  (cd build && ./bench/bench_serve --only BASE16 --jobs 1 \
+    --rps-seconds 1 --min-warm-speedup 2 \
+    --baseline ../BENCH_serve.json --max-regress 75 \
+    --json BENCH_serve.smoke.json)
 fi
 
 echo "=== ci.sh: all green ==="

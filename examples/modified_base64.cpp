@@ -14,7 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "coders/Corpus.h"
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 
 #include <cstdio>
 

@@ -12,7 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 
 #include <cstdio>
 

@@ -1,0 +1,464 @@
+//===- engine/InversionEngine.cpp -----------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/InversionEngine.h"
+
+#include "genic/Parser.h"
+#include "genic/ProgramPrinter.h"
+#include "solver/SolverSessionPool.h"
+#include "support/Trace.h"
+
+#include <cassert>
+#include <exception>
+#include <functional>
+
+using namespace genic;
+
+InversionEngine::InversionEngine(EngineConfig Config)
+    : Config(std::move(Config)),
+      Pool(this->Config.WarmPrograms, this->Config.SolverTimeoutMs,
+           this->Config.SatCacheCap) {}
+
+InversionEngine::~InversionEngine() = default;
+
+Result<GenicReport>
+InversionEngine::runOnSession(SolverContext &Ctx, const std::string &Source,
+                              const RequestContext &Req,
+                              ProgramPool::Entry *Warm) {
+  TermFactory &Factory = Ctx.factory();
+  Solver &Slv = Ctx.solver();
+
+  // The shared solver's counters are cumulative over the context's life —
+  // on a warm pool entry that spans many requests. Snapshot them so the
+  // report describes this request's traffic only (zero on a fresh
+  // context, so cold runs are unchanged byte-for-byte).
+  const Solver::Stats SharedBase = Slv.stats();
+
+  // Tag every span the run records (including worker-side spans, see
+  // ThreadPool::submit) with this request's epoch. 0 leaves spans untagged,
+  // preserving the single-run CLI trace format byte-for-byte.
+  TraceRequestScope TraceReq(Req.TraceId);
+
+  // The whole-run span: its stopwatch feeds Timings.TotalSeconds, and in a
+  // traced run it is the root every phase span nests under.
+  TraceSpan RunSpan("genic.run");
+
+  // Metrics sink: the caller's registry, or a run-local throwaway so the
+  // pipeline never has to null-check. The engine does not reset it —
+  // request lifetime is the caller's policy (GenicTool resets per run(),
+  // genicd keeps one registry per request object).
+  MetricsRegistry LocalRegistry;
+  MetricsRegistry &Registry = Req.Metrics ? *Req.Metrics : LocalRegistry;
+
+  InverterOptions Options = Config.Options;
+  if (Req.Jobs)
+    Options.Jobs = *Req.Jobs;
+
+  // Install the run-wide control: a fresh deadline token (the budget is
+  // per request, not per engine) plus the fault plan and the metrics
+  // registry query latencies are observed into. Every session the run
+  // creates — pooled checkers, per-rule forks — copies this control.
+  SolverControl Ctl;
+  if (Req.BudgetSeconds > 0)
+    Ctl.Cancel = CancellationToken(Deadline::after(Req.BudgetSeconds));
+  Ctl.Faults = Req.Faults;
+  Ctl.Metrics = &Registry;
+  Ctl.Kind = SolverSessionKind::Shared;
+  Ctl.Incremental = Options.SolverIncremental;
+  Slv.setControl(Ctl);
+
+  // Parse and lower, unless a warm pool entry already carries the lowered
+  // program for this source (then the run starts straight at the phases,
+  // on the factory that already holds the program's hash-consed terms).
+  const LoweredProgram *Prog = nullptr;
+  std::optional<LoweredProgram> LocalLowered;
+  if (Warm && Warm->Lowered) {
+    Prog = &*Warm->Lowered;
+  } else {
+    Result<AstProgram> Ast = parseGenic(Source);
+    if (!Ast)
+      return Ast.status();
+    Result<LoweredProgram> Lowered = lowerProgram(Factory, *Ast);
+    if (!Lowered)
+      return Lowered.status();
+    if (Warm) {
+      Warm->Lowered = std::move(*Lowered);
+      Prog = &*Warm->Lowered;
+    } else {
+      LocalLowered = std::move(*Lowered);
+      Prog = &*LocalLowered;
+    }
+  }
+  const LoweredProgram &P = *Prog;
+
+  GenicReport Report;
+  Report.EntryName = P.EntryName;
+  Report.NumStates = P.Machine.numStates();
+  Report.NumTransitions = P.Machine.transitions().size();
+  Report.NumAuxFuncs = P.AuxFuncs.size();
+  Report.MaxLookahead = P.Machine.lookahead();
+  Report.SourceBytes = Source.size();
+  Report.Theory = P.Machine.inputType().str();
+  Report.Machine = P.Machine;
+
+  Report.InjectivityRequested = P.WantsInjective || Req.ForceInjectivity;
+  Report.InversionRequested = P.WantsInvert || Req.ForceInvert;
+
+  // One pool of warm worker sessions serves the determinism check and
+  // every phase of the injectivity check. Sessions fork the shared factory
+  // copy-on-write, so the program's terms are readable in every session
+  // without cloning (exports stay data-only, see SolverSessionPool.h);
+  // they also inherit this request's deadline and fault plan. On a warm
+  // entry the pool itself is resident: its sessions keep their memoized
+  // importers and checkSat memos across requests and are merely re-armed
+  // with this request's control. CheckerBase snapshots the pool's
+  // cumulative counters so the report stays per-request (zero on a fresh
+  // pool, so cold runs are unchanged byte-for-byte).
+  std::unique_ptr<SolverSessionPool> LocalSessions;
+  if (Warm) {
+    if (!Warm->Checkers)
+      Warm->Checkers = std::make_unique<SolverSessionPool>(Factory, Slv);
+    else
+      Warm->Checkers->rearm(Slv);
+  } else {
+    LocalSessions = std::make_unique<SolverSessionPool>(Factory, Slv);
+  }
+  SolverSessionPool &Sessions = Warm ? *Warm->Checkers : *LocalSessions;
+  const Solver::Stats CheckerBase = Sessions.solverStats();
+
+  // Classifies a phase failure: budget and solver-error statuses degrade
+  // the run (the partial report is still emitted, later phases are
+  // skipped); anything else propagates as a plain error like before.
+  bool DegradedRun = false;
+  auto Degrade = [&Report, &DegradedRun](const Status &St,
+                                         GenicReport::PhaseOutcome &Slot,
+                                         const char *Phase) -> bool {
+    switch (St.code()) {
+    case StatusCode::Timeout:
+    case StatusCode::Cancelled:
+      Slot = GenicReport::PhaseOutcome::Timeout;
+      break;
+    case StatusCode::SolverError:
+      Slot = GenicReport::PhaseOutcome::SolverError;
+      break;
+    default:
+      return false;
+    }
+    if (!DegradedRun)
+      Report.DegradeDetail = std::string(Phase) + ": " + St.message();
+    DegradedRun = true;
+    return true;
+  };
+
+  // The shared-engine inverter outlives its phase so completed enumeration
+  // banks can be released back to the warm entry after the run; BankBase
+  // snapshots adopted-store counters so the report only shows this
+  // request's reuse traffic.
+  std::unique_ptr<Inverter> Inv;
+  EnumeratorBankStore::Stats BankBase;
+
+  // The pipeline as an explicit phase list. Each phase body converts
+  // worker exceptions re-raised by ThreadPool::wait (e.g. an injected z3
+  // fault in a parallel scan) into a classified status instead of tearing
+  // the process down, fills its report slots on success, and returns its
+  // failure status otherwise. The loop owns the common policy: phases run
+  // when requested and not degraded, time themselves through their trace
+  // span, and classify failures through Degrade.
+  struct PhaseDef {
+    const char *SpanName;    ///< Trace span, "phase.<name>".
+    const char *DegradeName; ///< Phase label in DegradeDetail.
+    bool Requested;
+    GenicReport::PhaseOutcome *Outcome;
+    double *Seconds;
+    std::function<Status()> Body;
+  };
+
+  const PhaseDef Phases[] = {
+      // GENIC requires programs to be deterministic (§3.3): the
+      // determinism check always runs.
+      {"phase.determinism", "determinism check", true,
+       &Report.DeterminismPhase, &Report.Timings.DeterminismSeconds,
+       [&]() -> Status {
+         Result<std::optional<DeterminismViolation>> Det =
+             [&]() -> Result<std::optional<DeterminismViolation>> {
+           try {
+             DeterminismOptions DetOpts;
+             DetOpts.Jobs = Options.Jobs;
+             DetOpts.Sessions = &Sessions;
+             return checkDeterminism(P.Machine, Slv, DetOpts);
+           } catch (const std::exception &Ex) {
+             return Status::solverError(std::string("worker exception: ") +
+                                        Ex.what());
+           }
+         }();
+         if (!Det)
+           return Det.status();
+         Report.DeterminismPhase = GenicReport::PhaseOutcome::Ok;
+         Report.Deterministic = !Det->has_value();
+         if (Det->has_value())
+           Report.DeterminismDetail =
+               "rules " + std::to_string((*Det)->TransitionA) + " and " +
+               std::to_string((*Det)->TransitionB) + " overlap on " +
+               toString((*Det)->Symbols) + ": " + (*Det)->Reason;
+         return Status::ok();
+       }},
+      {"phase.injectivity", "injectivity check",
+       Report.InjectivityRequested, &Report.InjectivityPhase,
+       &Report.Timings.InjectivitySeconds,
+       [&]() -> Status {
+         Result<InjectivityResult> Inj = [&]() -> Result<InjectivityResult> {
+           try {
+             InjectivityOptions InjOpts;
+             InjOpts.Jobs = Options.Jobs;
+             InjOpts.Sessions = &Sessions;
+             return checkInjectivity(P.Machine, Slv, InjOpts);
+           } catch (const std::exception &Ex) {
+             return Status::solverError(std::string("worker exception: ") +
+                                        Ex.what());
+           }
+         }();
+         if (!Inj)
+           return Inj.status();
+         Report.InjectivityPhase = GenicReport::PhaseOutcome::Ok;
+         Report.Injectivity = *Inj;
+         return Status::ok();
+       }},
+      {"phase.inversion", "inversion", Report.InversionRequested,
+       &Report.InversionPhase, &Report.Timings.InversionSeconds,
+       [&]() -> Status {
+         Inv = std::make_unique<Inverter>(Slv, Options);
+         if (Warm) {
+           Inv->engine().adoptBanks(std::move(Warm->Banks));
+           BankBase = Inv->engine().bankStore().stats();
+           Inv->adoptRuleSessions(std::move(Warm->RuleSessions));
+         }
+         Result<InversionOutcome> Out = [&]() -> Result<InversionOutcome> {
+           try {
+             return Inv->invert(P.Machine, P.AuxFuncs);
+           } catch (const std::exception &Ex) {
+             return Status::solverError(std::string("worker exception: ") +
+                                        Ex.what());
+           }
+         }();
+         if (!Out)
+           return Out.status();
+         Report.InversionPhase = GenicReport::PhaseOutcome::Ok;
+         Report.Inversion = *Out;
+         Report.InverseMachine = Out->Inverse;
+         Report.SygusCalls = Inv->engine().calls();
+         Report.WorkerStats = Inv->workerStats();
+         Report.EvalStats = Inv->engine().evalCache().stats();
+         Report.BankReuseHits =
+             Inv->engine().bankStore().stats().ReuseHits - BankBase.ReuseHits;
+         Report.BankReuseMisses =
+             Inv->engine().bankStore().stats().ReuseMisses -
+             BankBase.ReuseMisses;
+
+         // Emit the inverse as GENIC source (Figure 3). The synthesized
+         // inverse auxiliary functions print first, making the program read
+         // naturally.
+         PrintOptions PO;
+         for (const std::string &Name : P.StateNames)
+           PO.StateNames.push_back(Name + "_inv");
+         std::vector<const FuncDef *> Aux = Inv->synthesizedAux();
+         Report.InverseSource = printGenicProgram(Out->Inverse, Aux, PO);
+         Report.InverseSourceBytes = Report.InverseSource.size();
+         return Status::ok();
+       }},
+  };
+
+  for (const PhaseDef &Phase : Phases) {
+    if (!Phase.Requested || DegradedRun)
+      continue;
+    TraceSpan T(Phase.SpanName);
+    Status St = Phase.Body();
+    *Phase.Seconds = T.seconds();
+    if (!St.isOk()) {
+      if (!Degrade(St, *Phase.Outcome, Phase.DegradeName))
+        return St;
+    }
+  }
+
+  // Hand the shared engine's completed banks and the per-rule worker
+  // sessions back to the warm entry so the next request on this program
+  // adopts them. A failed inversion leaves the session bank empty, which
+  // simply means the next request forks fresh.
+  if (Warm && Inv) {
+    Warm->Banks = Inv->engine().releaseBanks();
+    Warm->RuleSessions = Inv->releaseRuleSessions();
+  }
+
+  // Every error path above returns through here with all leases back in
+  // the pool: workers hold leases only inside their task bodies, and
+  // ThreadPool re-raises after the pool drains.
+  assert(Sessions.outstandingLeases() == 0 &&
+         "worker session leases must be RAII-returned on every path");
+
+  Report.SolverStats = Slv.stats();
+  Report.SolverStats -= SharedBase;
+  Report.CheckerSessions = Sessions.sessions();
+  Report.CheckerStats = Sessions.solverStats();
+  Report.CheckerStats -= CheckerBase;
+
+  // Robustness accounting across all sessions of the request.
+  Solver::Stats Total = Report.SolverStats;
+  Total += Report.CheckerStats;
+  Total += Report.WorkerStats.Smt;
+  Report.RetriesAttempted = Total.Retries;
+  Report.QueriesTimedOut = Total.QueryTimeouts;
+  Report.QueriesCancelled = Total.QueriesCancelled;
+  Report.InjectedFaults = Total.InjectedFaults;
+  if (Report.Inversion)
+    Report.RulesDegraded = Report.Inversion->degradedRules();
+  Report.DeadlineExpired = Ctl.Cancel.active() && Ctl.Cancel.cancelled();
+  Report.Timings.DeadlineRemainingSeconds =
+      Ctl.Cancel.active() ? Ctl.Cancel.remainingSeconds() : -1;
+  Report.Timings.TotalSeconds = RunSpan.seconds();
+
+  // Mirror the report's counter fields into the registry so --metrics-json
+  // and the bench harness read everything from one place. The cache
+  // counters are aggregated here, at run end, to keep the per-lookup hot
+  // paths free of registry traffic; only the query-latency histograms are
+  // recorded live (at the solver chokepoint).
+  auto RecordSolver = [&Registry](const std::string &Prefix,
+                                  const Solver::Stats &S) {
+    auto C = [&](const char *Name, uint64_t V) {
+      Registry.counter(Prefix + Name).set(V);
+    };
+    C(".sat_queries", S.SatQueries);
+    C(".qe_calls", S.QeCalls);
+    C(".qe_fallbacks", S.QeFallbacks);
+    C(".cache.sat.hits", S.CacheHits);
+    C(".cache.sat.misses", S.CacheMisses);
+    C(".cache.sat.evictions", S.CacheEvictions);
+    C(".cache.model.hits", S.ModelCacheHits);
+    C(".cache.model.misses", S.ModelCacheMisses);
+    C(".cache.model.evictions", S.ModelCacheEvictions);
+    C(".cache.proj.hits", S.ProjCacheHits);
+    C(".cache.proj.misses", S.ProjCacheMisses);
+    C(".cache.proj.evictions", S.ProjCacheEvictions);
+    C(".retries", S.Retries);
+    C(".query_timeouts", S.QueryTimeouts);
+    C(".queries_cancelled", S.QueriesCancelled);
+    C(".injected_faults", S.InjectedFaults);
+    C(".scope.pushes", S.ScopePushes);
+    C(".scope.pops", S.ScopePops);
+    C(".assumption.batches", S.AssumptionBatches);
+    C(".assumption.literals", S.AssumptionLiterals);
+    C(".incremental.hits", S.IncrementalHits);
+    C(".incremental.full_restarts", S.FullRestarts);
+    C(".cache.scoped.hits", S.ScopedCacheHits);
+    C(".cache.scoped.misses", S.ScopedCacheMisses);
+    C(".cache.scoped.evictions", S.ScopedCacheEvictions);
+  };
+  RecordSolver("solver.shared", Report.SolverStats);
+  RecordSolver("solver.checker", Report.CheckerStats);
+  RecordSolver("solver.worker", Report.WorkerStats.Smt);
+  auto RecordEval = [&Registry](const std::string &Prefix,
+                                const CompiledEvalCache::Stats &E) {
+    Registry.counter(Prefix + ".lookups").set(E.Lookups);
+    Registry.counter(Prefix + ".compiles").set(E.Compiles);
+    Registry.counter(Prefix + ".evals").set(E.Evals);
+  };
+  RecordEval("eval.shared", Report.EvalStats);
+  RecordEval("eval.worker", Report.WorkerStats.Eval);
+  Registry.counter("bank.shared.reuse_hits").set(Report.BankReuseHits);
+  Registry.counter("bank.shared.reuse_misses").set(Report.BankReuseMisses);
+  Registry.counter("bank.worker.reuse_hits")
+      .set(Report.WorkerStats.BankReuseHits);
+  Registry.counter("bank.worker.reuse_misses")
+      .set(Report.WorkerStats.BankReuseMisses);
+  Registry.counter("worker.clone_in_nodes")
+      .set(Report.WorkerStats.CloneInNodes);
+  Registry.counter("worker.clone_out_nodes")
+      .set(Report.WorkerStats.CloneOutNodes);
+  Registry.gauge("sessions.checker").set(Report.CheckerSessions);
+  Registry.gauge("sessions.worker").set(Report.WorkerStats.Sessions);
+  Registry.counter("sygus.calls").set(Report.SygusCalls.size());
+  Registry.counter("run.retries_attempted").set(Report.RetriesAttempted);
+  Registry.counter("run.queries_timed_out").set(Report.QueriesTimedOut);
+  Registry.counter("run.queries_cancelled").set(Report.QueriesCancelled);
+  Registry.counter("run.injected_faults").set(Report.InjectedFaults);
+  Registry.gauge("run.rules_degraded").set(Report.RulesDegraded);
+  Registry.gauge("run.deadline_expired").set(Report.DeadlineExpired ? 1 : 0);
+  return Report;
+}
+
+Result<EngineResponse> InversionEngine::serve(const std::string &Source,
+                                              const RequestContext &Req) {
+  RequestContext R = Req;
+  if (!R.TraceId)
+    R.TraceId = NextRequestId.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry LocalRegistry;
+  if (!R.Metrics)
+    R.Metrics = &LocalRegistry;
+
+  // Install the request epoch before the serve span so the span itself is
+  // stamped with it when it records at scope exit.
+  TraceRequestScope TraceReq(R.TraceId);
+  TraceSpan ServeSpan("engine.serve", "engine");
+
+  ProgramPool::Checkout C = Pool.acquire(Source);
+  bool WarmHit = C.Warm;
+  EngineRegistry.counter("serve.requests").add(1);
+  if (WarmHit)
+    EngineRegistry.counter("serve.warm_hits").add(1);
+
+  Result<GenicReport> Rep = runOnSession(C.E->Ctx, Source, R, C.E.get());
+
+  // Engine-lifetime pool accounting, refreshed per request so /metrics is
+  // always current.
+  ProgramPool::Stats PS = Pool.stats();
+  EngineRegistry.counter("serve.pool.hits").set(PS.Hits);
+  EngineRegistry.counter("serve.pool.misses").set(PS.Misses);
+  EngineRegistry.counter("serve.pool.busy_misses").set(PS.BusyMisses);
+  EngineRegistry.counter("serve.pool.evictions").set(PS.Evictions);
+  EngineRegistry.gauge("serve.pool.programs").set(Pool.size());
+  EngineRegistry.histogram("serve.request_us")
+      .observe(static_cast<uint64_t>(ServeSpan.seconds() * 1e6));
+
+  if (!Rep) {
+    EngineRegistry.counter("serve.errors").add(1);
+    return Rep.status();
+  }
+
+  // Only successfully lowered programs become resident; this also bumps
+  // the entry's LRU position on warm hits.
+  Pool.publish(Source, C);
+  ++C.E->Runs;
+
+  EngineResponse Resp;
+  Resp.Report = std::move(*Rep);
+  Resp.Exit = suggestedExitCode(Resp.Report);
+  Resp.WarmHit = WarmHit;
+  Resp.Metrics = R.Metrics->snapshot();
+  Resp.Keep = C.E;
+  EngineRegistry
+      .counter(std::string("serve.exit.") + std::to_string(Resp.Exit))
+      .add(1);
+  return Resp;
+}
+
+GenicTool::GenicTool(InverterOptions Options)
+    : Engine(EngineConfig{Options, std::nullopt, std::nullopt,
+                          /*WarmPrograms=*/0}) {}
+
+GenicTool::~GenicTool() = default;
+
+Result<GenicReport> GenicTool::run(const std::string &Source,
+                                   bool ForceInjectivity, bool ForceInvert) {
+  // Reset first so the registry always describes the most recent run — the
+  // historical single-run contract (a resident engine instead keeps one
+  // registry per request and never resets, see RequestContext::Metrics).
+  Registry.reset();
+  RequestContext Req;
+  Req.ForceInjectivity = ForceInjectivity;
+  Req.ForceInvert = ForceInvert;
+  Req.BudgetSeconds = BudgetSeconds;
+  Req.Faults = Faults;
+  Req.Metrics = &Registry;
+  return Engine.runOnSession(Ctx, Source, Req);
+}

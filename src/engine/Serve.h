@@ -1,0 +1,113 @@
+//===- engine/Serve.h - genicd wire protocol ------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The genicd request/response protocol: newline-delimited JSON, one flat
+/// object per line in each direction. Shared by the daemon
+/// (tools/genicd.cpp), the client (tools/genicd-client.cpp), and the
+/// protocol tests, so both ends agree on framing, escaping, and the exit
+/// code → API error code mapping by construction.
+///
+/// Requests:
+///
+///   {"op":"invert","id":1,"source":"...","timeoutSeconds":5,
+///    "faultPlan":"...","jobs":2,"forceInjectivity":false,
+///    "forceInvert":false}
+///   {"op":"ping","id":2}
+///   {"op":"metrics","id":3}
+///   {"op":"shutdown","id":4}
+///
+/// Responses (one line, fields present when meaningful):
+///
+///   {"id":1,"code":"ok","exit":0,"warm":false,"report":"...","error":"",
+///    "payload":""}
+///
+/// "code" is the API error code: the CLI exit-code policy (genic/Genic.h)
+/// mapped name-for-name — ok / error / bad-request / not-invertible /
+/// budget-exhausted / solver-error — plus "overloaded" when the admission
+/// queue rejected the request before it ran.
+///
+/// Values are strings (JSON-escaped), numbers, or booleans; the parser
+/// accepts exactly this flat shape and rejects nesting. Like
+/// tools/trace-lint.cpp this is deliberate line-based slicing — the project
+/// does not grow a JSON-library dependency for a protocol it fully owns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_ENGINE_SERVE_H
+#define GENIC_ENGINE_SERVE_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace genic {
+
+/// A parsed flat JSON object: scalar values bucketed by type, keys unique.
+struct FlatJson {
+  std::map<std::string, std::string> Strings;
+  std::map<std::string, double> Numbers;
+  std::map<std::string, bool> Bools;
+
+  bool has(const std::string &Key) const {
+    return Strings.count(Key) || Numbers.count(Key) || Bools.count(Key);
+  }
+};
+
+/// Parses one line holding a flat JSON object ({"key":value,...}, values
+/// strings/numbers/booleans/null; null keys are simply dropped). Fails with
+/// a diagnostic on malformed input or nested arrays/objects.
+Result<FlatJson> parseFlatJson(const std::string &Line);
+
+/// JSON string escaping used by every emitter on both ends of the wire
+/// (matches the formatMetricsJson escaping).
+std::string jsonEscapeString(const std::string &S);
+
+/// One inversion request as received by the daemon.
+struct ServeRequest {
+  std::string Op = "invert"; ///< invert | ping | metrics | shutdown
+  uint64_t Id = 0;           ///< echoed verbatim in the response
+  std::string Source;        ///< GENIC program text (invert only)
+  double TimeoutSeconds = 0; ///< per-request wall-clock budget; 0 = none
+  std::string FaultPlan;     ///< fault plan spec; empty = none
+  std::optional<unsigned> Jobs;
+  bool ForceInjectivity = false;
+  bool ForceInvert = false;
+};
+
+/// Parses and validates a request line: known op, a source for invert,
+/// non-negative numbers. The returned status message is what the daemon
+/// sends back as the "bad-request" error text.
+Result<ServeRequest> parseServeRequest(const std::string &Line);
+
+/// One response as the daemon sends it.
+struct ServeResponse {
+  uint64_t Id = 0;
+  std::string Code = "ok"; ///< API error code, see file comment
+  int Exit = 0;            ///< the CLI exit code this maps from
+  bool Warm = false;       ///< served from a warm pool entry
+  std::string Report;      ///< formatOutcomeReport text (invert only)
+  std::string Error;       ///< diagnostic for non-ok codes
+  std::string Payload;     ///< op-specific payload (pong, metrics JSON)
+};
+
+/// Renders \p R as one newline-terminated response line.
+std::string formatServeResponse(const ServeResponse &R);
+
+/// Maps a CLI exit code (genic/Genic.h ExitCode) onto the wire's API error
+/// code. Unknown codes map to "error".
+const char *apiCodeForExit(int ExitCode);
+
+/// Inverse of apiCodeForExit, for clients turning a response back into a
+/// process exit code; "overloaded" and unknown codes map to ExitError.
+int exitForApiCode(const std::string &Code);
+
+} // namespace genic
+
+#endif // GENIC_ENGINE_SERVE_H

@@ -6,285 +6,11 @@
 
 #include "genic/Genic.h"
 
-#include "genic/Parser.h"
-#include "genic/ProgramPrinter.h"
-#include "support/Trace.h"
-
-#include <cassert>
 #include <cstdio>
-#include <exception>
 #include <iterator>
 #include <sstream>
 
 using namespace genic;
-
-GenicTool::GenicTool(InverterOptions Options) : Options(Options) {}
-
-GenicTool::~GenicTool() = default;
-
-Result<GenicReport> GenicTool::run(const std::string &Source,
-                                   bool ForceInjectivity, bool ForceInvert) {
-  TermFactory &Factory = Ctx.factory();
-  Solver &Slv = Ctx.solver();
-
-  // The whole-run span: its stopwatch feeds Timings.TotalSeconds, and in a
-  // traced run it is the root every phase span nests under.
-  TraceSpan RunSpan("genic.run");
-
-  // Install the run-wide control: a fresh deadline token (the budget is
-  // per run, not per tool) plus the fault plan and the metrics registry
-  // query latencies are observed into. Every session the run creates —
-  // pooled checkers, per-rule forks — copies this control.
-  Registry.reset();
-  SolverControl Ctl;
-  if (BudgetSeconds > 0)
-    Ctl.Cancel = CancellationToken(Deadline::after(BudgetSeconds));
-  Ctl.Faults = Faults;
-  Ctl.Metrics = &Registry;
-  Ctl.Kind = SolverSessionKind::Shared;
-  Ctl.Incremental = Options.SolverIncremental;
-  Slv.setControl(Ctl);
-
-  Result<AstProgram> Ast = parseGenic(Source);
-  if (!Ast)
-    return Ast.status();
-  Result<LoweredProgram> Lowered = lowerProgram(Factory, *Ast);
-  if (!Lowered)
-    return Lowered.status();
-  LoweredProgram &P = *Lowered;
-
-  GenicReport Report;
-  Report.EntryName = P.EntryName;
-  Report.NumStates = P.Machine.numStates();
-  Report.NumTransitions = P.Machine.transitions().size();
-  Report.NumAuxFuncs = P.AuxFuncs.size();
-  Report.MaxLookahead = P.Machine.lookahead();
-  Report.SourceBytes = Source.size();
-  Report.Theory = P.Machine.inputType().str();
-  Report.Machine = P.Machine;
-
-  Report.InjectivityRequested = P.WantsInjective || ForceInjectivity;
-  Report.InversionRequested = P.WantsInvert || ForceInvert;
-
-  // One pool of warm worker sessions serves the determinism check and
-  // every phase of the injectivity check. Sessions fork the shared factory
-  // copy-on-write, so the program's terms are readable in every session
-  // without cloning (exports stay data-only, see SolverSessionPool.h);
-  // they also inherit this run's deadline and fault plan.
-  SolverSessionPool Sessions(Factory, Slv);
-
-  // Classifies a phase failure: budget and solver-error statuses degrade
-  // the run (the partial report is still emitted, later phases are
-  // skipped); anything else propagates as a plain error like before.
-  bool DegradedRun = false;
-  auto Degrade = [&Report, &DegradedRun](const Status &St,
-                                         GenicReport::PhaseOutcome &Slot,
-                                         const char *Phase) -> bool {
-    switch (St.code()) {
-    case StatusCode::Timeout:
-    case StatusCode::Cancelled:
-      Slot = GenicReport::PhaseOutcome::Timeout;
-      break;
-    case StatusCode::SolverError:
-      Slot = GenicReport::PhaseOutcome::SolverError;
-      break;
-    default:
-      return false;
-    }
-    if (!DegradedRun)
-      Report.DegradeDetail = std::string(Phase) + ": " + St.message();
-    DegradedRun = true;
-    return true;
-  };
-
-  // GENIC requires programs to be deterministic (§3.3): the determinism
-  // check always runs. The try/catch converts worker exceptions re-raised
-  // by ThreadPool::wait (e.g. an injected z3 fault in a parallel scan)
-  // into a classified status instead of tearing the process down.
-  {
-    TraceSpan T("phase.determinism");
-    Result<std::optional<DeterminismViolation>> Det =
-        [&]() -> Result<std::optional<DeterminismViolation>> {
-      try {
-        DeterminismOptions DetOpts;
-        DetOpts.Jobs = Options.Jobs;
-        DetOpts.Sessions = &Sessions;
-        return checkDeterminism(P.Machine, Slv, DetOpts);
-      } catch (const std::exception &Ex) {
-        return Status::solverError(std::string("worker exception: ") +
-                                   Ex.what());
-      }
-    }();
-    Report.Timings.DeterminismSeconds = T.seconds();
-    if (!Det) {
-      if (!Degrade(Det.status(), Report.DeterminismPhase,
-                   "determinism check"))
-        return Det.status();
-    } else {
-      Report.DeterminismPhase = GenicReport::PhaseOutcome::Ok;
-      Report.Deterministic = !Det->has_value();
-      if (Det->has_value())
-        Report.DeterminismDetail =
-            "rules " + std::to_string((*Det)->TransitionA) + " and " +
-            std::to_string((*Det)->TransitionB) + " overlap on " +
-            toString((*Det)->Symbols) + ": " + (*Det)->Reason;
-    }
-  }
-
-  if (Report.InjectivityRequested && !DegradedRun) {
-    TraceSpan T("phase.injectivity");
-    Result<InjectivityResult> Inj = [&]() -> Result<InjectivityResult> {
-      try {
-        InjectivityOptions InjOpts;
-        InjOpts.Jobs = Options.Jobs;
-        InjOpts.Sessions = &Sessions;
-        return checkInjectivity(P.Machine, Slv, InjOpts);
-      } catch (const std::exception &Ex) {
-        return Status::solverError(std::string("worker exception: ") +
-                                   Ex.what());
-      }
-    }();
-    Report.Timings.InjectivitySeconds = T.seconds();
-    if (!Inj) {
-      if (!Degrade(Inj.status(), Report.InjectivityPhase,
-                   "injectivity check"))
-        return Inj.status();
-    } else {
-      Report.InjectivityPhase = GenicReport::PhaseOutcome::Ok;
-      Report.Injectivity = *Inj;
-    }
-  }
-
-  if (Report.InversionRequested && !DegradedRun) {
-    TraceSpan T("phase.inversion");
-    Inverter Inv(Slv, Options);
-    Result<InversionOutcome> Out = [&]() -> Result<InversionOutcome> {
-      try {
-        return Inv.invert(P.Machine, P.AuxFuncs);
-      } catch (const std::exception &Ex) {
-        return Status::solverError(std::string("worker exception: ") +
-                                   Ex.what());
-      }
-    }();
-    Report.Timings.InversionSeconds = T.seconds();
-    if (!Out) {
-      if (!Degrade(Out.status(), Report.InversionPhase, "inversion"))
-        return Out.status();
-    } else {
-      Report.InversionPhase = GenicReport::PhaseOutcome::Ok;
-      Report.Inversion = *Out;
-      Report.InverseMachine = Out->Inverse;
-      Report.SygusCalls = Inv.engine().calls();
-      Report.WorkerStats = Inv.workerStats();
-      Report.EvalStats = Inv.engine().evalCache().stats();
-      Report.BankReuseHits = Inv.engine().bankStore().stats().ReuseHits;
-      Report.BankReuseMisses = Inv.engine().bankStore().stats().ReuseMisses;
-
-      // Emit the inverse as GENIC source (Figure 3). The synthesized
-      // inverse auxiliary functions print first, making the program read
-      // naturally.
-      PrintOptions PO;
-      for (const std::string &Name : P.StateNames)
-        PO.StateNames.push_back(Name + "_inv");
-      std::vector<const FuncDef *> Aux = Inv.synthesizedAux();
-      Report.InverseSource = printGenicProgram(Out->Inverse, Aux, PO);
-      Report.InverseSourceBytes = Report.InverseSource.size();
-    }
-  }
-
-  // Every error path above returns through here with all leases back in
-  // the pool: workers hold leases only inside their task bodies, and
-  // ThreadPool re-raises after the pool drains.
-  assert(Sessions.outstandingLeases() == 0 &&
-         "worker session leases must be RAII-returned on every path");
-
-  Report.SolverStats = Slv.stats();
-  Report.CheckerSessions = Sessions.sessions();
-  Report.CheckerStats = Sessions.solverStats();
-
-  // Robustness accounting across all sessions of the run.
-  Solver::Stats Total = Report.SolverStats;
-  Total += Report.CheckerStats;
-  Total += Report.WorkerStats.Smt;
-  Report.RetriesAttempted = Total.Retries;
-  Report.QueriesTimedOut = Total.QueryTimeouts;
-  Report.QueriesCancelled = Total.QueriesCancelled;
-  Report.InjectedFaults = Total.InjectedFaults;
-  if (Report.Inversion)
-    Report.RulesDegraded = Report.Inversion->degradedRules();
-  Report.DeadlineExpired = Ctl.Cancel.active() && Ctl.Cancel.cancelled();
-  Report.Timings.DeadlineRemainingSeconds =
-      Ctl.Cancel.active() ? Ctl.Cancel.remainingSeconds() : -1;
-  Report.Timings.TotalSeconds = RunSpan.seconds();
-
-  // Mirror the report's counter fields into the registry so --metrics-json
-  // and the bench harness read everything from one place. The cache
-  // counters are aggregated here, at run end, to keep the per-lookup hot
-  // paths free of registry traffic; only the query-latency histograms are
-  // recorded live (at the solver chokepoint).
-  auto RecordSolver = [this](const std::string &Prefix,
-                             const Solver::Stats &S) {
-    auto C = [&](const char *Name, uint64_t V) {
-      Registry.counter(Prefix + Name).set(V);
-    };
-    C(".sat_queries", S.SatQueries);
-    C(".qe_calls", S.QeCalls);
-    C(".qe_fallbacks", S.QeFallbacks);
-    C(".cache.sat.hits", S.CacheHits);
-    C(".cache.sat.misses", S.CacheMisses);
-    C(".cache.sat.evictions", S.CacheEvictions);
-    C(".cache.model.hits", S.ModelCacheHits);
-    C(".cache.model.misses", S.ModelCacheMisses);
-    C(".cache.model.evictions", S.ModelCacheEvictions);
-    C(".cache.proj.hits", S.ProjCacheHits);
-    C(".cache.proj.misses", S.ProjCacheMisses);
-    C(".cache.proj.evictions", S.ProjCacheEvictions);
-    C(".retries", S.Retries);
-    C(".query_timeouts", S.QueryTimeouts);
-    C(".queries_cancelled", S.QueriesCancelled);
-    C(".injected_faults", S.InjectedFaults);
-    C(".scope.pushes", S.ScopePushes);
-    C(".scope.pops", S.ScopePops);
-    C(".assumption.batches", S.AssumptionBatches);
-    C(".assumption.literals", S.AssumptionLiterals);
-    C(".incremental.hits", S.IncrementalHits);
-    C(".incremental.full_restarts", S.FullRestarts);
-    C(".cache.scoped.hits", S.ScopedCacheHits);
-    C(".cache.scoped.misses", S.ScopedCacheMisses);
-    C(".cache.scoped.evictions", S.ScopedCacheEvictions);
-  };
-  RecordSolver("solver.shared", Report.SolverStats);
-  RecordSolver("solver.checker", Report.CheckerStats);
-  RecordSolver("solver.worker", Report.WorkerStats.Smt);
-  auto RecordEval = [this](const std::string &Prefix,
-                           const CompiledEvalCache::Stats &E) {
-    Registry.counter(Prefix + ".lookups").set(E.Lookups);
-    Registry.counter(Prefix + ".compiles").set(E.Compiles);
-    Registry.counter(Prefix + ".evals").set(E.Evals);
-  };
-  RecordEval("eval.shared", Report.EvalStats);
-  RecordEval("eval.worker", Report.WorkerStats.Eval);
-  Registry.counter("bank.shared.reuse_hits").set(Report.BankReuseHits);
-  Registry.counter("bank.shared.reuse_misses").set(Report.BankReuseMisses);
-  Registry.counter("bank.worker.reuse_hits")
-      .set(Report.WorkerStats.BankReuseHits);
-  Registry.counter("bank.worker.reuse_misses")
-      .set(Report.WorkerStats.BankReuseMisses);
-  Registry.counter("worker.clone_in_nodes")
-      .set(Report.WorkerStats.CloneInNodes);
-  Registry.counter("worker.clone_out_nodes")
-      .set(Report.WorkerStats.CloneOutNodes);
-  Registry.gauge("sessions.checker").set(Report.CheckerSessions);
-  Registry.gauge("sessions.worker").set(Report.WorkerStats.Sessions);
-  Registry.counter("sygus.calls").set(Report.SygusCalls.size());
-  Registry.counter("run.retries_attempted").set(Report.RetriesAttempted);
-  Registry.counter("run.queries_timed_out").set(Report.QueriesTimedOut);
-  Registry.counter("run.queries_cancelled").set(Report.QueriesCancelled);
-  Registry.counter("run.injected_faults").set(Report.InjectedFaults);
-  Registry.gauge("run.rules_degraded").set(Report.RulesDegraded);
-  Registry.gauge("run.deadline_expired").set(Report.DeadlineExpired ? 1 : 0);
-  return Report;
-}
 
 std::string genic::formatOutcomeReport(const GenicReport &Report) {
   std::ostringstream Out;
@@ -497,6 +223,39 @@ const char *phaseString(GenicReport::PhaseOutcome O) {
   return "not-run";
 }
 
+/// The registry sections shared by formatMetricsJson and
+/// formatMetricsSnapshotJson: counters, gauges, and histograms, name-sorted,
+/// one key per line. Ends after the histograms' closing "  }" with no comma
+/// or newline so callers control what follows (a timings section or the end
+/// of the document).
+void appendRegistrySections(std::ostringstream &Out,
+                            const MetricsSnapshot &Snapshot) {
+  Out << "  \"counters\": {\n";
+  for (auto It = Snapshot.Counters.begin(); It != Snapshot.Counters.end();
+       ++It)
+    Out << "    \"" << jsonEscape(It->first) << "\": " << It->second
+        << (std::next(It) != Snapshot.Counters.end() ? "," : "") << "\n";
+  Out << "  },\n";
+  Out << "  \"gauges\": {\n";
+  for (auto It = Snapshot.Gauges.begin(); It != Snapshot.Gauges.end(); ++It)
+    Out << "    \"" << jsonEscape(It->first) << "\": " << It->second
+        << (std::next(It) != Snapshot.Gauges.end() ? "," : "") << "\n";
+  Out << "  },\n";
+  Out << "  \"histograms\": {\n";
+  for (auto It = Snapshot.Histograms.begin();
+       It != Snapshot.Histograms.end(); ++It) {
+    const MetricsSnapshot::Histogram &H = It->second;
+    Out << "    \"" << jsonEscape(It->first) << "\": {\"count\": " << H.Count
+        << ", \"sum_us\": " << H.SumUs << ", \"max_us\": " << H.MaxUs
+        << ", \"buckets\": [";
+    for (unsigned I = 0; I < MetricsHistogram::NumBuckets; ++I)
+      Out << (I ? "," : "") << H.Buckets[I];
+    Out << "]}" << (std::next(It) != Snapshot.Histograms.end() ? "," : "")
+        << "\n";
+  }
+  Out << "  }";
+}
+
 } // namespace
 
 std::string genic::formatMetricsJson(const GenicReport &R,
@@ -566,30 +325,8 @@ std::string genic::formatMetricsJson(const GenicReport &R,
 
   // Registry sections: maps are name-sorted, one key per line. Counts here
   // (solver queries, cache traffic) legitimately vary with --jobs.
-  Out << "  \"counters\": {\n";
-  for (auto It = Snapshot.Counters.begin(); It != Snapshot.Counters.end();
-       ++It)
-    Out << "    \"" << jsonEscape(It->first) << "\": " << It->second
-        << (std::next(It) != Snapshot.Counters.end() ? "," : "") << "\n";
-  Out << "  },\n";
-  Out << "  \"gauges\": {\n";
-  for (auto It = Snapshot.Gauges.begin(); It != Snapshot.Gauges.end(); ++It)
-    Out << "    \"" << jsonEscape(It->first) << "\": " << It->second
-        << (std::next(It) != Snapshot.Gauges.end() ? "," : "") << "\n";
-  Out << "  },\n";
-  Out << "  \"histograms\": {\n";
-  for (auto It = Snapshot.Histograms.begin();
-       It != Snapshot.Histograms.end(); ++It) {
-    const MetricsSnapshot::Histogram &H = It->second;
-    Out << "    \"" << jsonEscape(It->first) << "\": {\"count\": " << H.Count
-        << ", \"sum_us\": " << H.SumUs << ", \"max_us\": " << H.MaxUs
-        << ", \"buckets\": [";
-    for (unsigned I = 0; I < MetricsHistogram::NumBuckets; ++I)
-      Out << (I ? "," : "") << H.Buckets[I];
-    Out << "]}" << (std::next(It) != Snapshot.Histograms.end() ? "," : "")
-        << "\n";
-  }
-  Out << "  },\n";
+  appendRegistrySections(Out, Snapshot);
+  Out << ",\n";
 
   // Timing section: isolated so nothing above has to be wall-clock stable.
   Out << "  \"timings\": {\n";
@@ -603,6 +340,16 @@ std::string genic::formatMetricsJson(const GenicReport &R,
   Out << "    \"deadline_remaining_seconds\": "
       << Num(R.Timings.DeadlineRemainingSeconds) << "\n";
   Out << "  }\n";
+  Out << "}\n";
+  return Out.str();
+}
+
+std::string genic::formatMetricsSnapshotJson(const MetricsSnapshot &Snapshot) {
+  std::ostringstream Out;
+  Out << "{\n";
+  Out << "  \"schema\": \"genic-metrics-v1\",\n";
+  appendRegistrySections(Out, Snapshot);
+  Out << "\n";
   Out << "}\n";
   return Out.str();
 }

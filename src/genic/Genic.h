@@ -1,33 +1,36 @@
-//===- genic/Genic.h - The GENIC tool driver --------------------------------===//
+//===- genic/Genic.h - Run reports and report formatters --------------------===//
 //
 // Part of the genic project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The top-level entry point mirroring the GENIC tool: load a program,
-/// check determinism (required of all GENIC programs, §3.3), run the
-/// isInjective and invert operations (§3.4), and report everything the
-/// paper's evaluation measures — per-phase wall-clock times, per-rule
-/// inversion times, SyGuS call records, and the emitted inverse program.
+/// The report side of the GENIC tool: everything one program analysis run
+/// measures — per-phase outcomes and wall-clock times, per-rule inversion
+/// records, SyGuS call records, the emitted inverse program — plus the
+/// formatters that render a report for humans (outcome/stats) and machines
+/// (genic-metrics-v1 JSON) and the CLI exit-code policy.
+///
+/// The pipeline that produces these reports lives in
+/// engine/InversionEngine.h; this header deliberately knows nothing about
+/// solver contexts or scheduling so that report consumers (tests, benches,
+/// the daemon protocol layer) can stay decoupled from the engine.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENIC_GENIC_GENIC_H
 #define GENIC_GENIC_GENIC_H
 
-#include "genic/Lower.h"
 #include "solver/Solver.h"
-#include "solver/SolverContext.h"
 #include "support/Metrics.h"
 #include "support/Result.h"
 #include "sygus/Inverter.h"
 #include "transducer/Determinism.h"
 #include "transducer/Injectivity.h"
 
-#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace genic {
 
@@ -93,7 +96,9 @@ struct GenicReport {
   unsigned CheckerSessions = 0;
   Solver::Stats CheckerStats;
   /// Enumeration-bank reuse of the shared engine (aux inversion); the
-  /// workers' reuse counters live in WorkerStats.
+  /// workers' reuse counters live in WorkerStats. On a warm-pool run these
+  /// are deltas over the adopted store, so cold and warm runs report the
+  /// same thing: reuse traffic caused by this request.
   uint64_t BankReuseHits = 0;
   uint64_t BankReuseMisses = 0;
 
@@ -120,52 +125,10 @@ struct GenicReport {
   std::optional<Seft> InverseMachine;
 };
 
-/// One program analysis session. Owns the root solver context (term
-/// factory + solver), so reports and machines must not outlive the tool.
-/// Worker sessions everywhere in the pipeline are copy-on-write forks of
-/// this context's factory (see solver/SolverContext.h).
-class GenicTool {
-public:
-  explicit GenicTool() : GenicTool(InverterOptions()) {}
-  explicit GenicTool(InverterOptions Options);
-  ~GenicTool();
-
-  /// Parses, lowers, checks determinism, and runs the program's operations.
-  /// Operations can be forced regardless of the program text via
-  /// \p ForceInjectivity / \p ForceInvert.
-  Result<GenicReport> run(const std::string &Source,
-                          bool ForceInjectivity = false,
-                          bool ForceInvert = false);
-
-  TermFactory &factory() { return Ctx.factory(); }
-  Solver &solver() { return Ctx.solver(); }
-
-  /// Installs a global wall-clock budget for the next run(); 0 (the
-  /// default) means no deadline. The deadline is propagated to every
-  /// session the run creates and derives per-query Z3 soft timeouts from
-  /// the remaining budget.
-  void setRunBudgetSeconds(double Seconds) { BudgetSeconds = Seconds; }
-
-  /// Installs a deterministic solver fault plan for the next run() (see
-  /// solver/FaultInjector.h). Default: no faults.
-  void setFaultPlan(const FaultPlan &Plan) { Faults = Plan; }
-
-  /// The run's metrics: query-latency histograms recorded live at the
-  /// solver chokepoint plus the counters/gauges populated from the report
-  /// at the end of run() (which resets the registry first, so the contents
-  /// always describe the most recent run).
-  MetricsRegistry &metrics() { return Registry; }
-
-private:
-  SolverContext Ctx;
-  InverterOptions Options;
-  double BudgetSeconds = 0;
-  FaultPlan Faults;
-  MetricsRegistry Registry;
-};
-
 /// Process exit codes of the genic CLI, separating "the program is not
-/// invertible" from "the budget ran out" from "the solver failed".
+/// invertible" from "the budget ran out" from "the solver failed". The
+/// genicd protocol maps these one-to-one onto API error codes (see
+/// engine/Serve.h).
 enum ExitCode {
   ExitOk = 0,              ///< every requested phase succeeded
   ExitError = 1,           ///< generic failure (parse/lowering/internal)
@@ -196,6 +159,13 @@ std::string formatStatsReport(const GenicReport &Report);
 /// sections sorted, so line-based tools can diff the structural subset.
 std::string formatMetricsJson(const GenicReport &Report,
                               const MetricsSnapshot &Snapshot);
+
+/// Renders a bare registry snapshot under the same "genic-metrics-v1"
+/// schema: the counters/gauges/histograms sections byte-for-byte as
+/// formatMetricsJson would emit them, without the report-derived
+/// structural/timings sections. This is what genicd's /metrics verb serves
+/// (process-wide metrics describe no single run).
+std::string formatMetricsSnapshotJson(const MetricsSnapshot &Snapshot);
 
 /// The exit code a CLI should use for \p Report, most severe first:
 /// solver errors beat budget exhaustion beats negative verdicts beats ok.

@@ -319,6 +319,38 @@ public:
       ScopedCacheEvictions += O.ScopedCacheEvictions;
       return *this;
     }
+
+    /// Field-wise difference, for reporting a session's traffic relative
+    /// to a baseline snapshot (warm-pool runs reuse a solver whose
+    /// counters accumulate across requests).
+    Stats &operator-=(const Stats &O) {
+      SatQueries -= O.SatQueries;
+      QeCalls -= O.QeCalls;
+      QeFallbacks -= O.QeFallbacks;
+      CacheHits -= O.CacheHits;
+      CacheMisses -= O.CacheMisses;
+      CacheEvictions -= O.CacheEvictions;
+      ModelCacheHits -= O.ModelCacheHits;
+      ModelCacheMisses -= O.ModelCacheMisses;
+      ModelCacheEvictions -= O.ModelCacheEvictions;
+      ProjCacheHits -= O.ProjCacheHits;
+      ProjCacheMisses -= O.ProjCacheMisses;
+      ProjCacheEvictions -= O.ProjCacheEvictions;
+      Retries -= O.Retries;
+      QueryTimeouts -= O.QueryTimeouts;
+      QueriesCancelled -= O.QueriesCancelled;
+      InjectedFaults -= O.InjectedFaults;
+      ScopePushes -= O.ScopePushes;
+      ScopePops -= O.ScopePops;
+      AssumptionBatches -= O.AssumptionBatches;
+      AssumptionLiterals -= O.AssumptionLiterals;
+      IncrementalHits -= O.IncrementalHits;
+      FullRestarts -= O.FullRestarts;
+      ScopedCacheHits -= O.ScopedCacheHits;
+      ScopedCacheMisses -= O.ScopedCacheMisses;
+      ScopedCacheEvictions -= O.ScopedCacheEvictions;
+      return *this;
+    }
   };
   const Stats &stats() const;
 

@@ -27,6 +27,18 @@ SolverSessionPool::Lease SolverSessionPool::lease() {
   return Lease(this, All.back().get());
 }
 
+void SolverSessionPool::rearm(const Solver &Like) {
+  std::lock_guard<std::mutex> Lock(M);
+  TimeoutMs = Like.timeoutMs();
+  Ctl = Like.control();
+  Ctl.WorkerSession = true;
+  Ctl.Kind = SolverSessionKind::Pooled;
+  for (auto &S : All) {
+    S->Slv.setTimeoutMs(TimeoutMs);
+    S->Slv.setControl(Ctl);
+  }
+}
+
 void SolverSessionPool::release(Session *S) {
   std::lock_guard<std::mutex> Lock(M);
   Free.push_back(S);

@@ -126,6 +126,15 @@ public:
   /// Borrows a free session, creating one if none is available. Thread-safe.
   Lease lease();
 
+  /// Re-arms the pool for a new request: future and already-created
+  /// sessions get \p Like's current robustness control (cancellation
+  /// token, fault plan, metrics sink), worker-marked like the inheriting
+  /// constructors. This is what lets a pool outlive one request — a warm
+  /// engine entry keeps its sessions (and their memo caches) resident and
+  /// re-arms them per request. Callable only while no lease is
+  /// outstanding.
+  void rearm(const Solver &Like);
+
   /// Number of sessions currently leased out. Thread-safe; used by the
   /// RAII-accounting assertions (must be 0 whenever a phase has joined all
   /// its workers, on success and on every error path).

@@ -78,12 +78,19 @@ public:
 
   /// Enqueues \p Task. Inline pools execute it before returning; an inline
   /// task that throws is captured just like a pooled one and rethrown from
-  /// the next wait().
+  /// the next wait(). The submitting thread's trace-request epoch is
+  /// captured with the task, so worker-side spans are tagged with the same
+  /// request as the phase that fanned them out.
   void submit(std::function<void()> Task) {
     if (Workers.empty()) {
       runGuarded(Task);
       return;
     }
+    if (uint64_t Req = currentTraceRequest())
+      Task = [Req, Inner = std::move(Task)] {
+        TraceRequestScope Scope(Req);
+        Inner();
+      };
     {
       std::lock_guard<std::mutex> Lock(M);
       Queue.push_back(std::move(Task));

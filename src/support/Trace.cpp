@@ -88,10 +88,13 @@ void TraceRecorder::record(const TraceEvent &E) {
     return;
   ThreadBuffer &B = localBuffer();
   std::lock_guard<std::mutex> Lock(B.M);
+  TraceEvent Stamped = E;
+  if (!Stamped.Req)
+    Stamped.Req = currentTraceRequest();
   if (B.Events.size() < RingCapacity) {
-    B.Events.push_back(E);
+    B.Events.push_back(Stamped);
   } else {
-    B.Events[B.Next] = E;
+    B.Events[B.Next] = Stamped;
     B.Next = (B.Next + 1) % RingCapacity;
     ++B.Dropped;
   }
@@ -194,10 +197,21 @@ std::string TraceRecorder::json() const {
     }
     if (R.E.Ph == 'i')
       Out += ",\"s\":\"t\"";
-    if (R.E.Arg1Name) {
-      std::snprintf(Buf, sizeof(Buf), ",\"args\":{\"%s\":%lld",
-                    R.E.Arg1Name, static_cast<long long>(R.E.Arg1));
-      Out += Buf;
+    if (R.E.Arg1Name || R.E.Req) {
+      bool FirstArg = true;
+      Out += ",\"args\":{";
+      if (R.E.Req) {
+        std::snprintf(Buf, sizeof(Buf), "\"req\":%llu",
+                      static_cast<unsigned long long>(R.E.Req));
+        Out += Buf;
+        FirstArg = false;
+      }
+      if (R.E.Arg1Name) {
+        std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%lld", FirstArg ? "" : ",",
+                      R.E.Arg1Name, static_cast<long long>(R.E.Arg1));
+        Out += Buf;
+        FirstArg = false;
+      }
       if (R.E.Arg2Name) {
         std::snprintf(Buf, sizeof(Buf), ",\"%s\":%lld", R.E.Arg2Name,
                       static_cast<long long>(R.E.Arg2));
@@ -229,5 +243,17 @@ void TraceRecorder::clear() {
   NextTid = 0;
   ++Generation;
 }
+
+namespace {
+thread_local uint64_t CurrentRequest = 0;
+} // namespace
+
+uint64_t currentTraceRequest() { return CurrentRequest; }
+
+TraceRequestScope::TraceRequestScope(uint64_t Req) : Prev(CurrentRequest) {
+  CurrentRequest = Req;
+}
+
+TraceRequestScope::~TraceRequestScope() { CurrentRequest = Prev; }
 
 } // namespace genic

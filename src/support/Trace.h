@@ -42,11 +42,33 @@ struct TraceEvent {
   char Ph = 'X';
   uint64_t TsUs = 0;  ///< Microseconds since the recorder's epoch.
   uint64_t DurUs = 0; ///< Complete events only.
+  /// Request epoch the event belongs to (0 = untagged). Stamped at record
+  /// time from the thread-local set by TraceRequestScope; rendered as a
+  /// "req" argument so concurrent requests' spans stay distinguishable in
+  /// one trace (tools/trace-lint checks nesting per (tid, req)).
+  uint64_t Req = 0;
   /// Up to two integer arguments, rendered under "args" in the JSON.
   const char *Arg1Name = nullptr;
   int64_t Arg1 = 0;
   const char *Arg2Name = nullptr;
   int64_t Arg2 = 0;
+};
+
+/// The calling thread's current request epoch (0 when none is installed).
+uint64_t currentTraceRequest();
+
+/// RAII setter for the thread-local request epoch every recorded event is
+/// stamped with. The engine installs one per request; ThreadPool::submit
+/// captures the submitting thread's epoch so worker-task spans inherit it.
+class TraceRequestScope {
+public:
+  explicit TraceRequestScope(uint64_t Req);
+  ~TraceRequestScope();
+  TraceRequestScope(const TraceRequestScope &) = delete;
+  TraceRequestScope &operator=(const TraceRequestScope &) = delete;
+
+private:
+  uint64_t Prev;
 };
 
 /// The process-wide span recorder. All recording goes through global(); the

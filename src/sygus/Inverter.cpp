@@ -94,6 +94,15 @@ struct RuleTask {
   RuleInversionResult Result;
 };
 
+/// Counter snapshot taken when a persisted worker session is re-armed for a
+/// new request; worker stats report the delta so a request's numbers don't
+/// include traffic the session served for earlier requests.
+struct WorkerBaseline {
+  Solver::Stats Smt;
+  CompiledEvalCache::Stats Eval;
+  EnumeratorBankStore::Stats Bank;
+};
+
 } // namespace
 
 Result<InversionOutcome>
@@ -103,12 +112,18 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
   LastWorkerStats = WorkerStats();
 
   auto AccumulateWorker = [this](Solver &WorkerSolver,
-                                 SygusEngine &WorkerEngine) {
-    LastWorkerStats.Smt += WorkerSolver.stats();
-    LastWorkerStats.Eval += WorkerEngine.evalCache().stats();
+                                 SygusEngine &WorkerEngine,
+                                 const WorkerBaseline &Base) {
+    Solver::Stats Smt = WorkerSolver.stats();
+    Smt -= Base.Smt;
+    LastWorkerStats.Smt += Smt;
+    const CompiledEvalCache::Stats &ES = WorkerEngine.evalCache().stats();
+    LastWorkerStats.Eval.Lookups += ES.Lookups - Base.Eval.Lookups;
+    LastWorkerStats.Eval.Compiles += ES.Compiles - Base.Eval.Compiles;
+    LastWorkerStats.Eval.Evals += ES.Evals - Base.Eval.Evals;
     const EnumeratorBankStore::Stats &BS = WorkerEngine.bankStore().stats();
-    LastWorkerStats.BankReuseHits += BS.ReuseHits;
-    LastWorkerStats.BankReuseMisses += BS.ReuseMisses;
+    LastWorkerStats.BankReuseHits += BS.ReuseHits - Base.Bank.ReuseHits;
+    LastWorkerStats.BankReuseMisses += BS.ReuseMisses - Base.Bank.ReuseMisses;
     ++LastWorkerStats.Sessions;
   };
 
@@ -151,7 +166,7 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
       if (Task.Inv)
         SynthesizedAux.push_back(AuxBack.cloneFunc(*Task.Inv));
       Engine.appendCalls(Task.Engine->calls());
-      AccumulateWorker(Task.Ctx->solver(), *Task.Engine);
+      AccumulateWorker(Task.Ctx->solver(), *Task.Engine, WorkerBaseline());
     }
     LastWorkerStats.CloneOutNodes += AuxBack.clonedNodes();
     for (const FuncDef *Fn : AuxFuncs) {
@@ -165,13 +180,38 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
 
   // Set up one fork per rule, serially and after the aux merge, so every
   // fork sees the same frozen prefix (including the freshly registered
-  // inverses). No terms are cloned in.
+  // inverses). No terms are cloned in. An adopted session bank with one
+  // entry per rule short-circuits the setup: each rule gets back its own
+  // fork from the previous request on this program, re-armed with this
+  // request's robustness control and with its counters baselined so worker
+  // stats stay per-request. Rule inputs (guards, outputs, components) all
+  // predate the forks' frozen prefix, so a reused fork serves them
+  // identically to a fresh one — just against warm caches.
   const auto &Ts = A.transitions();
   std::vector<RuleTask> Tasks(Ts.size());
-  for (RuleTask &Task : Tasks) {
-    Task.Ctx = std::make_unique<SolverContext>(F, S);
-    Task.Engine =
-        std::make_unique<SygusEngine>(Task.Ctx->solver(), Opts.Engine);
+  std::vector<WorkerBaseline> Baselines(Ts.size());
+  RuleSessionBank Bank = releaseRuleSessions();
+  if (Bank.Rules.size() == Ts.size()) {
+    for (size_t I = 0; I != Ts.size(); ++I) {
+      Tasks[I].Ctx = std::move(Bank.Rules[I].Ctx);
+      Tasks[I].Engine = std::move(Bank.Rules[I].Engine);
+      Solver &W = Tasks[I].Ctx->solver();
+      SolverControl C = S.control();
+      C.WorkerSession = true;
+      C.Kind = SolverSessionKind::Worker;
+      W.setControl(C);
+      W.setTimeoutMs(S.timeoutMs());
+      Tasks[I].Engine->clearCalls();
+      Baselines[I].Smt = W.stats();
+      Baselines[I].Eval = Tasks[I].Engine->evalCache().stats();
+      Baselines[I].Bank = Tasks[I].Engine->bankStore().stats();
+    }
+  } else {
+    for (RuleTask &Task : Tasks) {
+      Task.Ctx = std::make_unique<SolverContext>(F, S);
+      Task.Engine =
+          std::make_unique<SygusEngine>(Task.Ctx->solver(), Opts.Engine);
+    }
   }
 
   // Fan out: rules are independent (Theorem 5.4 inverts them separately).
@@ -221,8 +261,16 @@ Inverter::invert(const Seft &A, const std::vector<const FuncDef *> &AuxFuncs) {
     }
     Out.Records.push_back(std::move(Task.Result.Record));
     Engine.appendCalls(Task.Engine->calls());
-    AccumulateWorker(Task.Ctx->solver(), *Task.Engine);
+    AccumulateWorker(Task.Ctx->solver(), *Task.Engine,
+                     Baselines[&Task - Tasks.data()]);
   }
   LastWorkerStats.CloneOutNodes += Back.clonedNodes();
+
+  // Stash the forks for the next request on this program (the engine's
+  // warm pool carries them via releaseRuleSessions / adoptRuleSessions).
+  Sessions.Rules.clear();
+  for (RuleTask &Task : Tasks)
+    Sessions.Rules.push_back(
+        RuleSessionBank::Entry{std::move(Task.Ctx), std::move(Task.Engine)});
   return Out;
 }

@@ -16,10 +16,12 @@
 #ifndef GENIC_SYGUS_INVERTER_H
 #define GENIC_SYGUS_INVERTER_H
 
+#include "solver/SolverContext.h"
 #include "support/Result.h"
 #include "sygus/Sygus.h"
 #include "transducer/Invert.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -67,6 +69,41 @@ public:
   SygusEngine &engine() { return Engine; }
   const InverterOptions &options() const { return Opts; }
 
+  /// Persisted per-rule worker sessions: each entry is one rule's
+  /// copy-on-write fork of the shared factory plus its private CEGIS
+  /// engine, with the memoized importer, checkSat memo, compiled-eval
+  /// cache, and enumeration banks all still warm. The engine's warm-pool
+  /// path keeps these resident across requests on the same program, so a
+  /// repeat inversion replays its per-rule queries against hot caches
+  /// instead of re-deriving everything in fresh forks. Reuse preserves
+  /// bit-identical results: a reused fork re-interns the same terms it
+  /// built last time (hash hits at the same ids), so canonicalization
+  /// order — and therefore the synthesized inverse — is unchanged.
+  struct RuleSessionBank {
+    struct Entry {
+      std::unique_ptr<SolverContext> Ctx;
+      std::unique_ptr<SygusEngine> Engine;
+    };
+    std::vector<Entry> Rules;
+    bool empty() const { return Rules.empty(); }
+  };
+
+  /// Installs per-rule sessions released by a previous Inverter over the
+  /// same shared factory. invert() reuses them only when the bank matches
+  /// the automaton's rule count (one fork per rule, in rule order); a
+  /// mismatched bank is dropped and fresh forks are created.
+  void adoptRuleSessions(RuleSessionBank Bank) { Sessions = std::move(Bank); }
+
+  /// Releases the per-rule sessions of the last invert() call for
+  /// cross-request persistence, leaving this Inverter with none. The
+  /// sessions reference the shared factory's frozen prefix; callers must
+  /// keep the factory alive (the warm pool keeps both on the same entry).
+  RuleSessionBank releaseRuleSessions() {
+    RuleSessionBank Out = std::move(Sessions);
+    Sessions = RuleSessionBank();
+    return Out;
+  }
+
   /// Aggregated counters of the per-rule worker sessions of the last
   /// invert() call. Workers are private sessions, so their solver and
   /// compiled-eval statistics are summed here rather than appearing in the
@@ -96,6 +133,7 @@ private:
   SygusEngine Engine;
   std::vector<const FuncDef *> SynthesizedAux;
   WorkerStats LastWorkerStats;
+  RuleSessionBank Sessions;
 };
 
 } // namespace genic

@@ -33,6 +33,7 @@
 #include "term/CompiledEval.h"
 
 #include <map>
+#include <utility>
 #include <vector>
 
 namespace genic {
@@ -105,6 +106,19 @@ public:
   /// Options::ReuseBanks is set; see EnumeratorBank.h). Bank reuse hit and
   /// miss counters live in its stats().
   const EnumeratorBankStore &bankStore() const { return BankStore; }
+
+  /// Installs banks released by a previous engine over the same term
+  /// factory (the warm-pool path: completed banks survive the request's
+  /// engine and seed the next request on the same program). Bank terms are
+  /// factory references, so adopted stores must come from an engine whose
+  /// solver shared this engine's factory.
+  void adoptBanks(EnumeratorBankStore Store) { BankStore = std::move(Store); }
+
+  /// Releases the bank store for cross-request persistence, leaving this
+  /// engine with a fresh empty store.
+  EnumeratorBankStore releaseBanks() {
+    return std::exchange(BankStore, EnumeratorBankStore());
+  }
 
 private:
   /// Input assignments satisfying the guard (outputs defined), mixing

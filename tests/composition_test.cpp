@@ -6,7 +6,7 @@
 
 #include "transducer/Composition.h"
 
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 #include "genic/Lower.h"
 #include "genic/Parser.h"
 #include "sygus/Inverter.h"

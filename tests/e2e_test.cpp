@@ -17,7 +17,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 
 #include "coders/Corpus.h"
 #include "coders/Synthetic.h"

@@ -16,7 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 #include "genic/Lower.h"
 #include "genic/Parser.h"
 #include "solver/FaultInjector.h"

@@ -1,0 +1,182 @@
+//===- tests/genicd_protocol_test.cpp - genicd wire protocol --------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the genicd NDJSON wire protocol (engine/Serve.h): the flat-JSON
+/// parser's accepted and rejected shapes, escaping round-trips through
+/// formatServeResponse, request validation diagnostics, and the exit-code
+/// to API-code mapping both ways. The daemon and client share these
+/// helpers, so this suite is the protocol's conformance test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Serve.h"
+#include "genic/Genic.h"
+
+#include <gtest/gtest.h>
+
+using namespace genic;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Flat JSON parsing
+//===----------------------------------------------------------------------===//
+
+TEST(FlatJson, ParsesScalarsOfEveryType) {
+  Result<FlatJson> R = parseFlatJson(
+      R"({"s":"hi","n":4.5,"m":-3,"t":true,"f":false,"z":null})");
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_EQ(R->Strings.at("s"), "hi");
+  EXPECT_DOUBLE_EQ(R->Numbers.at("n"), 4.5);
+  EXPECT_DOUBLE_EQ(R->Numbers.at("m"), -3);
+  EXPECT_TRUE(R->Bools.at("t"));
+  EXPECT_FALSE(R->Bools.at("f"));
+  // null keys are dropped, not errors.
+  EXPECT_FALSE(R->has("z"));
+  EXPECT_TRUE(R->has("s"));
+}
+
+TEST(FlatJson, ParsesEmptyObjectAndWhitespace) {
+  EXPECT_TRUE(parseFlatJson("{}").isOk());
+  EXPECT_TRUE(parseFlatJson("  { \"a\" : 1 , \"b\" : \"x\" }  ").isOk());
+}
+
+TEST(FlatJson, DecodesEscapes) {
+  Result<FlatJson> R =
+      parseFlatJson(R"({"k":"a\"b\\c\nd\teA"})");
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_EQ(R->Strings.at("k"), "a\"b\\c\nd\teA");
+}
+
+TEST(FlatJson, RejectsMalformedLines) {
+  for (const char *Bad : {
+           "",                        // no object
+           "not json",                // no object
+           "{\"a\":1",                // unterminated
+           "{\"a\":}",                // missing value
+           "{\"a\" 1}",               // missing colon
+           "{\"a\":1,}",              // trailing comma
+           "{\"a\":1} trailing",      // bytes after the object
+           "{\"a\":[1,2]}",           // nested array
+           "{\"a\":{\"b\":1}}",       // nested object
+           "{\"a\":1,\"a\":2}",       // duplicate key
+           "{\"a\":\"unterminated}",  // unterminated string
+           "{a:1}",                   // unquoted key
+       })
+    EXPECT_FALSE(parseFlatJson(Bad).isOk()) << "accepted: " << Bad;
+}
+
+TEST(FlatJson, EscapeRoundTrips) {
+  const std::string Nasty =
+      "quote\" backslash\\ newline\n tab\t cr\r bell\x07 text";
+  Result<FlatJson> R =
+      parseFlatJson("{\"k\":\"" + jsonEscapeString(Nasty) + "\"}");
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_EQ(R->Strings.at("k"), Nasty);
+}
+
+//===----------------------------------------------------------------------===//
+// Request validation
+//===----------------------------------------------------------------------===//
+
+TEST(ServeRequestParse, AcceptsFullInvertRequest) {
+  Result<ServeRequest> R = parseServeRequest(
+      R"({"op":"invert","id":7,"source":"invert F","timeoutSeconds":2.5,)"
+      R"("faultPlan":"unknown@1","jobs":4,"forceInjectivity":true,)"
+      R"("forceInvert":true})");
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_EQ(R->Op, "invert");
+  EXPECT_EQ(R->Id, 7u);
+  EXPECT_EQ(R->Source, "invert F");
+  EXPECT_DOUBLE_EQ(R->TimeoutSeconds, 2.5);
+  EXPECT_EQ(R->FaultPlan, "unknown@1");
+  ASSERT_TRUE(R->Jobs.has_value());
+  EXPECT_EQ(*R->Jobs, 4u);
+  EXPECT_TRUE(R->ForceInjectivity);
+  EXPECT_TRUE(R->ForceInvert);
+}
+
+TEST(ServeRequestParse, DefaultsAreMinimal) {
+  Result<ServeRequest> R = parseServeRequest(R"({"op":"ping"})");
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_EQ(R->Op, "ping");
+  EXPECT_EQ(R->Id, 0u);
+  EXPECT_FALSE(R->Jobs.has_value());
+  EXPECT_DOUBLE_EQ(R->TimeoutSeconds, 0);
+}
+
+TEST(ServeRequestParse, RejectsInvalidRequests) {
+  for (const char *Bad : {
+           R"({"op":"launch"})",                      // unknown op
+           R"({"op":"invert"})",                      // invert without source
+           R"({"op":"invert","source":""})",          // empty source
+           R"({"op":"invert","source":"x","id":-1})", // negative id
+           R"({"op":"invert","source":"x","timeoutSeconds":-2})",
+           R"({"op":"invert","source":"x","jobs":0})",
+           R"({"op":"invert","source":"x","jobs":99999})",
+           "{}", // op defaults to invert, which needs a source
+       })
+    EXPECT_FALSE(parseServeRequest(Bad).isOk()) << "accepted: " << Bad;
+  // A missing op defaults to invert (the ServeRequest default), so a bare
+  // source is a complete request.
+  EXPECT_TRUE(parseServeRequest(R"({"source":"x"})").isOk());
+}
+
+//===----------------------------------------------------------------------===//
+// Response formatting
+//===----------------------------------------------------------------------===//
+
+TEST(ServeResponseFormat, RoundTripsThroughTheParser) {
+  ServeResponse R;
+  R.Id = 42;
+  R.Code = "not-invertible";
+  R.Exit = ExitNotInvertible;
+  R.Warm = true;
+  R.Report = "outcome report for \"Enc\"\n  line two\n";
+  R.Error = "rule 3: \"guard\" overlaps";
+  std::string Line = formatServeResponse(R);
+  ASSERT_FALSE(Line.empty());
+  EXPECT_EQ(Line.back(), '\n');
+  EXPECT_EQ(Line.find('\n'), Line.size() - 1) << "response must be one line";
+
+  Result<FlatJson> Back = parseFlatJson(Line.substr(0, Line.size() - 1));
+  ASSERT_TRUE(Back.isOk()) << Back.status().message();
+  EXPECT_DOUBLE_EQ(Back->Numbers.at("id"), 42);
+  EXPECT_EQ(Back->Strings.at("code"), "not-invertible");
+  EXPECT_DOUBLE_EQ(Back->Numbers.at("exit"), ExitNotInvertible);
+  EXPECT_TRUE(Back->Bools.at("warm"));
+  EXPECT_EQ(Back->Strings.at("report"), R.Report);
+  EXPECT_EQ(Back->Strings.at("error"), R.Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Exit code <-> API code mapping
+//===----------------------------------------------------------------------===//
+
+TEST(ApiCodes, MapsEveryExitCodeBothWays) {
+  const struct {
+    int Exit;
+    const char *Code;
+  } Table[] = {
+      {ExitOk, "ok"},
+      {ExitError, "error"},
+      {ExitUsage, "bad-request"},
+      {ExitNotInvertible, "not-invertible"},
+      {ExitBudgetExhausted, "budget-exhausted"},
+      {ExitInternalError, "solver-error"},
+  };
+  for (const auto &Row : Table) {
+    EXPECT_STREQ(apiCodeForExit(Row.Exit), Row.Code);
+    EXPECT_EQ(exitForApiCode(Row.Code), Row.Exit);
+  }
+  // Unknowns degrade to the generic error in both directions.
+  EXPECT_STREQ(apiCodeForExit(77), "error");
+  EXPECT_EQ(exitForApiCode("overloaded"), ExitError);
+  EXPECT_EQ(exitForApiCode("no-such-code"), ExitError);
+}
+
+} // namespace

@@ -13,7 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 
 #include "coders/Corpus.h"
 

@@ -22,7 +22,7 @@
 
 #include "automata/Ambiguity.h"
 #include "coders/Corpus.h"
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 #include "transducer/Determinism.h"
 #include "transducer/Injectivity.h"
 

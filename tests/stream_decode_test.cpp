@@ -26,7 +26,7 @@
 #include "coders/Corpus.h"
 #include "runtime/FusedRule.h"
 #include "coders/Synthetic.h"
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 #include "term/TermFactory.h"
 
 #include <gtest/gtest.h>

@@ -64,7 +64,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "coders/Corpus.h"
-#include "genic/Genic.h"
+#include "engine/InversionEngine.h"
 #include "genic/Lower.h"
 #include "genic/Parser.h"
 #include "runtime/StreamDecoder.h"

@@ -1,0 +1,306 @@
+//===- tools/genicd-client.cpp - One-shot client for genicd ---------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sends one request to a running genicd (see tools/genicd.cpp) and prints
+/// the response, exiting with the CLI exit code the daemon mapped for the
+/// run — so scripts can treat `genicd-client --file P.genic` exactly like
+/// `genic run P.genic` as far as $? goes.
+///
+///   genicd-client --socket /tmp/genicd.sock --file program.genic
+///   genicd-client --socket /tmp/genicd.sock --op ping
+///   genicd-client --tcp 127.0.0.1 7411 --op metrics --field payload
+///
+/// Options:
+///   --op OP              invert (default) | ping | metrics | shutdown
+///   --file PATH          program source for op=invert ("-" reads stdin)
+///   --id N               request id echoed by the daemon (default 1)
+///   --timeout-seconds S  per-request wall-clock budget
+///   --fault-inject SPEC  per-request deterministic fault plan
+///   --jobs N             per-request worker thread override
+///   --force-injectivity / --force-invert
+///   --field FIELD        print just this response field, unescaped:
+///                        report | payload | code | error | warm | exit
+///                        (default: the raw response line)
+///   --retry-seconds S    retry the connect for up to S seconds (daemon
+///                        start-up races in scripts)
+///
+/// Exit code: the response's "exit" (the genic CLI code the daemon mapped),
+/// or 1 when the transport itself failed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Serve.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace genic;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: genicd-client (--socket PATH | --tcp HOST PORT) "
+               "[--op OP] [--file PROGRAM]\n"
+               "                     [--id N] [--timeout-seconds S] "
+               "[--fault-inject SPEC] [--jobs N]\n"
+               "                     [--force-injectivity] [--force-invert] "
+               "[--field FIELD]\n"
+               "                     [--retry-seconds S]\n");
+  return 2;
+}
+
+int connectOnce(const std::string &SocketPath, const std::string &Host,
+                int Port) {
+  if (!SocketPath.empty()) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+      ::close(Fd);
+      return -1;
+    }
+    std::strncpy(Addr.sun_path, SocketPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0) {
+      ::close(Fd);
+      return -1;
+    }
+    return Fd;
+  }
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    ::close(Fd);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath, Host, Op = "invert", File, Field;
+  int Port = -1;
+  uint64_t Id = 1;
+  double TimeoutSeconds = 0, RetrySeconds = 0;
+  std::string FaultSpec;
+  int Jobs = 0;
+  bool ForceInjectivity = false, ForceInvert = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextArg = [&]() -> const char * {
+      return ++I < Argc ? Argv[I] : nullptr;
+    };
+    try {
+      if (Arg == "--socket") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        SocketPath = V;
+      } else if (Arg == "--tcp") {
+        const char *H = NextArg();
+        const char *P = NextArg();
+        if (!H || !P)
+          return usage();
+        Host = H;
+        Port = std::stoi(P);
+      } else if (Arg == "--op") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        Op = V;
+      } else if (Arg == "--file") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        File = V;
+      } else if (Arg == "--id") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        Id = std::stoull(V);
+      } else if (Arg == "--timeout-seconds") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        TimeoutSeconds = std::stod(V);
+      } else if (Arg == "--fault-inject") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        FaultSpec = V;
+      } else if (Arg == "--jobs") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        Jobs = std::max(1, std::stoi(V));
+      } else if (Arg == "--force-injectivity") {
+        ForceInjectivity = true;
+      } else if (Arg == "--force-invert") {
+        ForceInvert = true;
+      } else if (Arg == "--field") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        Field = V;
+      } else if (Arg == "--retry-seconds") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        RetrySeconds = std::stod(V);
+      } else {
+        return usage();
+      }
+    } catch (...) {
+      return usage();
+    }
+  }
+  if (SocketPath.empty() == (Port < 0))
+    return usage();
+
+  std::string Request = "{\"op\":\"" + jsonEscapeString(Op) + "\"";
+  Request += ",\"id\":" + std::to_string(Id);
+  if (Op == "invert") {
+    std::string Source;
+    if (File.empty()) {
+      std::fprintf(stderr, "genicd-client: op invert needs --file\n");
+      return usage();
+    }
+    if (File == "-") {
+      std::ostringstream Buffer;
+      Buffer << std::cin.rdbuf();
+      Source = Buffer.str();
+    } else {
+      std::ifstream In(File);
+      if (!In) {
+        std::fprintf(stderr, "genicd-client: cannot open %s\n",
+                     File.c_str());
+        return 1;
+      }
+      std::ostringstream Buffer;
+      Buffer << In.rdbuf();
+      Source = Buffer.str();
+    }
+    Request += ",\"source\":\"" + jsonEscapeString(Source) + "\"";
+    if (TimeoutSeconds > 0) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), ",\"timeoutSeconds\":%.6f",
+                    TimeoutSeconds);
+      Request += Buf;
+    }
+    if (!FaultSpec.empty())
+      Request += ",\"faultPlan\":\"" + jsonEscapeString(FaultSpec) + "\"";
+    if (Jobs > 0)
+      Request += ",\"jobs\":" + std::to_string(Jobs);
+    if (ForceInjectivity)
+      Request += ",\"forceInjectivity\":true";
+    if (ForceInvert)
+      Request += ",\"forceInvert\":true";
+  }
+  Request += "}\n";
+
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(RetrySeconds);
+  int Fd = -1;
+  for (;;) {
+    Fd = connectOnce(SocketPath, Host, Port);
+    if (Fd >= 0 || std::chrono::steady_clock::now() >= Deadline)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (Fd < 0) {
+    std::fprintf(stderr, "genicd-client: cannot connect\n");
+    return 1;
+  }
+
+  size_t Off = 0;
+  while (Off < Request.size()) {
+    ssize_t N = ::send(Fd, Request.data() + Off, Request.size() - Off, 0);
+    if (N <= 0) {
+      std::fprintf(stderr, "genicd-client: send failed\n");
+      ::close(Fd);
+      return 1;
+    }
+    Off += static_cast<size_t>(N);
+  }
+
+  std::string Line;
+  char Chunk[64 * 1024];
+  while (Line.find('\n') == std::string::npos) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break;
+    Line.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  size_t Nl = Line.find('\n');
+  if (Nl == std::string::npos) {
+    std::fprintf(stderr, "genicd-client: no response\n");
+    return 1;
+  }
+  Line.resize(Nl);
+
+  Result<FlatJson> Parsed = parseFlatJson(Line);
+  if (!Parsed) {
+    std::fprintf(stderr, "genicd-client: malformed response: %s\n",
+                 Parsed.status().message().c_str());
+    return 1;
+  }
+  const FlatJson &J = *Parsed;
+
+  if (Field.empty()) {
+    std::printf("%s\n", Line.c_str());
+  } else if (Field == "warm") {
+    auto It = J.Bools.find("warm");
+    std::printf("%s\n",
+                It != J.Bools.end() && It->second ? "true" : "false");
+  } else if (Field == "exit") {
+    auto It = J.Numbers.find("exit");
+    std::printf("%d\n",
+                It != J.Numbers.end() ? static_cast<int>(It->second) : -1);
+  } else {
+    auto It = J.Strings.find(Field);
+    if (It == J.Strings.end()) {
+      std::fprintf(stderr, "genicd-client: response has no field \"%s\"\n",
+                   Field.c_str());
+      return 1;
+    }
+    std::fputs(It->second.c_str(), stdout);
+  }
+
+  if (auto It = J.Numbers.find("exit"); It != J.Numbers.end())
+    return static_cast<int>(It->second);
+  if (auto It = J.Strings.find("code"); It != J.Strings.end())
+    return exitForApiCode(It->second);
+  return 1;
+}

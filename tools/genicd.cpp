@@ -1,0 +1,496 @@
+//===- tools/genicd.cpp - The resident genic inversion service ------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// genicd keeps one InversionEngine resident and serves inversion requests
+/// over a Unix or TCP socket, newline-delimited JSON in both directions
+/// (the protocol lives in engine/Serve.h; tools/genicd-client.cpp is the
+/// matching client).
+///
+///   genicd --socket /tmp/genicd.sock [--threads 4] [--queue 16]
+///   genicd --tcp 7411
+///
+/// Request handling:
+///
+///   * every accepted connection gets a reader thread that frames lines
+///     and feeds the bounded admission queue; when the queue is full the
+///     request is answered immediately with code "overloaded" instead of
+///     stalling the connection,
+///   * a fixed pool of worker threads drains the queue; each request runs
+///     with its own deadline, fault plan, and metrics registry (see
+///     engine/InversionEngine.h), so concurrent requests are isolated,
+///   * repeated requests for the same program hit the engine's warm pool:
+///     parse/lower are skipped and solver/bank state is reused,
+///   * "metrics" serves the engine-lifetime registry as genic-metrics-v1
+///     JSON; "ping" answers "pong"; "shutdown" stops the daemon after
+///     in-flight requests drain.
+///
+/// Engine options mirror the genic CLI: --jobs, --no-aux, --no-mining,
+/// --no-slice, --solver-incremental, --solver-timeout-ms, --sat-cache-cap,
+/// plus --warm-programs for the pool capacity and --trace-out to write a
+/// span trace (request-tagged, see tools/trace-lint.cpp) on shutdown.
+///
+/// Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/InversionEngine.h"
+#include "engine/Serve.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace genic;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: genicd (--socket PATH | --tcp PORT) [options]\n"
+      "  --threads N            worker threads draining the queue (default 2)\n"
+      "  --queue N              admission queue bound; beyond it requests\n"
+      "                         are answered \"overloaded\" (default 16)\n"
+      "  --warm-programs N      warm pool capacity in programs (default 8)\n"
+      "  --jobs N --no-aux --no-mining --no-slice\n"
+      "  --solver-incremental {on,off}\n"
+      "  --solver-timeout-ms N --sat-cache-cap N\n"
+      "  --trace-out FILE       write a span trace on shutdown\n");
+  return 2;
+}
+
+/// One accepted connection. Workers write responses concurrently, so every
+/// write serializes on WriteMu and sends the whole line.
+struct Conn {
+  explicit Conn(int Fd) : Fd(Fd) {}
+  ~Conn() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  int Fd;
+  std::mutex WriteMu;
+
+  void sendLine(const std::string &Line) {
+    std::lock_guard<std::mutex> Lock(WriteMu);
+    size_t Off = 0;
+    while (Off < Line.size()) {
+      ssize_t N = ::send(Fd, Line.data() + Off, Line.size() - Off,
+#ifdef MSG_NOSIGNAL
+                         MSG_NOSIGNAL
+#else
+                         0
+#endif
+      );
+      if (N <= 0)
+        return; // Peer gone; the request's work is already done.
+      Off += static_cast<size_t>(N);
+    }
+  }
+};
+
+/// One queued request line awaiting a worker.
+struct Job {
+  std::shared_ptr<Conn> C;
+  std::string Line;
+};
+
+/// The daemon: engine + admission queue + socket plumbing.
+class Daemon {
+public:
+  InversionEngine Engine;
+  size_t QueueBound;
+  std::atomic<bool> Stopping{false};
+  int ListenFd = -1;
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<Job> Queue;
+
+  Daemon(EngineConfig Config, size_t QueueBound)
+      : Engine(std::move(Config)), QueueBound(QueueBound) {}
+
+  /// Reader-side admission: false means the queue is full and the caller
+  /// must answer "overloaded" itself.
+  bool enqueue(Job J) {
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      if (Queue.size() >= QueueBound)
+        return false;
+      Queue.push_back(std::move(J));
+    }
+    QueueCv.notify_one();
+    return true;
+  }
+
+  std::mutex ConnsMu;
+  std::vector<std::weak_ptr<Conn>> Conns;
+
+  void registerConn(const std::shared_ptr<Conn> &C) {
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    Conns.push_back(C);
+  }
+
+  /// Full stop from normal (non-signal) context: wakes the workers, breaks
+  /// the accept loop, and shuts every live connection down so blocked
+  /// reader threads return from recv. The signal handler instead only
+  /// flips Stopping and shuts the listen socket (the async-signal-safe
+  /// subset); main() calls stop() after the accept loop breaks.
+  void stop() {
+    Stopping.store(true);
+    QueueCv.notify_all();
+    if (ListenFd >= 0)
+      ::shutdown(ListenFd, SHUT_RDWR);
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    for (const std::weak_ptr<Conn> &W : Conns)
+      if (std::shared_ptr<Conn> C = W.lock())
+        // Read side only: blocked readers return, but in-flight responses
+        // (the shutdown ack in particular) still reach the peer.
+        ::shutdown(C->Fd, SHUT_RD);
+  }
+
+  void workerLoop() {
+    for (;;) {
+      Job J;
+      {
+        std::unique_lock<std::mutex> Lock(QueueMu);
+        QueueCv.wait(Lock,
+                     [this] { return Stopping.load() || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping and drained.
+        J = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      J.C->sendLine(handle(J.Line));
+    }
+  }
+
+  std::string handle(const std::string &Line) {
+    Result<ServeRequest> Parsed = parseServeRequest(Line);
+    if (!Parsed) {
+      ServeResponse Resp;
+      Resp.Code = "bad-request";
+      Resp.Exit = ExitUsage;
+      Resp.Error = Parsed.status().message();
+      // Best effort at echoing the id even from a request that failed
+      // validation later than the id key.
+      if (Result<FlatJson> J = parseFlatJson(Line))
+        if (auto It = J->Numbers.find("id");
+            It != J->Numbers.end() && It->second >= 0)
+          Resp.Id = static_cast<uint64_t>(It->second);
+      return formatServeResponse(Resp);
+    }
+    const ServeRequest &Req = *Parsed;
+    ServeResponse Resp;
+    Resp.Id = Req.Id;
+
+    if (Req.Op == "ping") {
+      Resp.Payload = "pong";
+      return formatServeResponse(Resp);
+    }
+    if (Req.Op == "metrics") {
+      Resp.Payload = formatMetricsSnapshotJson(Engine.metrics().snapshot());
+      return formatServeResponse(Resp);
+    }
+    if (Req.Op == "shutdown") {
+      stop();
+      return formatServeResponse(Resp);
+    }
+
+    RequestContext Ctx;
+    Ctx.BudgetSeconds = Req.TimeoutSeconds;
+    Ctx.ForceInjectivity = Req.ForceInjectivity;
+    Ctx.ForceInvert = Req.ForceInvert;
+    Ctx.Jobs = Req.Jobs;
+    if (!Req.FaultPlan.empty()) {
+      Result<FaultPlan> Plan = parseFaultPlan(Req.FaultPlan);
+      if (!Plan) {
+        Resp.Code = "bad-request";
+        Resp.Exit = ExitUsage;
+        Resp.Error = Plan.status().message();
+        return formatServeResponse(Resp);
+      }
+      Ctx.Faults = *Plan;
+    }
+    MetricsRegistry RequestMetrics;
+    Ctx.Metrics = &RequestMetrics;
+
+    Result<EngineResponse> R = Engine.serve(Req.Source, Ctx);
+    if (!R) {
+      Resp.Exit = ExitError;
+      Resp.Code = apiCodeForExit(Resp.Exit);
+      Resp.Error = R.status().message();
+      return formatServeResponse(Resp);
+    }
+    Resp.Exit = R->Exit;
+    Resp.Code = apiCodeForExit(R->Exit);
+    Resp.Warm = R->WarmHit;
+    Resp.Report = formatOutcomeReport(R->Report);
+    return formatServeResponse(Resp);
+  }
+
+  /// Frames lines off one connection until EOF, feeding the queue.
+  void readerLoop(std::shared_ptr<Conn> C) {
+    // Oversized lines (no newline within the cap) poison the connection;
+    // real corpus programs are a few KB.
+    constexpr size_t MaxLine = 16u << 20;
+    std::string Buffer;
+    char Chunk[64 * 1024];
+    for (;;) {
+      ssize_t N = ::recv(C->Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0)
+        return;
+      Buffer.append(Chunk, static_cast<size_t>(N));
+      size_t Start = 0;
+      for (size_t Nl; (Nl = Buffer.find('\n', Start)) != std::string::npos;
+           Start = Nl + 1) {
+        std::string Line = Buffer.substr(Start, Nl - Start);
+        if (Line.empty())
+          continue;
+        if (!enqueue(Job{C, Line})) {
+          ServeResponse Busy;
+          Busy.Code = "overloaded";
+          Busy.Exit = ExitError;
+          Busy.Error = "admission queue full";
+          if (Result<FlatJson> J = parseFlatJson(Line))
+            if (auto It = J->Numbers.find("id");
+                It != J->Numbers.end() && It->second >= 0)
+              Busy.Id = static_cast<uint64_t>(It->second);
+          C->sendLine(formatServeResponse(Busy));
+        }
+      }
+      Buffer.erase(0, Start);
+      if (Buffer.size() > MaxLine)
+        return;
+      if (Stopping.load())
+        return;
+    }
+  }
+};
+
+// Signal handling keeps to the async-signal-safe subset: flip the flag and
+// shut the listen socket so accept() returns; main() finishes the shutdown.
+std::atomic<bool> *SignalStop = nullptr;
+volatile int SignalListenFd = -1;
+
+void onSignal(int) {
+  if (SignalStop)
+    SignalStop->store(true);
+  if (SignalListenFd >= 0)
+    ::shutdown(SignalListenFd, SHUT_RDWR);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath, TraceOut;
+  int TcpPort = -1;
+  size_t Threads = 2, QueueBound = 16;
+  EngineConfig Config;
+  bool SolverIncrementalSet = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextArg = [&]() -> const char * {
+      return ++I < Argc ? Argv[I] : nullptr;
+    };
+    try {
+      if (Arg == "--socket") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        SocketPath = V;
+      } else if (Arg == "--tcp") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        TcpPort = std::stoi(V);
+      } else if (Arg == "--threads") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        Threads = std::max(1, std::stoi(V));
+      } else if (Arg == "--queue") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        QueueBound = std::max(1, std::stoi(V));
+      } else if (Arg == "--warm-programs") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        Config.WarmPrograms = std::stoul(V);
+      } else if (Arg == "--jobs") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        Config.Options.Jobs = std::max(1, std::stoi(V));
+      } else if (Arg == "--no-aux") {
+        Config.Options.UseAuxInversion = false;
+      } else if (Arg == "--no-mining") {
+        Config.Options.UseMining = false;
+      } else if (Arg == "--no-slice") {
+        Config.Options.Engine.EnableBitSlice = false;
+      } else if (Arg == "--solver-incremental") {
+        const char *V = NextArg();
+        if (!V || (std::strcmp(V, "on") && std::strcmp(V, "off")))
+          return usage();
+        Config.Options.SolverIncremental = std::strcmp(V, "off") != 0;
+        SolverIncrementalSet = true;
+      } else if (Arg == "--solver-timeout-ms") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        Config.SolverTimeoutMs = static_cast<unsigned>(std::stoul(V));
+      } else if (Arg == "--sat-cache-cap") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        Config.SatCacheCap = std::stoull(V);
+      } else if (Arg == "--trace-out") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        TraceOut = V;
+      } else {
+        return usage();
+      }
+    } catch (...) {
+      return usage();
+    }
+  }
+  if (SocketPath.empty() == (TcpPort < 0))
+    return usage(); // Exactly one of --socket / --tcp.
+  if (!SolverIncrementalSet)
+    if (const char *Env = std::getenv("GENIC_SOLVER_INCREMENTAL"))
+      if (std::strcmp(Env, "off") == 0)
+        Config.Options.SolverIncremental = false;
+
+  int ListenFd = -1;
+  if (!SocketPath.empty()) {
+    ::unlink(SocketPath.c_str());
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0) {
+      std::perror("genicd: socket");
+      return 1;
+    }
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+      std::fprintf(stderr, "genicd: socket path too long\n");
+      return 1;
+    }
+    std::strncpy(Addr.sun_path, SocketPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) < 0) {
+      std::perror("genicd: bind");
+      return 1;
+    }
+  } else {
+    ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (ListenFd < 0) {
+      std::perror("genicd: socket");
+      return 1;
+    }
+    int One = 1;
+    ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(static_cast<uint16_t>(TcpPort));
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) < 0) {
+      std::perror("genicd: bind");
+      return 1;
+    }
+  }
+  if (::listen(ListenFd, 64) < 0) {
+    std::perror("genicd: listen");
+    return 1;
+  }
+
+  if (!TraceOut.empty()) {
+    TraceRecorder::global().enable();
+    TraceRecorder::global().nameThisThread("acceptor");
+  }
+
+  Daemon D(Config, QueueBound);
+  D.ListenFd = ListenFd;
+  SignalStop = &D.Stopping;
+  SignalListenFd = ListenFd;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::vector<std::thread> Workers;
+  for (size_t I = 0; I != Threads; ++I)
+    Workers.emplace_back([&D, I] {
+      if (TraceRecorder::global().enabled())
+        TraceRecorder::global().nameThisThread("serve-" + std::to_string(I));
+      D.workerLoop();
+    });
+
+  std::printf("genicd: listening on %s (threads %zu, queue %zu, warm %zu)\n",
+              SocketPath.empty()
+                  ? ("tcp:" + std::to_string(TcpPort)).c_str()
+                  : SocketPath.c_str(),
+              Threads, QueueBound, Config.WarmPrograms);
+  std::fflush(stdout);
+
+  std::vector<std::thread> Readers;
+  while (!D.Stopping.load()) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (D.Stopping.load())
+        break;
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    auto C = std::make_shared<Conn>(Fd);
+    D.registerConn(C);
+    Readers.emplace_back([&D, C] { D.readerLoop(C); });
+  }
+
+  // Drain: stop() already woke the workers; readers exit on connection EOF
+  // or the stopping flag after their next read.
+  D.stop();
+  ::close(ListenFd);
+  for (std::thread &T : Workers)
+    T.join();
+  for (std::thread &T : Readers)
+    T.join();
+  if (!SocketPath.empty())
+    ::unlink(SocketPath.c_str());
+  if (!TraceOut.empty()) {
+    TraceRecorder::global().disable();
+    if (Status St = TraceRecorder::global().writeJson(TraceOut); !St)
+      std::fprintf(stderr, "genicd: warning: %s\n", St.message().c_str());
+  }
+  std::printf("genicd: shut down after %llu request(s)\n",
+              (unsigned long long)D.Engine.metrics()
+                  .counter("serve.requests")
+                  .value());
+  return 0;
+}

@@ -8,8 +8,16 @@
 //   * complete ('X') events carry a non-negative dur,
 //   * timestamps are monotonically non-decreasing per thread (the writer
 //     sorts by (tid, ts, -dur), so any violation means a corrupt file),
-//   * spans nest properly per thread: a parent 'X' event fully encloses
-//     every child that starts inside it (stack discipline).
+//   * spans nest properly per (thread, request): a parent 'X' event fully
+//     encloses every child that starts inside it (stack discipline).
+//
+// The request dimension comes from the optional "req" argument the engine
+// stamps on every span of a request (see support/Trace.h). A resident
+// genicd process serves concurrent requests, so one trace legitimately
+// contains multiple overlapping root spans; spans of different requests are
+// checked on separate stacks instead of being forced into one balanced
+// genic.run root. Events without a "req" argument share stack 0, which is
+// exactly the old single-run behaviour.
 //
 // The parser is deliberately line-based string slicing: the emitter writes
 // one event per line with a fixed key order, and this tool must not grow a
@@ -37,6 +45,7 @@ struct Event {
   int64_t Tid = 0;
   int64_t Ts = 0;
   int64_t Dur = 0;
+  int64_t Req = 0; ///< Request epoch ("req" arg); 0 when untagged.
   std::string Name;
 };
 
@@ -138,6 +147,8 @@ int main(int Argc, char **Argv) {
     } else if (E.Ph != 'i') {
       return fail(LineNo, std::string("unexpected phase '") + E.Ph + "'");
     }
+    if (findValue(Line, "req", Text) && !parseInt(Text, E.Req))
+      return fail(LineNo, "non-numeric \"req\" argument");
     Events.push_back(std::move(E));
   }
   if (!SawHeader) {
@@ -146,16 +157,20 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  // Per-thread checks: monotonic timestamps and stack-disciplined nesting.
+  // Per-thread timestamp checks and per-(thread, request) nesting checks.
   // Events arrive already sorted by (tid, ts, -dur); verify rather than
   // re-sort so the check also covers the writer's ordering contract.
+  // Nesting stacks are keyed by (tid, req): concurrent requests interleave
+  // root spans legally, but within one request each thread's spans must
+  // still obey stack discipline.
   struct Open {
     int64_t End;
     size_t LineNo;
     std::string Name;
   };
   std::map<int64_t, int64_t> LastTs;
-  std::map<int64_t, std::vector<Open>> Stacks;
+  std::map<std::pair<int64_t, int64_t>, std::vector<Open>> Stacks;
+  std::map<int64_t, size_t> Requests;
   size_t Spans = 0, Instants = 0;
   for (const Event &E : Events) {
     auto It = LastTs.find(E.Tid);
@@ -163,7 +178,8 @@ int main(int Argc, char **Argv) {
       return fail(E.LineNo, "timestamp goes backwards on tid " +
                                 std::to_string(E.Tid));
     LastTs[E.Tid] = E.Ts;
-    auto &Stack = Stacks[E.Tid];
+    ++Requests[E.Req];
+    auto &Stack = Stacks[{E.Tid, E.Req}];
     while (!Stack.empty() && Stack.back().End <= E.Ts)
       Stack.pop_back();
     if (E.Ph == 'i') {
@@ -178,7 +194,9 @@ int main(int Argc, char **Argv) {
     Stack.push_back({E.Ts + E.Dur, E.LineNo, E.Name});
   }
 
-  std::printf("trace-lint: ok: %zu spans, %zu instants, %zu threads\n", Spans,
-              Instants, LastTs.size());
+  size_t TaggedRequests = Requests.size() - Requests.count(0);
+  std::printf("trace-lint: ok: %zu spans, %zu instants, %zu threads, "
+              "%zu tagged requests\n",
+              Spans, Instants, LastTs.size(), TaggedRequests);
   return 0;
 }
