@@ -147,6 +147,8 @@ std::map<std::string, double> readBaselineField(const std::string &Path,
 
 int main(int Argc, char **Argv) {
   unsigned Jobs = 1;
+  unsigned WorkerProcs = 0;
+  std::string WorkerBinary;
   bool SolverIncremental = true;
   std::string JsonPath = "BENCH_table1.json";
   std::string Only;
@@ -155,6 +157,10 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc)
       Jobs = std::max(1, std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--worker-procs") && I + 1 < Argc)
+      WorkerProcs = std::max(0, std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--worker-binary") && I + 1 < Argc)
+      WorkerBinary = Argv[++I];
     else if (!std::strcmp(Argv[I], "--solver-incremental") && I + 1 < Argc)
       SolverIncremental = std::strcmp(Argv[++I], "off") != 0;
     else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
@@ -168,8 +174,13 @@ int main(int Argc, char **Argv) {
     else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--solver-incremental on|off]\n"
+                   "          [--worker-procs N] [--worker-binary PATH]\n"
                    "          [--json FILE] [--only SUBSTR]\n"
                    "          [--baseline FILE] [--max-regress PCT]\n"
+                   "  --worker-procs run verification shards in N worker "
+                   "processes (0 = in-process);\n"
+                   "                 measures the IPC overhead of crash "
+                   "isolation\n"
                    "  --only         run only programs whose name contains "
                    "SUBSTR\n"
                    "  --baseline     committed BENCH_table1.json to compare "
@@ -213,6 +224,8 @@ int main(int Argc, char **Argv) {
     Options.Jobs = Jobs;
     Options.SolverIncremental = SolverIncremental;
     GenicTool Tool(Options);
+    if (WorkerProcs > 0)
+      Tool.setWorkerProcs(WorkerProcs, WorkerBinary);
     Result<GenicReport> Report = Tool.run(Spec.Source);
     if (!Report) {
       T.addRow({Spec.name(), "-", "-", "-", "-", "-", "-", "-", "-", "-",

@@ -200,6 +200,76 @@ done
 wait "$GENICD_PID"
 trap - EXIT
 
+echo "=== chaos: out-of-process shards, SIGKILLed workers, merged traces ==="
+# Verification shards must produce byte-identical verdicts whether they run
+# in-process or in supervised worker processes, and a worker SIGKILLed mid
+# solver query must degrade only its own shard — to the documented exit
+# code, with a still-lintable merged trace — while every surviving shard
+# keeps its clean verdict.
+cmake --build build -j --target genic-cli genic-worker trace-lint
+WORKER_BIN=build/tools/genic-worker
+# Table-1 sweep: every corpus coder, --worker-procs 0 vs 2, timing-stripped
+# reports compared byte-for-byte (same idiom as the incremental parity gate).
+./build/tools/genic corpus > build/chaos.programs
+while IFS= read -r Prog; do
+  ./build/tools/genic corpus "$Prog" > build/chaos.genic
+  ./build/tools/genic check build/chaos.genic --jobs 2 > build/chaos.wp0.out
+  ./build/tools/genic check build/chaos.genic --jobs 2 --worker-procs 2 \
+    --worker-binary "$WORKER_BIN" > build/chaos.wp2.out
+  if ! diff <(grep -vE '\([0-9.]+s' build/chaos.wp0.out) \
+      <(grep -vE '\([0-9.]+s' build/chaos.wp2.out); then
+    echo "chaos sweep: $Prog: verdicts differ with --worker-procs 2" >&2
+    exit 1
+  fi
+done < build/chaos.programs
+# A clean worker run must actually dispatch shards, report zero crashes,
+# and merge the worker-side trace events (tid 1000*(slot+1)) into one
+# lintable timeline.
+./build/tools/genic corpus "BASE64 encoder" > build/chaos.genic
+./build/tools/genic check build/chaos.genic --jobs 2 --worker-procs 2 \
+  --worker-binary "$WORKER_BIN" --trace-out build/chaos.clean.trace.json \
+  --metrics-json build/chaos.clean.metrics.json > build/chaos.clean.out
+./build/tools/trace-lint build/chaos.clean.trace.json
+grep -qF '"workerproc.crashes": 0' build/chaos.clean.metrics.json
+if grep -qF '"workerproc.shards": 0' build/chaos.clean.metrics.json; then
+  echo "chaos: clean --worker-procs 2 run dispatched no shards" >&2
+  exit 1
+fi
+if ! grep -qF '"tid":1000' build/chaos.clean.trace.json; then
+  echo "chaos: no merged worker-side trace events in the clean run" >&2
+  exit 1
+fi
+# SIGKILL mid-query: crash@1x0:workers arms every worker process to
+# raise(SIGKILL) at its first solver query. Determinism needs no worker
+# queries for this coder so that verdict must survive; the transition-
+# injectivity shard crashes, its one supervised retry replays and dies the
+# same way, and the run degrades to the documented solver-error exit (5).
+set +e
+./build/tools/genic check build/chaos.genic --jobs 2 --worker-procs 2 \
+  --worker-binary "$WORKER_BIN" --fault-inject 'crash@1x0:workers' \
+  --trace-out build/chaos.crash.trace.json \
+  --metrics-json build/chaos.crash.metrics.json > build/chaos.crash.out
+CRASH_RC=$?
+set -e
+if [ "$CRASH_RC" -ne 5 ]; then
+  echo "chaos crash: expected exit 5 (solver error), got $CRASH_RC" >&2
+  exit 1
+fi
+grep -qF 'worker crashed twice on one shard' build/chaos.crash.out
+# The coordinator's trace must stay balanced and lintable even though two
+# workers died mid-shard (their unsent events are the only loss).
+./build/tools/trace-lint build/chaos.crash.trace.json
+for Key in '"workerproc.crashes"' '"workerproc.retries"' \
+  '"workerproc.degraded"'; do
+  if ! grep -F "$Key" build/chaos.crash.metrics.json | grep -qv ': 0'; then
+    echo "chaos crash: $Key missing or zero in metrics snapshot" >&2
+    exit 1
+  fi
+done
+# Surviving shards keep their clean verdicts byte-for-byte.
+diff <(grep -F 'determinism:' build/chaos.crash.out) \
+  <(grep -F 'determinism:' build/chaos.clean.out)
+
 if [ "$SKIP_ASAN" -eq 0 ]; then
   echo "=== sanitizers: address,undefined on the hot-path suites ==="
   cmake -B build-asan -S . \
@@ -246,6 +316,13 @@ if [ "$SKIP_ASAN" -eq 0 ]; then
   fi
   # Even a deadline-exhausted run must leave a balanced, lintable trace.
   ./build-asan/tools/trace-lint build-asan/degraded.trace.json
+
+  echo "=== worker smoke under asan: --worker-procs 2 round trip ==="
+  # Both sides of the IPC boundary instrumented: spawn, load, shard scans,
+  # collect/merge, and clean quit all run under asan/ubsan.
+  cmake --build build-asan -j --target genic-worker
+  ./build-asan/tools/genic check programs/BASE16_encoder.genic --jobs 2 \
+    --worker-procs 2 --worker-binary build-asan/tools/genic-worker
 fi
 
 if [ "$SKIP_TSAN" -eq 0 ]; then

@@ -276,6 +276,232 @@ struct EpsEdge {
   unsigned OrigId;
 };
 
+/// One (p, q, diverged) configuration of the product frontier.
+struct Config {
+  unsigned P, Q;
+  bool D;
+};
+
+/// Dense key of a product configuration.
+uint64_t productKey(const Expanded &X, unsigned P, unsigned Q, bool D) {
+  return (static_cast<uint64_t>(P) * X.NumStates + Q) * 2 + (D ? 1 : 0);
+}
+
+/// Everything the product search runs on, derived deterministically from
+/// the input automaton: the trimmed automaton, the expanded epsilon-free
+/// pieces with their adjacency, and — when ambiguity is already decided
+/// during construction (epsilon cycle, duplicate empty-word acceptance) —
+/// the ready-made witness. Coordinator and out-of-process workers build
+/// this independently from their own copies of the program; fingerprint()
+/// guards against the two derivations disagreeing.
+struct ProductSearch {
+  explicit ProductSearch(CartesianSefa A) : A(std::move(A)) {}
+
+  CartesianSefa A;
+  Expanded X;
+  std::vector<std::vector<size_t>> StepsFrom, FinishersFrom;
+  std::optional<AmbiguityWitness> Early;
+
+  uint64_t key(unsigned P, unsigned Q, bool D) const {
+    return productKey(X, P, Q, D);
+  }
+
+  /// FNV-1a over the product's structure: state counts and every piece's
+  /// endpoints, identity, and completed-rule list. Guards are excluded
+  /// (they are factory-local pointers) — topology plus identities already
+  /// pins the derivation, since both sides build the product by the same
+  /// deterministic construction from the same source text.
+  uint64_t fingerprint() const {
+    uint64_t H = 1469598103934665603ull;
+    auto Mix = [&H](uint64_t V) {
+      for (int B = 0; B < 8; ++B) {
+        H ^= (V >> (8 * B)) & 0xff;
+        H *= 1099511628211ull;
+      }
+    };
+    Mix(X.NumStates);
+    Mix(X.Initial);
+    Mix(X.Steps.size());
+    Mix(X.Finishers.size());
+    Mix(X.Fin0.size());
+    auto MixPiece = [&](unsigned From, unsigned To, unsigned Id,
+                        const std::vector<unsigned> &Completed) {
+      Mix(From);
+      Mix(To);
+      Mix(Id);
+      Mix(Completed.size());
+      for (unsigned C : Completed)
+        Mix(C);
+    };
+    for (const Piece &P : X.Steps)
+      MixPiece(P.From, P.To, P.Id, P.Completed);
+    for (const Piece &P : X.Finishers)
+      MixPiece(P.From, P.To, P.Id, P.Completed);
+    for (const Fin0Entry &F : X.Fin0)
+      MixPiece(F.At, 0, F.Id, F.Completed);
+    return H;
+  }
+};
+
+/// What a scan reports for one contiguous chunk of a BFS level: the first
+/// configuration whose finisher scan produced an event (accepting overlap
+/// or solver error) and, for configurations before it, every step-scan
+/// discovery in scan order. Step-scan errors are recorded as discoveries
+/// rather than aborting the chunk, because the merge may legitimately skip
+/// them (the serial loop would never have issued the query if the target
+/// was already visited by an earlier configuration of the same level).
+struct ShardDiscovery {
+  size_t Cfg;
+  size_t I1, I2;
+  uint64_t NK;
+  unsigned ToP, ToQ;
+  bool NextD;
+  bool IsError;
+};
+struct ShardChunkOut {
+  size_t FinEvent = SIZE_MAX;
+  std::vector<ShardDiscovery> Discoveries;
+};
+
+/// The chunk body of the level scan, shared verbatim by the in-process
+/// thread path and the out-of-process shard path so their verdicts cannot
+/// drift. \p IsVisited answers "was this key visited in a prior level"
+/// (the visited set is frozen for the whole level); \p Cutoff is the
+/// cross-chunk pruning hint — null on the shard path, where each shard is
+/// one chunk and pruning would require cross-process traffic. Pruning
+/// never changes which index a chunk reports first, only how much wasted
+/// tail work runs.
+template <typename VisitedPred>
+void scanLevelChunk(const Expanded &X,
+                    const std::vector<std::vector<size_t>> &StepsFrom,
+                    const std::vector<std::vector<size_t>> &FinishersFrom,
+                    GuardOverlapCache &Overlaps, SolverSessionPool &Pool,
+                    const std::vector<Config> &Level, size_t Begin,
+                    size_t End, const VisitedPred &IsVisited,
+                    std::atomic<size_t> *Cutoff, ShardChunkOut &Out) {
+  MetricsPhaseScope WorkerPhase("ambiguity");
+  SolverSessionPool::Lease Sess = Pool.lease();
+  auto Overlap = [&](TermRef GA, TermRef GB) -> Result<bool> {
+    std::pair<TermRef, TermRef> PK = std::minmax(GA, GB);
+    if (std::optional<bool> Hit = Overlaps.lookup(PK.first, PK.second))
+      return *Hit;
+    TermRef A2 = Sess->Import.clone(PK.first);
+    TermRef Q2 = PK.first == PK.second
+                     ? A2
+                     : Sess->Factory.mkAnd(A2, Sess->Import.clone(PK.second));
+    Result<bool> R = Sess->Slv.isSat(Q2);
+    if (R)
+      Overlaps.record(PK.first, PK.second, *R);
+    return R;
+  };
+  // Within-chunk dedup of step targets, mirroring the serial loop's live
+  // Visited check for configurations this worker owns.
+  std::unordered_set<uint64_t> NewKeys;
+  for (size_t Ci = Begin; Ci != End; ++Ci) {
+    if (Cutoff && Ci > Cutoff->load(std::memory_order_relaxed))
+      continue;
+    auto [P, Q, D] = Level[Ci];
+    // Coalesce this configuration's uncached guard-overlap queries
+    // into one selector-literal batch against the pooled session:
+    // the session keeps its product-construction state and only the
+    // frontier pairs vary. Purely an accelerator — Sat/Unsat
+    // verdicts land in the same shared cache the scans below (and
+    // the serial merge) consult, and Unknowns are left for the
+    // scans' individual queries, so the outcome is unchanged.
+    if (Sess->Slv.control().Incremental) {
+      std::vector<std::pair<TermRef, TermRef>> PKs;
+      std::set<std::pair<TermRef, TermRef>> InBatch;
+      auto Note = [&](TermRef GA, TermRef GB) {
+        std::pair<TermRef, TermRef> PK = std::minmax(GA, GB);
+        if (!InBatch.insert(PK).second)
+          return;
+        if (Overlaps.lookup(PK.first, PK.second))
+          return;
+        PKs.push_back(PK);
+      };
+      for (size_t I1 : FinishersFrom[P])
+        for (size_t I2 : FinishersFrom[Q]) {
+          if (!D && X.Finishers[I1].Id == X.Finishers[I2].Id)
+            continue;
+          Note(X.Finishers[I1].Guard, X.Finishers[I2].Guard);
+        }
+      for (size_t I1 : StepsFrom[P])
+        for (size_t I2 : StepsFrom[Q]) {
+          const Piece &T1 = X.Steps[I1];
+          const Piece &T2 = X.Steps[I2];
+          uint64_t NK = productKey(X, T1.To, T2.To, D || T1.Id != T2.Id);
+          if (IsVisited(NK) || NewKeys.count(NK))
+            continue;
+          Note(T1.Guard, T2.Guard);
+        }
+      if (PKs.size() > 1) {
+        std::vector<TermRef> Queries;
+        Queries.reserve(PKs.size());
+        for (const auto &PK : PKs) {
+          TermRef A2 = Sess->Import.clone(PK.first);
+          Queries.push_back(
+              PK.first == PK.second
+                  ? A2
+                  : Sess->Factory.mkAnd(A2, Sess->Import.clone(PK.second)));
+        }
+        std::vector<SatResult> Verdicts = Sess->Slv.checkSatBatch(Queries);
+        for (size_t K = 0; K != PKs.size(); ++K)
+          if (Verdicts[K] != SatResult::Unknown)
+            Overlaps.record(PKs[K].first, PKs[K].second,
+                            Verdicts[K] == SatResult::Sat);
+      }
+    }
+    bool Fin = false;
+    for (size_t I1 : FinishersFrom[P]) {
+      for (size_t I2 : FinishersFrom[Q]) {
+        const Piece &F1 = X.Finishers[I1];
+        const Piece &F2 = X.Finishers[I2];
+        if (!D && F1.Id == F2.Id)
+          continue;
+        Result<bool> Olap = Overlap(F1.Guard, F2.Guard);
+        if (!Olap || *Olap) {
+          Fin = true;
+          break;
+        }
+      }
+      if (Fin)
+        break;
+    }
+    if (Fin) {
+      // Definitive event: the merge re-runs this configuration's
+      // finisher scan in the shared session.
+      Out.FinEvent = Ci;
+      if (Cutoff) {
+        size_t Cur = Cutoff->load(std::memory_order_relaxed);
+        while (Ci < Cur && !Cutoff->compare_exchange_weak(
+                               Cur, Ci, std::memory_order_relaxed)) {
+        }
+      }
+      break;
+    }
+    for (size_t I1 : StepsFrom[P])
+      for (size_t I2 : StepsFrom[Q]) {
+        const Piece &T1 = X.Steps[I1];
+        const Piece &T2 = X.Steps[I2];
+        bool NextD = D || T1.Id != T2.Id;
+        uint64_t NK = productKey(X, T1.To, T2.To, NextD);
+        if (IsVisited(NK) || NewKeys.count(NK))
+          continue;
+        Result<bool> Olap = Overlap(T1.Guard, T2.Guard);
+        if (!Olap) {
+          Out.Discoveries.push_back(
+              {Ci, I1, I2, NK, T1.To, T2.To, NextD, true});
+          continue;
+        }
+        if (!*Olap)
+          continue;
+        NewKeys.insert(NK);
+        Out.Discoveries.push_back(
+            {Ci, I1, I2, NK, T1.To, T2.To, NextD, false});
+      }
+  }
+}
+
 } // namespace
 
 Result<std::optional<AmbiguityWitness>>
@@ -283,17 +509,23 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S) {
   return checkAmbiguity(Input, S, AmbiguityOptions());
 }
 
-Result<std::optional<AmbiguityWitness>>
-genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
-                      const AmbiguityOptions &Opts) {
+namespace {
+
+/// Steps 1-6 of the Lemma 4.14 decision procedure — trim, expansion into
+/// lookahead-1 pieces, epsilon-cycle detection, epsilon elimination, and
+/// the empty-word check — i.e. everything before the product search.
+/// Shared by checkAmbiguity and the worker-side AmbiguityShardScanner so
+/// the two processes provably run the same construction.
+Result<ProductSearch> buildProductSearch(const CartesianSefa &Input,
+                                         Solver &S) {
   Result<CartesianSefa> Trimmed = trim(Input, S);
   if (!Trimmed)
     return Trimmed.status();
-  const CartesianSefa &A = *Trimmed;
-  GuardOracle Oracle(S);
+  ProductSearch PS(std::move(*Trimmed));
+  const CartesianSefa &A = PS.A;
 
   // --- Step 2: expansion into pieces --------------------------------------
-  Expanded X;
+  Expanded &X = PS.X;
   X.NumStates = A.numStates();
   X.Initial = A.initial();
   std::vector<EpsEdge> Eps;
@@ -349,7 +581,8 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
         Result<ValueList> W = sampleAcceptedVia(A, S, CycleState.front());
         if (!W)
           return W.status();
-        return std::optional<AmbiguityWitness>(AmbiguityWitness{*W, {}, {}});
+        PS.Early = AmbiguityWitness{*W, {}, {}};
+        return PS;
       }
   }
 
@@ -433,21 +666,41 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
   for (size_t J = 0, E = X.Fin0.size(); J != E; ++J)
     if (X.Fin0[J].At == X.Initial)
       InitialFin0.push_back(J);
-  if (InitialFin0.size() >= 2)
-    return std::optional<AmbiguityWitness>(
-        AmbiguityWitness{ValueList{}, X.Fin0[InitialFin0[0]].Completed,
-                         X.Fin0[InitialFin0[1]].Completed});
+  if (InitialFin0.size() >= 2) {
+    PS.Early = AmbiguityWitness{ValueList{}, X.Fin0[InitialFin0[0]].Completed,
+                                X.Fin0[InitialFin0[1]].Completed};
+    return PS;
+  }
+
+  PS.StepsFrom.resize(X.NumStates);
+  PS.FinishersFrom.resize(X.NumStates);
+  for (size_t I = 0, E = X.Steps.size(); I != E; ++I)
+    PS.StepsFrom[X.Steps[I].From].push_back(I);
+  for (size_t I = 0, E = X.Finishers.size(); I != E; ++I)
+    PS.FinishersFrom[X.Finishers[I].From].push_back(I);
+  return PS;
+}
+
+} // namespace
+
+Result<std::optional<AmbiguityWitness>>
+genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
+                      const AmbiguityOptions &Opts) {
+  Result<ProductSearch> Built = buildProductSearch(Input, S);
+  if (!Built)
+    return Built.status();
+  ProductSearch &PS = *Built;
+  if (PS.Early)
+    return std::optional<AmbiguityWitness>(std::move(*PS.Early));
+  const CartesianSefa &A = PS.A;
+  const Expanded &X = PS.X;
+  const std::vector<std::vector<size_t>> &StepsFrom = PS.StepsFrom;
+  const std::vector<std::vector<size_t>> &FinishersFrom = PS.FinishersFrom;
+  GuardOracle Oracle(S);
 
   // --- Step 7: product search ----------------------------------------------
-  std::vector<std::vector<size_t>> StepsFrom(X.NumStates);
-  std::vector<std::vector<size_t>> FinishersFrom(X.NumStates);
-  for (size_t I = 0, E = X.Steps.size(); I != E; ++I)
-    StepsFrom[X.Steps[I].From].push_back(I);
-  for (size_t I = 0, E = X.Finishers.size(); I != E; ++I)
-    FinishersFrom[X.Finishers[I].From].push_back(I);
-
   auto Key = [&](unsigned P, unsigned Q, bool D) -> uint64_t {
-    return (static_cast<uint64_t>(P) * X.NumStates + Q) * 2 + (D ? 1 : 0);
+    return productKey(X, P, Q, D);
   };
   struct Parent {
     uint64_t PrevKey;
@@ -498,11 +751,6 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
                  Final2.Completed.end());
     return std::optional<AmbiguityWitness>(
         AmbiguityWitness{Word, std::move(PathA), std::move(PathB)});
-  };
-
-  struct Config {
-    unsigned P, Q;
-    bool D;
   };
 
   // The serial reference loop: processes \p Work FIFO to completion exactly
@@ -573,6 +821,8 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
       Opts.Overlaps ? *Opts.Overlaps : LocalOverlaps;
 
   MetricsPhaseScope Phase("ambiguity");
+  const bool UseWorkers = Opts.Workers && Opts.Workers->procs() > 0;
+  const uint64_t ProductFP = UseWorkers ? PS.fingerprint() : 0;
   int64_t LevelIndex = 0;
   std::vector<Config> Level{{X.Initial, X.Initial, false}};
   while (!Level.empty()) {
@@ -584,171 +834,102 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
           "ambiguity product search: global deadline exhausted");
     size_t Threads =
         std::min<size_t>(std::max(1u, Opts.Jobs), Level.size());
-    size_t NumChunks = std::min(Level.size(), Threads * 4);
-
-    // What a worker reports back for its contiguous chunk of the level:
-    // the first configuration whose finisher scan produced an event
-    // (accepting overlap or solver error) and, for configurations before
-    // it, every step-scan discovery in scan order. Step-scan errors are
-    // recorded as discoveries rather than aborting the chunk, because the
-    // merge may legitimately skip them (the serial loop would never have
-    // issued the query if the target was already visited by an earlier
-    // configuration of the same level).
-    struct Discovery {
-      size_t Cfg;
-      size_t I1, I2;
-      uint64_t NK;
-      unsigned ToP, ToQ;
-      bool NextD;
-      bool IsError;
-      Status Err;
-    };
-    struct ChunkOut {
-      size_t FinEvent = SIZE_MAX;
-      std::vector<Discovery> Discoveries;
-    };
-    std::vector<ChunkOut> Chunks(NumChunks);
+    size_t NumChunks =
+        UseWorkers
+            ? std::min(Level.size(),
+                       static_cast<size_t>(Opts.Workers->procs()) * 4)
+            : std::min(Level.size(), Threads * 4);
+    std::vector<ShardChunkOut> Chunks(NumChunks);
     // Configurations past the earliest finisher event cannot influence the
     // result (the serial loop returns there); skip them. Only finisher
     // events may publish the cutoff — step errors may be skipped at merge,
     // so later configurations must still be processed.
     std::atomic<size_t> Cutoff{SIZE_MAX};
 
-    ThreadPool TP(Threads, "amb");
-    for (size_t C = 0; C != NumChunks; ++C) {
-      size_t Begin = Level.size() * C / NumChunks;
-      size_t End = Level.size() * (C + 1) / NumChunks;
-      TP.submit([&, C, Begin, End] {
-        MetricsPhaseScope WorkerPhase("ambiguity");
-        SolverSessionPool::Lease Sess = Pool.lease();
-        ChunkOut &Out = Chunks[C];
-        auto Overlap = [&](TermRef GA, TermRef GB) -> Result<bool> {
-          std::pair<TermRef, TermRef> PK = std::minmax(GA, GB);
-          if (std::optional<bool> Hit = Overlaps.lookup(PK.first, PK.second))
-            return *Hit;
-          TermRef A2 = Sess->Import.clone(PK.first);
-          TermRef Q2 = PK.first == PK.second
-                           ? A2
-                           : Sess->Factory.mkAnd(
-                                 A2, Sess->Import.clone(PK.second));
-          Result<bool> R = Sess->Slv.isSat(Q2);
-          if (R)
-            Overlaps.record(PK.first, PK.second, *R);
-          return R;
-        };
-        // Within-chunk dedup of step targets, mirroring the serial loop's
-        // live Visited check for configurations this worker owns.
-        std::unordered_set<uint64_t> NewKeys;
-        for (size_t Ci = Begin; Ci != End; ++Ci) {
-          if (Ci > Cutoff.load(std::memory_order_relaxed))
-            continue;
-          auto [P, Q, D] = Level[Ci];
-          // Coalesce this configuration's uncached guard-overlap queries
-          // into one selector-literal batch against the pooled session:
-          // the session keeps its product-construction state and only the
-          // frontier pairs vary. Purely an accelerator — Sat/Unsat
-          // verdicts land in the same shared cache the scans below (and
-          // the serial merge) consult, and Unknowns are left for the
-          // scans' individual queries, so the outcome is unchanged.
-          if (Sess->Slv.control().Incremental) {
-            std::vector<std::pair<TermRef, TermRef>> PKs;
-            std::set<std::pair<TermRef, TermRef>> InBatch;
-            auto Note = [&](TermRef GA, TermRef GB) {
-              std::pair<TermRef, TermRef> PK = std::minmax(GA, GB);
-              if (!InBatch.insert(PK).second)
-                return;
-              if (Overlaps.lookup(PK.first, PK.second))
-                return;
-              PKs.push_back(PK);
-            };
-            for (size_t I1 : FinishersFrom[P])
-              for (size_t I2 : FinishersFrom[Q]) {
-                if (!D && X.Finishers[I1].Id == X.Finishers[I2].Id)
-                  continue;
-                Note(X.Finishers[I1].Guard, X.Finishers[I2].Guard);
-              }
-            for (size_t I1 : StepsFrom[P])
-              for (size_t I2 : StepsFrom[Q]) {
-                const Piece &T1 = X.Steps[I1];
-                const Piece &T2 = X.Steps[I2];
-                uint64_t NK = Key(T1.To, T2.To, D || T1.Id != T2.Id);
-                if (Visited.count(NK) || NewKeys.count(NK))
-                  continue;
-                Note(T1.Guard, T2.Guard);
-              }
-            if (PKs.size() > 1) {
-              std::vector<TermRef> Queries;
-              Queries.reserve(PKs.size());
-              for (const auto &PK : PKs) {
-                TermRef A2 = Sess->Import.clone(PK.first);
-                Queries.push_back(
-                    PK.first == PK.second
-                        ? A2
-                        : Sess->Factory.mkAnd(A2,
-                                              Sess->Import.clone(PK.second)));
-              }
-              std::vector<SatResult> Verdicts =
-                  Sess->Slv.checkSatBatch(Queries);
-              for (size_t K = 0; K != PKs.size(); ++K)
-                if (Verdicts[K] != SatResult::Unknown)
-                  Overlaps.record(PKs[K].first, PKs[K].second,
-                                  Verdicts[K] == SatResult::Sat);
-            }
+    if (UseWorkers) {
+      // Out-of-process path: ship each chunk, plus a snapshot of the
+      // visited keys, to a worker that rebuilt the same product from its
+      // own copy of the program (fingerprint-checked). Workers return the
+      // exact ShardChunkOut data — verdicts and indices, never terms — so
+      // the merge below is oblivious to where a chunk was scanned. A
+      // shard the dispatcher cannot complete degrades the whole phase to
+      // SolverError; never a silent in-process fallback, which would mask
+      // the crash the supervision layer exists to surface.
+      LevelSpan.arg("workers", static_cast<int64_t>(Opts.Workers->procs()));
+      std::vector<uint64_t> VisitedKeys;
+      VisitedKeys.reserve(Visited.size());
+      for (const auto &KV : Visited)
+        VisitedKeys.push_back(KV.first);
+      std::vector<std::vector<AmbShardConfig>> ChunkCfgs(NumChunks);
+      std::vector<size_t> ChunkBegin(NumChunks);
+      for (size_t C = 0; C != NumChunks; ++C) {
+        size_t Begin = Level.size() * C / NumChunks;
+        size_t End = Level.size() * (C + 1) / NumChunks;
+        ChunkBegin[C] = Begin;
+        ChunkCfgs[C].reserve(End - Begin);
+        for (size_t Ci = Begin; Ci != End; ++Ci)
+          ChunkCfgs[C].push_back({Level[Ci].P, Level[Ci].Q, Level[Ci].D});
+      }
+      std::vector<Status> ShardErr(NumChunks);
+      ThreadPool TP(std::min<size_t>(Opts.Workers->procs(), NumChunks),
+                    "ambio");
+      for (size_t C = 0; C != NumChunks; ++C)
+        TP.submit([&, C] {
+          Result<AmbShardResult> R = Opts.Workers->ambiguityShard(
+              Opts.Hull, ProductFP, ChunkBegin[C], VisitedKeys,
+              ChunkCfgs[C]);
+          if (!R) {
+            ShardErr[C] = R.status();
+            return;
           }
-          bool Fin = false;
-          for (size_t I1 : FinishersFrom[P]) {
-            for (size_t I2 : FinishersFrom[Q]) {
-              const Piece &F1 = X.Finishers[I1];
-              const Piece &F2 = X.Finishers[I2];
-              if (!D && F1.Id == F2.Id)
-                continue;
-              Result<bool> Olap = Overlap(F1.Guard, F2.Guard);
-              if (!Olap || *Olap) {
-                Fin = true;
-                break;
-              }
+          ShardChunkOut &Out = Chunks[C];
+          if (R->FinEvent != ShardNoEvent) {
+            if (R->FinEvent >= Level.size()) {
+              ShardErr[C] = Status::solverError(
+                  "shard returned an out-of-range finisher event");
+              return;
             }
-            if (Fin)
-              break;
+            Out.FinEvent = static_cast<size_t>(R->FinEvent);
           }
-          if (Fin) {
-            // Definitive event: the merge re-runs this configuration's
-            // finisher scan in the shared session.
-            Out.FinEvent = Ci;
-            size_t Cur = Cutoff.load(std::memory_order_relaxed);
-            while (Ci < Cur &&
-                   !Cutoff.compare_exchange_weak(
-                       Cur, Ci, std::memory_order_relaxed)) {
+          for (const AmbShardDiscovery &D : R->Discoveries) {
+            if (D.Cfg >= Level.size() || D.I1 >= X.Steps.size() ||
+                D.I2 >= X.Steps.size()) {
+              ShardErr[C] = Status::solverError(
+                  "shard returned an out-of-range discovery");
+              return;
             }
-            break;
+            const Piece &T1 = X.Steps[D.I1];
+            const Piece &T2 = X.Steps[D.I2];
+            bool NextD = Level[D.Cfg].D || T1.Id != T2.Id;
+            Out.Discoveries.push_back(
+                {static_cast<size_t>(D.Cfg), static_cast<size_t>(D.I1),
+                 static_cast<size_t>(D.I2), Key(T1.To, T2.To, NextD),
+                 T1.To, T2.To, NextD, D.IsError});
           }
-          for (size_t I1 : StepsFrom[P])
-            for (size_t I2 : StepsFrom[Q]) {
-              const Piece &T1 = X.Steps[I1];
-              const Piece &T2 = X.Steps[I2];
-              bool NextD = D || T1.Id != T2.Id;
-              uint64_t NK = Key(T1.To, T2.To, NextD);
-              if (Visited.count(NK) || NewKeys.count(NK))
-                continue;
-              Result<bool> Olap = Overlap(T1.Guard, T2.Guard);
-              if (!Olap) {
-                Out.Discoveries.push_back({Ci, I1, I2, NK, T1.To, T2.To,
-                                           NextD, true, Olap.status()});
-                continue;
-              }
-              if (!*Olap)
-                continue;
-              NewKeys.insert(NK);
-              Out.Discoveries.push_back({Ci, I1, I2, NK, T1.To, T2.To,
-                                         NextD, false, Status()});
-            }
-        }
-      });
+        });
+      TP.wait();
+      for (const Status &E : ShardErr)
+        if (!E.isOk())
+          return Status::solverError("ambiguity shard failed: " +
+                                     E.message());
+    } else {
+      auto IsVisited = [&Visited](uint64_t K) {
+        return Visited.count(K) != 0;
+      };
+      ThreadPool TP(Threads, "amb");
+      for (size_t C = 0; C != NumChunks; ++C) {
+        size_t Begin = Level.size() * C / NumChunks;
+        size_t End = Level.size() * (C + 1) / NumChunks;
+        TP.submit([&, C, Begin, End] {
+          scanLevelChunk(X, StepsFrom, FinishersFrom, Overlaps, Pool, Level,
+                         Begin, End, IsVisited, &Cutoff, Chunks[C]);
+        });
+      }
+      TP.wait();
     }
-    TP.wait();
 
     size_t MinFin = SIZE_MAX;
-    for (const ChunkOut &C : Chunks)
+    for (const ShardChunkOut &C : Chunks)
       MinFin = std::min(MinFin, C.FinEvent);
 
     // Serial merge: replay discoveries in configuration order (chunks are
@@ -757,8 +938,8 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
     // visited is dropped — including errors, which the serial loop would
     // never have queried.
     std::vector<Config> NextLevel;
-    for (const ChunkOut &C : Chunks)
-      for (const Discovery &Disc : C.Discoveries) {
+    for (const ShardChunkOut &C : Chunks)
+      for (const ShardDiscovery &Disc : C.Discoveries) {
         if (Disc.Cfg >= MinFin)
           break;
         if (Visited.count(Disc.NK))
@@ -816,4 +997,70 @@ genic::checkAmbiguity(const CartesianSefa &Input, Solver &S,
     Level = std::move(NextLevel);
   }
   return std::optional<AmbiguityWitness>(std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// AmbiguityShardScanner — the worker-process side of the sharded search.
+//===----------------------------------------------------------------------===//
+
+struct AmbiguityShardScanner::Impl {
+  explicit Impl(ProductSearch PS) : PS(std::move(PS)) {}
+  ProductSearch PS;
+  /// Worker-local overlap cache, carried across scan calls (and thus
+  /// across levels and CEGAR rounds) like the coordinator's CEGAR-wide
+  /// cache. Purely an accelerator: verdicts are semantic, keyed by guard
+  /// identity in this process's factory.
+  GuardOverlapCache Overlaps;
+};
+
+AmbiguityShardScanner::AmbiguityShardScanner() = default;
+AmbiguityShardScanner::~AmbiguityShardScanner() = default;
+
+Result<std::unique_ptr<AmbiguityShardScanner>>
+AmbiguityShardScanner::create(const CartesianSefa &Input, Solver &S) {
+  Result<ProductSearch> Built = buildProductSearch(Input, S);
+  if (!Built)
+    return Built.status();
+  if (Built->Early)
+    return Status::error(
+        "ambiguity shard scanner: product is ambiguous before the search "
+        "(the coordinator decides such programs without shipping shards)");
+  std::unique_ptr<AmbiguityShardScanner> Scanner(new AmbiguityShardScanner());
+  Scanner->I = std::make_unique<Impl>(std::move(*Built));
+  return Scanner;
+}
+
+uint64_t AmbiguityShardScanner::fingerprint() const {
+  return I->PS.fingerprint();
+}
+
+Result<AmbShardResult>
+AmbiguityShardScanner::scan(SolverSessionPool &Pool,
+                            const std::vector<uint64_t> &VisitedKeys,
+                            uint64_t CfgBase,
+                            const std::vector<AmbShardConfig> &LevelChunk) {
+  const Expanded &X = I->PS.X;
+  std::vector<Config> Level;
+  Level.reserve(LevelChunk.size());
+  for (const AmbShardConfig &C : LevelChunk) {
+    if (C.P >= X.NumStates || C.Q >= X.NumStates)
+      return Status::error(
+          "ambiguity shard: configuration names a state outside the product");
+    Level.push_back(
+        {static_cast<unsigned>(C.P), static_cast<unsigned>(C.Q), C.D});
+  }
+  std::unordered_set<uint64_t> Visited(VisitedKeys.begin(),
+                                       VisitedKeys.end());
+  ShardChunkOut Out;
+  scanLevelChunk(
+      X, I->PS.StepsFrom, I->PS.FinishersFrom, I->Overlaps, Pool, Level, 0,
+      Level.size(), [&Visited](uint64_t K) { return Visited.count(K) != 0; },
+      /*Cutoff=*/nullptr, Out);
+  AmbShardResult R;
+  if (Out.FinEvent != SIZE_MAX)
+    R.FinEvent = CfgBase + Out.FinEvent;
+  R.Discoveries.reserve(Out.Discoveries.size());
+  for (const ShardDiscovery &D : Out.Discoveries)
+    R.Discoveries.push_back({CfgBase + D.Cfg, D.I1, D.I2, D.IsError});
+  return R;
 }

@@ -19,11 +19,13 @@
 #define GENIC_AUTOMATA_AMBIGUITY_H
 
 #include "automata/Sefa.h"
+#include "ipc/Shards.h"
 #include "solver/QueryCache.h"
 #include "solver/Solver.h"
 #include "solver/SolverSessionPool.h"
 #include "support/Result.h"
 
+#include <memory>
 #include <optional>
 
 namespace genic {
@@ -50,6 +52,54 @@ struct AmbiguityOptions {
   /// call of a CEGAR loop so the hull and exact rounds stop re-discharging
   /// identical product queries; a private per-call cache is used when null.
   GuardOverlapCache *Overlaps = nullptr;
+  /// When set, each BFS level's chunks are shipped to out-of-process
+  /// workers instead of thread-pooled sessions. Valid only when \p A is
+  /// the output automaton the workers can rebuild from their own copy of
+  /// the loaded program (buildOutputAutomaton with \p Hull); the expanded
+  /// product's structural fingerprint is checked per shard, and a shard
+  /// the dispatcher cannot complete degrades the search to SolverError.
+  ShardDispatcher *Workers = nullptr;
+  /// Which output automaton the workers should scan against (the CEGAR
+  /// round's AllowHull flag). Ignored without Workers.
+  bool Hull = true;
+};
+
+/// The worker-side half of the out-of-process ambiguity scan: owns one
+/// trimmed-and-expanded product (the same construction checkAmbiguity
+/// performs) and scans level chunks against it with exactly the in-process
+/// chunk semantics — per-chunk new-key dedup, batch priming, first
+/// finisher event, discoveries in scan order. Guard-overlap verdicts are
+/// cached across calls, mirroring the coordinator's CEGAR-wide cache.
+class AmbiguityShardScanner {
+public:
+  /// Builds the product for \p Input, interning terms into \p S's factory.
+  /// Fails if a guard query fails, or if the product is ambiguous before
+  /// the search even starts (epsilon cycle, duplicate empty-word
+  /// acceptance) — states the coordinator never ships shards from.
+  static Result<std::unique_ptr<AmbiguityShardScanner>>
+  create(const CartesianSefa &Input, Solver &S);
+
+  ~AmbiguityShardScanner();
+
+  /// Structural hash of the expanded product (state counts, piece
+  /// topology, identities). The coordinator sends its own product's hash
+  /// with every shard; a disagreement means the two processes derived
+  /// different programs and the shard must be refused.
+  uint64_t fingerprint() const;
+
+  /// Scans \p LevelChunk (absolute frontier index of the first entry =
+  /// \p CfgBase) against the visited-set snapshot \p VisitedKeys.
+  /// Returns absolute indices; fails only on malformed input (a config
+  /// naming a state outside the product).
+  Result<AmbShardResult> scan(SolverSessionPool &Pool,
+                              const std::vector<uint64_t> &VisitedKeys,
+                              uint64_t CfgBase,
+                              const std::vector<AmbShardConfig> &LevelChunk);
+
+private:
+  AmbiguityShardScanner();
+  struct Impl;
+  std::unique_ptr<Impl> I;
 };
 
 /// Decides ambiguity of \p A (Lemma 4.14). Returns a witness list if \p A is

@@ -6,8 +6,10 @@
 
 #include "engine/InversionEngine.h"
 
+#include "engine/WorkerSupervisor.h"
 #include "genic/Parser.h"
 #include "genic/ProgramPrinter.h"
+#include "solver/FaultInjector.h"
 #include "solver/SolverSessionPool.h"
 #include "support/Trace.h"
 
@@ -129,6 +131,31 @@ InversionEngine::runOnSession(SolverContext &Ctx, const std::string &Source,
   SolverSessionPool &Sessions = Warm ? *Warm->Checkers : *LocalSessions;
   const Solver::Stats CheckerBase = Sessions.solverStats();
 
+  // Out-of-process shard dispatch, one supervisor (and worker fleet) per
+  // request. Workers mirror this request's whole contract — source, solver
+  // timeout, budget, fault plan, trace epoch — so a shard scanned in a
+  // child process is the same computation as on a coordinator thread. A
+  // launch failure (no resolvable worker binary) is a configuration error
+  // and fails the run up front, before any phase spends solver time.
+  std::unique_ptr<WorkerSupervisor> Workers;
+  if (Req.WorkerProcs > 0) {
+    WorkerSupervisorConfig WCfg;
+    WCfg.Procs = Req.WorkerProcs;
+    WCfg.WorkerBinary = Req.WorkerBinary;
+    WCfg.Source = Source;
+    WCfg.SolverTimeoutMs = Slv.timeoutMs();
+    WCfg.BudgetSeconds = Req.BudgetSeconds;
+    WCfg.FaultSpec = describeFaultPlan(Req.Faults);
+    WCfg.Incremental = Options.SolverIncremental;
+    WCfg.Trace = TraceRecorder::global().enabled();
+    WCfg.TraceReq = Req.TraceId;
+    Result<std::unique_ptr<WorkerSupervisor>> W =
+        WorkerSupervisor::launch(WCfg);
+    if (!W)
+      return W.status();
+    Workers = std::move(*W);
+  }
+
   // Classifies a phase failure: budget and solver-error statuses degrade
   // the run (the partial report is still emitted, later phases are
   // skipped); anything else propagates as a plain error like before.
@@ -188,6 +215,7 @@ InversionEngine::runOnSession(SolverContext &Ctx, const std::string &Source,
              DeterminismOptions DetOpts;
              DetOpts.Jobs = Options.Jobs;
              DetOpts.Sessions = &Sessions;
+             DetOpts.Workers = Workers.get();
              return checkDeterminism(P.Machine, Slv, DetOpts);
            } catch (const std::exception &Ex) {
              return Status::solverError(std::string("worker exception: ") +
@@ -214,6 +242,7 @@ InversionEngine::runOnSession(SolverContext &Ctx, const std::string &Source,
              InjectivityOptions InjOpts;
              InjOpts.Jobs = Options.Jobs;
              InjOpts.Sessions = &Sessions;
+             InjOpts.Workers = Workers.get();
              return checkInjectivity(P.Machine, Slv, InjOpts);
            } catch (const std::exception &Ex) {
              return Status::solverError(std::string("worker exception: ") +
@@ -280,6 +309,18 @@ InversionEngine::runOnSession(SolverContext &Ctx, const std::string &Source,
       if (!Degrade(St, *Phase.Outcome, Phase.DegradeName))
         return St;
     }
+  }
+
+  // Drain worker-process metrics and trace buffers into this request's
+  // sinks before the supervisor (and with it the fleet) goes away. The
+  // phases have joined their dispatch pools, so no shard is in flight.
+  if (Workers) {
+    Workers->collect(&Registry);
+    WorkerSupervisor::Stats WS = Workers->stats();
+    Report.WorkerShards = WS.ShardsDispatched;
+    Report.WorkerCrashes = WS.WorkerCrashes;
+    Report.WorkerRestarts = WS.WorkerRestarts;
+    Report.WorkerShardsDegraded = WS.ShardsDegraded;
   }
 
   // Hand the shared engine's completed banks and the per-rule worker
@@ -460,5 +501,7 @@ Result<GenicReport> GenicTool::run(const std::string &Source,
   Req.BudgetSeconds = BudgetSeconds;
   Req.Faults = Faults;
   Req.Metrics = &Registry;
+  Req.WorkerProcs = WorkerProcs;
+  Req.WorkerBinary = WorkerBinary;
   return Engine.runOnSession(Ctx, Source, Req);
 }

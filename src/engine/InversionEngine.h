@@ -87,6 +87,15 @@ struct RequestContext {
   MetricsRegistry *Metrics = nullptr;
   /// Overrides EngineConfig::Options.Jobs for this request when set.
   std::optional<unsigned> Jobs;
+  /// Out-of-process verification shards: when > 0 the run launches this
+  /// many genic-worker processes and ships the verdict-only determinism /
+  /// transition-injectivity / ambiguity chunks to them (crash isolation;
+  /// see engine/WorkerSupervisor.h). 0 keeps every scan in-process —
+  /// byte-identical output either way.
+  unsigned WorkerProcs = 0;
+  /// Explicit genic-worker binary path; empty resolves GENIC_WORKER, then
+  /// the directory of the running executable.
+  std::string WorkerBinary;
   /// Trace-request epoch: every span recorded during the run is tagged
   /// "req":TraceId so concurrent requests stay distinguishable in one
   /// trace. 0 leaves spans untagged (the single-run CLI contract). serve()
@@ -184,6 +193,14 @@ public:
   /// solver/FaultInjector.h). Default: no faults.
   void setFaultPlan(const FaultPlan &Plan) { Faults = Plan; }
 
+  /// Ships verification shards to \p Procs out-of-process workers on the
+  /// next run() (0 = in-process, the default); \p Binary overrides the
+  /// genic-worker path (see RequestContext::WorkerBinary).
+  void setWorkerProcs(unsigned Procs, std::string Binary = "") {
+    WorkerProcs = Procs;
+    WorkerBinary = std::move(Binary);
+  }
+
   /// The run's metrics: query-latency histograms recorded live at the
   /// solver chokepoint plus the counters/gauges populated from the report
   /// at the end of run() (which resets the registry first, so the contents
@@ -195,6 +212,8 @@ private:
   InversionEngine Engine;
   double BudgetSeconds = 0;
   FaultPlan Faults;
+  unsigned WorkerProcs = 0;
+  std::string WorkerBinary;
   MetricsRegistry Registry;
 };
 

@@ -1,0 +1,402 @@
+//===- engine/WorkerSupervisor.cpp ----------------------------------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/WorkerSupervisor.h"
+
+#include "ipc/Frame.h"
+#include "ipc/WorkerProtocol.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace genic;
+
+/// Tid range assigned to worker \p Index's trace events in the merged
+/// trace: far above any realistic coordinator thread count, disjoint per
+/// worker.
+static int workerTidBase(unsigned Index) {
+  return 1000 * static_cast<int>(Index + 1);
+}
+
+struct WorkerSupervisor::Slot {
+  unsigned Index = 0;
+  pid_t Pid = -1;
+  int Fd = -1;
+  bool Busy = false;
+  bool Dead = false; ///< Restart budget exhausted.
+  unsigned Restarts = 0;
+};
+
+std::string genic::resolveWorkerBinary(const std::string &Explicit) {
+  if (!Explicit.empty())
+    return Explicit;
+  if (const char *Env = std::getenv("GENIC_WORKER"); Env && *Env)
+    return Env;
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return "";
+  Buf[N] = '\0';
+  std::string Exe(Buf);
+  size_t Slash = Exe.rfind('/');
+  std::string Candidate =
+      (Slash == std::string::npos ? std::string() : Exe.substr(0, Slash + 1)) +
+      "genic-worker";
+  return ::access(Candidate.c_str(), X_OK) == 0 ? Candidate : "";
+}
+
+WorkerSupervisor::WorkerSupervisor(WorkerSupervisorConfig Cfg)
+    : Cfg(std::move(Cfg)) {}
+
+Result<std::unique_ptr<WorkerSupervisor>>
+WorkerSupervisor::launch(const WorkerSupervisorConfig &Cfg) {
+  if (Cfg.Procs == 0)
+    return Status::error("worker supervisor needs at least one process");
+  std::string Binary = resolveWorkerBinary(Cfg.WorkerBinary);
+  if (Binary.empty())
+    return Status::error(
+        "cannot resolve the genic-worker binary: pass --worker-binary, set "
+        "GENIC_WORKER, or install genic-worker next to this executable");
+  std::unique_ptr<WorkerSupervisor> Sup(new WorkerSupervisor(Cfg));
+  Sup->Binary = std::move(Binary);
+  for (unsigned I = 0; I < Cfg.Procs; ++I) {
+    auto S = std::make_unique<Slot>();
+    S->Index = I;
+    Sup->Slots.push_back(std::move(S));
+  }
+  return Sup;
+}
+
+WorkerSupervisor::~WorkerSupervisor() {
+  for (auto &S : Slots) {
+    if (S->Fd >= 0) {
+      IpcMessage Q;
+      Q.setStr("op", workerop::Quit);
+      (void)writeFrame(S->Fd, encodeIpcMessage(Q), /*DeadlineMs=*/1000);
+      (void)readFrame(S->Fd, /*DeadlineMs=*/1000);
+      ::close(S->Fd);
+      S->Fd = -1;
+    }
+    if (S->Pid > 0) {
+      // Normally already exiting after quit; the kill is a no-op then and
+      // the wait reaps either way.
+      ::kill(S->Pid, SIGKILL);
+      ::waitpid(S->Pid, nullptr, 0);
+      S->Pid = -1;
+    }
+  }
+}
+
+unsigned WorkerSupervisor::procs() const { return Cfg.Procs; }
+
+WorkerSupervisor::Stats WorkerSupervisor::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return TheStats;
+}
+
+WorkerSupervisor::Slot *WorkerSupervisor::checkout() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    bool AnyLive = false;
+    for (auto &S : Slots) {
+      if (S->Restarts > Cfg.MaxRestartsPerSlot)
+        S->Dead = true;
+      if (S->Dead)
+        continue;
+      AnyLive = true;
+      if (!S->Busy) {
+        S->Busy = true;
+        return S.get();
+      }
+    }
+    if (!AnyLive)
+      return nullptr;
+    SlotFree.wait(Lock);
+  }
+}
+
+void WorkerSupervisor::checkin(Slot *S) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    S->Busy = false;
+  }
+  SlotFree.notify_one();
+}
+
+void WorkerSupervisor::killSlot(Slot &S) {
+  bool WasLive = S.Fd >= 0 || S.Pid > 0;
+  if (S.Fd >= 0) {
+    ::close(S.Fd);
+    S.Fd = -1;
+  }
+  if (S.Pid > 0) {
+    ::kill(S.Pid, SIGKILL);
+    ::waitpid(S.Pid, nullptr, 0);
+    S.Pid = -1;
+  }
+  if (WasLive)
+    ++S.Restarts;
+}
+
+Status WorkerSupervisor::ensureSpawned(Slot &S) {
+  if (S.Fd >= 0)
+    return Status::ok();
+
+  // Exponential backoff before a respawn (never before the first spawn):
+  // 50ms doubling per restart, capped at 1s. Keeps a crash-looping worker
+  // from hammering fork/exec while staying far below any shard deadline.
+  if (S.Restarts > 0) {
+    unsigned Shift = std::min(S.Restarts - 1, 4u);
+    int DelayMs = std::min(50 << Shift, 1000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++TheStats.WorkerRestarts;
+  }
+
+  int Sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Sv) != 0)
+    return Status::error(std::string("socketpair failed: ") +
+                         std::strerror(errno));
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Sv[0]);
+    ::close(Sv[1]);
+    return Status::error(std::string("fork failed: ") + std::strerror(errno));
+  }
+  if (Pid == 0) {
+    // Child: keep only our end of the channel, then become genic-worker.
+    ::close(Sv[0]);
+    std::string FdArg = std::to_string(Sv[1]);
+    ::execl(Binary.c_str(), "genic-worker", "--fd", FdArg.c_str(),
+            static_cast<char *>(nullptr));
+    _exit(127);
+  }
+  ::close(Sv[1]);
+  ::fcntl(Sv[0], F_SETFD, FD_CLOEXEC);
+  S.Pid = Pid;
+  S.Fd = Sv[0];
+
+  IpcMessage Load;
+  Load.setStr("op", workerop::Load);
+  Load.setStr("source", Cfg.Source);
+  Load.setStr("fault", Cfg.FaultSpec);
+  Load.setU64("solver-timeout-ms", Cfg.SolverTimeoutMs);
+  Load.setU64("budget-ms",
+              static_cast<uint64_t>(Cfg.BudgetSeconds * 1000.0));
+  Load.setU64("incremental", Cfg.Incremental ? 1 : 0);
+  Load.setU64("trace", Cfg.Trace ? 1 : 0);
+  Load.setU64("trace-req", Cfg.TraceReq);
+  Result<IpcMessage> R = roundTrip(S, Load);
+  if (!R)
+    return R.status();
+  Status St = replyStatus(*R);
+  if (!St.isOk()) {
+    // The worker is alive but refused the program (it parses on its own
+    // copy); not a crash, but the slot is useless for this request.
+    killSlot(S);
+    return St;
+  }
+  return Status::ok();
+}
+
+Result<IpcMessage> WorkerSupervisor::roundTrip(Slot &S,
+                                               const IpcMessage &Request) {
+  Status W = writeFrame(S.Fd, encodeIpcMessage(Request), Cfg.ShardDeadlineMs);
+  if (!W.isOk()) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++TheStats.WorkerCrashes;
+    }
+    killSlot(S);
+    return W;
+  }
+  Result<std::string> Payload = readFrame(S.Fd, Cfg.ShardDeadlineMs);
+  if (!Payload) {
+    // Closed pipe = the worker died (SIGSEGV, SIGKILL, crash@N); deadline
+    // = it hung. Either way it is unusable: kill, reap, count the crash.
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++TheStats.WorkerCrashes;
+    }
+    killSlot(S);
+    return Payload.status();
+  }
+  Result<IpcMessage> Reply = decodeIpcMessage(*Payload);
+  if (!Reply) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++TheStats.WorkerCrashes;
+    }
+    killSlot(S);
+    return Reply.status();
+  }
+  return Reply;
+}
+
+Result<IpcMessage> WorkerSupervisor::dispatch(const IpcMessage &Request) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++TheStats.ShardsDispatched;
+  }
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    Slot *S = checkout();
+    if (!S) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++TheStats.ShardsDegraded;
+      return Status::solverError(
+          "no live worker slots remain (restart budget exhausted)");
+    }
+    Status Sp = ensureSpawned(*S);
+    if (!Sp.isOk()) {
+      checkin(S);
+      if (Attempt == 0) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        ++TheStats.ShardRetries;
+        continue;
+      }
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++TheStats.ShardsDegraded;
+      return Status::solverError("worker unavailable: " + Sp.message());
+    }
+    Result<IpcMessage> R = roundTrip(*S, Request);
+    checkin(S);
+    if (R) {
+      // A reply-level error (injected throw, refused fingerprint, bad
+      // range) is deterministic worker behavior, not a crash: surface it
+      // without a retry, exactly like the in-process scan would.
+      Status RS = replyStatus(*R);
+      if (!RS.isOk())
+        return RS;
+      return R;
+    }
+    if (Attempt == 0) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++TheStats.ShardRetries;
+      continue;
+    }
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++TheStats.ShardsDegraded;
+    return Status::solverError("worker crashed twice on one shard: " +
+                               R.status().message());
+  }
+  unreachable("dispatch loop exits via return");
+}
+
+Result<uint64_t> WorkerSupervisor::determinismShard(uint64_t Begin,
+                                                    uint64_t End) {
+  IpcMessage Req;
+  Req.setStr("op", workerop::Det);
+  Req.setU64("begin", Begin);
+  Req.setU64("end", End);
+  Result<IpcMessage> R = dispatch(Req);
+  if (!R)
+    return R.status();
+  return R->getU64("event");
+}
+
+Result<uint64_t> WorkerSupervisor::transitionInjectivityShard(uint64_t Begin,
+                                                              uint64_t End) {
+  IpcMessage Req;
+  Req.setStr("op", workerop::Ti);
+  Req.setU64("begin", Begin);
+  Req.setU64("end", End);
+  Result<IpcMessage> R = dispatch(Req);
+  if (!R)
+    return R.status();
+  return R->getU64("event");
+}
+
+Result<AmbShardResult> WorkerSupervisor::ambiguityShard(
+    bool Hull, uint64_t Fingerprint, uint64_t CfgBase,
+    const std::vector<uint64_t> &VisitedKeys,
+    const std::vector<AmbShardConfig> &LevelChunk) {
+  IpcMessage Req;
+  Req.setStr("op", workerop::Amb);
+  Req.setU64("hull", Hull ? 1 : 0);
+  Req.setU64("fp", Fingerprint);
+  Req.setU64("cfg-base", CfgBase);
+  Req.setU64List("visited", VisitedKeys);
+  std::vector<uint64_t> P, Q, D;
+  P.reserve(LevelChunk.size());
+  Q.reserve(LevelChunk.size());
+  D.reserve(LevelChunk.size());
+  for (const AmbShardConfig &C : LevelChunk) {
+    P.push_back(C.P);
+    Q.push_back(C.Q);
+    D.push_back(C.D ? 1 : 0);
+  }
+  Req.setU64List("cfg-p", P);
+  Req.setU64List("cfg-q", Q);
+  Req.setU64List("cfg-d", D);
+
+  Result<IpcMessage> R = dispatch(Req);
+  if (!R)
+    return R.status();
+  Result<uint64_t> Fin = R->getU64("fin");
+  if (!Fin)
+    return Fin.status();
+  Result<std::vector<uint64_t>> Cfg = R->getU64List("disc-cfg");
+  Result<std::vector<uint64_t>> I1 = R->getU64List("disc-i1");
+  Result<std::vector<uint64_t>> I2 = R->getU64List("disc-i2");
+  Result<std::vector<uint64_t>> Err = R->getU64List("disc-err");
+  if (!Cfg || !I1 || !I2 || !Err)
+    return Status::error("malformed ambiguity shard reply");
+  if (I1->size() != Cfg->size() || I2->size() != Cfg->size() ||
+      Err->size() != Cfg->size())
+    return Status::error("ambiguity shard reply arrays disagree in length");
+  AmbShardResult Out;
+  Out.FinEvent = *Fin;
+  Out.Discoveries.reserve(Cfg->size());
+  for (size_t I = 0; I != Cfg->size(); ++I)
+    Out.Discoveries.push_back(
+        {(*Cfg)[I], (*I1)[I], (*I2)[I], (*Err)[I] != 0});
+  return Out;
+}
+
+void WorkerSupervisor::collect(MetricsRegistry *Metrics) {
+  // Runs after the phases have joined their dispatch pools, so no shard
+  // traffic is in flight; still checkout/checkin for form so a stray call
+  // cannot interleave with one.
+  for (auto &SP : Slots) {
+    Slot &S = *SP;
+    if (S.Fd < 0)
+      continue;
+    IpcMessage Req;
+    Req.setStr("op", workerop::Collect);
+    Result<IpcMessage> R = roundTrip(S, Req);
+    if (!R || !replyStatus(*R).isOk())
+      continue; // Crashed or refused at collect; its buffers are lost.
+    if (Metrics) {
+      if (Result<MetricsSnapshot> Snap = decodeMetricsSnapshot(*R))
+        Metrics->merge(*Snap);
+    }
+    if (R->has("trace")) {
+      if (Result<std::vector<ExternalTraceEvent>> Events =
+              decodeTraceEvents(R->getStr("trace").unwrap()))
+        TraceRecorder::global().addExternalEvents(*Events,
+                                                  workerTidBase(S.Index));
+    }
+  }
+  if (Metrics) {
+    Stats St = stats();
+    Metrics->counter("workerproc.shards").set(St.ShardsDispatched);
+    Metrics->counter("workerproc.retries").set(St.ShardRetries);
+    Metrics->counter("workerproc.crashes").set(St.WorkerCrashes);
+    Metrics->counter("workerproc.restarts").set(St.WorkerRestarts);
+    Metrics->counter("workerproc.degraded").set(St.ShardsDegraded);
+  }
+}

@@ -149,6 +149,13 @@ std::string genic::formatStatsReport(const GenicReport &R) {
     (unsigned long long)R.QueriesTimedOut,
     (unsigned long long)R.QueriesCancelled,
     (unsigned long long)R.InjectedFaults, R.RulesDegraded);
+  if (R.WorkerShards || R.WorkerCrashes)
+    P("worker procs: %llu shards dispatched, %llu crashes, %llu restarts, "
+      "%llu shards degraded\n",
+      (unsigned long long)R.WorkerShards,
+      (unsigned long long)R.WorkerCrashes,
+      (unsigned long long)R.WorkerRestarts,
+      (unsigned long long)R.WorkerShardsDegraded);
   {
     Solver::Stats Inc = R.SolverStats;
     Inc += R.CheckerStats;

@@ -116,6 +116,16 @@ struct GenicReport {
   /// Whether the global deadline had expired by the end of the run.
   bool DeadlineExpired = false;
 
+  // Out-of-process shard supervision (all zero unless the request ran with
+  // worker processes; see engine/WorkerSupervisor.h). Deliberately absent
+  // from formatOutcomeReport — the structural outcome is pinned identical
+  // across worker counts — and rendered by formatStatsReport only when
+  // nonzero, so --worker-procs 0 output is unchanged.
+  uint64_t WorkerShards = 0;         ///< shards shipped to worker processes
+  uint64_t WorkerCrashes = 0;        ///< worker processes lost mid-shard
+  uint64_t WorkerRestarts = 0;       ///< slots respawned after a crash
+  uint64_t WorkerShardsDegraded = 0; ///< shards degraded past the retry
+
   /// Per-phase wall clock (the Table 1 timing columns), measured by the
   /// phase trace spans.
   PhaseTimings Timings;

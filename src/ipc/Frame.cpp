@@ -1,0 +1,159 @@
+//===- ipc/Frame.cpp - Length-prefixed frames over a file descriptor ------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipc/Frame.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace genic {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Remaining milliseconds until \p Deadline, clamped to [0, INT_MAX]; -1
+/// when no deadline was requested (poll's "block forever").
+int remainingMs(bool HasDeadline, Clock::time_point Deadline) {
+  if (!HasDeadline)
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Deadline - Clock::now())
+                  .count();
+  if (Left <= 0)
+    return 0;
+  if (Left > 1000 * 60 * 60)
+    return 1000 * 60 * 60;
+  return static_cast<int>(Left);
+}
+
+Status peerClosed(const char *What) {
+  return Status::error(std::string("ipc: peer closed (") + What + ")");
+}
+
+/// Waits until \p Fd is ready for \p Events. Returns ok on ready, timeout
+/// on deadline, error on poll failure or hangup-without-data.
+Status waitReady(int Fd, short Events, bool HasDeadline,
+                 Clock::time_point Deadline) {
+  for (;;) {
+    pollfd P{};
+    P.fd = Fd;
+    P.events = Events;
+    int N = ::poll(&P, 1, remainingMs(HasDeadline, Deadline));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(std::string("ipc: poll failed: ") +
+                           std::strerror(errno));
+    }
+    if (N == 0)
+      return Status::timeout("ipc: frame deadline expired");
+    // POLLHUP/POLLERR with readable data still delivers the data on read;
+    // let the read call observe EOF itself so partial frames drain.
+    return Status::ok();
+  }
+}
+
+Status readExact(int Fd, char *Buf, size_t Len, bool HasDeadline,
+                 Clock::time_point Deadline) {
+  size_t Off = 0;
+  while (Off < Len) {
+    if (Status S = waitReady(Fd, POLLIN, HasDeadline, Deadline); !S)
+      return S;
+    ssize_t N = ::read(Fd, Buf + Off, Len - Off);
+    if (N == 0)
+      return peerClosed("eof");
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      if (errno == ECONNRESET || errno == EPIPE)
+        return peerClosed(std::strerror(errno));
+      return Status::error(std::string("ipc: read failed: ") +
+                           std::strerror(errno));
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return Status::ok();
+}
+
+Status writeExact(int Fd, const char *Buf, size_t Len, bool HasDeadline,
+                  Clock::time_point Deadline) {
+  size_t Off = 0;
+  while (Off < Len) {
+    if (Status S = waitReady(Fd, POLLOUT, HasDeadline, Deadline); !S)
+      return S;
+    // MSG_NOSIGNAL turns a closed peer into EPIPE instead of a fatal
+    // SIGPIPE — a worker dying between our poll and this write must
+    // surface as a peer-closed Status the supervisor can handle, not kill
+    // the coordinator. Pipes (ENOTSOCK) fall back to plain write.
+    ssize_t N = ::send(Fd, Buf + Off, Len - Off, MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(Fd, Buf + Off, Len - Off);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        return peerClosed(std::strerror(errno));
+      return Status::error(std::string("ipc: write failed: ") +
+                           std::strerror(errno));
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return Status::ok();
+}
+
+} // namespace
+
+Status writeFrame(int Fd, const std::string &Payload, int DeadlineMs) {
+  if (Payload.size() > MaxFrameBytes)
+    return Status::error("ipc: frame exceeds size limit");
+  bool HasDeadline = DeadlineMs > 0;
+  auto Deadline = Clock::now() + std::chrono::milliseconds(DeadlineMs);
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  char Header[4] = {static_cast<char>(Len & 0xff),
+                    static_cast<char>((Len >> 8) & 0xff),
+                    static_cast<char>((Len >> 16) & 0xff),
+                    static_cast<char>((Len >> 24) & 0xff)};
+  if (Status S = writeExact(Fd, Header, 4, HasDeadline, Deadline); !S)
+    return S;
+  return writeExact(Fd, Payload.data(), Payload.size(), HasDeadline,
+                    Deadline);
+}
+
+Result<std::string> readFrame(int Fd, int DeadlineMs) {
+  bool HasDeadline = DeadlineMs > 0;
+  auto Deadline = Clock::now() + std::chrono::milliseconds(DeadlineMs);
+  char Header[4];
+  if (Status S = readExact(Fd, Header, 4, HasDeadline, Deadline); !S)
+    return S;
+  uint32_t Len = static_cast<uint32_t>(static_cast<unsigned char>(Header[0])) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(Header[1]))
+                  << 8) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(Header[2]))
+                  << 16) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(Header[3]))
+                  << 24);
+  if (Len > MaxFrameBytes)
+    return Status::error("ipc: incoming frame exceeds size limit");
+  std::string Payload(Len, '\0');
+  if (Len > 0)
+    if (Status S = readExact(Fd, Payload.data(), Len, HasDeadline, Deadline);
+        !S)
+      return S;
+  return Payload;
+}
+
+bool isPeerClosed(const Status &S) {
+  return S.code() == StatusCode::Error &&
+         S.message().rfind("ipc: peer closed", 0) == 0;
+}
+
+} // namespace genic

@@ -1,0 +1,50 @@
+//===- ipc/Frame.h - Length-prefixed frames over a file descriptor --------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire unit of the coordinator/worker channel: a 32-bit little-endian
+/// payload length followed by that many bytes, written to and read from a
+/// plain file descriptor (one end of a socketpair or pipe). Reads take a
+/// deadline so a hung peer surfaces as Status::timeout rather than blocking
+/// the supervisor forever; a closed peer (EOF, EPIPE, ECONNRESET) surfaces
+/// as an ordinary error whose message starts with "ipc: peer closed", which
+/// is how the supervisor distinguishes a crash from a hang.
+///
+/// No dependencies beyond support/ — the layer stays usable from both the
+/// engine and the standalone worker binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_IPC_FRAME_H
+#define GENIC_IPC_FRAME_H
+
+#include "support/Result.h"
+
+#include <string>
+
+namespace genic {
+
+/// Frames larger than this are refused on both ends: a corrupt length
+/// prefix must not turn into an unbounded allocation.
+constexpr uint32_t MaxFrameBytes = 64u * 1024 * 1024;
+
+/// Writes one length-prefixed frame. Blocks until the payload is fully
+/// written or \p DeadlineMs elapses (0 = no deadline). Handles partial
+/// writes and EINTR; EPIPE is reported as a peer-closed error.
+Status writeFrame(int Fd, const std::string &Payload, int DeadlineMs = 0);
+
+/// Reads one length-prefixed frame. Blocks until a full frame arrives or
+/// \p DeadlineMs elapses (0 = no deadline). A clean EOF before the first
+/// header byte — and any EOF mid-frame — reports as "ipc: peer closed".
+Result<std::string> readFrame(int Fd, int DeadlineMs = 0);
+
+/// True when \p S is a frame-layer error caused by the peer going away
+/// (EOF / broken pipe / connection reset) rather than by a deadline.
+bool isPeerClosed(const Status &S);
+
+} // namespace genic
+
+#endif // GENIC_IPC_FRAME_H

@@ -1,0 +1,120 @@
+//===- ipc/Message.cpp - Field-map payloads for worker frames -------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipc/Message.h"
+
+namespace genic {
+
+namespace {
+
+void putU32(std::string &Out, uint32_t V) {
+  Out.push_back(static_cast<char>(V & 0xff));
+  Out.push_back(static_cast<char>((V >> 8) & 0xff));
+  Out.push_back(static_cast<char>((V >> 16) & 0xff));
+  Out.push_back(static_cast<char>((V >> 24) & 0xff));
+}
+
+bool takeU32(const std::string &In, size_t &Off, uint32_t &V) {
+  if (In.size() - Off < 4)
+    return false;
+  V = static_cast<uint32_t>(static_cast<unsigned char>(In[Off])) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(In[Off + 1])) << 8) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(In[Off + 2])) << 16) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(In[Off + 3])) << 24);
+  Off += 4;
+  return true;
+}
+
+} // namespace
+
+void IpcMessage::setU64List(const std::string &Key,
+                            const std::vector<uint64_t> &Vs) {
+  std::string Raw;
+  Raw.reserve(Vs.size() * 8);
+  for (uint64_t V : Vs)
+    for (int B = 0; B < 8; ++B)
+      Raw.push_back(static_cast<char>((V >> (8 * B)) & 0xff));
+  Fields[Key] = std::move(Raw);
+}
+
+Result<std::string> IpcMessage::getStr(const std::string &Key) const {
+  auto It = Fields.find(Key);
+  if (It == Fields.end())
+    return Status::error("ipc: message missing field \"" + Key + "\"");
+  return It->second;
+}
+
+Result<uint64_t> IpcMessage::getU64(const std::string &Key) const {
+  Result<std::string> Raw = getStr(Key);
+  if (!Raw)
+    return Raw.status();
+  const std::string &S = *Raw;
+  if (S.empty() || S.size() > 20)
+    return Status::error("ipc: field \"" + Key + "\" is not an integer");
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return Status::error("ipc: field \"" + Key + "\" is not an integer");
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return V;
+}
+
+Result<std::vector<uint64_t>> IpcMessage::getU64List(
+    const std::string &Key) const {
+  Result<std::string> Raw = getStr(Key);
+  if (!Raw)
+    return Raw.status();
+  if (Raw->size() % 8 != 0)
+    return Status::error("ipc: field \"" + Key + "\" is not a u64 list");
+  std::vector<uint64_t> Vs(Raw->size() / 8);
+  for (size_t I = 0; I < Vs.size(); ++I) {
+    uint64_t V = 0;
+    for (int B = 7; B >= 0; --B)
+      V = (V << 8) |
+          static_cast<uint64_t>(static_cast<unsigned char>((*Raw)[I * 8 + B]));
+    Vs[I] = V;
+  }
+  return Vs;
+}
+
+std::string encodeIpcMessage(const IpcMessage &M) {
+  std::string Out;
+  putU32(Out, static_cast<uint32_t>(M.Fields.size()));
+  for (const auto &[Key, Value] : M.Fields) {
+    putU32(Out, static_cast<uint32_t>(Key.size()));
+    Out += Key;
+    putU32(Out, static_cast<uint32_t>(Value.size()));
+    Out += Value;
+  }
+  return Out;
+}
+
+Result<IpcMessage> decodeIpcMessage(const std::string &Payload) {
+  IpcMessage M;
+  size_t Off = 0;
+  uint32_t Count = 0;
+  if (!takeU32(Payload, Off, Count))
+    return Status::error("ipc: truncated message header");
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t KeyLen = 0, ValueLen = 0;
+    if (!takeU32(Payload, Off, KeyLen) || Payload.size() - Off < KeyLen)
+      return Status::error("ipc: truncated message key");
+    std::string Key = Payload.substr(Off, KeyLen);
+    Off += KeyLen;
+    if (!takeU32(Payload, Off, ValueLen) || Payload.size() - Off < ValueLen)
+      return Status::error("ipc: truncated message value");
+    if (!M.Fields.emplace(std::move(Key), Payload.substr(Off, ValueLen))
+             .second)
+      return Status::error("ipc: duplicate message key");
+    Off += ValueLen;
+  }
+  if (Off != Payload.size())
+    return Status::error("ipc: trailing bytes after message");
+  return M;
+}
+
+} // namespace genic

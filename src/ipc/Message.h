@@ -1,0 +1,61 @@
+//===- ipc/Message.h - Field-map payloads for worker frames ---------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The payload format inside a frame: an ordered list of (key, value) byte
+/// strings, length-prefixed per field so values (program source, trace
+/// JSON) need no escaping. Typed accessors cover the handful of shapes the
+/// worker protocol uses — strings, unsigned integers, and packed uint64
+/// lists (8-byte little-endian each, for visited-key sets and discovery
+/// tuples).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_IPC_MESSAGE_H
+#define GENIC_IPC_MESSAGE_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace genic {
+
+/// One decoded message: a key → raw-bytes map. Keys are unique; encoding
+/// is deterministic (std::map iteration order).
+struct IpcMessage {
+  std::map<std::string, std::string> Fields;
+
+  bool has(const std::string &Key) const { return Fields.count(Key) != 0; }
+
+  void setStr(const std::string &Key, std::string Value) {
+    Fields[Key] = std::move(Value);
+  }
+  void setU64(const std::string &Key, uint64_t Value) {
+    Fields[Key] = std::to_string(Value);
+  }
+  void setU64List(const std::string &Key, const std::vector<uint64_t> &Vs);
+
+  /// Missing keys report an error naming the key — protocol drift should
+  /// fail loudly, not read empty defaults.
+  Result<std::string> getStr(const std::string &Key) const;
+  Result<uint64_t> getU64(const std::string &Key) const;
+  Result<std::vector<uint64_t>> getU64List(const std::string &Key) const;
+};
+
+/// Serializes \p M: u32 field count, then per field u32 key length, key
+/// bytes, u32 value length, value bytes (all little-endian).
+std::string encodeIpcMessage(const IpcMessage &M);
+
+/// Parses a payload produced by encodeIpcMessage; rejects truncated input,
+/// trailing bytes, and duplicate keys.
+Result<IpcMessage> decodeIpcMessage(const std::string &Payload);
+
+} // namespace genic
+
+#endif // GENIC_IPC_MESSAGE_H

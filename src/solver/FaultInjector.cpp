@@ -6,9 +6,22 @@
 
 #include "solver/FaultInjector.h"
 
+#include <atomic>
 #include <cctype>
 
 namespace genic {
+
+/// Process-global crash arm switch; see setCrashFaultsEnabled. Atomic so a
+/// worker can arm it before any solver thread exists without formal races.
+static std::atomic<bool> CrashFaultsArmed{false};
+
+void setCrashFaultsEnabled(bool Enabled) {
+  CrashFaultsArmed.store(Enabled, std::memory_order_relaxed);
+}
+
+bool crashFaultsEnabled() {
+  return CrashFaultsArmed.load(std::memory_order_relaxed);
+}
 
 static bool parseU64(const std::string &S, size_t Begin, size_t End,
                      uint64_t &Out) {
@@ -40,8 +53,10 @@ Result<FaultPlan> parseFaultPlan(const std::string &Spec) {
     Plan.FaultKind = FaultPlan::Kind::Unknown;
   else if (Kind == "throw")
     Plan.FaultKind = FaultPlan::Kind::Throw;
+  else if (Kind == "crash")
+    Plan.FaultKind = FaultPlan::Kind::Crash;
   else
-    return Bad("kind must be 'unknown' or 'throw'");
+    return Bad("kind must be 'unknown', 'throw', or 'crash'");
 
   size_t End = Spec.size();
   size_t Colon = Spec.find(':', At + 1);
@@ -74,8 +89,9 @@ Result<FaultPlan> parseFaultPlan(const std::string &Spec) {
 std::string describeFaultPlan(const FaultPlan &Plan) {
   if (!Plan.enabled())
     return "-";
-  std::string S =
-      Plan.FaultKind == FaultPlan::Kind::Throw ? "throw" : "unknown";
+  std::string S = Plan.FaultKind == FaultPlan::Kind::Throw    ? "throw"
+                  : Plan.FaultKind == FaultPlan::Kind::Crash ? "crash"
+                                                             : "unknown";
   S += "@" + std::to_string(Plan.AtQuery);
   if (Plan.Count != 1)
     S += "x" + std::to_string(Plan.Count);

@@ -17,7 +17,7 @@
 /// compare on the query path.
 ///
 /// Spec grammar:  kind '@' at ['x' count] [':' scope]
-///   kind   := 'unknown' | 'throw'
+///   kind   := 'unknown' | 'throw' | 'crash'
 ///   at     := 1-based ordinal of the first faulted query in each session
 ///   count  := how many consecutive queries fault (default 1; 0 = all
 ///             queries from `at` on). Count 1 lets the escalating retry
@@ -26,6 +26,13 @@
 ///             plan applies to the shared session, worker sessions
 ///             (pool/fork), or both.
 /// Examples: "unknown@5", "throw@3x2:shared", "unknown@1x0:workers".
+///
+/// The 'crash' kind exists for the process-isolation chaos tests: inside a
+/// genic-worker process (which arms it via setCrashFaultsEnabled) it
+/// SIGKILLs the process mid-query — an uncatchable death the supervisor
+/// must detect and recover from. In an unarmed process it downgrades to
+/// 'throw', so a stray crash plan can never take down the coordinator or
+/// the daemon it was meant to protect.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,6 +53,7 @@ struct FaultPlan {
     None,    // no faults (the production default)
     Unknown, // the query reports Unknown, as a timeout would
     Throw,   // the query raises a synthetic z3::exception
+    Crash,   // SIGKILL the process (armed worker), else same as Throw
   };
   enum class Scope {
     All,     // every session
@@ -89,6 +97,13 @@ Result<FaultPlan> parseFaultPlan(const std::string &Spec);
 
 /// Canonical round-trippable rendering of a plan ("-" for the empty plan).
 std::string describeFaultPlan(const FaultPlan &Plan);
+
+/// Arms (or disarms) Kind::Crash for this process. Only genic-worker main
+/// arms it; everywhere else a crash plan behaves as Kind::Throw.
+void setCrashFaultsEnabled(bool Enabled);
+
+/// Whether Kind::Crash is armed in this process.
+bool crashFaultsEnabled();
 
 } // namespace genic
 

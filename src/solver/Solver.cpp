@@ -36,6 +36,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <limits>
 #include <map>
 #include <optional>
@@ -521,7 +522,15 @@ public:
     if (Faults.enabled() && Faults.appliesTo(Control.WorkerSession) &&
         Faults.firesAt(Ordinal)) {
       ++TheStats.InjectedFaults;
-      if (Faults.FaultKind == FaultPlan::Kind::Throw) {
+      if (Faults.FaultKind == FaultPlan::Kind::Crash &&
+          crashFaultsEnabled()) {
+        // Chaos-test path: die the way a real Z3 segfault under a hard
+        // rlimit does — no unwind, no flush, nothing the supervisor could
+        // negotiate with.
+        ::raise(SIGKILL);
+      }
+      if (Faults.FaultKind == FaultPlan::Kind::Throw ||
+          Faults.FaultKind == FaultPlan::Kind::Crash) {
         LastUnknown = UnknownCause::Exception;
         throw z3::exception("injected solver fault");
       }

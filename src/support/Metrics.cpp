@@ -57,6 +57,15 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return S;
 }
 
+void MetricsRegistry::merge(const MetricsSnapshot &S) {
+  for (const auto &[Name, V] : S.Counters)
+    counter(Name).add(V);
+  for (const auto &[Name, V] : S.Gauges)
+    gauge(Name).set(V);
+  for (const auto &[Name, H] : S.Histograms)
+    histogram(Name).absorb(H.Buckets.data(), H.Count, H.SumUs, H.MaxUs);
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> Lock(Mu);
   for (auto &[Name, C] : Counters)

@@ -91,6 +91,23 @@ public:
     return I + 1 < NumBuckets ? (uint64_t(1) << I) : ~uint64_t(0);
   }
 
+  /// Accumulates another histogram's totals (e.g. a worker process's
+  /// snapshot at collect time): per-bucket counts, count, and sum add; max
+  /// takes the maximum. \p BucketCounts must have NumBuckets entries.
+  void absorb(const uint64_t *BucketCounts, uint64_t OtherCount,
+              uint64_t OtherSumUs, uint64_t OtherMaxUs) {
+    for (unsigned I = 0; I < NumBuckets; ++I)
+      if (BucketCounts[I])
+        Buckets[I].fetch_add(BucketCounts[I], std::memory_order_relaxed);
+    Count.fetch_add(OtherCount, std::memory_order_relaxed);
+    SumUs.fetch_add(OtherSumUs, std::memory_order_relaxed);
+    uint64_t Prev = MaxUs.load(std::memory_order_relaxed);
+    while (Prev < OtherMaxUs &&
+           !MaxUs.compare_exchange_weak(Prev, OtherMaxUs,
+                                        std::memory_order_relaxed))
+      ;
+  }
+
   uint64_t count() const { return Count.load(std::memory_order_relaxed); }
   uint64_t sumUs() const { return SumUs.load(std::memory_order_relaxed); }
   uint64_t maxUs() const { return MaxUs.load(std::memory_order_relaxed); }
@@ -137,6 +154,11 @@ public:
   MetricsHistogram &histogram(std::string_view Name);
 
   MetricsSnapshot snapshot() const;
+
+  /// Accumulates \p S — typically a worker process's registry snapshot —
+  /// into this registry: counters and histogram totals add, gauges take
+  /// the snapshot's value (last write wins, like any gauge set).
+  void merge(const MetricsSnapshot &S);
 
   /// Zeroes every registered metric (entries and references survive).
   void reset();

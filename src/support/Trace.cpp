@@ -46,6 +46,7 @@ void TraceRecorder::enable() {
     B->Next = 0;
     B->Dropped = 0;
   }
+  External.clear();
   EpochNs.store(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
@@ -133,13 +134,65 @@ uint64_t TraceRecorder::droppedEvents() const {
   return N;
 }
 
+std::vector<ExternalTraceEvent> TraceRecorder::exportEvents() const {
+  std::vector<ExternalTraceEvent> Out;
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BLock(B->M);
+    if (!B->Name.empty()) {
+      ExternalTraceEvent M;
+      M.Ph = 'M';
+      M.Tid = B->Tid;
+      M.Name = B->Name;
+      Out.push_back(std::move(M));
+    }
+    for (const TraceEvent &E : B->Events) {
+      ExternalTraceEvent X;
+      X.Name = E.Name;
+      X.Cat = E.Cat ? E.Cat : "genic";
+      X.Ph = E.Ph;
+      X.Tid = B->Tid;
+      X.TsUs = E.TsUs;
+      X.DurUs = E.DurUs;
+      X.Req = E.Req;
+      if (E.Arg1Name) {
+        X.Arg1Name = E.Arg1Name;
+        X.Arg1 = E.Arg1;
+      }
+      if (E.Arg2Name) {
+        X.Arg2Name = E.Arg2Name;
+        X.Arg2 = E.Arg2;
+      }
+      Out.push_back(std::move(X));
+    }
+  }
+  return Out;
+}
+
+void TraceRecorder::addExternalEvents(
+    const std::vector<ExternalTraceEvent> &Events, int TidOffset) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  External.reserve(External.size() + Events.size());
+  for (ExternalTraceEvent E : Events) {
+    E.Tid += TidOffset;
+    External.push_back(std::move(E));
+  }
+}
+
 std::string TraceRecorder::json() const {
+  // A row renders either a locally recorded TraceEvent (static-literal
+  // names) or an external event (owned strings, pointers into Ext below).
   struct Row {
     int Tid;
     TraceEvent E;
+    const std::string *NameStr = nullptr;
+    const std::string *CatStr = nullptr;
+    const std::string *Arg1Str = nullptr;
+    const std::string *Arg2Str = nullptr;
   };
   std::vector<Row> Rows;
   std::vector<std::pair<int, std::string>> Names;
+  std::vector<ExternalTraceEvent> Ext;
   {
     std::lock_guard<std::mutex> Lock(Mu);
     for (const auto &B : Buffers) {
@@ -149,6 +202,28 @@ std::string TraceRecorder::json() const {
       if (!B->Name.empty())
         Names.emplace_back(B->Tid, B->Name);
     }
+    Ext = External;
+  }
+  for (const ExternalTraceEvent &X : Ext) {
+    if (X.Ph == 'M') {
+      Names.emplace_back(X.Tid, X.Name);
+      continue;
+    }
+    Row R;
+    R.Tid = X.Tid;
+    R.E.Ph = X.Ph;
+    R.E.TsUs = X.TsUs;
+    R.E.DurUs = X.DurUs;
+    R.E.Req = X.Req;
+    R.E.Arg1 = X.Arg1;
+    R.E.Arg2 = X.Arg2;
+    R.NameStr = &X.Name;
+    R.CatStr = &X.Cat;
+    if (!X.Arg1Name.empty())
+      R.Arg1Str = &X.Arg1Name;
+    if (!X.Arg2Name.empty())
+      R.Arg2Str = &X.Arg2Name;
+    Rows.push_back(R);
   }
   // Sort each thread's track by start time, longest span first on ties, so
   // parents precede children and per-tid timestamps are monotone.
@@ -183,9 +258,10 @@ std::string TraceRecorder::json() const {
       Out += ",\n";
     First = false;
     Out += "{\"name\":\"";
-    appendEscaped(Out, R.E.Name);
+    appendEscaped(Out, R.NameStr ? *R.NameStr : std::string(R.E.Name));
     Out += "\",\"cat\":\"";
-    appendEscaped(Out, R.E.Cat ? R.E.Cat : "genic");
+    appendEscaped(Out, R.CatStr ? *R.CatStr
+                                : std::string(R.E.Cat ? R.E.Cat : "genic"));
     std::snprintf(Buf, sizeof(Buf),
                   "\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%llu", R.E.Ph,
                   R.Tid, static_cast<unsigned long long>(R.E.TsUs));
@@ -197,7 +273,9 @@ std::string TraceRecorder::json() const {
     }
     if (R.E.Ph == 'i')
       Out += ",\"s\":\"t\"";
-    if (R.E.Arg1Name || R.E.Req) {
+    const char *Arg1Name = R.Arg1Str ? R.Arg1Str->c_str() : R.E.Arg1Name;
+    const char *Arg2Name = R.Arg2Str ? R.Arg2Str->c_str() : R.E.Arg2Name;
+    if (Arg1Name || R.E.Req) {
       bool FirstArg = true;
       Out += ",\"args\":{";
       if (R.E.Req) {
@@ -206,14 +284,14 @@ std::string TraceRecorder::json() const {
         Out += Buf;
         FirstArg = false;
       }
-      if (R.E.Arg1Name) {
+      if (Arg1Name) {
         std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%lld", FirstArg ? "" : ",",
-                      R.E.Arg1Name, static_cast<long long>(R.E.Arg1));
+                      Arg1Name, static_cast<long long>(R.E.Arg1));
         Out += Buf;
         FirstArg = false;
       }
-      if (R.E.Arg2Name) {
-        std::snprintf(Buf, sizeof(Buf), ",\"%s\":%lld", R.E.Arg2Name,
+      if (Arg2Name) {
+        std::snprintf(Buf, sizeof(Buf), ",\"%s\":%lld", Arg2Name,
                       static_cast<long long>(R.E.Arg2));
         Out += Buf;
       }
@@ -240,6 +318,7 @@ Status TraceRecorder::writeJson(const std::string &Path) const {
 void TraceRecorder::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Buffers.clear();
+  External.clear();
   NextTid = 0;
   ++Generation;
 }

@@ -54,6 +54,26 @@ struct TraceEvent {
   int64_t Arg2 = 0;
 };
 
+/// A trace event in self-contained form — owned strings, explicit tid — for
+/// shipping across a process boundary. Worker processes export their
+/// recorded events this way at collect time; the coordinator splices them
+/// into its own recorder under a per-worker tid offset, so one merged trace
+/// file shows every process's tracks. Ph 'M' carries a thread-name metadata
+/// row (Name = the thread's name).
+struct ExternalTraceEvent {
+  std::string Name;
+  std::string Cat;
+  char Ph = 'X';
+  int Tid = 0;
+  uint64_t TsUs = 0;
+  uint64_t DurUs = 0;
+  uint64_t Req = 0;
+  std::string Arg1Name;
+  int64_t Arg1 = 0;
+  std::string Arg2Name;
+  int64_t Arg2 = 0;
+};
+
 /// The calling thread's current request epoch (0 when none is installed).
 uint64_t currentTraceRequest();
 
@@ -109,6 +129,19 @@ public:
   /// Events lost to ring wrap-around since the last enable().
   uint64_t droppedEvents() const;
 
+  /// Copies every recorded event into self-contained form (one 'M' row per
+  /// named thread), for shipping to a coordinating process. Timestamps stay
+  /// relative to this recorder's epoch — nesting within a tid is preserved,
+  /// which is what trace-lint checks; cross-process clock alignment is not
+  /// attempted.
+  std::vector<ExternalTraceEvent> exportEvents() const;
+
+  /// Splices events exported by another process into json() output, with
+  /// every tid offset by \p TidOffset (the coordinator assigns each worker
+  /// a disjoint tid range so tracks never collide). Thread-safe.
+  void addExternalEvents(const std::vector<ExternalTraceEvent> &Events,
+                         int TidOffset);
+
   /// Renders everything recorded so far as Chrome trace-event JSON. Events
   /// are sorted by (tid, ts, -dur) so each thread's track is monotone and
   /// parent spans precede their children — the format trace-lint checks.
@@ -139,8 +172,10 @@ private:
   /// steady_clock nanoseconds of the last enable(); atomic so spans on
   /// worker threads can convert timestamps without taking Mu.
   std::atomic<int64_t> EpochNs{0};
-  mutable std::mutex Mu; ///< Guards Buffers and tid assignment.
+  mutable std::mutex Mu; ///< Guards Buffers, External, and tid assignment.
   std::vector<std::shared_ptr<ThreadBuffer>> Buffers;
+  /// Events spliced in from other processes, tid already offset.
+  std::vector<ExternalTraceEvent> External;
   int NextTid = 0;
   uint64_t Generation = 0; ///< Bumped by clear() to invalidate TLS slots.
 };

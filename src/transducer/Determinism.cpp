@@ -129,7 +129,85 @@ SeftTransition importTransition(TermCloner &Import, const SeftTransition &T) {
   return Out;
 }
 
+/// One chunk of the pair scan: leases a session, primes the chunk's
+/// overlap-guard batch when the session is incremental, and walks the
+/// pairs until the first event (violation or solver error). \p Cutoff,
+/// when present, lets sibling chunks prune each other; a null cutoff (the
+/// out-of-process shard path) only costs skipped pruning, never changes
+/// which index is returned as a chunk's first event.
+size_t scanPairRange(const Seft &A,
+                     const std::vector<std::pair<unsigned, unsigned>> &Pairs,
+                     size_t Begin, size_t End, SolverSessionPool &Pool,
+                     std::atomic<size_t> *Cutoff) {
+  const auto &Ts = A.transitions();
+  MetricsPhaseScope WorkerPhase("determinism");
+  SolverSessionPool::Lease Sess = Pool.lease();
+  // Coalesce the chunk's overlap-guard queries into one selector-
+  // literal batch so the pair scan below answers from the session's
+  // sat memo. Pairs the Definition 3.7 shortcuts never query are
+  // skipped; Unknowns fall back to the scan's individual queries, so
+  // verdicts are unchanged.
+  if (Sess->Slv.control().Incremental) {
+    std::vector<TermRef> Queries;
+    std::unordered_set<TermRef> InBatch;
+    for (size_t K = Begin; K != End; ++K) {
+      const SeftTransition &TA0 = Ts[Pairs[K].first];
+      const SeftTransition &TB0 = Ts[Pairs[K].second];
+      bool FinalA = TA0.To == Seft::FinalState;
+      bool FinalB = TB0.To == Seft::FinalState;
+      if (FinalA != FinalB) {
+        const SeftTransition &Continue = FinalA ? TB0 : TA0;
+        const SeftTransition &Finish = FinalA ? TA0 : TB0;
+        if (Continue.Lookahead > Finish.Lookahead)
+          continue;
+      } else if (FinalA && FinalB && TA0.Lookahead != TB0.Lookahead) {
+        continue;
+      }
+      TermRef Q = Sess->Factory.mkAnd(Sess->Import.clone(TA0.Guard),
+                                      Sess->Import.clone(TB0.Guard));
+      if (InBatch.insert(Q).second)
+        Queries.push_back(Q);
+    }
+    if (Queries.size() > 1)
+      Sess->Slv.checkSatBatch(Queries);
+  }
+  for (size_t K = Begin; K != End; ++K) {
+    if (Cutoff && K > Cutoff->load(std::memory_order_relaxed))
+      continue;
+    SeftTransition TA = importTransition(Sess->Import, Ts[Pairs[K].first]);
+    SeftTransition TB = importTransition(Sess->Import, Ts[Pairs[K].second]);
+    Result<std::optional<std::string>> V = pairViolation(Sess->Slv, TA, TB);
+    if (V && !V->has_value())
+      continue;
+    if (Cutoff) {
+      size_t Cur = Cutoff->load(std::memory_order_relaxed);
+      while (K < Cur && !Cutoff->compare_exchange_weak(
+                            Cur, K, std::memory_order_relaxed)) {
+      }
+    }
+    return K;
+  }
+  return SIZE_MAX;
+}
+
 } // namespace
+
+std::vector<std::pair<unsigned, unsigned>>
+genic::determinismPairList(const Seft &A) {
+  const auto &Ts = A.transitions();
+  std::vector<std::pair<unsigned, unsigned>> PairList;
+  for (unsigned I = 0, E = Ts.size(); I != E; ++I)
+    for (unsigned J = I + 1; J != E; ++J)
+      if (Ts[I].From == Ts[J].From)
+        PairList.push_back({I, J});
+  return PairList;
+}
+
+size_t genic::scanDeterminismShard(
+    const Seft &A, const std::vector<std::pair<unsigned, unsigned>> &Pairs,
+    SolverSessionPool &Pool, size_t Begin, size_t End) {
+  return scanPairRange(A, Pairs, Begin, End, Pool, nullptr);
+}
 
 Result<std::optional<DeterminismViolation>>
 genic::checkDeterminism(const Seft &A, Solver &S) {
@@ -151,12 +229,8 @@ Result<std::optional<DeterminismViolation>>
 genic::checkDeterminism(const Seft &A, Solver &S,
                         const DeterminismOptions &Opts) {
   MetricsPhaseScope Phase("determinism");
-  const auto &Ts = A.transitions();
-  std::vector<std::pair<unsigned, unsigned>> PairList;
-  for (unsigned I = 0, E = Ts.size(); I != E; ++I)
-    for (unsigned J = I + 1; J != E; ++J)
-      if (Ts[I].From == Ts[J].From)
-        PairList.push_back({I, J});
+  std::vector<std::pair<unsigned, unsigned>> PairList =
+      determinismPairList(A);
   if (PairList.empty())
     return std::optional<DeterminismViolation>(std::nullopt);
   if (S.cancellation().cancelled())
@@ -171,78 +245,63 @@ genic::checkDeterminism(const Seft &A, Solver &S,
   // minimum is the exact pair the serial loop would have stopped at; its
   // full result — witness model included — is then recomputed in the shared
   // session, making the output independent of Jobs.
-  size_t Threads = std::min<size_t>(std::max(1u, Opts.Jobs), PairList.size());
-  size_t NumChunks = std::min(PairList.size(), Threads * 4);
-  std::vector<size_t> FirstEvent(NumChunks, SIZE_MAX);
-  // Pairs past the earliest known event cannot influence the result; skip
-  // them. The cutoff only ever decreases toward the true minimum, so no
-  // pair below the final minimum is ever skipped.
-  std::atomic<size_t> Cutoff{SIZE_MAX};
-
+  size_t Min = SIZE_MAX;
   TraceSpan ScanSpan("determinism.scan");
   ScanSpan.arg("pairs", static_cast<int64_t>(PairList.size()));
-  ThreadPool TP(Threads, "det");
-  for (size_t C = 0; C != NumChunks; ++C) {
-    size_t Begin = PairList.size() * C / NumChunks;
-    size_t End = PairList.size() * (C + 1) / NumChunks;
-    TP.submit([&, C, Begin, End] {
-      MetricsPhaseScope WorkerPhase("determinism");
-      SolverSessionPool::Lease Sess = Pool.lease();
-      // Coalesce the chunk's overlap-guard queries into one selector-
-      // literal batch so the pair scan below answers from the session's
-      // sat memo. Pairs the Definition 3.7 shortcuts never query are
-      // skipped; Unknowns fall back to the scan's individual queries, so
-      // verdicts are unchanged.
-      if (Sess->Slv.control().Incremental) {
-        std::vector<TermRef> Queries;
-        std::unordered_set<TermRef> InBatch;
-        for (size_t K = Begin; K != End; ++K) {
-          const SeftTransition &TA0 = Ts[PairList[K].first];
-          const SeftTransition &TB0 = Ts[PairList[K].second];
-          bool FinalA = TA0.To == Seft::FinalState;
-          bool FinalB = TB0.To == Seft::FinalState;
-          if (FinalA != FinalB) {
-            const SeftTransition &Continue = FinalA ? TB0 : TA0;
-            const SeftTransition &Finish = FinalA ? TA0 : TB0;
-            if (Continue.Lookahead > Finish.Lookahead)
-              continue;
-          } else if (FinalA && FinalB && TA0.Lookahead != TB0.Lookahead) {
-            continue;
-          }
-          TermRef Q = Sess->Factory.mkAnd(Sess->Import.clone(TA0.Guard),
-                                          Sess->Import.clone(TB0.Guard));
-          if (InBatch.insert(Q).second)
-            Queries.push_back(Q);
-        }
-        if (Queries.size() > 1)
-          Sess->Slv.checkSatBatch(Queries);
-      }
-      for (size_t K = Begin; K != End; ++K) {
-        if (K > Cutoff.load(std::memory_order_relaxed))
-          continue;
-        SeftTransition TA =
-            importTransition(Sess->Import, Ts[PairList[K].first]);
-        SeftTransition TB =
-            importTransition(Sess->Import, Ts[PairList[K].second]);
-        Result<std::optional<std::string>> V =
-            pairViolation(Sess->Slv, TA, TB);
-        if (V && !V->has_value())
-          continue;
-        FirstEvent[C] = K;
-        size_t Cur = Cutoff.load(std::memory_order_relaxed);
-        while (K < Cur &&
-               !Cutoff.compare_exchange_weak(Cur, K,
-                                             std::memory_order_relaxed)) {
-        }
-        break;
-      }
-    });
-  }
-  TP.wait();
+  if (Opts.Workers && Opts.Workers->procs() > 0) {
+    // Out-of-process path: ship contiguous pair ranges to the worker pool.
+    // The merge below only consumes the global minimum event, which is
+    // independent of how the list is chunked, so worker counts cannot
+    // change the verdict. A shard the supervisor could not complete —
+    // worker crashed on the retry too — poisons the phase to SolverError
+    // instead of silently under-scanning.
+    size_t NumChunks =
+        std::min(PairList.size(), size_t(Opts.Workers->procs()) * 4);
+    std::vector<size_t> FirstEvent(NumChunks, SIZE_MAX);
+    std::vector<Status> ShardErr(NumChunks, Status::ok());
+    ScanSpan.arg("workers", static_cast<int64_t>(Opts.Workers->procs()));
+    ThreadPool TP(std::min<size_t>(Opts.Workers->procs(), NumChunks),
+                  "detio");
+    for (size_t C = 0; C != NumChunks; ++C) {
+      size_t Begin = PairList.size() * C / NumChunks;
+      size_t End = PairList.size() * (C + 1) / NumChunks;
+      TP.submit([&, C, Begin, End] {
+        Result<uint64_t> R = Opts.Workers->determinismShard(Begin, End);
+        if (!R)
+          ShardErr[C] = R.status();
+        else if (*R != ShardNoEvent)
+          FirstEvent[C] = static_cast<size_t>(*R);
+      });
+    }
+    TP.wait();
+    for (const Status &E : ShardErr)
+      if (!E)
+        return Status::solverError("determinism shard failed: " +
+                                   E.message());
+    for (size_t E : FirstEvent)
+      Min = std::min(Min, E);
+  } else {
+    size_t Threads =
+        std::min<size_t>(std::max(1u, Opts.Jobs), PairList.size());
+    size_t NumChunks = std::min(PairList.size(), Threads * 4);
+    std::vector<size_t> FirstEvent(NumChunks, SIZE_MAX);
+    // Pairs past the earliest known event cannot influence the result; skip
+    // them. The cutoff only ever decreases toward the true minimum, so no
+    // pair below the final minimum is ever skipped.
+    std::atomic<size_t> Cutoff{SIZE_MAX};
 
-  size_t Min = SIZE_MAX;
-  for (size_t E : FirstEvent)
-    Min = std::min(Min, E);
+    ThreadPool TP(Threads, "det");
+    for (size_t C = 0; C != NumChunks; ++C) {
+      size_t Begin = PairList.size() * C / NumChunks;
+      size_t End = PairList.size() * (C + 1) / NumChunks;
+      TP.submit([&, C, Begin, End] {
+        FirstEvent[C] = scanPairRange(A, PairList, Begin, End, Pool, &Cutoff);
+      });
+    }
+    TP.wait();
+    for (size_t E : FirstEvent)
+      Min = std::min(Min, E);
+  }
   if (Min == SIZE_MAX)
     return std::optional<DeterminismViolation>(std::nullopt);
   // Recompute from the event onward in the shared session. Normally the

@@ -15,6 +15,7 @@
 #ifndef GENIC_TRANSDUCER_DETERMINISM_H
 #define GENIC_TRANSDUCER_DETERMINISM_H
 
+#include "ipc/Shards.h"
 #include "solver/Solver.h"
 #include "solver/SolverSessionPool.h"
 #include "support/Result.h"
@@ -22,6 +23,8 @@
 
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace genic {
 
@@ -47,7 +50,27 @@ struct DeterminismOptions {
   unsigned Jobs = 1;
   /// Warm worker sessions to lease; a private pool is created when null.
   SolverSessionPool *Sessions = nullptr;
+  /// When set, pair chunks are shipped to out-of-process workers instead
+  /// of thread-local sessions; a failed shard (worker crashed twice)
+  /// degrades the whole check to SolverError. Merge semantics — global
+  /// minimum event, serial shared-session recheck — are unchanged, so the
+  /// verdict stays byte-identical to the in-process scan.
+  ShardDispatcher *Workers = nullptr;
 };
+
+/// The canonical suspicious-pair list of Definition 3.7: all transition
+/// index pairs (I < J) sharing a source state, in lexicographic order.
+/// Coordinator and workers derive identical lists from the same lowered
+/// program, so shard boundaries are plain indices into it.
+std::vector<std::pair<unsigned, unsigned>> determinismPairList(const Seft &A);
+
+/// Scans \p Pairs[Begin..End) against a leased session; returns the first
+/// index whose pair query violated Definition 3.7 or failed, or SIZE_MAX.
+/// This is the exact chunk body the parallel checkDeterminism runs — the
+/// worker binary calls it so shard verdicts match thread verdicts.
+size_t scanDeterminismShard(
+    const Seft &A, const std::vector<std::pair<unsigned, unsigned>> &Pairs,
+    SolverSessionPool &Pool, size_t Begin, size_t End);
 
 /// As above with the same-state rule pairs fanned out over \p Opts.Jobs
 /// workers. Workers classify pairs in private sessions (verdicts are

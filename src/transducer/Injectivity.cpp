@@ -82,7 +82,81 @@ queryTransition(const Seft &A, Solver &S, unsigned Index) {
   return std::optional<TransitionInjectivityViolation>(V);
 }
 
+/// One chunk of the Lemma 4.7 scan: leases a session, primes the chunk's
+/// query batch when incremental, and walks the rules until the first event
+/// (sat or solver error). Null \p Cutoff (the out-of-process shard path)
+/// only skips cross-chunk pruning; the returned first event is unchanged.
+size_t scanRuleRange(const Seft &A, const std::vector<unsigned> &Rules,
+                     size_t Begin, size_t End, SolverSessionPool &Pool,
+                     std::atomic<size_t> *Cutoff) {
+  const auto &Ts = A.transitions();
+  MetricsPhaseScope WorkerPhase("ti");
+  SolverSessionPool::Lease Sess = Pool.lease();
+  // Coalesce the chunk's Lemma 4.7 queries into one selector-literal
+  // batch; the scan below then answers from the session's sat memo.
+  // Unknowns fall back to the individual isSat calls, so verdicts are
+  // unchanged.
+  if (Sess->Slv.control().Incremental && End - Begin > 1) {
+    std::vector<TermRef> Queries;
+    for (size_t K = Begin; K != End; ++K) {
+      const SeftTransition &T = Ts[Rules[K]];
+      SeftTransition Local;
+      Local.From = T.From;
+      Local.To = T.To;
+      Local.Lookahead = T.Lookahead;
+      Local.Guard = Sess->Import.clone(T.Guard);
+      for (TermRef O : T.Outputs)
+        Local.Outputs.push_back(Sess->Import.clone(O));
+      Queries.push_back(
+          transitionInjectivityQuery(Sess->Factory, Local, A.inputType()));
+    }
+    if (Queries.size() > 1)
+      Sess->Slv.checkSatBatch(Queries);
+  }
+  for (size_t K = Begin; K != End; ++K) {
+    if (Cutoff && K > Cutoff->load(std::memory_order_relaxed))
+      continue;
+    const SeftTransition &T = Ts[Rules[K]];
+    SeftTransition Local;
+    Local.From = T.From;
+    Local.To = T.To;
+    Local.Lookahead = T.Lookahead;
+    Local.Guard = Sess->Import.clone(T.Guard);
+    for (TermRef O : T.Outputs)
+      Local.Outputs.push_back(Sess->Import.clone(O));
+    TermRef Query =
+        transitionInjectivityQuery(Sess->Factory, Local, A.inputType());
+    Result<bool> Sat = Sess->Slv.isSat(Query);
+    if (Sat && !*Sat)
+      continue;
+    if (Cutoff) {
+      size_t Cur = Cutoff->load(std::memory_order_relaxed);
+      while (K < Cur && !Cutoff->compare_exchange_weak(
+                            Cur, K, std::memory_order_relaxed)) {
+      }
+    }
+    return K;
+  }
+  return SIZE_MAX;
+}
+
 } // namespace
+
+std::vector<unsigned> genic::transitionInjectivityRules(const Seft &A) {
+  const auto &Ts = A.transitions();
+  std::vector<unsigned> Rules;
+  for (unsigned Index = 0, E = Ts.size(); Index != E; ++Index)
+    if (Ts[Index].Lookahead != 0)
+      Rules.push_back(Index);
+  return Rules;
+}
+
+size_t genic::scanTransitionInjectivityShard(const Seft &A,
+                                             const std::vector<unsigned> &Rules,
+                                             SolverSessionPool &Pool,
+                                             size_t Begin, size_t End) {
+  return scanRuleRange(A, Rules, Begin, End, Pool, nullptr);
+}
 
 Result<std::optional<TransitionInjectivityViolation>>
 genic::checkTransitionInjectivity(const Seft &A, Solver &S) {
@@ -105,11 +179,7 @@ genic::checkTransitionInjectivity(const Seft &A, Solver &S,
                                   const InjectivityOptions &Opts) {
   MetricsPhaseScope Phase("ti");
   TraceSpan ScanSpan("ti.scan");
-  const auto &Ts = A.transitions();
-  std::vector<unsigned> Rules;
-  for (unsigned Index = 0, E = Ts.size(); Index != E; ++Index)
-    if (Ts[Index].Lookahead != 0)
-      Rules.push_back(Index);
+  std::vector<unsigned> Rules = transitionInjectivityRules(A);
   if (Rules.empty())
     return std::optional<TransitionInjectivityViolation>(std::nullopt);
   if (S.cancellation().cancelled())
@@ -122,70 +192,56 @@ genic::checkTransitionInjectivity(const Seft &A, Solver &S,
   // Verdict-only scan in pooled sessions; the first rule with an event
   // (violation or error) is recomputed in the shared session, which also
   // produces the witness model — identical for every Jobs value.
-  size_t Threads = std::min<size_t>(std::max(1u, Opts.Jobs), Rules.size());
-  size_t NumChunks = std::min(Rules.size(), Threads * 4);
-  std::vector<size_t> FirstEvent(NumChunks, SIZE_MAX);
-  std::atomic<size_t> Cutoff{SIZE_MAX};
-
-  ThreadPool TP(Threads, "ti");
-  for (size_t C = 0; C != NumChunks; ++C) {
-    size_t Begin = Rules.size() * C / NumChunks;
-    size_t End = Rules.size() * (C + 1) / NumChunks;
-    TP.submit([&, C, Begin, End] {
-      MetricsPhaseScope WorkerPhase("ti");
-      SolverSessionPool::Lease Sess = Pool.lease();
-      // Coalesce the chunk's Lemma 4.7 queries into one selector-literal
-      // batch; the scan below then answers from the session's sat memo.
-      // Unknowns fall back to the individual isSat calls, so verdicts are
-      // unchanged.
-      if (Sess->Slv.control().Incremental && End - Begin > 1) {
-        std::vector<TermRef> Queries;
-        for (size_t K = Begin; K != End; ++K) {
-          const SeftTransition &T = Ts[Rules[K]];
-          SeftTransition Local;
-          Local.From = T.From;
-          Local.To = T.To;
-          Local.Lookahead = T.Lookahead;
-          Local.Guard = Sess->Import.clone(T.Guard);
-          for (TermRef O : T.Outputs)
-            Local.Outputs.push_back(Sess->Import.clone(O));
-          Queries.push_back(transitionInjectivityQuery(Sess->Factory, Local,
-                                                       A.inputType()));
-        }
-        if (Queries.size() > 1)
-          Sess->Slv.checkSatBatch(Queries);
-      }
-      for (size_t K = Begin; K != End; ++K) {
-        if (K > Cutoff.load(std::memory_order_relaxed))
-          continue;
-        const SeftTransition &T = Ts[Rules[K]];
-        SeftTransition Local;
-        Local.From = T.From;
-        Local.To = T.To;
-        Local.Lookahead = T.Lookahead;
-        Local.Guard = Sess->Import.clone(T.Guard);
-        for (TermRef O : T.Outputs)
-          Local.Outputs.push_back(Sess->Import.clone(O));
-        TermRef Query = transitionInjectivityQuery(Sess->Factory, Local,
-                                                   A.inputType());
-        Result<bool> Sat = Sess->Slv.isSat(Query);
-        if (Sat && !*Sat)
-          continue;
-        FirstEvent[C] = K;
-        size_t Cur = Cutoff.load(std::memory_order_relaxed);
-        while (K < Cur &&
-               !Cutoff.compare_exchange_weak(Cur, K,
-                                             std::memory_order_relaxed)) {
-        }
-        break;
-      }
-    });
-  }
-  TP.wait();
-
   size_t Min = SIZE_MAX;
-  for (size_t E : FirstEvent)
-    Min = std::min(Min, E);
+  if (Opts.Workers && Opts.Workers->procs() > 0) {
+    // Out-of-process path: contiguous rule ranges go to the worker pool.
+    // Only the global minimum event feeds the merge, so worker counts
+    // cannot change the verdict; an uncompletable shard poisons the phase
+    // to SolverError rather than under-scanning.
+    size_t NumChunks =
+        std::min(Rules.size(), size_t(Opts.Workers->procs()) * 4);
+    std::vector<size_t> FirstEvent(NumChunks, SIZE_MAX);
+    std::vector<Status> ShardErr(NumChunks, Status::ok());
+    ScanSpan.arg("workers", static_cast<int64_t>(Opts.Workers->procs()));
+    ThreadPool TP(std::min<size_t>(Opts.Workers->procs(), NumChunks),
+                  "tiio");
+    for (size_t C = 0; C != NumChunks; ++C) {
+      size_t Begin = Rules.size() * C / NumChunks;
+      size_t End = Rules.size() * (C + 1) / NumChunks;
+      TP.submit([&, C, Begin, End] {
+        Result<uint64_t> R =
+            Opts.Workers->transitionInjectivityShard(Begin, End);
+        if (!R)
+          ShardErr[C] = R.status();
+        else if (*R != ShardNoEvent)
+          FirstEvent[C] = static_cast<size_t>(*R);
+      });
+    }
+    TP.wait();
+    for (const Status &E : ShardErr)
+      if (!E)
+        return Status::solverError("transition-injectivity shard failed: " +
+                                   E.message());
+    for (size_t E : FirstEvent)
+      Min = std::min(Min, E);
+  } else {
+    size_t Threads = std::min<size_t>(std::max(1u, Opts.Jobs), Rules.size());
+    size_t NumChunks = std::min(Rules.size(), Threads * 4);
+    std::vector<size_t> FirstEvent(NumChunks, SIZE_MAX);
+    std::atomic<size_t> Cutoff{SIZE_MAX};
+
+    ThreadPool TP(Threads, "ti");
+    for (size_t C = 0; C != NumChunks; ++C) {
+      size_t Begin = Rules.size() * C / NumChunks;
+      size_t End = Rules.size() * (C + 1) / NumChunks;
+      TP.submit([&, C, Begin, End] {
+        FirstEvent[C] = scanRuleRange(A, Rules, Begin, End, Pool, &Cutoff);
+      });
+    }
+    TP.wait();
+    for (size_t E : FirstEvent)
+      Min = std::min(Min, E);
+  }
   if (Min == SIZE_MAX)
     return std::optional<TransitionInjectivityViolation>(std::nullopt);
   // Serial recheck from the event onward (normally returns immediately;
@@ -500,6 +556,8 @@ genic::checkInjectivity(const Seft &A, Solver &S,
     AmbOpts.Jobs = Eff.Jobs;
     AmbOpts.Sessions = Eff.Sessions;
     AmbOpts.Overlaps = Eff.Overlaps;
+    AmbOpts.Workers = Eff.Workers;
+    AmbOpts.Hull = AllowHull;
     Result<std::optional<AmbiguityWitness>> Amb =
         checkAmbiguity(*AO, S, AmbOpts);
     if (!Amb)

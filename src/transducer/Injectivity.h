@@ -25,6 +25,7 @@
 #define GENIC_TRANSDUCER_INJECTIVITY_H
 
 #include "automata/Sefa.h"
+#include "ipc/Shards.h"
 #include "solver/QueryCache.h"
 #include "solver/Solver.h"
 #include "solver/SolverSessionPool.h"
@@ -53,7 +54,27 @@ struct InjectivityOptions {
   /// across the hull and exact CEGAR rounds, so the second round starts
   /// with every verdict the first round discharged.
   GuardOverlapCache *Overlaps = nullptr;
+  /// When set, the verdict-only scans (transition-injectivity rules, the
+  /// ambiguity product levels) ship their chunks to out-of-process workers;
+  /// a shard the supervisor cannot complete degrades the phase to
+  /// SolverError. Witness extraction and projections stay in-process — they
+  /// produce terms, which never cross the process boundary.
+  ShardDispatcher *Workers = nullptr;
 };
+
+/// The canonical scan order of Lemma 4.7: indices of the rules with a
+/// non-zero lookahead. Coordinator and workers derive identical lists from
+/// the same lowered program.
+std::vector<unsigned> transitionInjectivityRules(const Seft &A);
+
+/// Scans \p Rules[Begin..End) against a leased session; returns the first
+/// index whose Lemma 4.7 query was sat or failed, or SIZE_MAX. The exact
+/// chunk body of the parallel checkTransitionInjectivity, exported for the
+/// worker binary.
+size_t scanTransitionInjectivityShard(const Seft &A,
+                                      const std::vector<unsigned> &Rules,
+                                      SolverSessionPool &Pool, size_t Begin,
+                                      size_t End);
 
 /// A rule that conflates two input tuples (Definition 4.2 violated).
 struct TransitionInjectivityViolation {

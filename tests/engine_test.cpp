@@ -251,6 +251,54 @@ TEST(EngineServe, ExhaustedBudgetIsConfinedToItsRequest) {
             formatOutcomeReport(Baseline->Report));
 }
 
+TEST(EngineServe, AbusedWarmEntryStaysHygienicAtEveryJobsValue) {
+  // The warm-pool fault-hygiene contract: an entry that just served a
+  // faulted request and then a budget-exhausted one must serve the next
+  // request with clean counter deltas and no sticky cancellation — at
+  // every jobs value, since the pooled sessions the abuse touched are
+  // jobs-dependent.
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    InversionEngine Engine;
+    RequestContext Faulty;
+    Faulty.Jobs = Jobs;
+    // Cold, so the injected faults reach the solver before the memo
+    // caches can absorb the queries.
+    Faulty.Faults = *parseFaultPlan("throw@1x0");
+    Result<EngineResponse> Hurt = Engine.serve(B16Program, Faulty);
+    ASSERT_TRUE(Hurt.isOk()) << Hurt.status().message();
+    EXPECT_EQ(Hurt->Exit, ExitInternalError) << "jobs " << Jobs;
+    EXPECT_GT(Hurt->Report.InjectedFaults, 0u);
+
+    RequestContext Starved;
+    Starved.Jobs = Jobs;
+    Starved.BudgetSeconds = 1e-6;
+    Result<EngineResponse> Choked = Engine.serve(B16Program, Starved);
+    ASSERT_TRUE(Choked.isOk()) << Choked.status().message();
+    EXPECT_EQ(Choked->Exit, ExitBudgetExhausted) << "jobs " << Jobs;
+    EXPECT_TRUE(Choked->Report.DeadlineExpired);
+
+    // The clean request on the abused entry: warm, successful, zero
+    // injected faults and zero cancelled queries in its own metric
+    // deltas, and a report byte-identical to a fresh process.
+    MetricsRegistry Sink;
+    RequestContext Clean;
+    Clean.Jobs = Jobs;
+    Clean.Metrics = &Sink;
+    Result<EngineResponse> After = Engine.serve(B16Program, Clean);
+    ASSERT_TRUE(After.isOk()) << After.status().message();
+    EXPECT_TRUE(After->WarmHit);
+    EXPECT_EQ(After->Exit, ExitOk) << "jobs " << Jobs;
+    EXPECT_EQ(After->Report.InjectedFaults, 0u);
+    EXPECT_FALSE(After->Report.DeadlineExpired);
+    MetricsSnapshot S = Sink.snapshot();
+    EXPECT_EQ(S.Counters.at("run.injected_faults"), 0u);
+    EXPECT_EQ(S.Counters.at("run.queries_cancelled"), 0u);
+    EXPECT_EQ(formatOutcomeReport(After->Report),
+              freshToolReport(B16Program, Jobs))
+        << "jobs " << Jobs;
+  }
+}
+
 TEST(EngineServe, ConcurrentRequestsStayIsolated) {
   InversionEngine Engine;
   const std::string BaselineEnc = freshToolReport(EncProgram, 2);

@@ -1,0 +1,463 @@
+//===- tests/worker_ipc_test.cpp - Worker IPC layer & supervision ---------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The out-of-process shard channel, bottom-up: frame framing over a real
+/// socketpair (round-trip, deadline, peer-closed detection, corrupt length
+/// prefixes), the field-map message codec, the protocol codecs (error
+/// replies, metrics snapshots, trace events), and then WorkerSupervisor
+/// against the real genic-worker binary — shard verdicts must match the
+/// in-process scans, a reply-level error must not count as a crash, an
+/// injected crash@N must get exactly one supervised retry before the shard
+/// degrades to SolverError, and a full pipeline run must report
+/// byte-identically at every --jobs x --worker-procs combination.
+///
+/// The worker binary path is baked in by CMake (GENIC_WORKER_BIN points at
+/// the genic-worker target), so these tests never depend on the
+/// environment's GENIC_WORKER.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/InversionEngine.h"
+#include "engine/WorkerSupervisor.h"
+#include "genic/Lower.h"
+#include "genic/Parser.h"
+#include "ipc/Frame.h"
+#include "ipc/Message.h"
+#include "ipc/WorkerProtocol.h"
+#include "solver/FaultInjector.h"
+#include "solver/SolverContext.h"
+#include "solver/SolverSessionPool.h"
+#include "transducer/Determinism.h"
+#include "transducer/Injectivity.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace genic;
+
+namespace {
+
+// The paper's Example 6.1 pairwise-sum encoder: the cheapest full
+// three-phase pipeline, and (as the fault-injection suite established) its
+// verification phases issue worker-session solver queries — so shards
+// shipped to worker processes really exercise their solvers.
+const char *EncProgram = R"(
+trans Enc (l : Int list) : Int :=
+  match l with
+  | x::y::tail when (and (x >= 0) (y >= 0)) -> (x + y) :: x :: Enc(tail)
+  | [] when true -> []
+isInjective Enc
+invert Enc
+)";
+
+//===----------------------------------------------------------------------===//
+// Frame layer
+//===----------------------------------------------------------------------===//
+
+struct SocketPair {
+  int Fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0); }
+  ~SocketPair() {
+    closeA();
+    closeB();
+  }
+  void closeA() {
+    if (Fds[0] >= 0)
+      ::close(Fds[0]);
+    Fds[0] = -1;
+  }
+  void closeB() {
+    if (Fds[1] >= 0)
+      ::close(Fds[1]);
+    Fds[1] = -1;
+  }
+};
+
+TEST(IpcFrame, RoundTripsPayloadsIncludingBinary) {
+  SocketPair P;
+  std::string Binary("\x00\x1f\xff length-prefixed, not escaped\n", 34);
+  ASSERT_TRUE(writeFrame(P.Fds[0], "hello").isOk());
+  ASSERT_TRUE(writeFrame(P.Fds[0], "").isOk());
+  ASSERT_TRUE(writeFrame(P.Fds[0], Binary).isOk());
+
+  Result<std::string> A = readFrame(P.Fds[1], 1000);
+  Result<std::string> B = readFrame(P.Fds[1], 1000);
+  Result<std::string> C = readFrame(P.Fds[1], 1000);
+  ASSERT_TRUE(A.isOk() && B.isOk() && C.isOk());
+  EXPECT_EQ(*A, "hello");
+  EXPECT_EQ(*B, "");
+  EXPECT_EQ(*C, Binary);
+}
+
+TEST(IpcFrame, DeadlineSurfacesAsTimeoutNotPeerClosed) {
+  SocketPair P;
+  Result<std::string> R = readFrame(P.Fds[1], 50);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_FALSE(isPeerClosed(R.status()));
+}
+
+TEST(IpcFrame, ClosedPeerIsDistinguishableFromAHang) {
+  {
+    // Clean EOF before the first header byte.
+    SocketPair P;
+    P.closeA();
+    Result<std::string> R = readFrame(P.Fds[1], 1000);
+    ASSERT_FALSE(R.isOk());
+    EXPECT_TRUE(isPeerClosed(R.status()));
+  }
+  {
+    // EOF mid-header: a crash can sever the pipe anywhere.
+    SocketPair P;
+    ASSERT_EQ(::send(P.Fds[0], "\x02\x00", 2, 0), 2);
+    P.closeA();
+    Result<std::string> R = readFrame(P.Fds[1], 1000);
+    ASSERT_FALSE(R.isOk());
+    EXPECT_TRUE(isPeerClosed(R.status()));
+  }
+  {
+    // Writing into a closed peer must report peer-closed, not SIGPIPE.
+    SocketPair P;
+    P.closeB();
+    Status S = writeFrame(P.Fds[0], "anyone there?");
+    ASSERT_FALSE(S.isOk());
+    EXPECT_TRUE(isPeerClosed(S));
+  }
+}
+
+TEST(IpcFrame, RefusesCorruptLengthPrefix) {
+  // A corrupt 0xffffffff header must be refused outright, never turned
+  // into a 4 GiB allocation or a blocking read.
+  SocketPair P;
+  ASSERT_EQ(::send(P.Fds[0], "\xff\xff\xff\xff", 4, 0), 4);
+  Result<std::string> R = readFrame(P.Fds[1], 1000);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_FALSE(isPeerClosed(R.status()));
+
+  // And the writer refuses to produce such a frame in the first place.
+  std::string TooBig(size_t(MaxFrameBytes) + 1, 'x');
+  EXPECT_FALSE(writeFrame(P.Fds[0], TooBig).isOk());
+}
+
+//===----------------------------------------------------------------------===//
+// Message codec
+//===----------------------------------------------------------------------===//
+
+TEST(IpcMessageCodec, RoundTripsTypedFields) {
+  IpcMessage M;
+  M.setStr("op", "load");
+  M.setStr("source", std::string("raw \x00 bytes \x1f ok", 16));
+  M.setU64("zero", 0);
+  M.setU64("max", UINT64_MAX);
+  M.setU64List("empty", {});
+  M.setU64List("list", {1, 0, UINT64_MAX, 42});
+
+  Result<IpcMessage> D = decodeIpcMessage(encodeIpcMessage(M));
+  ASSERT_TRUE(D.isOk()) << D.status().message();
+  EXPECT_EQ(*D->getStr("op"), "load");
+  EXPECT_EQ(*D->getStr("source"), std::string("raw \x00 bytes \x1f ok", 16));
+  EXPECT_EQ(*D->getU64("zero"), 0u);
+  EXPECT_EQ(*D->getU64("max"), UINT64_MAX);
+  EXPECT_TRUE(D->getU64List("empty")->empty());
+  EXPECT_EQ(*D->getU64List("list"),
+            (std::vector<uint64_t>{1, 0, UINT64_MAX, 42}));
+}
+
+TEST(IpcMessageCodec, MissingKeysFailLoudlyNamingTheKey) {
+  IpcMessage M;
+  M.setU64("present", 1);
+  Result<std::string> S = M.getStr("absent-key");
+  ASSERT_FALSE(S.isOk());
+  EXPECT_NE(S.status().message().find("absent-key"), std::string::npos);
+  EXPECT_FALSE(M.getU64("also-absent").isOk());
+  EXPECT_FALSE(M.getU64List("gone").isOk());
+}
+
+TEST(IpcMessageCodec, RejectsTruncationAndTrailingBytes) {
+  IpcMessage M;
+  M.setStr("k", "value");
+  std::string Enc = encodeIpcMessage(M);
+  EXPECT_TRUE(decodeIpcMessage(Enc).isOk());
+  EXPECT_FALSE(decodeIpcMessage(Enc.substr(0, Enc.size() - 1)).isOk());
+  EXPECT_FALSE(decodeIpcMessage(Enc + "x").isOk());
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol codecs
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerProtocol, ErrorRepliesRoundTripTheStatus) {
+  for (const Status &S :
+       {Status::solverError("worker exploded"), Status::timeout("too slow"),
+        Status::cancelled("budget gone")}) {
+    Status Back = replyStatus(makeErrorReply(S));
+    ASSERT_FALSE(Back.isOk());
+    EXPECT_EQ(Back.code(), S.code());
+    EXPECT_EQ(Back.message(), S.message());
+  }
+  // A reply without an "err" field is a success.
+  IpcMessage Ok;
+  Ok.setU64("event", 7);
+  EXPECT_TRUE(replyStatus(Ok).isOk());
+}
+
+TEST(WorkerProtocol, MetricsSnapshotRoundTrips) {
+  MetricsRegistry R;
+  R.counter("solver.pooled.sat_queries").add(7);
+  R.counter("decode.bytes").add(123456);
+  R.gauge("pool.sessions").set(-3);
+  R.histogram("solver.query.us.ti.pooled").observe(5);
+  R.histogram("solver.query.us.ti.pooled").observe(90000);
+
+  IpcMessage M;
+  encodeMetricsSnapshot(R.snapshot(), M);
+  Result<MetricsSnapshot> D = decodeMetricsSnapshot(M);
+  ASSERT_TRUE(D.isOk()) << D.status().message();
+  EXPECT_EQ(D->Counters.at("solver.pooled.sat_queries"), 7u);
+  EXPECT_EQ(D->Counters.at("decode.bytes"), 123456u);
+  EXPECT_EQ(D->Gauges.at("pool.sessions"), -3);
+  const MetricsSnapshot::Histogram &H =
+      D->Histograms.at("solver.query.us.ti.pooled");
+  EXPECT_EQ(H.Count, 2u);
+  EXPECT_EQ(H.SumUs, 90005u);
+  EXPECT_EQ(H.MaxUs, 90000u);
+  EXPECT_EQ(H.Buckets[MetricsHistogram::bucketFor(5)], 1u);
+  EXPECT_EQ(H.Buckets[MetricsHistogram::bucketFor(90000)], 1u);
+
+  // Merging the decoded snapshot lands in the coordinator registry the
+  // same way an in-process worker's counters would.
+  MetricsRegistry Coordinator;
+  Coordinator.counter("decode.bytes").add(1);
+  Coordinator.merge(*D);
+  EXPECT_EQ(Coordinator.counter("decode.bytes").value(), 123457u);
+  EXPECT_EQ(Coordinator.histogram("solver.query.us.ti.pooled").count(), 2u);
+}
+
+TEST(WorkerProtocol, TraceEventsRoundTrip) {
+  std::vector<ExternalTraceEvent> Events(2);
+  Events[0].Name = "solver.query";
+  Events[0].Cat = "solver";
+  Events[0].Ph = 'X';
+  Events[0].Tid = 3;
+  Events[0].TsUs = 17;
+  Events[0].DurUs = 5;
+  Events[0].Req = 42;
+  Events[0].Arg1Name = "ordinal";
+  Events[0].Arg1 = -1;
+  Events[1].Name = "genic-worker";
+  Events[1].Ph = 'M';
+
+  Result<std::vector<ExternalTraceEvent>> D =
+      decodeTraceEvents(encodeTraceEvents(Events));
+  ASSERT_TRUE(D.isOk()) << D.status().message();
+  ASSERT_EQ(D->size(), 2u);
+  EXPECT_EQ((*D)[0].Name, "solver.query");
+  EXPECT_EQ((*D)[0].Cat, "solver");
+  EXPECT_EQ((*D)[0].Ph, 'X');
+  EXPECT_EQ((*D)[0].Tid, 3);
+  EXPECT_EQ((*D)[0].TsUs, 17u);
+  EXPECT_EQ((*D)[0].DurUs, 5u);
+  EXPECT_EQ((*D)[0].Req, 42u);
+  EXPECT_EQ((*D)[0].Arg1Name, "ordinal");
+  EXPECT_EQ((*D)[0].Arg1, -1);
+  EXPECT_EQ((*D)[1].Ph, 'M');
+  EXPECT_FALSE(decodeTraceEvents("not a trace line").isOk());
+}
+
+//===----------------------------------------------------------------------===//
+// WorkerSupervisor against the real genic-worker binary
+//===----------------------------------------------------------------------===//
+
+WorkerSupervisorConfig workerConfig(unsigned Procs) {
+  WorkerSupervisorConfig Cfg;
+  Cfg.Procs = Procs;
+  Cfg.WorkerBinary = GENIC_WORKER_BIN;
+  Cfg.Source = EncProgram;
+  return Cfg;
+}
+
+TEST(WorkerSupervision, LaunchRejectsUnusableConfig) {
+  WorkerSupervisorConfig Zero = workerConfig(0);
+  EXPECT_FALSE(WorkerSupervisor::launch(Zero).isOk());
+
+  // No explicit binary, no GENIC_WORKER, and no genic-worker next to this
+  // test binary: nothing resolvable.
+  ::unsetenv("GENIC_WORKER");
+  WorkerSupervisorConfig NoBinary = workerConfig(1);
+  NoBinary.WorkerBinary.clear();
+  EXPECT_FALSE(WorkerSupervisor::launch(NoBinary).isOk());
+}
+
+TEST(WorkerSupervision, ShardVerdictsMatchInProcessScans) {
+  // The in-process truth: the exact chunk bodies the parallel checkers
+  // run, on a fork-mode pool over the same lowered program.
+  SolverContext Ctx;
+  Result<AstProgram> Ast = parseGenic(EncProgram);
+  ASSERT_TRUE(Ast.isOk()) << Ast.status().message();
+  Result<LoweredProgram> Prog = lowerProgram(Ctx.factory(), *Ast);
+  ASSERT_TRUE(Prog.isOk()) << Prog.status().message();
+  const Seft &M = Prog->Machine;
+  std::vector<std::pair<unsigned, unsigned>> Pairs = determinismPairList(M);
+  std::vector<unsigned> Rules = transitionInjectivityRules(M);
+  ASSERT_FALSE(Rules.empty());
+  SolverSessionPool Pool(Ctx.factory(), Ctx.solver());
+  size_t DetLocal = scanDeterminismShard(M, Pairs, Pool, 0, Pairs.size());
+  size_t TiLocal =
+      scanTransitionInjectivityShard(M, Rules, Pool, 0, Rules.size());
+
+  Result<std::unique_ptr<WorkerSupervisor>> W =
+      WorkerSupervisor::launch(workerConfig(2));
+  ASSERT_TRUE(W.isOk()) << W.status().message();
+  Result<uint64_t> Det = (*W)->determinismShard(0, Pairs.size());
+  Result<uint64_t> Ti = (*W)->transitionInjectivityShard(0, Rules.size());
+  ASSERT_TRUE(Det.isOk()) << Det.status().message();
+  ASSERT_TRUE(Ti.isOk()) << Ti.status().message();
+  EXPECT_EQ(*Det, DetLocal == SIZE_MAX ? ShardNoEvent : uint64_t(DetLocal));
+  EXPECT_EQ(*Ti, TiLocal == SIZE_MAX ? ShardNoEvent : uint64_t(TiLocal));
+
+  WorkerSupervisor::Stats S = (*W)->stats();
+  EXPECT_EQ(S.ShardsDispatched, 2u);
+  EXPECT_EQ(S.WorkerCrashes, 0u);
+  EXPECT_EQ(S.ShardRetries, 0u);
+  EXPECT_EQ(S.ShardsDegraded, 0u);
+}
+
+TEST(WorkerSupervision, ReplyLevelErrorIsNotACrash) {
+  // A shard range beyond the rule list is a protocol-level error reply:
+  // it must surface as a failed Result without killing the worker,
+  // retrying, or touching the crash counters.
+  Result<std::unique_ptr<WorkerSupervisor>> W =
+      WorkerSupervisor::launch(workerConfig(1));
+  ASSERT_TRUE(W.isOk()) << W.status().message();
+  Result<uint64_t> R = (*W)->transitionInjectivityShard(1u << 20, 1u << 21);
+  ASSERT_FALSE(R.isOk());
+
+  WorkerSupervisor::Stats S = (*W)->stats();
+  EXPECT_EQ(S.ShardsDispatched, 1u);
+  EXPECT_EQ(S.WorkerCrashes, 0u);
+  EXPECT_EQ(S.ShardRetries, 0u);
+  EXPECT_EQ(S.ShardsDegraded, 0u);
+
+  // The worker that sent the error reply is still alive and serving.
+  SolverContext Ctx;
+  Result<AstProgram> Ast = parseGenic(EncProgram);
+  ASSERT_TRUE(Ast.isOk());
+  Result<LoweredProgram> Prog = lowerProgram(Ctx.factory(), *Ast);
+  ASSERT_TRUE(Prog.isOk());
+  std::vector<unsigned> Rules = transitionInjectivityRules(Prog->Machine);
+  EXPECT_TRUE((*W)->transitionInjectivityShard(0, Rules.size()).isOk());
+}
+
+TEST(WorkerSupervision, CrashGetsOneRetryThenDegradesToSolverError) {
+  // crash@1x0:workers SIGKILLs the armed worker at its first solver query
+  // — and at the retry worker's first query too (the plan replays
+  // deterministically), so the shard must degrade after exactly one
+  // supervised retry.
+  WorkerSupervisorConfig Cfg = workerConfig(1);
+  Cfg.FaultSpec = "crash@1x0:workers";
+  Result<std::unique_ptr<WorkerSupervisor>> W = WorkerSupervisor::launch(Cfg);
+  ASSERT_TRUE(W.isOk()) << W.status().message();
+
+  SolverContext Ctx;
+  Result<AstProgram> Ast = parseGenic(EncProgram);
+  ASSERT_TRUE(Ast.isOk());
+  Result<LoweredProgram> Prog = lowerProgram(Ctx.factory(), *Ast);
+  ASSERT_TRUE(Prog.isOk());
+  std::vector<unsigned> Rules = transitionInjectivityRules(Prog->Machine);
+  ASSERT_FALSE(Rules.empty());
+
+  Result<uint64_t> R = (*W)->transitionInjectivityShard(0, Rules.size());
+  ASSERT_FALSE(R.isOk());
+  EXPECT_EQ(R.status().code(), StatusCode::SolverError);
+  EXPECT_NE(R.status().message().find("crashed twice"), std::string::npos);
+
+  WorkerSupervisor::Stats S = (*W)->stats();
+  EXPECT_EQ(S.ShardsDispatched, 1u);
+  EXPECT_EQ(S.ShardRetries, 1u);
+  EXPECT_EQ(S.WorkerCrashes, 2u);
+  EXPECT_EQ(S.WorkerRestarts, 1u);
+  EXPECT_EQ(S.ShardsDegraded, 1u);
+}
+
+TEST(WorkerSupervision, UnspawnableBinaryDegradesInsteadOfHanging) {
+  // Launch succeeds (spawn is lazy), but the first dispatch must degrade
+  // with a bounded number of spawn attempts — never hang or fall back to
+  // running the shard in-process.
+  WorkerSupervisorConfig Cfg = workerConfig(1);
+  Cfg.WorkerBinary = "/nonexistent/genic-worker";
+  Result<std::unique_ptr<WorkerSupervisor>> W = WorkerSupervisor::launch(Cfg);
+  ASSERT_TRUE(W.isOk()) << W.status().message();
+  Result<uint64_t> R = (*W)->determinismShard(0, 1);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_GE((*W)->stats().ShardsDegraded, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Full pipeline through --worker-procs
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPipeline, ReportsByteIdenticalAcrossJobsAndWorkerProcs) {
+  // The outcome report is the structural contract: every (jobs,
+  // worker-procs) combination must render it byte-for-byte identically.
+  std::string Baseline;
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    for (unsigned Procs : {0u, 2u}) {
+      InverterOptions Options;
+      Options.Jobs = Jobs;
+      GenicTool Tool(Options);
+      if (Procs > 0)
+        Tool.setWorkerProcs(Procs, GENIC_WORKER_BIN);
+      Result<GenicReport> R = Tool.run(EncProgram);
+      ASSERT_TRUE(R.isOk()) << R.status().message();
+      std::string Report = formatOutcomeReport(*R);
+      if (Baseline.empty())
+        Baseline = Report;
+      EXPECT_EQ(Report, Baseline)
+          << "jobs " << Jobs << " worker-procs " << Procs;
+      if (Procs > 0) {
+        // The run really shipped shards out of process (lazy spawn means
+        // a zero here would silently revert to in-process coverage).
+        EXPECT_GT(Tool.metrics().counter("workerproc.shards").value(), 0u)
+            << "jobs " << Jobs;
+        EXPECT_EQ(Tool.metrics().counter("workerproc.crashes").value(), 0u);
+      }
+    }
+  }
+}
+
+TEST(WorkerPipeline, CrashedWorkerDegradesOnlyItsShard) {
+  // The headline robustness contract: a SIGKILLed worker costs one shard
+  // (degraded to SolverError after its supervised retry), not the run —
+  // the pipeline completes with the documented degraded exit code.
+  InverterOptions Options;
+  Options.Jobs = 2;
+  GenicTool Tool(Options);
+  Tool.setWorkerProcs(2, GENIC_WORKER_BIN);
+  Tool.setFaultPlan(*parseFaultPlan("crash@1x0:workers"));
+  Result<GenicReport> R = Tool.run(EncProgram);
+  ASSERT_TRUE(R.isOk()) << R.status().message();
+  EXPECT_EQ(suggestedExitCode(*R), ExitInternalError);
+
+  EXPECT_GE(Tool.metrics().counter("workerproc.crashes").value(), 2u);
+  EXPECT_GE(Tool.metrics().counter("workerproc.retries").value(), 1u);
+  EXPECT_GE(Tool.metrics().counter("workerproc.degraded").value(), 1u);
+
+  // The same tool serves the next, fault-free run cleanly: supervision
+  // state is per-request, nothing sticks.
+  Tool.setFaultPlan(FaultPlan());
+  Result<GenicReport> After = Tool.run(EncProgram);
+  ASSERT_TRUE(After.isOk()) << After.status().message();
+  EXPECT_EQ(suggestedExitCode(*After), ExitOk);
+  EXPECT_EQ(Tool.metrics().counter("workerproc.crashes").value(), 0u);
+}
+
+} // namespace

@@ -22,6 +22,14 @@
 ///   --jobs N       run the determinism/injectivity checks and rule
 ///                  inversion on N worker threads (output is identical for
 ///                  every N; default 1)
+///   --worker-procs N  ship the verdict-only verification shards to N
+///                  out-of-process genic-worker processes, so a solver
+///                  crash kills a child, not the run (a shard that fails
+///                  twice degrades its phase to a solver error, exit 5);
+///                  0 (default) keeps everything in-process; output is
+///                  byte-identical either way
+///   --worker-binary PATH  explicit genic-worker path (default: env
+///                  GENIC_WORKER, then next to the genic executable)
 ///   --entry NAME   override the entry transformation
 ///   --sat-cache-cap N  cap the shared solver's memo tables at N entries
 ///                  (0 disables memoization; default 1048576)
@@ -97,6 +105,7 @@ int usage() {
       "--fault-inject SPEC\n"
       "           --solver-incremental {on,off} --trace-out FILE "
       "--metrics-json FILE\n"
+      "           --worker-procs N --worker-binary PATH\n"
       "           --decode-file IN --decode-out OUT\n");
   return ExitUsage;
 }
@@ -142,6 +151,8 @@ int main(int Argc, char **Argv) {
   std::optional<std::string> FaultSpec;
   std::string TraceOut, MetricsJsonOut;
   std::string DecodeFile, DecodeOut;
+  unsigned WorkerProcs = 0;
+  std::string WorkerBinary;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -209,6 +220,18 @@ int main(int Argc, char **Argv) {
       if (++I >= Argc)
         return usage();
       MetricsJsonOut = Argv[I];
+    } else if (Arg == "--worker-procs") {
+      if (++I >= Argc)
+        return usage();
+      try {
+        WorkerProcs = static_cast<unsigned>(std::stoul(Argv[I]));
+      } catch (...) {
+        return usage();
+      }
+    } else if (Arg == "--worker-binary") {
+      if (++I >= Argc)
+        return usage();
+      WorkerBinary = Argv[I];
     } else if (Arg == "--decode-file") {
       if (++I >= Argc)
         return usage();
@@ -387,6 +410,8 @@ int main(int Argc, char **Argv) {
     }
     Tool.setFaultPlan(*Plan);
   }
+  if (WorkerProcs > 0)
+    Tool.setWorkerProcs(WorkerProcs, WorkerBinary);
   if (!TraceOut.empty()) {
     TraceRecorder::global().enable();
     TraceRecorder::global().nameThisThread("main");

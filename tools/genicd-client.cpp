@@ -26,7 +26,8 @@
 ///                        report | payload | code | error | warm | exit
 ///                        (default: the raw response line)
 ///   --retry-seconds S    retry the connect for up to S seconds (daemon
-///                        start-up races in scripts)
+///                        start-up races in scripts); retries back off
+///                        exponentially with jitter, 10ms doubling to 1s
 ///
 /// Exit code: the response's "exit" (the genic CLI code the daemon mapped),
 /// or 1 when the transport itself failed.
@@ -35,12 +36,14 @@
 
 #include "engine/Serve.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -229,14 +232,28 @@ int main(int Argc, char **Argv) {
   }
   Request += "}\n";
 
+  // Bounded connect retry with exponential backoff plus jitter: 10ms
+  // doubling to a 1s cap, each sleep scaled by a random factor in
+  // [0.5, 1.5). The jitter keeps a herd of clients racing one daemon
+  // start-up (the bench harness does exactly this) from reconnecting in
+  // lockstep; the deadline bounds the whole affair.
   auto Deadline = std::chrono::steady_clock::now() +
                   std::chrono::duration<double>(RetrySeconds);
+  std::mt19937_64 Rng(static_cast<uint64_t>(::getpid()) ^
+                      static_cast<uint64_t>(
+                          std::chrono::steady_clock::now()
+                              .time_since_epoch()
+                              .count()));
+  std::uniform_real_distribution<double> Jitter(0.5, 1.5);
+  double DelayMs = 10;
   int Fd = -1;
   for (;;) {
     Fd = connectOnce(SocketPath, Host, Port);
     if (Fd >= 0 || std::chrono::steady_clock::now() >= Deadline)
       break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(DelayMs * Jitter(Rng)));
+    DelayMs = std::min(DelayMs * 2, 1000.0);
   }
   if (Fd < 0) {
     std::fprintf(stderr, "genicd-client: cannot connect\n");

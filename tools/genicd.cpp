@@ -26,7 +26,13 @@
 ///     parse/lower are skipped and solver/bank state is reused,
 ///   * "metrics" serves the engine-lifetime registry as genic-metrics-v1
 ///     JSON; "ping" answers "pong"; "shutdown" stops the daemon after
-///     in-flight requests drain.
+///     in-flight requests drain,
+///   * SIGTERM/SIGINT trigger the same graceful path: accepting stops,
+///     in-flight requests get --grace-seconds to finish, metrics/trace
+///     artifacts are flushed, and the exit code is 0,
+///   * connections carry socket read/write timeouts (--io-timeout-seconds)
+///     and a request-size cap (--max-request-bytes) answered with
+///     "bad-request" — a stuck or abusive peer cannot pin a thread.
 ///
 /// Engine options mirror the genic CLI: --jobs, --no-aux, --no-mining,
 /// --no-slice, --solver-incremental, --solver-timeout-ms, --sat-cache-cap,
@@ -43,12 +49,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -76,6 +84,22 @@ int usage() {
       "  --jobs N --no-aux --no-mining --no-slice\n"
       "  --solver-incremental {on,off}\n"
       "  --solver-timeout-ms N --sat-cache-cap N\n"
+      "  --worker-procs N       ship each request's verification shards to\n"
+      "                         N out-of-process genic-worker processes\n"
+      "                         (crash isolation; default 0 = in-process)\n"
+      "  --worker-binary PATH   explicit genic-worker path (default: env\n"
+      "                         GENIC_WORKER, then next to genicd)\n"
+      "  --grace-seconds S      shutdown grace: in-flight requests get S\n"
+      "                         seconds to drain before the process exits\n"
+      "                         anyway (default 30)\n"
+      "  --io-timeout-seconds S per-connection socket read/write timeout;\n"
+      "                         an idle or stuck peer is disconnected\n"
+      "                         (default 300, 0 disables)\n"
+      "  --max-request-bytes N  longest accepted request line; beyond it\n"
+      "                         the request is answered \"bad-request\" and\n"
+      "                         the connection closed (default 16 MiB)\n"
+      "  --metrics-out FILE     write the engine metrics snapshot as JSON\n"
+      "                         on shutdown\n"
       "  --trace-out FILE       write a span trace on shutdown\n");
   return 2;
 }
@@ -122,6 +146,15 @@ public:
   size_t QueueBound;
   std::atomic<bool> Stopping{false};
   int ListenFd = -1;
+
+  /// Request-handling policy shared by every connection.
+  unsigned WorkerProcs = 0;
+  std::string WorkerBinary;
+  size_t MaxRequestBytes = 16u << 20;
+
+  /// Requests currently inside handle(); the shutdown grace period waits
+  /// for this and the queue to reach zero.
+  std::atomic<size_t> Active{0};
 
   std::mutex QueueMu;
   std::condition_variable QueueCv;
@@ -180,9 +213,19 @@ public:
           return; // Stopping and drained.
         J = std::move(Queue.front());
         Queue.pop_front();
+        // Claimed under the lock so drained() can never observe an empty
+        // queue before the increment lands.
+        Active.fetch_add(1);
       }
       J.C->sendLine(handle(J.Line));
+      Active.fetch_sub(1);
     }
+  }
+
+  /// True once nothing is queued and nothing is being handled.
+  bool drained() {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    return Queue.empty() && Active.load() == 0;
   }
 
   std::string handle(const std::string &Line) {
@@ -222,6 +265,8 @@ public:
     Ctx.ForceInjectivity = Req.ForceInjectivity;
     Ctx.ForceInvert = Req.ForceInvert;
     Ctx.Jobs = Req.Jobs;
+    Ctx.WorkerProcs = WorkerProcs;
+    Ctx.WorkerBinary = WorkerBinary;
     if (!Req.FaultPlan.empty()) {
       Result<FaultPlan> Plan = parseFaultPlan(Req.FaultPlan);
       if (!Plan) {
@@ -249,11 +294,13 @@ public:
     return formatServeResponse(Resp);
   }
 
-  /// Frames lines off one connection until EOF, feeding the queue.
+  /// Frames lines off one connection until EOF, feeding the queue. A
+  /// request longer than MaxRequestBytes (no newline within the cap) is
+  /// answered "bad-request" and the connection closed — a client streaming
+  /// an unbounded line can neither hang a reader nor grow the buffer
+  /// without bound. recv timing out (SO_RCVTIMEO, see --io-timeout-seconds)
+  /// disconnects the idle peer.
   void readerLoop(std::shared_ptr<Conn> C) {
-    // Oversized lines (no newline within the cap) poison the connection;
-    // real corpus programs are a few KB.
-    constexpr size_t MaxLine = 16u << 20;
     std::string Buffer;
     char Chunk[64 * 1024];
     for (;;) {
@@ -267,6 +314,10 @@ public:
         std::string Line = Buffer.substr(Start, Nl - Start);
         if (Line.empty())
           continue;
+        if (Line.size() > MaxRequestBytes) {
+          sendOversized(*C, Line);
+          return;
+        }
         if (!enqueue(Job{C, Line})) {
           ServeResponse Busy;
           Busy.Code = "overloaded";
@@ -280,11 +331,28 @@ public:
         }
       }
       Buffer.erase(0, Start);
-      if (Buffer.size() > MaxLine)
+      if (Buffer.size() > MaxRequestBytes) {
+        sendOversized(*C, Buffer);
         return;
+      }
       if (Stopping.load())
         return;
     }
+  }
+
+  void sendOversized(Conn &C, const std::string &Partial) {
+    ServeResponse Bad;
+    Bad.Code = "bad-request";
+    Bad.Exit = ExitUsage;
+    Bad.Error = "request exceeds " + std::to_string(MaxRequestBytes) +
+                " bytes";
+    // The id key sits at the front of well-formed requests, so even a
+    // truncated oversized line usually yields it.
+    if (Result<FlatJson> J = parseFlatJson(Partial))
+      if (auto It = J->Numbers.find("id");
+          It != J->Numbers.end() && It->second >= 0)
+        Bad.Id = static_cast<uint64_t>(It->second);
+    C.sendLine(formatServeResponse(Bad));
   }
 };
 
@@ -303,9 +371,13 @@ void onSignal(int) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string SocketPath, TraceOut;
+  std::string SocketPath, TraceOut, MetricsOut;
   int TcpPort = -1;
   size_t Threads = 2, QueueBound = 16;
+  size_t MaxRequestBytes = 16u << 20;
+  unsigned WorkerProcs = 0;
+  std::string WorkerBinary;
+  double GraceSeconds = 30, IoTimeoutSeconds = 300;
   EngineConfig Config;
   bool SolverIncrementalSet = false;
 
@@ -367,6 +439,36 @@ int main(int Argc, char **Argv) {
         if (!V)
           return usage();
         Config.SatCacheCap = std::stoull(V);
+      } else if (Arg == "--worker-procs") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        WorkerProcs = static_cast<unsigned>(std::stoul(V));
+      } else if (Arg == "--worker-binary") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        WorkerBinary = V;
+      } else if (Arg == "--grace-seconds") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        GraceSeconds = std::max(0.0, std::stod(V));
+      } else if (Arg == "--io-timeout-seconds") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        IoTimeoutSeconds = std::max(0.0, std::stod(V));
+      } else if (Arg == "--max-request-bytes") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        MaxRequestBytes = std::max<size_t>(1, std::stoull(V));
+      } else if (Arg == "--metrics-out") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        MetricsOut = V;
       } else if (Arg == "--trace-out") {
         const char *V = NextArg();
         if (!V)
@@ -437,6 +539,9 @@ int main(int Argc, char **Argv) {
 
   Daemon D(Config, QueueBound);
   D.ListenFd = ListenFd;
+  D.WorkerProcs = WorkerProcs;
+  D.WorkerBinary = WorkerBinary;
+  D.MaxRequestBytes = MaxRequestBytes;
   SignalStop = &D.Stopping;
   SignalListenFd = ListenFd;
   std::signal(SIGINT, onSignal);
@@ -468,21 +573,62 @@ int main(int Argc, char **Argv) {
         continue;
       break;
     }
+    if (IoTimeoutSeconds > 0) {
+      // Socket-level read/write deadlines: a peer that goes silent
+      // mid-request or stops draining its responses is disconnected
+      // instead of pinning a reader thread or the send buffer forever.
+      timeval Tv{};
+      Tv.tv_sec = static_cast<time_t>(IoTimeoutSeconds);
+      Tv.tv_usec = static_cast<suseconds_t>(
+          (IoTimeoutSeconds - static_cast<double>(Tv.tv_sec)) * 1e6);
+      ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+    }
     auto C = std::make_shared<Conn>(Fd);
     D.registerConn(C);
     Readers.emplace_back([&D, C] { D.readerLoop(C); });
   }
 
-  // Drain: stop() already woke the workers; readers exit on connection EOF
-  // or the stopping flag after their next read.
+  // Graceful shutdown: stop accepting (done — the loop broke), stop the
+  // readers, and give in-flight requests the grace period to drain. What
+  // finishes within it is answered normally; when the period expires with
+  // work still running the process exits anyway — observability artifacts
+  // are flushed either way, and the exit code stays 0 (shutdown on signal
+  // is a clean outcome, stuck solver queries notwithstanding).
   D.stop();
   ::close(ListenFd);
-  for (std::thread &T : Workers)
-    T.join();
-  for (std::thread &T : Readers)
-    T.join();
+  auto GraceEnd = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(GraceSeconds));
+  bool Drained;
+  while (!(Drained = D.drained()) &&
+         std::chrono::steady_clock::now() < GraceEnd)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  if (Drained) {
+    for (std::thread &T : Workers)
+      T.join();
+    for (std::thread &T : Readers)
+      T.join();
+  } else {
+    std::fprintf(stderr,
+                 "genicd: grace period (%.0fs) expired with requests still "
+                 "in flight; exiting without them\n",
+                 GraceSeconds);
+    for (std::thread &T : Workers)
+      T.detach();
+    for (std::thread &T : Readers)
+      T.detach();
+  }
   if (!SocketPath.empty())
     ::unlink(SocketPath.c_str());
+  if (!MetricsOut.empty()) {
+    std::ofstream MOut(MetricsOut);
+    if (!MOut)
+      std::fprintf(stderr, "genicd: warning: cannot open %s\n",
+                   MetricsOut.c_str());
+    else
+      MOut << formatMetricsSnapshotJson(D.Engine.metrics().snapshot());
+  }
   if (!TraceOut.empty()) {
     TraceRecorder::global().disable();
     if (Status St = TraceRecorder::global().writeJson(TraceOut); !St)
@@ -492,5 +638,11 @@ int main(int Argc, char **Argv) {
               (unsigned long long)D.Engine.metrics()
                   .counter("serve.requests")
                   .value());
+  std::fflush(stdout);
+  // The detached-thread path must not return through static destructors
+  // while abandoned requests still run; _exit keeps the flushed artifacts
+  // and skips teardown races.
+  if (!Drained)
+    ::_exit(0);
   return 0;
 }
