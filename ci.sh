@@ -128,15 +128,44 @@ if ./build/tools/trace-lint tests/traces/overflowing_span.trace.json \
   exit 1
 fi
 
+# Asserts every line of an access log is valid NDJSON carrying the
+# documented request/slowquery schema (tools/genicd.cpp --access-log).
+validate_access_log() {
+  python3 - "$1" <<'PYEOF'
+import json, sys
+Path = sys.argv[1]
+N = 0
+for Raw in open(Path):
+    Line = Raw.strip()
+    if not Line:
+        continue
+    O = json.loads(Line)
+    assert O.get("event") in ("request", "slowquery"), O
+    if O["event"] == "request":
+        for K in ("ts", "id", "op", "api", "exit", "warm", "queue_us"):
+            assert K in O, (K, O)
+    else:
+        for K in ("ts", "req", "phase", "kind", "elapsed_us",
+                  "threshold_ms", "in_flight", "timed_out"):
+            assert K in O, (K, O)
+    N += 1
+assert N > 0, "empty access log"
+print("access log OK: %d lines" % N)
+PYEOF
+}
+
 echo "=== genicd: resident service smoke ==="
 # One daemon, eight concurrent inversions plus deliberate failures: the
 # error paths must stay per-request (the daemon keeps serving, the clean
 # requests still exit 0) and a served report must be byte-identical to the
-# fresh-process CLI's.
-cmake --build build -j --target genicd genicd-client
+# fresh-process CLI's. The daemon runs with the full observability stack
+# on — access log, Prometheus exposition, statusz, slow-query watch — and
+# the artifacts are validated after shutdown.
+cmake --build build -j --target genicd genicd-client promlint
 GENICD_SOCK=build/genicd-ci.sock
-rm -f "$GENICD_SOCK"
+rm -f "$GENICD_SOCK" build/genicd-ci.access.ndjson
 ./build/tools/genicd --socket "$GENICD_SOCK" --threads 4 --queue 16 \
+  --access-log build/genicd-ci.access.ndjson --slow-query-ms 30000 \
   > build/genicd-ci.log 2>&1 &
 GENICD_PID=$!
 trap 'kill "$GENICD_PID" 2>/dev/null || true' EXIT
@@ -177,14 +206,16 @@ if [ "$BAD_RC" -eq 0 ] || grep -qx 'ok' build/genicd-ci.bad.code; then
   echo "genicd smoke: malformed source must fail per-request" >&2
   exit 1
 fi
-# A daemon-served report must match the fresh-process CLI byte-for-byte.
+# A daemon-served report must match the fresh-process CLI byte-for-byte,
+# and the response must carry the server-side timing breakdown.
 ./build/tools/genicd-client --socket "$GENICD_SOCK" \
-  --file programs/BASE16_encoder.genic --id 103 --jobs 2 \
-  --field report > build/genicd-ci.report
+  --file programs/BASE16_encoder.genic --id 103 --jobs 2 --timings \
+  --field report > build/genicd-ci.report 2> build/genicd-ci.timings
 ./build/tools/genic invert programs/BASE16_encoder.genic --jobs 2 \
   | sed -n '/^outcome report for/,$p' > build/genicd-ci.cli.report
 diff build/genicd-ci.report build/genicd-ci.cli.report
-# /metrics must return a parseable genic-metrics-v1 snapshot with the
+grep -q '^timings: queue [0-9]*us' build/genicd-ci.timings
+# The metrics op must return a parseable genic-metrics-v1 snapshot with the
 # serve counters.
 ./build/tools/genicd-client --socket "$GENICD_SOCK" --op metrics \
   --field payload > build/genicd-ci.metrics.json
@@ -195,10 +226,123 @@ for Key in '"schema": "genic-metrics-v1"' '"serve.requests"' \
     exit 1
   fi
 done
+# Slow-query watch: unknown@1 makes the first solver query of each armed
+# session time out once (the retry masks it, so the request still succeeds)
+# and the watch must record it — a slowquery access-log line now, a nonzero
+# solver.slowquery.count in the next scrape.
+./build/tools/genicd-client --socket "$GENICD_SOCK" \
+  --file programs/BASE16_encoder.genic --id 104 --jobs 2 \
+  --fault-inject 'unknown@1' --field code > build/genicd-ci.slow.code
+grep -qx 'ok' build/genicd-ci.slow.code
+# statusz must identify itself and expose pool + slow-query state.
+./build/tools/genicd-client --socket "$GENICD_SOCK" --op statusz \
+  --field payload > build/genicd-ci.statusz
+for Key in '"schema": "genic-statusz-v1"' '"queue"' '"pool"' \
+  '"slow_query_ms": 30000'; do
+  if ! grep -qF "$Key" build/genicd-ci.statusz; then
+    echo "genicd smoke: missing $Key in statusz snapshot" >&2
+    exit 1
+  fi
+done
+# Prometheus exposition: scrape the NDJSON snapshot and the HTTP endpoint
+# back to back (no inverts in between, so serve.requests cannot move), lint
+# the text format, and require the counter values to agree.
+./build/tools/genicd-client --socket "$GENICD_SOCK" --op metrics \
+  --field payload > build/genicd-ci.metrics2.json
+curl -sS --unix-socket "$GENICD_SOCK" http://localhost/metrics \
+  > build/genicd-ci.prom
+./build/tools/promlint build/genicd-ci.prom
+NDJSON_REQ=$(grep -oE '"serve\.requests": *[0-9]+' \
+  build/genicd-ci.metrics2.json | grep -oE '[0-9]+$')
+PROM_REQ=$(awk '$1 == "genic_serve_requests_total" {print $2}' \
+  build/genicd-ci.prom)
+if [ -z "$NDJSON_REQ" ] || [ "$NDJSON_REQ" != "$PROM_REQ" ]; then
+  echo "genicd smoke: serve.requests disagrees between the NDJSON" \
+    "snapshot ($NDJSON_REQ) and the Prometheus scrape ($PROM_REQ)" >&2
+  exit 1
+fi
+if ! grep -E '"solver\.slowquery\.count": *[1-9]' \
+    build/genicd-ci.metrics2.json > /dev/null; then
+  echo "genicd smoke: unknown@1 run left solver.slowquery.count at zero" >&2
+  exit 1
+fi
 ./build/tools/genicd-client --socket "$GENICD_SOCK" --op shutdown \
   > /dev/null
 wait "$GENICD_PID"
 trap - EXIT
+# Every request in the stage — clean, budget-exhausted, malformed,
+# fault-injected, introspection — must have produced a schema-valid
+# access-log line, and the timed-out query a slowquery event.
+validate_access_log build/genicd-ci.access.ndjson
+grep -q '"event":"slowquery"' build/genicd-ci.access.ndjson
+grep -q '"timed_out":true' build/genicd-ci.access.ndjson
+grep -q '"api":"budget-exhausted"' build/genicd-ci.access.ndjson
+REQ_LINES=$(grep -c '"event":"request"' build/genicd-ci.access.ndjson)
+if [ "$REQ_LINES" -lt 15 ]; then
+  echo "genicd smoke: expected >=15 request lines in the access log," \
+    "got $REQ_LINES" >&2
+  exit 1
+fi
+
+echo "=== genicd: live statusz + overload shed under a saturated queue ==="
+# A one-worker, one-slot daemon: a long cold inversion occupies the worker,
+# the HTTP statusz (served inline on the reader thread, never queued) must
+# show it in flight with its current phase, a queued request fills the one
+# slot, and the next request must shed with api=overloaded — which the
+# access log must record.
+OVL_SOCK=build/genicd-ovl.sock
+rm -f "$OVL_SOCK" build/genicd-ovl.access.ndjson
+./build/tools/genicd --socket "$OVL_SOCK" --threads 1 --queue 1 \
+  --access-log build/genicd-ovl.access.ndjson \
+  > build/genicd-ovl.log 2>&1 &
+OVL_PID=$!
+trap 'kill "$OVL_PID" 2>/dev/null || true' EXIT
+./build/tools/genicd-client --socket "$OVL_SOCK" --op ping \
+  --retry-seconds 10 > /dev/null
+./build/tools/genicd-client --socket "$OVL_SOCK" \
+  --file programs/UTF-8_encoder.genic --id 1 --timeout-seconds 10 \
+  --field code > build/genicd-ovl.long.code &
+OVL_LONG=$!
+SAW_INFLIGHT=0
+for _ in $(seq 1 100); do
+  curl -sS --unix-socket "$OVL_SOCK" http://localhost/statusz \
+    > build/genicd-ovl.statusz || true
+  if grep -q '"phase": "' build/genicd-ovl.statusz &&
+      grep -q '"elapsed_us"' build/genicd-ovl.statusz; then
+    SAW_INFLIGHT=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$SAW_INFLIGHT" -ne 1 ]; then
+  echo "genicd statusz: never saw the in-flight request's phase" >&2
+  exit 1
+fi
+# Fill the single queue slot, then the next request must shed immediately.
+./build/tools/genicd-client --socket "$OVL_SOCK" \
+  --file programs/BASE16_encoder.genic --id 2 \
+  --field code > build/genicd-ovl.queued.code &
+OVL_QUEUED=$!
+sleep 0.3
+set +e
+./build/tools/genicd-client --socket "$OVL_SOCK" \
+  --file programs/BASE16_encoder.genic --id 3 \
+  --field code > build/genicd-ovl.shed.code
+SHED_RC=$?
+set -e
+if [ "$SHED_RC" -eq 0 ] || ! grep -qx 'overloaded' build/genicd-ovl.shed.code
+then
+  echo "genicd shed: want api=overloaded, got rc $SHED_RC /" \
+    "$(cat build/genicd-ovl.shed.code)" >&2
+  exit 1
+fi
+wait "$OVL_LONG" || true # budget exhaustion on the long request is fine
+wait "$OVL_QUEUED"
+kill -TERM "$OVL_PID"
+wait "$OVL_PID"
+trap - EXIT
+validate_access_log build/genicd-ovl.access.ndjson
+grep -q '"api":"overloaded"' build/genicd-ovl.access.ndjson
 
 echo "=== chaos: out-of-process shards, SIGKILLed workers, merged traces ==="
 # Verification shards must produce byte-identical verdicts whether they run
@@ -269,6 +413,42 @@ done
 # Surviving shards keep their clean verdicts byte-for-byte.
 diff <(grep -F 'determinism:' build/chaos.crash.out) \
   <(grep -F 'determinism:' build/chaos.clean.out)
+# The same worker-crash degradation served through genicd must land in the
+# daemon's access log: the request line carries api=solver-error with the
+# worker crash/degraded counters, and every line still parses.
+CHAOS_SOCK=build/genicd-chaos.sock
+rm -f "$CHAOS_SOCK" build/genicd-chaos.access.ndjson
+./build/tools/genicd --socket "$CHAOS_SOCK" --threads 2 --queue 8 \
+  --worker-procs 2 --worker-binary "$WORKER_BIN" \
+  --access-log build/genicd-chaos.access.ndjson --slow-query-ms 30000 \
+  > build/genicd-chaos.log 2>&1 &
+CHAOS_PID=$!
+trap 'kill "$CHAOS_PID" 2>/dev/null || true' EXIT
+./build/tools/genicd-client --socket "$CHAOS_SOCK" --op ping \
+  --retry-seconds 10 > /dev/null
+set +e
+./build/tools/genicd-client --socket "$CHAOS_SOCK" \
+  --file build/chaos.genic --id 1 --jobs 2 --force-injectivity \
+  --fault-inject 'crash@1x0:workers' \
+  --field code > build/genicd-chaos.code
+CHAOS_RC=$?
+set -e
+if [ "$CHAOS_RC" -ne 5 ] || ! grep -qx 'solver-error' build/genicd-chaos.code
+then
+  echo "chaos genicd: want exit 5 / solver-error, got $CHAOS_RC /" \
+    "$(cat build/genicd-chaos.code)" >&2
+  exit 1
+fi
+./build/tools/genicd-client --socket "$CHAOS_SOCK" --op shutdown > /dev/null
+wait "$CHAOS_PID"
+trap - EXIT
+validate_access_log build/genicd-chaos.access.ndjson
+grep -q '"api":"solver-error"' build/genicd-chaos.access.ndjson
+if ! grep '"api":"solver-error"' build/genicd-chaos.access.ndjson \
+    | grep -q '"worker_crashes":[1-9]'; then
+  echo "chaos genicd: degraded request line lacks worker crash counts" >&2
+  exit 1
+fi
 
 if [ "$SKIP_ASAN" -eq 0 ]; then
   echo "=== sanitizers: address,undefined on the hot-path suites ==="
@@ -376,10 +556,13 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   # The daemon's full request path under tsan: admission queue, worker
   # threads, the warm pool's exclusive checkouts, and the engine-lifetime
   # metrics registry all shared across 8 in-flight requests.
+  # Access log + slow-query watchdog stay on so their writer/scanner
+  # threads are raced against the 8 in-flight requests under tsan too.
   cmake --build build-tsan -j --target genicd genicd-client
-  rm -f build-tsan/genicd-ci.sock
+  rm -f build-tsan/genicd-ci.sock build-tsan/genicd-ci.access.ndjson
   ./build-tsan/tools/genicd --socket build-tsan/genicd-ci.sock \
     --threads 4 --queue 16 --trace-out build-tsan/genicd-ci.trace.json \
+    --access-log build-tsan/genicd-ci.access.ndjson --slow-query-ms 30000 \
     > build-tsan/genicd-ci.log 2>&1 &
   GENICD_TSAN_PID=$!
   trap 'kill "$GENICD_TSAN_PID" 2>/dev/null || true' EXIT
@@ -405,6 +588,7 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   # The daemon's shutdown trace must lint: overlapping request spans per
   # worker thread are exactly what the per-(tid, request) nesting allows.
   ./build-tsan/tools/trace-lint build-tsan/genicd-ci.trace.json
+  validate_access_log build-tsan/genicd-ci.access.ndjson
   unset TSAN_OPTIONS
 fi
 

@@ -14,10 +14,53 @@
 #include "support/Trace.h"
 
 #include <cassert>
+#include <chrono>
 #include <exception>
 #include <functional>
 
 using namespace genic;
+
+/// One in-flight run's live state, shared between the running request and
+/// concurrent status() readers. Phase is an atomic static-literal pointer;
+/// the Workers pointer is guarded by the engine's InFlightMu (status()
+/// reads it under the same mutex the unregistration path takes, so it can
+/// never observe a destroyed supervisor).
+struct InversionEngine::InFlight {
+  uint64_t Key = 0;     ///< Table key (unique even for untagged runs).
+  uint64_t TraceId = 0; ///< Request epoch (0 for single-run CLI).
+  std::chrono::steady_clock::time_point Start;
+  std::atomic<const char *> Phase{"setup"};
+  bool Warm = false;
+  unsigned WorkerProcs = 0;
+  WorkerSupervisor *Workers = nullptr;
+};
+
+namespace {
+
+/// Registers a run in the engine's in-flight table for its lifetime.
+/// Declared after the WorkerSupervisor in runOnSession, so unregistration
+/// (which nulls the supervisor pointer under InFlightMu) happens before
+/// the supervisor is destroyed.
+struct InFlightScope {
+  InFlightScope(std::mutex &Mu,
+                std::map<uint64_t, std::shared_ptr<InversionEngine::InFlight>>
+                    &Table,
+                std::shared_ptr<InversionEngine::InFlight> Info)
+      : Mu(Mu), Table(Table), Info(std::move(Info)) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Table[this->Info->Key] = this->Info;
+  }
+  ~InFlightScope() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Info->Workers = nullptr;
+    Table.erase(Info->Key);
+  }
+  std::mutex &Mu;
+  std::map<uint64_t, std::shared_ptr<InversionEngine::InFlight>> &Table;
+  std::shared_ptr<InversionEngine::InFlight> Info;
+};
+
+} // namespace
 
 InversionEngine::InversionEngine(EngineConfig Config)
     : Config(std::move(Config)),
@@ -77,7 +120,8 @@ InversionEngine::runOnSession(SolverContext &Ctx, const std::string &Source,
   // on the factory that already holds the program's hash-consed terms).
   const LoweredProgram *Prog = nullptr;
   std::optional<LoweredProgram> LocalLowered;
-  if (Warm && Warm->Lowered) {
+  const bool WarmStart = Warm && Warm->Lowered;
+  if (WarmStart) {
     Prog = &*Warm->Lowered;
   } else {
     Result<AstProgram> Ast = parseGenic(Source);
@@ -155,6 +199,19 @@ InversionEngine::runOnSession(SolverContext &Ctx, const std::string &Source,
       return W.status();
     Workers = std::move(*W);
   }
+
+  // Make this run visible to status() for the rest of the function. The
+  // scope is declared after Workers so its destructor runs first: the
+  // supervisor pointer is nulled under InFlightMu before the supervisor
+  // itself goes away.
+  auto Flight = std::make_shared<InFlight>();
+  Flight->Key = NextRequestId.fetch_add(1, std::memory_order_relaxed);
+  Flight->TraceId = Req.TraceId;
+  Flight->Start = std::chrono::steady_clock::now();
+  Flight->Warm = WarmStart;
+  Flight->WorkerProcs = Req.WorkerProcs;
+  Flight->Workers = Workers.get();
+  InFlightScope Registered(InFlightMu, InFlightTable, Flight);
 
   // Classifies a phase failure: budget and solver-error statuses degrade
   // the run (the partial report is still emitted, later phases are
@@ -302,6 +359,7 @@ InversionEngine::runOnSession(SolverContext &Ctx, const std::string &Source,
   for (const PhaseDef &Phase : Phases) {
     if (!Phase.Requested || DegradedRun)
       continue;
+    Flight->Phase.store(Phase.SpanName, std::memory_order_relaxed);
     TraceSpan T(Phase.SpanName);
     Status St = Phase.Body();
     *Phase.Seconds = T.seconds();
@@ -310,6 +368,7 @@ InversionEngine::runOnSession(SolverContext &Ctx, const std::string &Source,
         return St;
     }
   }
+  Flight->Phase.store("finalize", std::memory_order_relaxed);
 
   // Drain worker-process metrics and trace buffers into this request's
   // sinks before the supervisor (and with it the fleet) goes away. The
@@ -428,6 +487,40 @@ InversionEngine::runOnSession(SolverContext &Ctx, const std::string &Source,
   return Report;
 }
 
+EngineStatus InversionEngine::status() const {
+  EngineStatus S;
+  {
+    std::lock_guard<std::mutex> Lock(InFlightMu);
+    auto Now = std::chrono::steady_clock::now();
+    for (const auto &[Key, F] : InFlightTable) {
+      EngineStatus::Request R;
+      R.TraceId = F->TraceId;
+      R.ElapsedUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Now - F->Start)
+                        .count();
+      R.Phase = F->Phase.load(std::memory_order_relaxed);
+      R.Warm = F->Warm;
+      R.WorkerProcs = F->WorkerProcs;
+      if (F->Workers)
+        for (const WorkerSupervisor::SlotState &W : F->Workers->slotStates()) {
+          EngineStatus::WorkerSlot V;
+          V.Index = W.Index;
+          V.Pid = W.Pid;
+          V.Busy = W.Busy;
+          V.Dead = W.Dead;
+          V.Restarts = W.Restarts;
+          R.Workers.push_back(V);
+        }
+      S.InFlight.push_back(std::move(R));
+    }
+  }
+  S.Pool = Pool.describe();
+  S.PoolStats = Pool.stats();
+  S.PoolCapacity = Pool.capacity();
+  S.PoolSize = S.Pool.size();
+  return S;
+}
+
 Result<EngineResponse> InversionEngine::serve(const std::string &Source,
                                               const RequestContext &Req) {
   RequestContext R = Req;
@@ -452,11 +545,14 @@ Result<EngineResponse> InversionEngine::serve(const std::string &Source,
 
   // Engine-lifetime pool accounting, refreshed per request so /metrics is
   // always current.
+  // setMax, not set: concurrent requests mirror the same cumulative pool
+  // stats, and a stale set() could move a counter backwards between two
+  // scrapes.
   ProgramPool::Stats PS = Pool.stats();
-  EngineRegistry.counter("serve.pool.hits").set(PS.Hits);
-  EngineRegistry.counter("serve.pool.misses").set(PS.Misses);
-  EngineRegistry.counter("serve.pool.busy_misses").set(PS.BusyMisses);
-  EngineRegistry.counter("serve.pool.evictions").set(PS.Evictions);
+  EngineRegistry.counter("serve.pool.hits").setMax(PS.Hits);
+  EngineRegistry.counter("serve.pool.misses").setMax(PS.Misses);
+  EngineRegistry.counter("serve.pool.busy_misses").setMax(PS.BusyMisses);
+  EngineRegistry.counter("serve.pool.evictions").setMax(PS.Evictions);
   EngineRegistry.gauge("serve.pool.programs").set(Pool.size());
   EngineRegistry.histogram("serve.request_us")
       .observe(static_cast<uint64_t>(ServeSpan.seconds() * 1e6));

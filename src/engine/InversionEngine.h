@@ -45,9 +45,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace genic {
 
@@ -117,6 +120,36 @@ struct EngineResponse {
   std::shared_ptr<ProgramPool::Entry> Keep;
 };
 
+/// Live introspection snapshot for statusz: every in-flight request with
+/// its elapsed time, current pipeline phase, and worker-process slots, plus
+/// the warm pool's resident entries.
+struct EngineStatus {
+  /// Mirror of WorkerSupervisor::SlotState (kept separate so this header
+  /// does not pull in the IPC layer).
+  struct WorkerSlot {
+    unsigned Index = 0;
+    int Pid = -1;
+    bool Busy = false;
+    bool Dead = false;
+    unsigned Restarts = 0;
+  };
+  struct Request {
+    uint64_t TraceId = 0;
+    uint64_t ElapsedUs = 0;
+    /// "setup", "phase.determinism", "phase.injectivity",
+    /// "phase.inversion", or "finalize". Static literal.
+    const char *Phase = "setup";
+    bool Warm = false;
+    unsigned WorkerProcs = 0;
+    std::vector<WorkerSlot> Workers;
+  };
+  std::vector<Request> InFlight;
+  std::vector<ProgramPool::EntryInfo> Pool;
+  ProgramPool::Stats PoolStats;
+  size_t PoolCapacity = 0;
+  size_t PoolSize = 0;
+};
+
 /// A re-entrant inversion engine: safe for concurrent serve() calls from
 /// multiple threads, with all request state confined to the call.
 class InversionEngine {
@@ -151,14 +184,25 @@ public:
   /// RequestContext::Metrics instead.
   MetricsRegistry &metrics() { return EngineRegistry; }
 
+  /// Live daemon-introspection snapshot (the statusz payload's engine
+  /// half): in-flight requests with current phase and worker slots, plus
+  /// the warm pool's contents. Safe to call concurrently with serve().
+  EngineStatus status() const;
+
   ProgramPool &pool() { return Pool; }
   const EngineConfig &config() const { return Config; }
+
+  /// Implementation detail of the in-flight table (defined in the .cpp);
+  /// public only so the registration scope can name it.
+  struct InFlight;
 
 private:
   EngineConfig Config;
   ProgramPool Pool;
   MetricsRegistry EngineRegistry;
   std::atomic<uint64_t> NextRequestId{1};
+  mutable std::mutex InFlightMu;
+  std::map<uint64_t, std::shared_ptr<InFlight>> InFlightTable;
 };
 
 /// One single-run program analysis session — the historical GenicTool

@@ -6,6 +6,8 @@
 
 #include "engine/ProgramPool.h"
 
+#include <algorithm>
+
 using namespace genic;
 
 ProgramPool::Entry::Entry(std::optional<unsigned> SolverTimeoutMs,
@@ -108,4 +110,32 @@ ProgramPool::Stats ProgramPool::stats() const {
 size_t ProgramPool::size() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Entries.size();
+}
+
+std::vector<ProgramPool::EntryInfo> ProgramPool::describe() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<EntryInfo> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Key, E] : Entries) {
+    EntryInfo Info;
+    Info.Key = Key;
+    Info.Runs = E->Runs.load(std::memory_order_relaxed);
+    auto At = LastUse.find(Key);
+    Info.IdleTicks = At == LastUse.end() ? Tick : Tick - At->second;
+    // try_lock doubles as the busy probe; holding the lock also makes the
+    // Lowered read race-free for idle entries. A busy entry is warm by the
+    // publication invariant (only lowered programs are registered).
+    std::unique_lock<std::mutex> Idle(E->InUse, std::try_to_lock);
+    if (Idle.owns_lock()) {
+      Info.Busy = false;
+      Info.Warm = E->Lowered.has_value();
+    } else {
+      Info.Busy = true;
+      Info.Warm = true;
+    }
+    Out.push_back(Info);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const EntryInfo &A, const EntryInfo &B) { return A.Key < B.Key; });
+  return Out;
 }

@@ -38,12 +38,14 @@
 #include "sygus/EnumeratorBank.h"
 #include "sygus/Inverter.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace genic {
 
@@ -75,8 +77,9 @@ public:
     /// for the same reason; created on the entry's first request and
     /// re-armed (per-request control, timeout) on every later one.
     std::unique_ptr<SolverSessionPool> Checkers;
-    /// Completed runs on this entry (diagnostics only).
-    uint64_t Runs = 0;
+    /// Completed runs on this entry (diagnostics only; atomic so statusz
+    /// can read it while the owning request increments).
+    std::atomic<uint64_t> Runs{0};
     /// Held for the duration of a request; acquire() only try_locks, so a
     /// busy entry is never waited on.
     std::mutex InUse;
@@ -123,6 +126,21 @@ public:
 
   Stats stats() const;
   size_t size() const;
+  size_t capacity() const { return Capacity; }
+
+  /// Point-in-time view of one resident entry, for statusz.
+  struct EntryInfo {
+    uint64_t Key = 0;       ///< hashSource() of the program.
+    uint64_t Runs = 0;      ///< Completed runs on the entry.
+    uint64_t IdleTicks = 0; ///< LRU age: checkouts since this entry's last.
+    bool Busy = false;      ///< Checked out by an in-flight request.
+    bool Warm = false;      ///< Carries a lowered program.
+  };
+
+  /// Key-sorted snapshot of the resident entries. Busy entries are never
+  /// waited on: their lowered-ness is implied by registration (only
+  /// successfully lowered programs are published).
+  std::vector<EntryInfo> describe() const;
 
   /// FNV-1a over the source bytes — the pool key.
   static uint64_t hashSource(const std::string &Source);

@@ -236,7 +236,7 @@ Result<ServeRequest> genic::parseServeRequest(const std::string &Line) {
   if (auto It = J.Strings.find("op"); It != J.Strings.end())
     R.Op = It->second;
   if (R.Op != "invert" && R.Op != "ping" && R.Op != "metrics" &&
-      R.Op != "shutdown")
+      R.Op != "statusz" && R.Op != "shutdown")
     return Status::error("unknown op \"" + R.Op + "\"");
   if (auto It = J.Numbers.find("id"); It != J.Numbers.end()) {
     if (It->second < 0)
@@ -274,6 +274,13 @@ std::string genic::formatServeResponse(const ServeResponse &R) {
   Out += ",\"report\":\"" + jsonEscapeString(R.Report) + "\"";
   Out += ",\"error\":\"" + jsonEscapeString(R.Error) + "\"";
   Out += ",\"payload\":\"" + jsonEscapeString(R.Payload) + "\"";
+  if (R.HasTimings) {
+    Out += ",\"queueUs\":" + std::to_string(R.QueueUs);
+    Out += ",\"detUs\":" + std::to_string(R.DetUs);
+    Out += ",\"injUs\":" + std::to_string(R.InjUs);
+    Out += ",\"invUs\":" + std::to_string(R.InvUs);
+    Out += ",\"totalUs\":" + std::to_string(R.TotalUs);
+  }
   Out += "}\n";
   return Out;
 }

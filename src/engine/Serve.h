@@ -18,12 +18,17 @@
 ///    "forceInvert":false}
 ///   {"op":"ping","id":2}
 ///   {"op":"metrics","id":3}
-///   {"op":"shutdown","id":4}
+///   {"op":"statusz","id":4}
+///   {"op":"shutdown","id":5}
 ///
 /// Responses (one line, fields present when meaningful):
 ///
 ///   {"id":1,"code":"ok","exit":0,"warm":false,"report":"...","error":"",
 ///    "payload":""}
+///
+/// Invert responses from the daemon additionally carry the server-side
+/// timing breakdown ("queueUs","detUs","injUs","invUs","totalUs") consumed
+/// by `genicd-client --timings`.
 ///
 /// "code" is the API error code: the CLI exit-code policy (genic/Genic.h)
 /// mapped name-for-name — ok / error / bad-request / not-invertible /
@@ -71,7 +76,7 @@ std::string jsonEscapeString(const std::string &S);
 
 /// One inversion request as received by the daemon.
 struct ServeRequest {
-  std::string Op = "invert"; ///< invert | ping | metrics | shutdown
+  std::string Op = "invert"; ///< invert | ping | metrics | statusz | shutdown
   uint64_t Id = 0;           ///< echoed verbatim in the response
   std::string Source;        ///< GENIC program text (invert only)
   double TimeoutSeconds = 0; ///< per-request wall-clock budget; 0 = none
@@ -95,6 +100,17 @@ struct ServeResponse {
   std::string Report;      ///< formatOutcomeReport text (invert only)
   std::string Error;       ///< diagnostic for non-ok codes
   std::string Payload;     ///< op-specific payload (pong, metrics JSON)
+
+  /// Server-side latency breakdown in microseconds, emitted only when
+  /// HasTimings is set (the daemon sets it on invert responses): admission
+  /// queue wait, per-phase runtimes from GenicReport::PhaseTimings, and
+  /// the whole-run wall clock.
+  bool HasTimings = false;
+  uint64_t QueueUs = 0;
+  uint64_t DetUs = 0;
+  uint64_t InjUs = 0;
+  uint64_t InvUs = 0;
+  uint64_t TotalUs = 0;
 };
 
 /// Renders \p R as one newline-terminated response line.

@@ -108,6 +108,22 @@ WorkerSupervisor::Stats WorkerSupervisor::stats() const {
   return TheStats;
 }
 
+std::vector<WorkerSupervisor::SlotState> WorkerSupervisor::slotStates() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<SlotState> Out;
+  Out.reserve(Slots.size());
+  for (const auto &S : Slots) {
+    SlotState St;
+    St.Index = S->Index;
+    St.Pid = S->Pid;
+    St.Busy = S->Busy;
+    St.Dead = S->Dead;
+    St.Restarts = S->Restarts;
+    Out.push_back(St);
+  }
+  return Out;
+}
+
 WorkerSupervisor::Slot *WorkerSupervisor::checkout() {
   std::unique_lock<std::mutex> Lock(Mu);
   for (;;) {

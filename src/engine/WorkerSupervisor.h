@@ -125,6 +125,18 @@ public:
   };
   Stats stats() const;
 
+  /// Point-in-time view of one worker slot for statusz: the live pid (-1
+  /// before first spawn / after death), whether a shard round-trip is in
+  /// flight on it, and how many times supervision respawned it.
+  struct SlotState {
+    unsigned Index = 0;
+    int Pid = -1;
+    bool Busy = false;
+    bool Dead = false;
+    unsigned Restarts = 0;
+  };
+  std::vector<SlotState> slotStates() const;
+
 private:
   struct Slot;
   explicit WorkerSupervisor(WorkerSupervisorConfig Cfg);

@@ -6,6 +6,8 @@
 
 #include "genic/Genic.h"
 
+#include "support/Prometheus.h"
+
 #include <cstdio>
 #include <iterator>
 #include <sstream>
@@ -179,6 +181,29 @@ std::string genic::formatStatsReport(const GenicReport &R) {
       R.Timings.DeadlineRemainingSeconds,
       R.DeadlineExpired ? " (EXPIRED)" : "");
   return Out.str();
+}
+
+std::string genic::formatStatsReport(const GenicReport &R,
+                                     const MetricsSnapshot &Snapshot) {
+  std::string Out = formatStatsReport(R);
+  bool Headed = false;
+  char Buf[256];
+  for (const auto &[Name, H] : Snapshot.Histograms) {
+    if (Name.rfind("solver.query.us.", 0) != 0)
+      continue;
+    if (!Headed) {
+      Out += "solver query latency (us):\n";
+      Headed = true;
+    }
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %-44s %7llu queries  p50 %.0f  p90 %.0f  p99 %.0f  "
+                  "max %llu\n",
+                  Name.c_str(), (unsigned long long)H.Count,
+                  histogramQuantileUs(H, 0.5), histogramQuantileUs(H, 0.9),
+                  histogramQuantileUs(H, 0.99), (unsigned long long)H.MaxUs);
+    Out += Buf;
+  }
+  return Out;
 }
 
 namespace {

@@ -161,6 +161,13 @@ std::string formatOutcomeReport(const GenicReport &Report);
 /// the CLI just prints it.
 std::string formatStatsReport(const GenicReport &Report);
 
+/// formatStatsReport plus a "solver query latency" block: one line per
+/// `solver.query.us.*` histogram in \p Snapshot with the query count,
+/// estimated p50/p90/p99 (interpolated from the log2 buckets, see
+/// support/Prometheus.h) and the recorded max.
+std::string formatStatsReport(const GenicReport &Report,
+                              const MetricsSnapshot &Snapshot);
+
 /// Renders the machine-readable run report (schema "genic-metrics-v1"):
 /// a "structural" section derived from the report alone — same contract as
 /// formatOutcomeReport, byte-identical across --jobs values under a fixed

@@ -1,0 +1,252 @@
+//===- solver/QueryWatch.cpp - Active-query registry and watchdog ---------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/QueryWatch.h"
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace genic {
+
+namespace {
+
+uint64_t nowNs() {
+  uint64_t Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  // 0 means "idle" in a slot; never hand it out as a start stamp.
+  return Ns | 1;
+}
+
+/// One thread's active-query slot. Writes on the query path are relaxed
+/// stores; StartNs doubles as the occupancy flag (0 = no query running).
+struct Slot {
+  std::atomic<uint64_t> StartNs{0};
+  std::atomic<const char *> Phase{"other"};
+  std::atomic<const char *> Kind{"shared"};
+  std::atomic<uint64_t> RequestId{0};
+  std::atomic<uint64_t> Seq{0};
+  std::atomic<uint64_t> FlaggedSeq{0};
+};
+
+} // namespace
+
+struct QueryWatch::State {
+  std::atomic<uint64_t> ThresholdMs{0};
+  std::atomic<uint64_t> SlowCount{0};
+
+  std::mutex SlotsMu;
+  std::vector<std::shared_ptr<Slot>> Slots;
+
+  std::mutex SinkMu;
+  std::function<void(const SlowQueryEvent &)> Sink;
+
+  std::mutex WdMu;
+  std::condition_variable WdCv;
+  std::thread Watchdog;
+  bool WdStop = false;
+  uint64_t PeriodMs = 100;
+
+  Slot &localSlot() {
+    // The shared_ptr keeps the slot alive past thread exit; the registry
+    // keeps a reference too, so the watchdog never races a destructor.
+    thread_local std::shared_ptr<Slot> Mine = [this] {
+      auto S = std::make_shared<Slot>();
+      std::lock_guard<std::mutex> Lock(SlotsMu);
+      Slots.push_back(S);
+      return S;
+    }();
+    return *Mine;
+  }
+
+  void fire(const SlowQueryEvent &E) {
+    SlowCount.fetch_add(1, std::memory_order_relaxed);
+    TraceRecorder::global().instant("solver.slowquery", "solver", "us",
+                                    int64_t(E.ElapsedUs), "threshold_ms",
+                                    int64_t(E.ThresholdMs));
+    std::function<void(const SlowQueryEvent &)> S;
+    {
+      std::lock_guard<std::mutex> Lock(SinkMu);
+      S = Sink;
+    }
+    if (S)
+      S(E);
+  }
+
+  void scanOnce(uint64_t Thr) {
+    std::vector<std::shared_ptr<Slot>> Snapshot;
+    {
+      std::lock_guard<std::mutex> Lock(SlotsMu);
+      Snapshot = Slots;
+    }
+    uint64_t Now = nowNs();
+    for (const auto &S : Snapshot) {
+      uint64_t Start = S->StartNs.load(std::memory_order_acquire);
+      if (!Start || Now <= Start)
+        continue;
+      uint64_t ElapsedUs = (Now - Start) / 1000;
+      if (ElapsedUs < Thr * 1000)
+        continue;
+      uint64_t Seq = S->Seq.load(std::memory_order_relaxed);
+      if (S->FlaggedSeq.load(std::memory_order_relaxed) == Seq)
+        continue; // already reported this occurrence
+      S->FlaggedSeq.store(Seq, std::memory_order_relaxed);
+      SlowQueryEvent E;
+      E.ElapsedUs = ElapsedUs;
+      E.ThresholdMs = Thr;
+      E.Phase = S->Phase.load(std::memory_order_relaxed);
+      E.Kind = S->Kind.load(std::memory_order_relaxed);
+      E.RequestId = S->RequestId.load(std::memory_order_relaxed);
+      E.InFlight = true;
+      fire(E);
+    }
+  }
+
+  void watchdogLoop() {
+    std::unique_lock<std::mutex> Lock(WdMu);
+    while (!WdStop) {
+      uint64_t Period = PeriodMs;
+      WdCv.wait_for(Lock, std::chrono::milliseconds(Period),
+                    [this] { return WdStop; });
+      if (WdStop)
+        break;
+      uint64_t Thr = ThresholdMs.load(std::memory_order_relaxed);
+      if (!Thr)
+        continue;
+      Lock.unlock();
+      scanOnce(Thr);
+      Lock.lock();
+    }
+  }
+};
+
+QueryWatch &QueryWatch::global() {
+  static QueryWatch W;
+  return W;
+}
+
+QueryWatch::State &QueryWatch::state() const {
+  // Deliberately leaked: per-thread slots and the watchdog may outlive any
+  // static destruction order.
+  static State *S = new State;
+  return *S;
+}
+
+void QueryWatch::arm(uint64_t ThresholdMs) {
+  state().ThresholdMs.store(ThresholdMs, std::memory_order_relaxed);
+}
+
+uint64_t QueryWatch::thresholdMs() const {
+  return state().ThresholdMs.load(std::memory_order_relaxed);
+}
+
+void QueryWatch::setSink(std::function<void(const SlowQueryEvent &)> Sink) {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.SinkMu);
+  S.Sink = std::move(Sink);
+}
+
+void QueryWatch::startWatchdog(uint64_t PeriodMs) {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.WdMu);
+  if (S.Watchdog.joinable())
+    return;
+  S.WdStop = false;
+  S.PeriodMs = PeriodMs ? PeriodMs : 100;
+  S.Watchdog = std::thread([&S] { S.watchdogLoop(); });
+}
+
+void QueryWatch::stopWatchdog() {
+  State &S = state();
+  std::thread T;
+  {
+    std::lock_guard<std::mutex> Lock(S.WdMu);
+    if (!S.Watchdog.joinable())
+      return;
+    S.WdStop = true;
+    T = std::move(S.Watchdog);
+  }
+  S.WdCv.notify_all();
+  T.join();
+}
+
+std::vector<QueryWatch::ActiveQuery> QueryWatch::activeQueries() const {
+  State &S = state();
+  std::vector<std::shared_ptr<Slot>> Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(S.SlotsMu);
+    Snapshot = S.Slots;
+  }
+  uint64_t Now = nowNs();
+  std::vector<ActiveQuery> Out;
+  for (const auto &Sl : Snapshot) {
+    uint64_t Start = Sl->StartNs.load(std::memory_order_acquire);
+    if (!Start)
+      continue;
+    ActiveQuery Q;
+    Q.ElapsedUs = Now > Start ? (Now - Start) / 1000 : 0;
+    Q.Phase = Sl->Phase.load(std::memory_order_relaxed);
+    Q.Kind = Sl->Kind.load(std::memory_order_relaxed);
+    Q.RequestId = Sl->RequestId.load(std::memory_order_relaxed);
+    Out.push_back(Q);
+  }
+  return Out;
+}
+
+uint64_t QueryWatch::slowQueryCount() const {
+  return state().SlowCount.load(std::memory_order_relaxed);
+}
+
+QueryWatch::Scope::Scope(const char *Kind) {
+  Slot &S = QueryWatch::global().state().localSlot();
+  S.Phase.store(currentMetricsPhase(), std::memory_order_relaxed);
+  S.Kind.store(Kind, std::memory_order_relaxed);
+  S.RequestId.store(currentTraceRequest(), std::memory_order_relaxed);
+  S.Seq.fetch_add(1, std::memory_order_relaxed);
+  S.StartNs.store(nowNs(), std::memory_order_release);
+}
+
+QueryWatch::Scope::~Scope() {
+  QueryWatch::global().state().localSlot().StartNs.store(
+      0, std::memory_order_release);
+}
+
+void QueryWatch::noteCompletion(uint64_t ElapsedUs, bool TimedOut,
+                                const char *Phase, const char *Kind,
+                                MetricsRegistry *Metrics) {
+  uint64_t Thr = thresholdMs();
+  if (!Thr)
+    return;
+  // A timeout-Unknown exhausted its soft budget by definition, so it counts
+  // as slow even when the injected-fault path returned instantly — that is
+  // what makes the chaos-stage assertion deterministic.
+  if (!TimedOut && ElapsedUs < Thr * 1000)
+    return;
+  if (Metrics) {
+    Metrics->counter("solver.slowquery.count").add(1);
+    if (TimedOut)
+      Metrics->counter("solver.slowquery.timeouts").add(1);
+    Metrics->histogram("solver.slowquery.us").observe(ElapsedUs);
+  }
+  SlowQueryEvent E;
+  E.ElapsedUs = ElapsedUs;
+  E.ThresholdMs = Thr;
+  E.Phase = Phase;
+  E.Kind = Kind;
+  E.RequestId = currentTraceRequest();
+  E.InFlight = false;
+  E.TimedOut = TimedOut;
+  state().fire(E);
+}
+
+} // namespace genic

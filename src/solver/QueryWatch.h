@@ -1,0 +1,112 @@
+//===- solver/QueryWatch.h - Active-query registry and watchdog -----------===//
+//
+// Part of the genic project, a C++ reproduction of "Automatic Program
+// Inversion using Symbolic Transducers" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of in-flight solver queries and the slow-query
+/// watchdog that scans it. Every metered `Impl::check` registers its start
+/// timestamp, phase tag, session kind, and request epoch in a per-thread
+/// slot (lock-free stores; slot creation takes a mutex once per thread).
+/// A background watchdog thread — started by genicd when `--slow-query-ms`
+/// is set — scans the slots and fires a SlowQueryEvent the moment a query
+/// has been running past the threshold, so a wedged Z3 call is visible
+/// *while* it is stuck, not only after the deadline unwinds it. Completed
+/// queries that ran past the threshold (or surfaced a timeout-Unknown,
+/// which by definition exhausted their soft budget) are reported by the
+/// chokepoint itself via noteCompletion, which also bumps the
+/// `solver.slowquery.*` counters in the request's registry.
+///
+/// Disarmed (threshold 0, the default) the whole feature is one relaxed
+/// atomic load on the query path — byte-identity and the perf defaults are
+/// untouched. Events additionally land as trace instants
+/// ("solver.slowquery") so slow queries show up in Perfetto.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SOLVER_QUERYWATCH_H
+#define GENIC_SOLVER_QUERYWATCH_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace genic {
+
+class MetricsRegistry;
+
+/// One slow-query occurrence, delivered to the installed sink (genicd
+/// writes it to the access log as an `"event":"slowquery"` line).
+struct SlowQueryEvent {
+  uint64_t ElapsedUs = 0;   ///< Query runtime so far (in-flight) or total.
+  uint64_t ThresholdMs = 0; ///< The armed threshold that was exceeded.
+  const char *Phase = "other"; ///< Metrics phase tag at query start.
+  const char *Kind = "shared"; ///< Solver session kind.
+  uint64_t RequestId = 0;   ///< Trace request epoch (0 outside a request).
+  bool InFlight = false;    ///< Caught mid-query by the watchdog thread.
+  bool TimedOut = false;    ///< The query surfaced a timeout-Unknown.
+};
+
+/// Process-wide singleton owning the per-thread active-query slots, the
+/// armed threshold, the event sink, and the optional watchdog thread.
+class QueryWatch {
+public:
+  static QueryWatch &global();
+
+  /// Arms the watch at \p ThresholdMs (0 disarms). Does not start the
+  /// watchdog thread — completion-side accounting works without it.
+  void arm(uint64_t ThresholdMs);
+  uint64_t thresholdMs() const;
+  bool enabled() const { return thresholdMs() != 0; }
+
+  /// Installs the sink invoked for every slow-query event (watchdog thread
+  /// or completing query thread). Pass an empty function to clear.
+  void setSink(std::function<void(const SlowQueryEvent &)> Sink);
+
+  /// Starts the background scanner (idempotent). \p PeriodMs bounds the
+  /// detection latency for stuck queries.
+  void startWatchdog(uint64_t PeriodMs);
+  /// Stops and joins the scanner (idempotent; safe if never started).
+  void stopWatchdog();
+
+  /// Point-in-time view of currently running solver queries (for statusz).
+  struct ActiveQuery {
+    uint64_t ElapsedUs = 0;
+    const char *Phase = "other";
+    const char *Kind = "shared";
+    uint64_t RequestId = 0;
+  };
+  std::vector<ActiveQuery> activeQueries() const;
+
+  /// Lifetime count of slow-query events (both detection paths).
+  uint64_t slowQueryCount() const;
+
+  /// Registers the calling thread's query in its slot for the scope's
+  /// lifetime. Constructed only when the watch is armed.
+  class Scope {
+  public:
+    Scope(const char *Kind);
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+  };
+
+  /// Completion-side hook from the chokepoint: if the finished query ran
+  /// past the threshold or surfaced a timeout-Unknown, records
+  /// `solver.slowquery.*` into \p Metrics (when non-null), emits the trace
+  /// instant, and invokes the sink. No-op when disarmed.
+  void noteCompletion(uint64_t ElapsedUs, bool TimedOut, const char *Phase,
+                      const char *Kind, MetricsRegistry *Metrics);
+
+private:
+  QueryWatch() = default;
+  struct State;
+  State &state() const;
+};
+
+} // namespace genic
+
+#endif // GENIC_SOLVER_QUERYWATCH_H

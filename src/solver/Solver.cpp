@@ -28,6 +28,7 @@
 #include "solver/Solver.h"
 
 #include "solver/QueryCache.h"
+#include "solver/QueryWatch.h"
 #include "support/Metrics.h"
 #include "term/Eval.h"
 #include "term/Printer.h"
@@ -557,37 +558,47 @@ public:
                          bool IncrementalQuery = false) {
     if (!Control.Metrics)
       return checkUnmetered(S, Assumptions);
-    QueryLatencyScope Metered(*Control.Metrics, Control.Kind,
-                              IncrementalQuery);
+    QueryLatencyScope Metered(*this, IncrementalQuery);
     return checkUnmetered(S, Assumptions);
   }
 
   /// RAII latency observer for check(); the destructor runs on the unwind
-  /// path too, so injected solver exceptions stay accounted for.
+  /// path too, so injected solver exceptions stay accounted for. When the
+  /// slow-query watch is armed it also registers the query in the calling
+  /// thread's active-query slot (so the watchdog can flag it mid-flight)
+  /// and reports the completion so over-threshold or timed-out queries
+  /// bump the `solver.slowquery.*` counters.
   struct QueryLatencyScope {
-    QueryLatencyScope(MetricsRegistry &Registry, SolverSessionKind Kind,
-                      bool Incremental)
-        : Registry(Registry), Kind(Kind), Incremental(Incremental),
-          Start(std::chrono::steady_clock::now()) {}
+    QueryLatencyScope(Impl &I, bool Incremental)
+        : I(I), Incremental(Incremental),
+          Start(std::chrono::steady_clock::now()) {
+      if (QueryWatch::global().enabled())
+        Watch.emplace(toString(I.Control.Kind));
+    }
     ~QueryLatencyScope() {
       uint64_t Us = std::chrono::duration_cast<std::chrono::microseconds>(
                         std::chrono::steady_clock::now() - Start)
                         .count();
+      const char *Phase = currentMetricsPhase();
+      const char *Kind = toString(I.Control.Kind);
+      MetricsRegistry &Registry = *I.Control.Metrics;
       std::string Name = "solver.query.us.";
-      Name += currentMetricsPhase();
+      Name += Phase;
       Name += '.';
-      Name += toString(Kind);
+      Name += Kind;
       Registry.histogram(Name).observe(Us);
       if (Incremental) {
         std::string IncName = "solver.query.us.";
-        IncName += currentMetricsPhase();
+        IncName += Phase;
         IncName += ".incremental";
         Registry.histogram(IncName).observe(Us);
       }
+      QueryWatch::global().noteCompletion(
+          Us, I.LastUnknown == UnknownCause::Timeout, Phase, Kind, &Registry);
     }
-    MetricsRegistry &Registry;
-    SolverSessionKind Kind;
+    Impl &I;
     bool Incremental;
+    std::optional<QueryWatch::Scope> Watch;
     std::chrono::steady_clock::time_point Start;
   };
 

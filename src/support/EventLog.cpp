@@ -1,0 +1,85 @@
+//===- support/EventLog.cpp - Bounded-queue NDJSON event writer -----------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventLog.h"
+
+#include <utility>
+#include <vector>
+
+namespace genic {
+
+EventLog::EventLog(const std::string &Path, std::size_t QueueBound)
+    : Bound(QueueBound ? QueueBound : 1) {
+  File = std::fopen(Path.c_str(), "a");
+  if (File)
+    Writer = std::thread([this] { writerLoop(); });
+}
+
+EventLog::~EventLog() {
+  if (!File)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  Cv.notify_all();
+  Writer.join();
+  std::fclose(File);
+}
+
+void EventLog::append(std::string Line) {
+  if (!File)
+    return;
+  if (Line.empty() || Line.back() != '\n')
+    Line.push_back('\n');
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Queue.size() >= Bound) {
+      ++Dropped;
+      return;
+    }
+    Queue.push_back(std::move(Line));
+  }
+  Cv.notify_one();
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Dropped;
+}
+
+void EventLog::flush() {
+  if (!File)
+    return;
+  std::unique_lock<std::mutex> Lock(Mu);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && !Writing; });
+  std::fflush(File);
+}
+
+void EventLog::writerLoop() {
+  std::vector<std::string> Batch;
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    Cv.wait(Lock, [this] { return !Queue.empty() || Stopping; });
+    if (Queue.empty() && Stopping)
+      break;
+    Batch.assign(std::make_move_iterator(Queue.begin()),
+                 std::make_move_iterator(Queue.end()));
+    Queue.clear();
+    Writing = true;
+    Lock.unlock();
+    for (const std::string &Line : Batch)
+      std::fwrite(Line.data(), 1, Line.size(), File);
+    std::fflush(File);
+    Batch.clear();
+    Lock.lock();
+    Writing = false;
+    IdleCv.notify_all();
+  }
+  std::fflush(File);
+}
+
+} // namespace genic

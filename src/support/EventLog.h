@@ -1,0 +1,78 @@
+//===- support/EventLog.h - Bounded-queue NDJSON event writer -------------===//
+//
+// Part of the genic project, a C++ reproduction of "Automatic Program
+// Inversion using Symbolic Transducers" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe append-only NDJSON event log backed by a bounded queue and
+/// a single background writer thread. Producers (genicd worker threads, the
+/// slow-query watchdog) enqueue fully-formatted JSON lines and never touch
+/// the filesystem: append() takes one mutex, pushes, and returns. When the
+/// queue is full the line is dropped and counted — logging back-pressure
+/// must never stall a request.
+///
+/// The destructor drains whatever is queued, flushes, and joins the writer,
+/// so a graceful daemon shutdown loses nothing; flush() offers the same
+/// barrier mid-run for tests and signal handlers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SUPPORT_EVENTLOG_H
+#define GENIC_SUPPORT_EVENTLOG_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace genic {
+
+/// Append-only NDJSON sink with a bounded in-memory queue and one writer
+/// thread. Construction opens (appends to) \p Path; ok() reports whether
+/// the open succeeded — a failed log is a black hole, not an error path the
+/// daemon has to handle per request.
+class EventLog {
+public:
+  explicit EventLog(const std::string &Path, std::size_t QueueBound = 4096);
+  ~EventLog();
+
+  EventLog(const EventLog &) = delete;
+  EventLog &operator=(const EventLog &) = delete;
+
+  /// Whether the log file opened successfully.
+  bool ok() const { return File != nullptr; }
+
+  /// Enqueues one event line (a trailing newline is added if missing).
+  /// Never blocks: a full queue drops the line and bumps dropped().
+  void append(std::string Line);
+
+  /// Lines dropped because the queue was full.
+  std::uint64_t dropped() const;
+
+  /// Blocks until every line enqueued before the call is written and the
+  /// file is flushed to the OS.
+  void flush();
+
+private:
+  void writerLoop();
+
+  std::FILE *File = nullptr;
+  std::size_t Bound;
+  mutable std::mutex Mu;
+  std::condition_variable Cv;      // producer -> writer
+  std::condition_variable IdleCv;  // writer -> flush()
+  std::deque<std::string> Queue;
+  bool Writing = false;
+  bool Stopping = false;
+  std::uint64_t Dropped = 0;
+  std::thread Writer;
+};
+
+} // namespace genic
+
+#endif // GENIC_SUPPORT_EVENTLOG_H

@@ -58,12 +58,17 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::merge(const MetricsSnapshot &S) {
+  // Hold the registry mutex across the whole batch so a concurrent
+  // snapshot() sees either none or all of this merge — per-entry locking
+  // let a scrape tear across families mid-merge (e.g. workerproc counters
+  // updated but their histograms not yet absorbed).
+  std::lock_guard<std::mutex> Lock(Mu);
   for (const auto &[Name, V] : S.Counters)
-    counter(Name).add(V);
+    Counters[Name].add(V);
   for (const auto &[Name, V] : S.Gauges)
-    gauge(Name).set(V);
+    Gauges[Name].set(V);
   for (const auto &[Name, H] : S.Histograms)
-    histogram(Name).absorb(H.Buckets.data(), H.Count, H.SumUs, H.MaxUs);
+    Histograms[Name].absorb(H.Buckets.data(), H.Count, H.SumUs, H.MaxUs);
 }
 
 void MetricsRegistry::reset() {

@@ -40,6 +40,15 @@ class MetricsCounter {
 public:
   void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
   void set(uint64_t N) { V.store(N, std::memory_order_relaxed); }
+  /// Raises the counter to \p N if it is currently lower. For mirroring a
+  /// cumulative source value from concurrent writers without ever moving
+  /// the counter backwards (a scrape must observe a monotone series).
+  void setMax(uint64_t N) {
+    uint64_t Prev = V.load(std::memory_order_relaxed);
+    while (Prev < N &&
+           !V.compare_exchange_weak(Prev, N, std::memory_order_relaxed))
+      ;
+  }
   uint64_t value() const { return V.load(std::memory_order_relaxed); }
   void reset() { V.store(0, std::memory_order_relaxed); }
 
@@ -157,7 +166,10 @@ public:
 
   /// Accumulates \p S — typically a worker process's registry snapshot —
   /// into this registry: counters and histogram totals add, gauges take
-  /// the snapshot's value (last write wins, like any gauge set).
+  /// the snapshot's value (last write wins, like any gauge set). The whole
+  /// batch is applied under the registry mutex, so a concurrent snapshot()
+  /// observes either none or all of a merge — scrapes can never tear
+  /// across the families of one worker collection.
   void merge(const MetricsSnapshot &S);
 
   /// Zeroes every registered metric (entries and references survive).

@@ -1,0 +1,197 @@
+//===- support/Prometheus.cpp - Prometheus text exposition ----------------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Prometheus.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace genic {
+
+std::string prometheusSanitizeName(std::string_view Name) {
+  std::string Out;
+  Out.reserve(Name.size() + 1);
+  if (!Name.empty() && std::isdigit(static_cast<unsigned char>(Name[0])))
+    Out.push_back('_');
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out.push_back(Ok ? C : '_');
+  }
+  return Out;
+}
+
+std::string prometheusEscape(std::string_view Text, bool LabelValue) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '"':
+      if (LabelValue) {
+        Out += "\\\"";
+        break;
+      }
+      [[fallthrough]];
+    default:
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+double histogramQuantileUs(const MetricsSnapshot::Histogram &H, double Q) {
+  if (H.Count == 0)
+    return 0.0;
+  double Rank = Q * static_cast<double>(H.Count);
+  if (Rank < 1.0)
+    Rank = 1.0;
+  uint64_t Cum = 0;
+  for (unsigned I = 0; I < MetricsHistogram::NumBuckets; ++I) {
+    uint64_t B = H.Buckets[I];
+    if (!B)
+      continue;
+    if (static_cast<double>(Cum + B) >= Rank) {
+      double Lower =
+          I == 0 ? 0.0 : static_cast<double>(uint64_t(1) << (I - 1));
+      double Upper;
+      if (I + 1 < MetricsHistogram::NumBuckets)
+        Upper = static_cast<double>(uint64_t(1) << I);
+      else
+        // Overflow bucket: interpolate up to the recorded max rather than
+        // an unbounded edge.
+        Upper = static_cast<double>(
+            std::max(H.MaxUs, uint64_t(1) << (MetricsHistogram::NumBuckets - 2)));
+      double Frac = (Rank - static_cast<double>(Cum)) / static_cast<double>(B);
+      Frac = std::clamp(Frac, 0.0, 1.0);
+      double V = Lower + (Upper - Lower) * Frac;
+      return std::min(V, static_cast<double>(H.MaxUs));
+    }
+    Cum += B;
+  }
+  return static_cast<double>(H.MaxUs);
+}
+
+namespace {
+
+void appendU64(std::string &Out, uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  Out += Buf;
+}
+
+void appendI64(std::string &Out, int64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+  Out += Buf;
+}
+
+void appendDouble(std::string &Out, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  Out += Buf;
+}
+
+void appendHeader(std::string &Out, const std::string &Family,
+                  const std::string &SourceName, const char *What,
+                  const char *Type) {
+  Out += "# HELP ";
+  Out += Family;
+  Out += ' ';
+  Out += What;
+  Out += " for registry ";
+  Out += prometheusEscape(SourceName, /*LabelValue=*/false);
+  Out += ".\n# TYPE ";
+  Out += Family;
+  Out += ' ';
+  Out += Type;
+  Out += '\n';
+}
+
+} // namespace
+
+std::string renderPrometheusText(const MetricsSnapshot &S,
+                                 std::string_view Prefix) {
+  std::string P(Prefix);
+  if (!P.empty())
+    P.push_back('_');
+  std::string Out;
+  Out.reserve(4096);
+
+  for (const auto &[Name, V] : S.Counters) {
+    std::string Family = P + prometheusSanitizeName(Name) + "_total";
+    appendHeader(Out, Family, Name, "Counter", "counter");
+    Out += Family;
+    Out += ' ';
+    appendU64(Out, V);
+    Out += '\n';
+  }
+
+  for (const auto &[Name, V] : S.Gauges) {
+    std::string Family = P + prometheusSanitizeName(Name);
+    appendHeader(Out, Family, Name, "Gauge", "gauge");
+    Out += Family;
+    Out += ' ';
+    appendI64(Out, V);
+    Out += '\n';
+  }
+
+  for (const auto &[Name, H] : S.Histograms) {
+    std::string Family = P + prometheusSanitizeName(Name);
+    appendHeader(Out, Family, Name, "Latency histogram", "histogram");
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I + 1 < MetricsHistogram::NumBuckets; ++I) {
+      Cum += H.Buckets[I];
+      // Bucket i holds integer-microsecond values < 2^i, so the inclusive
+      // Prometheus bound is (2^i)-1 exactly.
+      Out += Family;
+      Out += "_bucket{le=\"";
+      appendU64(Out, (uint64_t(1) << I) - 1);
+      Out += "\"} ";
+      appendU64(Out, Cum);
+      Out += '\n';
+    }
+    Out += Family;
+    Out += "_bucket{le=\"+Inf\"} ";
+    appendU64(Out, H.Count);
+    Out += '\n';
+    Out += Family;
+    Out += "_sum ";
+    appendU64(Out, H.SumUs);
+    Out += '\n';
+    Out += Family;
+    Out += "_count ";
+    appendU64(Out, H.Count);
+    Out += '\n';
+
+    std::string QFamily = Family + "_quantile";
+    appendHeader(Out, QFamily, Name, "Estimated latency quantiles (us)",
+                 "gauge");
+    static constexpr struct {
+      const char *Label;
+      double Q;
+    } Quantiles[] = {{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}};
+    for (const auto &Spec : Quantiles) {
+      Out += QFamily;
+      Out += "{quantile=\"";
+      Out += Spec.Label;
+      Out += "\"} ";
+      appendDouble(Out, histogramQuantileUs(H, Spec.Q));
+      Out += '\n';
+    }
+  }
+
+  return Out;
+}
+
+} // namespace genic

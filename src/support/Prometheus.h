@@ -1,0 +1,60 @@
+//===- support/Prometheus.h - Prometheus text exposition ------------------===//
+//
+// Part of the genic project, a C++ reproduction of "Automatic Program
+// Inversion using Symbolic Transducers" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a MetricsSnapshot as Prometheus text exposition format
+/// (version 0.0.4) for the genicd `GET /metrics` endpoint. Every counter
+/// becomes a `_total` counter family, every gauge a gauge family, and every
+/// log2-microsecond histogram a cumulative `_bucket`/`_sum`/`_count` family
+/// followed by a derived `_quantile` gauge family (p50/p90/p99, linearly
+/// interpolated inside the matching bucket).
+///
+/// The registry's log2 buckets are exclusive (`bucket i` counts values
+/// < 2^i us) while Prometheus `le` bounds are inclusive; observations are
+/// integer microseconds, so bucket i is emitted exactly as
+/// `le="(2^i)-1"` (0, 1, 3, 7, ...). The overflow bucket maps to `+Inf`.
+///
+/// Output is byte-stable for a given snapshot: families are emitted in
+/// name-sorted order (counters, then gauges, then histograms), and every
+/// value is formatted deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENIC_SUPPORT_PROMETHEUS_H
+#define GENIC_SUPPORT_PROMETHEUS_H
+
+#include "support/Metrics.h"
+
+#include <string>
+#include <string_view>
+
+namespace genic {
+
+/// Maps a dotted registry name onto the Prometheus name charset
+/// [a-zA-Z0-9_:]: dots and any other invalid characters become '_', and a
+/// leading digit gets an '_' prefix. Does not add the family prefix.
+std::string prometheusSanitizeName(std::string_view Name);
+
+/// Escapes a HELP text / label value for the text exposition format:
+/// backslash, newline, and (for label values) double quote.
+std::string prometheusEscape(std::string_view Text, bool LabelValue);
+
+/// Estimated quantile (0 < Q < 1) of a log2-bucket histogram in
+/// microseconds: finds the bucket holding rank Q*Count and interpolates
+/// linearly between its bounds. The overflow bucket interpolates up to the
+/// recorded max; the result never exceeds the recorded max. An empty
+/// histogram yields 0.
+double histogramQuantileUs(const MetricsSnapshot::Histogram &H, double Q);
+
+/// Renders the whole snapshot as Prometheus text. \p Prefix is prepended to
+/// every family name ("genic" -> "genic_serve_requests_total").
+std::string renderPrometheusText(const MetricsSnapshot &S,
+                                 std::string_view Prefix = "genic");
+
+} // namespace genic
+
+#endif // GENIC_SUPPORT_PROMETHEUS_H

@@ -109,6 +109,16 @@ TEST(ServeRequestParse, DefaultsAreMinimal) {
   EXPECT_DOUBLE_EQ(R->TimeoutSeconds, 0);
 }
 
+TEST(ServeRequestParse, AcceptsIntrospectionOps) {
+  for (const char *Op : {"ping", "metrics", "statusz", "shutdown"}) {
+    Result<ServeRequest> R =
+        parseServeRequest("{\"op\":\"" + std::string(Op) + "\",\"id\":7}");
+    ASSERT_TRUE(R.isOk()) << Op << ": " << R.status().message();
+    EXPECT_EQ(R->Op, Op);
+    EXPECT_EQ(R->Id, 7u);
+  }
+}
+
 TEST(ServeRequestParse, RejectsInvalidRequests) {
   for (const char *Bad : {
            R"({"op":"launch"})",                      // unknown op
@@ -151,6 +161,32 @@ TEST(ServeResponseFormat, RoundTripsThroughTheParser) {
   EXPECT_TRUE(Back->Bools.at("warm"));
   EXPECT_EQ(Back->Strings.at("report"), R.Report);
   EXPECT_EQ(Back->Strings.at("error"), R.Error);
+}
+
+TEST(ServeResponseFormat, TimingFieldsEmittedOnlyWhenPresent) {
+  ServeResponse R;
+  R.Id = 9;
+  std::string Bare = formatServeResponse(R);
+  EXPECT_EQ(Bare.find("queueUs"), std::string::npos);
+
+  R.HasTimings = true;
+  R.QueueUs = 120;
+  R.DetUs = 4000;
+  R.InjUs = 0;
+  R.InvUs = 2500000;
+  R.TotalUs = 2510000;
+  std::string Line = formatServeResponse(R);
+  Result<FlatJson> Back = parseFlatJson(Line.substr(0, Line.size() - 1));
+  ASSERT_TRUE(Back.isOk()) << Back.status().message();
+  EXPECT_DOUBLE_EQ(Back->Numbers.at("queueUs"), 120);
+  EXPECT_DOUBLE_EQ(Back->Numbers.at("detUs"), 4000);
+  EXPECT_DOUBLE_EQ(Back->Numbers.at("injUs"), 0);
+  EXPECT_DOUBLE_EQ(Back->Numbers.at("invUs"), 2500000);
+  EXPECT_DOUBLE_EQ(Back->Numbers.at("totalUs"), 2510000);
+  // Clients that predate the timing fields parse the same line: the flat
+  // protocol tolerates extra keys.
+  Result<ServeRequest> AsRequest = parseServeRequest(R"({"op":"ping"})");
+  EXPECT_TRUE(AsRequest.isOk());
 }
 
 //===----------------------------------------------------------------------===//

@@ -45,6 +45,10 @@
 ///                  testing, SPEC = kind@N[xC][:scope] (see
 ///                  solver/FaultInjector.h); env GENIC_FAULT_INJECT is
 ///                  used when the flag is absent
+///   --slow-query-ms N  arm the stuck-query watch: solver queries that
+///                  time out or run past N ms count into the
+///                  solver.slowquery.* metrics (see --stats and
+///                  --metrics-json)
 ///   --solver-incremental {on,off}  toggle the incremental solver core
 ///                  (scoped push/pop sessions, assumption-literal CEGAR,
 ///                  coalesced guard-overlap batches); off falls back to
@@ -76,6 +80,7 @@
 #include "genic/Lower.h"
 #include "genic/Parser.h"
 #include "runtime/StreamDecoder.h"
+#include "solver/QueryWatch.h"
 #include "support/Deadline.h"
 #include "support/StringUtils.h"
 #include "support/Trace.h"
@@ -105,7 +110,7 @@ int usage() {
       "--fault-inject SPEC\n"
       "           --solver-incremental {on,off} --trace-out FILE "
       "--metrics-json FILE\n"
-      "           --worker-procs N --worker-binary PATH\n"
+      "           --worker-procs N --worker-binary PATH --slow-query-ms N\n"
       "           --decode-file IN --decode-out OUT\n");
   return ExitUsage;
 }
@@ -232,6 +237,17 @@ int main(int Argc, char **Argv) {
       if (++I >= Argc)
         return usage();
       WorkerBinary = Argv[I];
+    } else if (Arg == "--slow-query-ms") {
+      if (++I >= Argc)
+        return usage();
+      try {
+        // Arms the process-wide stuck-query watch: solver queries that
+        // time out or run past the threshold count into
+        // solver.slowquery.* (see --stats / --metrics-json output).
+        QueryWatch::global().arm(std::stoull(Argv[I]));
+      } catch (...) {
+        return usage();
+      }
     } else if (Arg == "--decode-file") {
       if (++I >= Argc)
         return usage();
@@ -568,7 +584,8 @@ int main(int Argc, char **Argv) {
     std::fputs(DecodeSummary.c_str(), stdout);
   std::printf("\n%s", formatOutcomeReport(R).c_str());
   if (Stats) {
-    std::fputs(formatStatsReport(R).c_str(), stdout);
+    std::fputs(formatStatsReport(R, Tool.metrics().snapshot()).c_str(),
+               stdout);
     std::fputs(DecodeStatsText.c_str(), stdout);
   }
   // Exit-code severities are numerically ordered (5 solver error > 4 budget

@@ -15,7 +15,8 @@
 ///   genicd-client --tcp 127.0.0.1 7411 --op metrics --field payload
 ///
 /// Options:
-///   --op OP              invert (default) | ping | metrics | shutdown
+///   --op OP              invert (default) | ping | metrics | statusz |
+///                        shutdown
 ///   --file PATH          program source for op=invert ("-" reads stdin)
 ///   --id N               request id echoed by the daemon (default 1)
 ///   --timeout-seconds S  per-request wall-clock budget
@@ -25,6 +26,9 @@
 ///   --field FIELD        print just this response field, unescaped:
 ///                        report | payload | code | error | warm | exit
 ///                        (default: the raw response line)
+///   --timings            print the server-side latency breakdown the
+///                        daemon attaches to invert responses (queue wait
+///                        plus per-phase and total wall clock) to stderr
 ///   --retry-seconds S    retry the connect for up to S seconds (daemon
 ///                        start-up races in scripts); retries back off
 ///                        exponentially with jitter, 10ms doubling to 1s
@@ -66,7 +70,7 @@ int usage() {
                "[--fault-inject SPEC] [--jobs N]\n"
                "                     [--force-injectivity] [--force-invert] "
                "[--field FIELD]\n"
-               "                     [--retry-seconds S]\n");
+               "                     [--timings] [--retry-seconds S]\n");
   return 2;
 }
 
@@ -117,7 +121,7 @@ int main(int Argc, char **Argv) {
   double TimeoutSeconds = 0, RetrySeconds = 0;
   std::string FaultSpec;
   int Jobs = 0;
-  bool ForceInjectivity = false, ForceInvert = false;
+  bool ForceInjectivity = false, ForceInvert = false, Timings = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -171,6 +175,8 @@ int main(int Argc, char **Argv) {
         ForceInjectivity = true;
       } else if (Arg == "--force-invert") {
         ForceInvert = true;
+      } else if (Arg == "--timings") {
+        Timings = true;
       } else if (Arg == "--field") {
         const char *V = NextArg();
         if (!V)
@@ -313,6 +319,22 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     std::fputs(It->second.c_str(), stdout);
+  }
+
+  if (Timings) {
+    // Stderr so it composes with --field report/payload piping on stdout.
+    auto Us = [&J](const char *Key) -> long long {
+      auto It = J.Numbers.find(Key);
+      return It != J.Numbers.end() ? static_cast<long long>(It->second) : -1;
+    };
+    if (Us("totalUs") < 0)
+      std::fprintf(stderr, "genicd-client: response carries no timings\n");
+    else
+      std::fprintf(stderr,
+                   "timings: queue %lldus  determinism %lldus  "
+                   "injectivity %lldus  inversion %lldus  total %lldus\n",
+                   Us("queueUs"), Us("detUs"), Us("injUs"), Us("invUs"),
+                   Us("totalUs"));
   }
 
   if (auto It = J.Numbers.find("exit"); It != J.Numbers.end())

@@ -25,8 +25,24 @@
 ///   * repeated requests for the same program hit the engine's warm pool:
 ///     parse/lower are skipped and solver/bank state is reused,
 ///   * "metrics" serves the engine-lifetime registry as genic-metrics-v1
-///     JSON; "ping" answers "pong"; "shutdown" stops the daemon after
-///     in-flight requests drain,
+///     JSON; "statusz" serves a live genic-statusz-v1 snapshot (admission
+///     queue, in-flight requests with current phase, warm pool contents,
+///     worker slots, active solver queries); "ping" answers "pong";
+///     "shutdown" stops the daemon after in-flight requests drain,
+///   * the same socket also answers plain HTTP: `GET /metrics` serves the
+///     registry in Prometheus text exposition format (per-request metrics
+///     are merged into the engine registry at request end, so counters and
+///     query-latency histograms are cumulative across requests) and
+///     `GET /statusz` the introspection snapshot — point curl or a scraper
+///     at the daemon without speaking NDJSON,
+///   * --access-log writes one structured NDJSON line per request (queue
+///     wait, per-phase latency, solver counters, worker-proc shard stats)
+///     through a bounded-queue writer that never blocks a worker thread;
+///     slow-query events land in the same log,
+///   * --slow-query-ms arms the stuck-query watchdog: solver queries
+///     running past the threshold are reported mid-flight (and timed-out
+///     queries at completion) as `solver.slowquery.*` counters, access-log
+///     events, and Perfetto trace instants,
 ///   * SIGTERM/SIGINT trigger the same graceful path: accepting stops,
 ///     in-flight requests get --grace-seconds to finish, metrics/trace
 ///     artifacts are flushed, and the exit code is 0,
@@ -45,6 +61,9 @@
 
 #include "engine/InversionEngine.h"
 #include "engine/Serve.h"
+#include "solver/QueryWatch.h"
+#include "support/EventLog.h"
+#include "support/Prometheus.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -100,8 +119,20 @@ int usage() {
       "                         the connection closed (default 16 MiB)\n"
       "  --metrics-out FILE     write the engine metrics snapshot as JSON\n"
       "                         on shutdown\n"
-      "  --trace-out FILE       write a span trace on shutdown\n");
+      "  --trace-out FILE       write a span trace on shutdown\n"
+      "  --access-log FILE      append one NDJSON line per request (and per\n"
+      "                         slow-query event) via a bounded-queue writer\n"
+      "  --slow-query-ms N      arm the stuck-query watchdog: report solver\n"
+      "                         queries running (or timing out) past N ms\n"
+      "                         (default 0 = disabled)\n");
   return 2;
+}
+
+/// Wall-clock seconds since the Unix epoch, for log timestamps.
+double unixNow() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 /// One accepted connection. Workers write responses concurrently, so every
@@ -137,6 +168,9 @@ struct Conn {
 struct Job {
   std::shared_ptr<Conn> C;
   std::string Line;
+  /// Admission timestamp: the queue wait reported in timings and the
+  /// access log is claim time minus this.
+  std::chrono::steady_clock::time_point Enqueued;
 };
 
 /// The daemon: engine + admission queue + socket plumbing.
@@ -151,6 +185,11 @@ public:
   unsigned WorkerProcs = 0;
   std::string WorkerBinary;
   size_t MaxRequestBytes = 16u << 20;
+
+  /// Structured per-request NDJSON log (--access-log); null when disabled.
+  std::unique_ptr<EventLog> AccessLog;
+  /// Armed slow-query threshold (--slow-query-ms); 0 = watchdog off.
+  uint64_t SlowQueryMs = 0;
 
   /// Requests currently inside handle(); the shutdown grace period waits
   /// for this and the queue to reach zero.
@@ -217,7 +256,11 @@ public:
         // queue before the increment lands.
         Active.fetch_add(1);
       }
-      J.C->sendLine(handle(J.Line));
+      uint64_t QueueUs =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - J.Enqueued)
+              .count();
+      J.C->sendLine(handle(J.Line, QueueUs));
       Active.fetch_sub(1);
     }
   }
@@ -228,7 +271,169 @@ public:
     return Queue.empty() && Active.load() == 0;
   }
 
-  std::string handle(const std::string &Line) {
+  /// Appends one "request" line to the access log (no-op when disabled).
+  /// \p Report is null for non-invert ops and engine-level failures.
+  void logAccess(const ServeResponse &Resp, const std::string &Op,
+                 uint64_t QueueUs, const GenicReport *Report,
+                 uint64_t SlowQueries) {
+    if (!AccessLog)
+      return;
+    char Buf[512];
+    std::string L;
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"event\":\"request\",\"ts\":%.3f,\"id\":%llu,", unixNow(),
+                  (unsigned long long)Resp.Id);
+    L = Buf;
+    L += "\"op\":\"" + jsonEscapeString(Op) + "\",";
+    L += "\"api\":\"" + jsonEscapeString(Resp.Code) + "\",";
+    std::snprintf(Buf, sizeof(Buf), "\"exit\":%d,\"warm\":%s,\"queue_us\":%llu",
+                  Resp.Exit, Resp.Warm ? "true" : "false",
+                  (unsigned long long)QueueUs);
+    L += Buf;
+    if (Report) {
+      uint64_t SatQueries = Report->SolverStats.SatQueries +
+                            Report->CheckerStats.SatQueries +
+                            Report->WorkerStats.Smt.SatQueries;
+      std::snprintf(
+          Buf, sizeof(Buf),
+          ",\"det_us\":%llu,\"inj_us\":%llu,\"inv_us\":%llu,"
+          "\"total_us\":%llu,\"sat_queries\":%llu,\"retries\":%llu,"
+          "\"timeouts\":%llu,\"cancelled\":%llu,\"faults\":%llu,"
+          "\"slow_queries\":%llu,\"worker_shards\":%llu,"
+          "\"worker_crashes\":%llu,\"worker_restarts\":%llu,"
+          "\"worker_degraded\":%llu",
+          (unsigned long long)(Report->Timings.DeterminismSeconds * 1e6),
+          (unsigned long long)(Report->Timings.InjectivitySeconds * 1e6),
+          (unsigned long long)(Report->Timings.InversionSeconds * 1e6),
+          (unsigned long long)(Report->Timings.TotalSeconds * 1e6),
+          (unsigned long long)SatQueries,
+          (unsigned long long)Report->RetriesAttempted,
+          (unsigned long long)Report->QueriesTimedOut,
+          (unsigned long long)Report->QueriesCancelled,
+          (unsigned long long)Report->InjectedFaults,
+          (unsigned long long)SlowQueries,
+          (unsigned long long)Report->WorkerShards,
+          (unsigned long long)Report->WorkerCrashes,
+          (unsigned long long)Report->WorkerRestarts,
+          (unsigned long long)Report->WorkerShardsDegraded);
+      L += Buf;
+    }
+    if (!Resp.Error.empty())
+      L += ",\"error\":\"" + jsonEscapeString(Resp.Error) + "\"";
+    L += "}";
+    AccessLog->append(std::move(L));
+  }
+
+  /// Appends one "slowquery" line (the QueryWatch sink target).
+  void logSlowQuery(const SlowQueryEvent &E) {
+    if (!AccessLog)
+      return;
+    char Buf[384];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\"event\":\"slowquery\",\"ts\":%.3f,\"req\":%llu,"
+        "\"phase\":\"%s\",\"kind\":\"%s\",\"elapsed_us\":%llu,"
+        "\"threshold_ms\":%llu,\"in_flight\":%s,\"timed_out\":%s}",
+        unixNow(), (unsigned long long)E.RequestId, E.Phase, E.Kind,
+        (unsigned long long)E.ElapsedUs, (unsigned long long)E.ThresholdMs,
+        E.InFlight ? "true" : "false", E.TimedOut ? "true" : "false");
+    AccessLog->append(Buf);
+  }
+
+  /// The genic-statusz-v1 snapshot: admission queue, in-flight requests
+  /// (elapsed, current phase, worker slots), warm pool contents, and the
+  /// active solver queries. Served by the statusz op and GET /statusz.
+  std::string formatStatuszJson() {
+    EngineStatus S = Engine.status();
+    size_t Depth;
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      Depth = Queue.size();
+    }
+    char Buf[256];
+    std::string O = "{\n  \"schema\": \"genic-statusz-v1\",\n";
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"queue\": {\"depth\": %zu, \"bound\": %zu, "
+                  "\"active\": %zu, \"sheds\": %llu},\n",
+                  Depth, QueueBound, Active.load(),
+                  (unsigned long long)Engine.metrics()
+                      .counter("serve.overloaded")
+                      .value());
+    O += Buf;
+    O += "  \"inFlight\": [";
+    bool First = true;
+    for (const EngineStatus::Request &R : S.InFlight) {
+      O += First ? "\n" : ",\n";
+      First = false;
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"req\": %llu, \"elapsed_us\": %llu, \"phase\": "
+                    "\"%s\", \"warm\": %s, \"worker_procs\": %u",
+                    (unsigned long long)R.TraceId,
+                    (unsigned long long)R.ElapsedUs, R.Phase,
+                    R.Warm ? "true" : "false", R.WorkerProcs);
+      O += Buf;
+      if (!R.Workers.empty()) {
+        O += ", \"workers\": [";
+        for (size_t I = 0; I < R.Workers.size(); ++I) {
+          const EngineStatus::WorkerSlot &W = R.Workers[I];
+          std::snprintf(Buf, sizeof(Buf),
+                        "%s{\"slot\": %u, \"pid\": %d, \"busy\": %s, "
+                        "\"dead\": %s, \"restarts\": %u}",
+                        I ? ", " : "", W.Index, W.Pid,
+                        W.Busy ? "true" : "false", W.Dead ? "true" : "false",
+                        W.Restarts);
+          O += Buf;
+        }
+        O += "]";
+      }
+      O += "}";
+    }
+    O += First ? "],\n" : "\n  ],\n";
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"pool\": {\"capacity\": %zu, \"programs\": %zu, "
+                  "\"hits\": %llu, \"misses\": %llu, \"busy_misses\": %llu, "
+                  "\"evictions\": %llu, \"entries\": [",
+                  S.PoolCapacity, S.PoolSize,
+                  (unsigned long long)S.PoolStats.Hits,
+                  (unsigned long long)S.PoolStats.Misses,
+                  (unsigned long long)S.PoolStats.BusyMisses,
+                  (unsigned long long)S.PoolStats.Evictions);
+    O += Buf;
+    First = true;
+    for (const ProgramPool::EntryInfo &E : S.Pool) {
+      O += First ? "\n" : ",\n";
+      First = false;
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"hash\": \"%016llx\", \"runs\": %llu, "
+                    "\"idle_ticks\": %llu, \"busy\": %s, \"warm\": %s}",
+                    (unsigned long long)E.Key, (unsigned long long)E.Runs,
+                    (unsigned long long)E.IdleTicks,
+                    E.Busy ? "true" : "false", E.Warm ? "true" : "false");
+      O += Buf;
+    }
+    O += First ? "]},\n" : "\n  ]},\n";
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"solver\": {\"slow_query_ms\": %llu, "
+                  "\"slow_queries\": %llu, \"active_queries\": [",
+                  (unsigned long long)SlowQueryMs,
+                  (unsigned long long)QueryWatch::global().slowQueryCount());
+    O += Buf;
+    First = true;
+    for (const QueryWatch::ActiveQuery &Q : QueryWatch::global().activeQueries()) {
+      O += First ? "\n" : ",\n";
+      First = false;
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"req\": %llu, \"phase\": \"%s\", \"kind\": "
+                    "\"%s\", \"elapsed_us\": %llu}",
+                    (unsigned long long)Q.RequestId, Q.Phase, Q.Kind,
+                    (unsigned long long)Q.ElapsedUs);
+      O += Buf;
+    }
+    O += First ? "]}\n}\n" : "\n  ]}\n}\n";
+    return O;
+  }
+
+  std::string handle(const std::string &Line, uint64_t QueueUs) {
     Result<ServeRequest> Parsed = parseServeRequest(Line);
     if (!Parsed) {
       ServeResponse Resp;
@@ -237,10 +442,15 @@ public:
       Resp.Error = Parsed.status().message();
       // Best effort at echoing the id even from a request that failed
       // validation later than the id key.
-      if (Result<FlatJson> J = parseFlatJson(Line))
+      std::string Op;
+      if (Result<FlatJson> J = parseFlatJson(Line)) {
         if (auto It = J->Numbers.find("id");
             It != J->Numbers.end() && It->second >= 0)
           Resp.Id = static_cast<uint64_t>(It->second);
+        if (auto It = J->Strings.find("op"); It != J->Strings.end())
+          Op = It->second;
+      }
+      logAccess(Resp, Op, QueueUs, nullptr, 0);
       return formatServeResponse(Resp);
     }
     const ServeRequest &Req = *Parsed;
@@ -249,14 +459,22 @@ public:
 
     if (Req.Op == "ping") {
       Resp.Payload = "pong";
+      logAccess(Resp, Req.Op, QueueUs, nullptr, 0);
       return formatServeResponse(Resp);
     }
     if (Req.Op == "metrics") {
       Resp.Payload = formatMetricsSnapshotJson(Engine.metrics().snapshot());
+      logAccess(Resp, Req.Op, QueueUs, nullptr, 0);
+      return formatServeResponse(Resp);
+    }
+    if (Req.Op == "statusz") {
+      Resp.Payload = formatStatuszJson();
+      logAccess(Resp, Req.Op, QueueUs, nullptr, 0);
       return formatServeResponse(Resp);
     }
     if (Req.Op == "shutdown") {
       stop();
+      logAccess(Resp, Req.Op, QueueUs, nullptr, 0);
       return formatServeResponse(Resp);
     }
 
@@ -273,6 +491,7 @@ public:
         Resp.Code = "bad-request";
         Resp.Exit = ExitUsage;
         Resp.Error = Plan.status().message();
+        logAccess(Resp, Req.Op, QueueUs, nullptr, 0);
         return formatServeResponse(Resp);
       }
       Ctx.Faults = *Plan;
@@ -281,17 +500,72 @@ public:
     Ctx.Metrics = &RequestMetrics;
 
     Result<EngineResponse> R = Engine.serve(Req.Source, Ctx);
+
+    // Fold this request's registry — query-latency histograms, mirrored
+    // run counters, workerproc stats, slowquery counts — into the engine
+    // registry, so the metrics op and GET /metrics expose cumulative
+    // process-wide telemetry. merge() applies the whole batch under one
+    // registry lock, so a concurrent scrape sees all of it or none.
+    uint64_t SlowQueries =
+        RequestMetrics.counter("solver.slowquery.count").value();
+    Engine.metrics().merge(RequestMetrics.snapshot());
+
     if (!R) {
       Resp.Exit = ExitError;
       Resp.Code = apiCodeForExit(Resp.Exit);
       Resp.Error = R.status().message();
+      logAccess(Resp, Req.Op, QueueUs, nullptr, SlowQueries);
       return formatServeResponse(Resp);
     }
     Resp.Exit = R->Exit;
     Resp.Code = apiCodeForExit(R->Exit);
     Resp.Warm = R->WarmHit;
     Resp.Report = formatOutcomeReport(R->Report);
+    Resp.HasTimings = true;
+    Resp.QueueUs = QueueUs;
+    Resp.DetUs = static_cast<uint64_t>(
+        R->Report.Timings.DeterminismSeconds * 1e6);
+    Resp.InjUs = static_cast<uint64_t>(
+        R->Report.Timings.InjectivitySeconds * 1e6);
+    Resp.InvUs =
+        static_cast<uint64_t>(R->Report.Timings.InversionSeconds * 1e6);
+    Resp.TotalUs = static_cast<uint64_t>(R->Report.Timings.TotalSeconds * 1e6);
+    logAccess(Resp, Req.Op, QueueUs, &R->Report, SlowQueries);
     return formatServeResponse(Resp);
+  }
+
+  /// Answers one plain-HTTP exchange on the NDJSON socket: `GET /metrics`
+  /// serves the engine registry in Prometheus text exposition format,
+  /// `GET /statusz` the introspection snapshot. One request per
+  /// connection, Connection: close — exactly what a scraper or curl does.
+  void serveHttp(Conn &C, const std::string &Request) {
+    std::string Path;
+    size_t Sp1 = Request.find(' ');
+    if (Sp1 != std::string::npos) {
+      size_t Sp2 = Request.find_first_of(" \r\n", Sp1 + 1);
+      if (Sp2 != std::string::npos)
+        Path = Request.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+    }
+    std::string Body, StatusLine = "200 OK";
+    std::string Type = "text/plain; charset=utf-8";
+    if (Path == "/metrics") {
+      Body = renderPrometheusText(Engine.metrics().snapshot());
+      Type = "text/plain; version=0.0.4; charset=utf-8";
+    } else if (Path == "/statusz") {
+      Body = formatStatuszJson();
+    } else {
+      StatusLine = "404 Not Found";
+      Body = "not found; try /metrics or /statusz\n";
+    }
+    std::string Out = "HTTP/1.1 " + StatusLine +
+                      "\r\nContent-Type: " + Type +
+                      "\r\nContent-Length: " + std::to_string(Body.size()) +
+                      "\r\nConnection: close\r\n\r\n" + Body;
+    C.sendLine(Out);
+    ServeResponse LogResp;
+    LogResp.Code = StatusLine[0] == '2' ? "ok" : "bad-request";
+    LogResp.Exit = StatusLine[0] == '2' ? ExitOk : ExitUsage;
+    logAccess(LogResp, "http:" + Path, 0, nullptr, 0);
   }
 
   /// Frames lines off one connection until EOF, feeding the queue. A
@@ -308,6 +582,22 @@ public:
       if (N <= 0)
         return;
       Buffer.append(Chunk, static_cast<size_t>(N));
+      // The NDJSON protocol always opens with '{', so a connection whose
+      // first byte is 'G' can only be an HTTP GET. Scrapes are cheap,
+      // read-only, and must stay observable under overload, so they are
+      // served inline on the reader thread, never queued or shed.
+      if (Buffer[0] == 'G') {
+        while (Buffer.find("\r\n\r\n") == std::string::npos) {
+          if (Buffer.size() > MaxRequestBytes || Stopping.load())
+            return;
+          ssize_t M = ::recv(C->Fd, Chunk, sizeof(Chunk), 0);
+          if (M <= 0)
+            return;
+          Buffer.append(Chunk, static_cast<size_t>(M));
+        }
+        serveHttp(*C, Buffer);
+        return;
+      }
       size_t Start = 0;
       for (size_t Nl; (Nl = Buffer.find('\n', Start)) != std::string::npos;
            Start = Nl + 1) {
@@ -318,15 +608,21 @@ public:
           sendOversized(*C, Line);
           return;
         }
-        if (!enqueue(Job{C, Line})) {
+        if (!enqueue(Job{C, Line, std::chrono::steady_clock::now()})) {
           ServeResponse Busy;
           Busy.Code = "overloaded";
           Busy.Exit = ExitError;
           Busy.Error = "admission queue full";
-          if (Result<FlatJson> J = parseFlatJson(Line))
+          std::string Op;
+          if (Result<FlatJson> J = parseFlatJson(Line)) {
             if (auto It = J->Numbers.find("id");
                 It != J->Numbers.end() && It->second >= 0)
               Busy.Id = static_cast<uint64_t>(It->second);
+            if (auto It = J->Strings.find("op"); It != J->Strings.end())
+              Op = It->second;
+          }
+          Engine.metrics().counter("serve.overloaded").add(1);
+          logAccess(Busy, Op, 0, nullptr, 0);
           C->sendLine(formatServeResponse(Busy));
         }
       }
@@ -352,6 +648,7 @@ public:
       if (auto It = J->Numbers.find("id");
           It != J->Numbers.end() && It->second >= 0)
         Bad.Id = static_cast<uint64_t>(It->second);
+    logAccess(Bad, "", 0, nullptr, 0);
     C.sendLine(formatServeResponse(Bad));
   }
 };
@@ -371,7 +668,8 @@ void onSignal(int) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string SocketPath, TraceOut, MetricsOut;
+  std::string SocketPath, TraceOut, MetricsOut, AccessLogPath;
+  uint64_t SlowQueryMs = 0;
   int TcpPort = -1;
   size_t Threads = 2, QueueBound = 16;
   size_t MaxRequestBytes = 16u << 20;
@@ -474,6 +772,16 @@ int main(int Argc, char **Argv) {
         if (!V)
           return usage();
         TraceOut = V;
+      } else if (Arg == "--access-log") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        AccessLogPath = V;
+      } else if (Arg == "--slow-query-ms") {
+        const char *V = NextArg();
+        if (!V)
+          return usage();
+        SlowQueryMs = std::stoull(V);
       } else {
         return usage();
       }
@@ -542,6 +850,31 @@ int main(int Argc, char **Argv) {
   D.WorkerProcs = WorkerProcs;
   D.WorkerBinary = WorkerBinary;
   D.MaxRequestBytes = MaxRequestBytes;
+  if (!AccessLogPath.empty()) {
+    D.AccessLog = std::make_unique<EventLog>(AccessLogPath);
+    if (!D.AccessLog->ok()) {
+      std::fprintf(stderr, "genicd: cannot open access log %s\n",
+                   AccessLogPath.c_str());
+      return 1;
+    }
+  }
+  D.SlowQueryMs = SlowQueryMs;
+  if (SlowQueryMs > 0) {
+    QueryWatch &W = QueryWatch::global();
+    W.arm(SlowQueryMs);
+    W.setSink([&D](const SlowQueryEvent &E) {
+      D.logSlowQuery(E);
+      // Completion-path events already count themselves in the request's
+      // registry (merged into the engine registry after serve); the
+      // watchdog's mid-flight detections have no request registry to land
+      // in, so count them straight into the engine registry here.
+      if (E.InFlight)
+        D.Engine.metrics().counter("solver.slowquery.inflight").add(1);
+    });
+    // Scan at half the threshold so a stuck query is flagged within 1.5x
+    // the configured latency budget, but never busier than 10ms.
+    W.startWatchdog(std::max<uint64_t>(SlowQueryMs / 2, 10));
+  }
   SignalStop = &D.Stopping;
   SignalListenFd = ListenFd;
   std::signal(SIGINT, onSignal);
@@ -619,6 +952,12 @@ int main(int Argc, char **Argv) {
     for (std::thread &T : Readers)
       T.detach();
   }
+  if (SlowQueryMs > 0) {
+    QueryWatch::global().stopWatchdog();
+    QueryWatch::global().setSink(nullptr);
+  }
+  if (D.AccessLog)
+    D.AccessLog->flush();
   if (!SocketPath.empty())
     ::unlink(SocketPath.c_str());
   if (!MetricsOut.empty()) {

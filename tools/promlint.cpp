@@ -1,0 +1,395 @@
+//===- tools/promlint.cpp - Prometheus exposition format checker ----------===//
+//
+// Part of the genic project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates Prometheus text exposition format, the way ci.sh validates
+/// genicd's `GET /metrics` scrape:
+///
+///   promlint metrics.txt      # or: curl ... | promlint -
+///
+/// Checks:
+///   * metric and label names match the Prometheus grammar,
+///   * every sample's family carries # HELP and # TYPE comments, declared
+///     before the first sample of the family,
+///   * the TYPE is one of counter/gauge/histogram/summary/untyped,
+///   * counter sample names end in _total,
+///   * histogram families have cumulative, non-decreasing _bucket counts
+///     per label set, a +Inf bucket, and _sum/_count samples, with the
+///     +Inf bucket equal to _count,
+///   * no duplicate samples (same name and label set twice),
+///   * sample values parse as numbers.
+///
+/// Deliberately standalone (no genic libraries): the checker must not
+/// share code with the renderer it polices.
+///
+/// Exit codes: 0 clean, 1 findings (one per line on stderr), 2 usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+int Findings = 0;
+
+void finding(size_t LineNo, const std::string &Msg) {
+  std::fprintf(stderr, "promlint: line %zu: %s\n", LineNo, Msg.c_str());
+  ++Findings;
+}
+
+bool validMetricName(const std::string &N) {
+  if (N.empty())
+    return false;
+  auto First = [](char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+           C == ':';
+  };
+  auto Rest = [&First](char C) {
+    return First(C) || std::isdigit(static_cast<unsigned char>(C));
+  };
+  if (!First(N[0]))
+    return false;
+  for (size_t I = 1; I < N.size(); ++I)
+    if (!Rest(N[I]))
+      return false;
+  return true;
+}
+
+bool validLabelName(const std::string &N) {
+  if (N.empty() || N.compare(0, 2, "__") == 0)
+    return false;
+  auto First = [](char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+  };
+  if (!First(N[0]))
+    return false;
+  for (size_t I = 1; I < N.size(); ++I)
+    if (!First(N[I]) && !std::isdigit(static_cast<unsigned char>(N[I])))
+      return false;
+  return true;
+}
+
+/// One parsed sample line.
+struct Sample {
+  std::string Name;
+  /// Label set with the `le` label split out (histogram bucket checks key
+  /// off the rest of the labels).
+  std::map<std::string, std::string> Labels;
+  double Value = 0;
+  bool HasValue = false;
+};
+
+/// Parses `name{l1="v1",...} value` / `name value`. Returns false (with a
+/// finding) on malformed lines.
+bool parseSample(const std::string &Line, size_t LineNo, Sample &Out) {
+  size_t At = 0;
+  while (At < Line.size() && (std::isalnum(static_cast<unsigned char>(
+                                  Line[At])) ||
+                              Line[At] == '_' || Line[At] == ':'))
+    ++At;
+  Out.Name = Line.substr(0, At);
+  if (!validMetricName(Out.Name)) {
+    finding(LineNo, "invalid metric name \"" + Out.Name + "\"");
+    return false;
+  }
+  if (At < Line.size() && Line[At] == '{') {
+    ++At;
+    while (At < Line.size() && Line[At] != '}') {
+      size_t Eq = Line.find('=', At);
+      if (Eq == std::string::npos) {
+        finding(LineNo, "malformed label set");
+        return false;
+      }
+      std::string LName = Line.substr(At, Eq - At);
+      if (!validLabelName(LName)) {
+        finding(LineNo, "invalid label name \"" + LName + "\"");
+        return false;
+      }
+      At = Eq + 1;
+      if (At >= Line.size() || Line[At] != '"') {
+        finding(LineNo, "label value is not quoted");
+        return false;
+      }
+      ++At;
+      std::string LValue;
+      while (At < Line.size() && Line[At] != '"') {
+        if (Line[At] == '\\') {
+          if (At + 1 >= Line.size()) {
+            finding(LineNo, "truncated escape in label value");
+            return false;
+          }
+          char E = Line[At + 1];
+          if (E != '\\' && E != '"' && E != 'n') {
+            finding(LineNo, std::string("invalid escape \"\\") + E +
+                                "\" in label value");
+            return false;
+          }
+          LValue += E == 'n' ? '\n' : E;
+          At += 2;
+          continue;
+        }
+        LValue += Line[At++];
+      }
+      if (At >= Line.size()) {
+        finding(LineNo, "unterminated label value");
+        return false;
+      }
+      ++At; // closing quote
+      if (Out.Labels.count(LName)) {
+        finding(LineNo, "duplicate label \"" + LName + "\"");
+        return false;
+      }
+      Out.Labels[LName] = LValue;
+      if (At < Line.size() && Line[At] == ',')
+        ++At;
+    }
+    if (At >= Line.size()) {
+      finding(LineNo, "unterminated label set");
+      return false;
+    }
+    ++At; // '}'
+  }
+  while (At < Line.size() && (Line[At] == ' ' || Line[At] == '\t'))
+    ++At;
+  if (At >= Line.size()) {
+    finding(LineNo, "sample has no value");
+    return false;
+  }
+  std::string ValueText = Line.substr(At);
+  // Strip an optional timestamp (second field).
+  if (size_t Sp = ValueText.find(' '); Sp != std::string::npos)
+    ValueText.resize(Sp);
+  if (ValueText == "+Inf" || ValueText == "-Inf" || ValueText == "NaN") {
+    Out.Value = ValueText == "-Inf" ? -1e308 : 1e308;
+  } else {
+    char *End = nullptr;
+    Out.Value = std::strtod(ValueText.c_str(), &End);
+    if (!End || *End != '\0') {
+      finding(LineNo, "sample value \"" + ValueText +
+                          "\" is not a number");
+      return false;
+    }
+  }
+  Out.HasValue = true;
+  return true;
+}
+
+/// Family metadata and collected histogram samples.
+struct Family {
+  bool HasHelp = false;
+  bool HasType = false;
+  std::string Type;
+  size_t FirstSampleLine = 0;
+};
+
+std::string stripSuffix(const std::string &Name, const char *Suffix) {
+  size_t Len = std::strlen(Suffix);
+  if (Name.size() > Len &&
+      Name.compare(Name.size() - Len, Len, Suffix) == 0)
+    return Name.substr(0, Name.size() - Len);
+  return Name;
+}
+
+/// Serializes a label set (minus `le`) as a histogram series key.
+std::string seriesKey(const std::map<std::string, std::string> &Labels) {
+  std::string Key;
+  for (const auto &[K, V] : Labels)
+    if (K != "le")
+      Key += K + "=" + V + ";";
+  return Key;
+}
+
+struct BucketSeries {
+  /// le value (as text, parsed for ordering) -> count, in input order.
+  std::vector<std::pair<std::string, double>> Buckets;
+  double Sum = 0, Count = 0;
+  bool HasSum = false, HasCount = false;
+  size_t LineNo = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2) {
+    std::fprintf(stderr, "usage: promlint FILE (\"-\" reads stdin)\n");
+    return 2;
+  }
+  std::string Text;
+  if (std::strcmp(Argv[1], "-") == 0) {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Text = Buffer.str();
+  } else {
+    std::ifstream In(Argv[1]);
+    if (!In) {
+      std::fprintf(stderr, "promlint: cannot open %s\n", Argv[1]);
+      return 2;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Text = Buffer.str();
+  }
+
+  std::map<std::string, Family> Families;
+  std::set<std::string> SeenSamples;
+  // family -> series key -> buckets.
+  std::map<std::string, std::map<std::string, BucketSeries>> Histograms;
+
+  /// The family a sample belongs to: its own name, or for histogram
+  /// series the name with the _bucket/_sum/_count suffix stripped when
+  /// that family was declared a histogram.
+  auto familyOf = [&Families](const std::string &Name) -> std::string {
+    for (const char *Suffix : {"_bucket", "_sum", "_count"}) {
+      std::string Base = stripSuffix(Name, Suffix);
+      if (Base != Name && Families.count(Base) &&
+          Families[Base].Type == "histogram")
+        return Base;
+    }
+    return Name;
+  };
+
+  size_t LineNo = 0;
+  std::istringstream Lines(Text);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    if (Line[0] == '#') {
+      std::istringstream Comment(Line);
+      std::string Hash, What, Name;
+      Comment >> Hash >> What >> Name;
+      if (What == "HELP" || What == "TYPE") {
+        if (!validMetricName(Name)) {
+          finding(LineNo, "# " + What + " names invalid metric \"" + Name +
+                              "\"");
+          continue;
+        }
+        Family &F = Families[Name];
+        if (What == "HELP") {
+          if (F.HasHelp)
+            finding(LineNo, "duplicate # HELP for " + Name);
+          F.HasHelp = true;
+        } else {
+          std::string Type;
+          Comment >> Type;
+          if (Type != "counter" && Type != "gauge" && Type != "histogram" &&
+              Type != "summary" && Type != "untyped")
+            finding(LineNo, "invalid # TYPE \"" + Type + "\" for " + Name);
+          if (F.HasType)
+            finding(LineNo, "duplicate # TYPE for " + Name);
+          if (F.FirstSampleLine)
+            finding(LineNo, "# TYPE for " + Name + " after its samples");
+          F.HasType = true;
+          F.Type = Type;
+        }
+      }
+      continue; // Other comments are free-form.
+    }
+
+    Sample S;
+    if (!parseSample(Line, LineNo, S))
+      continue;
+    std::string FamilyName = familyOf(S.Name);
+    Family &F = Families[FamilyName];
+    if (!F.FirstSampleLine)
+      F.FirstSampleLine = LineNo;
+
+    std::string SampleKey = S.Name + "{" + seriesKey(S.Labels) + "le=" +
+                            (S.Labels.count("le") ? S.Labels["le"] : "") +
+                            "}" +
+                            (S.Labels.count("quantile")
+                                 ? "q=" + S.Labels["quantile"]
+                                 : "");
+    if (!SeenSamples.insert(SampleKey).second)
+      finding(LineNo, "duplicate sample " + S.Name);
+
+    if (F.Type == "counter") {
+      std::string Base = stripSuffix(S.Name, "_total");
+      if (Base == S.Name)
+        finding(LineNo, "counter sample " + S.Name +
+                            " does not end in _total");
+      if (S.Value < 0)
+        finding(LineNo, "negative counter " + S.Name);
+    }
+    if (F.Type == "histogram") {
+      BucketSeries &B = Histograms[FamilyName][seriesKey(S.Labels)];
+      if (!B.LineNo)
+        B.LineNo = LineNo;
+      if (S.Name == FamilyName + "_bucket") {
+        if (!S.Labels.count("le")) {
+          finding(LineNo, "histogram bucket without le label");
+        } else {
+          B.Buckets.emplace_back(S.Labels["le"], S.Value);
+        }
+      } else if (S.Name == FamilyName + "_sum") {
+        B.Sum = S.Value;
+        B.HasSum = true;
+      } else if (S.Name == FamilyName + "_count") {
+        B.Count = S.Value;
+        B.HasCount = true;
+      }
+    }
+  }
+
+  for (const auto &[Name, F] : Families) {
+    if (!F.FirstSampleLine)
+      continue; // HELP/TYPE with no samples is legal.
+    if (!F.HasHelp)
+      finding(F.FirstSampleLine, "family " + Name + " has no # HELP");
+    if (!F.HasType)
+      finding(F.FirstSampleLine, "family " + Name + " has no # TYPE");
+  }
+
+  for (const auto &[Name, Series] : Histograms) {
+    for (const auto &[Key, B] : Series) {
+      double Prev = -1;
+      double PrevLe = -1e308;
+      bool SawInf = false;
+      double InfCount = 0;
+      for (const auto &[Le, CountV] : B.Buckets) {
+        double LeV = Le == "+Inf" ? 1e308 : std::strtod(Le.c_str(), nullptr);
+        if (LeV <= PrevLe)
+          finding(B.LineNo, "histogram " + Name +
+                                " buckets out of le order");
+        PrevLe = LeV;
+        if (CountV < Prev)
+          finding(B.LineNo, "histogram " + Name +
+                                " buckets are not cumulative");
+        Prev = CountV;
+        if (Le == "+Inf") {
+          SawInf = true;
+          InfCount = CountV;
+        }
+      }
+      if (!SawInf)
+        finding(B.LineNo, "histogram " + Name + " has no +Inf bucket");
+      if (!B.HasSum)
+        finding(B.LineNo, "histogram " + Name + " has no _sum");
+      if (!B.HasCount)
+        finding(B.LineNo, "histogram " + Name + " has no _count");
+      if (SawInf && B.HasCount && InfCount != B.Count)
+        finding(B.LineNo, "histogram " + Name +
+                              " +Inf bucket differs from _count");
+    }
+  }
+
+  if (Findings) {
+    std::fprintf(stderr, "promlint: %d finding(s)\n", Findings);
+    return 1;
+  }
+  return 0;
+}
